@@ -1,0 +1,90 @@
+//! Route-map encoding ablations.
+//!
+//! * **D4** — encoding cost vs number of route-map entries (the nested
+//!   if-then-else chain grows linearly with entries).
+//! * **D1** — check cost vs community-universe width (each universe
+//!   community adds one boolean per symbolic route).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bgp_model::prefix::PrefixRange;
+use bgp_model::routemap::{MatchCond, RouteMap, RouteMapEntry, SetAction};
+use bgp_model::Community;
+use lightyear::encode::Encoder;
+use lightyear::symbolic::SymRoute;
+use lightyear::universe::Universe;
+use smt::{solve, TermPool};
+
+/// A route map with `n` prefix-match entries plus a final deny.
+fn map_with_entries(n: usize) -> RouteMap {
+    let mut m = RouteMap::new("BENCH");
+    for i in 0..n {
+        let base = ((10 + i) as u32) << 24;
+        m.push(
+            RouteMapEntry::permit((i as u32 + 1) * 10)
+                .matching(MatchCond::PrefixList(vec![(
+                    true,
+                    PrefixRange::orlonger(bgp_model::Ipv4Prefix::new(base, 8)),
+                )]))
+                .setting(SetAction::LocalPref(100 + i as u32)),
+        );
+    }
+    m
+}
+
+fn bench_entries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/entries");
+    g.sample_size(20);
+    for n in [4usize, 16, 64] {
+        let map = map_with_entries(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &map, |b, map| {
+            b.iter(|| {
+                let u = Universe::new();
+                let mut pool = TermPool::new();
+                let r = SymRoute::fresh(&mut pool, &u, "r");
+                let mut enc = Encoder::new(&mut pool, &u, "b");
+                let t = enc.encode_route_map(map, &r);
+                // Solve a trivial query over the transfer to include
+                // bit-blasting cost.
+                let not_rej = pool.not(t.reject);
+                let _ = solve(&pool, &[not_rej]);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_universe_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/universe-width");
+    g.sample_size(20);
+    for width in [4usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            // A map that tags one community; the universe carries `width`
+            // communities that all must be threaded through the transfer.
+            let mut map = RouteMap::new("TAG");
+            map.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+                comms: vec![Community::new(9, 9)],
+                additive: true,
+            }));
+            b.iter(|| {
+                let mut u = Universe::new();
+                for i in 0..width {
+                    u.add_community(Community::new(1, i as u16));
+                }
+                u.add_community(Community::new(9, 9));
+                let mut pool = TermPool::new();
+                let r = SymRoute::fresh(&mut pool, &u, "r");
+                let mut enc = Encoder::new(&mut pool, &u, "b");
+                let t = enc.encode_route_map(&map, &r);
+                let tagged = t.out.has_community(&u, Community::new(9, 9));
+                let not = pool.not(tagged);
+                // Accepted routes are always tagged: UNSAT.
+                let not_rej = pool.not(t.reject);
+                assert!(!solve(&pool, &[not_rej, not]).is_sat());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_entries, bench_universe_width);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! SAT / bit-blasting microbenchmarks for the SMT substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt::{solve, SatSolver, SolveOutcome, TermPool, Var};
+
+/// Pigeonhole principle: n+1 pigeons, n holes (UNSAT, exponentially hard
+/// for resolution — stresses conflict analysis).
+fn pigeonhole(n: u32) -> SatSolver {
+    let pigeons = n + 1;
+    let holes = n;
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    let mut s = SatSolver::new(pigeons * holes);
+    for p in 0..pigeons {
+        let clause: Vec<_> = (0..holes).map(|h| var(p, h).pos()).collect();
+        s.add_clause(clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(vec![var(p1, h).neg(), var(p2, h).neg()]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat/pigeonhole");
+    g.sample_size(10);
+    for n in [5u32, 6, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(), SolveOutcome::Unsat);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Chained bitvector comparisons (SAT): x0 < x1 < ... < xk over bv16.
+fn bench_bv_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt/bv-ult-chain");
+    g.sample_size(20);
+    for k in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let vars: Vec<_> =
+                    (0..=k).map(|i| pool.bv_var(&format!("x{i}"), 16)).collect();
+                let mut assertions = Vec::new();
+                for w in vars.windows(2) {
+                    assertions.push(pool.bv_ult(w[0], w[1]));
+                }
+                assert!(solve(&pool, &assertions).is_sat());
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Bitvector addition pipelines (UNSAT): proves x + k - k == x.
+fn bench_adder_identity(c: &mut Criterion) {
+    c.bench_function("smt/adder-identity-unsat", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let x = pool.bv_var("x", 32);
+            let k = pool.bv_const(0x1234_5678, 32);
+            let nk = pool.bv_const((0x1234_5678u64 as u32).wrapping_neg() as u64, 32);
+            let sum = pool.bv_add(x, k);
+            let back = pool.bv_add(sum, nk);
+            let eq = pool.bv_eq(back, x);
+            let neq = pool.not(eq);
+            assert!(!solve(&pool, &[neq]).is_sat());
+        })
+    });
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_bv_chain, bench_adder_identity);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Table 4: the three §6.1 WAN use cases on the synthetic cloud WAN.
+//!
+//! * `4a` — Internet peering policies: 11 properties of the form
+//!   `FromPeer(r) => Q(r)` verified at every router.
+//! * `4b` — IP-reuse safety: reused prefixes never leave their region.
+//! * `4c` — IP-reuse liveness: reused prefixes reach the region gateway.
+//!
+//! Environment: `WAN_REGIONS` (default 4), `WAN_RPR` routers/region (3),
+//! `WAN_EDGES` edge routers (6), `WAN_PEERS` peers/edge (4).
+//! Pass a case name (`bogons`, `reuse-safety`, `reuse-liveness`) as the
+//! first argument to run one case; default runs all three.
+
+use bench::{env_usize, secs, Table};
+use lightyear::engine::Verifier;
+use netgen::wan::{self, WanParams};
+
+fn params() -> WanParams {
+    WanParams {
+        regions: env_usize("WAN_REGIONS", 4),
+        routers_per_region: env_usize("WAN_RPR", 3),
+        edge_routers: env_usize("WAN_EDGES", 6),
+        peers_per_edge: env_usize("WAN_PEERS", 4),
+    }
+}
+
+fn main() {
+    let case = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let p = params();
+    println!(
+        "Synthetic WAN: {} regions x {} routers + {} edge routers x {} peers",
+        p.regions, p.routers_per_region, p.edge_routers, p.peers_per_edge
+    );
+    let s = wan::build(&p);
+    let t = &s.network.topology;
+    println!(
+        "  {} routers, {} external neighbors, {} directed edges\n",
+        t.router_ids().count(),
+        t.external_ids().count(),
+        t.num_edges()
+    );
+    println!(
+        "Region metadata file:\n{}\n",
+        serde_json::to_string_pretty(&s.metadata).unwrap()
+    );
+
+    match case.as_str() {
+        "bogons" => table4a(&s),
+        "reuse-safety" => table4b(&s),
+        "reuse-liveness" => table4c(&s),
+        _ => {
+            table4a(&s);
+            table4b(&s);
+            table4c(&s);
+        }
+    }
+}
+
+/// Table 4a: peering-policy safety properties.
+fn table4a(s: &wan::Scenario) {
+    println!("== Table 4a: Internet peering policies (FromPeer => Q) ==\n");
+    let v = Verifier::new(&s.network.topology, &s.network.policy)
+        .with_ghost(s.from_peer_ghost());
+    let mut table = Table::new(&["property", "checks", "verdict", "total", "solving"]);
+    for (name, q) in s.peering_predicates() {
+        let (props, inv) = s.peering_property_inputs(&q);
+        let report = v.verify_safety_multi(&props, &inv);
+        table.row(vec![
+            name,
+            report.num_checks().to_string(),
+            if report.all_passed() { "verified".into() } else { "VIOLATED".into() },
+            secs(report.total_time),
+            secs(report.solve_time()),
+        ]);
+        if !report.all_passed() {
+            print!("{}", report.format_failures(&s.network.topology));
+        }
+    }
+    table.print();
+    println!();
+}
+
+/// Table 4b: IP-reuse safety per region.
+fn table4b(s: &wan::Scenario) {
+    println!("== Table 4b: IP-reuse safety (reused prefixes stay in-region) ==\n");
+    let mut table = Table::new(&["region", "community", "properties", "checks", "verdict", "total"]);
+    for k in 0..s.params.regions {
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.from_region_ghost(k));
+        let (props, inv) = s.reuse_safety_inputs(k);
+        let report = v.verify_safety_multi(&props, &inv);
+        table.row(vec![
+            format!("region-{k}"),
+            wan::region_comm(k).to_string(),
+            props.len().to_string(),
+            report.num_checks().to_string(),
+            if report.all_passed() { "verified".into() } else { "VIOLATED".into() },
+            secs(report.total_time),
+        ]);
+        if !report.all_passed() {
+            print!("{}", report.format_failures(&s.network.topology));
+        }
+    }
+    table.print();
+    println!();
+}
+
+/// Table 4c: IP-reuse liveness per region.
+fn table4c(s: &wan::Scenario) {
+    println!("== Table 4c: IP-reuse liveness (reused prefixes reach the gateway) ==\n");
+    let mut table = Table::new(&["region", "path-len", "checks", "verdict", "total"]);
+    for k in 0..s.params.regions {
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.from_region_ghost(k));
+        let Some(spec) = s.reuse_liveness_spec(k) else {
+            println!("region-{k}: skipped (single-router region)");
+            continue;
+        };
+        let report = v.verify_liveness(&spec).expect("valid spec");
+        table.row(vec![
+            format!("region-{k}"),
+            spec.path.len().to_string(),
+            report.num_checks().to_string(),
+            if report.all_passed() { "verified".into() } else { "VIOLATED".into() },
+            secs(report.total_time),
+        ]);
+        if !report.all_passed() {
+            print!("{}", report.format_failures(&s.network.topology));
+        }
+    }
+    table.print();
+    println!();
+}

@@ -1,0 +1,77 @@
+//! Line-oriented lexer for IOS-style configuration text.
+//!
+//! IOS configs are a sequence of lines; top-level statements start at
+//! column 0 and block bodies are indented by at least one space. Lines
+//! starting with `!` (and blank lines) are comments/separators.
+
+/// A tokenized configuration line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number in the source text.
+    pub number: usize,
+    /// True when the line was indented (block body).
+    pub indented: bool,
+    /// Whitespace-separated tokens.
+    pub tokens: Vec<String>,
+}
+
+impl Line {
+    /// The first token (the keyword).
+    pub fn keyword(&self) -> &str {
+        &self.tokens[0]
+    }
+
+    /// Token at index `i`, if present.
+    pub fn tok(&self, i: usize) -> Option<&str> {
+        self.tokens.get(i).map(String::as_str)
+    }
+
+    /// All tokens from index `i` on.
+    pub fn rest(&self, i: usize) -> &[String] {
+        self.tokens.get(i..).unwrap_or(&[])
+    }
+}
+
+/// Tokenize configuration text into lines, dropping comments and blanks.
+pub fn lex(input: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let trimmed = raw.trim_end();
+        if trimmed.trim_start().is_empty() || trimmed.trim_start().starts_with('!') {
+            continue;
+        }
+        let indented = trimmed.starts_with(' ') || trimmed.starts_with('\t');
+        let tokens: Vec<String> = trimmed.split_whitespace().map(str::to_string).collect();
+        out.push(Line { number: i + 1, indented, tokens });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_with_indentation() {
+        let lines = lex("router bgp 65000\n neighbor 10.0.0.1 remote-as 1\n!\n\nip prefix-list P seq 5 permit 10.0.0.0/8\n");
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].indented);
+        assert!(lines[1].indented);
+        assert_eq!(lines[0].keyword(), "router");
+        assert_eq!(lines[1].tok(1), Some("10.0.0.1"));
+        assert_eq!(lines[2].number, 5);
+    }
+
+    #[test]
+    fn comments_and_blanks_dropped() {
+        let lines = lex("! a comment\n\n   \n! another\n");
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn rest_slices() {
+        let lines = lex("set community 100:1 200:2 additive\n");
+        assert_eq!(lines[0].rest(2), &["100:1".to_string(), "200:2".into(), "additive".into()]);
+        assert!(lines[0].rest(9).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Printer: [`ConfigAst`] -> configuration text.
+//!
+//! Used by the synthetic-network generators, which build ASTs and print
+//! them; the printed text is then re-parsed, so the parser is exercised on
+//! every generated network. `parse_config(print_config(ast)) == ast` is a
+//! tested round-trip property.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a configuration AST as IOS-style text.
+pub fn print_config(ast: &ConfigAst) -> String {
+    let mut out = String::new();
+    if !ast.hostname.is_empty() {
+        let _ = writeln!(out, "hostname {}", ast.hostname);
+        out.push_str("!\n");
+    }
+    for (name, entries) in &ast.prefix_lists {
+        for e in entries {
+            let _ = write!(
+                out,
+                "ip prefix-list {} seq {} {} {}",
+                name,
+                e.seq,
+                if e.permit { "permit" } else { "deny" },
+                e.prefix
+            );
+            if let Some(g) = e.ge {
+                let _ = write!(out, " ge {g}");
+            }
+            if let Some(l) = e.le {
+                let _ = write!(out, " le {l}");
+            }
+            out.push('\n');
+        }
+    }
+    for (name, entries) in &ast.community_lists {
+        for e in entries {
+            let comms: Vec<String> = e.communities.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "ip community-list standard {} {} {}",
+                name,
+                if e.permit { "permit" } else { "deny" },
+                comms.join(" ")
+            );
+        }
+    }
+    for (name, entries) in &ast.aspath_acls {
+        for e in entries {
+            let _ = writeln!(
+                out,
+                "ip as-path access-list {} {} {}",
+                name,
+                if e.permit { "permit" } else { "deny" },
+                e.regex
+            );
+        }
+    }
+    if !out.is_empty() && !out.ends_with("!\n") {
+        out.push_str("!\n");
+    }
+    for (name, entries) in &ast.route_maps {
+        for e in entries {
+            let _ = writeln!(
+                out,
+                "route-map {} {} {}",
+                name,
+                if e.permit { "permit" } else { "deny" },
+                e.seq
+            );
+            for m in &e.matches {
+                match m {
+                    MatchAst::PrefixList(names) => {
+                        let _ = writeln!(out, " match ip address prefix-list {}", names.join(" "));
+                    }
+                    MatchAst::Community { lists, exact } => {
+                        let _ = write!(out, " match community {}", lists.join(" "));
+                        if *exact {
+                            out.push_str(" exact-match");
+                        }
+                        out.push('\n');
+                    }
+                    MatchAst::AsPath(names) => {
+                        let _ = writeln!(out, " match as-path {}", names.join(" "));
+                    }
+                    MatchAst::Med(v) => {
+                        let _ = writeln!(out, " match metric {v}");
+                    }
+                    MatchAst::LocalPref(v) => {
+                        let _ = writeln!(out, " match local-preference {v}");
+                    }
+                }
+            }
+            for s in &e.sets {
+                match s {
+                    SetAst::LocalPref(v) => {
+                        let _ = writeln!(out, " set local-preference {v}");
+                    }
+                    SetAst::Med(v) => {
+                        let _ = writeln!(out, " set metric {v}");
+                    }
+                    SetAst::Community { none: true, .. } => {
+                        let _ = writeln!(out, " set community none");
+                    }
+                    SetAst::Community { communities, additive, .. } => {
+                        let cs: Vec<String> =
+                            communities.iter().map(|c| c.to_string()).collect();
+                        let _ = write!(out, " set community {}", cs.join(" "));
+                        if *additive {
+                            out.push_str(" additive");
+                        }
+                        out.push('\n');
+                    }
+                    SetAst::CommListDelete(name) => {
+                        let _ = writeln!(out, " set comm-list {name} delete");
+                    }
+                    SetAst::Prepend(asns) => {
+                        let strs: Vec<String> = asns.iter().map(|a| a.to_string()).collect();
+                        let _ = writeln!(out, " set as-path prepend {}", strs.join(" "));
+                    }
+                    SetAst::NextHop(nh) => {
+                        let [a, b, c, d] = nh.to_be_bytes();
+                        let _ = writeln!(out, " set ip next-hop {a}.{b}.{c}.{d}");
+                    }
+                    SetAst::Origin(o) => {
+                        let _ = writeln!(out, " set origin {o}");
+                    }
+                }
+            }
+            if let Some(c) = &e.continue_to {
+                match c {
+                    Some(seq) => {
+                        let _ = writeln!(out, " continue {seq}");
+                    }
+                    None => out.push_str(" continue\n"),
+                }
+            }
+        }
+        out.push_str("!\n");
+    }
+    if let Some(bgp) = &ast.router_bgp {
+        let _ = writeln!(out, "router bgp {}", bgp.asn);
+        for nbr in bgp.neighbors.values() {
+            if let Some(ra) = nbr.remote_as {
+                let _ = writeln!(out, " neighbor {} remote-as {}", nbr.addr, ra);
+            }
+            if let Some(d) = &nbr.description {
+                let _ = writeln!(out, " neighbor {} description {}", nbr.addr, d);
+            }
+            if let Some(m) = &nbr.route_map_in {
+                let _ = writeln!(out, " neighbor {} route-map {} in", nbr.addr, m);
+            }
+            if let Some(m) = &nbr.route_map_out {
+                let _ = writeln!(out, " neighbor {} route-map {} out", nbr.addr, m);
+            }
+        }
+        for n in &bgp.networks {
+            let _ = writeln!(out, " network {n}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_config;
+
+    #[test]
+    fn roundtrip_sample() {
+        let src = "\
+hostname R9
+!
+ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16 le 24
+ip prefix-list P seq 10 deny 0.0.0.0/0 le 32
+ip community-list standard CL permit 100:1 100:2
+ip community-list standard CL deny 200:1
+ip as-path access-list A permit _65001_
+!
+route-map M deny 5
+ match as-path A
+route-map M permit 10
+ match ip address prefix-list P
+ match community CL exact-match
+ match metric 50
+ set local-preference 150
+ set community 1:1 additive
+ set as-path prepend 65000 65000
+ continue 20
+route-map M permit 20
+ set community none
+ set metric 9
+ set ip next-hop 10.9.9.9
+ set comm-list CL delete
+ set origin egp
+!
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 100
+ neighbor 10.0.0.1 description ISP1
+ neighbor 10.0.0.1 route-map M in
+ neighbor 10.0.0.1 route-map M out
+ network 198.51.100.0/24
+";
+        let ast = parse_config(src).unwrap();
+        let printed = print_config(&ast);
+        let reparsed = parse_config(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        assert_eq!(ast, reparsed, "round-trip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn empty_ast_prints_empty() {
+        let ast = ConfigAst::default();
+        assert_eq!(print_config(&ast), "");
+    }
+}

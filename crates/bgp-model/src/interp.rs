@@ -1,0 +1,365 @@
+//! Concrete route-map interpreter.
+//!
+//! Defines the concrete semantics of the `Import` and `Export` policy
+//! functions from §3.1 of the paper: given a route map and an input route,
+//! produce the transformed route or `None` for `Reject`.
+//!
+//! This interpreter is the ground truth against which Lightyear's symbolic
+//! encoding is differentially tested (the "symbolic/concrete agreement"
+//! property): for every route map `m` and route `r`, the SMT encoding of
+//! `m` evaluated at `r` must equal `apply_route_map(&m, &r)`.
+
+use crate::route::Route;
+use crate::routemap::{Action, MatchCond, RouteMap, RouteMapEntry, SetAction};
+
+/// Evaluate a single match condition against a route.
+pub fn eval_match(cond: &MatchCond, route: &Route) -> bool {
+    match cond {
+        MatchCond::PrefixList(entries) => {
+            for (permit, range) in entries {
+                if range.matches(&route.prefix) {
+                    return *permit;
+                }
+            }
+            false // implicit deny
+        }
+        MatchCond::Community { comms, match_all } => {
+            if *match_all {
+                comms.iter().all(|c| route.has_community(*c))
+            } else {
+                comms.iter().any(|c| route.has_community(*c))
+            }
+        }
+        MatchCond::CommunityList { entries, exact } => {
+            for (permit, comms) in entries {
+                let hit = if *exact {
+                    route.communities.len() == comms.len()
+                        && comms.iter().all(|c| route.has_community(*c))
+                } else {
+                    comms.iter().all(|c| route.has_community(*c))
+                };
+                if hit {
+                    return *permit;
+                }
+            }
+            false
+        }
+        MatchCond::AsPath(entries) => {
+            for (permit, re) in entries {
+                if re.matches(&route.as_path) {
+                    return *permit;
+                }
+            }
+            false
+        }
+        MatchCond::Med(m) => route.med == *m,
+        MatchCond::LocalPref(lp) => route.local_pref == *lp,
+        MatchCond::Always => true,
+    }
+}
+
+/// Apply a set action in place.
+pub fn eval_set(set: &SetAction, route: &mut Route) {
+    match set {
+        SetAction::LocalPref(lp) => route.local_pref = *lp,
+        SetAction::Med(m) => route.med = *m,
+        SetAction::Community { comms, additive } => {
+            if !*additive {
+                route.communities.clear();
+            }
+            route.communities.extend(comms.iter().copied());
+        }
+        SetAction::DeleteCommunities(comms) => {
+            for c in comms {
+                route.communities.remove(c);
+            }
+        }
+        SetAction::ClearCommunities => route.communities.clear(),
+        SetAction::PrependAsPath(asns) => {
+            let mut path = asns.clone();
+            path.extend(route.as_path.iter().copied());
+            route.as_path = path;
+        }
+        SetAction::NextHop(nh) => route.next_hop = *nh,
+        SetAction::Origin(o) => route.origin = *o,
+    }
+}
+
+fn entry_matches(e: &RouteMapEntry, route: &Route) -> bool {
+    e.matches.iter().all(|m| eval_match(m, route))
+}
+
+/// Apply a route map to a route. Returns the transformed route on permit
+/// or `None` on reject (including the implicit deny when no entry
+/// matches).
+///
+/// `continue` semantics: when a permitting entry carries `continue`, its
+/// set actions are applied and evaluation resumes at the target sequence
+/// (or the next entry). If evaluation falls off the end after at least one
+/// permit, the route is accepted.
+pub fn apply_route_map(map: &RouteMap, route: &Route) -> Option<Route> {
+    let mut out = route.clone();
+    let mut idx = 0usize;
+    let mut permitted = false;
+    while idx < map.entries.len() {
+        let e = &map.entries[idx];
+        if entry_matches(e, &out) {
+            match e.action {
+                Action::Deny => return None,
+                Action::Permit => {
+                    for s in &e.sets {
+                        eval_set(s, &mut out);
+                    }
+                    permitted = true;
+                    match &e.continue_to {
+                        None => return Some(out),
+                        Some(None) => idx += 1,
+                        Some(Some(seq)) => match map.index_of_seq_at_least(*seq) {
+                            Some(i) if i > idx => idx = i,
+                            // A continue pointing backwards or at a missing
+                            // tail terminates evaluation (IOS forbids
+                            // backwards continues).
+                            _ => return Some(out),
+                        },
+                    }
+                }
+            }
+        } else {
+            idx += 1;
+        }
+    }
+    if permitted {
+        Some(out)
+    } else {
+        None // implicit deny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::{Ipv4Prefix, PrefixRange};
+    use crate::route::Community;
+    use crate::routemap::RouteMapEntry;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn implicit_deny_on_empty_map() {
+        let rm = RouteMap::new("EMPTY");
+        let r = Route::new(p("10.0.0.0/8"));
+        assert_eq!(apply_route_map(&rm, &r), None);
+    }
+
+    #[test]
+    fn permit_all_is_identity() {
+        let rm = RouteMap::permit_all("ALL");
+        let r = Route::new(p("10.0.0.0/8")).with_local_pref(123);
+        assert_eq!(apply_route_map(&rm, &r), Some(r));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut rm = RouteMap::new("T");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .matching(MatchCond::PrefixList(vec![(
+                    true,
+                    PrefixRange::orlonger(p("10.0.0.0/8")),
+                )]))
+                .setting(SetAction::LocalPref(200)),
+        );
+        rm.push(RouteMapEntry::permit(20).setting(SetAction::LocalPref(50)));
+
+        let ten = Route::new(p("10.1.0.0/16"));
+        assert_eq!(apply_route_map(&rm, &ten).unwrap().local_pref, 200);
+        let other = Route::new(p("192.168.0.0/16"));
+        assert_eq!(apply_route_map(&rm, &other).unwrap().local_pref, 50);
+    }
+
+    #[test]
+    fn deny_entry_rejects() {
+        let mut rm = RouteMap::new("T");
+        rm.push(RouteMapEntry::deny(10).matching(MatchCond::Community {
+            comms: vec![c("100:1")],
+            match_all: false,
+        }));
+        rm.push(RouteMapEntry::permit(20));
+
+        let tagged = Route::new(p("10.0.0.0/8")).with_community(c("100:1"));
+        assert_eq!(apply_route_map(&rm, &tagged), None);
+        let clean = Route::new(p("10.0.0.0/8"));
+        assert!(apply_route_map(&rm, &clean).is_some());
+    }
+
+    #[test]
+    fn community_set_replace_vs_additive() {
+        let r = Route::new(p("10.0.0.0/8")).with_community(c("1:1"));
+
+        let mut replace = RouteMap::new("R");
+        replace.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![c("2:2")],
+            additive: false,
+        }));
+        let out = apply_route_map(&replace, &r).unwrap();
+        assert!(!out.has_community(c("1:1")));
+        assert!(out.has_community(c("2:2")));
+
+        let mut additive = RouteMap::new("A");
+        additive.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![c("2:2")],
+            additive: true,
+        }));
+        let out = apply_route_map(&additive, &r).unwrap();
+        assert!(out.has_community(c("1:1")));
+        assert!(out.has_community(c("2:2")));
+    }
+
+    #[test]
+    fn delete_and_clear_communities() {
+        let r = Route::new(p("10.0.0.0/8"))
+            .with_community(c("1:1"))
+            .with_community(c("2:2"));
+
+        let mut del = RouteMap::new("D");
+        del.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::DeleteCommunities(vec![c("1:1"), c("9:9")])),
+        );
+        let out = apply_route_map(&del, &r).unwrap();
+        assert!(!out.has_community(c("1:1")));
+        assert!(out.has_community(c("2:2")));
+
+        let mut clear = RouteMap::new("C");
+        clear.push(RouteMapEntry::permit(10).setting(SetAction::ClearCommunities));
+        let out = apply_route_map(&clear, &r).unwrap();
+        assert!(out.communities.is_empty());
+    }
+
+    #[test]
+    fn prepend_as_path() {
+        let r = Route::new(p("10.0.0.0/8")).with_as_path(vec![3356]);
+        let mut rm = RouteMap::new("P");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::PrependAsPath(vec![65001, 65001])),
+        );
+        let out = apply_route_map(&rm, &r).unwrap();
+        assert_eq!(out.as_path, vec![65001, 65001, 3356]);
+    }
+
+    #[test]
+    fn match_as_path_acl() {
+        let re = crate::aspath::AsPathRegex::compile("_65001_").unwrap();
+        let mut rm = RouteMap::new("T");
+        rm.push(RouteMapEntry::deny(10).matching(MatchCond::AsPath(vec![(true, re)])));
+        rm.push(RouteMapEntry::permit(20));
+
+        let bad = Route::new(p("10.0.0.0/8")).with_as_path(vec![1, 65001]);
+        assert_eq!(apply_route_map(&rm, &bad), None);
+        let ok = Route::new(p("10.0.0.0/8")).with_as_path(vec![1, 2]);
+        assert!(apply_route_map(&rm, &ok).is_some());
+    }
+
+    #[test]
+    fn prefix_list_permit_deny_order() {
+        // deny 10.1.0.0/16, permit 10.0.0.0/8 orlonger
+        let pl = vec![
+            (false, PrefixRange::exact(p("10.1.0.0/16"))),
+            (true, PrefixRange::orlonger(p("10.0.0.0/8"))),
+        ];
+        let mut rm = RouteMap::new("T");
+        rm.push(RouteMapEntry::permit(10).matching(MatchCond::PrefixList(pl)));
+
+        assert!(apply_route_map(&rm, &Route::new(p("10.2.0.0/16"))).is_some());
+        assert_eq!(apply_route_map(&rm, &Route::new(p("10.1.0.0/16"))), None);
+        assert_eq!(apply_route_map(&rm, &Route::new(p("11.0.0.0/8"))), None);
+    }
+
+    #[test]
+    fn continue_applies_multiple_entries() {
+        let mut rm = RouteMap::new("T");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::LocalPref(150))
+                .continuing(Some(30)),
+        );
+        rm.push(RouteMapEntry::permit(20).setting(SetAction::LocalPref(1)));
+        rm.push(RouteMapEntry::permit(30).setting(SetAction::Med(77)));
+
+        let out = apply_route_map(&rm, &Route::new(p("10.0.0.0/8"))).unwrap();
+        assert_eq!(out.local_pref, 150); // entry 20 skipped
+        assert_eq!(out.med, 77);
+    }
+
+    #[test]
+    fn continue_off_the_end_accepts() {
+        let mut rm = RouteMap::new("T");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::Med(5))
+                .continuing(None),
+        );
+        let out = apply_route_map(&rm, &Route::new(p("10.0.0.0/8"))).unwrap();
+        assert_eq!(out.med, 5);
+    }
+
+    #[test]
+    fn continue_then_deny_rejects() {
+        let mut rm = RouteMap::new("T");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::Med(5))
+                .continuing(None),
+        );
+        rm.push(RouteMapEntry::deny(20));
+        assert_eq!(apply_route_map(&rm, &Route::new(p("10.0.0.0/8"))), None);
+    }
+
+    #[test]
+    fn set_origin() {
+        use crate::route::Origin;
+        let mut rm = RouteMap::new("O");
+        rm.push(RouteMapEntry::permit(10).setting(SetAction::Origin(Origin::Egp)));
+        let r = Route::new(p("10.0.0.0/8"));
+        assert_eq!(apply_route_map(&rm, &r).unwrap().origin, Origin::Egp);
+    }
+
+    #[test]
+    fn med_and_lp_matches() {
+        let mut rm = RouteMap::new("T");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .matching(MatchCond::Med(50))
+                .matching(MatchCond::LocalPref(100)),
+        );
+        let hit = Route::new(p("10.0.0.0/8")).with_med(50);
+        assert!(apply_route_map(&rm, &hit).is_some());
+        let miss = Route::new(p("10.0.0.0/8")).with_med(51);
+        assert_eq!(apply_route_map(&rm, &miss), None);
+    }
+
+    #[test]
+    fn sets_affect_later_matches() {
+        // Entry 10 sets MED 50 and continues; entry 20 matches MED 50.
+        let mut rm = RouteMap::new("T");
+        rm.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::Med(50))
+                .continuing(None),
+        );
+        rm.push(
+            RouteMapEntry::permit(20)
+                .matching(MatchCond::Med(50))
+                .setting(SetAction::LocalPref(999)),
+        );
+        let out = apply_route_map(&rm, &Route::new(p("10.0.0.0/8"))).unwrap();
+        assert_eq!(out.local_pref, 999);
+    }
+}

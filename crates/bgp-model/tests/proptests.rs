@@ -1,0 +1,331 @@
+//! Property-based tests for the BGP substrate.
+//!
+//! * The prefix trie agrees with naive scans for exact lookup, longest
+//!   match and covering queries.
+//! * The AS-path NFA engine agrees with a naive backtracking reference
+//!   matcher on randomly generated patterns and paths.
+//! * Route-map interpretation is deterministic and `permit_all` is the
+//!   identity on arbitrary routes.
+//! * The simulator is deterministic and always produces axiom-valid
+//!   traces under random policies.
+
+use bgp_model::prefix::{Ipv4Prefix, PrefixTrie};
+use bgp_model::routemap::{MatchCond, RouteMap, RouteMapEntry, SetAction};
+use bgp_model::sim::{simulate, SimOptions};
+use bgp_model::trace::check_safety_axioms;
+use bgp_model::{apply_route_map, AsPathRegex, Community, Policy, Route, Topology};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Prefix trie vs naive
+// ---------------------------------------------------------------------------
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trie_agrees_with_naive(
+        prefixes in prop::collection::vec(arb_prefix(), 0..30),
+        queries in prop::collection::vec(arb_prefix(), 0..10),
+        addrs in prop::collection::vec(any::<u32>(), 0..10),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut naive: Vec<(Ipv4Prefix, usize)> = Vec::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+            naive.retain(|(q, _)| q != p);
+            naive.push((*p, i));
+        }
+        prop_assert_eq!(trie.len(), naive.len());
+
+        for q in &queries {
+            let expect = naive.iter().find(|(p, _)| p == q).map(|(_, v)| v);
+            prop_assert_eq!(trie.get(q), expect);
+            let expect_cover = naive.iter().any(|(p, _)| p.covers(q));
+            prop_assert_eq!(trie.any_covering(q), expect_cover, "covering {}", q);
+        }
+        for &a in &addrs {
+            let expect = naive
+                .iter()
+                .filter(|(p, _)| p.contains_addr(a))
+                .max_by_key(|(p, _)| p.len)
+                .map(|(p, v)| (*p, v));
+            prop_assert_eq!(trie.longest_match(a), expect);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AS-path regex vs naive backtracking
+// ---------------------------------------------------------------------------
+
+/// A tiny pattern AST we can both render to regex text and match naively.
+#[derive(Clone, Debug)]
+enum Pat {
+    Lit(u32),
+    Any,
+    Range(u32, u32),
+    Star(Box<Pat>),
+    Plus(Box<Pat>),
+    Opt(Box<Pat>),
+    Seq(Vec<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+}
+
+fn render(p: &Pat, out: &mut String) {
+    match p {
+        Pat::Lit(n) => out.push_str(&n.to_string()),
+        Pat::Any => out.push('.'),
+        Pat::Range(a, b) => out.push_str(&format!("[{a}-{b}]")),
+        Pat::Star(x) => {
+            out.push('(');
+            render(x, out);
+            out.push_str(")*");
+        }
+        Pat::Plus(x) => {
+            out.push('(');
+            render(x, out);
+            out.push_str(")+");
+        }
+        Pat::Opt(x) => {
+            out.push('(');
+            render(x, out);
+            out.push_str(")?");
+        }
+        Pat::Seq(xs) => {
+            for x in xs {
+                out.push('(');
+                render(x, out);
+                out.push(')');
+            }
+        }
+        Pat::Alt(a, b) => {
+            out.push('(');
+            render(a, out);
+            out.push('|');
+            render(b, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Naive matcher: set of suffix positions reachable after consuming.
+fn naive_match(p: &Pat, toks: &[u32], starts: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    match p {
+        Pat::Lit(n) => {
+            for &s in starts {
+                if toks.get(s) == Some(n) {
+                    out.push(s + 1);
+                }
+            }
+        }
+        Pat::Any => {
+            for &s in starts {
+                if s < toks.len() {
+                    out.push(s + 1);
+                }
+            }
+        }
+        Pat::Range(a, b) => {
+            for &s in starts {
+                if let Some(t) = toks.get(s) {
+                    if (*a..=*b).contains(t) {
+                        out.push(s + 1);
+                    }
+                }
+            }
+        }
+        Pat::Star(x) => {
+            let mut frontier: Vec<usize> = starts.to_vec();
+            out.extend_from_slice(starts);
+            loop {
+                let next = naive_match(x, toks, &frontier);
+                let new: Vec<usize> =
+                    next.into_iter().filter(|n| !out.contains(n)).collect();
+                if new.is_empty() {
+                    break;
+                }
+                out.extend_from_slice(&new);
+                frontier = new;
+            }
+        }
+        Pat::Plus(x) => {
+            let once = naive_match(x, toks, starts);
+            let star = naive_match(&Pat::Star(x.clone()), toks, &once);
+            out = star;
+        }
+        Pat::Opt(x) => {
+            out.extend_from_slice(starts);
+            for n in naive_match(x, toks, starts) {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        Pat::Seq(xs) => {
+            let mut cur: Vec<usize> = starts.to_vec();
+            for x in xs {
+                cur = naive_match(x, toks, &cur);
+                if cur.is_empty() {
+                    break;
+                }
+            }
+            out = cur;
+        }
+        Pat::Alt(a, b) => {
+            out = naive_match(a, toks, starts);
+            for n in naive_match(b, toks, starts) {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Unanchored substring semantics like the engine's default.
+fn naive_substring_match(p: &Pat, toks: &[u32]) -> bool {
+    let starts: Vec<usize> = (0..=toks.len()).collect();
+    !naive_match(p, toks, &starts).is_empty()
+}
+
+fn arb_pat() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(Pat::Lit),
+        Just(Pat::Any),
+        (0u32..4, 0u32..4).prop_map(|(a, b)| Pat::Range(a.min(b), a.max(b))),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Pat::Star(Box::new(x))),
+            inner.clone().prop_map(|x| Pat::Plus(Box::new(x))),
+            inner.clone().prop_map(|x| Pat::Opt(Box::new(x))),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Pat::Seq),
+            (inner.clone(), inner).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_agrees_with_backtracking(
+        pat in arb_pat(),
+        path in prop::collection::vec(0u32..6, 0..8),
+    ) {
+        let mut text = String::new();
+        render(&pat, &mut text);
+        let re = AsPathRegex::compile(&text)
+            .unwrap_or_else(|e| panic!("generated pattern {text:?} failed: {e}"));
+        let expect = naive_substring_match(&pat, &path);
+        prop_assert_eq!(re.matches(&path), expect, "pattern {} on {:?}", text, path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Route maps and the simulator
+// ---------------------------------------------------------------------------
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    (
+        arb_prefix(),
+        prop::collection::btree_set((0u16..3, 0u16..3).prop_map(|(h, l)| Community::new(h, l)), 0..3),
+        0u32..300,
+        0u32..50,
+    )
+        .prop_map(|(p, comms, lp, med)| {
+            let mut r = Route::new(p).with_local_pref(lp).with_med(med);
+            r.communities = comms;
+            r
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn permit_all_is_identity(route in arb_route()) {
+        let m = RouteMap::permit_all("ALL");
+        prop_assert_eq!(apply_route_map(&m, &route), Some(route));
+    }
+
+    #[test]
+    fn deny_entry_rejects_everything_it_matches(route in arb_route()) {
+        let mut m = RouteMap::new("D");
+        m.push(RouteMapEntry::deny(10).matching(MatchCond::Always));
+        m.push(RouteMapEntry::permit(20));
+        prop_assert_eq!(apply_route_map(&m, &route), None);
+    }
+
+    #[test]
+    fn set_then_match_consistent(route in arb_route(), lp in 0u32..300) {
+        // Setting local-pref then matching it must behave like the
+        // combined value.
+        let mut m = RouteMap::new("S");
+        m.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::LocalPref(lp))
+                .continuing(None),
+        );
+        m.push(
+            RouteMapEntry::permit(20)
+                .matching(MatchCond::LocalPref(lp))
+                .setting(SetAction::Med(7)),
+        );
+        let out = apply_route_map(&m, &route).expect("permits");
+        prop_assert_eq!(out.local_pref, lp);
+        prop_assert_eq!(out.med, 7);
+    }
+
+    #[test]
+    fn simulator_traces_always_satisfy_axioms(
+        seed_routes in prop::collection::vec(arb_route(), 1..4),
+        strip in any::<bool>(),
+        lp in 100u32..200,
+    ) {
+        // Two routers, two externals, randomized import policy.
+        let mut t = Topology::new();
+        let r1 = t.add_router("R1", 65000);
+        let r2 = t.add_router("R2", 65000);
+        let x1 = t.add_external("X1", 1);
+        let x2 = t.add_external("X2", 2);
+        t.add_session(r1, r2);
+        t.add_session(x1, r1);
+        t.add_session(x2, r2);
+
+        let mut pol = Policy::new();
+        let mut m = RouteMap::new("IN");
+        let mut entry = RouteMapEntry::permit(10).setting(SetAction::LocalPref(lp));
+        if strip {
+            entry = entry.setting(SetAction::ClearCommunities);
+        }
+        m.push(entry);
+        pol.set_import(t.edge_between(x1, r1).unwrap(), m);
+
+        let mut announcements = Vec::new();
+        for (i, r) in seed_routes.iter().enumerate() {
+            let edge = if i % 2 == 0 {
+                t.edge_between(x1, r1).unwrap()
+            } else {
+                t.edge_between(x2, r2).unwrap()
+            };
+            announcements.push((edge, r.clone()));
+        }
+        let res = simulate(&t, &pol, &announcements, SimOptions::default());
+        prop_assert!(res.converged);
+        prop_assert!(check_safety_axioms(&res.trace, &t, &pol).is_ok());
+
+        // Determinism.
+        let res2 = simulate(&t, &pol, &announcements, SimOptions::default());
+        prop_assert_eq!(res.trace.events, res2.trace.events);
+    }
+}

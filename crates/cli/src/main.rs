@@ -1,0 +1,272 @@
+//! `lightyear` — verify BGP configurations against a JSON property spec.
+//!
+//! ```text
+//! USAGE:
+//!   lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]
+//!   lightyear parse  --configs <DIR>
+//!   lightyear lint   --configs <DIR>
+//!   lightyear spec-template
+//!
+//! COMMANDS:
+//!   verify          parse every *.cfg/*.conf in DIR, lower, and run all
+//!                   safety properties in the spec; exit code 1 when any
+//!                   check fails
+//!   parse           parse + lower only; print the topology summary and
+//!                   lowering warnings
+//!   lint            run rcc-style best-practice lints; exit code 1 on
+//!                   any error-severity finding
+//!   spec-template   print an example spec.json to stdout
+//! ```
+
+mod spec;
+
+use bgp_config::{lower, parse_config, Network};
+use lightyear::engine::{RunMode, Verifier};
+use spec::Spec;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n  \
+         lightyear parse --configs <DIR>\n  lightyear spec-template"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "verify" => cmd_verify(&args[1..]),
+        "parse" => cmd_parse(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
+        "spec-template" => {
+            println!("{}", template());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn load_configs(dir: &Path) -> Result<Vec<bgp_config::ConfigAst>, String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir:?}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|x| x.to_str()),
+                Some("cfg") | Some("conf") | Some("txt")
+            )
+        })
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!("no *.cfg/*.conf/*.txt files in {dir:?}"));
+    }
+    let mut configs = Vec::new();
+    for p in &entries {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"))?;
+        let ast = parse_config(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        configs.push(ast);
+    }
+    Ok(configs)
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let Some(dir) = flag_value(args, "--configs") else { return usage() };
+    let configs = match load_configs(Path::new(&dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = bgp_config::lint(&configs);
+    for f in &findings {
+        println!("{f}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == bgp_config::Severity::Error)
+        .count();
+    println!(
+        "{} finding(s), {} error(s) across {} configuration(s)",
+        findings.len(),
+        errors,
+        configs.len()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_network(dir: &Path) -> Result<Network, String> {
+    let configs = load_configs(dir)?;
+    lower(&configs).map_err(|e| e.to_string())
+}
+
+fn cmd_parse(args: &[String]) -> ExitCode {
+    let Some(dir) = flag_value(args, "--configs") else { return usage() };
+    match load_network(Path::new(&dir)) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(net) => {
+            let t = &net.topology;
+            println!(
+                "{} routers, {} external neighbors, {} directed edges",
+                t.router_ids().count(),
+                t.external_ids().count(),
+                t.num_edges()
+            );
+            for n in t.router_ids() {
+                let node = t.node(n);
+                println!(
+                    "  {} (AS {}), {} sessions",
+                    node.name,
+                    node.asn,
+                    t.out_edges(n).len()
+                );
+            }
+            for w in &net.warnings {
+                println!("warning: {w}");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let (Some(dir), Some(spec_path)) =
+        (flag_value(args, "--configs"), flag_value(args, "--spec"))
+    else {
+        return usage();
+    };
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let as_json = args.iter().any(|a| a == "--json");
+
+    let net = match load_network(Path::new(&dir)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec_text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: Spec = match serde_json::from_str(&spec_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: bad spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let topo = &net.topology;
+    let mut verifier = Verifier::new(topo, &net.policy).with_mode(if parallel {
+        RunMode::Parallel
+    } else {
+        RunMode::Sequential
+    });
+    for g in &spec.ghosts {
+        match g.resolve(topo) {
+            Ok(g) => verifier = verifier.with_ghost(g),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut any_failed = false;
+    let mut json_out = Vec::new();
+    for s in &spec.safety {
+        let (prop, inv) = match s.resolve(topo) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = verifier.verify_safety(&prop, &inv);
+        let passed = report.all_passed();
+        any_failed |= !passed;
+        if as_json {
+            json_out.push(serde_json::json!({
+                "property": s.name,
+                "passed": passed,
+                "checks": report.num_checks(),
+                "total_seconds": report.total_time.as_secs_f64(),
+                "solve_seconds": report.solve_time().as_secs_f64(),
+                "failures": report.failures().iter().map(|f| {
+                    serde_json::json!({
+                        "kind": f.check.kind.to_string(),
+                        "location": f.check.location.display(topo),
+                        "route_map": f.check.map_name,
+                        "description": f.check.description,
+                    })
+                }).collect::<Vec<_>>(),
+            }));
+        } else {
+            println!(
+                "{}: {} ({} checks, {:?})",
+                s.name,
+                if passed { "verified" } else { "VIOLATED" },
+                report.num_checks(),
+                report.total_time
+            );
+            if !passed {
+                print!("{}", report.format_failures(topo));
+            }
+        }
+    }
+    if as_json {
+        println!("{}", serde_json::to_string_pretty(&json_out).unwrap());
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn template() -> String {
+    let spec = Spec {
+        ghosts: vec![spec::GhostSpec {
+            name: "FromISP1".into(),
+            set_true_on_import: vec!["ISP1 -> R1".into()],
+            set_false_on_import: vec!["ISP2 -> R2".into()],
+            ..Default::default()
+        }],
+        safety: vec![spec::SafetySpec {
+            name: "no-transit".into(),
+            location: "R2 -> ISP2".into(),
+            property: lightyear::pred::RoutePred::ghost("FromISP1").not(),
+            invariant_default: lightyear::pred::RoutePred::ghost("FromISP1")
+                .implies(lightyear::pred::RoutePred::has_community(
+                    bgp_model::Community::new(100, 1),
+                )),
+            invariant_overrides: [(
+                "R2 -> ISP2".to_string(),
+                lightyear::pred::RoutePred::ghost("FromISP1").not(),
+            )]
+            .into_iter()
+            .collect(),
+        }],
+    };
+    serde_json::to_string_pretty(&spec).unwrap()
+}

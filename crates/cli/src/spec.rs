@@ -1,0 +1,233 @@
+//! The JSON verification-spec format.
+//!
+//! A spec names locations by router names (`"R1"`) or edge strings
+//! (`"R1 -> ISP2"`), defines ghost attributes by their update edges, and
+//! states properties/invariants as [`RoutePred`] values (which serialize
+//! naturally via serde).
+//!
+//! ```json
+//! {
+//!   "ghosts": [
+//!     { "name": "FromISP1",
+//!       "set_true_on_import": ["ISP1 -> R1"],
+//!       "set_false_on_import": ["ISP2 -> R2"] }
+//!   ],
+//!   "safety": [
+//!     { "name": "no-transit",
+//!       "location": "R2 -> ISP2",
+//!       "property": { "Not": { "Ghost": "FromISP1" } },
+//!       "invariant_default": { "Or": [ { "Not": { "Ghost": "FromISP1" } },
+//!                                       { "HasCommunity": 6553601 } ] },
+//!       "invariant_overrides": {
+//!         "R2 -> ISP2": { "Not": { "Ghost": "FromISP1" } } } }
+//!   ]
+//! }
+//! ```
+
+use bgp_model::topology::{EdgeId, Topology};
+use lightyear::ghost::{GhostAttr, GhostUpdate};
+use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::pred::RoutePred;
+use lightyear::safety::SafetyProperty;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A ghost-attribute definition in the spec.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct GhostSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Edges whose import sets the attribute true.
+    #[serde(default)]
+    pub set_true_on_import: Vec<String>,
+    /// Edges whose import sets the attribute false.
+    #[serde(default)]
+    pub set_false_on_import: Vec<String>,
+    /// Edges whose export sets the attribute true.
+    #[serde(default)]
+    pub set_true_on_export: Vec<String>,
+    /// Edges whose export sets the attribute false.
+    #[serde(default)]
+    pub set_false_on_export: Vec<String>,
+    /// Value on originated routes (default false).
+    #[serde(default)]
+    pub originate_value: bool,
+}
+
+/// One safety property with its invariants.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SafetySpec {
+    /// Display name.
+    pub name: String,
+    /// Property location (router name or `"A -> B"`).
+    pub location: String,
+    /// The property predicate.
+    pub property: RoutePred,
+    /// Default invariant for all locations.
+    #[serde(default = "RoutePred::tru")]
+    pub invariant_default: RoutePred,
+    /// Per-location overrides.
+    #[serde(default)]
+    pub invariant_overrides: BTreeMap<String, RoutePred>,
+}
+
+/// The whole verification spec.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct Spec {
+    /// Ghost attribute definitions.
+    #[serde(default)]
+    pub ghosts: Vec<GhostSpec>,
+    /// Safety properties to verify.
+    #[serde(default)]
+    pub safety: Vec<SafetySpec>,
+}
+
+/// Spec-resolution errors (unknown router/edge names).
+#[derive(Clone, Debug)]
+pub struct SpecResolveError(pub String);
+
+impl fmt::Display for SpecResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecResolveError {}
+
+/// Resolve a location string against a topology.
+pub fn resolve_location(topo: &Topology, s: &str) -> Result<Location, SpecResolveError> {
+    if let Some((a, b)) = s.split_once("->") {
+        let a = a.trim();
+        let b = b.trim();
+        let na = topo
+            .node_by_name(a)
+            .ok_or_else(|| SpecResolveError(format!("unknown router {a:?}")))?;
+        let nb = topo
+            .node_by_name(b)
+            .ok_or_else(|| SpecResolveError(format!("unknown router {b:?}")))?;
+        let e = topo
+            .edge_between(na, nb)
+            .ok_or_else(|| SpecResolveError(format!("no edge {a} -> {b}")))?;
+        Ok(Location::Edge(e))
+    } else {
+        let n = topo
+            .node_by_name(s.trim())
+            .ok_or_else(|| SpecResolveError(format!("unknown router {s:?}")))?;
+        Ok(Location::Node(n))
+    }
+}
+
+fn resolve_edge(topo: &Topology, s: &str) -> Result<EdgeId, SpecResolveError> {
+    match resolve_location(topo, s)? {
+        Location::Edge(e) => Ok(e),
+        Location::Node(_) => Err(SpecResolveError(format!(
+            "{s:?} names a router; an edge (\"A -> B\") is required"
+        ))),
+    }
+}
+
+impl GhostSpec {
+    /// Resolve into a [`GhostAttr`].
+    pub fn resolve(&self, topo: &Topology) -> Result<GhostAttr, SpecResolveError> {
+        let mut g = GhostAttr::new(&self.name).with_originate_value(self.originate_value);
+        for s in &self.set_true_on_import {
+            g.on_import(resolve_edge(topo, s)?, GhostUpdate::SetTrue);
+        }
+        for s in &self.set_false_on_import {
+            g.on_import(resolve_edge(topo, s)?, GhostUpdate::SetFalse);
+        }
+        for s in &self.set_true_on_export {
+            g.on_export(resolve_edge(topo, s)?, GhostUpdate::SetTrue);
+        }
+        for s in &self.set_false_on_export {
+            g.on_export(resolve_edge(topo, s)?, GhostUpdate::SetFalse);
+        }
+        Ok(g)
+    }
+}
+
+impl SafetySpec {
+    /// Resolve into verifier inputs.
+    pub fn resolve(
+        &self,
+        topo: &Topology,
+    ) -> Result<(SafetyProperty, NetworkInvariants), SpecResolveError> {
+        let loc = resolve_location(topo, &self.location)?;
+        let prop = SafetyProperty::new(loc, self.property.clone()).named(&self.name);
+        let mut inv = NetworkInvariants::with_default(self.invariant_default.clone());
+        for (l, p) in &self.invariant_overrides {
+            inv.set(resolve_location(topo, l)?, p.clone());
+        }
+        Ok((prop, inv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        let r1 = t.add_router("R1", 65000);
+        let x = t.add_external("ISP1", 100);
+        t.add_session(x, r1);
+        t
+    }
+
+    #[test]
+    fn location_resolution() {
+        let t = topo();
+        assert!(matches!(resolve_location(&t, "R1"), Ok(Location::Node(_))));
+        assert!(matches!(resolve_location(&t, "ISP1 -> R1"), Ok(Location::Edge(_))));
+        assert!(matches!(resolve_location(&t, " ISP1->R1 "), Ok(Location::Edge(_))));
+        assert!(resolve_location(&t, "NOPE").is_err());
+        assert!(resolve_location(&t, "R1 -> NOPE").is_err());
+    }
+
+    #[test]
+    fn ghost_resolution() {
+        let t = topo();
+        let gs = GhostSpec {
+            name: "G".into(),
+            set_true_on_import: vec!["ISP1 -> R1".into()],
+            ..Default::default()
+        };
+        let g = gs.resolve(&t).unwrap();
+        let e = resolve_edge(&t, "ISP1 -> R1").unwrap();
+        assert_eq!(g.import_update(e), GhostUpdate::SetTrue);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = Spec {
+            ghosts: vec![GhostSpec {
+                name: "FromISP1".into(),
+                set_true_on_import: vec!["ISP1 -> R1".into()],
+                ..Default::default()
+            }],
+            safety: vec![SafetySpec {
+                name: "p".into(),
+                location: "R1".into(),
+                property: RoutePred::ghost("FromISP1").not(),
+                invariant_default: RoutePred::True,
+                invariant_overrides: BTreeMap::new(),
+            }],
+        };
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: Spec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ghosts[0].name, "FromISP1");
+        assert_eq!(back.safety[0].property, RoutePred::ghost("FromISP1").not());
+    }
+
+    #[test]
+    fn edge_required_for_ghosts() {
+        let t = topo();
+        let gs = GhostSpec {
+            name: "G".into(),
+            set_true_on_import: vec!["R1".into()],
+            ..Default::default()
+        };
+        assert!(gs.resolve(&t).is_err());
+    }
+}

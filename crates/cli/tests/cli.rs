@@ -1,0 +1,208 @@
+//! End-to-end tests of the `lightyear` binary: write configs + spec to a
+//! temp directory, invoke the binary, check output and exit codes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lightyear")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lightyear-cli-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+const R1: &str = "\
+hostname R1
+route-map FROM-ISP1 permit 10
+ set community 100:1 additive
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 100
+ neighbor 10.0.0.1 description ISP1
+ neighbor 10.0.0.1 route-map FROM-ISP1 in
+ neighbor 10.0.12.2 remote-as 65000
+ neighbor 10.0.12.2 description R2
+";
+
+const R2: &str = "\
+hostname R2
+ip community-list standard TRANSIT permit 100:1
+route-map TO-ISP2 deny 10
+ match community TRANSIT
+route-map TO-ISP2 permit 20
+route-map FROM-ISP2 permit 10
+ set community none
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 200
+ neighbor 10.0.0.2 description ISP2
+ neighbor 10.0.0.2 route-map FROM-ISP2 in
+ neighbor 10.0.0.2 route-map TO-ISP2 out
+ neighbor 10.0.12.1 remote-as 65000
+ neighbor 10.0.12.1 description R1
+";
+
+const SPEC: &str = r#"{
+  "ghosts": [
+    { "name": "FromISP1",
+      "set_true_on_import": ["ISP1 -> R1"],
+      "set_false_on_import": ["ISP2 -> R2"] }
+  ],
+  "safety": [
+    { "name": "no-transit",
+      "location": "R2 -> ISP2",
+      "property": { "Not": { "Ghost": "FromISP1" } },
+      "invariant_default": { "Or": [ { "Not": { "Ghost": "FromISP1" } },
+                                     { "HasCommunity": 6553601 } ] },
+      "invariant_overrides": {
+        "R2 -> ISP2": { "Not": { "Ghost": "FromISP1" } } } }
+  ]
+}"#;
+
+fn write_net(dir: &PathBuf, r2: &str) {
+    fs::write(dir.join("r1.cfg"), R1).unwrap();
+    fs::write(dir.join("r2.cfg"), r2).unwrap();
+    fs::write(dir.join("spec.json"), SPEC).unwrap();
+}
+
+#[test]
+fn verify_passes_on_correct_network() {
+    let d = tmpdir("pass");
+    write_net(&d, R2);
+    let out = Command::new(bin())
+        .args(["verify", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("no-transit: verified"), "{stdout}");
+}
+
+#[test]
+fn verify_fails_and_localizes_on_broken_network() {
+    let d = tmpdir("fail");
+    let broken = R2.replace(" neighbor 10.0.0.2 route-map TO-ISP2 out\n", "");
+    write_net(&d, &broken);
+    let out = Command::new(bin())
+        .args(["verify", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+    assert!(stdout.contains("R2 -> ISP2"), "{stdout}");
+}
+
+#[test]
+fn verify_json_output() {
+    let d = tmpdir("json");
+    write_net(&d, R2);
+    let out = Command::new(bin())
+        .args(["verify", "--json", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    assert_eq!(v[0]["property"], "no-transit");
+    assert_eq!(v[0]["passed"], true);
+    assert!(v[0]["checks"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn parse_prints_topology() {
+    let d = tmpdir("parse");
+    write_net(&d, R2);
+    let out = Command::new(bin())
+        .args(["parse", "--configs"])
+        .arg(&d)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 routers"), "{stdout}");
+    assert!(stdout.contains("R1 (AS 65000)"), "{stdout}");
+}
+
+#[test]
+fn spec_template_roundtrips() {
+    let out = Command::new(bin()).arg("spec-template").output().unwrap();
+    assert!(out.status.success());
+    let _: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+}
+
+#[test]
+fn bad_inputs_give_clean_errors() {
+    let d = tmpdir("bad");
+    fs::create_dir_all(&d).unwrap();
+    // Empty dir.
+    let out = Command::new(bin())
+        .args(["parse", "--configs"])
+        .arg(&d)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no *.cfg"));
+
+    // Unknown location in spec.
+    write_net(&d, R2);
+    fs::write(
+        d.join("spec.json"),
+        r#"{"safety":[{"name":"x","location":"NOPE","property":"True"}]}"#,
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args(["verify", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown router"));
+}
+
+#[test]
+fn lint_reports_findings() {
+    let d = tmpdir("lint");
+    fs::write(
+        d.join("r1.cfg"),
+        "hostname R1\nip prefix-list LONELY seq 5 permit 10.0.0.0/8\nroute-map IN permit 10\nrouter bgp 65000\n neighbor 1.1.1.1 remote-as 100\n neighbor 1.1.1.1 description ISP\n neighbor 1.1.1.1 route-map IN in\n",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args(["lint", "--configs"])
+        .arg(&d)
+        .output()
+        .unwrap();
+    // Warnings only -> success exit code.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("unused-prefix-list"), "{stdout}");
+
+    // A dangling reference is an error -> failure exit code.
+    fs::write(
+        d.join("r1.cfg"),
+        "hostname R1\nroute-map M permit 10\n match ip address prefix-list NOPE\nrouter bgp 65000\n neighbor 1.1.1.1 remote-as 100\n neighbor 1.1.1.1 description X\n neighbor 1.1.1.1 route-map M in\n",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args(["lint", "--configs"])
+        .arg(&d)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("dangling-prefix-list"));
+}

@@ -1,0 +1,247 @@
+//! Check descriptors, results, counterexamples and reports.
+//!
+//! Every generated check pertains to a single BGP filter on a single
+//! router (§2.1 "Localization"): a failed check carries the edge, the
+//! route-map name and a concrete input/output route pair, pinpointing the
+//! erroneous policy directly.
+
+use crate::invariants::Location;
+use crate::symbolic::ConcreteRoute;
+use bgp_model::topology::{EdgeId, Topology};
+use smt::SolverStats;
+use std::fmt;
+use std::time::Duration;
+
+/// What a check verifies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Import filter preserves the invariants (§4.2 check 1).
+    Import,
+    /// Export filter preserves the invariants (§4.2 check 2).
+    Export,
+    /// Originated routes satisfy the edge invariant (§4.2 check 3).
+    Originate,
+    /// The invariant at the property location implies the property.
+    Subsumption,
+    /// Liveness: a "good" route survives a path step (§5.2).
+    Propagation,
+    /// Liveness: same-prefix routes accepted on the path are "good" (§5.2).
+    NoInterference,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::Import => "import",
+            CheckKind::Export => "export",
+            CheckKind::Originate => "originate",
+            CheckKind::Subsumption => "subsumption",
+            CheckKind::Propagation => "propagation",
+            CheckKind::NoInterference => "no-interference",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A local check to be discharged.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Stable id within a run.
+    pub id: usize,
+    /// What kind of check.
+    pub kind: CheckKind,
+    /// The location the check pertains to.
+    pub location: Location,
+    /// The edge whose filter is checked (when applicable).
+    pub edge: Option<EdgeId>,
+    /// The route-map under test, if one is attached.
+    pub map_name: Option<String>,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A counterexample to a failed check.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The input route violating the check.
+    pub input: ConcreteRoute,
+    /// The filter output (when the check involves a transfer and the
+    /// route was not rejected).
+    pub output: Option<ConcreteRoute>,
+    /// Whether the filter rejected the input in the model.
+    pub rejected: bool,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input:  {}", self.input)?;
+        if self.rejected {
+            write!(f, "\noutput: (rejected)")?;
+        } else if let Some(o) = &self.output {
+            write!(f, "\noutput: {o}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one check.
+#[derive(Clone, Debug)]
+pub enum CheckResult {
+    /// The check holds.
+    Pass,
+    /// The check fails, with a concrete counterexample.
+    Fail(Counterexample),
+}
+
+impl CheckResult {
+    /// True on pass.
+    pub fn passed(&self) -> bool {
+        matches!(self, CheckResult::Pass)
+    }
+}
+
+/// One executed check: descriptor, outcome and solver statistics.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The check.
+    pub check: Check,
+    /// Its result.
+    pub result: CheckResult,
+    /// SMT statistics for this check (Figure 3b metrics).
+    pub stats: SolverStats,
+}
+
+/// The result of verifying a property: all check outcomes plus timing.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Per-check outcomes.
+    pub outcomes: Vec<CheckOutcome>,
+    /// Wall-clock time for the whole run.
+    pub total_time: Duration,
+}
+
+impl Report {
+    /// True when every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.passed())
+    }
+
+    /// The failed outcomes.
+    pub fn failures(&self) -> Vec<&CheckOutcome> {
+        self.outcomes.iter().filter(|o| !o.result.passed()).collect()
+    }
+
+    /// Number of checks run.
+    pub fn num_checks(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Maximum SAT variable count over all checks (Figure 3b, left axis).
+    pub fn max_vars(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.stats.num_vars).max().unwrap_or(0)
+    }
+
+    /// Maximum clause count over all checks (Figure 3b, right axis).
+    pub fn max_clauses(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.stats.num_clauses).max().unwrap_or(0)
+    }
+
+    /// Total time spent inside the SAT solver (Figure 3d, solving curve).
+    pub fn solve_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.stats.solve_time).sum()
+    }
+
+    /// Total time spent encoding.
+    pub fn encode_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.stats.encode_time).sum()
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.outcomes.extend(other.outcomes);
+        self.total_time += other.total_time;
+    }
+
+    /// Render failures with topology names.
+    pub fn format_failures(&self, topo: &Topology) -> String {
+        let mut s = String::new();
+        for o in self.failures() {
+            use std::fmt::Write;
+            let _ = writeln!(
+                s,
+                "FAILED [{}] at {}{}",
+                o.check.kind,
+                o.check.location.display(topo),
+                o.check
+                    .map_name
+                    .as_deref()
+                    .map(|m| format!(" (route-map {m})"))
+                    .unwrap_or_default()
+            );
+            let _ = writeln!(s, "  {}", o.check.description);
+            if let CheckResult::Fail(cex) = &o.result {
+                for line in cex.to_string().lines() {
+                    let _ = writeln!(s, "  {line}");
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let failed = self.failures().len();
+        write!(
+            f,
+            "{} checks, {} passed, {} failed ({:?} total, {:?} solving)",
+            self.num_checks(),
+            self.num_checks() - failed,
+            failed,
+            self.total_time,
+            self.solve_time(),
+        )?;
+        if failed > 0 {
+            for o in self.failures() {
+                write!(f, "\n  failed: {} #{} ({})", o.check.kind, o.check.id, o.check.description)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_check(id: usize) -> Check {
+        Check {
+            id,
+            kind: CheckKind::Import,
+            location: Location::Edge(EdgeId(0)),
+            edge: Some(EdgeId(0)),
+            map_name: Some("M".into()),
+            description: "test".into(),
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = Report::default();
+        r.outcomes.push(CheckOutcome {
+            check: dummy_check(0),
+            result: CheckResult::Pass,
+            stats: SolverStats { num_vars: 10, num_clauses: 20, ..Default::default() },
+        });
+        r.outcomes.push(CheckOutcome {
+            check: dummy_check(1),
+            result: CheckResult::Pass,
+            stats: SolverStats { num_vars: 30, num_clauses: 5, ..Default::default() },
+        });
+        assert!(r.all_passed());
+        assert_eq!(r.num_checks(), 2);
+        assert_eq!(r.max_vars(), 30);
+        assert_eq!(r.max_clauses(), 20);
+        assert!(r.failures().is_empty());
+    }
+}

@@ -1,0 +1,730 @@
+//! The verification engine: check generation, execution (sequential or
+//! parallel), statistics and incremental re-verification.
+//!
+//! For a safety property, the engine generates the §4.2 checks:
+//!
+//! * per edge `A -> B` with `B` internal, an **Import** check:
+//!   `I_{A->B}(r) ∧ r' = Import(A->B, r) ⟹ r' = Reject ∨ I_B(r')`;
+//! * per edge `A -> B` with `A` internal, an **Export** check:
+//!   `I_A(r) ∧ r' = Export(A->B, r) ⟹ r' = Reject ∨ I_{A->B}(r')`,
+//!   and an **Originate** check: every `r ∈ Originate(A->B)` satisfies
+//!   `I_{A->B}`;
+//! * one **Subsumption** check: `I_ℓ ⟹ P`.
+//!
+//! Every check is discharged by a *fresh* SMT instance whose size depends
+//! only on one router's configuration (the property behind Figure 3b of
+//! the paper), which also makes checks embarrassingly parallel (design
+//! decision D3) and incrementally re-checkable: when a node's
+//! configuration changes, only the checks touching its edges re-run.
+
+use crate::check::{Check, CheckKind, CheckOutcome, CheckResult, Counterexample, Report};
+use crate::encode::{encode_export, encode_import, Transfer};
+use crate::ghost::GhostAttr;
+use crate::invariants::{Location, NetworkInvariants};
+use crate::pred::RoutePred;
+use crate::safety::SafetyProperty;
+use crate::symbolic::SymRoute;
+use crate::universe::Universe;
+use bgp_model::policy::Policy;
+use bgp_model::topology::{EdgeId, NodeId, Topology};
+use smt::{solve_with_stats, SatResult, SolverStats, TermPool};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// How to execute the generated checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// One check at a time, in order (paper's sequential numbers, §6.1).
+    #[default]
+    Sequential,
+    /// All checks in parallel with crossbeam scoped threads (D3 ablation).
+    Parallel,
+}
+
+/// The Lightyear verifier for one network.
+#[derive(Clone)]
+pub struct Verifier<'a> {
+    topo: &'a Topology,
+    policy: &'a Policy,
+    ghosts: Vec<GhostAttr>,
+    mode: RunMode,
+}
+
+/// A fully-resolved check: descriptor plus the predicates its formula
+/// needs, self-contained so it can run on any thread.
+#[derive(Clone, Debug)]
+struct ResolvedCheck {
+    check: Check,
+    body: CheckBody,
+}
+
+#[derive(Clone, Debug)]
+enum CheckBody {
+    /// assume(r) ∧ r' = transfer(r) ⟹ reject ∨ ensure(r')
+    Transfer {
+        edge: EdgeId,
+        is_import: bool,
+        assume: RoutePred,
+        ensure: RoutePred,
+        /// Liveness propagation: additionally require non-rejection and
+        /// drop the `reject ∨ ...` escape.
+        require_accept: bool,
+    },
+    /// Concrete: every originated route satisfies the predicate.
+    Originate { edge: EdgeId, ensure: RoutePred },
+    /// assume(r) ⟹ ensure(r)
+    Implication { assume: RoutePred, ensure: RoutePred },
+}
+
+impl<'a> Verifier<'a> {
+    /// A verifier over a topology and policy.
+    pub fn new(topo: &'a Topology, policy: &'a Policy) -> Self {
+        Verifier { topo, policy, ghosts: Vec::new(), mode: RunMode::Sequential }
+    }
+
+    /// Register a ghost attribute.
+    pub fn with_ghost(mut self, g: GhostAttr) -> Self {
+        self.ghosts.push(g);
+        self
+    }
+
+    /// Set the execution mode.
+    pub fn with_mode(mut self, mode: RunMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The topology under verification.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The policy under verification.
+    pub fn policy(&self) -> &Policy {
+        self.policy
+    }
+
+    /// Names of the registered ghost attributes.
+    pub fn ghost_names(&self) -> Vec<String> {
+        self.ghosts.iter().map(|g| g.name.clone()).collect()
+    }
+
+    /// Build the attribute universe: policy + ghosts + the given
+    /// predicates (property and invariants).
+    fn universe(&self, extra: &[&RoutePred]) -> Universe {
+        let mut u = Universe::from_policy(self.policy);
+        for g in &self.ghosts {
+            u.add_ghost(&g.name);
+        }
+        for p in extra {
+            p.register(&mut u);
+        }
+        u
+    }
+
+    // ------------------------------------------------------------------
+    // Safety
+    // ------------------------------------------------------------------
+
+    /// Verify a safety property under the given network invariants.
+    pub fn verify_safety(&self, prop: &SafetyProperty, inv: &NetworkInvariants) -> Report {
+        let checks = self.generate_safety_checks(prop, inv);
+        let mut u = self.universe(&[&prop.pred]);
+        inv.register(&mut u);
+        self.run(&u, &checks)
+    }
+
+    /// Verify several safety properties that share one invariant
+    /// assignment. The Import/Export/Originate checks depend only on the
+    /// invariants (the §4.3 lemma), so they run once; each property adds a
+    /// single subsumption check `I_ℓ ⟹ P`.
+    pub fn verify_safety_multi(
+        &self,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+    ) -> Report {
+        let Some(first) = props.first() else { return Report::default() };
+        let mut checks = self.generate_safety_checks(first, inv);
+        // The generator appended `first`'s subsumption check last; add the
+        // remaining properties' subsumption checks after it.
+        let mut id = checks.len();
+        for p in &props[1..] {
+            checks.push(ResolvedCheck {
+                check: Check {
+                    id,
+                    kind: CheckKind::Subsumption,
+                    location: p.location,
+                    edge: None,
+                    map_name: None,
+                    description: format!(
+                        "invariant at {} implies {}",
+                        p.location.display(self.topo),
+                        p.name.as_deref().unwrap_or("the property")
+                    ),
+                },
+                body: CheckBody::Implication {
+                    assume: inv.at(self.topo, p.location),
+                    ensure: p.pred.clone(),
+                },
+            });
+            id += 1;
+        }
+        let mut u = self.universe(&[]);
+        for p in props {
+            p.pred.register(&mut u);
+        }
+        inv.register(&mut u);
+        self.run(&u, &checks)
+    }
+
+    /// Re-verify after the configurations of `changed` nodes were updated:
+    /// only checks touching those nodes' edges (plus the subsumption
+    /// check) are re-run.
+    pub fn verify_safety_incremental(
+        &self,
+        prop: &SafetyProperty,
+        inv: &NetworkInvariants,
+        changed: &[NodeId],
+    ) -> Report {
+        let checks: Vec<ResolvedCheck> = self
+            .generate_safety_checks(prop, inv)
+            .into_iter()
+            .filter(|c| match c.body {
+                CheckBody::Transfer { edge, .. } | CheckBody::Originate { edge, .. } => {
+                    let e = self.topo.edge(edge);
+                    changed.contains(&e.src) || changed.contains(&e.dst)
+                }
+                CheckBody::Implication { .. } => true,
+            })
+            .collect();
+        let mut u = self.universe(&[&prop.pred]);
+        inv.register(&mut u);
+        self.run(&u, &checks)
+    }
+
+    /// Number of checks a safety verification would run (for reporting).
+    pub fn num_safety_checks(&self, prop: &SafetyProperty, inv: &NetworkInvariants) -> usize {
+        self.generate_safety_checks(prop, inv).len()
+    }
+
+    fn generate_safety_checks(
+        &self,
+        prop: &SafetyProperty,
+        inv: &NetworkInvariants,
+    ) -> Vec<ResolvedCheck> {
+        let mut out = Vec::new();
+        let mut id = 0;
+        for e in self.topo.edge_ids() {
+            let edge = self.topo.edge(e);
+            let edge_loc = Location::Edge(e);
+            // Import check (receiver internal).
+            if !self.topo.node(edge.dst).external {
+                let assume = inv.at(self.topo, edge_loc);
+                let ensure = inv.at(self.topo, Location::Node(edge.dst));
+                let map_name = self.policy.import_map(e).map(|m| m.name.clone());
+                out.push(ResolvedCheck {
+                    check: Check {
+                        id,
+                        kind: CheckKind::Import,
+                        location: edge_loc,
+                        edge: Some(e),
+                        map_name,
+                        description: format!(
+                            "import on {} preserves the invariants",
+                            self.topo.edge_name(e)
+                        ),
+                    },
+                    body: CheckBody::Transfer {
+                        edge: e,
+                        is_import: true,
+                        assume,
+                        ensure,
+                        require_accept: false,
+                    },
+                });
+                id += 1;
+            }
+            // Export + Originate checks (sender internal).
+            if !self.topo.node(edge.src).external {
+                let assume = inv.at(self.topo, Location::Node(edge.src));
+                let ensure = inv.at(self.topo, edge_loc);
+                let map_name = self.policy.export_map(e).map(|m| m.name.clone());
+                out.push(ResolvedCheck {
+                    check: Check {
+                        id,
+                        kind: CheckKind::Export,
+                        location: edge_loc,
+                        edge: Some(e),
+                        map_name,
+                        description: format!(
+                            "export on {} preserves the invariants",
+                            self.topo.edge_name(e)
+                        ),
+                    },
+                    body: CheckBody::Transfer {
+                        edge: e,
+                        is_import: false,
+                        assume,
+                        ensure: ensure.clone(),
+                        require_accept: false,
+                    },
+                });
+                id += 1;
+                if !self.policy.originated(e).is_empty() {
+                    out.push(ResolvedCheck {
+                        check: Check {
+                            id,
+                            kind: CheckKind::Originate,
+                            location: edge_loc,
+                            edge: Some(e),
+                            map_name: None,
+                            description: format!(
+                                "originated routes on {} satisfy the edge invariant",
+                                self.topo.edge_name(e)
+                            ),
+                        },
+                        body: CheckBody::Originate { edge: e, ensure },
+                    });
+                    id += 1;
+                }
+            }
+        }
+        // Subsumption: I_ℓ ⟹ P.
+        out.push(ResolvedCheck {
+            check: Check {
+                id,
+                kind: CheckKind::Subsumption,
+                location: prop.location,
+                edge: None,
+                map_name: None,
+                description: format!(
+                    "invariant at {} implies the property",
+                    prop.location.display(self.topo)
+                ),
+            },
+            body: CheckBody::Implication {
+                assume: inv.at(self.topo, prop.location),
+                ensure: prop.pred.clone(),
+            },
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn run(&self, universe: &Universe, checks: &[ResolvedCheck]) -> Report {
+        let t0 = Instant::now();
+        let outcomes = match self.mode {
+            RunMode::Sequential => checks
+                .iter()
+                .map(|c| self.run_one(universe, c))
+                .collect(),
+            RunMode::Parallel => {
+                let n = checks.len();
+                let threads = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+                    .min(n.max(1));
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let (tx, rx) = crossbeam::channel::unbounded();
+                crossbeam::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let tx = tx.clone();
+                        let next = &next;
+                        scope.spawn(move |_| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let outcome = self.run_one(universe, &checks[i]);
+                            tx.send((i, outcome)).expect("result channel open");
+                        });
+                    }
+                    drop(tx);
+                })
+                .expect("crossbeam scope");
+                let mut indexed: Vec<(usize, CheckOutcome)> = rx.into_iter().collect();
+                indexed.sort_by_key(|(i, _)| *i);
+                indexed.into_iter().map(|(_, o)| o).collect()
+            }
+        };
+        Report { outcomes, total_time: t0.elapsed() }
+    }
+
+    fn run_one(&self, universe: &Universe, rc: &ResolvedCheck) -> CheckOutcome {
+        match &rc.body {
+            CheckBody::Transfer { edge, is_import, assume, ensure, require_accept } => self
+                .run_transfer_check(
+                    universe,
+                    &rc.check,
+                    *edge,
+                    *is_import,
+                    assume,
+                    ensure,
+                    *require_accept,
+                ),
+            CheckBody::Originate { edge, ensure } => {
+                self.run_originate_check(&rc.check, *edge, ensure)
+            }
+            CheckBody::Implication { assume, ensure } => {
+                self.run_implication_check(universe, &rc.check, assume, ensure)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_transfer_check(
+        &self,
+        universe: &Universe,
+        check: &Check,
+        edge: EdgeId,
+        is_import: bool,
+        assume: &RoutePred,
+        ensure: &RoutePred,
+        require_accept: bool,
+    ) -> CheckOutcome {
+        let mut pool = TermPool::new();
+        let input = SymRoute::fresh(&mut pool, universe, "r");
+        let wf = input.well_formed(&mut pool);
+        let pre = assume.encode(&mut pool, universe, &input);
+
+        let transfer: Transfer = if is_import {
+            encode_import(
+                &mut pool,
+                universe,
+                self.policy.import_map(edge),
+                &self.ghosts,
+                edge,
+                &input,
+            )
+        } else {
+            encode_export(
+                &mut pool,
+                universe,
+                self.policy.export_map(edge),
+                &self.ghosts,
+                edge,
+                &input,
+            )
+        };
+        let post = ensure.encode(&mut pool, universe, &transfer.out);
+        let goal = if require_accept {
+            // Liveness propagation: must accept AND satisfy the next
+            // constraint.
+            let not_rej = pool.not(transfer.reject);
+            pool.and2(not_rej, post)
+        } else {
+            // Safety: reject ∨ post.
+            pool.or2(transfer.reject, post)
+        };
+        // Counterexample query: assume ∧ ¬goal.
+        let neg = pool.not(goal);
+        let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
+        let result = match result {
+            SatResult::Unsat => CheckResult::Pass,
+            SatResult::Sat(model) => {
+                let rejected = model.eval_bool(&pool, transfer.reject).unwrap_or(false);
+                CheckResult::Fail(Counterexample {
+                    input: input.concretize(&pool, universe, &model),
+                    output: if rejected {
+                        None
+                    } else {
+                        Some(transfer.out.concretize(&pool, universe, &model))
+                    },
+                    rejected,
+                })
+            }
+        };
+        CheckOutcome { check: check.clone(), result, stats }
+    }
+
+    fn run_originate_check(
+        &self,
+        check: &Check,
+        edge: EdgeId,
+        ensure: &RoutePred,
+    ) -> CheckOutcome {
+        // Originate(A -> B) is a concrete, finite set: evaluate directly.
+        let ghosts: BTreeMap<String, bool> = self
+            .ghosts
+            .iter()
+            .map(|g| (g.name.clone(), g.originate_value))
+            .collect();
+        for r in self.policy.originated(edge) {
+            if !ensure.eval(r, &ghosts) {
+                let result = CheckResult::Fail(Counterexample {
+                    input: crate::symbolic::ConcreteRoute {
+                        route: r.clone(),
+                        comm_other: false,
+                        aspath_matches: BTreeMap::new(),
+                        ghosts: ghosts.clone(),
+                    },
+                    output: None,
+                    rejected: false,
+                });
+                return CheckOutcome {
+                    check: check.clone(),
+                    result,
+                    stats: SolverStats::default(),
+                };
+            }
+        }
+        CheckOutcome {
+            check: check.clone(),
+            result: CheckResult::Pass,
+            stats: SolverStats::default(),
+        }
+    }
+
+    fn run_implication_check(
+        &self,
+        universe: &Universe,
+        check: &Check,
+        assume: &RoutePred,
+        ensure: &RoutePred,
+    ) -> CheckOutcome {
+        let mut pool = TermPool::new();
+        let r = SymRoute::fresh(&mut pool, universe, "r");
+        let wf = r.well_formed(&mut pool);
+        let pre = assume.encode(&mut pool, universe, &r);
+        let post = ensure.encode(&mut pool, universe, &r);
+        let neg = pool.not(post);
+        let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
+        let result = match result {
+            SatResult::Unsat => CheckResult::Pass,
+            SatResult::Sat(model) => CheckResult::Fail(Counterexample {
+                input: r.concretize(&pool, universe, &model),
+                output: None,
+                rejected: false,
+            }),
+        };
+        CheckOutcome { check: check.clone(), result, stats }
+    }
+
+    // ------------------------------------------------------------------
+    // Liveness (invoked from crate::liveness)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn run_propagation_check(
+        &self,
+        universe: &Universe,
+        check: &Check,
+        edge: EdgeId,
+        is_import: bool,
+        assume: &RoutePred,
+        ensure: &RoutePred,
+    ) -> CheckOutcome {
+        self.run_transfer_check(universe, check, edge, is_import, assume, ensure, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghost::GhostUpdate;
+    use bgp_model::routemap::{MatchCond, RouteMap, RouteMapEntry, SetAction};
+    use bgp_model::{Community, Route};
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    /// The Figure-1 network with the community-based no-transit scheme.
+    fn figure1() -> (Topology, Policy) {
+        let mut t = Topology::new();
+        let r1 = t.add_router("R1", 65000);
+        let r2 = t.add_router("R2", 65000);
+        let r3 = t.add_router("R3", 65000);
+        let isp1 = t.add_external("ISP1", 100);
+        let isp2 = t.add_external("ISP2", 200);
+        let cust = t.add_external("Customer", 300);
+        t.add_session(r1, r2);
+        t.add_session(r1, r3);
+        t.add_session(r2, r3);
+        t.add_session(isp1, r1);
+        t.add_session(isp2, r2);
+        t.add_session(cust, r3);
+
+        let mut pol = Policy::new();
+        let mut m = RouteMap::new("FROM-ISP1");
+        m.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![c("100:1")],
+            additive: true,
+        }));
+        pol.set_import(t.edge_between(isp1, r1).unwrap(), m);
+        let mut m = RouteMap::new("FROM-CUST");
+        m.push(RouteMapEntry::permit(10).setting(SetAction::ClearCommunities));
+        pol.set_import(t.edge_between(cust, r3).unwrap(), m);
+        let mut m = RouteMap::new("FROM-ISP2");
+        m.push(RouteMapEntry::permit(10).setting(SetAction::ClearCommunities));
+        pol.set_import(t.edge_between(isp2, r2).unwrap(), m);
+        let mut m = RouteMap::new("TO-ISP2");
+        m.push(RouteMapEntry::deny(10).matching(MatchCond::Community {
+            comms: vec![c("100:1")],
+            match_all: false,
+        }));
+        m.push(RouteMapEntry::permit(20));
+        pol.set_export(t.edge_between(r2, isp2).unwrap(), m);
+        (t, pol)
+    }
+
+    fn from_isp1_ghost(t: &Topology) -> GhostAttr {
+        let isp1 = t.node_by_name("ISP1").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let cust = t.node_by_name("Customer").unwrap();
+        let r1 = t.node_by_name("R1").unwrap();
+        let r2 = t.node_by_name("R2").unwrap();
+        let r3 = t.node_by_name("R3").unwrap();
+        GhostAttr::new("FromISP1")
+            .with_import(t.edge_between(isp1, r1).unwrap(), GhostUpdate::SetTrue)
+            .with_import(t.edge_between(isp2, r2).unwrap(), GhostUpdate::SetFalse)
+            .with_import(t.edge_between(cust, r3).unwrap(), GhostUpdate::SetFalse)
+    }
+
+    fn no_transit_inputs(t: &Topology) -> (SafetyProperty, NetworkInvariants) {
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let to_isp2 = t.edge_between(r2, isp2).unwrap();
+        let prop = SafetyProperty::new(
+            Location::Edge(to_isp2),
+            RoutePred::ghost("FromISP1").not(),
+        )
+        .named("no-transit");
+        let key = RoutePred::ghost("FromISP1")
+            .implies(RoutePred::has_community(c("100:1")));
+        let inv = NetworkInvariants::with_default(key)
+            .with(Location::Edge(to_isp2), RoutePred::ghost("FromISP1").not());
+        (prop, inv)
+    }
+
+    #[test]
+    fn table2_no_transit_verifies() {
+        let (t, pol) = figure1();
+        let (prop, inv) = no_transit_inputs(&t);
+        let v = Verifier::new(&t, &pol).with_ghost(from_isp1_ghost(&t));
+        let report = v.verify_safety(&prop, &inv);
+        assert!(report.all_passed(), "{}", report.format_failures(&t));
+        // Linear check count: one import + one export per internal-incident
+        // edge direction, plus subsumption.
+        assert!(report.num_checks() >= t.num_edges());
+    }
+
+    #[test]
+    fn seeded_bug_is_localized_to_r1_import() {
+        let (t, mut pol) = figure1();
+        // Break R1's import: forget to tag some routes (prefix-matched).
+        let isp1 = t.node_by_name("ISP1").unwrap();
+        let r1 = t.node_by_name("R1").unwrap();
+        let e = t.edge_between(isp1, r1).unwrap();
+        let mut m = RouteMap::new("FROM-ISP1-BUGGY");
+        m.push(
+            RouteMapEntry::permit(5).matching(MatchCond::PrefixList(vec![(
+                true,
+                bgp_model::PrefixRange::orlonger("10.0.0.0/8".parse().unwrap()),
+            )])), // forgot the set community!
+        );
+        m.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![c("100:1")],
+            additive: true,
+        }));
+        pol.set_import(e, m);
+
+        let (prop, inv) = no_transit_inputs(&t);
+        let v = Verifier::new(&t, &pol).with_ghost(from_isp1_ghost(&t));
+        let report = v.verify_safety(&prop, &inv);
+        assert!(!report.all_passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1, "{}", report.format_failures(&t));
+        let f = failures[0];
+        assert_eq!(f.check.kind, CheckKind::Import);
+        assert_eq!(f.check.edge, Some(e));
+        assert_eq!(f.check.map_name.as_deref(), Some("FROM-ISP1-BUGGY"));
+        // The counterexample is a 10/8-covered route without the tag.
+        if let CheckResult::Fail(cex) = &f.result {
+            assert!(cex.input.ghosts.get("FromISP1").is_some());
+            let out = cex.output.as_ref().expect("accepted");
+            assert!(out.ghosts["FromISP1"]);
+            assert!(!out.route.has_community(c("100:1")));
+        } else {
+            panic!("expected failure");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (t, pol) = figure1();
+        let (prop, inv) = no_transit_inputs(&t);
+        let seq = Verifier::new(&t, &pol)
+            .with_ghost(from_isp1_ghost(&t))
+            .verify_safety(&prop, &inv);
+        let par = Verifier::new(&t, &pol)
+            .with_ghost(from_isp1_ghost(&t))
+            .with_mode(RunMode::Parallel)
+            .verify_safety(&prop, &inv);
+        assert_eq!(seq.num_checks(), par.num_checks());
+        for (a, b) in seq.outcomes.iter().zip(par.outcomes.iter()) {
+            assert_eq!(a.check.id, b.check.id);
+            assert_eq!(a.result.passed(), b.result.passed());
+        }
+    }
+
+    #[test]
+    fn incremental_runs_subset() {
+        let (t, pol) = figure1();
+        let (prop, inv) = no_transit_inputs(&t);
+        let v = Verifier::new(&t, &pol).with_ghost(from_isp1_ghost(&t));
+        let full = v.verify_safety(&prop, &inv);
+        let r1 = t.node_by_name("R1").unwrap();
+        let inc = v.verify_safety_incremental(&prop, &inv, &[r1]);
+        assert!(inc.num_checks() < full.num_checks());
+        assert!(inc.all_passed());
+        // R1 touches sessions to R2, R3, ISP1: 6 directed edges; import
+        // checks only where receiver internal, export only where sender
+        // internal, plus subsumption.
+        assert!(inc.num_checks() >= 6);
+    }
+
+    #[test]
+    fn subsumption_failure_detected() {
+        let (t, pol) = figure1();
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let to_isp2 = t.edge_between(r2, isp2).unwrap();
+        // Property asks for something the invariant does not imply.
+        let prop = SafetyProperty::new(
+            Location::Edge(to_isp2),
+            RoutePred::local_pref(crate::pred::Cmp::Eq, 7),
+        );
+        let inv = NetworkInvariants::new(); // all True
+        let v = Verifier::new(&t, &pol);
+        let report = v.verify_safety(&prop, &inv);
+        let fails = report.failures();
+        assert!(fails.iter().any(|f| f.check.kind == CheckKind::Subsumption));
+    }
+
+    #[test]
+    fn originate_check_concrete() {
+        let mut t = Topology::new();
+        let r = t.add_router("R", 65000);
+        let x = t.add_external("X", 1);
+        t.add_session(r, x);
+        let rx = t.edge_between(r, x).unwrap();
+        let mut pol = Policy::new();
+        pol.add_origination(rx, Route::new("198.51.100.0/24".parse().unwrap()));
+
+        // Invariant on R -> X: must carry community 9:9 (it does not).
+        let prop = SafetyProperty::new(Location::Edge(rx), RoutePred::True);
+        let inv = NetworkInvariants::with_default(RoutePred::True)
+            .with(Location::Edge(rx), RoutePred::has_community(c("9:9")));
+        let v = Verifier::new(&t, &pol);
+        let report = v.verify_safety(&prop, &inv);
+        let fails = report.failures();
+        assert!(
+            fails.iter().any(|f| f.check.kind == CheckKind::Originate),
+            "{}",
+            report.format_failures(&t)
+        );
+    }
+}

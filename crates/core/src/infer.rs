@@ -1,0 +1,258 @@
+//! Automatic inference of community-based key invariants.
+//!
+//! The paper's conclusion (§8) suggests: *"we believe it is possible to
+//! instead learn local invariants automatically from configurations in
+//! the future, for example when properties are enforced via
+//! communities."* This module implements that idea with a guess-and-check
+//! loop:
+//!
+//! 1. **Guess.** For a ghost attribute `g` (whose set-true edges mark the
+//!    routes of interest), collect candidate communities: those that are
+//!    *added* by the import filter on every edge that sets `g` true. Each
+//!    candidate `C` yields the three-part invariant template of §2.1 —
+//!    default `g ⇒ C ∈ Comm(r)`, with the property predicate at the
+//!    property location.
+//! 2. **Check.** Run the ordinary safety verification with the candidate
+//!    invariants. Because the checks are sound, an inferred invariant
+//!    that passes is a real proof; candidates that fail are discarded and
+//!    the next is tried.
+//!
+//! The result is either a verified invariant assignment (with its
+//! report) or the per-candidate failure reports, which is exactly the
+//! iterative-refinement workflow §6.1 describes, automated for the
+//! community-tagging pattern.
+
+use crate::check::Report;
+use crate::engine::Verifier;
+use crate::ghost::{GhostAttr, GhostUpdate};
+use crate::invariants::NetworkInvariants;
+use crate::pred::RoutePred;
+use crate::safety::SafetyProperty;
+use bgp_model::route::Community;
+use bgp_model::routemap::{RouteMap, SetAction};
+
+/// The outcome of invariant inference.
+#[derive(Debug)]
+pub enum InferResult {
+    /// A candidate worked: the invariants, the tagging community, and
+    /// the passing report.
+    Proved {
+        /// The verified invariant assignment.
+        invariants: NetworkInvariants,
+        /// The community the network uses to track the ghost.
+        community: Community,
+        /// The all-pass verification report.
+        report: Report,
+    },
+    /// No candidate community yields a proof; the failure report of each
+    /// attempted candidate is returned for the §6.1-style feedback loop.
+    NoCandidate(Vec<(Community, Report)>),
+}
+
+impl InferResult {
+    /// True when inference succeeded.
+    pub fn proved(&self) -> bool {
+        matches!(self, InferResult::Proved { .. })
+    }
+}
+
+/// Communities that a route map is guaranteed to add to every route it
+/// permits (i.e. set by a `set community` in every permitting entry).
+fn communities_always_added(map: &RouteMap) -> Vec<Community> {
+    let mut result: Option<Vec<Community>> = None;
+    for e in &map.entries {
+        if e.action != bgp_model::routemap::Action::Permit {
+            continue;
+        }
+        let mut added = Vec::new();
+        for s in &e.sets {
+            if let SetAction::Community { comms, .. } = s {
+                added.extend(comms.iter().copied());
+            }
+        }
+        result = Some(match result {
+            None => added,
+            Some(prev) => prev.into_iter().filter(|c| added.contains(c)).collect(),
+        });
+    }
+    result.unwrap_or_default()
+}
+
+impl<'a> Verifier<'a> {
+    /// Infer and verify a community-based key invariant for `prop`,
+    /// where `ghost` marks the routes the property tracks.
+    ///
+    /// Returns [`InferResult::Proved`] with the first candidate that
+    /// verifies, trying candidates in deterministic order.
+    pub fn infer_safety_invariants(
+        &self,
+        prop: &SafetyProperty,
+        ghost: &GhostAttr,
+    ) -> InferResult {
+        // Candidate communities: added by EVERY import filter on the
+        // edges that set the ghost true.
+        let mut candidates: Option<Vec<Community>> = None;
+        for e in self.topology().edge_ids() {
+            if ghost.import_update(e) != GhostUpdate::SetTrue {
+                continue;
+            }
+            let added = match self.policy().import_map(e) {
+                Some(m) => communities_always_added(m),
+                None => Vec::new(),
+            };
+            candidates = Some(match candidates {
+                None => added,
+                Some(prev) => prev.into_iter().filter(|c| added.contains(c)).collect(),
+            });
+        }
+        let mut candidates = candidates.unwrap_or_default();
+        candidates.sort();
+        candidates.dedup();
+
+        let mut failures = Vec::new();
+        for c in candidates {
+            let key = RoutePred::ghost(&ghost.name).implies(RoutePred::has_community(c));
+            let invariants = NetworkInvariants::with_default(key)
+                .with(prop.location, prop.pred.clone());
+            let report = self.verify_safety(prop, &invariants);
+            if report.all_passed() {
+                return InferResult::Proved { invariants, community: c, report };
+            }
+            failures.push((c, report));
+        }
+        InferResult::NoCandidate(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::Location;
+    use bgp_model::routemap::{MatchCond, RouteMapEntry};
+    use bgp_model::{Policy, Topology};
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    fn figure1() -> (Topology, Policy) {
+        let mut t = Topology::new();
+        let r1 = t.add_router("R1", 65000);
+        let r2 = t.add_router("R2", 65000);
+        let isp1 = t.add_external("ISP1", 100);
+        let isp2 = t.add_external("ISP2", 200);
+        t.add_session(r1, r2);
+        t.add_session(isp1, r1);
+        t.add_session(isp2, r2);
+
+        let mut pol = Policy::new();
+        let mut m = RouteMap::new("FROM-ISP1");
+        // Two communities added: 100:1 (load-bearing) and 300:9 (noise
+        // that is stripped downstream, so only 100:1 can prove the
+        // property).
+        m.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![c("100:1"), c("300:9")],
+            additive: true,
+        }));
+        pol.set_import(t.edge_between(isp1, r1).unwrap(), m);
+        // R2 strips 300:9 from everything (so 300:9 cannot be the key).
+        let mut m = RouteMap::new("R1-TO-R2");
+        m.push(
+            RouteMapEntry::permit(10)
+                .setting(SetAction::DeleteCommunities(vec![c("300:9")])),
+        );
+        pol.set_export(t.edge_between(r1, r2).unwrap(), m);
+        let mut m = RouteMap::new("TO-ISP2");
+        m.push(RouteMapEntry::deny(10).matching(MatchCond::Community {
+            comms: vec![c("100:1")],
+            match_all: false,
+        }));
+        m.push(RouteMapEntry::permit(20));
+        pol.set_export(t.edge_between(r2, isp2).unwrap(), m);
+        (t, pol)
+    }
+
+    fn ghost(t: &Topology) -> GhostAttr {
+        let isp1 = t.node_by_name("ISP1").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let r1 = t.node_by_name("R1").unwrap();
+        let r2 = t.node_by_name("R2").unwrap();
+        GhostAttr::new("FromISP1")
+            .with_import(t.edge_between(isp1, r1).unwrap(), GhostUpdate::SetTrue)
+            .with_import(t.edge_between(isp2, r2).unwrap(), GhostUpdate::SetFalse)
+    }
+
+    #[test]
+    fn infers_the_load_bearing_community() {
+        let (t, pol) = figure1();
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let loc = Location::Edge(t.edge_between(r2, isp2).unwrap());
+        let g = ghost(&t);
+        let prop = SafetyProperty::new(loc, RoutePred::ghost("FromISP1").not());
+        let v = Verifier::new(&t, &pol).with_ghost(g.clone());
+        match v.infer_safety_invariants(&prop, &g) {
+            InferResult::Proved { community, report, .. } => {
+                assert_eq!(community, c("100:1"));
+                assert!(report.all_passed());
+            }
+            InferResult::NoCandidate(fails) => {
+                panic!("expected a proof; candidates failed: {:?}", fails.len())
+            }
+        }
+    }
+
+    #[test]
+    fn reports_failures_when_nothing_works() {
+        let (t, mut pol) = figure1();
+        // Break the scheme: R2 no longer filters on 100:1.
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        pol.export.remove(&t.edge_between(r2, isp2).unwrap());
+        let loc = Location::Edge(t.edge_between(r2, isp2).unwrap());
+        let g = ghost(&t);
+        let prop = SafetyProperty::new(loc, RoutePred::ghost("FromISP1").not());
+        let v = Verifier::new(&t, &pol).with_ghost(g.clone());
+        match v.infer_safety_invariants(&prop, &g) {
+            InferResult::Proved { .. } => panic!("nothing should prove a broken network"),
+            InferResult::NoCandidate(fails) => {
+                // Both candidate communities were tried and failed.
+                assert_eq!(fails.len(), 2);
+                assert!(fails.iter().all(|(_, r)| !r.all_passed()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_candidates_when_imports_do_not_tag() {
+        let (t, mut pol) = figure1();
+        let isp1 = t.node_by_name("ISP1").unwrap();
+        let r1 = t.node_by_name("R1").unwrap();
+        pol.import.remove(&t.edge_between(isp1, r1).unwrap());
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let loc = Location::Edge(t.edge_between(r2, isp2).unwrap());
+        let g = ghost(&t);
+        let prop = SafetyProperty::new(loc, RoutePred::ghost("FromISP1").not());
+        let v = Verifier::new(&t, &pol).with_ghost(g.clone());
+        match v.infer_safety_invariants(&prop, &g) {
+            InferResult::NoCandidate(fails) => assert!(fails.is_empty()),
+            InferResult::Proved { .. } => panic!("no tags, no proof"),
+        }
+    }
+
+    #[test]
+    fn inference_works_on_generated_fullmesh() {
+        // End-to-end on a netgen-sized example is covered in the
+        // integration suite; here a small hand-rolled mesh.
+        let (t, pol) = figure1();
+        let g = ghost(&t);
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let loc = Location::Edge(t.edge_between(r2, isp2).unwrap());
+        let prop = SafetyProperty::new(loc, RoutePred::ghost("FromISP1").not());
+        let v = Verifier::new(&t, &pol).with_ghost(g.clone());
+        let result = v.infer_safety_invariants(&prop, &g);
+        assert!(result.proved());
+    }
+}

@@ -1,0 +1,284 @@
+//! The Figure-1 example network, generated as configuration text.
+//!
+//! Three routers in AS 65000 (full iBGP mesh), with external neighbors
+//! ISP1 (on R1), ISP2 (on R2) and Customer (on R3). The community-based
+//! no-transit scheme of §2.1: R1 tags routes from ISP1 with `100:1`, R2's
+//! export to ISP2 drops tagged routes, and no other filter strips the tag.
+//! R3 strips all communities from customer routes (required for the §2.2
+//! liveness property).
+
+use crate::roundtrip_and_lower;
+use bgp_config::ast::*;
+use bgp_config::Network;
+use bgp_model::prefix::PrefixRange;
+use bgp_model::Community;
+use lightyear::ghost::{GhostAttr, GhostUpdate};
+use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::liveness::LivenessSpec;
+use lightyear::pred::RoutePred;
+use lightyear::safety::SafetyProperty;
+
+/// The community used to mark routes from ISP1.
+pub fn transit_comm() -> Community {
+    Community::new(100, 1)
+}
+
+/// The customer's prefix.
+pub fn customer_prefix() -> bgp_model::Ipv4Prefix {
+    "203.0.113.0/24".parse().unwrap()
+}
+
+/// The generated scenario: network plus verification inputs.
+pub struct Scenario {
+    /// The lowered network.
+    pub network: Network,
+    /// The `FromISP1` ghost attribute (§4.4).
+    pub ghost: GhostAttr,
+    /// The Table-2 no-transit safety property.
+    pub no_transit: SafetyProperty,
+    /// The Table-2 network invariants.
+    pub no_transit_inv: NetworkInvariants,
+    /// The Table-3 customer-reachability liveness spec.
+    pub customer_liveness: LivenessSpec,
+}
+
+fn neighbor(addr: &str, asn: u32, desc: &str, rm_in: Option<&str>, rm_out: Option<&str>) -> NeighborAst {
+    NeighborAst {
+        addr: addr.into(),
+        remote_as: Some(asn),
+        description: Some(desc.into()),
+        route_map_in: rm_in.map(Into::into),
+        route_map_out: rm_out.map(Into::into),
+    }
+}
+
+fn config_r1() -> ConfigAst {
+    let mut ast = ConfigAst { hostname: "R1".into(), ..Default::default() };
+    // Deny customer prefixes from ISP1 (no-interference requirement),
+    // tag everything else.
+    ast.prefix_lists.insert(
+        "CUST".into(),
+        vec![PrefixListEntry {
+            seq: 5,
+            permit: true,
+            prefix: customer_prefix(),
+            ge: None,
+            le: Some(32),
+        }],
+    );
+    ast.route_maps.insert(
+        "FROM-ISP1".into(),
+        vec![
+            RouteMapEntryAst {
+                seq: 5,
+                permit: false,
+                matches: vec![MatchAst::PrefixList(vec!["CUST".into()])],
+                sets: vec![],
+                continue_to: None,
+            },
+            RouteMapEntryAst {
+                seq: 10,
+                permit: true,
+                matches: vec![],
+                sets: vec![SetAst::Community {
+                    communities: vec![transit_comm()],
+                    additive: true,
+                    none: false,
+                }],
+                continue_to: None,
+            },
+        ],
+    );
+    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    bgp.neighbors.insert(
+        "10.0.0.1".into(),
+        neighbor("10.0.0.1", 100, "ISP1", Some("FROM-ISP1"), None),
+    );
+    bgp.neighbors
+        .insert("10.0.12.2".into(), neighbor("10.0.12.2", 65000, "R2", None, None));
+    bgp.neighbors
+        .insert("10.0.13.3".into(), neighbor("10.0.13.3", 65000, "R3", None, None));
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+fn config_r2() -> ConfigAst {
+    let mut ast = ConfigAst { hostname: "R2".into(), ..Default::default() };
+    ast.community_lists.insert(
+        "TRANSIT".into(),
+        vec![CommunityListEntry { permit: true, communities: vec![transit_comm()] }],
+    );
+    ast.route_maps.insert(
+        "TO-ISP2".into(),
+        vec![
+            RouteMapEntryAst {
+                seq: 10,
+                permit: false,
+                matches: vec![MatchAst::Community {
+                    lists: vec!["TRANSIT".into()],
+                    exact: false,
+                }],
+                sets: vec![],
+                continue_to: None,
+            },
+            RouteMapEntryAst {
+                seq: 20,
+                permit: true,
+                matches: vec![],
+                sets: vec![],
+                continue_to: None,
+            },
+        ],
+    );
+    // Strip communities from ISP2's routes so interfering routes cannot
+    // carry 100:1.
+    ast.route_maps.insert(
+        "FROM-ISP2".into(),
+        vec![RouteMapEntryAst {
+            seq: 10,
+            permit: true,
+            matches: vec![],
+            sets: vec![SetAst::Community { communities: vec![], additive: false, none: true }],
+            continue_to: None,
+        }],
+    );
+    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    bgp.neighbors.insert(
+        "10.0.0.2".into(),
+        neighbor("10.0.0.2", 200, "ISP2", Some("FROM-ISP2"), Some("TO-ISP2")),
+    );
+    bgp.neighbors
+        .insert("10.0.12.1".into(), neighbor("10.0.12.1", 65000, "R1", None, None));
+    bgp.neighbors
+        .insert("10.0.23.3".into(), neighbor("10.0.23.3", 65000, "R3", None, None));
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+fn config_r3() -> ConfigAst {
+    let mut ast = ConfigAst { hostname: "R3".into(), ..Default::default() };
+    ast.route_maps.insert(
+        "FROM-CUST".into(),
+        vec![RouteMapEntryAst {
+            seq: 10,
+            permit: true,
+            matches: vec![],
+            sets: vec![SetAst::Community { communities: vec![], additive: false, none: true }],
+            continue_to: None,
+        }],
+    );
+    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    bgp.neighbors.insert(
+        "10.0.0.3".into(),
+        neighbor("10.0.0.3", 300, "Customer", Some("FROM-CUST"), None),
+    );
+    bgp.neighbors
+        .insert("10.0.13.1".into(), neighbor("10.0.13.1", 65000, "R1", None, None));
+    bgp.neighbors
+        .insert("10.0.23.2".into(), neighbor("10.0.23.2", 65000, "R2", None, None));
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+/// The raw configuration ASTs (exposed for the mutation tests).
+pub fn configs() -> Vec<ConfigAst> {
+    vec![config_r1(), config_r2(), config_r3()]
+}
+
+/// Build the complete scenario.
+pub fn build() -> Scenario {
+    build_from_configs(configs())
+}
+
+/// Build the scenario from (possibly mutated) configuration ASTs.
+pub fn build_from_configs(asts: Vec<ConfigAst>) -> Scenario {
+    let network = roundtrip_and_lower(&asts);
+    let t = &network.topology;
+    let r1 = t.node_by_name("R1").unwrap();
+    let r2 = t.node_by_name("R2").unwrap();
+    let r3 = t.node_by_name("R3").unwrap();
+    let isp1 = t.node_by_name("ISP1").unwrap();
+    let isp2 = t.node_by_name("ISP2").unwrap();
+    let cust = t.node_by_name("Customer").unwrap();
+    let isp1_r1 = t.edge_between(isp1, r1).unwrap();
+    let isp2_r2 = t.edge_between(isp2, r2).unwrap();
+    let cust_r3 = t.edge_between(cust, r3).unwrap();
+    let r2_isp2 = t.edge_between(r2, isp2).unwrap();
+    let r3_r2 = t.edge_between(r3, r2).unwrap();
+
+    // Ghost FromISP1 (§4.4): true on ISP1 -> R1, false on other external
+    // imports, unchanged elsewhere, false on origination.
+    let ghost = GhostAttr::new("FromISP1")
+        .with_import(isp1_r1, GhostUpdate::SetTrue)
+        .with_import(isp2_r2, GhostUpdate::SetFalse)
+        .with_import(cust_r3, GhostUpdate::SetFalse);
+
+    // Table 2: the no-transit property and invariants.
+    let from_isp1 = RoutePred::ghost("FromISP1");
+    let no_transit = SafetyProperty::new(Location::Edge(r2_isp2), from_isp1.clone().not())
+        .named("no-transit");
+    let key = from_isp1.clone().implies(RoutePred::has_community(transit_comm()));
+    let no_transit_inv = NetworkInvariants::with_default(key)
+        .with(Location::Edge(r2_isp2), from_isp1.not());
+
+    // Table 3: customer routes reach ISP2.
+    let has_cust = RoutePred::prefix_in(vec![PrefixRange::orlonger(customer_prefix())]);
+    let good = has_cust.clone().and(RoutePred::has_community(transit_comm()).not());
+    let customer_liveness = LivenessSpec {
+        location: Location::Edge(r2_isp2),
+        pred: has_cust.clone(),
+        path: vec![
+            Location::Edge(cust_r3),
+            Location::Node(r3),
+            Location::Edge(r3_r2),
+            Location::Node(r2),
+            Location::Edge(r2_isp2),
+        ],
+        constraints: vec![has_cust.clone(), good.clone(), good.clone(), good, has_cust.clone()],
+        prefix_scope: has_cust.clone(),
+        interference_invariants: NetworkInvariants::with_default(
+            has_cust.implies(RoutePred::has_community(transit_comm()).not()),
+        ),
+        name: Some("customer-reaches-isp2".into()),
+    };
+
+    Scenario { network, ghost, no_transit, no_transit_inv, customer_liveness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightyear::engine::Verifier;
+
+    #[test]
+    fn no_transit_verifies_end_to_end() {
+        let s = build();
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.ghost.clone());
+        let report = v.verify_safety(&s.no_transit, &s.no_transit_inv);
+        assert!(
+            report.all_passed(),
+            "{}",
+            report.format_failures(&s.network.topology)
+        );
+    }
+
+    #[test]
+    fn customer_liveness_verifies_end_to_end() {
+        let s = build();
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.ghost.clone());
+        let report = v.verify_liveness(&s.customer_liveness).unwrap();
+        assert!(
+            report.all_passed(),
+            "{}",
+            report.format_failures(&s.network.topology)
+        );
+    }
+
+    #[test]
+    fn warnings_clean() {
+        let s = build();
+        assert!(s.network.warnings.is_empty(), "{:?}", s.network.warnings);
+    }
+}

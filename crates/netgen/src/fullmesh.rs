@@ -1,0 +1,224 @@
+//! The §6.2 scaling workload.
+//!
+//! "We use a BGP full mesh where each router is connected to one external
+//! neighbor through eBGP and all other routers through iBGP. This leads to
+//! a total of N² edges in a network of size N. The network's configuration
+//! is relatively simple, with each eBGP connection using only prefix and
+//! community filters. We checked a no-transit safety property, similar to
+//! the example in Figure 1."
+//!
+//! Router `R0` plays the R1 role (its external `E0` is "ISP1"), router
+//! `R1` plays the R2 role (its external `E1` is "ISP2"); every import from
+//! an external applies a prefix filter (drop a bogon range) and a
+//! community action (tag `100:1` at `R0`, strip elsewhere), and `R1`'s
+//! export to `E1` drops routes tagged `100:1`.
+
+use crate::roundtrip_and_lower;
+use bgp_config::ast::*;
+use bgp_config::Network;
+use bgp_model::Community;
+use lightyear::ghost::{GhostAttr, GhostUpdate};
+use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::pred::RoutePred;
+use lightyear::safety::SafetyProperty;
+
+/// The tag community.
+pub fn tag() -> Community {
+    Community::new(100, 1)
+}
+
+/// A generated full-mesh scenario with its no-transit verification inputs.
+pub struct Scenario {
+    /// The lowered network.
+    pub network: Network,
+    /// Ghost attribute marking routes from `E0`.
+    pub ghost: GhostAttr,
+    /// The no-transit property (`E0`'s routes never reach `E1`).
+    pub property: SafetyProperty,
+    /// The three-part invariants.
+    pub invariants: NetworkInvariants,
+}
+
+fn external_name(i: usize) -> String {
+    format!("E{i}")
+}
+
+fn router_name(i: usize) -> String {
+    format!("R{i}")
+}
+
+fn config_router(i: usize, n: usize) -> ConfigAst {
+    let mut ast = ConfigAst { hostname: router_name(i), ..Default::default() };
+    // Prefix filter on the eBGP session: drop a bogon range.
+    ast.prefix_lists.insert(
+        "NO-BOGON".into(),
+        vec![
+            PrefixListEntry {
+                seq: 5,
+                permit: false,
+                prefix: "192.168.0.0/16".parse().unwrap(),
+                ge: None,
+                le: Some(32),
+            },
+            PrefixListEntry {
+                seq: 10,
+                permit: true,
+                prefix: "0.0.0.0/0".parse().unwrap(),
+                ge: None,
+                le: Some(32),
+            },
+        ],
+    );
+    // Community action: R0 tags, everyone else strips.
+    let sets = if i == 0 {
+        vec![
+            SetAst::Community { communities: vec![], additive: false, none: true },
+            SetAst::Community { communities: vec![tag()], additive: true, none: false },
+        ]
+    } else {
+        vec![SetAst::Community { communities: vec![], additive: false, none: true }]
+    };
+    ast.route_maps.insert(
+        "FROM-EXT".into(),
+        vec![RouteMapEntryAst {
+            seq: 10,
+            permit: true,
+            matches: vec![MatchAst::PrefixList(vec!["NO-BOGON".into()])],
+            sets,
+            continue_to: None,
+        }],
+    );
+    if i == 1 {
+        ast.community_lists.insert(
+            "TRANSIT".into(),
+            vec![CommunityListEntry { permit: true, communities: vec![tag()] }],
+        );
+        ast.route_maps.insert(
+            "TO-EXT".into(),
+            vec![
+                RouteMapEntryAst {
+                    seq: 10,
+                    permit: false,
+                    matches: vec![MatchAst::Community {
+                        lists: vec!["TRANSIT".into()],
+                        exact: false,
+                    }],
+                    sets: vec![],
+                    continue_to: None,
+                },
+                RouteMapEntryAst {
+                    seq: 20,
+                    permit: true,
+                    matches: vec![],
+                    sets: vec![],
+                    continue_to: None,
+                },
+            ],
+        );
+    }
+    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    // The eBGP neighbor.
+    bgp.neighbors.insert(
+        format!("10.255.{}.1", i),
+        NeighborAst {
+            addr: format!("10.255.{}.1", i),
+            remote_as: Some(65001 + i as u32),
+            description: Some(external_name(i)),
+            route_map_in: Some("FROM-EXT".into()),
+            route_map_out: if i == 1 { Some("TO-EXT".into()) } else { None },
+        },
+    );
+    // iBGP mesh.
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        let addr = format!("10.0.{}.{}", j, i);
+        bgp.neighbors.insert(
+            addr.clone(),
+            NeighborAst {
+                addr,
+                remote_as: Some(65000),
+                description: Some(router_name(j)),
+                route_map_in: None,
+                route_map_out: None,
+            },
+        );
+    }
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+/// The raw configuration ASTs for a mesh of `n` routers.
+pub fn configs(n: usize) -> Vec<ConfigAst> {
+    assert!(n >= 2, "full mesh needs at least 2 routers");
+    (0..n).map(|i| config_router(i, n)).collect()
+}
+
+/// Build the full scenario for a mesh of `n` routers.
+pub fn build(n: usize) -> Scenario {
+    let network = roundtrip_and_lower(&configs(n));
+    let t = &network.topology;
+
+    let mut ghost = GhostAttr::new("FromE0");
+    for i in 0..n {
+        let ext = t.node_by_name(&external_name(i)).unwrap();
+        let r = t.node_by_name(&router_name(i)).unwrap();
+        let e = t.edge_between(ext, r).unwrap();
+        ghost.on_import(
+            e,
+            if i == 0 { GhostUpdate::SetTrue } else { GhostUpdate::SetFalse },
+        );
+    }
+
+    let r1 = t.node_by_name("R1").unwrap();
+    let e1 = t.node_by_name("E1").unwrap();
+    let r1_e1 = t.edge_between(r1, e1).unwrap();
+    let from_e0 = RoutePred::ghost("FromE0");
+    let property = SafetyProperty::new(Location::Edge(r1_e1), from_e0.clone().not())
+        .named("no-transit");
+    let key = from_e0.clone().implies(RoutePred::has_community(tag()));
+    let invariants = NetworkInvariants::with_default(key)
+        .with(Location::Edge(r1_e1), from_e0.not());
+
+    Scenario { network, ghost, property, invariants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightyear::engine::Verifier;
+
+    #[test]
+    fn mesh_verifies_at_small_sizes() {
+        for n in [2, 4, 6] {
+            let s = build(n);
+            let v = Verifier::new(&s.network.topology, &s.network.policy)
+                .with_ghost(s.ghost.clone());
+            let report = v.verify_safety(&s.property, &s.invariants);
+            assert!(
+                report.all_passed(),
+                "n={n}: {}",
+                report.format_failures(&s.network.topology)
+            );
+            // Check count is linear in edges.
+            assert!(report.num_checks() <= 2 * s.network.topology.num_edges() + 1);
+        }
+    }
+
+    #[test]
+    fn minesweeper_agrees_on_small_mesh() {
+        let s = build(3);
+        let t = &s.network.topology;
+        let r1 = t.node_by_name("R1").unwrap();
+        let e1 = t.node_by_name("E1").unwrap();
+        let edge = t.edge_between(r1, e1).unwrap();
+        let ms = minesweeper::Minesweeper::new(t, &s.network.policy)
+            .with_ghost(s.ghost.clone());
+        let report = ms.verify(
+            Location::Edge(edge),
+            &RoutePred::ghost("FromE0").not(),
+        );
+        assert!(report.verified(), "{:?}", report.outcome);
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure injection: seeded configuration bugs.
+//!
+//! Each mutation reproduces a bug class the paper reports finding in
+//! production (§6.1): a route map that forgets to tag a community, a
+//! single peering whose ad-hoc AS-path policy differs from the fleet, and
+//! a router using a region community absent from the metadata file. Tests
+//! assert Lightyear localizes each to the exact filter.
+
+use bgp_config::ast::{ConfigAst, MatchAst, SetAst};
+use bgp_model::Community;
+
+/// Description of an injected bug (used by tests to assert localization).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedBug {
+    /// The router whose configuration was altered.
+    pub router: String,
+    /// The altered route map.
+    pub route_map: String,
+    /// What was done.
+    pub description: String,
+}
+
+/// Remove all `set community` actions from one route map on one router
+/// (the "forgot to tag" bug). Returns the bug description, or `None` when
+/// the router/map was not found.
+pub fn drop_community_sets(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+) -> Option<InjectedBug> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    let entries = cfg.route_maps.get_mut(map)?;
+    let mut removed = false;
+    for e in entries {
+        let before = e.sets.len();
+        e.sets.retain(|s| !matches!(s, SetAst::Community { .. }));
+        removed |= e.sets.len() != before;
+    }
+    removed.then(|| InjectedBug {
+        router: router.into(),
+        route_map: map.into(),
+        description: "removed community set actions".into(),
+    })
+}
+
+/// Remove the AS-path match clauses from one route map on one router (the
+/// "ad-hoc policy filtered AS paths differently" bug: one peering in a
+/// fleet of similar sessions loses its private-ASN filter).
+pub fn drop_aspath_filters(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+) -> Option<InjectedBug> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    let entries = cfg.route_maps.get_mut(map)?;
+    let before = entries.len();
+    entries.retain(|e| {
+        !(e.matches.iter().any(|m| matches!(m, MatchAst::AsPath(_))) && !e.permit)
+    });
+    (entries.len() != before).then(|| InjectedBug {
+        router: router.into(),
+        route_map: map.into(),
+        description: "removed as-path deny entries".into(),
+    })
+}
+
+/// Replace every occurrence of one community with another in a route map
+/// (the "undocumented community" bug: a router tags with a community not
+/// present in the metadata file).
+pub fn swap_community(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+    from: Community,
+    to: Community,
+) -> Option<InjectedBug> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    let entries = cfg.route_maps.get_mut(map)?;
+    let mut swapped = false;
+    for e in entries {
+        for s in &mut e.sets {
+            if let SetAst::Community { communities, .. } = s {
+                for c in communities {
+                    if *c == from {
+                        *c = to;
+                        swapped = true;
+                    }
+                }
+            }
+        }
+    }
+    swapped.then(|| InjectedBug {
+        router: router.into(),
+        route_map: map.into(),
+        description: format!("replaced community {from} with {to}"),
+    })
+}
+
+/// Remove one prefix-list deny entry from a route map (a filter that
+/// "denied more traffic than intended" once inverted: here we make it
+/// accept more than intended).
+pub fn drop_prefix_deny(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+    list_name: &str,
+) -> Option<InjectedBug> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    let entries = cfg.route_maps.get_mut(map)?;
+    let before = entries.len();
+    entries.retain(|e| {
+        !(!e.permit
+            && e.matches.iter().any(|m| {
+                matches!(m, MatchAst::PrefixList(names) if names.iter().any(|n| n == list_name))
+            }))
+    });
+    (entries.len() != before).then(|| InjectedBug {
+        router: router.into(),
+        route_map: map.into(),
+        description: format!("removed deny on prefix-list {list_name}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figure1, wan};
+    use lightyear::check::CheckKind;
+    use lightyear::engine::Verifier;
+
+    #[test]
+    fn figure1_missing_tag_localized() {
+        let mut configs = figure1::configs();
+        let bug = drop_community_sets(&mut configs, "R1", "FROM-ISP1").unwrap();
+        let s = figure1::build_from_configs(configs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.ghost.clone());
+        let report = v.verify_safety(&s.no_transit, &s.no_transit_inv);
+        assert!(!report.all_passed());
+        for f in report.failures() {
+            assert_eq!(f.check.kind, CheckKind::Import);
+            assert_eq!(f.check.map_name.as_deref(), Some(bug.route_map.as_str()));
+        }
+    }
+
+    #[test]
+    fn wan_adhoc_aspath_policy_localized() {
+        let params = wan::WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 2,
+        };
+        let mut configs = wan::configs(&params);
+        // One peering on EDGE1 loses its private-ASN filter.
+        let bug = drop_aspath_filters(&mut configs, "EDGE1", "FROM-PEER1").unwrap();
+        let s = wan::build_from_configs(&params, configs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.from_peer_ghost());
+        let (_, q) = s
+            .peering_predicates()
+            .into_iter()
+            .find(|(n, _)| n == "no-private-asn")
+            .unwrap();
+        let (props, inv) = s.peering_property_inputs(&q);
+        let report = v.verify_safety_multi(&props, &inv);
+        assert!(!report.all_passed());
+        let failures = report.failures();
+        // Every failure points at the one ad-hoc peering.
+        for f in &failures {
+            assert_eq!(f.check.map_name.as_deref(), Some(bug.route_map.as_str()));
+            let e = f.check.edge.expect("filter check");
+            let edge = s.network.topology.edge(e);
+            assert_eq!(s.network.topology.node(edge.dst).name, "EDGE1");
+        }
+        // Other peerings still verify: exactly one failing check.
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn wan_undocumented_community_caught() {
+        let params = wan::WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 1,
+        };
+        let mut configs = wan::configs(&params);
+        // Region 0's DC attachment tags with an undocumented community.
+        let undocumented = Community::new(100, 99);
+        let bug = swap_community(
+            &mut configs,
+            "R0-1",
+            "FROM-DC",
+            wan::region_comm(0),
+            undocumented,
+        )
+        .unwrap();
+        let s = wan::build_from_configs(&params, configs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.from_region_ghost(0));
+        let (props, inv) = s.reuse_safety_inputs(0);
+        let report = v.verify_safety_multi(&props, &inv);
+        assert!(!report.all_passed());
+        let failures = report.failures();
+        assert!(failures
+            .iter()
+            .any(|f| f.check.map_name.as_deref() == Some(bug.route_map.as_str())));
+    }
+
+    #[test]
+    fn wan_missing_bogon_filter_localized() {
+        let params = wan::WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 2,
+        };
+        let mut configs = wan::configs(&params);
+        let bug = drop_prefix_deny(&mut configs, "EDGE0", "FROM-PEER0", "BOGONS").unwrap();
+        let s = wan::build_from_configs(&params, configs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.from_peer_ghost());
+        let (_, q) = s
+            .peering_predicates()
+            .into_iter()
+            .find(|(n, _)| n == "no-bogons")
+            .unwrap();
+        let (props, inv) = s.peering_property_inputs(&q);
+        let report = v.verify_safety_multi(&props, &inv);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].check.map_name.as_deref(),
+            Some(bug.route_map.as_str())
+        );
+    }
+
+    #[test]
+    fn mutations_return_none_when_target_missing() {
+        let mut configs = figure1::configs();
+        assert!(drop_community_sets(&mut configs, "NOPE", "FROM-ISP1").is_none());
+        assert!(drop_community_sets(&mut configs, "R1", "NOPE").is_none());
+        assert!(drop_aspath_filters(&mut configs, "R1", "FROM-ISP1").is_none());
+    }
+}

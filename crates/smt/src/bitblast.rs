@@ -1,0 +1,424 @@
+//! Tseitin bit-blasting: lowers a term DAG into CNF.
+//!
+//! Boolean terms map to single SAT literals; bitvector terms map to vectors
+//! of literals (least-significant bit first). Every composite node gets a
+//! definitional encoding, memoized over the hash-consed [`TermId`] so shared
+//! sub-formulas are encoded once.
+
+use crate::cnf::{Cnf, Lit};
+use crate::term::{Term, TermId, TermPool};
+use std::collections::HashMap;
+
+/// The result of bit-blasting a set of assertions.
+pub struct Blasted {
+    /// The CNF to hand to the SAT solver.
+    pub cnf: Cnf,
+    /// Literal for each boolean term encountered.
+    pub bool_map: HashMap<TermId, Lit>,
+    /// Bit literals (LSB first) for each bitvector term encountered.
+    pub bv_map: HashMap<TermId, Vec<Lit>>,
+}
+
+/// Bit-blast `assertions` (all boolean sorted) over `pool` into CNF,
+/// asserting each one true.
+pub fn bitblast(pool: &TermPool, assertions: &[TermId]) -> Blasted {
+    let mut b = Blaster {
+        pool,
+        cnf: Cnf::new(),
+        bool_map: HashMap::new(),
+        bv_map: HashMap::new(),
+        true_lit: None,
+    };
+    for &a in assertions {
+        let l = b.blast_bool(a);
+        b.cnf.add_clause(vec![l]);
+    }
+    Blasted { cnf: b.cnf, bool_map: b.bool_map, bv_map: b.bv_map }
+}
+
+struct Blaster<'a> {
+    pool: &'a TermPool,
+    cnf: Cnf,
+    bool_map: HashMap<TermId, Lit>,
+    bv_map: HashMap<TermId, Vec<Lit>>,
+    true_lit: Option<Lit>,
+}
+
+impl<'a> Blaster<'a> {
+    /// A literal constrained to be true (allocated lazily).
+    fn tru(&mut self) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let v = self.cnf.fresh_var();
+        let l = v.pos();
+        self.cnf.add_clause(vec![l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    fn fls(&mut self) -> Lit {
+        !self.tru()
+    }
+
+    fn const_lit(&mut self, b: bool) -> Lit {
+        if b {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    fn fresh(&mut self) -> Lit {
+        self.cnf.fresh_var().pos()
+    }
+
+    /// Blast a boolean-sorted term to a single literal.
+    fn blast_bool(&mut self, t: TermId) -> Lit {
+        if let Some(&l) = self.bool_map.get(&t) {
+            return l;
+        }
+        let lit = match self.pool.term(t).clone() {
+            Term::True => self.tru(),
+            Term::False => self.fls(),
+            Term::BoolVar(_) => self.fresh(),
+            Term::Not(a) => !self.blast_bool(a),
+            Term::And(parts) => {
+                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(p)).collect();
+                self.encode_and(&lits)
+            }
+            Term::Or(parts) => {
+                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(p)).collect();
+                let neg: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                !self.encode_and(&neg)
+            }
+            Term::Ite(c, a, b) => {
+                // Boolean ite is normally rewritten away by the pool, but
+                // handle it defensively.
+                let lc = self.blast_bool(c);
+                let la = self.blast_bool(a);
+                let lb = self.blast_bool(b);
+                self.encode_mux(lc, la, lb)
+            }
+            Term::BvEq(a, b) => {
+                let xa = self.blast_bv(a);
+                let xb = self.blast_bv(b);
+                let eqs: Vec<Lit> = xa
+                    .iter()
+                    .zip(xb.iter())
+                    .map(|(&p, &q)| self.encode_xnor(p, q))
+                    .collect();
+                self.encode_and(&eqs)
+            }
+            Term::BvUlt(a, b) => {
+                let xa = self.blast_bv(a);
+                let xb = self.blast_bv(b);
+                self.encode_ult(&xa, &xb)
+            }
+            Term::BvUle(a, b) => {
+                let xa = self.blast_bv(a);
+                let xb = self.blast_bv(b);
+                let gt = self.encode_ult(&xb, &xa);
+                !gt
+            }
+            other => panic!("blast_bool on non-boolean term {other:?}"),
+        };
+        self.bool_map.insert(t, lit);
+        lit
+    }
+
+    /// Blast a bitvector-sorted term to a vector of literals (LSB first).
+    fn blast_bv(&mut self, t: TermId) -> Vec<Lit> {
+        if let Some(bits) = self.bv_map.get(&t) {
+            return bits.clone();
+        }
+        let bits = match self.pool.term(t).clone() {
+            Term::BvConst { width, value } => (0..width)
+                .map(|i| {
+                    let b = (value >> i) & 1 == 1;
+                    self.const_lit(b)
+                })
+                .collect(),
+            Term::BvVar { width, .. } => (0..width).map(|_| self.fresh()).collect(),
+            Term::BvAnd(a, b) => {
+                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                xa.iter()
+                    .zip(xb.iter())
+                    .map(|(&p, &q)| self.encode_and(&[p, q]))
+                    .collect()
+            }
+            Term::BvOr(a, b) => {
+                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                xa.iter()
+                    .zip(xb.iter())
+                    .map(|(&p, &q)| {
+                        let n = self.encode_and(&[!p, !q]);
+                        !n
+                    })
+                    .collect()
+            }
+            Term::BvXor(a, b) => {
+                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                xa.iter()
+                    .zip(xb.iter())
+                    .map(|(&p, &q)| {
+                        let xn = self.encode_xnor(p, q);
+                        !xn
+                    })
+                    .collect()
+            }
+            Term::BvNot(a) => self.blast_bv(a).iter().map(|&l| !l).collect(),
+            Term::BvAdd(a, b) => {
+                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                self.encode_adder(&xa, &xb)
+            }
+            Term::BvExtract { hi, lo, arg } => {
+                let bits = self.blast_bv(arg);
+                bits[lo as usize..=hi as usize].to_vec()
+            }
+            Term::BvLshrConst { arg, amount } => {
+                let bits = self.blast_bv(arg);
+                let w = bits.len();
+                let mut out = Vec::with_capacity(w);
+                for i in 0..w {
+                    let src = i + amount as usize;
+                    if src < w {
+                        out.push(bits[src]);
+                    } else {
+                        out.push(self.fls());
+                    }
+                }
+                out
+            }
+            Term::Ite(c, a, b) => {
+                let lc = self.blast_bool(c);
+                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                xa.iter()
+                    .zip(xb.iter())
+                    .map(|(&p, &q)| self.encode_mux(lc, p, q))
+                    .collect()
+            }
+            other => panic!("blast_bv on non-bitvector term {other:?}"),
+        };
+        self.bv_map.insert(t, bits.clone());
+        bits
+    }
+
+    /// Definitional AND gate: out <-> /\ lits.
+    fn encode_and(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => self.tru(),
+            1 => lits[0],
+            _ => {
+                let out = self.fresh();
+                // out -> each lit
+                for &l in lits {
+                    self.cnf.add_clause(vec![!out, l]);
+                }
+                // all lits -> out
+                let mut cl: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                cl.push(out);
+                self.cnf.add_clause(cl);
+                out
+            }
+        }
+    }
+
+    /// Definitional XNOR gate: out <-> (a == b).
+    fn encode_xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.cnf.add_clause(vec![!out, !a, b]);
+        self.cnf.add_clause(vec![!out, a, !b]);
+        self.cnf.add_clause(vec![out, a, b]);
+        self.cnf.add_clause(vec![out, !a, !b]);
+        out
+    }
+
+    /// Definitional MUX gate: out <-> (c ? a : b).
+    fn encode_mux(&mut self, c: Lit, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.cnf.add_clause(vec![!c, !a, out]);
+        self.cnf.add_clause(vec![!c, a, !out]);
+        self.cnf.add_clause(vec![c, !b, out]);
+        self.cnf.add_clause(vec![c, b, !out]);
+        out
+    }
+
+    /// Unsigned less-than comparator: returns a literal true iff a < b.
+    fn encode_ult(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        // lt_i: comparing bits [0..=i], a < b. Built from LSB up:
+        // lt_i = (!a_i & b_i) | (a_i==b_i & lt_{i-1})
+        let mut lt = self.fls();
+        for i in 0..a.len() {
+            let (ai, bi) = (a[i], b[i]);
+            let strictly = self.encode_and(&[!ai, bi]);
+            let eq = self.encode_xnor(ai, bi);
+            let carry = self.encode_and(&[eq, lt]);
+            let n = self.encode_and(&[!strictly, !carry]);
+            lt = !n;
+        }
+        lt
+    }
+
+    /// Ripple-carry adder (modular).
+    fn encode_adder(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut carry = self.fls();
+        for i in 0..a.len() {
+            // xnor(a,b); its negation is xor(a,b).
+            let axb = self.encode_xnor(a[i], b[i]);
+            // sum = xor(xor(a,b), carry) = !xnor(xor(a,b), carry)
+            let s = !self.encode_xnor(!axb, carry);
+            // carry_out = (a & b) | (carry & xor(a,b))
+            let ab = self.encode_and(&[a[i], b[i]]);
+            let cx = self.encode_and(&[carry, !axb]);
+            let no = self.encode_and(&[!ab, !cx]);
+            out.push(s);
+            carry = !no;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{SatSolver, SolveOutcome};
+    use crate::term::TermPool;
+
+    fn is_sat(pool: &TermPool, assertions: &[TermId]) -> bool {
+        let blasted = bitblast(pool, assertions);
+        let mut s = SatSolver::from_cnf(&blasted.cnf);
+        s.solve() == SolveOutcome::Sat
+    }
+
+    #[test]
+    fn bool_var_sat() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        assert!(is_sat(&p, &[a]));
+        let na = p.not(a);
+        assert!(!is_sat(&p, &[a, na]));
+    }
+
+    #[test]
+    fn bv_eq_const() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let c = p.bv_const(42, 8);
+        let eq = p.bv_eq(x, c);
+        assert!(is_sat(&p, &[eq]));
+        // x == 42 and x == 43 is unsat.
+        let c2 = p.bv_const(43, 8);
+        let eq2 = p.bv_eq(x, c2);
+        assert!(!is_sat(&p, &[eq, eq2]));
+    }
+
+    #[test]
+    fn ult_antisymmetric() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 6);
+        let y = p.bv_var("y", 6);
+        let xy = p.bv_ult(x, y);
+        let yx = p.bv_ult(y, x);
+        assert!(is_sat(&p, &[xy]));
+        assert!(!is_sat(&p, &[xy, yx]));
+    }
+
+    #[test]
+    fn ule_total() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 4);
+        let y = p.bv_var("y", 4);
+        let xy = p.bv_ule(x, y);
+        let yx = p.bv_ule(y, x);
+        let nxy = p.not(xy);
+        let nyx = p.not(yx);
+        // !(x<=y) and !(y<=x) is unsat (totality).
+        assert!(!is_sat(&p, &[nxy, nyx]));
+    }
+
+    #[test]
+    fn adder_concrete() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let a = p.bv_const(100, 8);
+        let b = p.bv_const(56, 8);
+        let sum = p.bv_add(x, b);
+        let eq_in = p.bv_eq(x, a);
+        let expect = p.bv_const(156, 8);
+        let eq_out = p.bv_eq(sum, expect);
+        let neq_out = p.not(eq_out);
+        assert!(is_sat(&p, &[eq_in, eq_out]));
+        assert!(!is_sat(&p, &[eq_in, neq_out]));
+    }
+
+    #[test]
+    fn adder_wraps() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let c = p.bv_const(200, 8);
+        let sum = p.bv_add(x, c); // x + 200
+        let eq_in = p.bv_eq(x, c); // x = 200
+        let expect = p.bv_const(400 % 256, 8);
+        let eq_out = p.bv_eq(sum, expect);
+        let bad = p.not(eq_out);
+        assert!(!is_sat(&p, &[eq_in, bad]));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let a = p.bv_const(0b1100, 8);
+        let b = p.bv_const(0b1010, 8);
+        let ex = p.bv_eq(x, a);
+        for (op, expect) in [
+            (p.bv_and(x, b), 0b1000u64),
+            (p.bv_or(x, b), 0b1110),
+            (p.bv_xor(x, b), 0b0110),
+        ] {
+            let e = p.bv_const(expect, 8);
+            let eq = p.bv_eq(op, e);
+            let ne = p.not(eq);
+            assert!(!is_sat(&p, &[ex, ne]));
+        }
+    }
+
+    #[test]
+    fn extract_and_shift() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let v = p.bv_const(0b1011_0110, 8);
+        let ex = p.bv_eq(x, v);
+        let hi = p.bv_extract(7, 4, x);
+        let e_hi = p.bv_const(0b1011, 4);
+        let eq_hi = p.bv_eq(hi, e_hi);
+        let ne = p.not(eq_hi);
+        assert!(!is_sat(&p, &[ex, ne]));
+
+        let sh = p.bv_lshr_const(x, 3);
+        let e_sh = p.bv_const(0b0001_0110, 8);
+        let eq_sh = p.bv_eq(sh, e_sh);
+        let ne2 = p.not(eq_sh);
+        assert!(!is_sat(&p, &[ex, ne2]));
+    }
+
+    #[test]
+    fn ite_bv() {
+        let mut p = TermPool::new();
+        let c = p.bool_var("c");
+        let a = p.bv_const(1, 4);
+        let b = p.bv_const(2, 4);
+        let x = p.ite(c, a, b);
+        let is_one = p.bv_eq(x, a);
+        // c and x != 1 is unsat
+        let ne = p.not(is_one);
+        assert!(!is_sat(&p, &[c, ne]));
+        // !c and x == 1 is unsat
+        let nc = p.not(c);
+        assert!(!is_sat(&p, &[nc, is_one]));
+    }
+}

@@ -1,0 +1,164 @@
+//! CNF representation shared by the bit-blaster and the SAT solver.
+
+use std::fmt;
+
+/// A SAT variable (0-based index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal with the given sign (`true` = positive).
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: variable plus sign, packed as `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True for a positive (non-negated) literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Raw index for direct array addressing (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "!v{}", self.var().0)
+        }
+    }
+}
+
+/// A CNF formula: clause list plus variable count.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) CNF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clause list.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Add a clause (disjunction of literals). An empty clause makes the
+    /// formula unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl Into<Vec<Lit>>) {
+        let lits = lits.into();
+        debug_assert!(
+            lits.iter().all(|l| l.var().0 < self.num_vars),
+            "clause references unallocated variable"
+        );
+        self.clauses.push(lits);
+    }
+
+    /// Evaluate under a total assignment (indexed by variable).
+    /// Used by tests and the brute-force reference solver.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().0 as usize] == l.is_pos())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_packing() {
+        let v = Var(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_pos());
+        assert!(!v.neg().is_pos());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!(!v.pos()), v.pos());
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+    }
+
+    #[test]
+    fn cnf_eval() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(vec![a.pos(), b.pos()]);
+        cnf.add_clause(vec![a.neg(), b.neg()]);
+        assert!(cnf.eval(&[true, false]));
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+}

@@ -1,0 +1,776 @@
+//! A MiniSat-style CDCL SAT solver.
+//!
+//! Features: two-watched-literal unit propagation, first-UIP conflict
+//! analysis with clause minimization, VSIDS variable activities with an
+//! indexed binary heap, phase saving, Luby-sequence restarts and
+//! activity-driven learnt-clause database reduction.
+//!
+//! The solver is deliberately self-contained (no `unsafe`, no external
+//! dependencies) — it is the substrate on which every Lightyear local check
+//! and every Minesweeper monolithic query in this workspace is decided.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Tri-state assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found (read it via [`SatSolver::value`]).
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+/// Reference to a clause in the solver's arena.
+type ClauseRef = u32;
+const REASON_NONE: ClauseRef = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f32,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal from the clause other than the watched one; if it is
+    /// already true the clause is satisfied and the watch scan can skip it.
+    blocker: Lit,
+}
+
+/// Cumulative counters exposed for benchmarking (Figure 3c/3d).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts found.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+/// The CDCL solver.
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by Lit::index()
+    assigns: Vec<LBool>,        // indexed by var
+    phase: Vec<bool>,           // saved phases
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f32,
+    heap: OrderHeap,
+    seen: Vec<bool>,
+    ok: bool, // false once a top-level conflict is found
+    stats: SatStats,
+    max_learnts: f64,
+}
+
+impl SatSolver {
+    /// Create a solver over `num_vars` variables.
+    pub fn new(num_vars: u32) -> Self {
+        let n = num_vars as usize;
+        SatSolver {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * n],
+            assigns: vec![LBool::Undef; n],
+            phase: vec![false; n],
+            level: vec![0; n],
+            reason: vec![REASON_NONE; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: OrderHeap::new(n),
+            seen: vec![false; n],
+            ok: true,
+            stats: SatStats::default(),
+            max_learnts: 0.0,
+        }
+    }
+
+    /// Build a solver directly from a [`Cnf`].
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = SatSolver::new(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_pos()),
+            LBool::False => LBool::from_bool(!l.is_pos()),
+        }
+    }
+
+    /// Value of a variable in the satisfying assignment (valid after `Sat`).
+    pub fn value(&self, v: Var) -> bool {
+        self.assigns[v.0 as usize] == LBool::True
+    }
+
+    /// Add a clause. Returns `false` if the formula became trivially
+    /// unsatisfiable (conflict at decision level 0).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        // Normalize: drop duplicate and false literals, detect tautology.
+        lits.sort();
+        lits.dedup();
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: x \/ !x
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {
+                    lits.remove(i);
+                }
+                LBool::Undef => i += 1,
+            }
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], REASON_NONE);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = Watcher { cref, blocker: lits[1] };
+        let w1 = Watcher { cref, blocker: lits[0] };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        let v = l.var().0 as usize;
+        debug_assert_eq!(self.assigns[v], LBool::Undef);
+        self.assigns[v] = LBool::from_bool(l.is_pos());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                // Fast path: blocker already true.
+                if self.value_lit(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref as usize].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal (!p) is at position 1.
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        let c = &mut self.clauses[cref as usize];
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).index()].push(Watcher { cref, blocker: first });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    // Conflict: keep remaining watchers, restore and bail.
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                    i += 1;
+                }
+            }
+            // Put back the (possibly shrunk) watcher list, preserving any
+            // watchers that were appended to the fresh list during the scan
+            // (can happen when a clause watches both p and !p's variable).
+            let appended = std::mem::take(&mut self.watches[p.index()]);
+            ws.extend(appended);
+            self.watches[p.index()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = confl;
+        let cur_level = self.decision_level();
+
+        loop {
+            self.cla_bump(cref);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cref as usize].lits.len() {
+                let q = self.clauses[cref as usize].lits[k];
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.var_bump(v);
+                    if self.level[v] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().0 as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            let v = pl.var().0 as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            cref = self.reason[v];
+            debug_assert_ne!(cref, REASON_NONE);
+            p = Some(pl);
+        }
+        learnt[0] = !p.unwrap();
+
+        // Clause minimization: drop literals implied by the rest. Keep a
+        // copy so the `seen` flags of *removed* literals are cleared too.
+        let to_clear = learnt.clone();
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if !self.lit_redundant(l) {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+
+        // Compute backtrack level = second-highest level in the clause.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().0 as usize]
+                    > self.level[learnt[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().0 as usize]
+        };
+
+        // Clear the `seen` flags we set on clause literals.
+        for &l in &to_clear {
+            self.seen[l.var().0 as usize] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    /// Simple (non-recursive) redundancy test: a literal is redundant if its
+    /// reason clause exists and all the reason's other literals are already
+    /// seen (i.e. already in the learnt clause) or at level 0.
+    fn lit_redundant(&self, l: Lit) -> bool {
+        let v = l.var().0 as usize;
+        let r = self.reason[v];
+        if r == REASON_NONE {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().skip(1).all(|&q| {
+            let qv = q.var().0 as usize;
+            self.seen[qv] || self.level[qv] == 0
+        })
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            self.phase[v] = l.is_pos();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = REASON_NONE;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v] == LBool::Undef {
+                return Some(Var(v as u32));
+            }
+        }
+        None
+    }
+
+    /// Remove the less active half of learnt clauses (keeping reasons).
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learnt && !cl.deleted && cl.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnt_refs
+            .iter()
+            .map(|&c| {
+                // A clause is locked while it is the reason for one of its
+                // watched literals' assignments.
+                self.clauses[c as usize].lits[..2].iter().any(|&l| {
+                    self.reason[l.var().0 as usize] == c
+                        && self.value_lit(l) == LBool::True
+                })
+            })
+            .collect();
+        let n_remove = learnt_refs.len() / 2;
+        let mut removed = 0;
+        for (idx, &c) in learnt_refs.iter().enumerate() {
+            if removed >= n_remove {
+                break;
+            }
+            if locked[idx] {
+                continue;
+            }
+            self.clauses[c as usize].deleted = true;
+            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+            removed += 1;
+        }
+        // Deleted clauses are skipped lazily during propagation.
+    }
+
+    /// Solve the formula. Returns `Sat` or `Unsat`; on `Sat` the model is
+    /// available through [`SatSolver::value`].
+    pub fn solve(&mut self) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        self.max_learnts = (self.clauses.len() as f64 * 0.3).max(1000.0);
+        let mut restart_idx = 0u64;
+        let mut conflicts_budget = 100 * luby(restart_idx);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], REASON_NONE);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.unchecked_enqueue(asserting, cref);
+                }
+                self.var_decay();
+                self.cla_inc *= 1.001;
+                conflicts_budget = conflicts_budget.saturating_sub(1);
+            } else {
+                if conflicts_budget == 0 {
+                    // Restart.
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_budget = 100 * luby(restart_idx);
+                    self.cancel_until(0);
+                }
+                if self.stats.learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                match self.pick_branch_var() {
+                    None => return SolveOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v.0 as usize];
+                        self.unchecked_enqueue(v.lit(phase), REASON_NONE);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(x: u64) -> u64 {
+    // Find the finite subsequence that contains index x and its size.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Indexed binary max-heap over variable activities.
+struct OrderHeap {
+    heap: Vec<usize>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+impl OrderHeap {
+    fn new(n: usize) -> Self {
+        OrderHeap { heap: (0..n).collect(), pos: (0..n).collect() }
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.pos[v] != usize::MAX
+    }
+
+    fn insert(&mut self, v: usize, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: usize, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v], act);
+        }
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i]] <= act[self.heap[parent]] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l]] > act[self.heap[best]] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r]] > act[self.heap[best]] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i]] = i;
+        self.pos[self.heap[j]] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn solve_clauses(num_vars: u32, clauses: &[&[i32]]) -> SolveOutcome {
+        let mut s = SatSolver::new(num_vars);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&x| {
+                    let v = Var((x.unsigned_abs() - 1) as u32);
+                    v.lit(x > 0)
+                })
+                .collect();
+            if !s.add_clause(lits) {
+                return SolveOutcome::Unsat;
+            }
+        }
+        s.solve()
+    }
+
+    #[test]
+    fn trivially_sat() {
+        assert_eq!(solve_clauses(1, &[&[1]]), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        assert_eq!(solve_clauses(1, &[&[1], &[-1]]), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert_eq!(solve_clauses(3, &[]), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn simple_implication_chain_unsat() {
+        // a, a->b, b->c, !c
+        assert_eq!(
+            solve_clauses(3, &[&[1], &[-1, 2], &[-2, 3], &[-3]]),
+            SolveOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // (a xor b), (b xor c): satisfiable
+        assert_eq!(
+            solve_clauses(3, &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3]]),
+            SolveOutcome::Sat
+        );
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_ij: pigeon i in hole j. vars: p11=1,p12=2,p21=3,p22=4,p31=5,p32=6
+        let clauses: &[&[i32]] = &[
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            // no two pigeons share hole 1
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            // no two pigeons share hole 2
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ];
+        assert_eq!(solve_clauses(6, clauses), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..8).map(|_| cnf.fresh_var()).collect();
+        // Random-ish structured formula.
+        cnf.add_clause(vec![vars[0].pos(), vars[1].neg(), vars[2].pos()]);
+        cnf.add_clause(vec![vars[3].neg(), vars[4].pos()]);
+        cnf.add_clause(vec![vars[5].pos(), vars[6].pos(), vars[7].neg()]);
+        cnf.add_clause(vec![vars[0].neg(), vars[3].pos()]);
+        cnf.add_clause(vec![vars[2].neg(), vars[5].neg()]);
+        let mut s = SatSolver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let assignment: Vec<bool> = vars.iter().map(|&v| s.value(v)).collect();
+        assert!(cnf.eval(&assignment));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        // (a \/ a) dedups to the unit clause (a); (a \/ !a) is dropped as a
+        // tautology; then (!a) conflicts at level 0 -> Unsat.
+        let mut s = SatSolver::new(1);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(0).pos()]));
+        assert!(s.add_clause(vec![Var(0).pos(), Var(0).neg()]));
+        assert!(!s.add_clause(vec![Var(0).neg()]));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+
+        // Tautology alone stays satisfiable either way.
+        let mut s2 = SatSolver::new(2);
+        assert!(s2.add_clause(vec![Var(0).pos(), Var(0).neg()]));
+        assert!(s2.add_clause(vec![Var(1).neg()]));
+        assert_eq!(s2.solve(), SolveOutcome::Sat);
+        assert!(!s2.value(Var(1)));
+    }
+
+    #[test]
+    fn at_most_one_constraints() {
+        // Exactly-one over 4 vars, forced to var 2.
+        let mut clauses: Vec<Vec<i32>> = vec![vec![1, 2, 3, 4]];
+        for i in 1..=4 {
+            for j in (i + 1)..=4 {
+                clauses.push(vec![-i, -j]);
+            }
+        }
+        clauses.push(vec![-1]);
+        clauses.push(vec![-3]);
+        clauses.push(vec![-4]);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = SatSolver::new(4);
+        for c in &refs {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&x| Var((x.unsigned_abs() - 1) as u32).lit(x > 0))
+                .collect();
+            assert!(s.add_clause(lits));
+        }
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value(Var(1)));
+    }
+}

@@ -1,0 +1,327 @@
+//! Public SMT facade: check satisfiability of a set of boolean terms and
+//! extract models over the original term variables.
+
+use crate::bitblast::{bitblast, Blasted};
+use crate::cnf::Lit;
+use crate::sat::{SatSolver, SatStats, SolveOutcome};
+use crate::term::{Sort, Term, TermId, TermPool};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A concrete value in a model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Bitvector value (zero-extended to 64 bits).
+    Bv(u64),
+}
+
+/// A satisfying assignment, mapping variable terms to values, with an
+/// evaluator for arbitrary terms.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    values: HashMap<TermId, Value>,
+}
+
+impl Model {
+    fn from_blasted(pool: &TermPool, blasted: &Blasted, sat: &SatSolver) -> Model {
+        let lit_val = |l: Lit| -> bool {
+            let v = sat.value(l.var());
+            if l.is_pos() {
+                v
+            } else {
+                !v
+            }
+        };
+        let mut values = HashMap::new();
+        for &t in pool.bool_vars() {
+            if let Some(&l) = blasted.bool_map.get(&t) {
+                values.insert(t, Value::Bool(lit_val(l)));
+            } else {
+                // Variable never appeared in the assertions: value is free.
+                values.insert(t, Value::Bool(false));
+            }
+        }
+        for &t in pool.bv_vars() {
+            if let Some(bits) = blasted.bv_map.get(&t) {
+                let mut v = 0u64;
+                for (i, &b) in bits.iter().enumerate() {
+                    if lit_val(b) {
+                        v |= 1 << i;
+                    }
+                }
+                values.insert(t, Value::Bv(v));
+            } else {
+                values.insert(t, Value::Bv(0));
+            }
+        }
+        Model { values }
+    }
+
+    /// Construct a model directly from variable assignments (for tests).
+    pub fn from_values(values: HashMap<TermId, Value>) -> Model {
+        Model { values }
+    }
+
+    /// Value of a boolean variable (or any term, by evaluation).
+    pub fn eval_bool(&self, pool: &TermPool, t: TermId) -> Option<bool> {
+        match self.eval(pool, t)? {
+            Value::Bool(b) => Some(b),
+            Value::Bv(_) => None,
+        }
+    }
+
+    /// Value of a bitvector term under this model.
+    pub fn eval_bv(&self, pool: &TermPool, t: TermId) -> Option<u64> {
+        match self.eval(pool, t)? {
+            Value::Bv(v) => Some(v),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// Evaluate an arbitrary term under this model.
+    pub fn eval(&self, pool: &TermPool, t: TermId) -> Option<Value> {
+        if let Some(&v) = self.values.get(&t) {
+            return Some(v);
+        }
+        let width_mask = |w: u32| -> u64 {
+            if w >= 64 {
+                u64::MAX
+            } else {
+                (1 << w) - 1
+            }
+        };
+        let v = match pool.term(t).clone() {
+            Term::True => Value::Bool(true),
+            Term::False => Value::Bool(false),
+            Term::BoolVar(_) => Value::Bool(false), // unconstrained
+            Term::BvVar { .. } => Value::Bv(0),     // unconstrained
+            Term::Not(a) => Value::Bool(!self.eval_bool(pool, a)?),
+            Term::And(parts) => {
+                let mut acc = true;
+                for p in parts {
+                    acc &= self.eval_bool(pool, p)?;
+                }
+                Value::Bool(acc)
+            }
+            Term::Or(parts) => {
+                let mut acc = false;
+                for p in parts {
+                    acc |= self.eval_bool(pool, p)?;
+                }
+                Value::Bool(acc)
+            }
+            Term::Ite(c, a, b) => {
+                if self.eval_bool(pool, c)? {
+                    self.eval(pool, a)?
+                } else {
+                    self.eval(pool, b)?
+                }
+            }
+            Term::BvConst { value, .. } => Value::Bv(value),
+            Term::BvEq(a, b) => {
+                Value::Bool(self.eval_bv(pool, a)? == self.eval_bv(pool, b)?)
+            }
+            Term::BvUlt(a, b) => {
+                Value::Bool(self.eval_bv(pool, a)? < self.eval_bv(pool, b)?)
+            }
+            Term::BvUle(a, b) => {
+                Value::Bool(self.eval_bv(pool, a)? <= self.eval_bv(pool, b)?)
+            }
+            Term::BvAnd(a, b) => {
+                Value::Bv(self.eval_bv(pool, a)? & self.eval_bv(pool, b)?)
+            }
+            Term::BvOr(a, b) => {
+                Value::Bv(self.eval_bv(pool, a)? | self.eval_bv(pool, b)?)
+            }
+            Term::BvXor(a, b) => {
+                Value::Bv(self.eval_bv(pool, a)? ^ self.eval_bv(pool, b)?)
+            }
+            Term::BvNot(a) => {
+                let w = pool.sort(t).width();
+                Value::Bv(!self.eval_bv(pool, a)? & width_mask(w))
+            }
+            Term::BvAdd(a, b) => {
+                let w = pool.sort(t).width();
+                Value::Bv(
+                    self.eval_bv(pool, a)?.wrapping_add(self.eval_bv(pool, b)?)
+                        & width_mask(w),
+                )
+            }
+            Term::BvExtract { hi, lo, arg } => {
+                let v = self.eval_bv(pool, arg)?;
+                Value::Bv((v >> lo) & width_mask(hi - lo + 1))
+            }
+            Term::BvLshrConst { arg, amount } => {
+                let v = self.eval_bv(pool, arg)?;
+                Value::Bv(if amount >= 64 { 0 } else { v >> amount })
+            }
+        };
+        Some(v)
+    }
+}
+
+/// Result of an SMT query.
+#[derive(Clone, Debug)]
+pub enum SatResult {
+    /// Satisfiable, with a model over the pool's variables.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// True when satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Size and effort statistics for one query (the Figure-3 metrics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// SAT variables after bit-blasting.
+    pub num_vars: u64,
+    /// CNF clauses after bit-blasting.
+    pub num_clauses: u64,
+    /// Time spent bit-blasting.
+    pub encode_time: Duration,
+    /// Time spent in the SAT solver.
+    pub solve_time: Duration,
+    /// SAT-level counters.
+    pub sat: SatStats,
+}
+
+/// Decide the conjunction of `assertions`.
+pub fn solve(pool: &TermPool, assertions: &[TermId]) -> SatResult {
+    solve_with_stats(pool, assertions).0
+}
+
+/// Decide the conjunction of `assertions`, also returning statistics.
+pub fn solve_with_stats(pool: &TermPool, assertions: &[TermId]) -> (SatResult, SolverStats) {
+    for &a in assertions {
+        debug_assert_eq!(pool.sort(a), Sort::Bool, "assertions must be boolean");
+    }
+    let t0 = Instant::now();
+    let blasted = bitblast(pool, assertions);
+    let encode_time = t0.elapsed();
+    let mut stats = SolverStats {
+        num_vars: blasted.cnf.num_vars() as u64,
+        num_clauses: blasted.cnf.num_clauses() as u64,
+        encode_time,
+        ..Default::default()
+    };
+    let t1 = Instant::now();
+    let mut sat = SatSolver::from_cnf(&blasted.cnf);
+    let outcome = sat.solve();
+    stats.solve_time = t1.elapsed();
+    stats.sat = sat.stats();
+    let result = match outcome {
+        SolveOutcome::Sat => SatResult::Sat(Model::from_blasted(pool, &blasted, &sat)),
+        SolveOutcome::Unsat => SatResult::Unsat,
+    };
+    (result, stats)
+}
+
+/// Check validity of `formula` (i.e. unsatisfiability of its negation),
+/// returning `None` when valid or a counter-model otherwise.
+pub fn check_valid(pool: &mut TermPool, formula: TermId) -> Option<Model> {
+    let neg = pool.not(formula);
+    match solve(pool, &[neg]) {
+        SatResult::Sat(m) => Some(m),
+        SatResult::Unsat => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_with_model() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let lo = p.bv_const(10, 8);
+        let hi = p.bv_const(20, 8);
+        let c1 = p.bv_ult(lo, x);
+        let c2 = p.bv_ult(x, hi);
+        match solve(&p, &[c1, c2]) {
+            SatResult::Sat(m) => {
+                let v = m.eval_bv(&p, x).unwrap();
+                assert!(v > 10 && v < 20, "model value {v} out of range");
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn unsat_range() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let lo = p.bv_const(20, 8);
+        let hi = p.bv_const(10, 8);
+        let c1 = p.bv_ult(lo, x);
+        let c2 = p.bv_ult(x, hi);
+        assert!(!solve(&p, &[c1, c2]).is_sat());
+    }
+
+    #[test]
+    fn model_evaluates_composites() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let y = p.bv_var("y", 8);
+        let c5 = p.bv_const(5, 8);
+        let c7 = p.bv_const(7, 8);
+        let a1 = p.bv_eq(x, c5);
+        let a2 = p.bv_eq(y, c7);
+        match solve(&p, &[a1, a2]) {
+            SatResult::Sat(m) => {
+                let sum = p.bv_add(x, y);
+                assert_eq!(m.eval_bv(&p, sum), Some(12));
+                let lt = p.bv_ult(x, y);
+                assert_eq!(m.eval_bool(&p, lt), Some(true));
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn check_valid_tautology() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let na = p.not(a);
+        let taut = p.or2(a, na);
+        assert!(check_valid(&mut p, taut).is_none());
+        // 'a' alone is not valid; counter-model sets a=false.
+        let cm = check_valid(&mut p, a).expect("not valid");
+        assert_eq!(cm.eval_bool(&p, a), Some(false));
+    }
+
+    #[test]
+    fn unconstrained_vars_get_default_values() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let x = p.bv_var("x", 8);
+        let t = p.tru();
+        match solve(&p, &[t]) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.eval_bool(&p, a), Some(false));
+                assert_eq!(m.eval_bv(&p, x), Some(0));
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn stats_reported() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 16);
+        let y = p.bv_var("y", 16);
+        let c = p.bv_ult(x, y);
+        let (r, stats) = solve_with_stats(&p, &[c]);
+        assert!(r.is_sat());
+        assert!(stats.num_vars > 16);
+        assert!(stats.num_clauses > 0);
+    }
+}

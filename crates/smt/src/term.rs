@@ -1,0 +1,708 @@
+//! Hash-consed term DAG for quantifier-free boolean + bitvector formulas.
+//!
+//! Terms are created through [`TermPool`] smart constructors, which apply
+//! cheap local rewrites (constant folding, `not not x -> x`, flattening of
+//! nested conjunctions/disjunctions, absorption of neutral elements). The
+//! pool guarantees structural sharing: building the same term twice returns
+//! the same [`TermId`], which keeps the bit-blasted CNF small when the same
+//! sub-formula (e.g. a prefix-list match) appears in many checks.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a term inside a [`TermPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The sort (type) of a term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// A boolean.
+    Bool,
+    /// A bitvector of the given width (1..=64 bits).
+    BitVec(u32),
+}
+
+impl Sort {
+    /// Width of a bitvector sort; panics for `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("Sort::width called on Bool"),
+        }
+    }
+}
+
+/// A term node. Children are [`TermId`]s into the owning pool.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Boolean constant `true`.
+    True,
+    /// Boolean constant `false`.
+    False,
+    /// Free boolean variable (index into the pool's variable-name table).
+    BoolVar(u32),
+    /// Logical negation.
+    Not(TermId),
+    /// N-ary conjunction (flattened, at least 2 children).
+    And(Vec<TermId>),
+    /// N-ary disjunction (flattened, at least 2 children).
+    Or(Vec<TermId>),
+    /// If-then-else; branches may be booleans or same-width bitvectors.
+    Ite(TermId, TermId, TermId),
+    /// Bitvector constant (`value` is truncated to `width` bits).
+    BvConst { width: u32, value: u64 },
+    /// Free bitvector variable (index into variable-name table).
+    BvVar { width: u32, name: u32 },
+    /// Bitvector equality (produces a boolean).
+    BvEq(TermId, TermId),
+    /// Unsigned less-than (produces a boolean).
+    BvUlt(TermId, TermId),
+    /// Unsigned less-or-equal (produces a boolean).
+    BvUle(TermId, TermId),
+    /// Bitwise and.
+    BvAnd(TermId, TermId),
+    /// Bitwise or.
+    BvOr(TermId, TermId),
+    /// Bitwise xor.
+    BvXor(TermId, TermId),
+    /// Bitwise complement.
+    BvNot(TermId),
+    /// Modular addition.
+    BvAdd(TermId, TermId),
+    /// Extract bits `[hi..=lo]` (width = hi - lo + 1).
+    BvExtract { hi: u32, lo: u32, arg: TermId },
+    /// Logical shift right by a constant amount.
+    BvLshrConst { arg: TermId, amount: u32 },
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Arena of hash-consed terms plus variable name tables.
+#[derive(Clone, Debug, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    sorts: Vec<Sort>,
+    intern: HashMap<Term, TermId>,
+    var_names: Vec<String>,
+    bool_vars: Vec<TermId>,
+    bv_vars: Vec<TermId>,
+}
+
+impl TermPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms created so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// All free boolean variables created so far.
+    pub fn bool_vars(&self) -> &[TermId] {
+        &self.bool_vars
+    }
+
+    /// All free bitvector variables created so far.
+    pub fn bv_vars(&self) -> &[TermId] {
+        &self.bv_vars
+    }
+
+    /// Look up a term node.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.sorts[id.0 as usize]
+    }
+
+    /// The user-supplied name of a variable term, if it is one.
+    pub fn var_name(&self, id: TermId) -> Option<&str> {
+        match self.term(id) {
+            Term::BoolVar(n) | Term::BvVar { name: n, .. } => {
+                Some(&self.var_names[*n as usize])
+            }
+            _ => None,
+        }
+    }
+
+    fn intern(&mut self, t: Term, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.sorts.push(sort);
+        self.intern.insert(t, id);
+        id
+    }
+
+    // ---------------------------------------------------------------------
+    // Boolean constructors
+    // ---------------------------------------------------------------------
+
+    /// The constant `true`.
+    pub fn tru(&mut self) -> TermId {
+        self.intern(Term::True, Sort::Bool)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&mut self) -> TermId {
+        self.intern(Term::False, Sort::Bool)
+    }
+
+    /// A boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        if b {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    /// A fresh-or-existing named boolean variable. Two calls with the same
+    /// name return the same variable.
+    pub fn bool_var(&mut self, name: &str) -> TermId {
+        if let Some(id) = self.find_var(name) {
+            assert_eq!(self.sort(id), Sort::Bool, "variable {name} redeclared at a different sort");
+            return id;
+        }
+        let n = self.var_names.len() as u32;
+        self.var_names.push(name.to_string());
+        let id = self.intern(Term::BoolVar(n), Sort::Bool);
+        self.bool_vars.push(id);
+        id
+    }
+
+    fn find_var(&self, name: &str) -> Option<TermId> {
+        // Linear scan over variable ids; variable counts per check are small
+        // (a few hundred), and this is only hit at construction time.
+        self.bool_vars
+            .iter()
+            .chain(self.bv_vars.iter())
+            .copied()
+            .find(|&id| self.var_name(id) == Some(name))
+    }
+
+    /// Negation, with `not not x -> x` and constant folding.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        match self.term(a) {
+            Term::True => self.fls(),
+            Term::False => self.tru(),
+            Term::Not(inner) => *inner,
+            _ => self.intern(Term::Not(a), Sort::Bool),
+        }
+    }
+
+    /// N-ary conjunction with flattening, deduplication and short-circuiting.
+    pub fn and(&mut self, parts: &[TermId]) -> TermId {
+        let mut flat: Vec<TermId> = Vec::with_capacity(parts.len());
+        for &p in parts {
+            match self.term(p) {
+                Term::True => {}
+                Term::False => return self.fls(),
+                Term::And(children) => flat.extend(children.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        // x /\ !x -> false
+        for &t in &flat {
+            if let Term::Not(inner) = self.term(t) {
+                if flat.binary_search(inner).is_ok() {
+                    return self.fls();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat[0],
+            _ => self.intern(Term::And(flat), Sort::Bool),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.and(&[a, b])
+    }
+
+    /// N-ary disjunction with flattening, deduplication and short-circuiting.
+    pub fn or(&mut self, parts: &[TermId]) -> TermId {
+        let mut flat: Vec<TermId> = Vec::with_capacity(parts.len());
+        for &p in parts {
+            match self.term(p) {
+                Term::False => {}
+                Term::True => return self.tru(),
+                Term::Or(children) => flat.extend(children.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        for &t in &flat {
+            if let Term::Not(inner) = self.term(t) {
+                if flat.binary_search(inner).is_ok() {
+                    return self.tru();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat[0],
+            _ => self.intern(Term::Or(flat), Sort::Bool),
+        }
+    }
+
+    /// Binary disjunction.
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.or(&[a, b])
+    }
+
+    /// Implication `a => b`, encoded as `!a \/ b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or2(na, b)
+    }
+
+    /// Bi-implication `a <=> b`.
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.tru();
+        }
+        match (self.term(a).clone(), self.term(b).clone()) {
+            (Term::True, _) => b,
+            (_, Term::True) => a,
+            (Term::False, _) => self.not(b),
+            (_, Term::False) => self.not(a),
+            _ => {
+                let ab = self.implies(a, b);
+                let ba = self.implies(b, a);
+                self.and2(ab, ba)
+            }
+        }
+    }
+
+    /// If-then-else over booleans or equal-width bitvectors.
+    pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
+        debug_assert_eq!(self.sort(then), self.sort(els), "ite branch sorts differ");
+        match self.term(cond) {
+            Term::True => return then,
+            Term::False => return els,
+            _ => {}
+        }
+        if then == els {
+            return then;
+        }
+        let sort = self.sort(then);
+        if sort == Sort::Bool {
+            // (ite c t e) == (c /\ t) \/ (!c /\ e); keeping booleans in
+            // and/or form lets later simplifications fire.
+            let ct = self.and2(cond, then);
+            let nc = self.not(cond);
+            let ce = self.and2(nc, els);
+            return self.or2(ct, ce);
+        }
+        self.intern(Term::Ite(cond, then, els), sort)
+    }
+
+    // ---------------------------------------------------------------------
+    // Bitvector constructors
+    // ---------------------------------------------------------------------
+
+    /// A bitvector constant; `value` is truncated to `width` bits.
+    pub fn bv_const(&mut self, value: u64, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        self.intern(
+            Term::BvConst { width, value: value & mask(width) },
+            Sort::BitVec(width),
+        )
+    }
+
+    /// A fresh-or-existing named bitvector variable.
+    pub fn bv_var(&mut self, name: &str, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        if let Some(id) = self.find_var(name) {
+            assert_eq!(
+                self.sort(id),
+                Sort::BitVec(width),
+                "variable {name} redeclared at a different sort"
+            );
+            return id;
+        }
+        let n = self.var_names.len() as u32;
+        self.var_names.push(name.to_string());
+        let id = self.intern(Term::BvVar { width, name: n }, Sort::BitVec(width));
+        self.bv_vars.push(id);
+        id
+    }
+
+    fn bv_value(&self, id: TermId) -> Option<u64> {
+        match self.term(id) {
+            Term::BvConst { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Bitvector equality.
+    pub fn bv_eq(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), self.sort(b));
+        if a == b {
+            return self.tru();
+        }
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bool_const(x == y);
+        }
+        // Canonical argument order improves sharing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Term::BvEq(a, b), Sort::Bool)
+    }
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), self.sort(b));
+        if a == b {
+            return self.fls();
+        }
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bool_const(x < y);
+        }
+        self.intern(Term::BvUlt(a, b), Sort::Bool)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn bv_ule(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), self.sort(b));
+        if a == b {
+            return self.tru();
+        }
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bool_const(x <= y);
+        }
+        self.intern(Term::BvUle(a, b), Sort::Bool)
+    }
+
+    /// Unsigned greater-or-equal (`a >= b`).
+    pub fn bv_uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ule(b, a)
+    }
+
+    /// Unsigned greater-than (`a > b`).
+    pub fn bv_ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ult(b, a)
+    }
+
+    /// Bitwise and.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.sort(a).width();
+        debug_assert_eq!(self.sort(b).width(), w);
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bv_const(x & y, w);
+        }
+        self.intern(Term::BvAnd(a, b), Sort::BitVec(w))
+    }
+
+    /// Bitwise or.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.sort(a).width();
+        debug_assert_eq!(self.sort(b).width(), w);
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bv_const(x | y, w);
+        }
+        self.intern(Term::BvOr(a, b), Sort::BitVec(w))
+    }
+
+    /// Bitwise xor.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.sort(a).width();
+        debug_assert_eq!(self.sort(b).width(), w);
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bv_const(x ^ y, w);
+        }
+        self.intern(Term::BvXor(a, b), Sort::BitVec(w))
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let w = self.sort(a).width();
+        if let Some(x) = self.bv_value(a) {
+            return self.bv_const(!x, w);
+        }
+        self.intern(Term::BvNot(a), Sort::BitVec(w))
+    }
+
+    /// Modular addition.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.sort(a).width();
+        debug_assert_eq!(self.sort(b).width(), w);
+        if let (Some(x), Some(y)) = (self.bv_value(a), self.bv_value(b)) {
+            return self.bv_const(x.wrapping_add(y), w);
+        }
+        self.intern(Term::BvAdd(a, b), Sort::BitVec(w))
+    }
+
+    /// Extract bits `hi..=lo` of `arg`.
+    pub fn bv_extract(&mut self, hi: u32, lo: u32, arg: TermId) -> TermId {
+        let w = self.sort(arg).width();
+        assert!(hi >= lo && hi < w, "bad extract range [{hi}:{lo}] on width {w}");
+        let out_w = hi - lo + 1;
+        if out_w == w {
+            return arg;
+        }
+        if let Some(x) = self.bv_value(arg) {
+            return self.bv_const(x >> lo, out_w);
+        }
+        self.intern(Term::BvExtract { hi, lo, arg }, Sort::BitVec(out_w))
+    }
+
+    /// Logical shift right by a constant.
+    pub fn bv_lshr_const(&mut self, arg: TermId, amount: u32) -> TermId {
+        let w = self.sort(arg).width();
+        if amount == 0 {
+            return arg;
+        }
+        if amount >= w {
+            return self.bv_const(0, w);
+        }
+        if let Some(x) = self.bv_value(arg) {
+            return self.bv_const(x >> amount, w);
+        }
+        self.intern(Term::BvLshrConst { arg, amount }, Sort::BitVec(w))
+    }
+
+    // ---------------------------------------------------------------------
+    // Display
+    // ---------------------------------------------------------------------
+
+    /// Render a term as an s-expression (for diagnostics and tests).
+    pub fn display(&self, id: TermId) -> String {
+        let mut s = String::new();
+        self.display_into(id, &mut s);
+        s
+    }
+
+    fn display_into(&self, id: TermId, out: &mut String) {
+        use std::fmt::Write;
+        match self.term(id) {
+            Term::True => out.push_str("true"),
+            Term::False => out.push_str("false"),
+            Term::BoolVar(n) => out.push_str(&self.var_names[*n as usize]),
+            Term::BvVar { name, .. } => out.push_str(&self.var_names[*name as usize]),
+            Term::BvConst { width, value } => {
+                let _ = write!(out, "#b{value}:{width}");
+            }
+            Term::Not(a) => {
+                out.push_str("(not ");
+                self.display_into(*a, out);
+                out.push(')');
+            }
+            Term::And(parts) => self.display_nary("and", parts, out),
+            Term::Or(parts) => self.display_nary("or", parts, out),
+            Term::Ite(c, t, e) => {
+                out.push_str("(ite ");
+                self.display_into(*c, out);
+                out.push(' ');
+                self.display_into(*t, out);
+                out.push(' ');
+                self.display_into(*e, out);
+                out.push(')');
+            }
+            Term::BvEq(a, b) => self.display_bin("=", *a, *b, out),
+            Term::BvUlt(a, b) => self.display_bin("bvult", *a, *b, out),
+            Term::BvUle(a, b) => self.display_bin("bvule", *a, *b, out),
+            Term::BvAnd(a, b) => self.display_bin("bvand", *a, *b, out),
+            Term::BvOr(a, b) => self.display_bin("bvor", *a, *b, out),
+            Term::BvXor(a, b) => self.display_bin("bvxor", *a, *b, out),
+            Term::BvAdd(a, b) => self.display_bin("bvadd", *a, *b, out),
+            Term::BvNot(a) => {
+                out.push_str("(bvnot ");
+                self.display_into(*a, out);
+                out.push(')');
+            }
+            Term::BvExtract { hi, lo, arg } => {
+                use std::fmt::Write;
+                let _ = write!(out, "(extract[{hi}:{lo}] ");
+                self.display_into(*arg, out);
+                out.push(')');
+            }
+            Term::BvLshrConst { arg, amount } => {
+                use std::fmt::Write;
+                let _ = write!(out, "(lshr ");
+                self.display_into(*arg, out);
+                let _ = write!(out, " {amount})");
+            }
+        }
+    }
+
+    fn display_nary(&self, op: &str, parts: &[TermId], out: &mut String) {
+        out.push('(');
+        out.push_str(op);
+        for &p in parts {
+            out.push(' ');
+            self.display_into(p, out);
+        }
+        out.push(')');
+    }
+
+    fn display_bin(&self, op: &str, a: TermId, b: TermId, out: &mut String) {
+        out.push('(');
+        out.push_str(op);
+        out.push(' ');
+        self.display_into(a, out);
+        out.push(' ');
+        self.display_into(b, out);
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let c1 = p.and2(a, b);
+        let c2 = p.and2(b, a); // commuted: sorted children make these equal
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn var_reuse_by_name() {
+        let mut p = TermPool::new();
+        let a1 = p.bool_var("a");
+        let a2 = p.bool_var("a");
+        assert_eq!(a1, a2);
+        let x1 = p.bv_var("x", 8);
+        let x2 = p.bv_var("x", 8);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sort")]
+    fn var_redeclare_panics() {
+        let mut p = TermPool::new();
+        p.bool_var("a");
+        p.bv_var("a", 8);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.and2(t, f), f);
+        assert_eq!(p.or2(t, f), t);
+        let a = p.bool_var("a");
+        assert_eq!(p.and2(a, t), a);
+        assert_eq!(p.or2(a, f), a);
+        assert_eq!(p.and2(a, f), f);
+        assert_eq!(p.or2(a, t), t);
+    }
+
+    #[test]
+    fn double_negation() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let na = p.not(a);
+        assert_eq!(p.not(na), a);
+    }
+
+    #[test]
+    fn contradiction_collapses() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let na = p.not(a);
+        let fls = p.fls();
+        let tru = p.tru();
+        assert_eq!(p.and2(a, na), fls);
+        assert_eq!(p.or2(a, na), tru);
+    }
+
+    #[test]
+    fn and_flattens() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let c = p.bool_var("c");
+        let ab = p.and2(a, b);
+        let abc = p.and2(ab, c);
+        match p.term(abc) {
+            Term::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bv_const_folding() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(5, 8);
+        let b = p.bv_const(3, 8);
+        let sum = p.bv_add(a, b);
+        assert_eq!(p.term(sum), &Term::BvConst { width: 8, value: 8 });
+        let lt = p.bv_ult(b, a);
+        assert_eq!(p.term(lt), &Term::True);
+        let eq = p.bv_eq(a, a);
+        assert_eq!(p.term(eq), &Term::True);
+    }
+
+    #[test]
+    fn bv_const_truncates() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(0x1ff, 8);
+        assert_eq!(p.term(a), &Term::BvConst { width: 8, value: 0xff });
+    }
+
+    #[test]
+    fn extract_semantics_on_consts() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(0b1101_0110, 8);
+        let hi = p.bv_extract(7, 4, a);
+        assert_eq!(p.term(hi), &Term::BvConst { width: 4, value: 0b1101 });
+    }
+
+    #[test]
+    fn ite_simplifies_on_const_cond() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 4);
+        let y = p.bv_var("y", 4);
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.ite(t, x, y), x);
+        assert_eq!(p.ite(f, x, y), y);
+        let c = p.bool_var("c");
+        assert_eq!(p.ite(c, x, x), x);
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let five = p.bv_const(5, 8);
+        let c = p.bv_ult(x, five);
+        assert_eq!(p.display(c), "(bvult x #b5:8)");
+    }
+}

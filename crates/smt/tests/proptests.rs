@@ -1,0 +1,205 @@
+//! Property-based tests for the SMT substrate.
+//!
+//! Two core soundness/completeness properties:
+//!
+//! 1. The CDCL solver agrees with a brute-force enumeration on random small
+//!    CNF formulas (both SAT answers and, for SAT, it returns a model that
+//!    actually satisfies the formula).
+//! 2. Bit-blasting agrees with direct 64-bit evaluation on random term DAGs:
+//!    a random concrete assignment is asserted via equalities and the model
+//!    returned by the solver evaluates every sub-term to the same value the
+//!    concrete evaluator computes.
+
+use proptest::prelude::*;
+use smt::{solve, Cnf, Lit, SatResult, SatSolver, SolveOutcome, TermId, TermPool, Var};
+
+// ---------------------------------------------------------------------------
+// CDCL vs brute force
+// ---------------------------------------------------------------------------
+
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16, "brute force limited to 16 vars");
+    (0u32..(1 << n)).any(|bits| {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        cnf.eval(&assignment)
+    })
+}
+
+fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause =
+        prop::collection::vec((0..max_vars, any::<bool>()), 1..=3).prop_map(|lits| {
+            lits.into_iter()
+                .map(|(v, sign)| Var(v).lit(sign))
+                .collect::<Vec<Lit>>()
+        });
+    prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new();
+        for _ in 0..max_vars {
+            cnf.fresh_var();
+        }
+        for c in clauses {
+            cnf.add_clause(c);
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+        let expected = brute_force_sat(&cnf);
+        let mut s = SatSolver::from_cnf(&cnf);
+        let got = s.solve() == SolveOutcome::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            let assignment: Vec<bool> =
+                (0..cnf.num_vars()).map(|i| s.value(Var(i))).collect();
+            prop_assert!(cnf.eval(&assignment), "model does not satisfy formula");
+        }
+    }
+
+    #[test]
+    fn cdcl_agrees_on_denser_formulas(cnf in arb_cnf(12, 60)) {
+        let expected = brute_force_sat(&cnf);
+        let mut s = SatSolver::from_cnf(&cnf);
+        let got = s.solve() == SolveOutcome::Sat;
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-blaster vs concrete evaluation
+// ---------------------------------------------------------------------------
+
+/// A little expression language we generate randomly and build both as a
+/// term DAG and as a concrete 64-bit computation.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u8),
+    Const(u64),
+    Add(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+const WIDTH: u32 = 8;
+const NVARS: u8 = 4;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        (0u64..256).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn build_term(pool: &mut TermPool, e: &Expr) -> TermId {
+    match e {
+        Expr::Var(i) => pool.bv_var(&format!("v{i}"), WIDTH),
+        Expr::Const(c) => pool.bv_const(*c, WIDTH),
+        Expr::Add(a, b) => {
+            let (ta, tb) = (build_term(pool, a), build_term(pool, b));
+            pool.bv_add(ta, tb)
+        }
+        Expr::And(a, b) => {
+            let (ta, tb) = (build_term(pool, a), build_term(pool, b));
+            pool.bv_and(ta, tb)
+        }
+        Expr::Or(a, b) => {
+            let (ta, tb) = (build_term(pool, a), build_term(pool, b));
+            pool.bv_or(ta, tb)
+        }
+        Expr::Xor(a, b) => {
+            let (ta, tb) = (build_term(pool, a), build_term(pool, b));
+            pool.bv_xor(ta, tb)
+        }
+        Expr::Not(a) => {
+            let ta = build_term(pool, a);
+            pool.bv_not(ta)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, env: &[u64]) -> u64 {
+    let m = (1u64 << WIDTH) - 1;
+    match e {
+        Expr::Var(i) => env[*i as usize],
+        Expr::Const(c) => c & m,
+        Expr::Add(a, b) => (eval_expr(a, env).wrapping_add(eval_expr(b, env))) & m,
+        Expr::And(a, b) => eval_expr(a, env) & eval_expr(b, env),
+        Expr::Or(a, b) => eval_expr(a, env) | eval_expr(b, env),
+        Expr::Xor(a, b) => eval_expr(a, env) ^ eval_expr(b, env),
+        Expr::Not(a) => !eval_expr(a, env) & m,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitblast_matches_concrete_eval(
+        e in arb_expr(),
+        env in prop::collection::vec(0u64..256, NVARS as usize),
+    ) {
+        let mut pool = TermPool::new();
+        let t = build_term(&mut pool, &e);
+        let expected = eval_expr(&e, &env);
+
+        // Pin each variable to its concrete value and assert the composite
+        // equals the concrete evaluation; must be SAT.
+        let mut assertions = Vec::new();
+        for i in 0..NVARS {
+            let v = pool.bv_var(&format!("v{i}"), WIDTH);
+            let c = pool.bv_const(env[i as usize], WIDTH);
+            let eq = pool.bv_eq(v, c);
+            assertions.push(eq);
+        }
+        let expc = pool.bv_const(expected, WIDTH);
+        let eq_out = pool.bv_eq(t, expc);
+        assertions.push(eq_out);
+        prop_assert!(solve(&pool, &assertions).is_sat(), "expected value {expected} for {e:?}");
+
+        // The negation must be UNSAT (the circuit is deterministic).
+        let neq = pool.not(eq_out);
+        let last = assertions.len() - 1;
+        assertions[last] = neq;
+        prop_assert!(!solve(&pool, &assertions).is_sat());
+    }
+
+    #[test]
+    fn comparisons_match_concrete(
+        a in 0u64..256, b in 0u64..256,
+    ) {
+        let mut pool = TermPool::new();
+        let x = pool.bv_var("x", WIDTH);
+        let y = pool.bv_var("y", WIDTH);
+        let ca = pool.bv_const(a, WIDTH);
+        let cb = pool.bv_const(b, WIDTH);
+        let fix_x = pool.bv_eq(x, ca);
+        let fix_y = pool.bv_eq(y, cb);
+        let ult = pool.bv_ult(x, y);
+        let ule = pool.bv_ule(x, y);
+
+        let r = solve(&pool, &[fix_x, fix_y]);
+        match r {
+            SatResult::Sat(m) => {
+                prop_assert_eq!(m.eval_bool(&pool, ult), Some(a < b));
+                prop_assert_eq!(m.eval_bool(&pool, ule), Some(a <= b));
+            }
+            SatResult::Unsat => prop_assert!(false, "pinning must be sat"),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Differential validation: run the concrete BGP simulator on the
+//! Figure-1 network and cross-check every event against the invariants
+//! the verifier proved.
+//!
+//! The verifier's guarantee quantifies over *all* valid traces; the
+//! simulator produces *one* valid trace per announcement set. For every
+//! simulated event, the route must satisfy the proven invariant at that
+//! location — this closes the loop between the formal model (§3), the
+//! proof machinery (§4) and executable BGP semantics.
+//!
+//! Run with: `cargo run --example simulate`
+
+use bgp_model::sim::{simulate, SimOptions};
+use bgp_model::trace::{check_safety_axioms, Event};
+use bgp_model::Route;
+use lightyear::engine::Verifier;
+use lightyear::invariants::Location;
+use netgen::figure1;
+use std::collections::BTreeMap;
+
+fn main() {
+    let s = figure1::build();
+    let topo = &s.network.topology;
+    let policy = &s.network.policy;
+
+    // Prove the invariants first.
+    let v = Verifier::new(topo, policy).with_ghost(s.ghost.clone());
+    let report = v.verify_safety(&s.no_transit, &s.no_transit_inv);
+    assert!(report.all_passed());
+    println!("Invariants verified ({} checks). Now simulating...", report.num_checks());
+
+    // Announce routes from all three externals.
+    let isp1 = topo.node_by_name("ISP1").unwrap();
+    let cust = topo.node_by_name("Customer").unwrap();
+    let r1 = topo.node_by_name("R1").unwrap();
+    let r3 = topo.node_by_name("R3").unwrap();
+    let announcements = vec![
+        (
+            topo.edge_between(isp1, r1).unwrap(),
+            Route::new("8.0.0.0/8".parse().unwrap()).with_as_path(vec![100]),
+        ),
+        (
+            topo.edge_between(cust, r3).unwrap(),
+            Route::new(figure1::customer_prefix()).with_as_path(vec![300]),
+        ),
+    ];
+    let result = simulate(topo, policy, &announcements, SimOptions::default());
+    assert!(result.converged);
+    println!("Simulation converged: {} events\n", result.trace.len());
+
+    // The trace is valid per the Appendix-A axioms.
+    check_safety_axioms(&result.trace, topo, policy).expect("trace must satisfy axioms");
+
+    // Ghost tracking: FromISP1 is true exactly for routes descending from
+    // ISP1's announcement. In this network, those are exactly the routes
+    // tagged 100:1 (that is the verified key invariant!), so we can
+    // compute the ghost value per event from provenance.
+    let mut violations = 0;
+    for (i, ev) in result.trace.events.iter().enumerate() {
+        let (loc, route, what) = match ev {
+            Event::Recv { edge, route } => (Location::Edge(*edge), route, "recv"),
+            Event::Frwd { edge, route } => (Location::Edge(*edge), route, "frwd"),
+            Event::Slct { node, route } => (Location::Node(*node), route, "slct"),
+        };
+        // Provenance-derived ghost value: in this run, ISP1's announcement
+        // is the only route for 8.0.0.0/8, so FromISP1 is exactly "the
+        // route targets 8.0.0.0/8". (On the external in-edge itself the
+        // invariant is True, so the pre-import value is irrelevant.)
+        let from_isp1 = route.prefix == "8.0.0.0/8".parse().unwrap();
+        let mut ghosts = BTreeMap::new();
+        ghosts.insert("FromISP1".to_string(), from_isp1);
+
+        let inv = s.no_transit_inv.at(topo, loc);
+        let ok = inv.eval(route, &ghosts);
+        let loc_name = loc.display(topo);
+        println!(
+            "#{i:<3} {what:<4} {:<22} {} {}",
+            loc_name,
+            route,
+            if ok { "✓ invariant holds" } else { "✗ INVARIANT VIOLATED" }
+        );
+        if !ok {
+            violations += 1;
+        }
+    }
+    assert_eq!(violations, 0, "verified invariants must hold on simulated traces");
+
+    // And the no-transit property itself: nothing reached ISP2 from ISP1.
+    let r2 = topo.node_by_name("R2").unwrap();
+    let isp2 = topo.node_by_name("ISP2").unwrap();
+    let to_isp2 = topo.edge_between(r2, isp2).unwrap();
+    let at_isp2 = result.external_rib.get(&to_isp2).cloned().unwrap_or_default();
+    println!("\nRoutes delivered to ISP2: {}", at_isp2.len());
+    for r in &at_isp2 {
+        println!("  {r}");
+        assert_ne!(r.prefix, "8.0.0.0/8".parse().unwrap(), "no transit!");
+    }
+    println!("\nEvery simulated event satisfied the proven invariants.");
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the Lightyear reproduction workspace.
+//!
+//! Re-exports the member crates and hosts the workspace-level integration
+//! tests (`tests/`) and runnable examples (`examples/`). See the README
+//! for the architecture overview and DESIGN.md for the system inventory.
+
+pub use bgp_config;
+pub use bgp_model;
+pub use lightyear;
+pub use minesweeper;
+pub use netgen;
+pub use smt;
+
+/// A prelude pulling in the names most programs need.
+pub mod prelude {
+    pub use bgp_config::{lower, parse_config, print_config, Network};
+    pub use bgp_model::{Community, Ipv4Prefix, Policy, PrefixRange, Route, Topology};
+    pub use lightyear::engine::{RunMode, Verifier};
+    pub use lightyear::ghost::{GhostAttr, GhostUpdate};
+    pub use lightyear::invariants::{Location, NetworkInvariants};
+    pub use lightyear::liveness::LivenessSpec;
+    pub use lightyear::pred::RoutePred;
+    pub use lightyear::safety::SafetyProperty;
+}
