@@ -34,6 +34,7 @@ fn bench_parallel(c: &mut Criterion) {
         routers_per_region: 3,
         edge_routers: 4,
         peers_per_edge: 3,
+        ..wan::WanParams::default()
     });
     let (name, q) = s.peering_predicates().into_iter().next().unwrap();
     let (props, inv) = s.peering_property_inputs(&q);
@@ -59,16 +60,16 @@ fn bench_incremental(c: &mut Criterion) {
     let changed = s.network.topology.node_by_name("R0").unwrap();
     g.bench_function("full", |b| {
         b.iter(|| {
-            let v = Verifier::new(&s.network.topology, &s.network.policy)
-                .with_ghost(s.ghost.clone());
+            let v =
+                Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
             let report = v.verify_safety(&s.property, &s.invariants);
             assert!(report.all_passed());
         })
     });
     g.bench_function("incremental-one-node", |b| {
         b.iter(|| {
-            let v = Verifier::new(&s.network.topology, &s.network.policy)
-                .with_ghost(s.ghost.clone());
+            let v =
+                Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
             let report = v.verify_safety_incremental(&s.property, &s.invariants, &[changed]);
             assert!(report.all_passed());
         })

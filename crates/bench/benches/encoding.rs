@@ -5,10 +5,10 @@
 //! * **D1** — check cost vs community-universe width (each universe
 //!   community adds one boolean per symbolic route).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bgp_model::prefix::PrefixRange;
 use bgp_model::routemap::{MatchCond, RouteMap, RouteMapEntry, SetAction};
 use bgp_model::Community;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightyear::encode::Encoder;
 use lightyear::symbolic::SymRoute;
 use lightyear::universe::Universe;

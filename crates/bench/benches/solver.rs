@@ -46,8 +46,7 @@ fn bench_bv_chain(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let mut pool = TermPool::new();
-                let vars: Vec<_> =
-                    (0..=k).map(|i| pool.bv_var(&format!("x{i}"), 16)).collect();
+                let vars: Vec<_> = (0..=k).map(|i| pool.bv_var(&format!("x{i}"), 16)).collect();
                 let mut assertions = Vec::new();
                 for w in vars.windows(2) {
                     assertions.push(pool.bv_ult(w[0], w[1]));
@@ -76,5 +75,10 @@ fn bench_adder_identity(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pigeonhole, bench_bv_chain, bench_adder_identity);
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_bv_chain,
+    bench_adder_identity
+);
 criterion_main!(benches);

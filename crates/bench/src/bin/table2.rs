@@ -17,7 +17,10 @@ fn main() {
 
     println!("End-to-end property: {}", s.no_transit.display(topo));
     println!("\nNetwork invariants:");
-    println!("  default (all other locations): {}", s.no_transit_inv.default_pred());
+    println!(
+        "  default (all other locations): {}",
+        s.no_transit_inv.default_pred()
+    );
     println!(
         "  R2 -> ISP2: {}",
         lightyear::pred::RoutePred::ghost("FromISP1").not()
@@ -34,7 +37,11 @@ fn main() {
             o.check.kind.to_string(),
             o.check.location.display(topo),
             o.check.map_name.clone().unwrap_or_else(|| "-".into()),
-            if o.result.passed() { "pass".into() } else { "FAIL".into() },
+            if o.result.passed() {
+                "pass".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
     }
     t.print();

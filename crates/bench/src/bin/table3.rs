@@ -38,7 +38,11 @@ fn main() {
             o.check.kind.to_string(),
             o.check.location.display(topo),
             o.check.map_name.clone().unwrap_or_else(|| "-".into()),
-            if o.result.passed() { "pass".into() } else { "FAIL".into() },
+            if o.result.passed() {
+                "pass".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
     }
     t.print();
@@ -59,12 +63,13 @@ fn main() {
     println!("\n== Seeded bug: R3 stops stripping communities (§2.2) ==\n");
     let mut configs = figure1::configs();
     // Drop the community-clearing set from R3's FROM-CUST map.
-    netgen::mutate::drop_community_sets(&mut configs, "R3", "FROM-CUST")
-        .expect("mutation applies");
+    netgen::mutate::drop_community_sets(&mut configs, "R3", "FROM-CUST").expect("mutation applies");
     let broken = figure1::build_from_configs(configs);
     let v = Verifier::new(&broken.network.topology, &broken.network.policy)
         .with_ghost(broken.ghost.clone());
-    let report = v.verify_liveness(&broken.customer_liveness).expect("valid spec");
+    let report = v
+        .verify_liveness(&broken.customer_liveness)
+        .expect("valid spec");
     assert!(!report.all_passed(), "seeded bug must be found");
     print!("{}", report.format_failures(&broken.network.topology));
     println!(

@@ -20,6 +20,7 @@ fn params() -> WanParams {
         routers_per_region: env_usize("WAN_RPR", 3),
         edge_routers: env_usize("WAN_EDGES", 6),
         peers_per_edge: env_usize("WAN_PEERS", 4),
+        ..WanParams::default()
     }
 }
 
@@ -58,8 +59,7 @@ fn main() {
 /// Table 4a: peering-policy safety properties.
 fn table4a(s: &wan::Scenario) {
     println!("== Table 4a: Internet peering policies (FromPeer => Q) ==\n");
-    let v = Verifier::new(&s.network.topology, &s.network.policy)
-        .with_ghost(s.from_peer_ghost());
+    let v = Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.from_peer_ghost());
     let mut table = Table::new(&["property", "checks", "verdict", "total", "solving"]);
     for (name, q) in s.peering_predicates() {
         let (props, inv) = s.peering_property_inputs(&q);
@@ -67,7 +67,11 @@ fn table4a(s: &wan::Scenario) {
         table.row(vec![
             name,
             report.num_checks().to_string(),
-            if report.all_passed() { "verified".into() } else { "VIOLATED".into() },
+            if report.all_passed() {
+                "verified".into()
+            } else {
+                "VIOLATED".into()
+            },
             secs(report.total_time),
             secs(report.solve_time()),
         ]);
@@ -82,7 +86,14 @@ fn table4a(s: &wan::Scenario) {
 /// Table 4b: IP-reuse safety per region.
 fn table4b(s: &wan::Scenario) {
     println!("== Table 4b: IP-reuse safety (reused prefixes stay in-region) ==\n");
-    let mut table = Table::new(&["region", "community", "properties", "checks", "verdict", "total"]);
+    let mut table = Table::new(&[
+        "region",
+        "community",
+        "properties",
+        "checks",
+        "verdict",
+        "total",
+    ]);
     for k in 0..s.params.regions {
         let v = Verifier::new(&s.network.topology, &s.network.policy)
             .with_ghost(s.from_region_ghost(k));
@@ -93,7 +104,11 @@ fn table4b(s: &wan::Scenario) {
             wan::region_comm(k).to_string(),
             props.len().to_string(),
             report.num_checks().to_string(),
-            if report.all_passed() { "verified".into() } else { "VIOLATED".into() },
+            if report.all_passed() {
+                "verified".into()
+            } else {
+                "VIOLATED".into()
+            },
             secs(report.total_time),
         ]);
         if !report.all_passed() {
@@ -120,7 +135,11 @@ fn table4c(s: &wan::Scenario) {
             format!("region-{k}"),
             spec.path.len().to_string(),
             report.num_checks().to_string(),
-            if report.all_passed() { "verified".into() } else { "VIOLATED".into() },
+            if report.all_passed() {
+                "verified".into()
+            } else {
+                "VIOLATED".into()
+            },
             secs(report.total_time),
         ]);
         if !report.all_passed() {

@@ -21,6 +21,7 @@ fn main() {
         routers_per_region: env_usize("WAN_RPR", 4),
         edge_routers: env_usize("WAN_EDGES", 16),
         peers_per_edge: env_usize("WAN_PEERS", 12),
+        ..WanParams::default()
     };
     eprintln!("building WAN {p:?} ...");
     let t0 = Instant::now();
@@ -38,7 +39,14 @@ fn main() {
     let nprops = env_usize("WAN_PROPS", usize::MAX);
     let preds: Vec<_> = s.peering_predicates().into_iter().take(nprops).collect();
 
-    let mut table = Table::new(&["property", "checks", "seq total", "seq solving", "par total", "speedup"]);
+    let mut table = Table::new(&[
+        "property",
+        "checks",
+        "seq total",
+        "seq solving",
+        "par total",
+        "speedup",
+    ]);
     let mut seq_sum = 0.0;
     let mut par_sum = 0.0;
     for (name, q) in &preds {
@@ -64,7 +72,10 @@ fn main() {
             secs(seq.total_time),
             secs(seq.solve_time()),
             secs(par.total_time),
-            format!("{:.1}x", seq.total_time.as_secs_f64() / par.total_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                seq.total_time.as_secs_f64() / par.total_time.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     table.print();

@@ -42,7 +42,11 @@ pub fn lex(input: &str) -> Vec<Line> {
         }
         let indented = trimmed.starts_with(' ') || trimmed.starts_with('\t');
         let tokens: Vec<String> = trimmed.split_whitespace().map(str::to_string).collect();
-        out.push(Line { number: i + 1, indented, tokens });
+        out.push(Line {
+            number: i + 1,
+            indented,
+            tokens,
+        });
     }
     out
 }
@@ -71,7 +75,10 @@ mod tests {
     #[test]
     fn rest_slices() {
         let lines = lex("set community 100:1 200:2 additive\n");
-        assert_eq!(lines[0].rest(2), &["100:1".to_string(), "200:2".into(), "additive".into()]);
+        assert_eq!(
+            lines[0].rest(2),
+            &["100:1".to_string(), "200:2".into(), "additive".into()]
+        );
         assert!(lines[0].rest(9).is_empty());
     }
 }

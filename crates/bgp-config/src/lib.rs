@@ -37,7 +37,7 @@ pub mod parser;
 pub mod printer;
 
 pub use ast::{ConfigAst, RouterBgp};
-pub use lower::{lower, LowerError, Network};
 pub use lint::{lint, Finding, Severity};
+pub use lower::{lower, LowerError, Network};
 pub use parser::{parse_config, ParseError};
 pub use printer::print_config;

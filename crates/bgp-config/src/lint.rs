@@ -65,7 +65,12 @@ pub fn lint(configs: &[ConfigAst]) -> Vec<Finding> {
 }
 
 fn finding(cfg: &ConfigAst, rule: &'static str, severity: Severity, message: String) -> Finding {
-    Finding { router: cfg.hostname.clone(), rule, severity, message }
+    Finding {
+        router: cfg.hostname.clone(),
+        rule,
+        severity,
+        message,
+    }
 }
 
 /// Route maps referencing undefined lists (also a lowering error; the
@@ -82,7 +87,9 @@ fn lint_dangling_references(cfg: &ConfigAst, out: &mut Vec<Finding>) {
                                     cfg,
                                     "dangling-prefix-list",
                                     Severity::Error,
-                                    format!("route-map {name} references undefined prefix-list {n}"),
+                                    format!(
+                                        "route-map {name} references undefined prefix-list {n}"
+                                    ),
                                 ));
                             }
                         }
@@ -94,7 +101,9 @@ fn lint_dangling_references(cfg: &ConfigAst, out: &mut Vec<Finding>) {
                                     cfg,
                                     "dangling-community-list",
                                     Severity::Error,
-                                    format!("route-map {name} references undefined community-list {n}"),
+                                    format!(
+                                        "route-map {name} references undefined community-list {n}"
+                                    ),
                                 ));
                             }
                         }
@@ -106,7 +115,9 @@ fn lint_dangling_references(cfg: &ConfigAst, out: &mut Vec<Finding>) {
                                     cfg,
                                     "dangling-aspath-acl",
                                     Severity::Error,
-                                    format!("route-map {name} references undefined as-path list {n}"),
+                                    format!(
+                                        "route-map {name} references undefined as-path list {n}"
+                                    ),
                                 ));
                             }
                         }
@@ -130,7 +141,10 @@ fn lint_dangling_references(cfg: &ConfigAst, out: &mut Vec<Finding>) {
     }
     if let Some(bgp) = &cfg.router_bgp {
         for nbr in bgp.neighbors.values() {
-            for rm in [&nbr.route_map_in, &nbr.route_map_out].into_iter().flatten() {
+            for rm in [&nbr.route_map_in, &nbr.route_map_out]
+                .into_iter()
+                .flatten()
+            {
                 if !cfg.route_maps.contains_key(rm) {
                     out.push(finding(
                         cfg,
@@ -175,26 +189,42 @@ fn lint_unused_definitions(cfg: &ConfigAst, out: &mut Vec<Finding>) {
     }
     for name in cfg.prefix_lists.keys() {
         if !used_pl.contains(name) {
-            out.push(finding(cfg, "unused-prefix-list", Severity::Warning,
-                format!("prefix-list {name} is never referenced")));
+            out.push(finding(
+                cfg,
+                "unused-prefix-list",
+                Severity::Warning,
+                format!("prefix-list {name} is never referenced"),
+            ));
         }
     }
     for name in cfg.community_lists.keys() {
         if !used_cl.contains(name) {
-            out.push(finding(cfg, "unused-community-list", Severity::Warning,
-                format!("community-list {name} is never referenced")));
+            out.push(finding(
+                cfg,
+                "unused-community-list",
+                Severity::Warning,
+                format!("community-list {name} is never referenced"),
+            ));
         }
     }
     for name in cfg.aspath_acls.keys() {
         if !used_acl.contains(name) {
-            out.push(finding(cfg, "unused-aspath-acl", Severity::Warning,
-                format!("as-path access-list {name} is never referenced")));
+            out.push(finding(
+                cfg,
+                "unused-aspath-acl",
+                Severity::Warning,
+                format!("as-path access-list {name} is never referenced"),
+            ));
         }
     }
     for name in cfg.route_maps.keys() {
         if !used_rm.contains(name) {
-            out.push(finding(cfg, "unused-route-map", Severity::Warning,
-                format!("route-map {name} is not attached to any neighbor")));
+            out.push(finding(
+                cfg,
+                "unused-route-map",
+                Severity::Warning,
+                format!("route-map {name} is not attached to any neighbor"),
+            ));
         }
     }
 }
@@ -275,7 +305,10 @@ fn lint_deny_with_sets(cfg: &ConfigAst, out: &mut Vec<Finding>) {
                     cfg,
                     "deny-with-sets",
                     Severity::Warning,
-                    format!("route-map {name} seq {} is a deny but has set actions", e.seq),
+                    format!(
+                        "route-map {name} seq {} is a deny but has set actions",
+                        e.seq
+                    ),
                 ));
             }
         }

@@ -56,7 +56,10 @@ pub struct Network {
 }
 
 fn errf(router: &str, msg: impl Into<String>) -> LowerError {
-    LowerError { router: router.to_string(), message: msg.into() }
+    LowerError {
+        router: router.to_string(),
+        message: msg.into(),
+    }
 }
 
 /// Lower a set of router configurations into a [`Network`].
@@ -180,7 +183,12 @@ pub fn lower(configs: &[ConfigAst]) -> Result<Network, LowerError> {
         }
     }
 
-    Ok(Network { topology: topo, policy, config_nodes, warnings })
+    Ok(Network {
+        topology: topo,
+        policy,
+        config_nodes,
+        warnings,
+    })
 }
 
 /// Resolve a named route map from a configuration into the self-contained
@@ -194,7 +202,11 @@ pub fn resolve_route_map(cfg: &ConfigAst, name: &str) -> Result<RouteMap, LowerE
     for e in entries {
         let mut out = RouteMapEntry {
             seq: e.seq,
-            action: if e.permit { Action::Permit } else { Action::Deny },
+            action: if e.permit {
+                Action::Permit
+            } else {
+                Action::Deny
+            },
             matches: Vec::new(),
             sets: Vec::new(),
             continue_to: e.continue_to,
@@ -221,7 +233,8 @@ fn resolve_match(cfg: &ConfigAst, m: &MatchAst) -> Result<MatchCond, LowerError>
                     .ok_or_else(|| errf(&cfg.hostname, format!("undefined prefix-list {n:?}")))?;
                 for e in list {
                     let min = e.ge.unwrap_or(e.prefix.len);
-                    let max = e.le.unwrap_or(if e.ge.is_some() { 32 } else { e.prefix.len });
+                    let max =
+                        e.le.unwrap_or(if e.ge.is_some() { 32 } else { e.prefix.len });
                     ranges.push((
                         e.permit,
                         PrefixRange::with_bounds(e.prefix, min, max.max(min)),
@@ -240,18 +253,23 @@ fn resolve_match(cfg: &ConfigAst, m: &MatchAst) -> Result<MatchCond, LowerError>
                     entries.push((e.permit, e.communities.clone()));
                 }
             }
-            Ok(MatchCond::CommunityList { entries, exact: *exact })
+            Ok(MatchCond::CommunityList {
+                entries,
+                exact: *exact,
+            })
         }
         MatchAst::AsPath(names) => {
             let mut entries = Vec::new();
             for n in names {
                 let list = cfg.aspath_acls.get(n).ok_or_else(|| {
-                    errf(&cfg.hostname, format!("undefined as-path access-list {n:?}"))
+                    errf(
+                        &cfg.hostname,
+                        format!("undefined as-path access-list {n:?}"),
+                    )
                 })?;
                 for e in list {
-                    let re = AsPathRegex::compile(&e.regex).map_err(|err| {
-                        errf(&cfg.hostname, format!("as-path list {n:?}: {err}"))
-                    })?;
+                    let re = AsPathRegex::compile(&e.regex)
+                        .map_err(|err| errf(&cfg.hostname, format!("as-path list {n:?}: {err}")))?;
                     entries.push((e.permit, re));
                 }
             }
@@ -267,14 +285,19 @@ fn resolve_set(cfg: &ConfigAst, s: &SetAst) -> Result<SetAction, LowerError> {
         SetAst::LocalPref(v) => Ok(SetAction::LocalPref(*v)),
         SetAst::Med(v) => Ok(SetAction::Med(*v)),
         SetAst::Community { none: true, .. } => Ok(SetAction::ClearCommunities),
-        SetAst::Community { communities, additive, .. } => Ok(SetAction::Community {
+        SetAst::Community {
+            communities,
+            additive,
+            ..
+        } => Ok(SetAction::Community {
             comms: communities.clone(),
             additive: *additive,
         }),
         SetAst::CommListDelete(name) => {
-            let list = cfg.community_lists.get(name).ok_or_else(|| {
-                errf(&cfg.hostname, format!("undefined community-list {name:?}"))
-            })?;
+            let list = cfg
+                .community_lists
+                .get(name)
+                .ok_or_else(|| errf(&cfg.hostname, format!("undefined community-list {name:?}")))?;
             // `set comm-list X delete` removes communities matched by the
             // list's permit entries.
             let comms = list
@@ -394,19 +417,15 @@ router bgp 1
 
     #[test]
     fn neighbor_without_description_errors() {
-        let cfg = parse_config(
-            "hostname R1\nrouter bgp 1\n neighbor 1.1.1.1 remote-as 2\n",
-        )
-        .unwrap();
+        let cfg =
+            parse_config("hostname R1\nrouter bgp 1\n neighbor 1.1.1.1 remote-as 2\n").unwrap();
         assert!(lower(&[cfg]).is_err());
     }
 
     #[test]
     fn external_needs_remote_as() {
-        let cfg = parse_config(
-            "hostname R1\nrouter bgp 1\n neighbor 1.1.1.1 description EXT\n",
-        )
-        .unwrap();
+        let cfg =
+            parse_config("hostname R1\nrouter bgp 1\n neighbor 1.1.1.1 description EXT\n").unwrap();
         assert!(lower(&[cfg]).is_err());
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: &Line, msg: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line: line.number, message: msg.into() })
+    Err(ParseError {
+        line: line.number,
+        message: msg.into(),
+    })
 }
 
 fn parse_permit(line: &Line, tok: Option<&str>) -> Result<bool, ParseError> {
@@ -63,31 +66,31 @@ fn parse_permit(line: &Line, tok: Option<&str>) -> Result<bool, ParseError> {
 }
 
 fn parse_u32(line: &Line, tok: Option<&str>, what: &str) -> Result<u32, ParseError> {
-    tok.and_then(|t| t.parse().ok())
-        .ok_or(ParseError {
-            line: line.number,
-            message: format!("expected {what}, got {tok:?}"),
-        })
+    tok.and_then(|t| t.parse().ok()).ok_or(ParseError {
+        line: line.number,
+        message: format!("expected {what}, got {tok:?}"),
+    })
 }
 
 fn parse_u8(line: &Line, tok: Option<&str>, what: &str) -> Result<u8, ParseError> {
-    tok.and_then(|t| t.parse().ok())
-        .ok_or(ParseError {
-            line: line.number,
-            message: format!("expected {what}, got {tok:?}"),
-        })
+    tok.and_then(|t| t.parse().ok()).ok_or(ParseError {
+        line: line.number,
+        message: format!("expected {what}, got {tok:?}"),
+    })
 }
 
 fn parse_prefix(line: &Line, tok: Option<&str>) -> Result<Ipv4Prefix, ParseError> {
-    tok.and_then(|t| t.parse().ok())
-        .ok_or(ParseError {
-            line: line.number,
-            message: format!("expected prefix A.B.C.D/L, got {tok:?}"),
-        })
+    tok.and_then(|t| t.parse().ok()).ok_or(ParseError {
+        line: line.number,
+        message: format!("expected prefix A.B.C.D/L, got {tok:?}"),
+    })
 }
 
 fn parse_community(line: &Line, tok: &str) -> Result<Community, ParseError> {
-    tok.parse().map_err(|e: String| ParseError { line: line.number, message: e })
+    tok.parse().map_err(|e: String| ParseError {
+        line: line.number,
+        message: e,
+    })
 }
 
 fn parse_ipv4_addr(line: &Line, tok: Option<&str>) -> Result<u32, ParseError> {
@@ -101,12 +104,10 @@ fn parse_ipv4_addr(line: &Line, tok: Option<&str>) -> Result<u32, ParseError> {
         if n == 4 {
             return err(line, format!("bad IPv4 address {t:?}"));
         }
-        octets[n] = part
-            .parse()
-            .map_err(|_| ParseError {
-                line: line.number,
-                message: format!("bad IPv4 address {t:?}"),
-            })?;
+        octets[n] = part.parse().map_err(|_| ParseError {
+            line: line.number,
+            message: format!("bad IPv4 address {t:?}"),
+        })?;
         n += 1;
     }
     if n != 4 {
@@ -171,7 +172,10 @@ pub fn parse_config(input: &str) -> Result<ConfigAst, ParseError> {
                     return err(line, "duplicate 'router bgp' block");
                 }
                 let asn = parse_u32(line, line.tok(2), "AS number")?;
-                let mut bgp = RouterBgp { asn, ..Default::default() };
+                let mut bgp = RouterBgp {
+                    asn,
+                    ..Default::default()
+                };
                 i += 1;
                 while i < lines.len() && lines[i].indented {
                     parse_bgp_body(&lines[i], &mut bgp)?;
@@ -228,7 +232,13 @@ fn parse_ip_statement(line: &Line, ast: &mut ConfigAst) -> Result<(), ParseError
             if entries.iter().any(|e| e.seq == seq) {
                 return err(line, format!("duplicate prefix-list sequence {seq}"));
             }
-            entries.push(PrefixListEntry { seq, permit, prefix, ge, le });
+            entries.push(PrefixListEntry {
+                seq,
+                permit,
+                prefix,
+                ge,
+                le,
+            });
             entries.sort_by_key(|e| e.seq);
             Ok(())
         }
@@ -251,7 +261,10 @@ fn parse_ip_statement(line: &Line, ast: &mut ConfigAst) -> Result<(), ParseError
             ast.community_lists
                 .entry(name)
                 .or_default()
-                .push(CommunityListEntry { permit, communities });
+                .push(CommunityListEntry {
+                    permit,
+                    communities,
+                });
             Ok(())
         }
         Some("as-path") => {
@@ -316,24 +329,34 @@ fn parse_route_map_body(line: &Line, entry: &mut RouteMapEntryAst) -> Result<(),
                 Ok(())
             }
             Some("metric") => {
-                entry.matches.push(MatchAst::Med(parse_u32(line, line.tok(2), "metric")?));
+                entry
+                    .matches
+                    .push(MatchAst::Med(parse_u32(line, line.tok(2), "metric")?));
                 Ok(())
             }
             Some("local-preference") => {
-                entry
-                    .matches
-                    .push(MatchAst::LocalPref(parse_u32(line, line.tok(2), "local-preference")?));
+                entry.matches.push(MatchAst::LocalPref(parse_u32(
+                    line,
+                    line.tok(2),
+                    "local-preference",
+                )?));
                 Ok(())
             }
             other => err(line, format!("unknown match clause {other:?}")),
         },
         "set" => match line.tok(1) {
             Some("local-preference") => {
-                entry.sets.push(SetAst::LocalPref(parse_u32(line, line.tok(2), "local-preference")?));
+                entry.sets.push(SetAst::LocalPref(parse_u32(
+                    line,
+                    line.tok(2),
+                    "local-preference",
+                )?));
                 Ok(())
             }
             Some("metric") => {
-                entry.sets.push(SetAst::Med(parse_u32(line, line.tok(2), "metric")?));
+                entry
+                    .sets
+                    .push(SetAst::Med(parse_u32(line, line.tok(2), "metric")?));
                 Ok(())
             }
             Some("community") => {
@@ -357,7 +380,11 @@ fn parse_route_map_body(line: &Line, entry: &mut RouteMapEntryAst) -> Result<(),
                 for t in toks {
                     communities.push(parse_community(line, t)?);
                 }
-                entry.sets.push(SetAst::Community { communities, additive, none: false });
+                entry.sets.push(SetAst::Community {
+                    communities,
+                    additive,
+                    none: false,
+                });
                 Ok(())
             }
             Some("comm-list") => {
@@ -377,13 +404,10 @@ fn parse_route_map_body(line: &Line, entry: &mut RouteMapEntryAst) -> Result<(),
                 }
                 let mut asns = Vec::new();
                 for t in line.rest(3) {
-                    asns.push(
-                        t.parse()
-                            .map_err(|_| ParseError {
-                                line: line.number,
-                                message: format!("bad ASN {t:?}"),
-                            })?,
-                    );
+                    asns.push(t.parse().map_err(|_| ParseError {
+                        line: line.number,
+                        message: format!("bad ASN {t:?}"),
+                    })?);
                 }
                 if asns.is_empty() {
                     return err(line, "prepend needs at least one ASN");
@@ -405,7 +429,9 @@ fn parse_route_map_body(line: &Line, entry: &mut RouteMapEntryAst) -> Result<(),
                 if line.tok(2) != Some("next-hop") {
                     return err(line, "expected 'next-hop'");
                 }
-                entry.sets.push(SetAst::NextHop(parse_ipv4_addr(line, line.tok(3))?));
+                entry
+                    .sets
+                    .push(SetAst::NextHop(parse_ipv4_addr(line, line.tok(3))?));
                 Ok(())
             }
             other => err(line, format!("unknown set clause {other:?}")),
@@ -431,7 +457,10 @@ fn parse_bgp_body(line: &Line, bgp: &mut RouterBgp) -> Result<(), ParseError> {
             let nbr = bgp
                 .neighbors
                 .entry(addr.clone())
-                .or_insert_with(|| NeighborAst { addr, ..Default::default() });
+                .or_insert_with(|| NeighborAst {
+                    addr,
+                    ..Default::default()
+                });
             match line.tok(2) {
                 Some("remote-as") => {
                     nbr.remote_as = Some(parse_u32(line, line.tok(3), "AS number")?);
@@ -543,7 +572,8 @@ router bgp 65000
     fn duplicate_seq_rejected() {
         let cfg = "route-map X permit 10\nroute-map X permit 10\n";
         assert!(parse_config(cfg).is_err());
-        let cfg2 = "ip prefix-list P seq 5 permit 1.0.0.0/8\nip prefix-list P seq 5 deny 2.0.0.0/8\n";
+        let cfg2 =
+            "ip prefix-list P seq 5 permit 1.0.0.0/8\nip prefix-list P seq 5 deny 2.0.0.0/8\n";
         assert!(parse_config(cfg2).is_err());
     }
 
@@ -572,11 +602,17 @@ route-map X permit 30
 ";
         let ast = parse_config(cfg).unwrap();
         let rm = &ast.route_maps["X"];
-        assert!(matches!(&rm[0].sets[0], SetAst::Community { none: true, .. }));
+        assert!(matches!(
+            &rm[0].sets[0],
+            SetAst::Community { none: true, .. }
+        ));
         assert!(
             matches!(&rm[1].sets[0], SetAst::Community { communities, additive: false, none: false } if communities.len() == 2)
         );
-        assert!(matches!(&rm[2].sets[0], SetAst::Community { additive: true, .. }));
+        assert!(matches!(
+            &rm[2].sets[0],
+            SetAst::Community { additive: true, .. }
+        ));
     }
 
     #[test]

@@ -103,9 +103,12 @@ pub fn print_config(ast: &ConfigAst) -> String {
                     SetAst::Community { none: true, .. } => {
                         let _ = writeln!(out, " set community none");
                     }
-                    SetAst::Community { communities, additive, .. } => {
-                        let cs: Vec<String> =
-                            communities.iter().map(|c| c.to_string()).collect();
+                    SetAst::Community {
+                        communities,
+                        additive,
+                        ..
+                    } => {
+                        let cs: Vec<String> = communities.iter().map(|c| c.to_string()).collect();
                         let _ = write!(out, " set community {}", cs.join(" "));
                         if *additive {
                             out.push_str(" additive");

@@ -155,13 +155,10 @@ impl<'a> Compiler<'a> {
             if c == '|' || c == ')' {
                 break;
             }
-            let item = self.parse_item()?;
-            match item {
-                Some(f) => {
-                    self.states[cur].eps.push(f.start);
-                    cur = f.end;
-                }
-                None => {} // epsilon atom like '_'
+            // None is an epsilon atom like '_'.
+            if let Some(f) = self.parse_item()? {
+                self.states[cur].eps.push(f.start);
+                cur = f.end;
             }
         }
         Ok(Frag { start, end: cur })

@@ -246,10 +246,7 @@ mod tests {
     fn prepend_as_path() {
         let r = Route::new(p("10.0.0.0/8")).with_as_path(vec![3356]);
         let mut rm = RouteMap::new("P");
-        rm.push(
-            RouteMapEntry::permit(10)
-                .setting(SetAction::PrependAsPath(vec![65001, 65001])),
-        );
+        rm.push(RouteMapEntry::permit(10).setting(SetAction::PrependAsPath(vec![65001, 65001])));
         let out = apply_route_map(&rm, &r).unwrap();
         assert_eq!(out.as_path, vec![65001, 65001, 3356]);
     }

@@ -23,7 +23,10 @@ impl Ipv4Prefix {
     /// Build a prefix; the address is masked to the prefix length.
     pub fn new(addr: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length must be <= 32");
-        Ipv4Prefix { addr: addr & Self::mask(len), len }
+        Ipv4Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
     }
 
     /// Build from dotted-quad octets.
@@ -133,19 +136,31 @@ pub struct PrefixRange {
 impl PrefixRange {
     /// An exact-match range for one prefix.
     pub fn exact(p: Ipv4Prefix) -> Self {
-        PrefixRange { pattern: p, min_len: p.len, max_len: p.len }
+        PrefixRange {
+            pattern: p,
+            min_len: p.len,
+            max_len: p.len,
+        }
     }
 
     /// A range with explicit bounds; bounds are clamped to be coherent.
     pub fn with_bounds(pattern: Ipv4Prefix, min_len: u8, max_len: u8) -> Self {
         assert!(min_len >= pattern.len, "ge must be >= pattern length");
         assert!(max_len >= min_len && max_len <= 32, "bad le bound");
-        PrefixRange { pattern, min_len, max_len }
+        PrefixRange {
+            pattern,
+            min_len,
+            max_len,
+        }
     }
 
     /// "Orlonger": the pattern prefix and anything underneath it.
     pub fn orlonger(pattern: Ipv4Prefix) -> Self {
-        PrefixRange { pattern, min_len: pattern.len, max_len: 32 }
+        PrefixRange {
+            pattern,
+            min_len: pattern.len,
+            max_len: 32,
+        }
     }
 
     /// Does this range match the given prefix?
@@ -183,7 +198,10 @@ struct TrieNode<T> {
 
 impl<T> TrieNode<T> {
     fn new() -> Self {
-        TrieNode { value: None, children: [None, None] }
+        TrieNode {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -405,6 +423,9 @@ mod tests {
         t.insert(p("10.0.0.0/8"), 1);
         t.insert(p("10.64.0.0/10"), 2);
         let items: Vec<Ipv4Prefix> = t.iter().into_iter().map(|(k, _)| k).collect();
-        assert_eq!(items, vec![p("10.0.0.0/8"), p("10.64.0.0/10"), p("192.168.0.0/16")]);
+        assert_eq!(
+            items,
+            vec![p("10.0.0.0/8"), p("10.64.0.0/10"), p("192.168.0.0/16")]
+        );
     }
 }

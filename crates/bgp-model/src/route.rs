@@ -58,7 +58,9 @@ impl FromStr for Community {
 /// The BGP origin attribute (how the route entered BGP).
 ///
 /// Lower is preferred in the decision process: `Igp < Egp < Incomplete`.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Origin {
     /// Originated by an IGP / `network` statement.
     Igp,
@@ -190,7 +192,10 @@ impl Route {
     /// axioms rely on: higher local-pref, then shorter AS path, then lower
     /// MED, then lower next-hop as the final deterministic tie-break.
     pub fn prefer(&self, other: &Route) -> Ordering {
-        debug_assert_eq!(self.prefix, other.prefix, "preference compares same-prefix routes");
+        debug_assert_eq!(
+            self.prefix, other.prefix,
+            "preference compares same-prefix routes"
+        );
         self.local_pref
             .cmp(&other.local_pref)
             .then_with(|| other.as_path.len().cmp(&self.as_path.len()))
@@ -247,7 +252,10 @@ mod tests {
     #[test]
     fn preference_local_pref_dominates() {
         let base = Route::new(p("10.0.0.0/8"));
-        let a = base.clone().with_local_pref(200).with_as_path(vec![1, 2, 3]);
+        let a = base
+            .clone()
+            .with_local_pref(200)
+            .with_as_path(vec![1, 2, 3]);
         let b = base.clone().with_local_pref(100).with_as_path(vec![1]);
         assert_eq!(a.prefer(&b), Ordering::Greater);
         assert_eq!(b.prefer(&a), Ordering::Less);

@@ -121,7 +121,10 @@ impl RouteMapEntry {
 
     /// A deny-everything entry.
     pub fn deny(seq: u32) -> Self {
-        RouteMapEntry { action: Action::Deny, ..Self::permit(seq) }
+        RouteMapEntry {
+            action: Action::Deny,
+            ..Self::permit(seq)
+        }
     }
 
     /// Builder: add a match condition.
@@ -155,7 +158,10 @@ pub struct RouteMap {
 impl RouteMap {
     /// An empty route map (rejects everything via the implicit deny).
     pub fn new(name: impl Into<String>) -> Self {
-        RouteMap { name: name.into(), entries: Vec::new() }
+        RouteMap {
+            name: name.into(),
+            entries: Vec::new(),
+        }
     }
 
     /// A permit-all route map (the identity transform).

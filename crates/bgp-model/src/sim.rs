@@ -84,7 +84,10 @@ pub fn simulate(
             continue; // external "originations" must come via announcements
         }
         for r in policy.originated(e) {
-            trace.push(Event::Frwd { edge: e, route: r.clone() });
+            trace.push(Event::Frwd {
+                edge: e,
+                route: r.clone(),
+            });
             queue.push_back((e, r.clone()));
         }
     }
@@ -111,7 +114,10 @@ pub fn simulate(
             break;
         }
         delivered += 1;
-        trace.push(Event::Recv { edge, route: route.clone() });
+        trace.push(Event::Recv {
+            edge,
+            route: route.clone(),
+        });
         let dst = topo.edge(edge).dst;
         if topo.node(dst).external {
             external_rib.entry(edge).or_default().push(route);
@@ -150,7 +156,10 @@ pub fn simulate(
             continue; // selection unchanged
         }
         best.insert(key, (best_route.clone(), learned_on));
-        trace.push(Event::Slct { node: dst, route: best_route.clone() });
+        trace.push(Event::Slct {
+            node: dst,
+            route: best_route.clone(),
+        });
 
         // Re-advertise to neighbors.
         for &out in topo.out_edges(dst) {
@@ -158,14 +167,14 @@ pub fn simulate(
             if opts.split_horizon && out_edge.dst == topo.edge(learned_on).src {
                 continue;
             }
-            if opts.ibgp_no_readvertise
-                && !topo.is_ebgp(learned_on)
-                && !topo.is_ebgp(out)
-            {
+            if opts.ibgp_no_readvertise && !topo.is_ebgp(learned_on) && !topo.is_ebgp(out) {
                 continue;
             }
             if let Some(exported) = policy.export_route(out, &best_route) {
-                trace.push(Event::Frwd { edge: out, route: exported.clone() });
+                trace.push(Event::Frwd {
+                    edge: out,
+                    route: exported.clone(),
+                });
                 queue.push_back((out, exported));
             }
         }
@@ -175,7 +184,12 @@ pub fn simulate(
         .into_iter()
         .map(|(k, (r, _))| (k, r))
         .collect::<HashMap<_, _>>();
-    SimResult { trace, best: best_routes, external_rib, converged }
+    SimResult {
+        trace,
+        best: best_routes,
+        external_rib,
+        converged,
+    }
 }
 
 /// Convenience: the order in which two candidate routes are compared,
@@ -253,7 +267,7 @@ mod tests {
         let res = simulate(&t, &pol, &[(isp1_r1, ann)], SimOptions::default());
         assert!(res.converged);
         // Nothing tagged 100:1 (i.e. nothing from ISP1) reaches ISP2.
-        assert!(res.external_rib.get(&r2_isp2).is_none());
+        assert!(!res.external_rib.contains_key(&r2_isp2));
         // The trace is valid.
         assert!(check_safety_axioms(&res.trace, &t, &pol).is_ok());
     }
@@ -271,7 +285,10 @@ mod tests {
         let ann = Route::new(p("203.0.113.0/24")).with_as_path(vec![300]);
         let res = simulate(&t, &pol, &[(cust_r3, ann)], SimOptions::default());
         assert!(res.converged);
-        let got = res.external_rib.get(&r2_isp2).expect("route must reach ISP2");
+        let got = res
+            .external_rib
+            .get(&r2_isp2)
+            .expect("route must reach ISP2");
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].prefix, p("203.0.113.0/24"));
         assert!(check_safety_axioms(&res.trace, &t, &pol).is_ok());
@@ -317,8 +334,10 @@ mod tests {
         let res = simulate(&t, &pol, &[(a_r, looped)], SimOptions::default());
         assert!(res.best.is_empty());
 
-        let mut opts = SimOptions::default();
-        opts.loop_prevention = false;
+        let opts = SimOptions {
+            loop_prevention: false,
+            ..SimOptions::default()
+        };
         let looped = Route::new(p("10.0.0.0/8")).with_as_path(vec![1, 65000, 2]);
         let res = simulate(&t, &pol, &[(a_r, looped)], opts);
         assert_eq!(res.best.len(), 1);

@@ -100,7 +100,11 @@ impl Topology {
         );
         let id = NodeId(self.nodes.len() as u32);
         self.name_index.insert(name.clone(), id);
-        self.nodes.push(Node { name, asn, external });
+        self.nodes.push(Node {
+            name,
+            asn,
+            external,
+        });
         id
     }
 
@@ -192,7 +196,11 @@ impl Topology {
     /// Human-readable rendering of an edge, e.g. `R1 -> ISP1`.
     pub fn edge_name(&self, e: EdgeId) -> String {
         let edge = self.edge(e);
-        format!("{} -> {}", self.node(edge.src).name, self.node(edge.dst).name)
+        format!(
+            "{} -> {}",
+            self.node(edge.src).name,
+            self.node(edge.dst).name
+        )
     }
 
     /// Validate a path of alternating node/edge locations as used in

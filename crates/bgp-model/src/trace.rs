@@ -90,7 +90,11 @@ pub struct AxiomViolation {
 
 impl fmt::Display for AxiomViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event #{}: axiom {} violated: {}", self.index, self.axiom, self.detail)
+        write!(
+            f,
+            "event #{}: axiom {} violated: {}",
+            self.index, self.axiom, self.detail
+        )
     }
 }
 
@@ -131,10 +135,13 @@ pub fn check_safety_axioms(
             }
             Event::Slct { node, route } => {
                 let justified = trace.events[..k].iter().any(|prev| {
-                    if let Event::Recv { edge, route: recv_r } = prev {
+                    if let Event::Recv {
+                        edge,
+                        route: recv_r,
+                    } = prev
+                    {
                         let e = topo.edge(*edge);
-                        e.dst == *node
-                            && policy.import_route(*edge, recv_r).as_ref() == Some(route)
+                        e.dst == *node && policy.import_route(*edge, recv_r).as_ref() == Some(route)
                     } else {
                         false
                     }
@@ -157,8 +164,7 @@ pub fn check_safety_axioms(
                 let e = topo.edge(*edge);
                 let justified = trace.events[..k].iter().any(|prev| {
                     if let Event::Slct { node, route: sel_r } = prev {
-                        *node == e.src
-                            && policy.export_route(*edge, sel_r).as_ref() == Some(route)
+                        *node == e.src && policy.export_route(*edge, sel_r).as_ref() == Some(route)
                     } else {
                         false
                     }
@@ -208,9 +214,10 @@ pub fn check_liveness_axioms(
             continue;
         }
         for r in routes {
-            let found = trace.events.iter().any(
-                |e| matches!(e, Event::Frwd { edge: fe, route } if *fe == edge && route == r),
-            );
+            let found = trace
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Frwd { edge: fe, route } if *fe == edge && route == r));
             if !found {
                 return Err(AxiomViolation {
                     index: usize::MAX,
@@ -248,12 +255,16 @@ pub fn check_liveness_axioms(
         }
     }
     for (k, ev) in trace.events.iter().enumerate() {
-        let Event::Recv { edge, route } = ev else { continue };
+        let Event::Recv { edge, route } = ev else {
+            continue;
+        };
         let dst = topo.edge(*edge).dst;
         if topo.node(dst).external {
             continue;
         }
-        let Some(imported) = policy.import_route(*edge, route) else { continue };
+        let Some(imported) = policy.import_route(*edge, route) else {
+            continue;
+        };
         // Loop-prevented candidates are legitimately ignored.
         if topo.is_ebgp(*edge) && imported.as_path_contains(topo.node(dst).asn) {
             continue;
@@ -313,10 +324,22 @@ mod tests {
         let (t, pol, x_r1, r1_r2, r1) = setup();
         let r = Route::new(p("10.0.0.0/8"));
         let mut tr = Trace::new();
-        tr.push(Event::Recv { edge: x_r1, route: r.clone() });
-        tr.push(Event::Slct { node: r1, route: r.clone() });
-        tr.push(Event::Frwd { edge: r1_r2, route: r.clone() });
-        tr.push(Event::Recv { edge: r1_r2, route: r });
+        tr.push(Event::Recv {
+            edge: x_r1,
+            route: r.clone(),
+        });
+        tr.push(Event::Slct {
+            node: r1,
+            route: r.clone(),
+        });
+        tr.push(Event::Frwd {
+            edge: r1_r2,
+            route: r.clone(),
+        });
+        tr.push(Event::Recv {
+            edge: r1_r2,
+            route: r,
+        });
         assert!(check_safety_axioms(&tr, &t, &pol).is_ok());
     }
 
@@ -324,7 +347,10 @@ mod tests {
     fn recv_from_external_always_allowed() {
         let (t, pol, x_r1, _, _) = setup();
         let mut tr = Trace::new();
-        tr.push(Event::Recv { edge: x_r1, route: Route::new(p("1.0.0.0/8")) });
+        tr.push(Event::Recv {
+            edge: x_r1,
+            route: Route::new(p("1.0.0.0/8")),
+        });
         assert!(check_safety_axioms(&tr, &t, &pol).is_ok());
     }
 
@@ -332,7 +358,10 @@ mod tests {
     fn recv_on_internal_edge_needs_frwd() {
         let (t, pol, _, r1_r2, _) = setup();
         let mut tr = Trace::new();
-        tr.push(Event::Recv { edge: r1_r2, route: Route::new(p("1.0.0.0/8")) });
+        tr.push(Event::Recv {
+            edge: r1_r2,
+            route: Route::new(p("1.0.0.0/8")),
+        });
         let err = check_safety_axioms(&tr, &t, &pol).unwrap_err();
         assert_eq!(err.axiom, "recv");
     }
@@ -341,7 +370,10 @@ mod tests {
     fn slct_needs_justifying_recv() {
         let (t, pol, _, _, r1) = setup();
         let mut tr = Trace::new();
-        tr.push(Event::Slct { node: r1, route: Route::new(p("1.0.0.0/8")) });
+        tr.push(Event::Slct {
+            node: r1,
+            route: Route::new(p("1.0.0.0/8")),
+        });
         let err = check_safety_axioms(&tr, &t, &pol).unwrap_err();
         assert_eq!(err.axiom, "slct");
     }
@@ -351,8 +383,14 @@ mod tests {
         let (t, mut pol, _, r1_r2, _) = setup();
         let r = Route::new(p("1.0.0.0/8"));
         let mut tr = Trace::new();
-        tr.push(Event::Frwd { edge: r1_r2, route: r.clone() });
-        assert_eq!(check_safety_axioms(&tr, &t, &pol).unwrap_err().axiom, "frwd");
+        tr.push(Event::Frwd {
+            edge: r1_r2,
+            route: r.clone(),
+        });
+        assert_eq!(
+            check_safety_axioms(&tr, &t, &pol).unwrap_err().axiom,
+            "frwd"
+        );
 
         // Origination justifies it.
         pol.add_origination(r1_r2, r.clone());
@@ -375,7 +413,10 @@ mod tests {
         let r = Route::new(p("10.0.0.0/8"));
         pol.add_origination(r1_r2, r.clone());
         let mut tr = Trace::new();
-        tr.push(Event::Frwd { edge: r1_r2, route: r });
+        tr.push(Event::Frwd {
+            edge: r1_r2,
+            route: r,
+        });
         let err = check_liveness_axioms(&tr, &t, &pol).unwrap_err();
         assert_eq!(err.axiom, "liveness-frwd");
     }
@@ -395,9 +436,18 @@ mod tests {
         let good = Route::new(p("10.0.0.0/8")).with_local_pref(200);
         let bad = Route::new(p("10.0.0.0/8")).with_local_pref(50);
         let mut tr = Trace::new();
-        tr.push(Event::Recv { edge: x_r1, route: good });
-        tr.push(Event::Recv { edge: x_r1, route: bad.clone() });
-        tr.push(Event::Slct { node: r1, route: bad });
+        tr.push(Event::Recv {
+            edge: x_r1,
+            route: good,
+        });
+        tr.push(Event::Recv {
+            edge: x_r1,
+            route: bad.clone(),
+        });
+        tr.push(Event::Slct {
+            node: r1,
+            route: bad,
+        });
         let err = check_liveness_axioms(&tr, &t, &pol).unwrap_err();
         assert_eq!(err.axiom, "liveness-slct");
     }
@@ -412,15 +462,30 @@ mod tests {
 
         let sent = Route::new(p("1.0.0.0/8"));
         let mut tr = Trace::new();
-        tr.push(Event::Recv { edge: x_r1, route: sent.clone() });
+        tr.push(Event::Recv {
+            edge: x_r1,
+            route: sent.clone(),
+        });
         // Selecting the untransformed route violates the slct axiom.
-        tr.push(Event::Slct { node: r1, route: sent.clone() });
-        assert_eq!(check_safety_axioms(&tr, &t, &pol).unwrap_err().axiom, "slct");
+        tr.push(Event::Slct {
+            node: r1,
+            route: sent.clone(),
+        });
+        assert_eq!(
+            check_safety_axioms(&tr, &t, &pol).unwrap_err().axiom,
+            "slct"
+        );
 
         // Selecting the transformed route is fine.
         let mut tr2 = Trace::new();
-        tr2.push(Event::Recv { edge: x_r1, route: sent.clone() });
-        tr2.push(Event::Slct { node: r1, route: sent.with_local_pref(200) });
+        tr2.push(Event::Recv {
+            edge: x_r1,
+            route: sent.clone(),
+        });
+        tr2.push(Event::Slct {
+            node: r1,
+            route: sent.with_local_pref(200),
+        });
         assert!(check_safety_axioms(&tr2, &t, &pol).is_ok());
     }
 }

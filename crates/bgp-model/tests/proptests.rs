@@ -145,8 +145,7 @@ fn naive_match(p: &Pat, toks: &[u32], starts: &[usize]) -> Vec<usize> {
             out.extend_from_slice(starts);
             loop {
                 let next = naive_match(x, toks, &frontier);
-                let new: Vec<usize> =
-                    next.into_iter().filter(|n| !out.contains(n)).collect();
+                let new: Vec<usize> = next.into_iter().filter(|n| !out.contains(n)).collect();
                 if new.is_empty() {
                     break;
                 }
@@ -238,7 +237,10 @@ proptest! {
 fn arb_route() -> impl Strategy<Value = Route> {
     (
         arb_prefix(),
-        prop::collection::btree_set((0u16..3, 0u16..3).prop_map(|(h, l)| Community::new(h, l)), 0..3),
+        prop::collection::btree_set(
+            (0u16..3, 0u16..3).prop_map(|(h, l)| Community::new(h, l)),
+            0..3,
+        ),
         0u32..300,
         0u32..50,
     )

@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE:
 //!   lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]
+//!                    [--jobs N] [--no-dedup] [--cache] [--cache-dir DIR]
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
 //!   lightyear spec-template
@@ -16,6 +17,20 @@
 //!   lint            run rcc-style best-practice lints; exit code 1 on
 //!                   any error-severity finding
 //!   spec-template   print an example spec.json to stdout
+//!
+//! VERIFY OPTIONS:
+//!   --parallel      run checks on the orchestrator (work-stealing pool
+//!                   with structural dedup) instead of sequentially
+//!   --jobs N        orchestrator worker threads (implies --parallel)
+//!   --no-dedup      disable structural check deduplication
+//!   --cache         reuse check results across runs (implies --parallel);
+//!                   spilled to --cache-dir as JSON
+//!   --cache-dir DIR cache spill directory (default .lightyear-cache;
+//!                   implies --cache)
+//!
+//! With --parallel, a dedup-stats summary line is printed after the
+//! properties, e.g.:
+//!   orchestrator: 220 checks -> 34 solver calls (180 deduped, 6 cached, ratio 0.15, 8 threads)
 //! ```
 
 mod spec;
@@ -28,7 +43,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n  \
+        "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n    \
+         [--jobs N] [--no-dedup] [--cache] [--cache-dir <DIR>]\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
     ExitCode::from(2)
@@ -36,7 +52,9 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     match cmd.as_str() {
         "verify" => cmd_verify(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
@@ -66,8 +84,7 @@ fn load_configs(dir: &Path) -> Result<Vec<bgp_config::ConfigAst>, String> {
     }
     let mut configs = Vec::new();
     for p in &entries {
-        let text =
-            std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"))?;
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"))?;
         let ast = parse_config(&text).map_err(|e| format!("{}: {e}", p.display()))?;
         configs.push(ast);
     }
@@ -75,7 +92,9 @@ fn load_configs(dir: &Path) -> Result<Vec<bgp_config::ConfigAst>, String> {
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
-    let Some(dir) = flag_value(args, "--configs") else { return usage() };
+    let Some(dir) = flag_value(args, "--configs") else {
+        return usage();
+    };
     let configs = match load_configs(Path::new(&dir)) {
         Ok(c) => c,
         Err(e) => {
@@ -105,7 +124,9 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn load_network(dir: &Path) -> Result<Network, String> {
@@ -114,7 +135,9 @@ fn load_network(dir: &Path) -> Result<Network, String> {
 }
 
 fn cmd_parse(args: &[String]) -> ExitCode {
-    let Some(dir) = flag_value(args, "--configs") else { return usage() };
+    let Some(dir) = flag_value(args, "--configs") else {
+        return usage();
+    };
     match load_network(Path::new(&dir)) {
         Err(e) => {
             eprintln!("error: {e}");
@@ -146,13 +169,51 @@ fn cmd_parse(args: &[String]) -> ExitCode {
 }
 
 fn cmd_verify(args: &[String]) -> ExitCode {
-    let (Some(dir), Some(spec_path)) =
-        (flag_value(args, "--configs"), flag_value(args, "--spec"))
+    let (Some(dir), Some(spec_path)) = (flag_value(args, "--configs"), flag_value(args, "--spec"))
     else {
         return usage();
     };
-    let parallel = args.iter().any(|a| a == "--parallel");
     let as_json = args.iter().any(|a| a == "--json");
+    let jobs = match flag_value(args, "--jobs").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => {
+            eprintln!("error: --jobs needs a positive integer");
+            return usage();
+        }
+    };
+    let dedup = !args.iter().any(|a| a == "--no-dedup");
+    let cache_dir = flag_value(args, "--cache-dir");
+    let use_cache = args.iter().any(|a| a == "--cache") || cache_dir.is_some();
+    // --jobs/--cache only make sense on the orchestrator.
+    let parallel = args.iter().any(|a| a == "--parallel") || jobs.is_some() || use_cache;
+
+    let cache_dir = PathBuf::from(cache_dir.unwrap_or_else(|| ".lightyear-cache".to_string()));
+    let cache = if use_cache {
+        match lightyear::load_check_cache(&cache_dir) {
+            Ok((cache, loaded)) => {
+                if !as_json && loaded > 0 {
+                    println!(
+                        "cache: loaded {loaded} entries from {}",
+                        cache_dir.display()
+                    );
+                }
+                Some(cache)
+            }
+            Err(e) => {
+                // An unreadable spill must not brick verification:
+                // warn, start cold, and let the save at the end of the
+                // run replace the bad file.
+                eprintln!(
+                    "warning: ignoring unreadable cache at {}: {e}",
+                    cache_dir.display()
+                );
+                Some(std::sync::Arc::new(lightyear::CheckCache::new()))
+            }
+        }
+    } else {
+        None
+    };
 
     let net = match load_network(Path::new(&dir)) {
         Ok(n) => n,
@@ -177,11 +238,19 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     };
 
     let topo = &net.topology;
-    let mut verifier = Verifier::new(topo, &net.policy).with_mode(if parallel {
-        RunMode::Parallel
-    } else {
-        RunMode::Sequential
-    });
+    let mut verifier = Verifier::new(topo, &net.policy)
+        .with_mode(if parallel {
+            RunMode::Parallel
+        } else {
+            RunMode::Sequential
+        })
+        .with_dedup(dedup);
+    if let Some(n) = jobs {
+        verifier = verifier.with_jobs(n);
+    }
+    if let Some(c) = &cache {
+        verifier = verifier.with_cache(c.clone());
+    }
     for g in &spec.ghosts {
         match g.resolve(topo) {
             Ok(g) => verifier = verifier.with_ghost(g),
@@ -194,6 +263,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
 
     let mut any_failed = false;
     let mut json_out = Vec::new();
+    let mut exec = orchestrator::RunStats::default();
     for s in &spec.safety {
         let (prop, inv) = match s.resolve(topo) {
             Ok(x) => x,
@@ -205,11 +275,13 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         let report = verifier.verify_safety(&prop, &inv);
         let passed = report.all_passed();
         any_failed |= !passed;
+        exec.merge(&report.exec);
         if as_json {
             json_out.push(serde_json::json!({
                 "property": s.name,
                 "passed": passed,
                 "checks": report.num_checks(),
+                "solver_calls": report.solver_invocations(),
                 "total_seconds": report.total_time.as_secs_f64(),
                 "solve_seconds": report.solve_time().as_secs_f64(),
                 "failures": report.failures().iter().map(|f| {
@@ -234,6 +306,32 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }
         }
     }
+    if parallel {
+        let summary = exec.summary();
+        if as_json {
+            json_out.push(serde_json::json!({
+                "orchestrator": summary,
+                "generated": exec.generated,
+                "solver_calls": exec.executed,
+                "dedup_hits": exec.dedup_hits,
+                "cache_hits": exec.cache_hits,
+                "dedup_ratio": exec.dedup_ratio(),
+                "threads": exec.threads,
+            }));
+        } else {
+            println!("{summary}");
+        }
+    }
+    if let Some(c) = &cache {
+        match lightyear::save_check_cache(c, &cache_dir) {
+            Ok(written) => {
+                if !as_json {
+                    println!("cache: saved {written} entries to {}", cache_dir.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot save cache to {}: {e}", cache_dir.display()),
+        }
+    }
     if as_json {
         println!("{}", serde_json::to_string_pretty(&json_out).unwrap());
     }
@@ -256,10 +354,9 @@ fn template() -> String {
             name: "no-transit".into(),
             location: "R2 -> ISP2".into(),
             property: lightyear::pred::RoutePred::ghost("FromISP1").not(),
-            invariant_default: lightyear::pred::RoutePred::ghost("FromISP1")
-                .implies(lightyear::pred::RoutePred::has_community(
-                    bgp_model::Community::new(100, 1),
-                )),
+            invariant_default: lightyear::pred::RoutePred::ghost("FromISP1").implies(
+                lightyear::pred::RoutePred::has_community(bgp_model::Community::new(100, 1)),
+            ),
             invariant_overrides: [(
                 "R2 -> ISP2".to_string(),
                 lightyear::pred::RoutePred::ghost("FromISP1").not(),

@@ -179,8 +179,14 @@ mod tests {
     fn location_resolution() {
         let t = topo();
         assert!(matches!(resolve_location(&t, "R1"), Ok(Location::Node(_))));
-        assert!(matches!(resolve_location(&t, "ISP1 -> R1"), Ok(Location::Edge(_))));
-        assert!(matches!(resolve_location(&t, " ISP1->R1 "), Ok(Location::Edge(_))));
+        assert!(matches!(
+            resolve_location(&t, "ISP1 -> R1"),
+            Ok(Location::Edge(_))
+        ));
+        assert!(matches!(
+            resolve_location(&t, " ISP1->R1 "),
+            Ok(Location::Edge(_))
+        ));
         assert!(resolve_location(&t, "NOPE").is_err());
         assert!(resolve_location(&t, "R1 -> NOPE").is_err());
     }

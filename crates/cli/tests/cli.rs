@@ -62,7 +62,7 @@ const SPEC: &str = r#"{
   ]
 }"#;
 
-fn write_net(dir: &PathBuf, r2: &str) {
+fn write_net(dir: &std::path::Path, r2: &str) {
     fs::write(dir.join("r1.cfg"), R1).unwrap();
     fs::write(dir.join("r2.cfg"), r2).unwrap();
     fs::write(dir.join("spec.json"), SPEC).unwrap();
@@ -80,7 +80,11 @@ fn verify_passes_on_correct_network() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("no-transit: verified"), "{stdout}");
 }
 
@@ -114,8 +118,7 @@ fn verify_json_output() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
     assert_eq!(v[0]["property"], "no-transit");
     assert_eq!(v[0]["passed"], true);
     assert!(v[0]["checks"].as_u64().unwrap() > 0);
@@ -205,4 +208,71 @@ fn lint_reports_findings() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("dangling-prefix-list"));
+}
+
+#[test]
+fn verify_orchestrated_prints_dedup_stats() {
+    let d = tmpdir("orch");
+    write_net(&d, R2);
+    let out = Command::new(bin())
+        .args(["verify", "--jobs", "2", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("no-transit: verified"), "{stdout}");
+    assert!(
+        stdout.contains("orchestrator:"),
+        "missing dedup stats line: {stdout}"
+    );
+    assert!(stdout.contains("solver calls"), "{stdout}");
+}
+
+#[test]
+fn verify_cache_warms_across_runs() {
+    let d = tmpdir("cache");
+    write_net(&d, R2);
+    let cache_dir = d.join("cache");
+    let run = || {
+        Command::new(bin())
+            .args(["verify", "--cache-dir"])
+            .arg(&cache_dir)
+            .args(["--configs"])
+            .arg(&d)
+            .arg("--spec")
+            .arg(d.join("spec.json"))
+            .output()
+            .unwrap()
+    };
+
+    let cold = run();
+    let cold_out = String::from_utf8_lossy(&cold.stdout).to_string();
+    assert!(
+        cold.status.success(),
+        "{cold_out}\n{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(cold_out.contains("cache: saved"), "{cold_out}");
+    assert!(
+        cold_out.contains("0 cached"),
+        "cold run must not hit the cache: {cold_out}"
+    );
+
+    let warm = run();
+    let warm_out = String::from_utf8_lossy(&warm.stdout).to_string();
+    assert!(warm.status.success(), "{warm_out}");
+    assert!(warm_out.contains("cache: loaded"), "{warm_out}");
+    // The warm run answers passing checks from the spill.
+    assert!(
+        !warm_out.contains("0 cached"),
+        "warm run must hit the cache: {warm_out}"
+    );
+    assert!(warm_out.contains("no-transit: verified"), "{warm_out}");
 }

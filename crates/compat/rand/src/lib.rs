@@ -1,0 +1,276 @@
+//! Offline stand-in for `rand` (0.9-era API).
+//!
+//! Implements the slice of the crate this workspace uses: a seedable
+//! [`rngs::StdRng`] plus the [`Rng`] methods `random`, `random_range`,
+//! `random_bool` and `shuffle` support via [`seq::SliceRandom`]. The
+//! generator is xoshiro256** seeded through splitmix64 — deterministic
+//! across platforms, which the fingerprint/dedup tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build from OS entropy. This offline shim derives entropy from the
+    /// system clock; use [`SeedableRng::seed_from_u64`] for repeatability.
+    fn from_os_rng() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(t)
+    }
+}
+
+/// Sampling of uniform values; implemented via raw 64-bit output.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of a supported primitive type.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// A uniform value in the range.
+    fn random_range<T: UniformInt, R: IntoUniformRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi_incl) = range.bounds();
+        let span = hi_incl.wrapping_sub_to_u64(lo).wrapping_add(1);
+        if span == 0 {
+            // Full domain.
+            return T::from_u64_lossy(self.next_u64());
+        }
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the test-sized ranges used here.
+        let x = self.next_u64();
+        let offset = ((x as u128 * span as u128) >> 64) as u64;
+        lo.add_u64(offset)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+/// Types `random()` can produce.
+pub trait Standard {
+    /// Map raw bits to a uniform value.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u8 {
+    fn sample(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample(bits: u64) -> Self {
+        bits as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for usize {
+    fn sample(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with `random_range`.
+pub trait UniformInt: Copy {
+    /// `self - lo` widened to u64 (assumes `self >= lo`).
+    fn wrapping_sub_to_u64(self, lo: Self) -> u64;
+    /// `self + offset` (offset fits by construction).
+    fn add_u64(self, offset: u64) -> Self;
+    /// Truncating conversion for full-domain sampling.
+    fn from_u64_lossy(x: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn wrapping_sub_to_u64(self, lo: Self) -> u64 {
+                (self as i128).wrapping_sub(lo as i128) as u64
+            }
+            fn add_u64(self, offset: u64) -> Self {
+                ((self as i128) + offset as i128) as $t
+            }
+            fn from_u64_lossy(x: u64) -> Self {
+                x as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by `random_range`.
+pub trait IntoUniformRange<T: UniformInt> {
+    /// Inclusive `(low, high)` bounds; panics on an empty range.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformInt + PartialOrd + std::fmt::Debug> IntoUniformRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        assert!(
+            self.start < self.end,
+            "empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        // end - 1 via add_u64 of span-1 over start.
+        let span = self.end.wrapping_sub_to_u64(self.start);
+        (self.start, self.start.add_u64(span - 1))
+    }
+}
+
+impl<T: UniformInt + PartialOrd + std::fmt::Debug> IntoUniformRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty inclusive range");
+        (lo, hi)
+    }
+}
+
+/// Random sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling/choosing.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** seeded via splitmix64; the standard offline RNG.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let x: u32 = r.random_range(10..20);
+            assert!((10..20).contains(&x));
+            if x >= 18 {
+                seen_hi = true;
+            }
+            let y = r.random_range(0..=3usize);
+            assert!(y <= 3);
+        }
+        assert!(seen_hi, "range sampling never reached upper values");
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 produced {hits}/10000");
+    }
+}

@@ -8,6 +8,7 @@
 use crate::invariants::Location;
 use crate::symbolic::ConcreteRoute;
 use bgp_model::topology::{EdgeId, Topology};
+use orchestrator::RunStats;
 use smt::SolverStats;
 use std::fmt;
 use std::time::Duration;
@@ -89,8 +90,10 @@ impl fmt::Display for Counterexample {
 pub enum CheckResult {
     /// The check holds.
     Pass,
-    /// The check fails, with a concrete counterexample.
-    Fail(Counterexample),
+    /// The check fails, with a concrete counterexample (boxed: the
+    /// overwhelmingly common outcome is `Pass`, and reports hold one
+    /// `CheckResult` per check).
+    Fail(Box<Counterexample>),
 }
 
 impl CheckResult {
@@ -111,16 +114,35 @@ pub struct CheckOutcome {
     pub stats: SolverStats,
 }
 
-/// The result of verifying a property: all check outcomes plus timing.
+/// The result of verifying a property: all check outcomes plus timing
+/// and orchestration statistics.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
-    /// Per-check outcomes.
+    /// Per-check outcomes, sorted by check id.
     pub outcomes: Vec<CheckOutcome>,
     /// Wall-clock time for the whole run.
     pub total_time: Duration,
+    /// Orchestration statistics (all zero for sequential runs).
+    pub exec: RunStats,
 }
 
 impl Report {
+    /// Sort outcomes by check id. Run execution already assembles in
+    /// submission order; this keeps rendering deterministic after
+    /// [`Report::merge`] too.
+    pub fn sort_by_id(&mut self) {
+        self.outcomes.sort_by_key(|o| o.check.id);
+    }
+
+    /// Solver invocations actually executed: the orchestrated count
+    /// when available, otherwise every check ran individually.
+    pub fn solver_invocations(&self) -> usize {
+        if self.exec.generated > 0 {
+            self.exec.executed
+        } else {
+            self.outcomes.len()
+        }
+    }
     /// True when every check passed.
     pub fn all_passed(&self) -> bool {
         self.outcomes.iter().all(|o| o.result.passed())
@@ -128,7 +150,10 @@ impl Report {
 
     /// The failed outcomes.
     pub fn failures(&self) -> Vec<&CheckOutcome> {
-        self.outcomes.iter().filter(|o| !o.result.passed()).collect()
+        self.outcomes
+            .iter()
+            .filter(|o| !o.result.passed())
+            .collect()
     }
 
     /// Number of checks run.
@@ -138,12 +163,20 @@ impl Report {
 
     /// Maximum SAT variable count over all checks (Figure 3b, left axis).
     pub fn max_vars(&self) -> u64 {
-        self.outcomes.iter().map(|o| o.stats.num_vars).max().unwrap_or(0)
+        self.outcomes
+            .iter()
+            .map(|o| o.stats.num_vars)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum clause count over all checks (Figure 3b, right axis).
     pub fn max_clauses(&self) -> u64 {
-        self.outcomes.iter().map(|o| o.stats.num_clauses).max().unwrap_or(0)
+        self.outcomes
+            .iter()
+            .map(|o| o.stats.num_clauses)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total time spent inside the SAT solver (Figure 3d, solving curve).
@@ -160,6 +193,24 @@ impl Report {
     pub fn merge(&mut self, other: Report) {
         self.outcomes.extend(other.outcomes);
         self.total_time += other.total_time;
+        self.exec.merge(&other.exec);
+    }
+
+    /// One-line human summary including timings and, for orchestrated
+    /// runs, the dedup statistics. Unlike `Display`, this line is *not*
+    /// deterministic across runs (it contains wall-clock times).
+    pub fn timing_summary(&self) -> String {
+        let mut s = format!(
+            "{} ({:?} total, {:?} solving)",
+            self,
+            self.total_time,
+            self.solve_time()
+        );
+        if self.exec.generated > 0 {
+            s.push_str("; ");
+            s.push_str(&self.exec.summary());
+        }
+        s
     }
 
     /// Render failures with topology names.
@@ -189,21 +240,29 @@ impl Report {
     }
 }
 
+/// Deterministic rendering: depends only on the sorted check outcomes,
+/// never on wall-clock times or execution strategy, so sequential and
+/// orchestrated runs of the same problem render byte-identically (use
+/// [`Report::timing_summary`] for the timed line).
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let failed = self.failures().len();
         write!(
             f,
-            "{} checks, {} passed, {} failed ({:?} total, {:?} solving)",
+            "{} checks, {} passed, {} failed",
             self.num_checks(),
             self.num_checks() - failed,
             failed,
-            self.total_time,
-            self.solve_time(),
         )?;
         if failed > 0 {
-            for o in self.failures() {
-                write!(f, "\n  failed: {} #{} ({})", o.check.kind, o.check.id, o.check.description)?;
+            let mut fails = self.failures();
+            fails.sort_by_key(|o| o.check.id);
+            for o in fails {
+                write!(
+                    f,
+                    "\n  failed: {} #{} ({})",
+                    o.check.kind, o.check.id, o.check.description
+                )?;
             }
         }
         Ok(())
@@ -231,12 +290,20 @@ mod tests {
         r.outcomes.push(CheckOutcome {
             check: dummy_check(0),
             result: CheckResult::Pass,
-            stats: SolverStats { num_vars: 10, num_clauses: 20, ..Default::default() },
+            stats: SolverStats {
+                num_vars: 10,
+                num_clauses: 20,
+                ..Default::default()
+            },
         });
         r.outcomes.push(CheckOutcome {
             check: dummy_check(1),
             result: CheckResult::Pass,
-            stats: SolverStats { num_vars: 30, num_clauses: 5, ..Default::default() },
+            stats: SolverStats {
+                num_vars: 30,
+                num_clauses: 5,
+                ..Default::default()
+            },
         });
         assert!(r.all_passed());
         assert_eq!(r.num_checks(), 2);

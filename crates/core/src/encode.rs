@@ -39,13 +39,19 @@ pub struct Encoder<'a> {
 impl<'a> Encoder<'a> {
     /// Create an encoder; `tag` namespaces fresh variables.
     pub fn new(pool: &'a mut TermPool, universe: &'a Universe, tag: impl Into<String>) -> Self {
-        Encoder { pool, universe, tag: tag.into(), fresh: 0 }
+        Encoder {
+            pool,
+            universe,
+            tag: tag.into(),
+            fresh: 0,
+        }
     }
 
     fn fresh_bool(&mut self, what: &str) -> TermId {
         let n = self.fresh;
         self.fresh += 1;
-        self.pool.bool_var(&format!("{}.fresh{}[{}]", self.tag, n, what))
+        self.pool
+            .bool_var(&format!("{}.fresh{}[{}]", self.tag, n, what))
     }
 
     /// Merge two symbolic routes under a condition (`cond ? a : b`).
@@ -146,11 +152,7 @@ impl<'a> Encoder<'a> {
         }
     }
 
-    fn encode_exact_comms(
-        &mut self,
-        comms: &[bgp_model::Community],
-        route: &SymRoute,
-    ) -> TermId {
+    fn encode_exact_comms(&mut self, comms: &[bgp_model::Community], route: &SymRoute) -> TermId {
         // Route's community set equals `comms` exactly: every listed bit
         // set, every other universe bit clear, no out-of-universe comms.
         let mut parts = Vec::new();
@@ -167,11 +169,7 @@ impl<'a> Encoder<'a> {
         self.pool.and(&parts)
     }
 
-    fn encode_range(
-        &mut self,
-        r: &bgp_model::PrefixRange,
-        route: &SymRoute,
-    ) -> TermId {
+    fn encode_range(&mut self, r: &bgp_model::PrefixRange, route: &SymRoute) -> TermId {
         let p = &mut *self.pool;
         let mask = p.bv_const(Ipv4Prefix::mask(r.pattern.len) as u64, 32);
         let masked = p.bv_and(route.prefix_addr, mask);
@@ -255,7 +253,10 @@ impl<'a> Encoder<'a> {
             // Off the end: implicit deny unless an earlier entry permitted
             // and continued.
             let reject = self.pool.bool_const(!permitted);
-            return Transfer { reject, out: route.clone() };
+            return Transfer {
+                reject,
+                out: route.clone(),
+            };
         }
         let entry = &map.entries[idx];
         let matches: Vec<TermId> = entry
@@ -270,14 +271,20 @@ impl<'a> Encoder<'a> {
 
         // Taken branch.
         let hit_t = match entry.action {
-            Action::Deny => Transfer { reject: self.pool.tru(), out: route.clone() },
+            Action::Deny => Transfer {
+                reject: self.pool.tru(),
+                out: route.clone(),
+            },
             Action::Permit => {
                 let mut transformed = route.clone();
                 for s in &entry.sets {
                     transformed = self.encode_set(s, &transformed);
                 }
                 match &entry.continue_to {
-                    None => Transfer { reject: self.pool.fls(), out: transformed },
+                    None => Transfer {
+                        reject: self.pool.fls(),
+                        out: transformed,
+                    },
                     Some(target) => {
                         let next_idx = match target {
                             None => idx + 1,
@@ -289,7 +296,10 @@ impl<'a> Encoder<'a> {
                             },
                         };
                         if next_idx >= map.entries.len() {
-                            Transfer { reject: self.pool.fls(), out: transformed }
+                            Transfer {
+                                reject: self.pool.fls(),
+                                out: transformed,
+                            }
                         } else {
                             self.encode_from(map, next_idx, &transformed, true)
                         }
@@ -313,8 +323,14 @@ impl<'a> Encoder<'a> {
     ) -> SymRoute {
         let mut out = route.clone();
         for g in ghosts {
-            let Some(gi) = self.universe.ghost_index(&g.name) else { continue };
-            let update = if is_import { g.import_update(edge) } else { g.export_update(edge) };
+            let Some(gi) = self.universe.ghost_index(&g.name) else {
+                continue;
+            };
+            let update = if is_import {
+                g.import_update(edge)
+            } else {
+                g.export_update(edge)
+            };
             out.ghost_bits[gi] = match update {
                 GhostUpdate::SetTrue => self.pool.tru(),
                 GhostUpdate::SetFalse => self.pool.fls(),
@@ -338,10 +354,16 @@ pub fn encode_import(
     let mut enc = Encoder::new(pool, universe, format!("imp{}", edge.0));
     let t = match map {
         Some(m) => enc.encode_route_map(m, input),
-        None => Transfer { reject: enc.pool.fls(), out: input.clone() },
+        None => Transfer {
+            reject: enc.pool.fls(),
+            out: input.clone(),
+        },
     };
     let out = enc.apply_ghosts(ghosts, edge, true, &t.out);
-    Transfer { reject: t.reject, out }
+    Transfer {
+        reject: t.reject,
+        out,
+    }
 }
 
 /// Encode `Export(edge, r)`: the configured export map (identity when
@@ -357,10 +379,16 @@ pub fn encode_export(
     let mut enc = Encoder::new(pool, universe, format!("exp{}", edge.0));
     let t = match map {
         Some(m) => enc.encode_route_map(m, input),
-        None => Transfer { reject: enc.pool.fls(), out: input.clone() },
+        None => Transfer {
+            reject: enc.pool.fls(),
+            out: input.clone(),
+        },
     };
     let out = enc.apply_ghosts(ghosts, edge, false, &t.out);
-    Transfer { reject: t.reject, out }
+    Transfer {
+        reject: t.reject,
+        out,
+    }
 }
 
 #[cfg(test)]
@@ -420,14 +448,8 @@ mod tests {
                         assert_eq!(got.route.origin, out.origin, "origin\n{map}");
                         // Compare in-universe communities only.
                         for (i, cm) in u.communities().iter().enumerate() {
-                            let sym_has = m
-                                .eval_bool(&pool, tr.out.comm_bits[i])
-                                .unwrap_or(false);
-                            assert_eq!(
-                                sym_has,
-                                out.has_community(*cm),
-                                "community {cm}\n{map}"
-                            );
+                            let sym_has = m.eval_bool(&pool, tr.out.comm_bits[i]).unwrap_or(false);
+                            assert_eq!(sym_has, out.has_community(*cm), "community {cm}\n{map}");
                         }
                     }
                     SatResult::Unsat => panic!("pin must be sat"),
@@ -456,7 +478,10 @@ mod tests {
                 .setting(SetAction::LocalPref(200))
                 .setting(SetAction::Med(5))
                 .setting(SetAction::NextHop(42))
-                .setting(SetAction::Community { comms: vec![c("9:9")], additive: true }),
+                .setting(SetAction::Community {
+                    comms: vec![c("9:9")],
+                    additive: true,
+                }),
         );
         agree(&map, &Route::new(p("10.0.0.0/8")).with_community(c("1:1")));
     }
@@ -464,10 +489,10 @@ mod tests {
     #[test]
     fn community_replace_clears_other() {
         let mut map = RouteMap::new("S");
-        map.push(
-            RouteMapEntry::permit(10)
-                .setting(SetAction::Community { comms: vec![c("9:9")], additive: false }),
-        );
+        map.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![c("9:9")],
+            additive: false,
+        }));
         agree(&map, &Route::new(p("10.0.0.0/8")).with_community(c("1:1")));
     }
 
@@ -488,13 +513,12 @@ mod tests {
     #[test]
     fn community_list_first_match_wins() {
         let mut map = RouteMap::new("M");
-        map.push(RouteMapEntry::permit(10).matching(MatchCond::CommunityList {
-            entries: vec![
-                (false, vec![c("1:1"), c("2:2")]),
-                (true, vec![c("1:1")]),
-            ],
-            exact: false,
-        }));
+        map.push(
+            RouteMapEntry::permit(10).matching(MatchCond::CommunityList {
+                entries: vec![(false, vec![c("1:1"), c("2:2")]), (true, vec![c("1:1")])],
+                exact: false,
+            }),
+        );
         agree(&map, &Route::new(p("1.0.0.0/8")).with_community(c("1:1")));
         agree(
             &map,
@@ -508,10 +532,12 @@ mod tests {
     #[test]
     fn exact_match_community_list() {
         let mut map = RouteMap::new("M");
-        map.push(RouteMapEntry::permit(10).matching(MatchCond::CommunityList {
-            entries: vec![(true, vec![c("1:1")])],
-            exact: true,
-        }));
+        map.push(
+            RouteMapEntry::permit(10).matching(MatchCond::CommunityList {
+                entries: vec![(true, vec![c("1:1")])],
+                exact: true,
+            }),
+        );
         agree(&map, &Route::new(p("1.0.0.0/8")).with_community(c("1:1")));
         agree(
             &map,
@@ -556,7 +582,10 @@ mod tests {
         );
         agree(&map, &Route::new(p("1.0.0.0/8")).with_med(5));
         agree(&map, &Route::new(p("1.0.0.0/8")).with_med(6));
-        agree(&map, &Route::new(p("1.0.0.0/8")).with_med(5).with_local_pref(99));
+        agree(
+            &map,
+            &Route::new(p("1.0.0.0/8")).with_med(5).with_local_pref(99),
+        );
     }
 
     #[test]
@@ -575,7 +604,14 @@ mod tests {
         let mut pool = TermPool::new();
         let sym = SymRoute::fresh(&mut pool, &u, "in");
         let g = GhostAttr::new("G").with_import(EdgeId(5), GhostUpdate::SetTrue);
-        let t = encode_import(&mut pool, &u, None, &[g.clone()], EdgeId(5), &sym);
+        let t = encode_import(
+            &mut pool,
+            &u,
+            None,
+            std::slice::from_ref(&g),
+            EdgeId(5),
+            &sym,
+        );
         // Output ghost bit must be true regardless of input.
         let not_set = pool.not(t.out.ghost_bits[0]);
         assert!(!solve(&pool, &[not_set]).is_sat());

@@ -19,6 +19,7 @@
 
 use crate::check::{Check, CheckKind, CheckOutcome, CheckResult, Counterexample, Report};
 use crate::encode::{encode_export, encode_import, Transfer};
+use crate::fingerprint::{check_fingerprint, universe_digest};
 use crate::ghost::GhostAttr;
 use crate::invariants::{Location, NetworkInvariants};
 use crate::pred::RoutePred;
@@ -27,8 +28,11 @@ use crate::symbolic::SymRoute;
 use crate::universe::Universe;
 use bgp_model::policy::Policy;
 use bgp_model::topology::{EdgeId, NodeId, Topology};
+use orchestrator::{run_deduped, Fingerprint, ResultCache, RunConfig, RunStats};
+use serde_json::Value;
 use smt::{solve_with_stats, SatResult, SolverStats, TermPool};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How to execute the generated checks.
@@ -37,8 +41,69 @@ pub enum RunMode {
     /// One check at a time, in order (paper's sequential numbers, §6.1).
     #[default]
     Sequential,
-    /// All checks in parallel with crossbeam scoped threads (D3 ablation).
+    /// Orchestrated execution (D3): checks are fingerprinted, identical
+    /// structures deduplicated and (optionally) answered from a cache,
+    /// and the rest solved on a work-stealing pool.
     Parallel,
+}
+
+/// The cross-run check-result cache, keyed by structural fingerprint.
+pub type CheckCache = ResultCache<SolvedCheck>;
+
+/// A check's solver-facing outcome, detached from its descriptor so one
+/// solved structure can answer every renamed instantiation.
+#[derive(Clone, Debug)]
+pub struct SolvedCheck {
+    /// Pass, or fail with a counterexample.
+    pub result: CheckResult,
+    /// Solver statistics of the one real invocation.
+    pub stats: SolverStats,
+}
+
+impl SolvedCheck {
+    /// Spill encoding for the disk cache. Only passes are durable:
+    /// failures are re-proved on later runs so counterexamples stay
+    /// fresh against the current configurations.
+    pub fn spill_value(&self) -> Option<Value> {
+        match &self.result {
+            CheckResult::Pass => Some(serde_json::json!({
+                "pass": true,
+                "vars": self.stats.num_vars,
+                "clauses": self.stats.num_clauses,
+            })),
+            CheckResult::Fail(_) => None,
+        }
+    }
+
+    /// Decode the [`SolvedCheck::spill_value`] form.
+    pub fn from_spill(v: &Value) -> Option<Self> {
+        if v["pass"].as_bool() != Some(true) {
+            return None;
+        }
+        Some(SolvedCheck {
+            result: CheckResult::Pass,
+            stats: SolverStats {
+                num_vars: v["vars"].as_u64().unwrap_or(0),
+                num_clauses: v["clauses"].as_u64().unwrap_or(0),
+                ..SolverStats::default()
+            },
+        })
+    }
+}
+
+/// Load a [`CheckCache`] spilled to `dir` by [`save_check_cache`].
+/// Returns the cache and the number of entries loaded (zero when the
+/// directory or file does not exist yet).
+pub fn load_check_cache(dir: &std::path::Path) -> std::io::Result<(Arc<CheckCache>, usize)> {
+    let cache = Arc::new(CheckCache::new());
+    let loaded = cache.load_from_dir(dir, SolvedCheck::from_spill)?;
+    Ok((cache, loaded))
+}
+
+/// Spill a [`CheckCache`] to `dir/cache.json` (passes only; see
+/// [`SolvedCheck::spill_value`]). Returns the number of entries written.
+pub fn save_check_cache(cache: &CheckCache, dir: &std::path::Path) -> std::io::Result<usize> {
+    cache.save_to_dir(dir, SolvedCheck::spill_value)
 }
 
 /// The Lightyear verifier for one network.
@@ -48,18 +113,24 @@ pub struct Verifier<'a> {
     policy: &'a Policy,
     ghosts: Vec<GhostAttr>,
     mode: RunMode,
+    /// Worker threads for orchestrated runs (`None`: all cores).
+    jobs: Option<usize>,
+    /// Collapse structurally identical checks (orchestrated runs).
+    dedup: bool,
+    /// Cross-run result cache (orchestrated runs).
+    cache: Option<Arc<CheckCache>>,
 }
 
 /// A fully-resolved check: descriptor plus the predicates its formula
 /// needs, self-contained so it can run on any thread.
 #[derive(Clone, Debug)]
-struct ResolvedCheck {
-    check: Check,
-    body: CheckBody,
+pub(crate) struct ResolvedCheck {
+    pub(crate) check: Check,
+    pub(crate) body: CheckBody,
 }
 
 #[derive(Clone, Debug)]
-enum CheckBody {
+pub(crate) enum CheckBody {
     /// assume(r) ∧ r' = transfer(r) ⟹ reject ∨ ensure(r')
     Transfer {
         edge: EdgeId,
@@ -73,13 +144,24 @@ enum CheckBody {
     /// Concrete: every originated route satisfies the predicate.
     Originate { edge: EdgeId, ensure: RoutePred },
     /// assume(r) ⟹ ensure(r)
-    Implication { assume: RoutePred, ensure: RoutePred },
+    Implication {
+        assume: RoutePred,
+        ensure: RoutePred,
+    },
 }
 
 impl<'a> Verifier<'a> {
     /// A verifier over a topology and policy.
     pub fn new(topo: &'a Topology, policy: &'a Policy) -> Self {
-        Verifier { topo, policy, ghosts: Vec::new(), mode: RunMode::Sequential }
+        Verifier {
+            topo,
+            policy,
+            ghosts: Vec::new(),
+            mode: RunMode::Sequential,
+            jobs: None,
+            dedup: true,
+            cache: None,
+        }
     }
 
     /// Register a ghost attribute.
@@ -91,6 +173,34 @@ impl<'a> Verifier<'a> {
     /// Set the execution mode.
     pub fn with_mode(mut self, mode: RunMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// Set the orchestrated worker-thread count (implies
+    /// [`RunMode::Parallel`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self.mode = RunMode::Parallel;
+        self
+    }
+
+    /// Enable or disable structural deduplication (on by default; only
+    /// affects orchestrated runs).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Attach a cross-run result cache (only consulted by orchestrated
+    /// runs). The cache is shared: clone the `Arc` to reuse it across
+    /// verifier instances or runs.
+    pub fn with_cache(mut self, cache: Arc<CheckCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -138,17 +248,14 @@ impl<'a> Verifier<'a> {
     /// assignment. The Import/Export/Originate checks depend only on the
     /// invariants (the §4.3 lemma), so they run once; each property adds a
     /// single subsumption check `I_ℓ ⟹ P`.
-    pub fn verify_safety_multi(
-        &self,
-        props: &[SafetyProperty],
-        inv: &NetworkInvariants,
-    ) -> Report {
-        let Some(first) = props.first() else { return Report::default() };
+    pub fn verify_safety_multi(&self, props: &[SafetyProperty], inv: &NetworkInvariants) -> Report {
+        let Some(first) = props.first() else {
+            return Report::default();
+        };
         let mut checks = self.generate_safety_checks(first, inv);
         // The generator appended `first`'s subsumption check last; add the
         // remaining properties' subsumption checks after it.
-        let mut id = checks.len();
-        for p in &props[1..] {
+        for (id, p) in (checks.len()..).zip(&props[1..]) {
             checks.push(ResolvedCheck {
                 check: Check {
                     id,
@@ -167,7 +274,6 @@ impl<'a> Verifier<'a> {
                     ensure: p.pred.clone(),
                 },
             });
-            id += 1;
         }
         let mut u = self.universe(&[]);
         for p in props {
@@ -316,55 +422,97 @@ impl<'a> Verifier<'a> {
 
     fn run(&self, universe: &Universe, checks: &[ResolvedCheck]) -> Report {
         let t0 = Instant::now();
-        let outcomes = match self.mode {
-            RunMode::Sequential => checks
-                .iter()
-                .map(|c| self.run_one(universe, c))
-                .collect(),
-            RunMode::Parallel => {
-                let n = checks.len();
-                let threads = std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(4)
-                    .min(n.max(1));
-                let next = std::sync::atomic::AtomicUsize::new(0);
-                let (tx, rx) = crossbeam::channel::unbounded();
-                crossbeam::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        let tx = tx.clone();
-                        let next = &next;
-                        scope.spawn(move |_| loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let outcome = self.run_one(universe, &checks[i]);
-                            tx.send((i, outcome)).expect("result channel open");
-                        });
-                    }
-                    drop(tx);
-                })
-                .expect("crossbeam scope");
-                let mut indexed: Vec<(usize, CheckOutcome)> = rx.into_iter().collect();
-                indexed.sort_by_key(|(i, _)| *i);
-                indexed.into_iter().map(|(_, o)| o).collect()
-            }
+        let (outcomes, exec) = match self.mode {
+            RunMode::Sequential => (
+                checks.iter().map(|c| self.run_one(universe, c)).collect(),
+                RunStats::default(),
+            ),
+            RunMode::Parallel => self.run_orchestrated(universe, checks),
         };
-        Report { outcomes, total_time: t0.elapsed() }
+        let mut report = Report {
+            outcomes,
+            total_time: t0.elapsed(),
+            exec,
+        };
+        // Deterministic report assembly regardless of completion order.
+        report.sort_by_id();
+        report
+    }
+
+    /// Lower resolved checks into orchestrator jobs: fingerprint each
+    /// body, deduplicate structures, consult the cache, solve the rest
+    /// on the work-stealing pool, and reattach per-instance descriptors.
+    fn run_orchestrated(
+        &self,
+        universe: &Universe,
+        checks: &[ResolvedCheck],
+    ) -> (Vec<CheckOutcome>, RunStats) {
+        let ufp = universe_digest(universe);
+        let keyed: Vec<(Fingerprint, &ResolvedCheck)> = checks
+            .iter()
+            .map(|c| {
+                (
+                    check_fingerprint(ufp, self.policy, &self.ghosts, &c.body),
+                    c,
+                )
+            })
+            .collect();
+        let cfg = RunConfig {
+            jobs: self.jobs,
+            dedup: self.dedup,
+        };
+        let batch = run_deduped(cfg, self.cache.as_deref(), &keyed, |rc: &&ResolvedCheck| {
+            let o = self.run_one(universe, rc);
+            SolvedCheck {
+                result: o.result,
+                stats: o.stats,
+            }
+        });
+        let outcomes = checks
+            .iter()
+            .zip(batch.results)
+            .zip(batch.fresh)
+            .map(|((c, s), fresh)| {
+                // Replicated answers (dedup copies, cache hits) keep the
+                // formula-size stats — the formula is identical — but drop
+                // the work counters, so aggregate solve/encode times count
+                // each real solver invocation exactly once.
+                let stats = if fresh {
+                    s.stats
+                } else {
+                    SolverStats {
+                        num_vars: s.stats.num_vars,
+                        num_clauses: s.stats.num_clauses,
+                        ..SolverStats::default()
+                    }
+                };
+                CheckOutcome {
+                    check: c.check.clone(),
+                    result: s.result,
+                    stats,
+                }
+            })
+            .collect();
+        (outcomes, batch.stats)
     }
 
     fn run_one(&self, universe: &Universe, rc: &ResolvedCheck) -> CheckOutcome {
         match &rc.body {
-            CheckBody::Transfer { edge, is_import, assume, ensure, require_accept } => self
-                .run_transfer_check(
-                    universe,
-                    &rc.check,
-                    *edge,
-                    *is_import,
-                    assume,
-                    ensure,
-                    *require_accept,
-                ),
+            CheckBody::Transfer {
+                edge,
+                is_import,
+                assume,
+                ensure,
+                require_accept,
+            } => self.run_transfer_check(
+                universe,
+                &rc.check,
+                *edge,
+                *is_import,
+                assume,
+                ensure,
+                *require_accept,
+            ),
             CheckBody::Originate { edge, ensure } => {
                 self.run_originate_check(&rc.check, *edge, ensure)
             }
@@ -426,7 +574,7 @@ impl<'a> Verifier<'a> {
             SatResult::Unsat => CheckResult::Pass,
             SatResult::Sat(model) => {
                 let rejected = model.eval_bool(&pool, transfer.reject).unwrap_or(false);
-                CheckResult::Fail(Counterexample {
+                CheckResult::Fail(Box::new(Counterexample {
                     input: input.concretize(&pool, universe, &model),
                     output: if rejected {
                         None
@@ -434,18 +582,17 @@ impl<'a> Verifier<'a> {
                         Some(transfer.out.concretize(&pool, universe, &model))
                     },
                     rejected,
-                })
+                }))
             }
         };
-        CheckOutcome { check: check.clone(), result, stats }
+        CheckOutcome {
+            check: check.clone(),
+            result,
+            stats,
+        }
     }
 
-    fn run_originate_check(
-        &self,
-        check: &Check,
-        edge: EdgeId,
-        ensure: &RoutePred,
-    ) -> CheckOutcome {
+    fn run_originate_check(&self, check: &Check, edge: EdgeId, ensure: &RoutePred) -> CheckOutcome {
         // Originate(A -> B) is a concrete, finite set: evaluate directly.
         let ghosts: BTreeMap<String, bool> = self
             .ghosts
@@ -454,7 +601,7 @@ impl<'a> Verifier<'a> {
             .collect();
         for r in self.policy.originated(edge) {
             if !ensure.eval(r, &ghosts) {
-                let result = CheckResult::Fail(Counterexample {
+                let result = CheckResult::Fail(Box::new(Counterexample {
                     input: crate::symbolic::ConcreteRoute {
                         route: r.clone(),
                         comm_other: false,
@@ -463,7 +610,7 @@ impl<'a> Verifier<'a> {
                     },
                     output: None,
                     rejected: false,
-                });
+                }));
                 return CheckOutcome {
                     check: check.clone(),
                     result,
@@ -494,13 +641,17 @@ impl<'a> Verifier<'a> {
         let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
         let result = match result {
             SatResult::Unsat => CheckResult::Pass,
-            SatResult::Sat(model) => CheckResult::Fail(Counterexample {
+            SatResult::Sat(model) => CheckResult::Fail(Box::new(Counterexample {
                 input: r.concretize(&pool, universe, &model),
                 output: None,
                 rejected: false,
-            }),
+            })),
         };
-        CheckOutcome { check: check.clone(), result, stats }
+        CheckOutcome {
+            check: check.clone(),
+            result,
+            stats,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -587,13 +738,9 @@ mod tests {
         let r2 = t.node_by_name("R2").unwrap();
         let isp2 = t.node_by_name("ISP2").unwrap();
         let to_isp2 = t.edge_between(r2, isp2).unwrap();
-        let prop = SafetyProperty::new(
-            Location::Edge(to_isp2),
-            RoutePred::ghost("FromISP1").not(),
-        )
-        .named("no-transit");
-        let key = RoutePred::ghost("FromISP1")
-            .implies(RoutePred::has_community(c("100:1")));
+        let prop = SafetyProperty::new(Location::Edge(to_isp2), RoutePred::ghost("FromISP1").not())
+            .named("no-transit");
+        let key = RoutePred::ghost("FromISP1").implies(RoutePred::has_community(c("100:1")));
         let inv = NetworkInvariants::with_default(key)
             .with(Location::Edge(to_isp2), RoutePred::ghost("FromISP1").not());
         (prop, inv)
@@ -643,7 +790,7 @@ mod tests {
         assert_eq!(f.check.map_name.as_deref(), Some("FROM-ISP1-BUGGY"));
         // The counterexample is a 10/8-covered route without the tag.
         if let CheckResult::Fail(cex) = &f.result {
-            assert!(cex.input.ghosts.get("FromISP1").is_some());
+            assert!(cex.input.ghosts.contains_key("FromISP1"));
             let out = cex.output.as_ref().expect("accepted");
             assert!(out.ghosts["FromISP1"]);
             assert!(!out.route.has_community(c("100:1")));

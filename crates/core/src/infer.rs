@@ -84,11 +84,7 @@ impl<'a> Verifier<'a> {
     ///
     /// Returns [`InferResult::Proved`] with the first candidate that
     /// verifies, trying candidates in deterministic order.
-    pub fn infer_safety_invariants(
-        &self,
-        prop: &SafetyProperty,
-        ghost: &GhostAttr,
-    ) -> InferResult {
+    pub fn infer_safety_invariants(&self, prop: &SafetyProperty, ghost: &GhostAttr) -> InferResult {
         // Candidate communities: added by EVERY import filter on the
         // edges that set the ghost true.
         let mut candidates: Option<Vec<Community>> = None;
@@ -112,11 +108,15 @@ impl<'a> Verifier<'a> {
         let mut failures = Vec::new();
         for c in candidates {
             let key = RoutePred::ghost(&ghost.name).implies(RoutePred::has_community(c));
-            let invariants = NetworkInvariants::with_default(key)
-                .with(prop.location, prop.pred.clone());
+            let invariants =
+                NetworkInvariants::with_default(key).with(prop.location, prop.pred.clone());
             let report = self.verify_safety(prop, &invariants);
             if report.all_passed() {
-                return InferResult::Proved { invariants, community: c, report };
+                return InferResult::Proved {
+                    invariants,
+                    community: c,
+                    report,
+                };
             }
             failures.push((c, report));
         }
@@ -157,10 +157,7 @@ mod tests {
         pol.set_import(t.edge_between(isp1, r1).unwrap(), m);
         // R2 strips 300:9 from everything (so 300:9 cannot be the key).
         let mut m = RouteMap::new("R1-TO-R2");
-        m.push(
-            RouteMapEntry::permit(10)
-                .setting(SetAction::DeleteCommunities(vec![c("300:9")])),
-        );
+        m.push(RouteMapEntry::permit(10).setting(SetAction::DeleteCommunities(vec![c("300:9")])));
         pol.set_export(t.edge_between(r1, r2).unwrap(), m);
         let mut m = RouteMap::new("TO-ISP2");
         m.push(RouteMapEntry::deny(10).matching(MatchCond::Community {
@@ -192,7 +189,9 @@ mod tests {
         let prop = SafetyProperty::new(loc, RoutePred::ghost("FromISP1").not());
         let v = Verifier::new(&t, &pol).with_ghost(g.clone());
         match v.infer_safety_invariants(&prop, &g) {
-            InferResult::Proved { community, report, .. } => {
+            InferResult::Proved {
+                community, report, ..
+            } => {
                 assert_eq!(community, c("100:1"));
                 assert!(report.all_passed());
             }

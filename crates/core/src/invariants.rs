@@ -42,7 +42,10 @@ pub struct NetworkInvariants {
 impl NetworkInvariants {
     /// All locations get `True` (no constraint) unless overridden.
     pub fn new() -> Self {
-        NetworkInvariants { default: RoutePred::True, overrides: HashMap::new() }
+        NetworkInvariants {
+            default: RoutePred::True,
+            overrides: HashMap::new(),
+        }
     }
 
     /// All locations get `default` unless overridden. This is the usual
@@ -50,7 +53,10 @@ impl NetworkInvariants {
     /// handful of special locations (the property edge, external-facing
     /// edges) are overridden with [`NetworkInvariants::set`].
     pub fn with_default(default: RoutePred) -> Self {
-        NetworkInvariants { default, overrides: HashMap::new() }
+        NetworkInvariants {
+            default,
+            overrides: HashMap::new(),
+        }
     }
 
     /// Override the invariant at one location.
@@ -74,7 +80,10 @@ impl NetworkInvariants {
                 return RoutePred::True;
             }
         }
-        self.overrides.get(&loc).cloned().unwrap_or_else(|| self.default.clone())
+        self.overrides
+            .get(&loc)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
     }
 
     /// The raw override at a location, if any (ignores the external rule).
@@ -150,8 +159,8 @@ mod tests {
     fn default_and_overrides() {
         let (t, r, _x) = topo();
         let key = RoutePred::has_community(Community::new(1, 1));
-        let inv = NetworkInvariants::with_default(key.clone())
-            .with(Location::Node(r), RoutePred::True);
+        let inv =
+            NetworkInvariants::with_default(key.clone()).with(Location::Node(r), RoutePred::True);
         assert_eq!(inv.at(&t, Location::Node(r)), RoutePred::True);
         // Edge R -> X uses the default.
         let rx = t.edge_between(r, t.node_by_name("X").unwrap()).unwrap();
@@ -164,8 +173,7 @@ mod tests {
         let key = RoutePred::has_community(Community::new(1, 1));
         let xr = t.edge_between(x, r).unwrap();
         // Even with an explicit override, the external in-edge is True.
-        let inv = NetworkInvariants::with_default(key.clone())
-            .with(Location::Edge(xr), key);
+        let inv = NetworkInvariants::with_default(key.clone()).with(Location::Edge(xr), key);
         assert_eq!(inv.at(&t, Location::Edge(xr)), RoutePred::True);
     }
 

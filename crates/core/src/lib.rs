@@ -28,8 +28,14 @@
 //! * [`liveness`] — path constraints, propagation checks and
 //!   no-interference checks (§5).
 //! * [`check`] — check descriptors, results, counterexamples.
-//! * [`engine`] — the verifier: sequential/parallel execution,
-//!   per-check statistics (Figure 3b/3d) and incremental re-verification.
+//! * [`fingerprint`] — structural fingerprints of resolved checks:
+//!   rename-invariant canonical hashes (route-map contents, predicates,
+//!   ghost updates, universe digest — never router names or ids) keying
+//!   the orchestrator's dedup and cross-run cache.
+//! * [`engine`] — the verifier: sequential or orchestrated execution
+//!   (fingerprint dedup + result cache + work-stealing pool via the
+//!   `orchestrator` crate), per-check statistics (Figure 3b/3d) and
+//!   incremental re-verification.
 //!
 //! ## Quick start
 //!
@@ -91,6 +97,7 @@
 pub mod check;
 pub mod encode;
 pub mod engine;
+pub mod fingerprint;
 pub mod ghost;
 pub mod infer;
 pub mod invariants;
@@ -101,7 +108,7 @@ pub mod symbolic;
 pub mod universe;
 
 pub use check::{Check, CheckKind, CheckResult, Counterexample, Report};
-pub use engine::{RunMode, Verifier};
+pub use engine::{load_check_cache, save_check_cache, CheckCache, RunMode, SolvedCheck, Verifier};
 pub use ghost::{GhostAttr, GhostUpdate};
 pub use invariants::{Location, NetworkInvariants};
 pub use liveness::LivenessSpec;

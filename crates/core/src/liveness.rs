@@ -101,9 +101,7 @@ impl LivenessSpec {
                     }
                 }
                 _ => {
-                    return Err(SpecError(
-                        "path must alternate routers and edges".into(),
-                    ));
+                    return Err(SpecError("path must alternate routers and edges".into()));
                 }
             }
         }
@@ -159,6 +157,7 @@ impl<'a> Verifier<'a> {
                 &spec.constraints[i + 1],
             );
             report.outcomes.push(outcome);
+            self.count_direct_check(&mut report);
         }
 
         // No-interference: safety property at each router on the path.
@@ -166,18 +165,24 @@ impl<'a> Verifier<'a> {
             let Location::Node(r) = *loc else { continue };
             let prop = SafetyProperty::new(
                 Location::Node(r),
-                spec.prefix_scope.clone().implies(spec.constraints[i].clone()),
+                spec.prefix_scope
+                    .clone()
+                    .implies(spec.constraints[i].clone()),
             )
             .named(format!(
                 "no-interference at {}",
                 self.topology().node(r).name
             ));
             let sub = self.verify_safety(&prop, &spec.interference_invariants);
+            report.exec.merge(&sub.exec);
             for mut o in sub.outcomes {
                 o.check.id = id;
                 id += 1;
-                o.check.description =
-                    format!("[no-interference at {}] {}", self.topology().node(r).name, o.check.description);
+                o.check.description = format!(
+                    "[no-interference at {}] {}",
+                    self.topology().node(r).name,
+                    o.check.description
+                );
                 if o.check.kind == CheckKind::Subsumption {
                     o.check.kind = CheckKind::NoInterference;
                 }
@@ -201,9 +206,22 @@ impl<'a> Verifier<'a> {
             &spec.pred,
         );
         report.outcomes.push(outcome);
+        self.count_direct_check(&mut report);
 
         report.total_time = t0.elapsed();
         Ok(report)
+    }
+
+    /// Liveness runs its propagation/implication checks directly (not
+    /// through the orchestrator). In orchestrated mode, account for them
+    /// in the exec stats so `Report::solver_invocations` and the
+    /// dedup-stats line stay truthful for mixed liveness reports.
+    fn count_direct_check(&self, report: &mut Report) {
+        if self.mode() == crate::engine::RunMode::Parallel {
+            report.exec.generated += 1;
+            report.exec.unique += 1;
+            report.exec.executed += 1;
+        }
     }
 
     fn liveness_universe(
@@ -240,15 +258,17 @@ impl<'a> Verifier<'a> {
         let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
         let result = match result {
             SatResult::Unsat => CheckResult::Pass,
-            SatResult::Sat(model) => {
-                CheckResult::Fail(crate::check::Counterexample {
-                    input: r.concretize(&pool, universe, &model),
-                    output: None,
-                    rejected: false,
-                })
-            }
+            SatResult::Sat(model) => CheckResult::Fail(Box::new(crate::check::Counterexample {
+                input: r.concretize(&pool, universe, &model),
+                output: None,
+                rejected: false,
+            })),
         };
-        CheckOutcome { check: check.clone(), result, stats }
+        CheckOutcome {
+            check: check.clone(),
+            result,
+            stats,
+        }
     }
 }
 
@@ -322,7 +342,9 @@ mod tests {
         let r2_isp2 = t.edge_between(r2, isp2).unwrap();
 
         let has_cust = cust_prefix();
-        let good = has_cust.clone().and(RoutePred::has_community(c("100:1")).not());
+        let good = has_cust
+            .clone()
+            .and(RoutePred::has_community(c("100:1")).not());
 
         // Interference invariants: routes with customer prefixes inside
         // the network never carry 100:1. ISP1's import tags 100:1 but the
@@ -335,7 +357,9 @@ mod tests {
         // "HasCustPrefix(r) => !100:1 in Comm(r)" which requires R1 to
         // drop customer prefixes from ISP1. Add that filter here.
         let interference = NetworkInvariants::with_default(
-            has_cust.clone().implies(RoutePred::has_community(c("100:1")).not()),
+            has_cust
+                .clone()
+                .implies(RoutePred::has_community(c("100:1")).not()),
         );
 
         LivenessSpec {
@@ -449,7 +473,9 @@ mod tests {
         add_r1_cust_filter(&t, &mut pol);
         let mut spec = table3_spec(&t);
         // Strengthen the property beyond what C_n guarantees.
-        spec.pred = spec.pred.and(RoutePred::local_pref(crate::pred::Cmp::Eq, 7));
+        spec.pred = spec
+            .pred
+            .and(RoutePred::local_pref(crate::pred::Cmp::Eq, 7));
         let v = Verifier::new(&t, &pol);
         let report = v.verify_liveness(&spec).unwrap();
         assert!(report

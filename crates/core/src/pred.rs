@@ -237,8 +237,7 @@ impl RoutePred {
             }
             RoutePred::HasCommunity(c) => route.has_community(universe, *c),
             RoutePred::NoCommunities => {
-                let mut parts: Vec<TermId> =
-                    route.comm_bits.iter().map(|&b| pool.not(b)).collect();
+                let mut parts: Vec<TermId> = route.comm_bits.iter().map(|&b| pool.not(b)).collect();
                 let no_other = pool.not(route.comm_other);
                 parts.push(no_other);
                 pool.and(&parts)
@@ -314,11 +313,9 @@ impl RoutePred {
             }
             RoutePred::OriginIs(o) => route.origin == *o,
             RoutePred::Ghost(name) => ghosts.get(name).copied().unwrap_or(false),
-            RoutePred::AsPathMatches(pattern) => {
-                bgp_model::AsPathRegex::compile(pattern)
-                    .map(|re| re.matches(&route.as_path))
-                    .unwrap_or(false)
-            }
+            RoutePred::AsPathMatches(pattern) => bgp_model::AsPathRegex::compile(pattern)
+                .map(|re| re.matches(&route.as_path))
+                .unwrap_or(false),
             RoutePred::Not(inner) => !inner.eval(route, ghosts),
             RoutePred::And(xs) => xs.iter().all(|x| x.eval(route, ghosts)),
             RoutePred::Or(xs) => xs.iter().any(|x| x.eval(route, ghosts)),
@@ -456,21 +453,41 @@ mod tests {
     #[test]
     fn community_predicates_agree() {
         let pred = RoutePred::has_community(c("100:1"));
-        agree(&pred, &Route::new(p("1.0.0.0/8")).with_community(c("100:1")), &BTreeMap::new());
+        agree(
+            &pred,
+            &Route::new(p("1.0.0.0/8")).with_community(c("100:1")),
+            &BTreeMap::new(),
+        );
         agree(&pred, &Route::new(p("1.0.0.0/8")), &BTreeMap::new());
 
         let none = RoutePred::NoCommunities;
         agree(&none, &Route::new(p("1.0.0.0/8")), &BTreeMap::new());
-        agree(&none, &Route::new(p("1.0.0.0/8")).with_community(c("5:5")), &BTreeMap::new());
+        agree(
+            &none,
+            &Route::new(p("1.0.0.0/8")).with_community(c("5:5")),
+            &BTreeMap::new(),
+        );
     }
 
     #[test]
     fn numeric_predicates_agree() {
         for cmp in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
             let pred = RoutePred::local_pref(cmp, 100);
-            agree(&pred, &Route::new(p("1.0.0.0/8")).with_local_pref(100), &BTreeMap::new());
-            agree(&pred, &Route::new(p("1.0.0.0/8")).with_local_pref(99), &BTreeMap::new());
-            agree(&pred, &Route::new(p("1.0.0.0/8")).with_local_pref(101), &BTreeMap::new());
+            agree(
+                &pred,
+                &Route::new(p("1.0.0.0/8")).with_local_pref(100),
+                &BTreeMap::new(),
+            );
+            agree(
+                &pred,
+                &Route::new(p("1.0.0.0/8")).with_local_pref(99),
+                &BTreeMap::new(),
+            );
+            agree(
+                &pred,
+                &Route::new(p("1.0.0.0/8")).with_local_pref(101),
+                &BTreeMap::new(),
+            );
         }
     }
 
@@ -479,10 +496,22 @@ mod tests {
         let pred = RoutePred::ghost("G").and(RoutePred::aspath("_65001_"));
         let mut ghosts = BTreeMap::new();
         ghosts.insert("G".to_string(), true);
-        agree(&pred, &Route::new(p("1.0.0.0/8")).with_as_path(vec![65001]), &ghosts);
-        agree(&pred, &Route::new(p("1.0.0.0/8")).with_as_path(vec![2]), &ghosts);
+        agree(
+            &pred,
+            &Route::new(p("1.0.0.0/8")).with_as_path(vec![65001]),
+            &ghosts,
+        );
+        agree(
+            &pred,
+            &Route::new(p("1.0.0.0/8")).with_as_path(vec![2]),
+            &ghosts,
+        );
         ghosts.insert("G".to_string(), false);
-        agree(&pred, &Route::new(p("1.0.0.0/8")).with_as_path(vec![65001]), &ghosts);
+        agree(
+            &pred,
+            &Route::new(p("1.0.0.0/8")).with_as_path(vec![65001]),
+            &ghosts,
+        );
     }
 
     #[test]
@@ -513,8 +542,7 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        let pred = RoutePred::ghost("FromISP1")
-            .implies(RoutePred::has_community(c("100:1")));
+        let pred = RoutePred::ghost("FromISP1").implies(RoutePred::has_community(c("100:1")));
         assert_eq!(pred.to_string(), "(!(FromISP1) || 100:1 in comm)");
     }
 }

@@ -25,7 +25,11 @@ pub struct SafetyProperty {
 impl SafetyProperty {
     /// A property at a location.
     pub fn new(location: Location, pred: RoutePred) -> Self {
-        SafetyProperty { location, pred, name: None }
+        SafetyProperty {
+            location,
+            pred,
+            name: None,
+        }
     }
 
     /// Attach a display name.
@@ -64,8 +68,7 @@ mod tests {
 
     #[test]
     fn display_includes_name() {
-        let p = SafetyProperty::new(Location::Node(NodeId(0)), RoutePred::True)
-            .named("no-bogons");
+        let p = SafetyProperty::new(Location::Node(NodeId(0)), RoutePred::True).named("no-bogons");
         assert!(p.to_string().contains("no-bogons"));
     }
 }

@@ -100,12 +100,7 @@ impl SymRoute {
     /// that are true are reported in
     /// [`ConcreteRoute::aspath_matches`], and the path itself is left
     /// empty (the abstraction does not determine it).
-    pub fn concretize(
-        &self,
-        pool: &TermPool,
-        universe: &Universe,
-        model: &Model,
-    ) -> ConcreteRoute {
+    pub fn concretize(&self, pool: &TermPool, universe: &Universe, model: &Model) -> ConcreteRoute {
         let addr = model.eval_bv(pool, self.prefix_addr).unwrap_or(0) as u32;
         let len = (model.eval_bv(pool, self.prefix_len).unwrap_or(0) as u8).min(32);
         let mut route = Route::new(Ipv4Prefix::new(addr, len));
@@ -131,7 +126,12 @@ impl SymRoute {
             let v = model.eval_bool(pool, self.ghost_bits[i]).unwrap_or(false);
             ghosts.insert(g.clone(), v);
         }
-        ConcreteRoute { route, comm_other, aspath_matches, ghosts }
+        ConcreteRoute {
+            route,
+            comm_other,
+            aspath_matches,
+            ghosts,
+        }
     }
 
     /// Constrain this symbolic route to equal a concrete route (ghosts and
@@ -168,7 +168,11 @@ impl SymRoute {
             let want = concrete.communities.contains(c);
             parts.push(if want { bit } else { pool.not(bit) });
         }
-        parts.push(if other { self.comm_other } else { pool.not(self.comm_other) });
+        parts.push(if other {
+            self.comm_other
+        } else {
+            pool.not(self.comm_other)
+        });
         for (i, pat) in universe.regexes().iter().enumerate() {
             let re = bgp_model::AsPathRegex::compile(pat).expect("regex validated earlier");
             let want = re.matches(&concrete.as_path);
@@ -268,8 +272,8 @@ mod tests {
                 assert!(got.route.has_community(c("100:1")));
                 assert!(!got.route.has_community(c("200:2")));
                 assert!(!got.comm_other);
-                assert_eq!(got.aspath_matches["_65001_"], true);
-                assert_eq!(got.ghosts["FromISP1"], true);
+                assert!(got.aspath_matches["_65001_"]);
+                assert!(got.ghosts["FromISP1"]);
             }
             SatResult::Unsat => panic!("pinning must be satisfiable"),
         }
@@ -280,8 +284,7 @@ mod tests {
         let u = universe();
         let mut pool = TermPool::new();
         let r = SymRoute::fresh(&mut pool, &u, "r");
-        let concrete = Route::new("10.0.0.0/8".parse().unwrap())
-            .with_community(c("9:9")); // not in universe
+        let concrete = Route::new("10.0.0.0/8".parse().unwrap()).with_community(c("9:9")); // not in universe
         let eq = r.equals_concrete(&mut pool, &u, &concrete, &BTreeMap::new());
         match solve(&pool, &[eq]) {
             SatResult::Sat(m) => {

@@ -45,8 +45,11 @@ impl Universe {
 
     /// Scan a policy, adding everything it mentions.
     pub fn scan_policy(&mut self, policy: &Policy) {
-        let mut maps: Vec<&RouteMap> =
-            policy.import.values().chain(policy.export.values()).collect();
+        let mut maps: Vec<&RouteMap> = policy
+            .import
+            .values()
+            .chain(policy.export.values())
+            .collect();
         // Deterministic order regardless of hash-map iteration.
         maps.sort_by(|a, b| a.name.cmp(&b.name));
         for m in maps {
@@ -90,8 +93,7 @@ impl Universe {
             }
             for set in &e.sets {
                 match set {
-                    SetAction::Community { comms, .. }
-                    | SetAction::DeleteCommunities(comms) => {
+                    SetAction::Community { comms, .. } | SetAction::DeleteCommunities(comms) => {
                         for c in comms {
                             self.add_community(*c);
                         }
@@ -182,12 +184,10 @@ mod tests {
             comms: vec![c("1:1"), c("2:2")],
             additive: true,
         }));
-        m.push(
-            RouteMapEntry::deny(20).matching(MatchCond::Community {
-                comms: vec![c("3:3")],
-                match_all: false,
-            }),
-        );
+        m.push(RouteMapEntry::deny(20).matching(MatchCond::Community {
+            comms: vec![c("3:3")],
+            match_all: false,
+        }));
         pol.set_import(EdgeId(0), m);
         let re = bgp_model::AsPathRegex::compile("_65001_").unwrap();
         let mut m2 = RouteMap::new("B");

@@ -58,7 +58,11 @@ pub struct Minesweeper<'a> {
 impl<'a> Minesweeper<'a> {
     /// A verifier over a topology and policy.
     pub fn new(topo: &'a Topology, policy: &'a Policy) -> Self {
-        Minesweeper { topo, policy, ghosts: Vec::new() }
+        Minesweeper {
+            topo,
+            policy,
+            ghosts: Vec::new(),
+        }
     }
 
     /// Register a ghost attribute (same semantics as in Lightyear).
@@ -107,7 +111,14 @@ impl<'a> Minesweeper<'a> {
                     let not_set = pool.not(sym.ghost_bits[gi]);
                     assertions.push(pool.implies(valid, not_set));
                 }
-                exported.insert(e, MsRoute { sym, path_len, valid });
+                exported.insert(
+                    e,
+                    MsRoute {
+                        sym,
+                        path_len,
+                        valid,
+                    },
+                );
             }
         }
 
@@ -118,7 +129,14 @@ impl<'a> Minesweeper<'a> {
             let sym = SymRoute::fresh(&mut pool, &universe, &format!("best{}", r.0));
             let valid = pool.bool_var(&format!("best{}.valid", r.0));
             let path_len = pool.bv_var(&format!("best{}.len", r.0), 16);
-            best.insert(r, MsRoute { sym, path_len, valid });
+            best.insert(
+                r,
+                MsRoute {
+                    sym,
+                    path_len,
+                    valid,
+                },
+            );
         }
 
         // Exported record for internal out-edges: Export(best of src).
@@ -141,7 +159,14 @@ impl<'a> Minesweeper<'a> {
             // Path length grows by one on every export (kills loops).
             let one = pool.bv_const(1, 16);
             let path_len = pool.bv_add(src_best.path_len, one);
-            exported.insert(e, MsRoute { sym: t.out, path_len, valid });
+            exported.insert(
+                e,
+                MsRoute {
+                    sym: t.out,
+                    path_len,
+                    valid,
+                },
+            );
         }
 
         // Imported candidates and best-route selection per router.
@@ -159,7 +184,11 @@ impl<'a> Minesweeper<'a> {
                 );
                 let not_rej = pool.not(t.reject);
                 let valid = pool.and2(exp.valid, not_rej);
-                candidates.push(MsRoute { sym: t.out, path_len: exp.path_len, valid });
+                candidates.push(MsRoute {
+                    sym: t.out,
+                    path_len: exp.path_len,
+                    valid,
+                });
             }
             let b = best[&r].clone();
             self.encode_selection(
@@ -381,7 +410,10 @@ mod tests {
         );
         match report.outcome {
             MsOutcome::Violated(cex) => {
-                assert!(cex.ghosts["FromISP1"], "violating route came from ISP1: {cex}");
+                assert!(
+                    cex.ghosts["FromISP1"],
+                    "violating route came from ISP1: {cex}"
+                );
             }
             MsOutcome::Verified => panic!("expected violation"),
         }
@@ -422,8 +454,7 @@ mod tests {
         let prop = SafetyProperty::new(Location::Edge(e), pred.clone());
         let key = lightyear::pred::RoutePred::ghost("FromISP1")
             .implies(lightyear::pred::RoutePred::has_community(c("100:1")));
-        let inv = NetworkInvariants::with_default(key)
-            .with(Location::Edge(e), pred);
+        let inv = NetworkInvariants::with_default(key).with(Location::Edge(e), pred);
         let ly_report = lightyear::engine::Verifier::new(&t, &pol)
             .with_ghost(ghost(&t))
             .verify_safety(&prop, &inv);

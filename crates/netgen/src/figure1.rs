@@ -42,7 +42,13 @@ pub struct Scenario {
     pub customer_liveness: LivenessSpec,
 }
 
-fn neighbor(addr: &str, asn: u32, desc: &str, rm_in: Option<&str>, rm_out: Option<&str>) -> NeighborAst {
+fn neighbor(
+    addr: &str,
+    asn: u32,
+    desc: &str,
+    rm_in: Option<&str>,
+    rm_out: Option<&str>,
+) -> NeighborAst {
     NeighborAst {
         addr: addr.into(),
         remote_as: Some(asn),
@@ -53,7 +59,10 @@ fn neighbor(addr: &str, asn: u32, desc: &str, rm_in: Option<&str>, rm_out: Optio
 }
 
 fn config_r1() -> ConfigAst {
-    let mut ast = ConfigAst { hostname: "R1".into(), ..Default::default() };
+    let mut ast = ConfigAst {
+        hostname: "R1".into(),
+        ..Default::default()
+    };
     // Deny customer prefixes from ISP1 (no-interference requirement),
     // tag everything else.
     ast.prefix_lists.insert(
@@ -89,24 +98,37 @@ fn config_r1() -> ConfigAst {
             },
         ],
     );
-    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
     bgp.neighbors.insert(
         "10.0.0.1".into(),
         neighbor("10.0.0.1", 100, "ISP1", Some("FROM-ISP1"), None),
     );
-    bgp.neighbors
-        .insert("10.0.12.2".into(), neighbor("10.0.12.2", 65000, "R2", None, None));
-    bgp.neighbors
-        .insert("10.0.13.3".into(), neighbor("10.0.13.3", 65000, "R3", None, None));
+    bgp.neighbors.insert(
+        "10.0.12.2".into(),
+        neighbor("10.0.12.2", 65000, "R2", None, None),
+    );
+    bgp.neighbors.insert(
+        "10.0.13.3".into(),
+        neighbor("10.0.13.3", 65000, "R3", None, None),
+    );
     ast.router_bgp = Some(bgp);
     ast
 }
 
 fn config_r2() -> ConfigAst {
-    let mut ast = ConfigAst { hostname: "R2".into(), ..Default::default() };
+    let mut ast = ConfigAst {
+        hostname: "R2".into(),
+        ..Default::default()
+    };
     ast.community_lists.insert(
         "TRANSIT".into(),
-        vec![CommunityListEntry { permit: true, communities: vec![transit_comm()] }],
+        vec![CommunityListEntry {
+            permit: true,
+            communities: vec![transit_comm()],
+        }],
     );
     ast.route_maps.insert(
         "TO-ISP2".into(),
@@ -138,44 +160,69 @@ fn config_r2() -> ConfigAst {
             seq: 10,
             permit: true,
             matches: vec![],
-            sets: vec![SetAst::Community { communities: vec![], additive: false, none: true }],
+            sets: vec![SetAst::Community {
+                communities: vec![],
+                additive: false,
+                none: true,
+            }],
             continue_to: None,
         }],
     );
-    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
     bgp.neighbors.insert(
         "10.0.0.2".into(),
         neighbor("10.0.0.2", 200, "ISP2", Some("FROM-ISP2"), Some("TO-ISP2")),
     );
-    bgp.neighbors
-        .insert("10.0.12.1".into(), neighbor("10.0.12.1", 65000, "R1", None, None));
-    bgp.neighbors
-        .insert("10.0.23.3".into(), neighbor("10.0.23.3", 65000, "R3", None, None));
+    bgp.neighbors.insert(
+        "10.0.12.1".into(),
+        neighbor("10.0.12.1", 65000, "R1", None, None),
+    );
+    bgp.neighbors.insert(
+        "10.0.23.3".into(),
+        neighbor("10.0.23.3", 65000, "R3", None, None),
+    );
     ast.router_bgp = Some(bgp);
     ast
 }
 
 fn config_r3() -> ConfigAst {
-    let mut ast = ConfigAst { hostname: "R3".into(), ..Default::default() };
+    let mut ast = ConfigAst {
+        hostname: "R3".into(),
+        ..Default::default()
+    };
     ast.route_maps.insert(
         "FROM-CUST".into(),
         vec![RouteMapEntryAst {
             seq: 10,
             permit: true,
             matches: vec![],
-            sets: vec![SetAst::Community { communities: vec![], additive: false, none: true }],
+            sets: vec![SetAst::Community {
+                communities: vec![],
+                additive: false,
+                none: true,
+            }],
             continue_to: None,
         }],
     );
-    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
     bgp.neighbors.insert(
         "10.0.0.3".into(),
         neighbor("10.0.0.3", 300, "Customer", Some("FROM-CUST"), None),
     );
-    bgp.neighbors
-        .insert("10.0.13.1".into(), neighbor("10.0.13.1", 65000, "R1", None, None));
-    bgp.neighbors
-        .insert("10.0.23.2".into(), neighbor("10.0.23.2", 65000, "R2", None, None));
+    bgp.neighbors.insert(
+        "10.0.13.1".into(),
+        neighbor("10.0.13.1", 65000, "R1", None, None),
+    );
+    bgp.neighbors.insert(
+        "10.0.23.2".into(),
+        neighbor("10.0.23.2", 65000, "R2", None, None),
+    );
     ast.router_bgp = Some(bgp);
     ast
 }
@@ -215,15 +262,19 @@ pub fn build_from_configs(asts: Vec<ConfigAst>) -> Scenario {
 
     // Table 2: the no-transit property and invariants.
     let from_isp1 = RoutePred::ghost("FromISP1");
-    let no_transit = SafetyProperty::new(Location::Edge(r2_isp2), from_isp1.clone().not())
-        .named("no-transit");
-    let key = from_isp1.clone().implies(RoutePred::has_community(transit_comm()));
-    let no_transit_inv = NetworkInvariants::with_default(key)
-        .with(Location::Edge(r2_isp2), from_isp1.not());
+    let no_transit =
+        SafetyProperty::new(Location::Edge(r2_isp2), from_isp1.clone().not()).named("no-transit");
+    let key = from_isp1
+        .clone()
+        .implies(RoutePred::has_community(transit_comm()));
+    let no_transit_inv =
+        NetworkInvariants::with_default(key).with(Location::Edge(r2_isp2), from_isp1.not());
 
     // Table 3: customer routes reach ISP2.
     let has_cust = RoutePred::prefix_in(vec![PrefixRange::orlonger(customer_prefix())]);
-    let good = has_cust.clone().and(RoutePred::has_community(transit_comm()).not());
+    let good = has_cust
+        .clone()
+        .and(RoutePred::has_community(transit_comm()).not());
     let customer_liveness = LivenessSpec {
         location: Location::Edge(r2_isp2),
         pred: has_cust.clone(),
@@ -234,7 +285,13 @@ pub fn build_from_configs(asts: Vec<ConfigAst>) -> Scenario {
             Location::Node(r2),
             Location::Edge(r2_isp2),
         ],
-        constraints: vec![has_cust.clone(), good.clone(), good.clone(), good, has_cust.clone()],
+        constraints: vec![
+            has_cust.clone(),
+            good.clone(),
+            good.clone(),
+            good,
+            has_cust.clone(),
+        ],
         prefix_scope: has_cust.clone(),
         interference_invariants: NetworkInvariants::with_default(
             has_cust.implies(RoutePred::has_community(transit_comm()).not()),
@@ -242,7 +299,13 @@ pub fn build_from_configs(asts: Vec<ConfigAst>) -> Scenario {
         name: Some("customer-reaches-isp2".into()),
     };
 
-    Scenario { network, ghost, no_transit, no_transit_inv, customer_liveness }
+    Scenario {
+        network,
+        ghost,
+        no_transit,
+        no_transit_inv,
+        customer_liveness,
+    }
 }
 
 #[cfg(test)]
@@ -253,8 +316,7 @@ mod tests {
     #[test]
     fn no_transit_verifies_end_to_end() {
         let s = build();
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.ghost.clone());
+        let v = Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
         let report = v.verify_safety(&s.no_transit, &s.no_transit_inv);
         assert!(
             report.all_passed(),
@@ -266,8 +328,7 @@ mod tests {
     #[test]
     fn customer_liveness_verifies_end_to_end() {
         let s = build();
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.ghost.clone());
+        let v = Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
         let report = v.verify_liveness(&s.customer_liveness).unwrap();
         assert!(
             report.all_passed(),

@@ -48,7 +48,10 @@ fn router_name(i: usize) -> String {
 }
 
 fn config_router(i: usize, n: usize) -> ConfigAst {
-    let mut ast = ConfigAst { hostname: router_name(i), ..Default::default() };
+    let mut ast = ConfigAst {
+        hostname: router_name(i),
+        ..Default::default()
+    };
     // Prefix filter on the eBGP session: drop a bogon range.
     ast.prefix_lists.insert(
         "NO-BOGON".into(),
@@ -72,11 +75,23 @@ fn config_router(i: usize, n: usize) -> ConfigAst {
     // Community action: R0 tags, everyone else strips.
     let sets = if i == 0 {
         vec![
-            SetAst::Community { communities: vec![], additive: false, none: true },
-            SetAst::Community { communities: vec![tag()], additive: true, none: false },
+            SetAst::Community {
+                communities: vec![],
+                additive: false,
+                none: true,
+            },
+            SetAst::Community {
+                communities: vec![tag()],
+                additive: true,
+                none: false,
+            },
         ]
     } else {
-        vec![SetAst::Community { communities: vec![], additive: false, none: true }]
+        vec![SetAst::Community {
+            communities: vec![],
+            additive: false,
+            none: true,
+        }]
     };
     ast.route_maps.insert(
         "FROM-EXT".into(),
@@ -91,7 +106,10 @@ fn config_router(i: usize, n: usize) -> ConfigAst {
     if i == 1 {
         ast.community_lists.insert(
             "TRANSIT".into(),
-            vec![CommunityListEntry { permit: true, communities: vec![tag()] }],
+            vec![CommunityListEntry {
+                permit: true,
+                communities: vec![tag()],
+            }],
         );
         ast.route_maps.insert(
             "TO-EXT".into(),
@@ -116,7 +134,10 @@ fn config_router(i: usize, n: usize) -> ConfigAst {
             ],
         );
     }
-    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
     // The eBGP neighbor.
     bgp.neighbors.insert(
         format!("10.255.{}.1", i),
@@ -167,7 +188,11 @@ pub fn build(n: usize) -> Scenario {
         let e = t.edge_between(ext, r).unwrap();
         ghost.on_import(
             e,
-            if i == 0 { GhostUpdate::SetTrue } else { GhostUpdate::SetFalse },
+            if i == 0 {
+                GhostUpdate::SetTrue
+            } else {
+                GhostUpdate::SetFalse
+            },
         );
     }
 
@@ -175,13 +200,18 @@ pub fn build(n: usize) -> Scenario {
     let e1 = t.node_by_name("E1").unwrap();
     let r1_e1 = t.edge_between(r1, e1).unwrap();
     let from_e0 = RoutePred::ghost("FromE0");
-    let property = SafetyProperty::new(Location::Edge(r1_e1), from_e0.clone().not())
-        .named("no-transit");
+    let property =
+        SafetyProperty::new(Location::Edge(r1_e1), from_e0.clone().not()).named("no-transit");
     let key = from_e0.clone().implies(RoutePred::has_community(tag()));
-    let invariants = NetworkInvariants::with_default(key)
-        .with(Location::Edge(r1_e1), from_e0.not());
+    let invariants =
+        NetworkInvariants::with_default(key).with(Location::Edge(r1_e1), from_e0.not());
 
-    Scenario { network, ghost, property, invariants }
+    Scenario {
+        network,
+        ghost,
+        property,
+        invariants,
+    }
 }
 
 #[cfg(test)]
@@ -193,8 +223,8 @@ mod tests {
     fn mesh_verifies_at_small_sizes() {
         for n in [2, 4, 6] {
             let s = build(n);
-            let v = Verifier::new(&s.network.topology, &s.network.policy)
-                .with_ghost(s.ghost.clone());
+            let v =
+                Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
             let report = v.verify_safety(&s.property, &s.invariants);
             assert!(
                 report.all_passed(),
@@ -213,12 +243,8 @@ mod tests {
         let r1 = t.node_by_name("R1").unwrap();
         let e1 = t.node_by_name("E1").unwrap();
         let edge = t.edge_between(r1, e1).unwrap();
-        let ms = minesweeper::Minesweeper::new(t, &s.network.policy)
-            .with_ghost(s.ghost.clone());
-        let report = ms.verify(
-            Location::Edge(edge),
-            &RoutePred::ghost("FromE0").not(),
-        );
+        let ms = minesweeper::Minesweeper::new(t, &s.network.policy).with_ghost(s.ghost.clone());
+        let report = ms.verify(Location::Edge(edge), &RoutePred::ghost("FromE0").not());
         assert!(report.verified(), "{:?}", report.outcome);
     }
 }

@@ -35,7 +35,10 @@ pub fn roundtrip_and_lower(asts: &[ConfigAst]) -> Network {
         .map(|a| {
             let text = print_config(a);
             parse_config(&text).unwrap_or_else(|e| {
-                panic!("generated config for {} failed to reparse: {e}\n{text}", a.hostname)
+                panic!(
+                    "generated config for {} failed to reparse: {e}\n{text}",
+                    a.hostname
+                )
             })
         })
         .collect();
@@ -67,7 +70,13 @@ mod tests {
 
     #[test]
     fn wan_structure() {
-        let params = wan::WanParams { regions: 3, routers_per_region: 3, edge_routers: 4, peers_per_edge: 2 };
+        let params = wan::WanParams {
+            regions: 3,
+            routers_per_region: 3,
+            edge_routers: 4,
+            peers_per_edge: 2,
+            ..wan::WanParams::default()
+        };
         let scen = wan::build(&params);
         let t = &scen.network.topology;
         assert_eq!(t.router_ids().count(), 3 * 3 + 4);

@@ -54,9 +54,7 @@ pub fn drop_aspath_filters(
     let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
     let entries = cfg.route_maps.get_mut(map)?;
     let before = entries.len();
-    entries.retain(|e| {
-        !(e.matches.iter().any(|m| matches!(m, MatchAst::AsPath(_))) && !e.permit)
-    });
+    entries.retain(|e| e.permit || !e.matches.iter().any(|m| matches!(m, MatchAst::AsPath(_))));
     (entries.len() != before).then(|| InjectedBug {
         router: router.into(),
         route_map: map.into(),
@@ -109,10 +107,10 @@ pub fn drop_prefix_deny(
     let entries = cfg.route_maps.get_mut(map)?;
     let before = entries.len();
     entries.retain(|e| {
-        !(!e.permit
-            && e.matches.iter().any(|m| {
+        e.permit
+            || !e.matches.iter().any(|m| {
                 matches!(m, MatchAst::PrefixList(names) if names.iter().any(|n| n == list_name))
-            }))
+            })
     });
     (entries.len() != before).then(|| InjectedBug {
         router: router.into(),
@@ -133,8 +131,7 @@ mod tests {
         let mut configs = figure1::configs();
         let bug = drop_community_sets(&mut configs, "R1", "FROM-ISP1").unwrap();
         let s = figure1::build_from_configs(configs);
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.ghost.clone());
+        let v = Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
         let report = v.verify_safety(&s.no_transit, &s.no_transit_inv);
         assert!(!report.all_passed());
         for f in report.failures() {
@@ -150,13 +147,14 @@ mod tests {
             routers_per_region: 2,
             edge_routers: 2,
             peers_per_edge: 2,
+            ..wan::WanParams::default()
         };
         let mut configs = wan::configs(&params);
         // One peering on EDGE1 loses its private-ASN filter.
         let bug = drop_aspath_filters(&mut configs, "EDGE1", "FROM-PEER1").unwrap();
         let s = wan::build_from_configs(&params, configs);
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.from_peer_ghost());
+        let v =
+            Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.from_peer_ghost());
         let (_, q) = s
             .peering_predicates()
             .into_iter()
@@ -184,6 +182,7 @@ mod tests {
             routers_per_region: 2,
             edge_routers: 2,
             peers_per_edge: 1,
+            ..wan::WanParams::default()
         };
         let mut configs = wan::configs(&params);
         // Region 0's DC attachment tags with an undocumented community.
@@ -215,12 +214,13 @@ mod tests {
             routers_per_region: 2,
             edge_routers: 2,
             peers_per_edge: 2,
+            ..wan::WanParams::default()
         };
         let mut configs = wan::configs(&params);
         let bug = drop_prefix_deny(&mut configs, "EDGE0", "FROM-PEER0", "BOGONS").unwrap();
         let s = wan::build_from_configs(&params, configs);
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.from_peer_ghost());
+        let v =
+            Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.from_peer_ghost());
         let (_, q) = s
             .peering_predicates()
             .into_iter()

@@ -55,11 +55,43 @@ pub struct WanParams {
     pub edge_routers: usize,
     /// External peers per edge router.
     pub peers_per_edge: usize,
+    /// Deterministic variation seed. The same `(params, seed)` pair
+    /// always generates byte-identical configurations; different seeds
+    /// vary renaming-level detail (external peer/DC AS numbers) while
+    /// keeping every route-map template identical — which is what makes
+    /// check fingerprints repeatable and renaming-invariance testable.
+    pub seed: u64,
 }
 
 impl Default for WanParams {
     fn default() -> Self {
-        WanParams { regions: 4, routers_per_region: 3, edge_routers: 6, peers_per_edge: 4 }
+        WanParams {
+            regions: 4,
+            routers_per_region: 3,
+            edge_routers: 6,
+            peers_per_edge: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl WanParams {
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total router (non-external) count: region routers plus edges.
+    pub fn num_routers(&self) -> usize {
+        self.regions * self.routers_per_region + self.edge_routers
+    }
+
+    /// Deterministic per-seed ASN jitter, kept far below the private-ASN
+    /// range (64512+) the peer filters match on. Seed 0 is jitter-free,
+    /// so existing fixtures are unchanged.
+    fn asn_jitter(&self) -> u32 {
+        ((self.seed % 97) * 7) as u32
     }
 }
 
@@ -157,7 +189,13 @@ fn dc_attach(params: &WanParams) -> usize {
     }
 }
 
-fn nbr(addr: String, asn: u32, desc: String, rm_in: Option<String>, rm_out: Option<String>) -> NeighborAst {
+fn nbr(
+    addr: String,
+    asn: u32,
+    desc: String,
+    rm_in: Option<String>,
+    rm_out: Option<String>,
+) -> NeighborAst {
     NeighborAst {
         addr: addr.clone(),
         remote_as: Some(asn),
@@ -168,7 +206,13 @@ fn nbr(addr: String, asn: u32, desc: String, rm_in: Option<String>, rm_out: Opti
 }
 
 fn deny_entry(seq: u32, m: MatchAst) -> RouteMapEntryAst {
-    RouteMapEntryAst { seq, permit: false, matches: vec![m], sets: vec![], continue_to: None }
+    RouteMapEntryAst {
+        seq,
+        permit: false,
+        matches: vec![m],
+        sets: vec![],
+        continue_to: None,
+    }
 }
 
 fn bogon_prefix_list() -> Vec<PrefixListEntry> {
@@ -186,13 +230,25 @@ fn bogon_prefix_list() -> Vec<PrefixListEntry> {
 }
 
 fn single_orlonger_list(p: Ipv4Prefix) -> Vec<PrefixListEntry> {
-    vec![PrefixListEntry { seq: 5, permit: true, prefix: p, ge: None, le: Some(32) }]
+    vec![PrefixListEntry {
+        seq: 5,
+        permit: true,
+        prefix: p,
+        ge: None,
+        le: Some(32),
+    }]
 }
 
 /// Configuration of a region router `R{k}-{j}`.
 fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
-    let mut ast = ConfigAst { hostname: router_name(k, j), ..Default::default() };
-    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    let mut ast = ConfigAst {
+        hostname: router_name(k, j),
+        ..Default::default()
+    };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
 
     // Intra-region mesh.
     for j2 in 0..params.routers_per_region {
@@ -212,7 +268,10 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
             "REGIONAL-OTHER".into(),
             (0..params.regions)
                 .filter(|&k2| k2 != k)
-                .map(|k2| CommunityListEntry { permit: true, communities: vec![region_comm(k2)] })
+                .map(|k2| CommunityListEntry {
+                    permit: true,
+                    communities: vec![region_comm(k2)],
+                })
                 .collect(),
         );
         ast.route_maps.insert(
@@ -220,9 +279,18 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
             vec![
                 deny_entry(
                     10,
-                    MatchAst::Community { lists: vec!["REGIONAL-OTHER".into()], exact: false },
+                    MatchAst::Community {
+                        lists: vec!["REGIONAL-OTHER".into()],
+                        exact: false,
+                    },
                 ),
-                RouteMapEntryAst { seq: 20, permit: true, matches: vec![], sets: vec![], continue_to: None },
+                RouteMapEntryAst {
+                    seq: 20,
+                    permit: true,
+                    matches: vec![],
+                    sets: vec![],
+                    continue_to: None,
+                },
             ],
         );
         for k2 in 0..params.regions {
@@ -232,7 +300,13 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
             let addr = format!("10.200.{k2}.{k}");
             bgp.neighbors.insert(
                 addr.clone(),
-                nbr(addr, 65000, router_name(k2, 0), Some("FROM-BACKBONE".into()), None),
+                nbr(
+                    addr,
+                    65000,
+                    router_name(k2, 0),
+                    Some("FROM-BACKBONE".into()),
+                    None,
+                ),
             );
         }
     }
@@ -256,7 +330,8 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
 
     if j == dc_attach(params) {
         // Data-center attachment.
-        ast.prefix_lists.insert("REUSED".into(), single_orlonger_list(reused_prefix()));
+        ast.prefix_lists
+            .insert("REUSED".into(), single_orlonger_list(reused_prefix()));
         ast.route_maps.insert(
             "FROM-DC".into(),
             vec![
@@ -275,7 +350,11 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
                     seq: 20,
                     permit: true,
                     matches: vec![],
-                    sets: vec![SetAst::Community { communities: vec![], additive: false, none: true }],
+                    sets: vec![SetAst::Community {
+                        communities: vec![],
+                        additive: false,
+                        none: true,
+                    }],
                     continue_to: None,
                 },
             ],
@@ -283,7 +362,13 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
         let addr = format!("10.202.{k}.1");
         bgp.neighbors.insert(
             addr.clone(),
-            nbr(addr, 64600 + k as u32, dc_name(k), Some("FROM-DC".into()), None),
+            nbr(
+                addr,
+                64600 + k as u32,
+                dc_name(k),
+                Some("FROM-DC".into()),
+                None,
+            ),
         );
     }
 
@@ -293,10 +378,16 @@ fn config_region_router(params: &WanParams, k: usize, j: usize) -> ConfigAst {
 
 /// Configuration of Internet edge router `EDGE{m}`.
 fn config_edge_router(params: &WanParams, m: usize) -> ConfigAst {
-    let mut ast = ConfigAst { hostname: edge_name(m), ..Default::default() };
-    ast.prefix_lists.insert("BOGONS".into(), bogon_prefix_list());
-    ast.prefix_lists.insert("REUSED".into(), single_orlonger_list(reused_prefix()));
-    ast.prefix_lists.insert("INFRA".into(), single_orlonger_list(infra_prefix()));
+    let mut ast = ConfigAst {
+        hostname: edge_name(m),
+        ..Default::default()
+    };
+    ast.prefix_lists
+        .insert("BOGONS".into(), bogon_prefix_list());
+    ast.prefix_lists
+        .insert("REUSED".into(), single_orlonger_list(reused_prefix()));
+    ast.prefix_lists
+        .insert("INFRA".into(), single_orlonger_list(infra_prefix()));
     ast.prefix_lists.insert(
         "DEFAULT".into(),
         vec![PrefixListEntry {
@@ -319,15 +410,24 @@ fn config_edge_router(params: &WanParams, m: usize) -> ConfigAst {
     );
     ast.aspath_acls.insert(
         "PRIVATE-ASN".into(),
-        vec![AsPathAclEntry { permit: true, regex: private_asn_regex().into() }],
+        vec![AsPathAclEntry {
+            permit: true,
+            regex: private_asn_regex().into(),
+        }],
     );
     ast.aspath_acls.insert(
         "SELF-ASN".into(),
-        vec![AsPathAclEntry { permit: true, regex: self_asn_regex().into() }],
+        vec![AsPathAclEntry {
+            permit: true,
+            regex: self_asn_regex().into(),
+        }],
     );
 
     let region = m % params.regions;
-    let mut bgp = RouterBgp { asn: 65000, ..Default::default() };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
 
     // Uplink to the region gateway.
     let addr = format!("10.201.{m}.1");
@@ -345,7 +445,13 @@ fn config_edge_router(params: &WanParams, m: usize) -> ConfigAst {
         vec![
             deny_entry(10, MatchAst::PrefixList(vec!["REUSED".into()])),
             deny_entry(15, MatchAst::PrefixList(vec!["INFRA".into()])),
-            RouteMapEntryAst { seq: 20, permit: true, matches: vec![], sets: vec![], continue_to: None },
+            RouteMapEntryAst {
+                seq: 20,
+                permit: true,
+                matches: vec![],
+                sets: vec![],
+                continue_to: None,
+            },
         ],
     );
     for p in 0..params.peers_per_edge {
@@ -382,7 +488,7 @@ fn config_edge_router(params: &WanParams, m: usize) -> ConfigAst {
             addr.clone(),
             nbr(
                 addr,
-                3000 + (m * 100 + p) as u32,
+                3000 + params.asn_jitter() + (m * 100 + p) as u32,
                 peer_name(m, p),
                 Some(map),
                 Some("TO-PEER".into()),
@@ -426,7 +532,11 @@ pub fn build_from_configs(params: &WanParams, asts: Vec<ConfigAst>) -> Scenario 
             })
             .collect(),
     };
-    Scenario { params: *params, network, metadata }
+    Scenario {
+        params: *params,
+        network,
+        metadata,
+    }
 }
 
 impl Scenario {
@@ -493,14 +603,22 @@ impl Scenario {
     pub fn peering_predicates(&self) -> Vec<(String, RoutePred)> {
         let not_in = |ps: Vec<Ipv4Prefix>| {
             RoutePred::prefix_in(
-                ps.into_iter().map(PrefixRange::orlonger).collect::<Vec<_>>(),
+                ps.into_iter()
+                    .map(PrefixRange::orlonger)
+                    .collect::<Vec<_>>(),
             )
             .not()
         };
         let mut out = vec![
             ("no-bogons".to_string(), not_in(bogons())),
-            ("no-reused-from-peers".to_string(), not_in(vec![reused_prefix()])),
-            ("no-infra-prefixes".to_string(), not_in(vec![infra_prefix()])),
+            (
+                "no-reused-from-peers".to_string(),
+                not_in(vec![reused_prefix()]),
+            ),
+            (
+                "no-infra-prefixes".to_string(),
+                not_in(vec![infra_prefix()]),
+            ),
             (
                 "no-default-route".to_string(),
                 RoutePred::prefix_eq("0.0.0.0/0".parse().unwrap()).not(),
@@ -518,9 +636,18 @@ impl Scenario {
                 "no-private-asn".to_string(),
                 RoutePred::aspath(private_asn_regex()).not(),
             ),
-            ("no-self-asn".to_string(), RoutePred::aspath(self_asn_regex()).not()),
-            ("peer-tagged".to_string(), RoutePred::has_community(peer_comm())),
-            ("lp-normalized".to_string(), RoutePred::local_pref(Cmp::Eq, 100)),
+            (
+                "no-self-asn".to_string(),
+                RoutePred::aspath(self_asn_regex()).not(),
+            ),
+            (
+                "peer-tagged".to_string(),
+                RoutePred::has_community(peer_comm()),
+            ),
+            (
+                "lp-normalized".to_string(),
+                RoutePred::local_pref(Cmp::Eq, 100),
+            ),
             ("med-zeroed".to_string(), RoutePred::med(Cmp::Eq, 0)),
         ];
         // 11th: peer routes never carry regional communities.
@@ -563,10 +690,7 @@ impl Scenario {
                 exactly_ck = exactly_ck.and(RoutePred::has_community(region_comm(k2)).not());
             }
         }
-        let inside = from_region
-            .clone()
-            .and(reused.clone())
-            .implies(exactly_ck);
+        let inside = from_region.clone().and(reused.clone()).implies(exactly_ck);
         // Outside: no reused routes from region k at all.
         let outside = from_region.clone().implies(reused.clone().not());
 
@@ -610,7 +734,10 @@ impl Scenario {
                 exactly_ck = exactly_ck.and(RoutePred::has_community(region_comm(k2)).not());
             }
         }
-        let good = from_region.clone().and(reused.clone()).and(exactly_ck.clone());
+        let good = from_region
+            .clone()
+            .and(reused.clone())
+            .and(exactly_ck.clone());
 
         // Interference invariants: inside region j, reused routes carry
         // exactly C_j and (for j == k) came from the region.
@@ -662,14 +789,20 @@ mod tests {
     use lightyear::engine::Verifier;
 
     fn small() -> Scenario {
-        build(&WanParams { regions: 2, routers_per_region: 2, edge_routers: 2, peers_per_edge: 2 })
+        build(&WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 2,
+            ..WanParams::default()
+        })
     }
 
     #[test]
     fn peering_properties_verify() {
         let s = small();
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.from_peer_ghost());
+        let v =
+            Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.from_peer_ghost());
         for (name, q) in s.peering_predicates() {
             let (props, inv) = s.peering_property_inputs(&q);
             let report = v.verify_safety_multi(&props, &inv);
@@ -712,6 +845,54 @@ mod tests {
                 report.format_failures(&s.network.topology)
             );
         }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_template_preserving() {
+        let base = WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 2,
+            ..WanParams::default()
+        };
+        let text = |p: &WanParams| {
+            configs(p)
+                .iter()
+                .map(bgp_config::print_config)
+                .collect::<Vec<_>>()
+        };
+        // Same (params, seed) -> byte-identical configurations.
+        assert_eq!(text(&base.with_seed(7)), text(&base.with_seed(7)));
+        // Different seeds vary renaming-level detail (peer ASNs)...
+        let a = text(&base.with_seed(1));
+        let b = text(&base.with_seed(2));
+        assert_ne!(a, b);
+        // ...but never the route-map templates: the non-neighbor lines
+        // (router defs, prefix lists, route maps) stay identical.
+        let strip_neighbors = |cfgs: &[String]| {
+            cfgs.iter()
+                .flat_map(|c| c.lines())
+                .filter(|l| !l.contains("remote-as"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip_neighbors(&a), strip_neighbors(&b));
+    }
+
+    #[test]
+    fn num_routers_counts_internal_nodes() {
+        let p = WanParams {
+            regions: 3,
+            routers_per_region: 2,
+            edge_routers: 4,
+            peers_per_edge: 1,
+            ..WanParams::default()
+        };
+        assert_eq!(p.num_routers(), 10);
+        let s = build(&p);
+        let t = &s.network.topology;
+        assert_eq!(t.router_ids().count(), p.num_routers());
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! A sharded, fingerprint-keyed result cache with optional JSON spill.
+//!
+//! The in-memory map is split over independently locked shards (selected
+//! by the fingerprint's low bits) so concurrent workers rarely contend —
+//! the DashMap design point, built on std. Spilling is delegated to
+//! caller-supplied encode/decode closures over `serde_json::Value`, so
+//! the cache stays generic and callers decide which results are durable
+//! (the verifier spills passes but re-proves failures, keeping
+//! counterexamples fresh).
+
+use crate::fingerprint::Fingerprint;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Spill-format version; bump when the entry encoding changes.
+const SPILL_VERSION: i64 = 1;
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// `get` calls that found an entry.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+}
+
+/// A sharded map from [`Fingerprint`] to a result value.
+pub struct ResultCache<V> {
+    shards: Vec<Mutex<HashMap<u128, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl<V> Default for ResultCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ResultCache<V> {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(16)
+    }
+
+    /// A cache with `n` shards (rounded up to one).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
+        ResultCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<u128, V>> {
+        &self.shards[(fp.0 as usize) % self.shards.len()]
+    }
+
+    /// Insert (last write wins).
+    pub fn insert(&self, fp: Fingerprint, v: V) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard(fp).lock().unwrap().insert(fp.0, v);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The effectiveness counters.
+    pub fn stats(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the effectiveness counters (entries are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// Look up a fingerprint, counting a hit or miss.
+    pub fn get(&self, fp: Fingerprint) -> Option<V> {
+        let found = self.shard(fp).lock().unwrap().get(&fp.0).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Look up without touching the counters.
+    pub fn peek(&self, fp: Fingerprint) -> Option<V> {
+        self.shard(fp).lock().unwrap().get(&fp.0).cloned()
+    }
+
+    /// Spill to `dir/cache.json`. `encode` chooses which entries are
+    /// durable: returning `None` skips an entry. Returns the number of
+    /// entries written.
+    pub fn save_to_dir(
+        &self,
+        dir: &Path,
+        encode: impl Fn(&V) -> Option<Value>,
+    ) -> io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.lock().unwrap().iter() {
+                if let Some(val) = encode(v) {
+                    entries.push((Fingerprint(*k).to_hex(), val));
+                }
+            }
+        }
+        // Sort for reproducible files (shard iteration order is not
+        // deterministic).
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let written = entries.len();
+        let doc = Value::Object(vec![
+            ("version".to_string(), Value::Int(SPILL_VERSION)),
+            ("entries".to_string(), Value::Object(entries)),
+        ]);
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let path = dir.join("cache.json");
+        let tmp = dir.join("cache.json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(written)
+    }
+
+    /// Load `dir/cache.json` written by [`ResultCache::save_to_dir`].
+    /// Missing file is an empty load; a version mismatch ignores the
+    /// file (the fingerprint format changed). `decode` may reject
+    /// individual entries by returning `None`. Returns entries loaded.
+    pub fn load_from_dir(
+        &self,
+        dir: &Path,
+        decode: impl Fn(&Value) -> Option<V>,
+    ) -> io::Result<usize> {
+        let path = dir.join("cache.json");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let doc: Value = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if doc["version"].as_i64() != Some(SPILL_VERSION) {
+            return Ok(0);
+        }
+        let Some(entries) = doc["entries"].as_object() else {
+            return Ok(0);
+        };
+        let mut loaded = 0;
+        for (hex, val) in entries {
+            let (Some(fp), Some(v)) = (Fingerprint::from_hex(hex), decode(val)) else {
+                continue;
+            };
+            self.shard(fp).lock().unwrap().insert(fp.0, v);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FpHasher;
+
+    fn fp(n: u32) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_u32(n);
+        h.finish()
+    }
+
+    #[test]
+    fn get_insert_stats() {
+        let c: ResultCache<String> = ResultCache::new();
+        assert_eq!(c.get(fp(1)), None);
+        c.insert(fp(1), "one".into());
+        assert_eq!(c.get(fp(1)).as_deref(), Some("one"));
+        assert_eq!(
+            c.stats(),
+            CacheSnapshot {
+                hits: 1,
+                misses: 1,
+                inserts: 1
+            }
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn spill_roundtrip_with_selective_encode() {
+        let dir = std::env::temp_dir().join(format!("orch-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c: ResultCache<(bool, u32)> = ResultCache::new();
+        c.insert(fp(1), (true, 10));
+        c.insert(fp(2), (false, 20)); // not durable: encode returns None
+        let written = c
+            .save_to_dir(&dir, |(pass, n)| {
+                if *pass {
+                    Some(serde_json::json!({ "n": *n }))
+                } else {
+                    None
+                }
+            })
+            .unwrap();
+        assert_eq!(written, 1);
+
+        let c2: ResultCache<(bool, u32)> = ResultCache::new();
+        let loaded = c2
+            .load_from_dir(&dir, |v| v["n"].as_u64().map(|n| (true, n as u32)))
+            .unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(c2.peek(fp(1)), Some((true, 10)));
+        assert_eq!(c2.peek(fp(2)), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_loads_empty() {
+        let c: ResultCache<u32> = ResultCache::new();
+        let loaded = c
+            .load_from_dir(Path::new("/nonexistent/definitely/not/here"), |_| Some(0))
+            .unwrap();
+        assert_eq!(loaded, 0);
+    }
+}

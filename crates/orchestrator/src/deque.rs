@@ -1,0 +1,159 @@
+//! Work-stealing deques in the crossbeam-deque mold.
+//!
+//! Each worker owns a [`Worker`] deque (LIFO pop from the back — hot
+//! jobs stay cache-warm) and hands [`Stealer`] handles to its peers,
+//! which steal from the front (the oldest, largest-granularity work).
+//! A shared [`Injector`] receives overflow/new work. The implementation
+//! is mutex-per-deque rather than the Chase–Lev lock-free algorithm:
+//! verification jobs are milliseconds to seconds of SMT solving, so
+//! queue-operation latency is irrelevant while correctness and
+//! simplicity are not.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The owner's end of a deque.
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A peer's stealing end.
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { q: self.q.clone() }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Worker<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        Worker {
+            q: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, item: T) {
+        self.q.lock().unwrap().push_back(item);
+    }
+
+    /// Pop from the owner's end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.q.lock().unwrap().pop_back()
+    }
+
+    /// A stealing handle for peers.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { q: self.q.clone() }
+    }
+
+    /// Current length (racy; for heuristics only).
+    pub fn len(&self) -> usize {
+        self.q.lock().unwrap().len()
+    }
+
+    /// Whether the deque is empty (racy; for heuristics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one item from the victim's front.
+    pub fn steal(&self) -> Option<T> {
+        self.q.lock().unwrap().pop_front()
+    }
+
+    /// Steal about half the victim's items into `dest`, returning one of
+    /// them for immediate execution. Halving amortizes steal traffic when
+    /// queues are imbalanced (the crossbeam `steal_batch_and_pop` idiom).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Option<T> {
+        let mut victim = self.q.lock().unwrap();
+        let n = victim.len();
+        if n == 0 {
+            return None;
+        }
+        let take = (n / 2).max(1);
+        let first = victim.pop_front();
+        let mut dest_q = dest.q.lock().unwrap();
+        for _ in 1..take {
+            match victim.pop_front() {
+                Some(x) => dest_q.push_back(x),
+                None => break,
+            }
+        }
+        first
+    }
+}
+
+/// A shared FIFO all workers can push to and steal from.
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push new work.
+    pub fn push(&self, item: T) {
+        self.q.lock().unwrap().push_back(item);
+    }
+
+    /// Take the oldest item.
+    pub fn steal(&self) -> Option<T> {
+        self.q.lock().unwrap().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Some(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), None);
+    }
+
+    #[test]
+    fn steal_batch_moves_about_half() {
+        let victim = Worker::new();
+        let thief = Worker::new();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        let got = victim.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Some(0));
+        assert_eq!(thief.len(), 4); // took 5, returned 1
+        assert_eq!(victim.len(), 5);
+    }
+}

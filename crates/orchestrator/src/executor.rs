@@ -1,0 +1,167 @@
+//! The work-stealing executor.
+//!
+//! Jobs are distributed round-robin across per-worker deques; idle
+//! workers first drain their own deque (LIFO), then steal half a peer's
+//! backlog, so stragglers — one router with a pathological route map —
+//! no longer serialize the tail of a run the way the previous
+//! all-threads-at-once scheme did. Results are delivered with their
+//! submission index and re-assembled in order, making the output
+//! deterministic regardless of completion order.
+
+use crate::deque::Worker;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+/// A work-stealing job executor.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with an explicit thread count (`--jobs`); `None`
+    /// uses the machine's available parallelism.
+    pub fn with_threads(jobs: Option<usize>) -> Self {
+        let threads = jobs.filter(|&j| j > 0).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        });
+        Executor { threads }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every item, returning results in submission order
+    /// plus the number of successful steals observed.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, u64)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            return (items.iter().map(&f).collect(), 0);
+        }
+
+        // Round-robin seeding: index i goes to worker i % threads.
+        let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new()).collect();
+        let stealers: Vec<_> = workers.iter().map(Worker::stealer).collect();
+        for i in 0..n {
+            workers[i % threads].push(i);
+        }
+
+        let steals = AtomicU64::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for (wid, my) in workers.into_iter().enumerate() {
+                let tx = tx.clone();
+                let stealers = &stealers;
+                let steals = &steals;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let job = my.pop().or_else(|| {
+                        // Scan peers starting past self so thieves fan
+                        // out instead of mobbing worker 0.
+                        for k in 1..stealers.len() {
+                            let victim = &stealers[(wid + k) % stealers.len()];
+                            if let Some(j) = victim.steal_batch_and_pop(&my) {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                return Some(j);
+                            }
+                        }
+                        None
+                    });
+                    match job {
+                        Some(i) => {
+                            if tx.send((i, f(&items[i]))).is_err() {
+                                return;
+                            }
+                        }
+                        None => return,
+                    }
+                });
+            }
+            drop(tx);
+        });
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        let results = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} produced no result")))
+            .collect();
+        (results, steals.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let items: Vec<usize> = (0..200).collect();
+        let ex = Executor::with_threads(Some(8));
+        let (out, _steals) = ex.run(&items, |&i| {
+            // Uneven work so completion order scrambles.
+            if i % 17 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i * 3
+        });
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let ex = Executor::with_threads(Some(4));
+        let (out, _) = ex.run(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs() {
+        let ex = Executor::with_threads(Some(1));
+        let (out, steals) = ex.run(&[1, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(steals, 0);
+        let (empty, _) = ex.run(&[] as &[i32], |&x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn stealing_balances_a_skewed_seed() {
+        // All the slow jobs land on one worker under round-robin with
+        // threads=2 and even indices slow; stealing must still finish
+        // promptly (smoke: just verify completion and that steals occur
+        // for a grossly imbalanced load).
+        let items: Vec<usize> = (0..64).collect();
+        let ex = Executor::with_threads(Some(4));
+        let (out, _steals) = ex.run(&items, |&i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

@@ -1,0 +1,184 @@
+//! Structural fingerprints: a 128-bit hash over a canonical byte stream.
+//!
+//! The hasher runs two independently keyed 64-bit FNV-1a-with-finalizer
+//! lanes over the same stream; the lanes' finalized states concatenate
+//! into the fingerprint. 128 bits makes accidental collisions across the
+//! largest realistic check populations (millions) negligible; the stream
+//! discipline (tags + length prefixes, see the crate docs) rules out
+//! concatenation ambiguity.
+
+use std::fmt;
+
+/// A 128-bit structural fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Render as fixed-width lowercase hex (the spill-file key format).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the [`Fingerprint::to_hex`] form.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fp:{}", self.to_hex())
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Streaming fingerprint builder.
+#[derive(Clone, Debug)]
+pub struct FpHasher {
+    lane_a: u64,
+    lane_b: u64,
+    len: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        FpHasher {
+            lane_a: 0xcbf29ce484222325,
+            lane_b: 0x9e3779b97f4a7c15,
+            len: 0,
+        }
+    }
+
+    fn mix(&mut self, byte: u8) {
+        self.lane_a = (self.lane_a ^ byte as u64).wrapping_mul(FNV_PRIME);
+        self.lane_b = (self.lane_b ^ byte as u64)
+            .wrapping_mul(FNV_PRIME)
+            .rotate_left(17);
+        self.len = self.len.wrapping_add(1);
+    }
+
+    /// Write one byte (no length prefix; only for fixed-width callers).
+    pub fn write_u8(&mut self, x: u8) {
+        self.mix(x);
+    }
+
+    /// Write a fixed-width u32.
+    pub fn write_u32(&mut self, x: u32) {
+        for b in x.to_le_bytes() {
+            self.mix(b);
+        }
+    }
+
+    /// Write a fixed-width u64.
+    pub fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.mix(b);
+        }
+    }
+
+    /// Write a bool as one byte.
+    pub fn write_bool(&mut self, x: bool) {
+        self.mix(x as u8);
+    }
+
+    /// Write variable-length bytes, length-prefixed (self-delimiting).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.mix(b);
+        }
+    }
+
+    /// Write a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Introduce a composite: a tag naming the structure that follows.
+    pub fn write_tag(&mut self, tag: &str) {
+        self.write_bytes(tag.as_bytes());
+    }
+
+    /// Finalize into a [`Fingerprint`].
+    pub fn finish(&self) -> Fingerprint {
+        // Avalanche both lanes (splitmix64 finalizer) so short inputs
+        // still spread over all 128 bits.
+        fn fin(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        let a = fin(self.lane_a ^ self.len);
+        let b = fin(self.lane_b.wrapping_add(self.len.rotate_left(32)));
+        Fingerprint(((a as u128) << 64) | b as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(f: impl FnOnce(&mut FpHasher)) -> Fingerprint {
+        let mut h = FpHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let a = fp(|h| {
+            h.write_tag("transfer");
+            h.write_str("x");
+            h.write_u32(7);
+        });
+        let same = fp(|h| {
+            h.write_tag("transfer");
+            h.write_str("x");
+            h.write_u32(7);
+        });
+        let diff = fp(|h| {
+            h.write_tag("transfer");
+            h.write_str("x");
+            h.write_u32(8);
+        });
+        assert_eq!(a, same);
+        assert_ne!(a, diff);
+    }
+
+    #[test]
+    fn length_prefix_blocks_concatenation_ambiguity() {
+        let ab_c = fp(|h| {
+            h.write_str("ab");
+            h.write_str("c");
+        });
+        let a_bc = fp(|h| {
+            h.write_str("a");
+            h.write_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let f = fp(|h| h.write_str("roundtrip"));
+        assert_eq!(Fingerprint::from_hex(&f.to_hex()), Some(f));
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! The orchestration pipeline: fingerprint-group, consult the cache,
+//! execute one representative per structure, replicate.
+//!
+//! Deduplication is sound because fingerprints cover everything the
+//! solver sees (see the crate-level canonicalization rules): two checks
+//! with equal fingerprints produce bit-identical SMT queries, so one
+//! verdict — pass, or fail with a concrete counterexample over the
+//! shared attribute universe — is the verdict of all of them.
+
+use crate::cache::ResultCache;
+use crate::executor::Executor;
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+
+/// How to run a batch.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Worker threads (`None`: available parallelism).
+    pub jobs: Option<usize>,
+    /// Collapse structurally identical jobs to one execution.
+    pub dedup: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            jobs: None,
+            dedup: true,
+        }
+    }
+}
+
+/// What a batch run did, for dedup-stats reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Jobs submitted (checks generated).
+    pub generated: usize,
+    /// Distinct structures among them.
+    pub unique: usize,
+    /// Jobs answered by another job in the same batch.
+    pub dedup_hits: usize,
+    /// Jobs answered by the cross-run cache.
+    pub cache_hits: usize,
+    /// Jobs actually executed (solver invocations).
+    pub executed: usize,
+    /// Successful steals inside the executor.
+    pub steals: u64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl RunStats {
+    /// Executed jobs per generated job; 1.0 means no savings.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.executed as f64 / self.generated as f64
+        }
+    }
+
+    /// The canonical one-line human rendering of a batch (shared by the
+    /// CLI and report summaries so the format cannot drift).
+    pub fn summary(&self) -> String {
+        format!(
+            "orchestrator: {} checks -> {} solver calls ({} deduped, {} cached, ratio {:.2}, {} threads)",
+            self.generated,
+            self.executed,
+            self.dedup_hits,
+            self.cache_hits,
+            self.dedup_ratio(),
+            self.threads,
+        )
+    }
+
+    /// Fold another batch into this one (thread counts take the max).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.generated += other.generated;
+        self.unique += other.unique;
+        self.dedup_hits += other.dedup_hits;
+        self.cache_hits += other.cache_hits;
+        self.executed += other.executed;
+        self.steals += other.steals;
+        self.threads = self.threads.max(other.threads);
+    }
+}
+
+/// Results of a deduplicated batch run.
+pub struct Batch<V> {
+    /// Per-item results, in submission order.
+    pub results: Vec<V>,
+    /// Per-item: true iff this item was the representative whose job
+    /// actually executed; false for dedup replicas and cache answers.
+    /// Lets callers attribute real work (e.g. solver time) exactly once.
+    pub fresh: Vec<bool>,
+    /// Batch statistics.
+    pub stats: RunStats,
+}
+
+/// Run `f` once per distinct fingerprint (modulo cache hits) and return
+/// per-item results in submission order plus the batch statistics.
+pub fn run_deduped<T, V, F>(
+    cfg: RunConfig,
+    cache: Option<&ResultCache<V>>,
+    items: &[(Fingerprint, T)],
+    f: F,
+) -> Batch<V>
+where
+    T: Sync,
+    V: Clone + Send,
+    F: Fn(&T) -> V + Sync,
+{
+    let executor = Executor::with_threads(cfg.jobs);
+    let mut stats = RunStats {
+        generated: items.len(),
+        threads: executor.threads(),
+        ..RunStats::default()
+    };
+
+    // Group item indices by fingerprint, first occurrence first.
+    let mut group_of: HashMap<u128, usize> = HashMap::new();
+    let mut groups: Vec<(Fingerprint, Vec<usize>)> = Vec::new();
+    for (i, (fp, _)) in items.iter().enumerate() {
+        if cfg.dedup {
+            match group_of.entry(fp.0) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    groups[*e.get()].1.push(i);
+                    continue;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                }
+            }
+        }
+        groups.push((*fp, vec![i]));
+    }
+    stats.unique = groups.len();
+    stats.dedup_hits = stats.generated - stats.unique;
+
+    // Answer groups from the cache where possible.
+    let mut group_results: Vec<Option<V>> = Vec::with_capacity(groups.len());
+    let mut to_run: Vec<(usize, Fingerprint, usize)> = Vec::new(); // (group, fp, rep item)
+    for (gi, (fp, members)) in groups.iter().enumerate() {
+        let cached = cache.and_then(|c| c.get(*fp));
+        if cached.is_some() {
+            stats.cache_hits += members.len();
+        } else {
+            to_run.push((gi, *fp, members[0]));
+        }
+        group_results.push(cached);
+    }
+
+    // Execute the remaining representatives, stealing as needed.
+    stats.executed = to_run.len();
+    let jobs: Vec<&T> = to_run.iter().map(|&(_, _, rep)| &items[rep].1).collect();
+    let (solved, steals) = executor.run(&jobs, |t| f(t));
+    stats.steals = steals;
+    let mut fresh = vec![false; items.len()];
+    for ((gi, fp, rep), v) in to_run.into_iter().zip(solved) {
+        if let Some(c) = cache {
+            c.insert(fp, v.clone());
+        }
+        fresh[rep] = true;
+        group_results[gi] = Some(v);
+    }
+
+    // Replicate group results to every member, in submission order.
+    let mut out: Vec<Option<V>> = (0..items.len()).map(|_| None).collect();
+    for ((_, members), res) in groups.into_iter().zip(group_results) {
+        let res = res.expect("every group resolved by cache or execution");
+        let (last, rest) = members.split_last().expect("groups are non-empty");
+        for i in rest {
+            out[*i] = Some(res.clone());
+        }
+        out[*last] = Some(res);
+    }
+    Batch {
+        results: out.into_iter().map(Option::unwrap).collect(),
+        fresh,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FpHasher;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn fp(n: u32) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_u32(n);
+        h.finish()
+    }
+
+    #[test]
+    fn dedup_executes_one_per_structure() {
+        let calls = AtomicUsize::new(0);
+        // 9 items over 3 structures.
+        let items: Vec<(Fingerprint, u32)> = (0..9).map(|i| (fp(i % 3), i % 3)).collect();
+        let batch = run_deduped(RunConfig::default(), None, &items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x * 10
+        });
+        let (out, stats) = (batch.results, batch.stats);
+        // Exactly one member per structure is fresh: the representative.
+        assert_eq!(batch.fresh.iter().filter(|&&f| f).count(), 3);
+        assert!(batch.fresh[0] && batch.fresh[1] && batch.fresh[2]);
+        assert_eq!(out, vec![0, 10, 20, 0, 10, 20, 0, 10, 20]);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.generated, 9);
+        assert_eq!(stats.unique, 3);
+        assert_eq!(stats.dedup_hits, 6);
+        assert_eq!(stats.executed, 3);
+        assert!(stats.dedup_ratio() < 1.0);
+    }
+
+    #[test]
+    fn no_dedup_executes_everything() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<(Fingerprint, u32)> = (0..6).map(|i| (fp(i % 2), i)).collect();
+        let cfg = RunConfig {
+            jobs: Some(2),
+            dedup: false,
+        };
+        let batch = run_deduped(cfg, None, &items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        let (out, stats) = (batch.results, batch.stats);
+        assert!(batch.fresh.iter().all(|&f| f), "no dedup: every item fresh");
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        assert_eq!(stats.dedup_hits, 0);
+        assert_eq!(stats.executed, 6);
+    }
+
+    #[test]
+    fn warm_cache_answers_without_executing() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        let items: Vec<(Fingerprint, u32)> = vec![(fp(1), 1), (fp(2), 2), (fp(1), 1)];
+        let b1 = run_deduped(RunConfig::default(), Some(&cache), &items, |&x| x + 100);
+        let (out1, s1) = (b1.results, b1.stats);
+        assert_eq!(out1, vec![101, 102, 101]);
+        assert_eq!(s1.executed, 2);
+        assert_eq!(s1.cache_hits, 0);
+
+        let calls = AtomicUsize::new(0);
+        let b2 = run_deduped(RunConfig::default(), Some(&cache), &items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 100
+        });
+        let (out2, s2) = (b2.results, b2.stats);
+        assert!(b2.fresh.iter().all(|&f| !f), "warm run: nothing fresh");
+        assert_eq!(out2, out1);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            0,
+            "warm run must not execute"
+        );
+        assert_eq!(s2.cache_hits, 3);
+        assert_eq!(s2.executed, 0);
+    }
+}

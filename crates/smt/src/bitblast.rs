@@ -33,7 +33,11 @@ pub fn bitblast(pool: &TermPool, assertions: &[TermId]) -> Blasted {
         let l = b.blast_bool(a);
         b.cnf.add_clause(vec![l]);
     }
-    Blasted { cnf: b.cnf, bool_map: b.bool_map, bv_map: b.bv_map }
+    Blasted {
+        cnf: b.cnf,
+        bool_map: b.bool_map,
+        bv_map: b.bv_map,
+    }
 }
 
 struct Blaster<'a> {

@@ -13,6 +13,7 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit(self.0 << 1 | 1)
     }

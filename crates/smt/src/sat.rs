@@ -190,11 +190,22 @@ impl SatSolver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as ClauseRef;
-        let w0 = Watcher { cref, blocker: lits[1] };
-        let w1 = Watcher { cref, blocker: lits[0] };
+        let w0 = Watcher {
+            cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            cref,
+            blocker: lits[0],
+        };
         self.watches[(!lits[0]).index()].push(w0);
         self.watches[(!lits[1]).index()].push(w1);
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
         if learnt {
             self.stats.learnts += 1;
         }
@@ -256,7 +267,10 @@ impl SatSolver {
                     if self.value_lit(lk) != LBool::False {
                         let c = &mut self.clauses[cref as usize];
                         c.lits.swap(1, k);
-                        self.watches[(!lk).index()].push(Watcher { cref, blocker: first });
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
@@ -456,8 +470,7 @@ impl SatSolver {
                 // A clause is locked while it is the reason for one of its
                 // watched literals' assignments.
                 self.clauses[c as usize].lits[..2].iter().any(|&l| {
-                    self.reason[l.var().0 as usize] == c
-                        && self.value_lit(l) == LBool::True
+                    self.reason[l.var().0 as usize] == c && self.value_lit(l) == LBool::True
                 })
             })
             .collect();
@@ -559,7 +572,10 @@ struct OrderHeap {
 
 impl OrderHeap {
     fn new(n: usize) -> Self {
-        OrderHeap { heap: (0..n).collect(), pos: (0..n).collect() }
+        OrderHeap {
+            heap: (0..n).collect(),
+            pos: (0..n).collect(),
+        }
     }
 
     fn contains(&self, v: usize) -> bool {
@@ -644,7 +660,7 @@ mod tests {
             let lits: Vec<Lit> = c
                 .iter()
                 .map(|&x| {
-                    let v = Var((x.unsigned_abs() - 1) as u32);
+                    let v = Var(x.unsigned_abs() - 1);
                     v.lit(x > 0)
                 })
                 .collect();
@@ -766,7 +782,7 @@ mod tests {
         for c in &refs {
             let lits: Vec<Lit> = c
                 .iter()
-                .map(|&x| Var((x.unsigned_abs() - 1) as u32).lit(x > 0))
+                .map(|&x| Var(x.unsigned_abs() - 1).lit(x > 0))
                 .collect();
             assert!(s.add_clause(lits));
         }

@@ -120,24 +120,12 @@ impl Model {
                 }
             }
             Term::BvConst { value, .. } => Value::Bv(value),
-            Term::BvEq(a, b) => {
-                Value::Bool(self.eval_bv(pool, a)? == self.eval_bv(pool, b)?)
-            }
-            Term::BvUlt(a, b) => {
-                Value::Bool(self.eval_bv(pool, a)? < self.eval_bv(pool, b)?)
-            }
-            Term::BvUle(a, b) => {
-                Value::Bool(self.eval_bv(pool, a)? <= self.eval_bv(pool, b)?)
-            }
-            Term::BvAnd(a, b) => {
-                Value::Bv(self.eval_bv(pool, a)? & self.eval_bv(pool, b)?)
-            }
-            Term::BvOr(a, b) => {
-                Value::Bv(self.eval_bv(pool, a)? | self.eval_bv(pool, b)?)
-            }
-            Term::BvXor(a, b) => {
-                Value::Bv(self.eval_bv(pool, a)? ^ self.eval_bv(pool, b)?)
-            }
+            Term::BvEq(a, b) => Value::Bool(self.eval_bv(pool, a)? == self.eval_bv(pool, b)?),
+            Term::BvUlt(a, b) => Value::Bool(self.eval_bv(pool, a)? < self.eval_bv(pool, b)?),
+            Term::BvUle(a, b) => Value::Bool(self.eval_bv(pool, a)? <= self.eval_bv(pool, b)?),
+            Term::BvAnd(a, b) => Value::Bv(self.eval_bv(pool, a)? & self.eval_bv(pool, b)?),
+            Term::BvOr(a, b) => Value::Bv(self.eval_bv(pool, a)? | self.eval_bv(pool, b)?),
+            Term::BvXor(a, b) => Value::Bv(self.eval_bv(pool, a)? ^ self.eval_bv(pool, b)?),
             Term::BvNot(a) => {
                 let w = pool.sort(t).width();
                 Value::Bv(!self.eval_bv(pool, a)? & width_mask(w))
@@ -145,8 +133,7 @@ impl Model {
             Term::BvAdd(a, b) => {
                 let w = pool.sort(t).width();
                 Value::Bv(
-                    self.eval_bv(pool, a)?.wrapping_add(self.eval_bv(pool, b)?)
-                        & width_mask(w),
+                    self.eval_bv(pool, a)?.wrapping_add(self.eval_bv(pool, b)?) & width_mask(w),
                 )
             }
             Term::BvExtract { hi, lo, arg } => {

@@ -140,9 +140,7 @@ impl TermPool {
     /// The user-supplied name of a variable term, if it is one.
     pub fn var_name(&self, id: TermId) -> Option<&str> {
         match self.term(id) {
-            Term::BoolVar(n) | Term::BvVar { name: n, .. } => {
-                Some(&self.var_names[*n as usize])
-            }
+            Term::BoolVar(n) | Term::BvVar { name: n, .. } => Some(&self.var_names[*n as usize]),
             _ => None,
         }
     }
@@ -185,7 +183,11 @@ impl TermPool {
     /// name return the same variable.
     pub fn bool_var(&mut self, name: &str) -> TermId {
         if let Some(id) = self.find_var(name) {
-            assert_eq!(self.sort(id), Sort::Bool, "variable {name} redeclared at a different sort");
+            assert_eq!(
+                self.sort(id),
+                Sort::Bool,
+                "variable {name} redeclared at a different sort"
+            );
             return id;
         }
         let n = self.var_names.len() as u32;
@@ -335,7 +337,10 @@ impl TermPool {
     pub fn bv_const(&mut self, value: u64, width: u32) -> TermId {
         assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
         self.intern(
-            Term::BvConst { width, value: value & mask(width) },
+            Term::BvConst {
+                width,
+                value: value & mask(width),
+            },
             Sort::BitVec(width),
         )
     }
@@ -465,7 +470,10 @@ impl TermPool {
     /// Extract bits `hi..=lo` of `arg`.
     pub fn bv_extract(&mut self, hi: u32, lo: u32, arg: TermId) -> TermId {
         let w = self.sort(arg).width();
-        assert!(hi >= lo && hi < w, "bad extract range [{hi}:{lo}] on width {w}");
+        assert!(
+            hi >= lo && hi < w,
+            "bad extract range [{hi}:{lo}] on width {w}"
+        );
         let out_w = hi - lo + 1;
         if out_w == w {
             return arg;
@@ -673,7 +681,13 @@ mod tests {
     fn bv_const_truncates() {
         let mut p = TermPool::new();
         let a = p.bv_const(0x1ff, 8);
-        assert_eq!(p.term(a), &Term::BvConst { width: 8, value: 0xff });
+        assert_eq!(
+            p.term(a),
+            &Term::BvConst {
+                width: 8,
+                value: 0xff
+            }
+        );
     }
 
     #[test]
@@ -681,7 +695,13 @@ mod tests {
         let mut p = TermPool::new();
         let a = p.bv_const(0b1101_0110, 8);
         let hi = p.bv_extract(7, 4, a);
-        assert_eq!(p.term(hi), &Term::BvConst { width: 4, value: 0b1101 });
+        assert_eq!(
+            p.term(hi),
+            &Term::BvConst {
+                width: 4,
+                value: 0b1101
+            }
+        );
     }
 
     #[test]

@@ -27,12 +27,11 @@ fn brute_force_sat(cnf: &Cnf) -> bool {
 }
 
 fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let clause =
-        prop::collection::vec((0..max_vars, any::<bool>()), 1..=3).prop_map(|lits| {
-            lits.into_iter()
-                .map(|(v, sign)| Var(v).lit(sign))
-                .collect::<Vec<Lit>>()
-        });
+    let clause = prop::collection::vec((0..max_vars, any::<bool>()), 1..=3).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, sign)| Var(v).lit(sign))
+            .collect::<Vec<Lit>>()
+    });
     prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
         let mut cnf = Cnf::new();
         for _ in 0..max_vars {

@@ -8,12 +8,12 @@
 //! Run with: `cargo run --example quickstart`
 
 use bgp_config::{lower, parse_config};
+use bgp_model::Community;
 use lightyear::engine::Verifier;
 use lightyear::ghost::{GhostAttr, GhostUpdate};
 use lightyear::invariants::{Location, NetworkInvariants};
 use lightyear::pred::RoutePred;
 use lightyear::safety::SafetyProperty;
-use bgp_model::Community;
 
 const R1: &str = "\
 hostname R1
@@ -71,16 +71,16 @@ fn main() {
 
     // 3. The end-to-end property: no route from ISP1 is sent to ISP2.
     let from_isp1 = RoutePred::ghost("FromISP1");
-    let property = SafetyProperty::new(Location::Edge(r2_isp2), from_isp1.clone().not())
-        .named("no-transit");
+    let property =
+        SafetyProperty::new(Location::Edge(r2_isp2), from_isp1.clone().not()).named("no-transit");
 
     // 4. The three-part invariants of §2.1: nothing assumed about
     //    external edges (automatic); the property itself at R2 -> ISP2;
     //    and the key inductive invariant everywhere else.
     let c = Community::new(100, 1);
     let key = from_isp1.clone().implies(RoutePred::has_community(c));
-    let invariants = NetworkInvariants::with_default(key)
-        .with(Location::Edge(r2_isp2), from_isp1.not());
+    let invariants =
+        NetworkInvariants::with_default(key).with(Location::Edge(r2_isp2), from_isp1.not());
 
     // 5. Verify: one local check per filter, each a small SMT query.
     let verifier = Verifier::new(topo, &net.policy).with_ghost(ghost.clone());

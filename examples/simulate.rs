@@ -27,7 +27,10 @@ fn main() {
     let v = Verifier::new(topo, policy).with_ghost(s.ghost.clone());
     let report = v.verify_safety(&s.no_transit, &s.no_transit_inv);
     assert!(report.all_passed());
-    println!("Invariants verified ({} checks). Now simulating...", report.num_checks());
+    println!(
+        "Invariants verified ({} checks). Now simulating...",
+        report.num_checks()
+    );
 
     // Announce routes from all three externals.
     let isp1 = topo.node_by_name("ISP1").unwrap();
@@ -77,19 +80,30 @@ fn main() {
             "#{i:<3} {what:<4} {:<22} {} {}",
             loc_name,
             route,
-            if ok { "✓ invariant holds" } else { "✗ INVARIANT VIOLATED" }
+            if ok {
+                "✓ invariant holds"
+            } else {
+                "✗ INVARIANT VIOLATED"
+            }
         );
         if !ok {
             violations += 1;
         }
     }
-    assert_eq!(violations, 0, "verified invariants must hold on simulated traces");
+    assert_eq!(
+        violations, 0,
+        "verified invariants must hold on simulated traces"
+    );
 
     // And the no-transit property itself: nothing reached ISP2 from ISP1.
     let r2 = topo.node_by_name("R2").unwrap();
     let isp2 = topo.node_by_name("ISP2").unwrap();
     let to_isp2 = topo.edge_between(r2, isp2).unwrap();
-    let at_isp2 = result.external_rib.get(&to_isp2).cloned().unwrap_or_default();
+    let at_isp2 = result
+        .external_rib
+        .get(&to_isp2)
+        .cloned()
+        .unwrap_or_default();
     println!("\nRoutes delivered to ISP2: {}", at_isp2.len());
     for r in &at_isp2 {
         println!("  {r}");

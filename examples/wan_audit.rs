@@ -16,7 +16,13 @@ use netgen::mutate::drop_aspath_filters;
 use netgen::wan::{self, WanParams};
 
 fn main() {
-    let params = WanParams { regions: 4, routers_per_region: 3, edge_routers: 6, peers_per_edge: 4 };
+    let params = WanParams {
+        regions: 4,
+        routers_per_region: 3,
+        edge_routers: 6,
+        peers_per_edge: 4,
+        ..WanParams::default()
+    };
     let s = wan::build(&params);
     let topo = &s.network.topology;
     println!(
@@ -38,7 +44,11 @@ fn main() {
         let report = v.verify_safety_multi(&props, &inv);
         println!(
             "  {name:<22} {} ({} checks, {:?})",
-            if report.all_passed() { "verified" } else { "VIOLATED" },
+            if report.all_passed() {
+                "verified"
+            } else {
+                "VIOLATED"
+            },
             report.num_checks(),
             report.total_time
         );
@@ -55,17 +65,27 @@ fn main() {
         let liveness = v.verify_liveness(&spec).expect("valid spec");
         println!(
             "  region-{k}: safety {} ({} checks), liveness {} ({} checks)",
-            if safety.all_passed() { "verified" } else { "VIOLATED" },
+            if safety.all_passed() {
+                "verified"
+            } else {
+                "VIOLATED"
+            },
             safety.num_checks(),
-            if liveness.all_passed() { "verified" } else { "VIOLATED" },
+            if liveness.all_passed() {
+                "verified"
+            } else {
+                "VIOLATED"
+            },
             liveness.num_checks(),
         );
         assert!(safety.all_passed() && liveness.all_passed());
     }
 
     // 4. Seeded bug: one peering's ad-hoc AS-path policy.
-    println!("\n== Seeded bug: ad-hoc AS-path policy on one of {} peerings ==",
-        params.edge_routers * params.peers_per_edge);
+    println!(
+        "\n== Seeded bug: ad-hoc AS-path policy on one of {} peerings ==",
+        params.edge_routers * params.peers_per_edge
+    );
     let mut configs = wan::configs(&params);
     drop_aspath_filters(&mut configs, "EDGE3", "FROM-PEER2").unwrap();
     let broken = wan::build_from_configs(&params, configs);

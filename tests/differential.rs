@@ -19,7 +19,12 @@ use std::collections::BTreeMap;
 
 /// Random route announcement targeting one of a few prefixes.
 fn random_route(rng: &mut StdRng, origin_asn: u32) -> Route {
-    let prefixes = ["8.0.0.0/8", "9.9.0.0/16", "203.0.113.0/24", "100.100.0.0/16"];
+    let prefixes = [
+        "8.0.0.0/8",
+        "9.9.0.0/16",
+        "203.0.113.0/24",
+        "100.100.0.0/16",
+    ];
     let p = prefixes[rng.random_range(0..prefixes.len())];
     let mut r = Route::new(p.parse().unwrap())
         .with_as_path(vec![origin_asn])

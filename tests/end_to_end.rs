@@ -13,10 +13,18 @@ fn figure1_safety_and_liveness_verify() {
     let v = Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
 
     let safety = v.verify_safety(&s.no_transit, &s.no_transit_inv);
-    assert!(safety.all_passed(), "{}", safety.format_failures(&s.network.topology));
+    assert!(
+        safety.all_passed(),
+        "{}",
+        safety.format_failures(&s.network.topology)
+    );
 
     let liveness = v.verify_liveness(&s.customer_liveness).unwrap();
-    assert!(liveness.all_passed(), "{}", liveness.format_failures(&s.network.topology));
+    assert!(
+        liveness.all_passed(),
+        "{}",
+        liveness.format_failures(&s.network.topology)
+    );
 }
 
 #[test]
@@ -140,8 +148,11 @@ fn figure1_subsumption_check_lists_property_edge() {
         .filter(|o| o.check.kind == CheckKind::Subsumption)
         .collect();
     assert_eq!(sub.len(), 1);
-    assert_eq!(sub[0].check.location, Location::Edge(match s.no_transit.location {
-        Location::Edge(e) => e,
-        _ => unreachable!(),
-    }));
+    assert_eq!(
+        sub[0].check.location,
+        Location::Edge(match s.no_transit.location {
+            Location::Edge(e) => e,
+            _ => unreachable!(),
+        })
+    );
 }

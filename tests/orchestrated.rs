@@ -1,0 +1,162 @@
+//! Orchestrator soundness: dedup/caching must be invisible in results.
+//!
+//! The dedup argument (see `lightyear::fingerprint`) is that equal
+//! fingerprints mean bit-identical solver queries; these tests check the
+//! consequence end-to-end: for randomly generated WAN topologies, the
+//! orchestrated verifier's per-check outcomes — and the rendered
+//! reports, byte for byte — equal the naive sequential engine's, while
+//! executing strictly fewer solver calls whenever templates repeat, and
+//! a second identical run answers from the cache.
+
+use lightyear::engine::{CheckCache, RunMode, Verifier};
+use lightyear::Report;
+use netgen::wan::{self, WanParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn assert_reports_identical(topo: &bgp_model::Topology, seq: &Report, orch: &Report) {
+    assert_eq!(seq.num_checks(), orch.num_checks());
+    for (a, b) in seq.outcomes.iter().zip(orch.outcomes.iter()) {
+        assert_eq!(a.check.id, b.check.id);
+        assert_eq!(a.check.kind, b.check.kind);
+        assert_eq!(
+            a.result.passed(),
+            b.result.passed(),
+            "check #{}",
+            a.check.id
+        );
+    }
+    // Byte-identical rendering (the Report Display contract).
+    assert_eq!(seq.to_string(), orch.to_string());
+    assert_eq!(seq.format_failures(topo), orch.format_failures(topo));
+}
+
+/// One full scenario comparison; returns (generated, executed, warm hits).
+fn compare_on(params: WanParams) -> (usize, usize, usize) {
+    let s = wan::build(&params);
+    let topo = &s.network.topology;
+    let (_, q) = s.peering_predicates().into_iter().next().unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    let seq = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .verify_safety_multi(&props, &inv);
+
+    let cache = Arc::new(CheckCache::new());
+    let orch_verifier = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(cache.clone());
+    let cold = orch_verifier.verify_safety_multi(&props, &inv);
+    assert_reports_identical(topo, &seq, &cold);
+    assert_eq!(cold.exec.cache_hits, 0, "cold run must not hit the cache");
+
+    let warm = orch_verifier.verify_safety_multi(&props, &inv);
+    assert_reports_identical(topo, &seq, &warm);
+    assert!(
+        warm.exec.cache_hits > 0,
+        "identical second run must hit the cache"
+    );
+    assert_eq!(warm.exec.executed, 0, "warm run must not invoke the solver");
+    // Work counters are attributed only to fresh solver invocations:
+    // a fully warm run reports zero solving time, while formula-size
+    // stats (Figure 3b) survive replication.
+    assert_eq!(
+        warm.solve_time(),
+        std::time::Duration::ZERO,
+        "cached answers must not claim solver time"
+    );
+    assert_eq!(warm.max_vars(), seq.max_vars());
+    assert!(
+        cold.solve_time() <= seq.solve_time() * 2,
+        "deduped run must not multiply solver time across replicas"
+    );
+
+    (
+        cold.exec.generated,
+        cold.exec.executed,
+        warm.exec.cache_hits,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn dedup_is_sound_on_random_wans(
+        regions in 1usize..3,
+        routers_per_region in 1usize..3,
+        edge_routers in 1usize..4,
+        peers_per_edge in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (generated, executed, warm_hits) = compare_on(WanParams {
+            regions,
+            routers_per_region,
+            edge_routers,
+            peers_per_edge,
+            seed,
+        });
+        prop_assert!(executed <= generated);
+        prop_assert!(warm_hits > 0);
+        // Multiple peers per edge share the FROM-PEER template, so dedup
+        // must find repeats whenever there is more than one peering.
+        if edge_routers * peers_per_edge > 1 {
+            prop_assert!(executed < generated, "{executed} of {generated} executed");
+        }
+    }
+}
+
+/// The acceptance scenario: a WAN with >= 50 routers sharing route-map
+/// templates dedups (ratio < 1.0), warm-caches, and stays report-
+/// identical to the sequential engine.
+#[test]
+fn wan_at_scale_dedups_and_caches() {
+    let params = WanParams {
+        regions: 6,
+        routers_per_region: 6,
+        edge_routers: 14,
+        peers_per_edge: 1,
+        seed: 42,
+    };
+    assert!(
+        params.num_routers() >= 50,
+        "scenario must cover >= 50 routers"
+    );
+    let (generated, executed, warm_hits) = compare_on(params);
+    assert!(
+        executed < generated,
+        "dedup ratio must be < 1.0: {executed}/{generated}"
+    );
+    assert!(warm_hits > 0);
+}
+
+/// Fingerprints are renaming-invariant: two WANs differing only in
+/// seed-driven naming detail (peer AS numbers) collapse to the same
+/// number of unique check structures.
+#[test]
+fn unique_structures_are_stable_across_seeds() {
+    let run = |seed: u64| {
+        let s = wan::build(&WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 3,
+            peers_per_edge: 2,
+            seed,
+        });
+        let (_, q) = s.peering_predicates().into_iter().next().unwrap();
+        let (props, inv) = s.peering_property_inputs(&q);
+        let report = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.from_peer_ghost())
+            .with_mode(RunMode::Parallel)
+            .verify_safety_multi(&props, &inv);
+        (report.exec.generated, report.exec.unique)
+    };
+    let (gen1, uniq1) = run(1);
+    let (gen2, uniq2) = run(99);
+    assert_eq!(gen1, gen2);
+    assert_eq!(
+        uniq1, uniq2,
+        "seed-level renaming must not change structure counts"
+    );
+    assert!(uniq1 < gen1);
+}

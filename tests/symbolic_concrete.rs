@@ -41,12 +41,18 @@ fn arb_range() -> impl Strategy<Value = PrefixRange> {
 
 fn arb_match() -> impl Strategy<Value = MatchCond> {
     prop_oneof![
-        prop::collection::vec((any::<bool>(), arb_range()), 1..4)
-            .prop_map(MatchCond::PrefixList),
-        (prop::collection::vec(arb_community(), 1..3), any::<bool>())
-            .prop_map(|(comms, all)| MatchCond::Community { comms, match_all: all }),
+        prop::collection::vec((any::<bool>(), arb_range()), 1..4).prop_map(MatchCond::PrefixList),
+        (prop::collection::vec(arb_community(), 1..3), any::<bool>()).prop_map(|(comms, all)| {
+            MatchCond::Community {
+                comms,
+                match_all: all,
+            }
+        }),
         (
-            prop::collection::vec((any::<bool>(), prop::collection::vec(arb_community(), 1..3)), 1..3),
+            prop::collection::vec(
+                (any::<bool>(), prop::collection::vec(arb_community(), 1..3)),
+                1..3
+            ),
             any::<bool>()
         )
             .prop_map(|(entries, exact)| MatchCond::CommunityList { entries, exact }),

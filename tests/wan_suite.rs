@@ -10,7 +10,13 @@ use lightyear::safety::SafetyProperty;
 use netgen::wan::{self, WanParams};
 
 fn small() -> wan::Scenario {
-    wan::build(&WanParams { regions: 2, routers_per_region: 2, edge_routers: 2, peers_per_edge: 2 })
+    wan::build(&WanParams {
+        regions: 2,
+        routers_per_region: 2,
+        edge_routers: 2,
+        peers_per_edge: 2,
+        ..WanParams::default()
+    })
 }
 
 #[test]
@@ -25,7 +31,11 @@ fn all_three_suites_verify_in_parallel_mode() {
     for (name, q) in s.peering_predicates() {
         let (props, inv) = s.peering_property_inputs(&q);
         let report = v.verify_safety_multi(&props, &inv);
-        assert!(report.all_passed(), "{name}: {}", report.format_failures(topo));
+        assert!(
+            report.all_passed(),
+            "{name}: {}",
+            report.format_failures(topo)
+        );
     }
 
     // 4b + 4c.
@@ -43,14 +53,26 @@ fn all_three_suites_verify_in_parallel_mode() {
 #[test]
 fn check_count_scales_linearly_with_edges() {
     let sizes = [
-        WanParams { regions: 2, routers_per_region: 2, edge_routers: 2, peers_per_edge: 2 },
-        WanParams { regions: 2, routers_per_region: 2, edge_routers: 2, peers_per_edge: 8 },
+        WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 2,
+            ..WanParams::default()
+        },
+        WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 8,
+            ..WanParams::default()
+        },
     ];
     let mut per_edge = Vec::new();
     for p in sizes {
         let s = wan::build(&p);
-        let v = Verifier::new(&s.network.topology, &s.network.policy)
-            .with_ghost(s.from_peer_ghost());
+        let v =
+            Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.from_peer_ghost());
         let (props, inv) = s.peering_property_inputs(&s.peering_predicates()[0].1);
         let report = v.verify_safety_multi(&props, &inv);
         assert!(report.all_passed());
@@ -79,16 +101,17 @@ fn region_community_invariant_is_inferable() {
     // 100:10 cannot itself prove prefix-exclusion, so inference must
     // reject all candidates for that property...
     let other_gw = topo.node_by_name("R1-0").unwrap();
-    let reused = RoutePred::prefix_in(vec![bgp_model::PrefixRange::orlonger(
-        wan::reused_prefix(),
-    )]);
+    let reused = RoutePred::prefix_in(vec![bgp_model::PrefixRange::orlonger(wan::reused_prefix())]);
     let hard_prop = SafetyProperty::new(
         Location::Node(other_gw),
         RoutePred::ghost("FromRegion0").implies(reused.not()),
     );
     let v = Verifier::new(topo, &s.network.policy).with_ghost(ghost.clone());
     let hard = v.infer_safety_invariants(&hard_prop, &ghost);
-    assert!(!hard.proved(), "community template alone cannot prove prefix exclusion");
+    assert!(
+        !hard.proved(),
+        "community template alone cannot prove prefix exclusion"
+    );
 
     // ...and on a network whose tagging imports add the community
     // unconditionally (the full-mesh workload), inference finds the
@@ -120,6 +143,7 @@ fn minesweeper_cross_check_on_wan() {
         routers_per_region: 1,
         edge_routers: 1,
         peers_per_edge: 2,
+        ..WanParams::default()
     });
     let topo = &s.network.topology;
     let edge_router = topo.node_by_name("EDGE0").unwrap();
@@ -135,9 +159,8 @@ fn minesweeper_cross_check_on_wan() {
         .verify(Location::Node(edge_router), &pred);
     assert!(ms.verified(), "{:?}", ms.outcome);
 
-    let (props, inv) = s.peering_property_inputs(
-        &s.peering_predicates().into_iter().next().unwrap().1,
-    );
+    let (props, inv) =
+        s.peering_property_inputs(&s.peering_predicates().into_iter().next().unwrap().1);
     let ly = Verifier::new(topo, &s.network.policy)
         .with_ghost(s.from_peer_ghost())
         .verify_safety_multi(&props, &inv);
@@ -155,7 +178,11 @@ fn metadata_matches_generated_policy() {
         let topo = &s.network.topology;
         let dc = topo.node_by_name(&format!("DC{k}")).unwrap();
         let attach_edge = topo.out_edges(dc)[0];
-        let map = s.network.policy.import_map(attach_edge).expect("DC import map");
+        let map = s
+            .network
+            .policy
+            .import_map(attach_edge)
+            .expect("DC import map");
         let uses: bool = map.entries.iter().any(|e| {
             e.sets.iter().any(|set| {
                 matches!(set, bgp_model::routemap::SetAction::Community { comms, .. }
