@@ -1,0 +1,114 @@
+//! Incremental assumption-based solving ablation on the synthetic cloud
+//! WAN: one peering property suite verified three ways —
+//!
+//! * `fresh` — one fresh `TermPool` + bit-blast + `SatSolver` per check
+//!   (the seed behavior; `--no-incremental`);
+//! * `incremental` — checks grouped by encoding base, each group solved
+//!   on one persistent `IncrementalSession` via activation-literal
+//!   assumption queries, learnt clauses carried across checks;
+//! * `incremental+cache` — incremental orchestrated solving against a
+//!   pre-warmed cross-run result cache (the warm re-verification path).
+//!
+//! `fresh` and `incremental` run the sequential engine with structural
+//! dedup out of the picture, so the measured delta is purely the cost of
+//! re-encoding and re-learning versus assumption solving. Outcomes are
+//! asserted byte-identical before timing starts.
+//!
+//! Sized at an 8-router and a 50-router WAN; scale further with
+//! `WAN_REGIONS` / `WAN_ROUTERS` / `WAN_EDGES` / `WAN_PEERS`.
+
+use bench::env_usize;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightyear::engine::{CheckCache, RunMode, Verifier};
+use netgen::wan::{self, WanParams};
+use std::sync::Arc;
+
+fn small_params() -> WanParams {
+    WanParams {
+        regions: env_usize("WAN_REGIONS", 2),
+        routers_per_region: env_usize("WAN_ROUTERS", 2),
+        edge_routers: env_usize("WAN_EDGES", 4),
+        peers_per_edge: env_usize("WAN_PEERS", 2),
+        ..WanParams::default()
+    }
+}
+
+fn large_params() -> WanParams {
+    WanParams {
+        regions: 6,
+        routers_per_region: 6,
+        edge_routers: 14,
+        peers_per_edge: 2,
+        ..WanParams::default()
+    }
+}
+
+fn bench_scenario(c: &mut Criterion, s: &wan::Scenario) {
+    let topo = &s.network.topology;
+    let (name, q) = s.peering_predicates().into_iter().next().unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+    let label = format!("{name}/{}r", s.params.num_routers());
+
+    // Outcome parity gate: the ablation only means something if the
+    // engines agree byte-for-byte.
+    let fresh_report = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_incremental(false)
+        .verify_safety_multi(&props, &inv);
+    let inc_report = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .verify_safety_multi(&props, &inv);
+    assert!(fresh_report.all_passed());
+    assert_eq!(fresh_report.to_string(), inc_report.to_string());
+    assert_eq!(
+        fresh_report.format_failures(topo),
+        inc_report.format_failures(topo)
+    );
+
+    let mut g = c.benchmark_group("wan-incremental");
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::new("fresh", &label), &s, |b, s| {
+        b.iter(|| {
+            let v = Verifier::new(topo, &s.network.policy)
+                .with_ghost(s.from_peer_ghost())
+                .with_incremental(false);
+            assert!(v.verify_safety_multi(&props, &inv).all_passed());
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::new("incremental", &label), &s, |b, s| {
+        b.iter(|| {
+            let v = Verifier::new(topo, &s.network.policy).with_ghost(s.from_peer_ghost());
+            assert!(v.verify_safety_multi(&props, &inv).all_passed());
+        })
+    });
+
+    let cache = Arc::new(CheckCache::new());
+    // Warm pass outside the timing loop.
+    let warm = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(cache.clone());
+    assert!(warm.verify_safety_multi(&props, &inv).all_passed());
+    g.bench_with_input(BenchmarkId::new("incremental+cache", &label), &s, |b, s| {
+        b.iter(|| {
+            let v = Verifier::new(topo, &s.network.policy)
+                .with_ghost(s.from_peer_ghost())
+                .with_mode(RunMode::Parallel)
+                .with_cache(cache.clone());
+            let report = v.verify_safety_multi(&props, &inv);
+            assert!(report.all_passed());
+            assert_eq!(report.exec.executed, 0, "warm cache must answer everything");
+        })
+    });
+    g.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    bench_scenario(c, &wan::build(&small_params()));
+    bench_scenario(c, &wan::build(&large_params()));
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! ```text
 //! USAGE:
 //!   lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]
-//!                    [--jobs N] [--no-dedup] [--cache] [--cache-dir DIR]
+//!                    [--jobs N] [--no-dedup] [--no-incremental]
+//!                    [--cache] [--cache-dir DIR] [--cache-cap N]
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
 //!   lightyear spec-template
@@ -23,14 +24,24 @@
 //!                   with structural dedup) instead of sequentially
 //!   --jobs N        orchestrator worker threads (implies --parallel)
 //!   --no-dedup      disable structural check deduplication
+//!   --incremental / --no-incremental
+//!                   solve checks that share an encoding base (same edge
+//!                   transfer function / implication shape) as assumption
+//!                   queries on one persistent SMT session, carrying
+//!                   learnt clauses across checks (default: on; verdicts
+//!                   are identical either way)
 //!   --cache         reuse check results across runs (implies --parallel);
-//!                   spilled to --cache-dir as JSON
+//!                   spilled to --cache-dir as JSON. Failures are spilled
+//!                   too and re-validated against the live configs before
+//!                   reuse
 //!   --cache-dir DIR cache spill directory (default .lightyear-cache;
 //!                   implies --cache)
+//!   --cache-cap N   bound the in-memory cache to ~N entries with LRU
+//!                   eviction (implies --cache; default unbounded)
 //!
 //! With --parallel, a dedup-stats summary line is printed after the
 //! properties, e.g.:
-//!   orchestrator: 220 checks -> 34 solver calls (180 deduped, 6 cached, ratio 0.15, 8 threads)
+//!   orchestrator: 220 checks -> 34 solver calls (180 deduped, 6 cached, ratio 0.15, 8 threads); incremental: 12 groups, 22 warm assumption solves
 //! ```
 
 mod spec;
@@ -44,7 +55,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n    \
-         [--jobs N] [--no-dedup] [--cache] [--cache-dir <DIR>]\n  \
+         [--jobs N] [--no-dedup] [--no-incremental] [--cache] [--cache-dir <DIR>]\n    \
+         [--cache-cap N]\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
     ExitCode::from(2)
@@ -183,14 +195,26 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
     };
     let dedup = !args.iter().any(|a| a == "--no-dedup");
+    // Incremental group solving defaults to on; --no-incremental restores
+    // one fresh SMT instance per check.
+    let incremental = !args.iter().any(|a| a == "--no-incremental");
     let cache_dir = flag_value(args, "--cache-dir");
-    let use_cache = args.iter().any(|a| a == "--cache") || cache_dir.is_some();
+    let cache_cap = match flag_value(args, "--cache-cap").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => {
+            eprintln!("error: --cache-cap needs a positive integer");
+            return usage();
+        }
+    };
+    let use_cache =
+        args.iter().any(|a| a == "--cache") || cache_dir.is_some() || cache_cap.is_some();
     // --jobs/--cache only make sense on the orchestrator.
     let parallel = args.iter().any(|a| a == "--parallel") || jobs.is_some() || use_cache;
 
     let cache_dir = PathBuf::from(cache_dir.unwrap_or_else(|| ".lightyear-cache".to_string()));
     let cache = if use_cache {
-        match lightyear::load_check_cache(&cache_dir) {
+        match lightyear::load_check_cache_bounded(&cache_dir, cache_cap) {
             Ok((cache, loaded)) => {
                 if !as_json && loaded > 0 {
                     println!(
@@ -244,7 +268,8 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         } else {
             RunMode::Sequential
         })
-        .with_dedup(dedup);
+        .with_dedup(dedup)
+        .with_incremental(incremental);
     if let Some(n) = jobs {
         verifier = verifier.with_jobs(n);
     }
@@ -315,6 +340,9 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 "solver_calls": exec.executed,
                 "dedup_hits": exec.dedup_hits,
                 "cache_hits": exec.cache_hits,
+                "stale_cache_entries": exec.invalidated,
+                "groups": exec.groups,
+                "warm_assumption_solves": exec.assumption_solves,
                 "dedup_ratio": exec.dedup_ratio(),
                 "threads": exec.threads,
             }));

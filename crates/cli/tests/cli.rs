@@ -236,6 +236,40 @@ fn verify_orchestrated_prints_dedup_stats() {
 }
 
 #[test]
+fn incremental_flag_switches_group_solving() {
+    let d = tmpdir("incr");
+    write_net(&d, R2);
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(bin());
+        cmd.args(["verify", "--jobs", "2"]);
+        cmd.args(extra);
+        cmd.args(["--configs"])
+            .arg(&d)
+            .arg("--spec")
+            .arg(d.join("spec.json"));
+        cmd.output().unwrap()
+    };
+    // Default: incremental group solving, reported on the stats line.
+    let on = run(&[]);
+    let on_out = String::from_utf8_lossy(&on.stdout).to_string();
+    assert!(on.status.success(), "{on_out}");
+    assert!(
+        on_out.contains("incremental:"),
+        "missing incremental stats: {on_out}"
+    );
+    // Disabled: same verdicts, one fresh instance per check, no
+    // incremental stats segment.
+    let off = run(&["--no-incremental"]);
+    let off_out = String::from_utf8_lossy(&off.stdout).to_string();
+    assert!(off.status.success(), "{off_out}");
+    assert!(off_out.contains("no-transit: verified"), "{off_out}");
+    assert!(
+        !off_out.contains("incremental:"),
+        "--no-incremental must suppress group solving: {off_out}"
+    );
+}
+
+#[test]
 fn verify_cache_warms_across_runs() {
     let d = tmpdir("cache");
     write_net(&d, R2);

@@ -8,6 +8,15 @@
 //!
 //! [`encode_import`] / [`encode_export`] wrap the route-map transfer with
 //! the per-edge ghost-attribute updates of §4.4.
+//!
+//! Encoders take the pool by `&mut` and never assume it is empty: the
+//! engine calls them both on throwaway pools (fresh per-check solving)
+//! and on a persistent [`smt::IncrementalSession`] pool, where one
+//! transfer encoding is shared by every check in an encoding-base group
+//! and the pool keeps growing between assumption solves. Everything here
+//! must therefore stay deterministic given the same inputs — fresh
+//! variables are namespaced through [`Encoder::new`]'s tag — so grouped
+//! and per-check runs produce identical formulas.
 
 use crate::ghost::{GhostAttr, GhostUpdate};
 use crate::symbolic::SymRoute;

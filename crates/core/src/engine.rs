@@ -11,11 +11,21 @@
 //!   `I_{A->B}`;
 //! * one **Subsumption** check: `I_ℓ ⟹ P`.
 //!
-//! Every check is discharged by a *fresh* SMT instance whose size depends
-//! only on one router's configuration (the property behind Figure 3b of
-//! the paper), which also makes checks embarrassingly parallel (design
-//! decision D3) and incrementally re-checkable: when a node's
-//! configuration changes, only the checks touching its edges re-run.
+//! Check size depends only on one router's configuration (the property
+//! behind Figure 3b of the paper), which makes checks embarrassingly
+//! parallel (design decision D3) and incrementally re-checkable: when a
+//! node's configuration changes, only the checks touching its edges
+//! re-run.
+//!
+//! Checks are *not* discharged one fresh SMT instance each (the seed
+//! behavior): checks that share an **encoding base** — the same edge's
+//! transfer function, or the pure-implication shape — are grouped, the
+//! shared universe/router constraints are encoded once on a persistent
+//! [`smt::IncrementalSession`], and each check becomes an
+//! assumption-gated query on that session, carrying learnt clauses from
+//! check to check. `--no-incremental` (or
+//! [`Verifier::with_incremental`]`(false)`) restores the one-instance-
+//! per-check behavior; outcomes are identical either way.
 
 use crate::check::{Check, CheckKind, CheckOutcome, CheckResult, Counterexample, Report};
 use crate::encode::{encode_export, encode_import, Transfer};
@@ -24,13 +34,14 @@ use crate::ghost::GhostAttr;
 use crate::invariants::{Location, NetworkInvariants};
 use crate::pred::RoutePred;
 use crate::safety::SafetyProperty;
-use crate::symbolic::SymRoute;
+use crate::symbolic::{ConcreteRoute, SymRoute};
 use crate::universe::Universe;
 use bgp_model::policy::Policy;
 use bgp_model::topology::{EdgeId, NodeId, Topology};
-use orchestrator::{run_deduped, Fingerprint, ResultCache, RunConfig, RunStats};
+use orchestrator::{run_grouped, Fingerprint, ResultCache, RunConfig, RunStats};
+use serde::{Deserialize, Serialize};
 use serde_json::Value;
-use smt::{solve_with_stats, SatResult, SolverStats, TermPool};
+use smt::{solve_with_stats, IncrementalSession, SatResult, SolverStats, TermId, TermPool};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,33 +72,71 @@ pub struct SolvedCheck {
 }
 
 impl SolvedCheck {
-    /// Spill encoding for the disk cache. Only passes are durable:
-    /// failures are re-proved on later runs so counterexamples stay
-    /// fresh against the current configurations.
+    /// Spill encoding for the disk cache. Both passes and failures are
+    /// durable; a failure carries its counterexample, which is
+    /// **re-validated** against the live configuration before the cached
+    /// verdict is trusted (see `Verifier::cached_result_still_valid`), so
+    /// warm runs no longer re-prove every failure yet can never replay a
+    /// stale one.
     pub fn spill_value(&self) -> Option<Value> {
+        let base = |pass: bool| {
+            vec![
+                ("pass".to_string(), Value::Bool(pass)),
+                ("vars".to_string(), Value::Int(self.stats.num_vars as i64)),
+                (
+                    "clauses".to_string(),
+                    Value::Int(self.stats.num_clauses as i64),
+                ),
+            ]
+        };
         match &self.result {
-            CheckResult::Pass => Some(serde_json::json!({
-                "pass": true,
-                "vars": self.stats.num_vars,
-                "clauses": self.stats.num_clauses,
-            })),
-            CheckResult::Fail(_) => None,
+            CheckResult::Pass => Some(Value::Object(base(true))),
+            CheckResult::Fail(cex) => {
+                let mut fields = base(false);
+                fields.push(("rejected".to_string(), Value::Bool(cex.rejected)));
+                fields.push(("input".to_string(), cex.input.to_value()));
+                fields.push((
+                    "output".to_string(),
+                    cex.output
+                        .as_ref()
+                        .map(|o| o.to_value())
+                        .unwrap_or(Value::Null),
+                ));
+                Some(Value::Object(fields))
+            }
         }
     }
 
     /// Decode the [`SolvedCheck::spill_value`] form.
     pub fn from_spill(v: &Value) -> Option<Self> {
-        if v["pass"].as_bool() != Some(true) {
-            return None;
+        let stats = SolverStats {
+            num_vars: v["vars"].as_u64().unwrap_or(0),
+            num_clauses: v["clauses"].as_u64().unwrap_or(0),
+            ..SolverStats::default()
+        };
+        match v["pass"].as_bool()? {
+            true => Some(SolvedCheck {
+                result: CheckResult::Pass,
+                stats,
+            }),
+            false => {
+                let input = ConcreteRoute::from_value(&v["input"]).ok()?;
+                let output = if v["output"].is_null() {
+                    None
+                } else {
+                    Some(ConcreteRoute::from_value(&v["output"]).ok()?)
+                };
+                let rejected = v["rejected"].as_bool()?;
+                Some(SolvedCheck {
+                    result: CheckResult::Fail(Box::new(Counterexample {
+                        input,
+                        output,
+                        rejected,
+                    })),
+                    stats,
+                })
+            }
         }
-        Some(SolvedCheck {
-            result: CheckResult::Pass,
-            stats: SolverStats {
-                num_vars: v["vars"].as_u64().unwrap_or(0),
-                num_clauses: v["clauses"].as_u64().unwrap_or(0),
-                ..SolverStats::default()
-            },
-        })
     }
 }
 
@@ -95,15 +144,69 @@ impl SolvedCheck {
 /// Returns the cache and the number of entries loaded (zero when the
 /// directory or file does not exist yet).
 pub fn load_check_cache(dir: &std::path::Path) -> std::io::Result<(Arc<CheckCache>, usize)> {
-    let cache = Arc::new(CheckCache::new());
+    load_check_cache_bounded(dir, None)
+}
+
+/// [`load_check_cache`] with an optional LRU entry bound for long-lived
+/// processes (`None`: unbounded). When the spill holds more entries than
+/// the bound, the excess is evicted least-recently-loaded-first.
+pub fn load_check_cache_bounded(
+    dir: &std::path::Path,
+    capacity: Option<usize>,
+) -> std::io::Result<(Arc<CheckCache>, usize)> {
+    let cache = Arc::new(match capacity {
+        Some(cap) => CheckCache::bounded(cap),
+        None => CheckCache::new(),
+    });
     let loaded = cache.load_from_dir(dir, SolvedCheck::from_spill)?;
     Ok((cache, loaded))
 }
 
-/// Spill a [`CheckCache`] to `dir/cache.json` (passes only; see
+/// Spill a [`CheckCache`] to `dir/cache.json` (passes and failures; see
 /// [`SolvedCheck::spill_value`]). Returns the number of entries written.
 pub fn save_check_cache(cache: &CheckCache, dir: &std::path::Path) -> std::io::Result<usize> {
     cache.save_to_dir(dir, SolvedCheck::spill_value)
+}
+
+/// The violation query of a transfer obligation, as `(pre, ¬goal)`:
+/// `pre = assume(input)`; `goal = reject ∨ ensure(out)` for safety or
+/// `¬reject ∧ ensure(out)` for liveness propagation (`require_accept`).
+/// One definition shared by fresh solving, grouped session solving and
+/// cache re-validation, so the obligation shape cannot drift between
+/// those paths.
+fn transfer_violation(
+    pool: &mut TermPool,
+    universe: &Universe,
+    input: &SymRoute,
+    transfer: &Transfer,
+    assume: &RoutePred,
+    ensure: &RoutePred,
+    require_accept: bool,
+) -> (TermId, TermId) {
+    let pre = assume.encode(pool, universe, input);
+    let post = ensure.encode(pool, universe, &transfer.out);
+    let goal = if require_accept {
+        let not_rej = pool.not(transfer.reject);
+        pool.and2(not_rej, post)
+    } else {
+        pool.or2(transfer.reject, post)
+    };
+    let neg = pool.not(goal);
+    (pre, neg)
+}
+
+/// The violation query of an implication obligation, as `(pre, ¬post)`.
+fn implication_violation(
+    pool: &mut TermPool,
+    universe: &Universe,
+    r: &SymRoute,
+    assume: &RoutePred,
+    ensure: &RoutePred,
+) -> (TermId, TermId) {
+    let pre = assume.encode(pool, universe, r);
+    let post = ensure.encode(pool, universe, r);
+    let neg = pool.not(post);
+    (pre, neg)
 }
 
 /// The Lightyear verifier for one network.
@@ -117,6 +220,9 @@ pub struct Verifier<'a> {
     jobs: Option<usize>,
     /// Collapse structurally identical checks (orchestrated runs).
     dedup: bool,
+    /// Solve encoding-base groups on persistent assumption-based SMT
+    /// sessions instead of one fresh instance per check.
+    incremental: bool,
     /// Cross-run result cache (orchestrated runs).
     cache: Option<Arc<CheckCache>>,
 }
@@ -150,6 +256,24 @@ pub(crate) enum CheckBody {
     },
 }
 
+impl CheckBody {
+    /// The encoding-base key: checks with equal keys share everything but
+    /// their assume/ensure predicates — the symbolic input route, its
+    /// well-formedness constraint and (for transfers) the route-map +
+    /// ghost-update transfer relation — so they are solved together on
+    /// one persistent session. Never part of a fingerprint: grouping
+    /// affects scheduling, not verdicts.
+    pub(crate) fn group_key(&self) -> u64 {
+        match self {
+            CheckBody::Transfer {
+                edge, is_import, ..
+            } => (1 << 40) | ((edge.0 as u64) << 1) | u64::from(*is_import),
+            CheckBody::Originate { edge, .. } => (2 << 40) | edge.0 as u64,
+            CheckBody::Implication { .. } => 3 << 40,
+        }
+    }
+}
+
 impl<'a> Verifier<'a> {
     /// A verifier over a topology and policy.
     pub fn new(topo: &'a Topology, policy: &'a Policy) -> Self {
@@ -160,6 +284,7 @@ impl<'a> Verifier<'a> {
             mode: RunMode::Sequential,
             jobs: None,
             dedup: true,
+            incremental: true,
             cache: None,
         }
     }
@@ -194,6 +319,20 @@ impl<'a> Verifier<'a> {
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
         self
+    }
+
+    /// Enable or disable incremental assumption-based group solving (on
+    /// by default; affects sequential and orchestrated runs alike).
+    /// Verdicts are identical either way — disabling trades speed for
+    /// the seed's one-fresh-instance-per-check behavior.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether incremental group solving is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Attach a cross-run result cache (only consulted by orchestrated
@@ -420,13 +559,20 @@ impl<'a> Verifier<'a> {
     // Execution
     // ------------------------------------------------------------------
 
+    /// Execute pre-resolved checks through the configured pipeline
+    /// (crate-internal entry point for the liveness engine).
+    pub(crate) fn run_resolved(&self, universe: &Universe, checks: &[ResolvedCheck]) -> Report {
+        self.run(universe, checks)
+    }
+
     fn run(&self, universe: &Universe, checks: &[ResolvedCheck]) -> Report {
         let t0 = Instant::now();
         let (outcomes, exec) = match self.mode {
-            RunMode::Sequential => (
+            RunMode::Sequential if !self.incremental => (
                 checks.iter().map(|c| self.run_one(universe, c)).collect(),
                 RunStats::default(),
             ),
+            RunMode::Sequential => self.run_sequential_incremental(universe, checks),
             RunMode::Parallel => self.run_orchestrated(universe, checks),
         };
         let mut report = Report {
@@ -439,20 +585,87 @@ impl<'a> Verifier<'a> {
         report
     }
 
+    /// Sequential incremental execution: group checks by encoding base,
+    /// run each group on one persistent session, reassemble in order.
+    fn run_sequential_incremental(
+        &self,
+        universe: &Universe,
+        checks: &[ResolvedCheck],
+    ) -> (Vec<CheckOutcome>, RunStats) {
+        let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut group_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, c) in checks.iter().enumerate() {
+            let key = c.body.group_key();
+            match group_of.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].1.push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(order.len());
+                    order.push((key, vec![i]));
+                }
+            }
+        }
+        let mut exec = RunStats {
+            groups: order.len(),
+            assumption_solves: checks.len().saturating_sub(order.len()),
+            ..RunStats::default()
+        };
+        if order.len() == checks.len() {
+            // No sharing to exploit: keep the stats line quiet.
+            exec = RunStats::default();
+        }
+        let mut outcomes: Vec<Option<CheckOutcome>> = (0..checks.len()).map(|_| None).collect();
+        for (_, idxs) in order {
+            let group: Vec<&ResolvedCheck> = idxs.iter().map(|&i| &checks[i]).collect();
+            let solved = self.run_group(universe, &group);
+            for (i, s) in idxs.into_iter().zip(solved) {
+                outcomes[i] = Some(CheckOutcome {
+                    check: checks[i].check.clone(),
+                    result: s.result,
+                    stats: s.stats,
+                });
+            }
+        }
+        (outcomes.into_iter().map(Option::unwrap).collect(), exec)
+    }
+
     /// Lower resolved checks into orchestrator jobs: fingerprint each
-    /// body, deduplicate structures, consult the cache, solve the rest
-    /// on the work-stealing pool, and reattach per-instance descriptors.
+    /// body, deduplicate structures, consult the cache (re-validating
+    /// spilled failures), batch the remainder by encoding-base key, solve
+    /// whole groups on the work-stealing pool, and reattach per-instance
+    /// descriptors.
     fn run_orchestrated(
         &self,
         universe: &Universe,
         checks: &[ResolvedCheck],
     ) -> (Vec<CheckOutcome>, RunStats) {
         let ufp = universe_digest(universe);
-        let keyed: Vec<(Fingerprint, &ResolvedCheck)> = checks
+        // All implication checks share one encoding base, which would
+        // otherwise serialize every subsumption check of a
+        // multi-property run onto a single worker: spread that one
+        // unbounded group over ~worker-count chunks — session reuse
+        // within a chunk, parallelism across chunks. Transfer groups are
+        // naturally bounded (one per edge direction) and stay whole.
+        let chunks = self
+            .jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            })
+            .max(1) as u64;
+        let keyed: Vec<(Fingerprint, u64, &ResolvedCheck)> = checks
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(i, c)| {
                 (
                     check_fingerprint(ufp, self.policy, &self.ghosts, &c.body),
+                    // Without incremental solving each check is its own
+                    // "group", preserving per-check work stealing.
+                    match &c.body {
+                        _ if !self.incremental => i as u64,
+                        CheckBody::Implication { .. } => c.body.group_key() | (i as u64 % chunks),
+                        _ => c.body.group_key(),
+                    },
                     c,
                 )
             })
@@ -461,13 +674,34 @@ impl<'a> Verifier<'a> {
             jobs: self.jobs,
             dedup: self.dedup,
         };
-        let batch = run_deduped(cfg, self.cache.as_deref(), &keyed, |rc: &&ResolvedCheck| {
-            let o = self.run_one(universe, rc);
-            SolvedCheck {
-                result: o.result,
-                stats: o.stats,
-            }
-        });
+        let batch = run_grouped(
+            cfg,
+            self.cache.as_deref(),
+            &keyed,
+            |rc: &&ResolvedCheck, v: &SolvedCheck| self.cached_result_still_valid(universe, rc, v),
+            |group: &[&&ResolvedCheck]| {
+                let refs: Vec<&ResolvedCheck> = group.iter().map(|rc| **rc).collect();
+                if self.incremental {
+                    self.run_group(universe, &refs)
+                } else {
+                    refs.iter()
+                        .map(|rc| {
+                            let o = self.run_one(universe, rc);
+                            SolvedCheck {
+                                result: o.result,
+                                stats: o.stats,
+                            }
+                        })
+                        .collect()
+                }
+            },
+        );
+        let mut stats = batch.stats;
+        if !self.incremental {
+            // Singleton groups are a scheduling artifact here.
+            stats.groups = 0;
+            stats.assumption_solves = 0;
+        }
         let outcomes = checks
             .iter()
             .zip(batch.results)
@@ -493,7 +727,227 @@ impl<'a> Verifier<'a> {
                 }
             })
             .collect();
-        (outcomes, batch.stats)
+        (outcomes, stats)
+    }
+
+    /// Re-validate a cached verdict before trusting it. Passes are
+    /// trusted (equal fingerprints mean bit-identical formulas); spilled
+    /// failures are checked by pinning the counterexample's input route
+    /// in a fresh encoding of the check and asking the solver whether it
+    /// still violates the obligation — essentially unit propagation, far
+    /// cheaper than an unconstrained solve. A stale or corrupt entry is
+    /// rejected and the check re-proved.
+    fn cached_result_still_valid(
+        &self,
+        universe: &Universe,
+        rc: &ResolvedCheck,
+        solved: &SolvedCheck,
+    ) -> bool {
+        let CheckResult::Fail(cex) = &solved.result else {
+            return true;
+        };
+        match &rc.body {
+            CheckBody::Transfer {
+                edge,
+                is_import,
+                assume,
+                ensure,
+                require_accept,
+            } => {
+                let mut pool = TermPool::new();
+                let input = SymRoute::fresh(&mut pool, universe, "r");
+                let wf = input.well_formed(&mut pool);
+                let pin = input.equals_counterexample(&mut pool, universe, &cex.input);
+                let transfer = self.encode_transfer(&mut pool, universe, *edge, *is_import, &input);
+                let (pre, neg) = transfer_violation(
+                    &mut pool,
+                    universe,
+                    &input,
+                    &transfer,
+                    assume,
+                    ensure,
+                    *require_accept,
+                );
+                match smt::solve(&pool, &[wf, pin, pre, neg]) {
+                    SatResult::Unsat => false,
+                    SatResult::Sat(model) => {
+                        // The input still violates — but the spilled
+                        // *verdict details* must also match what the live
+                        // transfer does on that input, or a forged entry
+                        // could replay fabricated output/rejection data.
+                        let rejected = model.eval_bool(&pool, transfer.reject).unwrap_or(false);
+                        let out = if rejected {
+                            None
+                        } else {
+                            Some(transfer.out.concretize(&pool, universe, &model))
+                        };
+                        rejected == cex.rejected && out == cex.output
+                    }
+                }
+            }
+            CheckBody::Originate { edge, ensure } => {
+                let ghosts: BTreeMap<String, bool> = self
+                    .ghosts
+                    .iter()
+                    .map(|g| (g.name.clone(), g.originate_value))
+                    .collect();
+                !cex.rejected
+                    && cex.output.is_none()
+                    && self
+                        .policy
+                        .originated(*edge)
+                        .iter()
+                        .any(|r| *r == cex.input.route && !ensure.eval(r, &ghosts))
+            }
+            CheckBody::Implication { assume, ensure } => {
+                let mut pool = TermPool::new();
+                let r = SymRoute::fresh(&mut pool, universe, "r");
+                let wf = r.well_formed(&mut pool);
+                let pin = r.equals_counterexample(&mut pool, universe, &cex.input);
+                let (pre, neg) = implication_violation(&mut pool, universe, &r, assume, ensure);
+                !cex.rejected
+                    && cex.output.is_none()
+                    && smt::solve(&pool, &[wf, pin, pre, neg]).is_sat()
+            }
+        }
+    }
+
+    fn encode_transfer(
+        &self,
+        pool: &mut TermPool,
+        universe: &Universe,
+        edge: EdgeId,
+        is_import: bool,
+        input: &SymRoute,
+    ) -> Transfer {
+        if is_import {
+            encode_import(
+                pool,
+                universe,
+                self.policy.import_map(edge),
+                &self.ghosts,
+                edge,
+                input,
+            )
+        } else {
+            encode_export(
+                pool,
+                universe,
+                self.policy.export_map(edge),
+                &self.ghosts,
+                edge,
+                input,
+            )
+        }
+    }
+
+    /// Solve one encoding-base group on a persistent assumption-based
+    /// session: the symbolic route, its well-formedness constraint and
+    /// (for transfer groups) the route-map transfer relation are encoded
+    /// once; each check contributes only its assume/ensure predicates,
+    /// gated behind an activation literal, and is decided by an
+    /// assumption solve that reuses everything the session has learnt.
+    fn run_group(&self, universe: &Universe, checks: &[&ResolvedCheck]) -> Vec<SolvedCheck> {
+        let first = checks.first().expect("groups are non-empty");
+        match &first.body {
+            CheckBody::Originate { .. } => checks
+                .iter()
+                .map(|rc| {
+                    let CheckBody::Originate { edge, ensure } = &rc.body else {
+                        unreachable!("originate group mixes check shapes");
+                    };
+                    let o = self.run_originate_check(&rc.check, *edge, ensure);
+                    SolvedCheck {
+                        result: o.result,
+                        stats: o.stats,
+                    }
+                })
+                .collect(),
+            CheckBody::Transfer {
+                edge, is_import, ..
+            } => {
+                let (edge, is_import) = (*edge, *is_import);
+                let mut sess = IncrementalSession::new();
+                let input = SymRoute::fresh(sess.pool_mut(), universe, "r");
+                let wf = input.well_formed(sess.pool_mut());
+                sess.assert(wf);
+                let transfer =
+                    self.encode_transfer(sess.pool_mut(), universe, edge, is_import, &input);
+                checks
+                    .iter()
+                    .map(|rc| {
+                        let CheckBody::Transfer {
+                            assume,
+                            ensure,
+                            require_accept,
+                            ..
+                        } = &rc.body
+                        else {
+                            unreachable!("transfer group mixes check shapes");
+                        };
+                        let pool = sess.pool_mut();
+                        let (pre, neg) = transfer_violation(
+                            pool,
+                            universe,
+                            &input,
+                            &transfer,
+                            assume,
+                            ensure,
+                            *require_accept,
+                        );
+                        let query = pool.and2(pre, neg);
+                        let act = sess.activation(query);
+                        let (result, stats) = sess.solve_under(&[act]);
+                        let result = match result {
+                            SatResult::Unsat => CheckResult::Pass,
+                            SatResult::Sat(model) => {
+                                let rejected = model
+                                    .eval_bool(sess.pool(), transfer.reject)
+                                    .unwrap_or(false);
+                                CheckResult::Fail(Box::new(Counterexample {
+                                    input: input.concretize(sess.pool(), universe, &model),
+                                    output: if rejected {
+                                        None
+                                    } else {
+                                        Some(transfer.out.concretize(sess.pool(), universe, &model))
+                                    },
+                                    rejected,
+                                }))
+                            }
+                        };
+                        SolvedCheck { result, stats }
+                    })
+                    .collect()
+            }
+            CheckBody::Implication { .. } => {
+                let mut sess = IncrementalSession::new();
+                let r = SymRoute::fresh(sess.pool_mut(), universe, "r");
+                let wf = r.well_formed(sess.pool_mut());
+                sess.assert(wf);
+                checks
+                    .iter()
+                    .map(|rc| {
+                        let CheckBody::Implication { assume, ensure } = &rc.body else {
+                            unreachable!("implication group mixes check shapes");
+                        };
+                        let pool = sess.pool_mut();
+                        let (pre, neg) = implication_violation(pool, universe, &r, assume, ensure);
+                        let query = pool.and2(pre, neg);
+                        let act = sess.activation(query);
+                        let (result, stats) = sess.solve_under(&[act]);
+                        let result = match result {
+                            SatResult::Unsat => CheckResult::Pass,
+                            SatResult::Sat(model) => CheckResult::Fail(Box::new(Counterexample {
+                                input: r.concretize(sess.pool(), universe, &model),
+                                output: None,
+                                rejected: false,
+                            })),
+                        };
+                        SolvedCheck { result, stats }
+                    })
+                    .collect()
+            }
+        }
     }
 
     fn run_one(&self, universe: &Universe, rc: &ResolvedCheck) -> CheckOutcome {
@@ -536,39 +990,17 @@ impl<'a> Verifier<'a> {
         let mut pool = TermPool::new();
         let input = SymRoute::fresh(&mut pool, universe, "r");
         let wf = input.well_formed(&mut pool);
-        let pre = assume.encode(&mut pool, universe, &input);
-
-        let transfer: Transfer = if is_import {
-            encode_import(
-                &mut pool,
-                universe,
-                self.policy.import_map(edge),
-                &self.ghosts,
-                edge,
-                &input,
-            )
-        } else {
-            encode_export(
-                &mut pool,
-                universe,
-                self.policy.export_map(edge),
-                &self.ghosts,
-                edge,
-                &input,
-            )
-        };
-        let post = ensure.encode(&mut pool, universe, &transfer.out);
-        let goal = if require_accept {
-            // Liveness propagation: must accept AND satisfy the next
-            // constraint.
-            let not_rej = pool.not(transfer.reject);
-            pool.and2(not_rej, post)
-        } else {
-            // Safety: reject ∨ post.
-            pool.or2(transfer.reject, post)
-        };
+        let transfer: Transfer = self.encode_transfer(&mut pool, universe, edge, is_import, &input);
         // Counterexample query: assume ∧ ¬goal.
-        let neg = pool.not(goal);
+        let (pre, neg) = transfer_violation(
+            &mut pool,
+            universe,
+            &input,
+            &transfer,
+            assume,
+            ensure,
+            require_accept,
+        );
         let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
         let result = match result {
             SatResult::Unsat => CheckResult::Pass,
@@ -635,9 +1067,7 @@ impl<'a> Verifier<'a> {
         let mut pool = TermPool::new();
         let r = SymRoute::fresh(&mut pool, universe, "r");
         let wf = r.well_formed(&mut pool);
-        let pre = assume.encode(&mut pool, universe, &r);
-        let post = ensure.encode(&mut pool, universe, &r);
-        let neg = pool.not(post);
+        let (pre, neg) = implication_violation(&mut pool, universe, &r, assume, ensure);
         let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
         let result = match result {
             SatResult::Unsat => CheckResult::Pass,
@@ -652,22 +1082,6 @@ impl<'a> Verifier<'a> {
             result,
             stats,
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Liveness (invoked from crate::liveness)
-    // ------------------------------------------------------------------
-
-    pub(crate) fn run_propagation_check(
-        &self,
-        universe: &Universe,
-        check: &Check,
-        edge: EdgeId,
-        is_import: bool,
-        assume: &RoutePred,
-        ensure: &RoutePred,
-    ) -> CheckOutcome {
-        self.run_transfer_check(universe, check, edge, is_import, assume, ensure, true)
     }
 }
 
@@ -790,7 +1204,10 @@ mod tests {
         assert_eq!(f.check.map_name.as_deref(), Some("FROM-ISP1-BUGGY"));
         // The counterexample is a 10/8-covered route without the tag.
         if let CheckResult::Fail(cex) = &f.result {
-            assert!(cex.input.ghosts.contains_key("FromISP1"));
+            // The invariant on an edge from an external neighbor is True,
+            // so the input's ghost bit never reaches the solver: it must
+            // be reported as unwitnessed, not fabricated as false.
+            assert!(!cex.input.ghosts.contains_key("FromISP1"));
             let out = cex.output.as_ref().expect("accepted");
             assert!(out.ghosts["FromISP1"]);
             assert!(!out.route.has_community(c("100:1")));
@@ -849,6 +1266,112 @@ mod tests {
         let report = v.verify_safety(&prop, &inv);
         let fails = report.failures();
         assert!(fails.iter().any(|f| f.check.kind == CheckKind::Subsumption));
+    }
+
+    #[test]
+    fn failure_spill_roundtrips_with_counterexample() {
+        let mut route = Route::new("10.1.2.0/24".parse().unwrap());
+        route.local_pref = 120;
+        route.communities.insert(c("100:1"));
+        let input = crate::symbolic::ConcreteRoute {
+            route: route.clone(),
+            comm_other: true,
+            aspath_matches: [("_65000_".to_string(), true)].into_iter().collect(),
+            ghosts: [("G".to_string(), false)].into_iter().collect(),
+        };
+        let solved = SolvedCheck {
+            result: CheckResult::Fail(Box::new(Counterexample {
+                input: input.clone(),
+                output: None,
+                rejected: true,
+            })),
+            stats: SolverStats {
+                num_vars: 12,
+                num_clauses: 34,
+                ..SolverStats::default()
+            },
+        };
+        let spilled = solved.spill_value().expect("failures are durable now");
+        let back = SolvedCheck::from_spill(&spilled).expect("decodes");
+        let CheckResult::Fail(cex) = &back.result else {
+            panic!("expected a failure");
+        };
+        assert_eq!(cex.input, input);
+        assert_eq!(cex.output, None);
+        assert!(cex.rejected);
+        assert_eq!(back.stats.num_vars, 12);
+        assert_eq!(back.stats.num_clauses, 34);
+
+        // Passes keep their compact form.
+        let pass = SolvedCheck {
+            result: CheckResult::Pass,
+            stats: SolverStats::default(),
+        };
+        let v = pass.spill_value().unwrap();
+        assert!(SolvedCheck::from_spill(&v).unwrap().result.passed());
+    }
+
+    #[test]
+    fn group_neighbours_do_not_leak_into_counterexamples() {
+        // Two subsumption checks share one implication session: the first
+        // references ghost G, the second is ghost-free and fails. The
+        // second's counterexample must not "witness" G just because the
+        // session encoded it for the first check — fresh and incremental
+        // failure listings stay byte-identical.
+        let mut t = Topology::new();
+        let r = t.add_router("R", 65000);
+        let x = t.add_external("X", 1);
+        t.add_session(r, x);
+        let pol = Policy::new();
+        let props = vec![
+            SafetyProperty::new(Location::Node(r), RoutePred::ghost("G")).named("ghostly"),
+            SafetyProperty::new(
+                Location::Node(r),
+                RoutePred::local_pref(crate::pred::Cmp::Eq, 7),
+            )
+            .named("ghost-free"),
+        ];
+        let inv = NetworkInvariants::new(); // all True: both subsumptions fail
+        let ghost = crate::ghost::GhostAttr::new("G");
+        let fresh = Verifier::new(&t, &pol)
+            .with_ghost(ghost.clone())
+            .with_incremental(false)
+            .verify_safety_multi(&props, &inv);
+        let inc = Verifier::new(&t, &pol)
+            .with_ghost(ghost)
+            .verify_safety_multi(&props, &inv);
+        assert!(!fresh.all_passed());
+        assert_eq!(fresh.to_string(), inc.to_string());
+        assert_eq!(fresh.format_failures(&t), inc.format_failures(&t));
+        // And specifically: the ghost-free failure claims nothing about G.
+        let inc_fail = inc
+            .failures()
+            .into_iter()
+            .find(|f| f.check.description.contains("ghost-free"))
+            .expect("ghost-free property must fail");
+        let CheckResult::Fail(cex) = &inc_fail.result else {
+            panic!("expected failure");
+        };
+        assert!(
+            !cex.input.ghosts.contains_key("G"),
+            "unwitnessed ghost leaked into the counterexample: {}",
+            cex.input
+        );
+    }
+
+    #[test]
+    fn incremental_and_fresh_agree_on_figure1() {
+        let (t, pol) = figure1();
+        let (prop, inv) = no_transit_inputs(&t);
+        let fresh = Verifier::new(&t, &pol)
+            .with_ghost(from_isp1_ghost(&t))
+            .with_incremental(false)
+            .verify_safety(&prop, &inv);
+        let inc = Verifier::new(&t, &pol)
+            .with_ghost(from_isp1_ghost(&t))
+            .verify_safety(&prop, &inv);
+        assert_eq!(fresh.to_string(), inc.to_string());
+        assert_eq!(fresh.format_failures(&t), inc.format_failures(&t));
     }
 
     #[test]

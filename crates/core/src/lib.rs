@@ -108,7 +108,10 @@ pub mod symbolic;
 pub mod universe;
 
 pub use check::{Check, CheckKind, CheckResult, Counterexample, Report};
-pub use engine::{load_check_cache, save_check_cache, CheckCache, RunMode, SolvedCheck, Verifier};
+pub use engine::{
+    load_check_cache, load_check_cache_bounded, save_check_cache, CheckCache, RunMode, SolvedCheck,
+    Verifier,
+};
 pub use ghost::{GhostAttr, GhostUpdate};
 pub use invariants::{Location, NetworkInvariants};
 pub use liveness::LivenessSpec;

@@ -20,8 +20,8 @@
 //! eventually appears at `ℓ` — failures elsewhere in the network are
 //! tolerated.
 
-use crate::check::{Check, CheckKind, CheckOutcome, CheckResult, Report};
-use crate::engine::Verifier;
+use crate::check::{Check, CheckKind, Report};
+use crate::engine::{CheckBody, ResolvedCheck, Verifier};
 use crate::invariants::{Location, NetworkInvariants};
 use crate::pred::RoutePred;
 use crate::safety::SafetyProperty;
@@ -113,10 +113,16 @@ impl<'a> Verifier<'a> {
     /// Verify a liveness property. Returns the combined report over
     /// propagation checks, no-interference sub-verifications and the
     /// final implication.
+    ///
+    /// The propagation checks and the final implication are lowered to
+    /// resolved check bodies and dispatched through the engine's normal
+    /// execution pipeline, so they benefit from incremental group
+    /// solving and — in [`crate::engine::RunMode::Parallel`] — from the
+    /// orchestrator's dedup/cache/work-stealing machinery like every
+    /// safety check.
     pub fn verify_liveness(&self, spec: &LivenessSpec) -> Result<Report, SpecError> {
         spec.validate(self.topology())?;
         let t0 = Instant::now();
-        let mut report = Report::default();
         let mut id = 0usize;
 
         // Universe: policy + ghosts + every predicate involved.
@@ -124,41 +130,43 @@ impl<'a> Verifier<'a> {
         extra.extend(spec.constraints.iter());
         let universe = self.liveness_universe(&extra, &spec.interference_invariants);
 
-        // Propagation checks along the path.
+        // Propagation checks along the path: good routes must be accepted
+        // and stay good, i.e. transfer checks with `require_accept`.
+        let mut prop_checks = Vec::new();
         for i in 0..spec.path.len() - 1 {
             let (edge, is_import) = match (spec.path[i], spec.path[i + 1]) {
                 (Location::Node(_), Location::Edge(e)) => (e, false), // export step
                 (Location::Edge(e), Location::Node(_)) => (e, true),  // import step
                 _ => unreachable!("validated"),
             };
-            let check = Check {
-                id,
-                kind: CheckKind::Propagation,
-                location: spec.path[i + 1],
-                edge: Some(edge),
-                map_name: if is_import {
-                    self.policy().import_map(edge).map(|m| m.name.clone())
-                } else {
-                    self.policy().export_map(edge).map(|m| m.name.clone())
+            prop_checks.push(ResolvedCheck {
+                check: Check {
+                    id,
+                    kind: CheckKind::Propagation,
+                    location: spec.path[i + 1],
+                    edge: Some(edge),
+                    map_name: if is_import {
+                        self.policy().import_map(edge).map(|m| m.name.clone())
+                    } else {
+                        self.policy().export_map(edge).map(|m| m.name.clone())
+                    },
+                    description: format!(
+                        "good routes propagate across {} ({})",
+                        self.topology().edge_name(edge),
+                        if is_import { "import" } else { "export" }
+                    ),
                 },
-                description: format!(
-                    "good routes propagate across {} ({})",
-                    self.topology().edge_name(edge),
-                    if is_import { "import" } else { "export" }
-                ),
-            };
+                body: CheckBody::Transfer {
+                    edge,
+                    is_import,
+                    assume: spec.constraints[i].clone(),
+                    ensure: spec.constraints[i + 1].clone(),
+                    require_accept: true,
+                },
+            });
             id += 1;
-            let outcome = self.run_propagation_check(
-                &universe,
-                &check,
-                edge,
-                is_import,
-                &spec.constraints[i],
-                &spec.constraints[i + 1],
-            );
-            report.outcomes.push(outcome);
-            self.count_direct_check(&mut report);
         }
+        let mut report = self.run_resolved(&universe, &prop_checks);
 
         // No-interference: safety property at each router on the path.
         for (i, loc) in spec.path.iter().enumerate() {
@@ -191,37 +199,27 @@ impl<'a> Verifier<'a> {
         }
 
         // Final implication: C_n => P.
-        let final_check = Check {
-            id,
-            kind: CheckKind::Subsumption,
-            location: spec.location,
-            edge: None,
-            map_name: None,
-            description: "final path constraint implies the liveness property".into(),
+        let final_check = ResolvedCheck {
+            check: Check {
+                id,
+                kind: CheckKind::Subsumption,
+                location: spec.location,
+                edge: None,
+                map_name: None,
+                description: "final path constraint implies the liveness property".into(),
+            },
+            body: CheckBody::Implication {
+                assume: spec.constraints.last().unwrap().clone(),
+                ensure: spec.pred.clone(),
+            },
         };
-        let outcome = self.run_liveness_implication(
-            &universe,
-            &final_check,
-            spec.constraints.last().unwrap(),
-            &spec.pred,
-        );
-        report.outcomes.push(outcome);
-        self.count_direct_check(&mut report);
+        let fin = self.run_resolved(&universe, std::slice::from_ref(&final_check));
+        report.exec.merge(&fin.exec);
+        report.outcomes.extend(fin.outcomes);
 
+        report.sort_by_id();
         report.total_time = t0.elapsed();
         Ok(report)
-    }
-
-    /// Liveness runs its propagation/implication checks directly (not
-    /// through the orchestrator). In orchestrated mode, account for them
-    /// in the exec stats so `Report::solver_invocations` and the
-    /// dedup-stats line stay truthful for mixed liveness reports.
-    fn count_direct_check(&self, report: &mut Report) {
-        if self.mode() == crate::engine::RunMode::Parallel {
-            report.exec.generated += 1;
-            report.exec.unique += 1;
-            report.exec.executed += 1;
-        }
     }
 
     fn liveness_universe(
@@ -238,37 +236,6 @@ impl<'a> Verifier<'a> {
         }
         interference_inv.register(&mut u);
         u
-    }
-
-    fn run_liveness_implication(
-        &self,
-        universe: &crate::universe::Universe,
-        check: &Check,
-        assume: &RoutePred,
-        ensure: &RoutePred,
-    ) -> CheckOutcome {
-        use crate::symbolic::SymRoute;
-        use smt::{solve_with_stats, SatResult, TermPool};
-        let mut pool = TermPool::new();
-        let r = SymRoute::fresh(&mut pool, universe, "r");
-        let wf = r.well_formed(&mut pool);
-        let pre = assume.encode(&mut pool, universe, &r);
-        let post = ensure.encode(&mut pool, universe, &r);
-        let neg = pool.not(post);
-        let (result, stats) = solve_with_stats(&pool, &[wf, pre, neg]);
-        let result = match result {
-            SatResult::Unsat => CheckResult::Pass,
-            SatResult::Sat(model) => CheckResult::Fail(Box::new(crate::check::Counterexample {
-                input: r.concretize(&pool, universe, &model),
-                output: None,
-                rejected: false,
-            })),
-        };
-        CheckOutcome {
-            check: check.clone(),
-            result,
-            stats,
-        }
     }
 }
 

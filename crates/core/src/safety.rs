@@ -4,7 +4,13 @@
 //! location `ℓ` — selected at a router, or forwarded/received on an edge —
 //! satisfies `P`, for all possible external announcements and arbitrary
 //! node/link failures (§4.5). Check generation and execution live in
-//! [`crate::engine`].
+//! [`crate::engine`]; by default the generated checks are solved in
+//! encoding-base groups on persistent assumption-based SMT sessions
+//! (one transfer encoding per edge, one implication session per batch),
+//! which is what makes verifying many properties against one invariant
+//! assignment (`Verifier::verify_safety_multi`) cheap: the §4.3 lemma
+//! already shares the Import/Export/Originate checks across properties,
+//! and the per-property subsumption checks then share one solver.
 
 use crate::invariants::Location;
 use crate::pred::RoutePred;

@@ -13,6 +13,7 @@
 use crate::universe::Universe;
 use bgp_model::prefix::Ipv4Prefix;
 use bgp_model::route::{Community, Route};
+use serde::{Deserialize, Serialize};
 use smt::{Model, TermId, TermPool};
 use std::collections::BTreeMap;
 
@@ -100,6 +101,11 @@ impl SymRoute {
     /// that are true are reported in
     /// [`ConcreteRoute::aspath_matches`], and the path itself is left
     /// empty (the abstraction does not determine it).
+    ///
+    /// Attributes the solver never saw (don't-care in the model) take
+    /// their defaults on the route itself, but are *omitted* from the
+    /// regex-atom and ghost maps so counterexample printing only reports
+    /// values the model actually witnessed.
     pub fn concretize(&self, pool: &TermPool, universe: &Universe, model: &Model) -> ConcreteRoute {
         let addr = model.eval_bv(pool, self.prefix_addr).unwrap_or(0) as u32;
         let len = (model.eval_bv(pool, self.prefix_len).unwrap_or(0) as u8).min(32);
@@ -118,11 +124,17 @@ impl SymRoute {
         let comm_other = model.eval_bool(pool, self.comm_other).unwrap_or(false);
         let mut aspath_matches = BTreeMap::new();
         for (i, pat) in universe.regexes().iter().enumerate() {
+            if model.is_dont_care(self.aspath_atoms[i]) {
+                continue;
+            }
             let v = model.eval_bool(pool, self.aspath_atoms[i]).unwrap_or(false);
             aspath_matches.insert(pat.clone(), v);
         }
         let mut ghosts = BTreeMap::new();
         for (i, g) in universe.ghosts().iter().enumerate() {
+            if model.is_dont_care(self.ghost_bits[i]) {
+                continue;
+            }
             let v = model.eval_bool(pool, self.ghost_bits[i]).unwrap_or(false);
             ghosts.insert(g.clone(), v);
         }
@@ -132,6 +144,57 @@ impl SymRoute {
             aspath_matches,
             ghosts,
         }
+    }
+
+    /// Constrain this symbolic route to equal a counterexample extracted
+    /// by [`SymRoute::concretize`]. Unlike [`SymRoute::equals_concrete`],
+    /// the AS-path atoms and the other-communities bit are taken from the
+    /// counterexample itself (the abstraction does not determine a
+    /// concrete path), and attributes the counterexample omitted as
+    /// unwitnessed are left unconstrained. Used to re-validate failure
+    /// results loaded from the disk cache.
+    pub fn equals_counterexample(
+        &self,
+        pool: &mut TermPool,
+        universe: &Universe,
+        cex: &ConcreteRoute,
+    ) -> TermId {
+        let mut parts = Vec::new();
+        let addr = pool.bv_const(cex.route.prefix.addr as u64, 32);
+        parts.push(pool.bv_eq(self.prefix_addr, addr));
+        let len = pool.bv_const(cex.route.prefix.len as u64, 8);
+        parts.push(pool.bv_eq(self.prefix_len, len));
+        let lp = pool.bv_const(cex.route.local_pref as u64, 32);
+        parts.push(pool.bv_eq(self.local_pref, lp));
+        let med = pool.bv_const(cex.route.med as u64, 32);
+        parts.push(pool.bv_eq(self.med, med));
+        let nh = pool.bv_const(cex.route.next_hop as u64, 32);
+        parts.push(pool.bv_eq(self.next_hop, nh));
+        let og = pool.bv_const(cex.route.origin.code() as u64, 2);
+        parts.push(pool.bv_eq(self.origin, og));
+        for (i, c) in universe.communities().iter().enumerate() {
+            let bit = self.comm_bits[i];
+            let want = cex.route.communities.contains(c);
+            parts.push(if want { bit } else { pool.not(bit) });
+        }
+        parts.push(if cex.comm_other {
+            self.comm_other
+        } else {
+            pool.not(self.comm_other)
+        });
+        for (i, pat) in universe.regexes().iter().enumerate() {
+            if let Some(&want) = cex.aspath_matches.get(pat) {
+                let atom = self.aspath_atoms[i];
+                parts.push(if want { atom } else { pool.not(atom) });
+            }
+        }
+        for (i, g) in universe.ghosts().iter().enumerate() {
+            if let Some(&want) = cex.ghosts.get(g) {
+                let bit = self.ghost_bits[i];
+                parts.push(if want { bit } else { pool.not(bit) });
+            }
+        }
+        pool.and(&parts)
     }
 
     /// Constrain this symbolic route to equal a concrete route (ghosts and
@@ -189,7 +252,9 @@ impl SymRoute {
 }
 
 /// A concretized route extracted from a counterexample model.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Serializable so failing check results can spill to the disk cache
+/// (and be re-validated on load; see `engine`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConcreteRoute {
     /// The concrete BGP attributes.
     pub route: Route,

@@ -5,8 +5,14 @@
 //! the DashMap design point, built on std. Spilling is delegated to
 //! caller-supplied encode/decode closures over `serde_json::Value`, so
 //! the cache stays generic and callers decide which results are durable
-//! (the verifier spills passes but re-proves failures, keeping
-//! counterexamples fresh).
+//! (the verifier spills both passes and failures; failures are
+//! re-validated against the live configuration before reuse — see
+//! `lightyear::engine`).
+//!
+//! Long-lived processes (daemon-style re-verification loops) can bound
+//! the cache with [`ResultCache::bounded`]: each shard then evicts its
+//! least-recently-used entry once over budget, so memory stays constant
+//! no matter how many distinct check structures flow through.
 
 use crate::fingerprint::Fingerprint;
 use serde_json::Value;
@@ -17,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Spill-format version; bump when the entry encoding changes.
-const SPILL_VERSION: i64 = 1;
+const SPILL_VERSION: i64 = 2;
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,14 +34,28 @@ pub struct CacheSnapshot {
     pub misses: u64,
     /// Entries inserted.
     pub inserts: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
 }
 
-/// A sharded map from [`Fingerprint`] to a result value.
+/// One cached value plus its last-touch stamp for LRU ordering.
+struct Entry<V> {
+    value: V,
+    touched: u64,
+}
+
+/// A sharded map from [`Fingerprint`] to a result value, optionally
+/// bounded with least-recently-used eviction.
 pub struct ResultCache<V> {
-    shards: Vec<Mutex<HashMap<u128, V>>>,
+    shards: Vec<Mutex<HashMap<u128, Entry<V>>>>,
+    /// Per-shard entry budget; `usize::MAX` means unbounded.
+    per_shard_cap: usize,
+    /// Logical clock driving LRU recency (monotone, cross-shard).
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<V> Default for ResultCache<V> {
@@ -45,30 +65,62 @@ impl<V> Default for ResultCache<V> {
 }
 
 impl<V> ResultCache<V> {
-    /// A cache with the default shard count.
+    /// An unbounded cache with the default shard count.
     pub fn new() -> Self {
         Self::with_shards(16)
     }
 
-    /// A cache with `n` shards (rounded up to one).
+    /// An unbounded cache with `n` shards (rounded up to one).
     pub fn with_shards(n: usize) -> Self {
-        let n = n.max(1);
+        Self::build(n, usize::MAX)
+    }
+
+    /// A size-bounded cache: at most (approximately) `capacity` entries,
+    /// evicting the least-recently-used entry of the owning shard when a
+    /// shard exceeds its share of the budget.
+    pub fn bounded(capacity: usize) -> Self {
+        let shards = 16usize;
+        let per_shard = capacity.div_ceil(shards).max(1);
+        Self::build(shards, per_shard)
+    }
+
+    fn build(shards: usize, per_shard_cap: usize) -> Self {
+        let n = shards.max(1);
         ResultCache {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap,
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<u128, V>> {
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<u128, Entry<V>>> {
         &self.shards[(fp.0 as usize) % self.shards.len()]
     }
 
-    /// Insert (last write wins).
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Insert (last write wins). A bounded cache evicts its shard's
+    /// least-recently-used entry when over budget.
     pub fn insert(&self, fp: Fingerprint, v: V) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.shard(fp).lock().unwrap().insert(fp.0, v);
+        let touched = self.tick();
+        let mut shard = self.shard(fp).lock().unwrap();
+        shard.insert(fp.0, Entry { value: v, touched });
+        while shard.len() > self.per_shard_cap {
+            // Linear scan is fine: shards hold capacity/16 entries and
+            // eviction fires once per overflowing insert.
+            let Some((&oldest, _)) = shard.iter().min_by_key(|(_, e)| e.touched) else {
+                break;
+            };
+            shard.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of entries.
@@ -87,6 +139,7 @@ impl<V> ResultCache<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -95,13 +148,26 @@ impl<V> ResultCache<V> {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Drop an entry (used when a loaded result fails re-validation).
+    pub fn remove(&self, fp: Fingerprint) {
+        self.shard(fp).lock().unwrap().remove(&fp.0);
     }
 }
 
 impl<V: Clone> ResultCache<V> {
-    /// Look up a fingerprint, counting a hit or miss.
+    /// Look up a fingerprint, counting a hit or miss and refreshing the
+    /// entry's LRU recency.
     pub fn get(&self, fp: Fingerprint) -> Option<V> {
-        let found = self.shard(fp).lock().unwrap().get(&fp.0).cloned();
+        let touched = self.tick();
+        let mut shard = self.shard(fp).lock().unwrap();
+        let found = shard.get_mut(&fp.0).map(|e| {
+            e.touched = touched;
+            e.value.clone()
+        });
+        drop(shard);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -109,9 +175,13 @@ impl<V: Clone> ResultCache<V> {
         found
     }
 
-    /// Look up without touching the counters.
+    /// Look up without touching the counters or recency.
     pub fn peek(&self, fp: Fingerprint) -> Option<V> {
-        self.shard(fp).lock().unwrap().get(&fp.0).cloned()
+        self.shard(fp)
+            .lock()
+            .unwrap()
+            .get(&fp.0)
+            .map(|e| e.value.clone())
     }
 
     /// Spill to `dir/cache.json`. `encode` chooses which entries are
@@ -125,8 +195,8 @@ impl<V: Clone> ResultCache<V> {
         std::fs::create_dir_all(dir)?;
         let mut entries: Vec<(String, Value)> = Vec::new();
         for shard in &self.shards {
-            for (k, v) in shard.lock().unwrap().iter() {
-                if let Some(val) = encode(v) {
+            for (k, e) in shard.lock().unwrap().iter() {
+                if let Some(val) = encode(&e.value) {
                     entries.push((Fingerprint(*k).to_hex(), val));
                 }
             }
@@ -179,9 +249,11 @@ impl<V: Clone> ResultCache<V> {
             let (Some(fp), Some(v)) = (Fingerprint::from_hex(hex), decode(val)) else {
                 continue;
             };
-            self.shard(fp).lock().unwrap().insert(fp.0, v);
+            self.insert(fp, v);
             loaded += 1;
         }
+        // Loads should not count as runtime insert traffic.
+        self.inserts.fetch_sub(loaded as u64, Ordering::Relaxed);
         Ok(loaded)
     }
 }
@@ -208,7 +280,8 @@ mod tests {
             CacheSnapshot {
                 hits: 1,
                 misses: 1,
-                inserts: 1
+                inserts: 1,
+                evictions: 0,
             }
         );
         assert_eq!(c.len(), 1);
@@ -249,5 +322,48 @@ mod tests {
             .load_from_dir(Path::new("/nonexistent/definitely/not/here"), |_| Some(0))
             .unwrap();
         assert_eq!(loaded, 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        // Capacity 32 over 16 shards = 2 per shard; pick three keys that
+        // collide on one shard to exercise eviction deterministically.
+        let c: ResultCache<u32> = ResultCache::bounded(32);
+        let mut same_shard = Vec::new();
+        let mut n = 0;
+        while same_shard.len() < 3 {
+            let f = fp(n);
+            if (f.0 as usize) % 16 == (fp(0).0 as usize) % 16 {
+                same_shard.push(f);
+            }
+            n += 1;
+        }
+        c.insert(same_shard[0], 0);
+        c.insert(same_shard[1], 1);
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert_eq!(c.get(same_shard[0]), Some(0));
+        c.insert(same_shard[2], 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.peek(same_shard[0]), Some(0), "recently-used survives");
+        assert_eq!(c.peek(same_shard[1]), None, "LRU entry evicted");
+        assert_eq!(c.peek(same_shard[2]), Some(2), "newest entry survives");
+    }
+
+    #[test]
+    fn bounded_cache_total_size_is_bounded() {
+        let c: ResultCache<u32> = ResultCache::bounded(32);
+        for i in 0..1000 {
+            c.insert(fp(i), i);
+        }
+        assert!(c.len() <= 32, "len {} exceeds bound", c.len());
+        assert!(c.stats().evictions >= 968);
+    }
+
+    #[test]
+    fn remove_drops_entries() {
+        let c: ResultCache<u32> = ResultCache::new();
+        c.insert(fp(7), 7);
+        c.remove(fp(7));
+        assert_eq!(c.peek(fp(7)), None);
     }
 }

@@ -56,4 +56,4 @@ pub mod orchestrate;
 pub use cache::{CacheSnapshot, ResultCache};
 pub use executor::Executor;
 pub use fingerprint::{Fingerprint, FpHasher};
-pub use orchestrate::{run_deduped, Batch, RunConfig, RunStats};
+pub use orchestrate::{run_deduped, run_grouped, Batch, RunConfig, RunStats};

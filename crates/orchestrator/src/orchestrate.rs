@@ -6,6 +6,16 @@
 //! with equal fingerprints produce bit-identical SMT queries, so one
 //! verdict — pass, or fail with a concrete counterexample over the
 //! shared attribute universe — is the verdict of all of them.
+//!
+//! [`run_grouped`] adds a second axis: fingerprint-*distinct* jobs that
+//! share an **encoding base** (same router/edge transfer function, same
+//! universe — only the assumed/ensured predicates differ) carry an
+//! encoding-base key, and the executor hands whole base-groups to
+//! workers so the caller can solve each group on one persistent,
+//! assumption-based SMT session. The cache still operates per job: every
+//! member of a group gets its own fingerprint-keyed entry, and cached
+//! answers are re-validated by the caller-supplied `validate` hook
+//! before being trusted (stale failures are re-solved, not replayed).
 
 use crate::cache::ResultCache;
 use crate::executor::Executor;
@@ -43,6 +53,14 @@ pub struct RunStats {
     pub cache_hits: usize,
     /// Jobs actually executed (solver invocations).
     pub executed: usize,
+    /// Cached answers rejected by re-validation (then re-executed).
+    pub invalidated: usize,
+    /// Encoding-base groups the executed jobs were batched into.
+    pub groups: usize,
+    /// Executed jobs answered on an already-warm session (assumption
+    /// solves after a group's first); `executed - groups` by
+    /// construction.
+    pub assumption_solves: usize,
     /// Successful steals inside the executor.
     pub steals: u64,
     /// Worker threads used.
@@ -62,7 +80,7 @@ impl RunStats {
     /// The canonical one-line human rendering of a batch (shared by the
     /// CLI and report summaries so the format cannot drift).
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "orchestrator: {} checks -> {} solver calls ({} deduped, {} cached, ratio {:.2}, {} threads)",
             self.generated,
             self.executed,
@@ -70,7 +88,20 @@ impl RunStats {
             self.cache_hits,
             self.dedup_ratio(),
             self.threads,
-        )
+        );
+        if self.groups > 0 {
+            s.push_str(&format!(
+                "; incremental: {} groups, {} warm assumption solves",
+                self.groups, self.assumption_solves,
+            ));
+        }
+        if self.invalidated > 0 {
+            s.push_str(&format!(
+                ", {} stale cache entries re-proved",
+                self.invalidated
+            ));
+        }
+        s
     }
 
     /// Fold another batch into this one (thread counts take the max).
@@ -80,6 +111,9 @@ impl RunStats {
         self.dedup_hits += other.dedup_hits;
         self.cache_hits += other.cache_hits;
         self.executed += other.executed;
+        self.invalidated += other.invalidated;
+        self.groups += other.groups;
+        self.assumption_solves += other.assumption_solves;
         self.steals += other.steals;
         self.threads = self.threads.max(other.threads);
     }
@@ -99,6 +133,9 @@ pub struct Batch<V> {
 
 /// Run `f` once per distinct fingerprint (modulo cache hits) and return
 /// per-item results in submission order plus the batch statistics.
+///
+/// Thin wrapper over [`run_grouped`] where every item is its own
+/// encoding-base group and cached results are trusted unconditionally.
 pub fn run_deduped<T, V, F>(
     cfg: RunConfig,
     cache: Option<&ResultCache<V>>,
@@ -110,6 +147,54 @@ where
     V: Clone + Send,
     F: Fn(&T) -> V + Sync,
 {
+    let keyed: Vec<(Fingerprint, u64, &T)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (fp, t))| (*fp, i as u64, t))
+        .collect();
+    let mut batch = run_grouped(
+        cfg,
+        cache,
+        &keyed,
+        |_, _| true,
+        |group| group.iter().map(|t| f(t)).collect(),
+    );
+    debug_assert!(batch.stats.assumption_solves == 0);
+    // Singleton groups are an artifact of the wrapper, not a caller
+    // decision: do not report them as incremental batching.
+    batch.stats.groups = 0;
+    batch.stats.assumption_solves = 0;
+    batch
+}
+
+/// The grouped pipeline: fingerprint-dedup, cache consult (with
+/// re-validation), then execute the remaining representatives in
+/// encoding-base groups on the work-stealing pool.
+///
+/// * `items` — `(fingerprint, encoding-base key, payload)` per job. Jobs
+///   with equal fingerprints are structurally identical (one is solved,
+///   the verdict replicated); jobs with equal base keys share enough
+///   encoding that the caller wants them solved together on one
+///   persistent session.
+/// * `validate` — called on every cache hit with the job and the cached
+///   value; returning `false` rejects the entry (it is removed and the
+///   job re-executed). Lets callers spill failure results whose
+///   counterexamples must be re-checked against live configurations.
+/// * `solve_group` — receives the group's payloads in submission order
+///   and must return one result per payload, in order.
+pub fn run_grouped<T, V, F, P>(
+    cfg: RunConfig,
+    cache: Option<&ResultCache<V>>,
+    items: &[(Fingerprint, u64, T)],
+    validate: P,
+    solve_group: F,
+) -> Batch<V>
+where
+    T: Sync,
+    V: Clone + Send,
+    P: Fn(&T, &V) -> bool,
+    F: Fn(&[&T]) -> Vec<V> + Sync,
+{
     let executor = Executor::with_threads(cfg.jobs);
     let mut stats = RunStats {
         generated: items.len(),
@@ -118,57 +203,97 @@ where
     };
 
     // Group item indices by fingerprint, first occurrence first.
-    let mut group_of: HashMap<u128, usize> = HashMap::new();
-    let mut groups: Vec<(Fingerprint, Vec<usize>)> = Vec::new();
-    for (i, (fp, _)) in items.iter().enumerate() {
+    let mut struct_of: HashMap<u128, usize> = HashMap::new();
+    let mut structures: Vec<(Fingerprint, Vec<usize>)> = Vec::new();
+    for (i, (fp, _, _)) in items.iter().enumerate() {
         if cfg.dedup {
-            match group_of.entry(fp.0) {
+            match struct_of.entry(fp.0) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    groups[*e.get()].1.push(i);
+                    structures[*e.get()].1.push(i);
                     continue;
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(groups.len());
+                    e.insert(structures.len());
                 }
             }
         }
-        groups.push((*fp, vec![i]));
+        structures.push((*fp, vec![i]));
     }
-    stats.unique = groups.len();
+    stats.unique = structures.len();
     stats.dedup_hits = stats.generated - stats.unique;
 
-    // Answer groups from the cache where possible.
-    let mut group_results: Vec<Option<V>> = Vec::with_capacity(groups.len());
-    let mut to_run: Vec<(usize, Fingerprint, usize)> = Vec::new(); // (group, fp, rep item)
-    for (gi, (fp, members)) in groups.iter().enumerate() {
-        let cached = cache.and_then(|c| c.get(*fp));
+    // Answer structures from the cache where possible; validation
+    // failures drop the entry and fall through to execution.
+    let mut struct_results: Vec<Option<V>> = Vec::with_capacity(structures.len());
+    let mut to_run: Vec<(usize, Fingerprint, usize)> = Vec::new(); // (structure, fp, rep item)
+    for (si, (fp, members)) in structures.iter().enumerate() {
+        let cached = match cache.and_then(|c| c.get(*fp)) {
+            Some(v) if validate(&items[members[0]].2, &v) => Some(v),
+            Some(_) => {
+                stats.invalidated += members.len();
+                if let Some(c) = cache {
+                    c.remove(*fp);
+                }
+                None
+            }
+            None => None,
+        };
         if cached.is_some() {
             stats.cache_hits += members.len();
         } else {
-            to_run.push((gi, *fp, members[0]));
+            to_run.push((si, *fp, members[0]));
         }
-        group_results.push(cached);
+        struct_results.push(cached);
     }
-
-    // Execute the remaining representatives, stealing as needed.
     stats.executed = to_run.len();
-    let jobs: Vec<&T> = to_run.iter().map(|&(_, _, rep)| &items[rep].1).collect();
-    let (solved, steals) = executor.run(&jobs, |t| f(t));
-    stats.steals = steals;
-    let mut fresh = vec![false; items.len()];
-    for ((gi, fp, rep), v) in to_run.into_iter().zip(solved) {
-        if let Some(c) = cache {
-            c.insert(fp, v.clone());
+
+    // Batch the representatives into encoding-base groups, preserving
+    // submission order within each group.
+    let mut exec_of: HashMap<u64, usize> = HashMap::new();
+    let mut exec_groups: Vec<Vec<usize>> = Vec::new(); // indices into to_run
+    for (ri, &(_, _, rep)) in to_run.iter().enumerate() {
+        let key = items[rep].1;
+        match exec_of.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => exec_groups[*e.get()].push(ri),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(exec_groups.len());
+                exec_groups.push(vec![ri]);
+            }
         }
-        fresh[rep] = true;
-        group_results[gi] = Some(v);
+    }
+    stats.groups = exec_groups.len();
+    stats.assumption_solves = stats.executed.saturating_sub(stats.groups);
+
+    // Execute whole groups on the pool, stealing as needed.
+    let (solved_groups, steals) = executor.run(&exec_groups, |runs: &Vec<usize>| {
+        let payloads: Vec<&T> = runs.iter().map(|&ri| &items[to_run[ri].2].2).collect();
+        let out = solve_group(&payloads);
+        assert_eq!(
+            out.len(),
+            payloads.len(),
+            "solve_group must return one result per payload"
+        );
+        out
+    });
+    stats.steals = steals;
+
+    let mut fresh = vec![false; items.len()];
+    for (runs, values) in exec_groups.into_iter().zip(solved_groups) {
+        for (ri, v) in runs.into_iter().zip(values) {
+            let (si, fp, rep) = to_run[ri];
+            if let Some(c) = cache {
+                c.insert(fp, v.clone());
+            }
+            fresh[rep] = true;
+            struct_results[si] = Some(v);
+        }
     }
 
-    // Replicate group results to every member, in submission order.
+    // Replicate structure results to every member, in submission order.
     let mut out: Vec<Option<V>> = (0..items.len()).map(|_| None).collect();
-    for ((_, members), res) in groups.into_iter().zip(group_results) {
-        let res = res.expect("every group resolved by cache or execution");
-        let (last, rest) = members.split_last().expect("groups are non-empty");
+    for ((_, members), res) in structures.into_iter().zip(struct_results) {
+        let res = res.expect("every structure resolved by cache or execution");
+        let (last, rest) = members.split_last().expect("structures are non-empty");
         for i in rest {
             out[*i] = Some(res.clone());
         }
@@ -233,6 +358,78 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 6);
         assert_eq!(stats.dedup_hits, 0);
         assert_eq!(stats.executed, 6);
+    }
+
+    #[test]
+    fn grouped_execution_batches_by_base_key() {
+        // 6 distinct structures over 2 base keys: each key's group is
+        // solved by one call receiving all its members.
+        let group_calls = AtomicUsize::new(0);
+        let items: Vec<(Fingerprint, u64, u32)> =
+            (0..6).map(|i| (fp(i), (i % 2) as u64, i)).collect();
+        let batch = run_grouped(
+            RunConfig::default(),
+            None,
+            &items,
+            |_, _| true,
+            |group| {
+                group_calls.fetch_add(1, Ordering::Relaxed);
+                group.iter().map(|&&x| x * 10).collect()
+            },
+        );
+        assert_eq!(batch.results, vec![0, 10, 20, 30, 40, 50]);
+        assert_eq!(group_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(batch.stats.groups, 2);
+        assert_eq!(batch.stats.executed, 6);
+        assert_eq!(batch.stats.assumption_solves, 4);
+        assert!(batch.fresh.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn grouped_dedup_and_cache_cooperate() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        cache.insert(fp(0), 100);
+        // Items: fp0 twice (cached), fp1 twice (dedup), fp2 once; all in
+        // one base group.
+        let items: Vec<(Fingerprint, u64, u32)> = vec![
+            (fp(0), 7, 0),
+            (fp(1), 7, 1),
+            (fp(0), 7, 0),
+            (fp(1), 7, 1),
+            (fp(2), 7, 2),
+        ];
+        let batch = run_grouped(
+            RunConfig::default(),
+            Some(&cache),
+            &items,
+            |_, _| true,
+            |group| group.iter().map(|&&x| x + 10).collect(),
+        );
+        assert_eq!(batch.results, vec![100, 11, 100, 11, 12]);
+        assert_eq!(batch.stats.cache_hits, 2);
+        assert_eq!(batch.stats.dedup_hits, 2);
+        assert_eq!(batch.stats.executed, 2);
+        assert_eq!(batch.stats.groups, 1);
+    }
+
+    #[test]
+    fn stale_cache_entries_are_revalidated_and_reexecuted() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        cache.insert(fp(1), 999); // stale: validator rejects odd payloads' 999
+        let items: Vec<(Fingerprint, u64, u32)> = vec![(fp(1), 0, 1), (fp(2), 0, 2)];
+        let batch = run_grouped(
+            RunConfig::default(),
+            Some(&cache),
+            &items,
+            |_, v| *v != 999,
+            |group| group.iter().map(|&&x| x + 10).collect(),
+        );
+        assert_eq!(batch.results, vec![11, 12]);
+        assert_eq!(batch.stats.invalidated, 1);
+        assert_eq!(batch.stats.cache_hits, 0);
+        assert_eq!(batch.stats.executed, 2);
+        // The stale entry was replaced by the fresh verdict.
+        assert_eq!(cache.peek(fp(1)), Some(11));
     }
 
     #[test]

@@ -4,6 +4,15 @@
 //! of literals (least-significant bit first). Every composite node gets a
 //! definitional encoding, memoized over the hash-consed [`TermId`] so shared
 //! sub-formulas are encoded once.
+//!
+//! The workhorse is [`IncrementalBlaster`], which keeps its structural
+//! cache (`TermId -> Lit`) *across* calls: terms added to the pool after a
+//! first blast are lowered on demand while everything already encoded is
+//! reused, which is what makes one persistent SAT instance able to serve a
+//! whole group of related checks (see `solver::IncrementalSession`). The
+//! cache is sound because [`crate::term::TermPool`] is append-only and
+//! hash-consed: a `TermId` never changes meaning. The one-shot
+//! [`bitblast`] entry point is a thin wrapper.
 
 use crate::cnf::{Cnf, Lit};
 use crate::term::{Term, TermId, TermPool};
@@ -22,33 +31,74 @@ pub struct Blasted {
 /// Bit-blast `assertions` (all boolean sorted) over `pool` into CNF,
 /// asserting each one true.
 pub fn bitblast(pool: &TermPool, assertions: &[TermId]) -> Blasted {
-    let mut b = Blaster {
-        pool,
-        cnf: Cnf::new(),
-        bool_map: HashMap::new(),
-        bv_map: HashMap::new(),
-        true_lit: None,
-    };
+    let mut b = IncrementalBlaster::new();
     for &a in assertions {
-        let l = b.blast_bool(a);
-        b.cnf.add_clause(vec![l]);
+        b.assert_true(pool, a);
     }
-    Blasted {
-        cnf: b.cnf,
-        bool_map: b.bool_map,
-        bv_map: b.bv_map,
-    }
+    b.into_blasted()
 }
 
-struct Blaster<'a> {
-    pool: &'a TermPool,
+/// A bit-blaster whose definitional encodings persist across calls.
+///
+/// Unlike the one-shot [`bitblast`], the blaster does not borrow the pool:
+/// each call takes the pool by reference, so callers may interleave term
+/// construction and blasting on the same growing pool.
+#[derive(Default)]
+pub struct IncrementalBlaster {
     cnf: Cnf,
     bool_map: HashMap<TermId, Lit>,
     bv_map: HashMap<TermId, Vec<Lit>>,
     true_lit: Option<Lit>,
 }
 
-impl<'a> Blaster<'a> {
+impl IncrementalBlaster {
+    /// An empty blaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The CNF accumulated so far (clauses are only ever appended).
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Literals of boolean terms encoded so far.
+    pub fn bool_map(&self) -> &HashMap<TermId, Lit> {
+        &self.bool_map
+    }
+
+    /// Bit vectors of bitvector terms encoded so far.
+    pub fn bv_map(&self) -> &HashMap<TermId, Vec<Lit>> {
+        &self.bv_map
+    }
+
+    /// Blast `t` and assert it true at the top level.
+    pub fn assert_true(&mut self, pool: &TermPool, t: TermId) {
+        let l = self.blast_bool(pool, t);
+        self.cnf.add_clause(vec![l]);
+    }
+
+    /// A fresh literal with no attached meaning — the activation-literal
+    /// primitive: gate a formula `f` per query via `clause(!a, blast(f))`
+    /// and assume `a` only in the queries that want `f`.
+    pub fn fresh_lit(&mut self) -> Lit {
+        self.cnf.fresh_var().pos()
+    }
+
+    /// Append a clause over already-created literals.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.cnf.add_clause(lits);
+    }
+
+    /// Consume the blaster, yielding the classic [`Blasted`] triple.
+    pub fn into_blasted(self) -> Blasted {
+        Blasted {
+            cnf: self.cnf,
+            bool_map: self.bool_map,
+            bv_map: self.bv_map,
+        }
+    }
+
     /// A literal constrained to be true (allocated lazily).
     fn tru(&mut self) -> Lit {
         if let Some(l) = self.true_lit {
@@ -78,35 +128,35 @@ impl<'a> Blaster<'a> {
     }
 
     /// Blast a boolean-sorted term to a single literal.
-    fn blast_bool(&mut self, t: TermId) -> Lit {
+    pub fn blast_bool(&mut self, pool: &TermPool, t: TermId) -> Lit {
         if let Some(&l) = self.bool_map.get(&t) {
             return l;
         }
-        let lit = match self.pool.term(t).clone() {
+        let lit = match pool.term(t).clone() {
             Term::True => self.tru(),
             Term::False => self.fls(),
             Term::BoolVar(_) => self.fresh(),
-            Term::Not(a) => !self.blast_bool(a),
+            Term::Not(a) => !self.blast_bool(pool, a),
             Term::And(parts) => {
-                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(p)).collect();
+                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(pool, p)).collect();
                 self.encode_and(&lits)
             }
             Term::Or(parts) => {
-                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(p)).collect();
+                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(pool, p)).collect();
                 let neg: Vec<Lit> = lits.iter().map(|&l| !l).collect();
                 !self.encode_and(&neg)
             }
             Term::Ite(c, a, b) => {
                 // Boolean ite is normally rewritten away by the pool, but
                 // handle it defensively.
-                let lc = self.blast_bool(c);
-                let la = self.blast_bool(a);
-                let lb = self.blast_bool(b);
+                let lc = self.blast_bool(pool, c);
+                let la = self.blast_bool(pool, a);
+                let lb = self.blast_bool(pool, b);
                 self.encode_mux(lc, la, lb)
             }
             Term::BvEq(a, b) => {
-                let xa = self.blast_bv(a);
-                let xb = self.blast_bv(b);
+                let xa = self.blast_bv(pool, a);
+                let xb = self.blast_bv(pool, b);
                 let eqs: Vec<Lit> = xa
                     .iter()
                     .zip(xb.iter())
@@ -115,13 +165,13 @@ impl<'a> Blaster<'a> {
                 self.encode_and(&eqs)
             }
             Term::BvUlt(a, b) => {
-                let xa = self.blast_bv(a);
-                let xb = self.blast_bv(b);
+                let xa = self.blast_bv(pool, a);
+                let xb = self.blast_bv(pool, b);
                 self.encode_ult(&xa, &xb)
             }
             Term::BvUle(a, b) => {
-                let xa = self.blast_bv(a);
-                let xb = self.blast_bv(b);
+                let xa = self.blast_bv(pool, a);
+                let xb = self.blast_bv(pool, b);
                 let gt = self.encode_ult(&xb, &xa);
                 !gt
             }
@@ -132,11 +182,11 @@ impl<'a> Blaster<'a> {
     }
 
     /// Blast a bitvector-sorted term to a vector of literals (LSB first).
-    fn blast_bv(&mut self, t: TermId) -> Vec<Lit> {
+    fn blast_bv(&mut self, pool: &TermPool, t: TermId) -> Vec<Lit> {
         if let Some(bits) = self.bv_map.get(&t) {
             return bits.clone();
         }
-        let bits = match self.pool.term(t).clone() {
+        let bits = match pool.term(t).clone() {
             Term::BvConst { width, value } => (0..width)
                 .map(|i| {
                     let b = (value >> i) & 1 == 1;
@@ -145,14 +195,14 @@ impl<'a> Blaster<'a> {
                 .collect(),
             Term::BvVar { width, .. } => (0..width).map(|_| self.fresh()).collect(),
             Term::BvAnd(a, b) => {
-                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                let (xa, xb) = (self.blast_bv(pool, a), self.blast_bv(pool, b));
                 xa.iter()
                     .zip(xb.iter())
                     .map(|(&p, &q)| self.encode_and(&[p, q]))
                     .collect()
             }
             Term::BvOr(a, b) => {
-                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                let (xa, xb) = (self.blast_bv(pool, a), self.blast_bv(pool, b));
                 xa.iter()
                     .zip(xb.iter())
                     .map(|(&p, &q)| {
@@ -162,7 +212,7 @@ impl<'a> Blaster<'a> {
                     .collect()
             }
             Term::BvXor(a, b) => {
-                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                let (xa, xb) = (self.blast_bv(pool, a), self.blast_bv(pool, b));
                 xa.iter()
                     .zip(xb.iter())
                     .map(|(&p, &q)| {
@@ -171,17 +221,17 @@ impl<'a> Blaster<'a> {
                     })
                     .collect()
             }
-            Term::BvNot(a) => self.blast_bv(a).iter().map(|&l| !l).collect(),
+            Term::BvNot(a) => self.blast_bv(pool, a).iter().map(|&l| !l).collect(),
             Term::BvAdd(a, b) => {
-                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                let (xa, xb) = (self.blast_bv(pool, a), self.blast_bv(pool, b));
                 self.encode_adder(&xa, &xb)
             }
             Term::BvExtract { hi, lo, arg } => {
-                let bits = self.blast_bv(arg);
+                let bits = self.blast_bv(pool, arg);
                 bits[lo as usize..=hi as usize].to_vec()
             }
             Term::BvLshrConst { arg, amount } => {
-                let bits = self.blast_bv(arg);
+                let bits = self.blast_bv(pool, arg);
                 let w = bits.len();
                 let mut out = Vec::with_capacity(w);
                 for i in 0..w {
@@ -195,8 +245,8 @@ impl<'a> Blaster<'a> {
                 out
             }
             Term::Ite(c, a, b) => {
-                let lc = self.blast_bool(c);
-                let (xa, xb) = (self.blast_bv(a), self.blast_bv(b));
+                let lc = self.blast_bool(pool, c);
+                let (xa, xb) = (self.blast_bv(pool, a), self.blast_bv(pool, b));
                 xa.iter()
                     .zip(xb.iter())
                     .map(|(&p, &q)| self.encode_mux(lc, p, q))
@@ -424,5 +474,28 @@ mod tests {
         // !c and x == 1 is unsat
         let nc = p.not(c);
         assert!(!is_sat(&p, &[nc, is_one]));
+    }
+
+    #[test]
+    fn incremental_blaster_reuses_encodings() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 8);
+        let c5 = p.bv_const(5, 8);
+        let lt = p.bv_ult(x, c5);
+        let mut b = IncrementalBlaster::new();
+        b.assert_true(&p, lt);
+        let vars_after_first = b.cnf().num_vars();
+        // New term over the same sub-DAG: only the new comparator is
+        // encoded, x's bits are reused.
+        let c3 = p.bv_const(3, 8);
+        let lt2 = p.bv_ult(x, c3);
+        let l2 = b.blast_bool(&p, lt2);
+        assert!(b.cnf().num_vars() > vars_after_first);
+        // Re-blasting either term is free (cache hit, no new vars).
+        let before = b.cnf().num_vars();
+        let l2_again = b.blast_bool(&p, lt2);
+        assert_eq!(l2, l2_again);
+        assert_eq!(b.cnf().num_vars(), before);
+        assert_eq!(b.bool_map().get(&lt2), Some(&l2));
     }
 }

@@ -41,7 +41,10 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use bitblast::IncrementalBlaster;
 pub use cnf::{Cnf, Lit, Var};
 pub use sat::{SatSolver, SolveOutcome};
-pub use solver::{solve, solve_with_stats, Model, SatResult, SolverStats, Value};
+pub use solver::{
+    solve, solve_with_stats, Assumption, IncrementalSession, Model, SatResult, SolverStats, Value,
+};
 pub use term::{Sort, Term, TermId, TermPool};

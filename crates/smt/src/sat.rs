@@ -5,6 +5,16 @@
 //! indexed binary heap, phase saving, Luby-sequence restarts and
 //! activity-driven learnt-clause database reduction.
 //!
+//! The solver is **incremental**: every solve backtracks to the root
+//! decision level instead of tearing the instance down, so callers can
+//! keep adding clauses ([`SatSolver::add_clause`]) and variables
+//! ([`SatSolver::ensure_num_vars`]) between solves while learnt clauses,
+//! variable activities and saved phases carry over. Related queries are
+//! posed with [`SatSolver::solve_under_assumptions`], which decides the
+//! given literals first (MiniSat's assumption mechanism); on an
+//! assumption-caused `Unsat` the failing-assumption core is available
+//! through [`SatSolver::failed_assumptions`].
+//!
 //! The solver is deliberately self-contained (no `unsafe`, no external
 //! dependencies) — it is the substrate on which every Lightyear local check
 //! and every Minesweeper monolithic query in this workspace is decided.
@@ -92,6 +102,14 @@ pub struct SatSolver {
     ok: bool, // false once a top-level conflict is found
     stats: SatStats,
     max_learnts: f64,
+    /// Assignment snapshot from the most recent `Sat` answer; solves
+    /// backtrack to the root level before returning, so the model must
+    /// outlive the trail.
+    model: Vec<LBool>,
+    /// On an assumption-caused `Unsat`: the subset of the assumptions
+    /// that is jointly inconsistent with the clauses. Empty when the
+    /// clause set itself is unsatisfiable.
+    conflict_core: Vec<Lit>,
 }
 
 impl SatSolver {
@@ -116,6 +134,34 @@ impl SatSolver {
             ok: true,
             stats: SatStats::default(),
             max_learnts: 0.0,
+            model: Vec::new(),
+            conflict_core: Vec::new(),
+        }
+    }
+
+    /// Number of variables the solver currently knows about.
+    pub fn num_vars(&self) -> u32 {
+        self.assigns.len() as u32
+    }
+
+    /// Grow the variable tables to hold at least `n` variables. New
+    /// variables start unassigned with zero activity. Used by incremental
+    /// callers whose formula grows between solves.
+    pub fn ensure_num_vars(&mut self, n: u32) {
+        let n = n as usize;
+        let cur = self.assigns.len();
+        if n <= cur {
+            return;
+        }
+        self.watches.resize(2 * n, Vec::new());
+        self.assigns.resize(n, LBool::Undef);
+        self.phase.resize(n, false);
+        self.level.resize(n, 0);
+        self.reason.resize(n, REASON_NONE);
+        self.activity.resize(n, 0.0);
+        self.seen.resize(n, false);
+        for v in cur..n {
+            self.heap.push_new(v);
         }
     }
 
@@ -143,7 +189,20 @@ impl SatSolver {
 
     /// Value of a variable in the satisfying assignment (valid after `Sat`).
     pub fn value(&self, v: Var) -> bool {
-        self.assigns[v.0 as usize] == LBool::True
+        // Solves backtrack to the root before returning, so read the
+        // snapshot taken at the moment of the `Sat` answer.
+        match self.model.get(v.0 as usize) {
+            Some(&m) => m == LBool::True,
+            None => self.assigns[v.0 as usize] == LBool::True,
+        }
+    }
+
+    /// The subset of the last solve's assumptions shown inconsistent with
+    /// the clause set (valid after an `Unsat` answer from
+    /// [`SatSolver::solve_under_assumptions`]). An empty slice means the
+    /// clauses are unsatisfiable regardless of assumptions.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
     }
 
     /// Add a clause. Returns `false` if the formula became trivially
@@ -491,8 +550,27 @@ impl SatSolver {
     }
 
     /// Solve the formula. Returns `Sat` or `Unsat`; on `Sat` the model is
-    /// available through [`SatSolver::value`].
+    /// available through [`SatSolver::value`]. The solver backtracks to
+    /// the root level afterwards, so clauses may be added and the solver
+    /// re-queried (learnt clauses and activities are kept).
     pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Solve the formula under the given assumption literals: a model (if
+    /// any) must make every assumption true. Assumptions are decided
+    /// before any free decision, MiniSat-style, so the clause database —
+    /// including everything learnt here — never depends on them and
+    /// remains valid for later solves under different assumptions.
+    ///
+    /// On `Unsat` caused by the assumptions, the failing subset is
+    /// available via [`SatSolver::failed_assumptions`]; if the clause set
+    /// itself is unsatisfiable the core is empty and every later solve
+    /// answers `Unsat` immediately.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.model.clear();
+        self.conflict_core.clear();
         if !self.ok {
             return SolveOutcome::Unsat;
         }
@@ -500,12 +578,12 @@ impl SatSolver {
         let mut restart_idx = 0u64;
         let mut conflicts_budget = 100 * luby(restart_idx);
 
-        loop {
+        let outcome = 'search: loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    return SolveOutcome::Unsat;
+                    break 'search SolveOutcome::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.cancel_until(bt);
@@ -521,7 +599,7 @@ impl SatSolver {
                 conflicts_budget = conflicts_budget.saturating_sub(1);
             } else {
                 if conflicts_budget == 0 {
-                    // Restart.
+                    // Restart (assumptions are re-decided below).
                     self.stats.restarts += 1;
                     restart_idx += 1;
                     conflicts_budget = 100 * luby(restart_idx);
@@ -531,8 +609,29 @@ impl SatSolver {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
                 }
+                // Decide assumptions before any free decision.
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value_lit(p) {
+                        LBool::True => {
+                            // Already implied: open a dummy level so the
+                            // level-to-assumption indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final(p);
+                            break 'search SolveOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, REASON_NONE);
+                            continue 'search; // propagate before the next one
+                        }
+                    }
+                }
                 match self.pick_branch_var() {
-                    None => return SolveOutcome::Sat,
+                    None => break 'search SolveOutcome::Sat,
                     Some(v) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
@@ -541,7 +640,53 @@ impl SatSolver {
                     }
                 }
             }
+        };
+        if outcome == SolveOutcome::Sat {
+            self.model = self.assigns.clone();
         }
+        // Return to the root so the instance stays reusable: clauses can
+        // be added and new (assumption) queries posed.
+        self.cancel_until(0);
+        outcome
+    }
+
+    /// Compute the failing-assumption core when assumption `p` is found
+    /// false: walk the implication graph from `!p` back to the assumption
+    /// decisions responsible. Every decision on the trail at this point
+    /// is an assumption (assumptions are decided before free decisions,
+    /// and we only get here while still enqueuing them).
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            // `!p` is implied by the clauses alone; the core is `{p}`.
+            self.conflict_core.sort();
+            return;
+        }
+        self.seen[p.var().0 as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            if self.reason[v] == REASON_NONE {
+                debug_assert!(self.level[v] > 0);
+                self.conflict_core.push(l);
+            } else {
+                let r = self.reason[v] as usize;
+                for k in 1..self.clauses[r].lits.len() {
+                    let q = self.clauses[r].lits[k];
+                    if self.level[q.var().0 as usize] > 0 {
+                        self.seen[q.var().0 as usize] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().0 as usize] = false;
+        self.conflict_core.sort();
+        self.conflict_core.dedup();
     }
 }
 
@@ -580,6 +725,15 @@ impl OrderHeap {
 
     fn contains(&self, v: usize) -> bool {
         self.pos[v] != usize::MAX
+    }
+
+    /// Register a brand-new variable (index = current table size) and
+    /// queue it for decision. Zero activity keeps the heap ordered with
+    /// the new entry at the bottom.
+    fn push_new(&mut self, v: usize) {
+        debug_assert_eq!(v, self.pos.len());
+        self.pos.push(self.heap.len());
+        self.heap.push(v);
     }
 
     fn insert(&mut self, v: usize, act: &[f64]) {
@@ -763,6 +917,84 @@ mod tests {
         assert!(s2.add_clause(vec![Var(1).neg()]));
         assert_eq!(s2.solve(), SolveOutcome::Sat);
         assert!(!s2.value(Var(1)));
+    }
+
+    #[test]
+    fn assumptions_flip_outcomes_on_one_instance() {
+        // (a -> b), (b -> c): solve the same instance under different
+        // assumption sets without rebuilding anything.
+        let mut s = SatSolver::new(3);
+        let (a, b, c) = (Var(0), Var(1), Var(2));
+        assert!(s.add_clause(vec![a.neg(), b.pos()]));
+        assert!(s.add_clause(vec![b.neg(), c.pos()]));
+        assert_eq!(
+            s.solve_under_assumptions(&[a.pos(), c.neg()]),
+            SolveOutcome::Unsat
+        );
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&a.pos()) && core.contains(&c.neg()));
+        // Same instance, satisfiable assumptions; model respects them.
+        assert_eq!(
+            s.solve_under_assumptions(&[a.pos(), c.pos()]),
+            SolveOutcome::Sat
+        );
+        assert!(s.value(a) && s.value(b) && s.value(c));
+        // And with no assumptions it is still satisfiable.
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn failed_assumption_core_is_minimal_here() {
+        // x1..x4 free; clause (!x1 \/ !x2). Assume all four positively:
+        // the core must mention only x1 and x2.
+        let mut s = SatSolver::new(4);
+        assert!(s.add_clause(vec![Var(0).neg(), Var(1).neg()]));
+        let assumptions: Vec<Lit> = (0..4).map(|i| Var(i).pos()).collect();
+        assert_eq!(s.solve_under_assumptions(&assumptions), SolveOutcome::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&Var(0).pos()) && core.contains(&Var(1).pos()));
+        assert!(!core.contains(&Var(2).pos()) && !core.contains(&Var(3).pos()));
+        // The core itself must be jointly unsatisfiable.
+        let mut s2 = SatSolver::new(4);
+        assert!(s2.add_clause(vec![Var(0).neg(), Var(1).neg()]));
+        assert_eq!(s2.solve_under_assumptions(&core), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn base_unsat_yields_empty_core() {
+        let mut s = SatSolver::new(2);
+        assert!(s.add_clause(vec![Var(0).pos()]));
+        assert!(!s.add_clause(vec![Var(0).neg()]));
+        assert_eq!(
+            s.solve_under_assumptions(&[Var(1).pos()]),
+            SolveOutcome::Unsat
+        );
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn clauses_added_between_solves() {
+        // Incremental use: solve, learn the answer, constrain, solve again.
+        let mut s = SatSolver::new(3);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(1).pos()]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.add_clause(vec![Var(0).neg()]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value(Var(1)));
+        assert!(!s.add_clause(vec![Var(1).neg()]) || s.solve() == SolveOutcome::Unsat);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn variables_grow_between_solves() {
+        let mut s = SatSolver::new(1);
+        assert!(s.add_clause(vec![Var(0).pos()]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        s.ensure_num_vars(3);
+        assert_eq!(s.num_vars(), 3);
+        assert!(s.add_clause(vec![Var(0).neg(), Var(2).pos()]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value(Var(0)) && s.value(Var(2)));
     }
 
     #[test]

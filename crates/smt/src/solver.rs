@@ -1,11 +1,23 @@
 //! Public SMT facade: check satisfiability of a set of boolean terms and
 //! extract models over the original term variables.
+//!
+//! Two entry points:
+//!
+//! * [`solve`] / [`solve_with_stats`] — one-shot: bit-blast the given
+//!   assertions into a fresh CNF and decide it with a fresh SAT solver.
+//! * [`IncrementalSession`] — persistent: one term pool, one blaster and
+//!   one SAT instance serve a whole family of related queries. Shared
+//!   assertions are encoded once ([`IncrementalSession::assert`]), each
+//!   query is gated behind an activation literal
+//!   ([`IncrementalSession::activation`]) and posed as an assumption
+//!   solve, so learnt clauses and variable activities carry over between
+//!   queries instead of being rebuilt from scratch.
 
-use crate::bitblast::{bitblast, Blasted};
+use crate::bitblast::{bitblast, Blasted, IncrementalBlaster};
 use crate::cnf::Lit;
 use crate::sat::{SatSolver, SatStats, SolveOutcome};
 use crate::term::{Sort, Term, TermId, TermPool};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// A concrete value in a model.
@@ -19,13 +31,40 @@ pub enum Value {
 
 /// A satisfying assignment, mapping variable terms to values, with an
 /// evaluator for arbitrary terms.
+///
+/// Variables that never reached the solver (they appear in the pool but
+/// in no assertion) are tracked as **don't-care**: evaluation still
+/// yields the conventional defaults (`false` / `0`) so downstream code
+/// keeps working, but [`Model::is_dont_care`] lets counterexample
+/// printing distinguish a *witnessed* value from an arbitrary filler.
 #[derive(Clone, Debug, Default)]
 pub struct Model {
     values: HashMap<TermId, Value>,
+    dont_care: HashSet<TermId>,
 }
 
 impl Model {
     fn from_blasted(pool: &TermPool, blasted: &Blasted, sat: &SatSolver) -> Model {
+        Model::from_maps(pool, &blasted.bool_map, &blasted.bv_map, sat, None)
+    }
+
+    /// Build a model from blast maps and a satisfied solver. Variables
+    /// absent from the maps were never encoded: they are recorded as
+    /// don't-care rather than given a fabricated concrete value.
+    ///
+    /// `witnessed` (when given) further restricts which variables count
+    /// as witnessed: on a shared incremental session the blast maps
+    /// accumulate encodings from *every* query posed so far, but the
+    /// model of one query must only claim variables in that query's own
+    /// formula — anything else is don't-care even though a literal for
+    /// it happens to exist.
+    fn from_maps(
+        pool: &TermPool,
+        bool_map: &HashMap<TermId, Lit>,
+        bv_map: &HashMap<TermId, Vec<Lit>>,
+        sat: &SatSolver,
+        witnessed: Option<&HashSet<TermId>>,
+    ) -> Model {
         let lit_val = |l: Lit| -> bool {
             let v = sat.value(l.var());
             if l.is_pos() {
@@ -34,34 +73,52 @@ impl Model {
                 !v
             }
         };
+        let in_scope = |t: TermId| witnessed.is_none_or(|w| w.contains(&t));
         let mut values = HashMap::new();
+        let mut dont_care = HashSet::new();
         for &t in pool.bool_vars() {
-            if let Some(&l) = blasted.bool_map.get(&t) {
-                values.insert(t, Value::Bool(lit_val(l)));
-            } else {
-                // Variable never appeared in the assertions: value is free.
-                values.insert(t, Value::Bool(false));
+            match bool_map.get(&t) {
+                Some(&l) if in_scope(t) => {
+                    values.insert(t, Value::Bool(lit_val(l)));
+                }
+                // Variable not in this query's formula: any value
+                // satisfies it, so no value is witnessed.
+                _ => {
+                    dont_care.insert(t);
+                }
             }
         }
         for &t in pool.bv_vars() {
-            if let Some(bits) = blasted.bv_map.get(&t) {
-                let mut v = 0u64;
-                for (i, &b) in bits.iter().enumerate() {
-                    if lit_val(b) {
-                        v |= 1 << i;
+            match bv_map.get(&t) {
+                Some(bits) if in_scope(t) => {
+                    let mut v = 0u64;
+                    for (i, &b) in bits.iter().enumerate() {
+                        if lit_val(b) {
+                            v |= 1 << i;
+                        }
                     }
+                    values.insert(t, Value::Bv(v));
                 }
-                values.insert(t, Value::Bv(v));
-            } else {
-                values.insert(t, Value::Bv(0));
+                _ => {
+                    dont_care.insert(t);
+                }
             }
         }
-        Model { values }
+        Model { values, dont_care }
     }
 
     /// Construct a model directly from variable assignments (for tests).
     pub fn from_values(values: HashMap<TermId, Value>) -> Model {
-        Model { values }
+        Model {
+            values,
+            dont_care: HashSet::new(),
+        }
+    }
+
+    /// True when the variable term never reached the solver, i.e. its
+    /// "value" in this model is an arbitrary default, not a witness.
+    pub fn is_dont_care(&self, t: TermId) -> bool {
+        self.dont_care.contains(&t)
     }
 
     /// Value of a boolean variable (or any term, by evaluation).
@@ -221,6 +278,234 @@ pub fn check_valid(pool: &mut TermPool, formula: TermId) -> Option<Model> {
     }
 }
 
+/// Opaque handle to a per-query activation literal created by
+/// [`IncrementalSession::activation`]. Passing it to
+/// [`IncrementalSession::solve_under`] switches the gated formula on for
+/// that query only.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Assumption(Lit);
+
+/// A persistent solving session: one encoding, many checks.
+///
+/// The session owns a [`TermPool`], an [`IncrementalBlaster`] whose
+/// `TermId`-keyed structural cache persists across queries, and one
+/// [`SatSolver`] that is never torn down. The intended protocol:
+///
+/// 1. build shared terms via [`IncrementalSession::pool_mut`] and assert
+///    them once with [`IncrementalSession::assert`];
+/// 2. per check, build the check-specific formula, wrap it with
+///    [`IncrementalSession::activation`], and decide it with
+///    [`IncrementalSession::solve_under`];
+/// 3. repeat — newly-created terms are bit-blasted incrementally (only
+///    the not-yet-encoded nodes are lowered), new clauses are fed to the
+///    live solver, and learnt clauses from earlier checks prune the
+///    search for later ones.
+///
+/// Soundness of reuse: an activation clause `!a ∨ f` is vacuous unless
+/// `a` is assumed, assumptions never enter the clause database (they are
+/// decided, not asserted), and Tseitin definitions here are full
+/// bi-implications — so the clause set is one consistent theory shared by
+/// every query, and anything learnt from it is valid for all of them.
+pub struct IncrementalSession {
+    pool: TermPool,
+    blaster: IncrementalBlaster,
+    sat: SatSolver,
+    /// Clauses of `blaster.cnf()` already fed to `sat`.
+    fed: usize,
+    /// Assumption solves posed so far.
+    solves: u64,
+    /// Encoding time accrued since the last solve (reported in the next
+    /// solve's stats so per-check stats stay meaningful).
+    pending_encode: Duration,
+    /// Terms asserted unconditionally (part of every query's formula).
+    asserted: Vec<TermId>,
+    /// Gated term behind each activation literal, so a solve can
+    /// reconstruct exactly which formula the posed query consists of
+    /// (assertions + the assumed activations' terms) and mark every
+    /// other variable don't-care in the model.
+    gated: HashMap<Lit, TermId>,
+}
+
+impl Default for IncrementalSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalSession {
+    /// An empty session.
+    pub fn new() -> Self {
+        IncrementalSession {
+            pool: TermPool::new(),
+            blaster: IncrementalBlaster::new(),
+            sat: SatSolver::new(0),
+            fed: 0,
+            solves: 0,
+            pending_encode: Duration::ZERO,
+            asserted: Vec::new(),
+            gated: HashMap::new(),
+        }
+    }
+
+    /// The session's term pool.
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Mutable access to the term pool, for building formulas.
+    pub fn pool_mut(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    /// Number of assumption solves posed so far.
+    pub fn num_solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Assert a boolean term unconditionally (shared by every subsequent
+    /// query on this session).
+    pub fn assert(&mut self, t: TermId) {
+        debug_assert_eq!(self.pool.sort(t), Sort::Bool, "assertions must be boolean");
+        let t0 = Instant::now();
+        self.blaster.assert_true(&self.pool, t);
+        self.asserted.push(t);
+        self.pending_encode += t0.elapsed();
+    }
+
+    /// Gate a boolean term behind a fresh activation literal: the term is
+    /// bit-blasted now (cached sub-structure reused), but only constrains
+    /// queries that pass the returned [`Assumption`] to
+    /// [`IncrementalSession::solve_under`].
+    pub fn activation(&mut self, t: TermId) -> Assumption {
+        debug_assert_eq!(self.pool.sort(t), Sort::Bool, "activations must be boolean");
+        let t0 = Instant::now();
+        let l = self.blaster.blast_bool(&self.pool, t);
+        let act = self.blaster.fresh_lit();
+        self.blaster.add_clause(vec![!act, l]);
+        self.gated.insert(act, t);
+        self.pending_encode += t0.elapsed();
+        Assumption(act)
+    }
+
+    /// Decide the session's assertions plus the gated formulas of the
+    /// given assumptions. Statistics cover this query: sizes are the
+    /// session's cumulative encoding, SAT counters are deltas.
+    pub fn solve_under(&mut self, assumptions: &[Assumption]) -> (SatResult, SolverStats) {
+        let t0 = Instant::now();
+        self.sync();
+        let sync_time = t0.elapsed();
+        let before = self.sat.stats();
+        let lits: Vec<Lit> = assumptions.iter().map(|a| a.0).collect();
+        let t1 = Instant::now();
+        let outcome = self.sat.solve_under_assumptions(&lits);
+        let solve_time = t1.elapsed();
+        let after = self.sat.stats();
+        let stats = SolverStats {
+            num_vars: self.blaster.cnf().num_vars() as u64,
+            num_clauses: self.blaster.cnf().num_clauses() as u64,
+            encode_time: self.pending_encode + sync_time,
+            solve_time,
+            sat: SatStats {
+                decisions: after.decisions - before.decisions,
+                propagations: after.propagations - before.propagations,
+                conflicts: after.conflicts - before.conflicts,
+                restarts: after.restarts - before.restarts,
+                learnts: after.learnts,
+            },
+        };
+        self.pending_encode = Duration::ZERO;
+        self.solves += 1;
+        let result = match outcome {
+            SolveOutcome::Sat => {
+                // The blast maps cover every query this session has seen;
+                // the model of *this* query must only witness variables in
+                // its own formula (assertions + assumed activations).
+                let roots: Vec<TermId> = self
+                    .asserted
+                    .iter()
+                    .copied()
+                    .chain(
+                        assumptions
+                            .iter()
+                            .filter_map(|a| self.gated.get(&a.0).copied()),
+                    )
+                    .collect();
+                let witnessed = reachable_terms(&self.pool, &roots);
+                SatResult::Sat(Model::from_maps(
+                    &self.pool,
+                    self.blaster.bool_map(),
+                    self.blaster.bv_map(),
+                    &self.sat,
+                    Some(&witnessed),
+                ))
+            }
+            SolveOutcome::Unsat => SatResult::Unsat,
+        };
+        (result, stats)
+    }
+
+    /// The subset of the last solve's assumptions shown inconsistent
+    /// (valid after an `Unsat`; empty when the asserted base itself is
+    /// unsatisfiable).
+    pub fn failed_assumptions(&self) -> Vec<Assumption> {
+        self.sat
+            .failed_assumptions()
+            .iter()
+            .map(|&l| Assumption(l))
+            .collect()
+    }
+
+    /// Feed clauses and variables created since the last solve into the
+    /// live SAT instance.
+    fn sync(&mut self) {
+        self.sat.ensure_num_vars(self.blaster.cnf().num_vars());
+        let clauses = self.blaster.cnf().clauses();
+        while self.fed < clauses.len() {
+            self.sat.add_clause(clauses[self.fed].clone());
+            self.fed += 1;
+        }
+    }
+}
+
+/// Every term reachable from `roots` in the pool's DAG (the cone of the
+/// formula they span). Used to scope a shared session's model to one
+/// query's variables.
+fn reachable_terms(pool: &TermPool, roots: &[TermId]) -> HashSet<TermId> {
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut stack: Vec<TermId> = roots.to_vec();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t) {
+            continue;
+        }
+        match pool.term(t) {
+            Term::True
+            | Term::False
+            | Term::BoolVar(_)
+            | Term::BvVar { .. }
+            | Term::BvConst { .. } => {}
+            Term::Not(a) | Term::BvNot(a) => stack.push(*a),
+            Term::BvExtract { arg, .. } | Term::BvLshrConst { arg, .. } => stack.push(*arg),
+            Term::And(parts) | Term::Or(parts) => stack.extend(parts.iter().copied()),
+            Term::Ite(c, a, b) => {
+                stack.push(*c);
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Term::BvEq(a, b)
+            | Term::BvUlt(a, b)
+            | Term::BvUle(a, b)
+            | Term::BvAnd(a, b)
+            | Term::BvOr(a, b)
+            | Term::BvXor(a, b)
+            | Term::BvAdd(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+    seen
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,15 +574,143 @@ mod tests {
     fn unconstrained_vars_get_default_values() {
         let mut p = TermPool::new();
         let a = p.bool_var("a");
+        let b = p.bool_var("b");
         let x = p.bv_var("x", 8);
-        let t = p.tru();
-        match solve(&p, &[t]) {
+        match solve(&p, &[a]) {
             SatResult::Sat(m) => {
-                assert_eq!(m.eval_bool(&p, a), Some(false));
+                // `a` is witnessed; `b` and `x` never reached the solver:
+                // they evaluate to the defaults but are don't-care.
+                assert_eq!(m.eval_bool(&p, a), Some(true));
+                assert!(!m.is_dont_care(a));
+                assert_eq!(m.eval_bool(&p, b), Some(false));
+                assert!(m.is_dont_care(b));
                 assert_eq!(m.eval_bv(&p, x), Some(0));
+                assert!(m.is_dont_care(x));
             }
             SatResult::Unsat => panic!(),
         }
+    }
+
+    #[test]
+    fn incremental_session_matches_fresh_solves() {
+        // One encoding, three checks: 10 < x, x < 20 asserted; per-check
+        // pin x to a value and compare against one-shot solving.
+        let mut sess = IncrementalSession::new();
+        let x = sess.pool_mut().bv_var("x", 8);
+        let lo = sess.pool_mut().bv_const(10, 8);
+        let hi = sess.pool_mut().bv_const(20, 8);
+        let c1 = sess.pool_mut().bv_ult(lo, x);
+        let c2 = sess.pool_mut().bv_ult(x, hi);
+        sess.assert(c1);
+        sess.assert(c2);
+        for v in [5u64, 15, 25] {
+            let cv = sess.pool_mut().bv_const(v, 8);
+            let eq = sess.pool_mut().bv_eq(x, cv);
+            let a = sess.activation(eq);
+            let (res, stats) = sess.solve_under(&[a]);
+            let expect = v > 10 && v < 20;
+            assert_eq!(res.is_sat(), expect, "x = {v}");
+            assert!(stats.num_vars > 0);
+            if let SatResult::Sat(m) = res {
+                assert_eq!(m.eval_bv(sess.pool(), x), Some(v));
+            }
+        }
+        assert_eq!(sess.num_solves(), 3);
+    }
+
+    #[test]
+    fn session_unsat_core_names_the_failing_activations() {
+        let mut sess = IncrementalSession::new();
+        let a = sess.pool_mut().bool_var("a");
+        let b = sess.pool_mut().bool_var("b");
+        let na = sess.pool_mut().not(a);
+        let ga = sess.activation(a);
+        let gna = sess.activation(na);
+        let gb = sess.activation(b);
+        let (res, _) = sess.solve_under(&[ga, gb, gna]);
+        assert!(!res.is_sat());
+        let core = sess.failed_assumptions();
+        assert!(core.contains(&ga) && core.contains(&gna));
+        assert!(!core.contains(&gb), "b is irrelevant to the conflict");
+        // The same session still answers consistent queries.
+        let (res2, _) = sess.solve_under(&[ga, gb]);
+        assert!(res2.is_sat());
+    }
+
+    #[test]
+    fn session_models_scope_to_the_posed_query() {
+        // Two gated queries over disjoint variables: query 2's model must
+        // not claim a witnessed value for query 1's variable even though
+        // the shared session has a literal for it.
+        let mut sess = IncrementalSession::new();
+        let a = sess.pool_mut().bool_var("a");
+        let b = sess.pool_mut().bool_var("b");
+        let ga = sess.activation(a);
+        let gb = sess.activation(b);
+        let (r1, _) = sess.solve_under(&[ga]);
+        match r1 {
+            SatResult::Sat(m) => {
+                assert_eq!(m.eval_bool(sess.pool(), a), Some(true));
+                assert!(!m.is_dont_care(a));
+                assert!(m.is_dont_care(b), "b is not part of query 1");
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+        let (r2, _) = sess.solve_under(&[gb]);
+        match r2 {
+            SatResult::Sat(m) => {
+                assert_eq!(m.eval_bool(sess.pool(), b), Some(true));
+                assert!(!m.is_dont_care(b));
+                assert!(
+                    m.is_dont_care(a),
+                    "a was encoded for query 1 only; query 2 must not witness it"
+                );
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn session_base_unsat_has_empty_core() {
+        let mut sess = IncrementalSession::new();
+        let a = sess.pool_mut().bool_var("a");
+        let na = sess.pool_mut().not(a);
+        sess.assert(a);
+        sess.assert(na);
+        let g = sess.activation(a);
+        let (res, _) = sess.solve_under(&[g]);
+        assert!(!res.is_sat());
+        assert!(sess.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn session_grows_after_solves() {
+        // Clause addition after a solve: the hallmark of incrementality.
+        let mut sess = IncrementalSession::new();
+        let x = sess.pool_mut().bv_var("x", 8);
+        let c10 = sess.pool_mut().bv_const(10, 8);
+        let lt = sess.pool_mut().bv_ult(x, c10);
+        sess.assert(lt);
+        let (r1, _) = sess.solve_under(&[]);
+        assert!(r1.is_sat());
+        // Strengthen: x > 3 (new terms blasted after the first solve).
+        let c3 = sess.pool_mut().bv_const(3, 8);
+        let gt = sess.pool_mut().bv_ult(c3, x);
+        sess.assert(gt);
+        let (r2, _) = sess.solve_under(&[]);
+        match r2 {
+            SatResult::Sat(m) => {
+                let v = m.eval_bv(sess.pool(), x).unwrap();
+                assert!(v > 3 && v < 10, "witness {v}");
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+        // Contradictory permanent assertion: unsat forever after.
+        let c2t = sess.pool_mut().bv_const(2, 8);
+        let eq2 = sess.pool_mut().bv_eq(x, c2t);
+        sess.assert(eq2);
+        let (r3, _) = sess.solve_under(&[]);
+        assert!(!r3.is_sat());
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //!    a random concrete assignment is asserted via equalities and the model
 //!    returned by the solver evaluates every sub-term to the same value the
 //!    concrete evaluator computes.
+//! 3. Assumption-based incremental solving agrees with fresh per-query
+//!    solving: one persistent instance answering a family of queries under
+//!    assumptions returns the same answers as a cold solver per query, and
+//!    reported unsat cores are genuinely unsatisfiable subsets.
 
 use proptest::prelude::*;
-use smt::{solve, Cnf, Lit, SatResult, SatSolver, SolveOutcome, TermId, TermPool, Var};
+use smt::{
+    solve, Cnf, IncrementalSession, Lit, SatResult, SatSolver, SolveOutcome, TermId, TermPool, Var,
+};
 
 // ---------------------------------------------------------------------------
 // CDCL vs brute force
@@ -66,6 +72,95 @@ proptest! {
         let mut s = SatSolver::from_cnf(&cnf);
         let got = s.solve() == SolveOutcome::Sat;
         prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental assumption solving vs fresh solving
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One persistent instance, many assumption queries == one cold
+    /// instance per query. Also checks core sanity: the reported failing
+    /// assumptions are a subset of the given ones and are themselves
+    /// unsatisfiable with the clause set.
+    #[test]
+    fn assumption_solving_matches_fresh_solving(
+        cnf in arb_cnf(8, 20),
+        queries in prop::collection::vec(
+            prop::collection::vec((0u32..8, any::<bool>()), 0..=3), 1..=5),
+    ) {
+        let mut inc = SatSolver::from_cnf(&cnf);
+        for q in &queries {
+            let assumptions: Vec<Lit> =
+                q.iter().map(|&(v, s)| Var(v).lit(s)).collect();
+            // Fresh reference: the cnf plus one unit clause per assumption.
+            let mut reference = cnf.clone();
+            for &l in &assumptions {
+                reference.add_clause(vec![l]);
+            }
+            let expected = brute_force_sat(&reference);
+            let got = inc.solve_under_assumptions(&assumptions) == SolveOutcome::Sat;
+            prop_assert_eq!(got, expected, "assumptions {:?}", assumptions);
+            if got {
+                let assignment: Vec<bool> =
+                    (0..cnf.num_vars()).map(|i| inc.value(Var(i))).collect();
+                prop_assert!(cnf.eval(&assignment), "model violates the clauses");
+                for &l in &assumptions {
+                    prop_assert_eq!(
+                        assignment[l.var().0 as usize], l.is_pos(),
+                        "model violates assumption {:?}", l
+                    );
+                }
+            } else {
+                let core = inc.failed_assumptions().to_vec();
+                for l in &core {
+                    prop_assert!(assumptions.contains(l), "core lit {:?} not assumed", l);
+                }
+                // The core (or the bare clause set when empty) is unsat.
+                let mut with_core = cnf.clone();
+                for &l in &core {
+                    with_core.add_clause(vec![l]);
+                }
+                prop_assert!(!brute_force_sat(&with_core), "core is not a conflict");
+            }
+        }
+    }
+
+    /// The session facade agrees with one-shot term solving when the same
+    /// query set is posed as activation-gated assumption solves.
+    #[test]
+    fn session_matches_one_shot_term_solving(
+        base in 0u64..200, bound in 1u64..255,
+        probes in prop::collection::vec(0u64..256, 1..=4),
+    ) {
+        let mut sess = IncrementalSession::new();
+        let x = sess.pool_mut().bv_var("x", 8);
+        let lo = sess.pool_mut().bv_const(base, 8);
+        let hi = sess.pool_mut().bv_const(bound, 8);
+        let above = sess.pool_mut().bv_ule(lo, x);
+        let below = sess.pool_mut().bv_ult(x, hi);
+        sess.assert(above);
+        sess.assert(below);
+        for &v in &probes {
+            let cv = sess.pool_mut().bv_const(v, 8);
+            let eq = sess.pool_mut().bv_eq(x, cv);
+            let act = sess.activation(eq);
+            let (got, _) = sess.solve_under(&[act]);
+
+            let mut pool = TermPool::new();
+            let fx = pool.bv_var("x", 8);
+            let flo = pool.bv_const(base, 8);
+            let fhi = pool.bv_const(bound, 8);
+            let fabove = pool.bv_ule(flo, fx);
+            let fbelow = pool.bv_ult(fx, fhi);
+            let fcv = pool.bv_const(v, 8);
+            let feq = pool.bv_eq(fx, fcv);
+            let fresh = solve(&pool, &[fabove, fbelow, feq]);
+            prop_assert_eq!(got.is_sat(), fresh.is_sat(), "probe {}", v);
+        }
     }
 }
 

@@ -1,0 +1,408 @@
+//! Incremental assumption-based solving must be invisible in results.
+//!
+//! The engine's default execution path groups checks that share an
+//! encoding base and solves each group on one persistent SMT session
+//! (assumption queries + carried learnt clauses). These tests pin the
+//! soundness contract end-to-end: for randomly generated WANs — passing
+//! and failing alike — the incremental engine's outcomes, rendered
+//! reports and failure listings are byte-identical to fresh per-check
+//! solving, in sequential and orchestrated mode. They also cover the
+//! failure-result disk cache: spilled failures answer warm runs without
+//! re-proving, and tampered/stale entries are rejected by re-validation
+//! and re-proved instead of replayed.
+
+use lightyear::engine::{CheckCache, RunMode, Verifier};
+use lightyear::symbolic::ConcreteRoute;
+use lightyear::Report;
+use netgen::mutate;
+use netgen::wan::{self, WanParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn assert_reports_byte_identical(topo: &bgp_model::Topology, a: &Report, b: &Report) {
+    assert_eq!(a.num_checks(), b.num_checks());
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(x.check.id, y.check.id);
+        assert_eq!(x.check.kind, y.check.kind);
+        assert_eq!(
+            x.result.passed(),
+            y.result.passed(),
+            "check #{}",
+            x.check.id
+        );
+    }
+    assert_eq!(a.to_string(), b.to_string());
+    assert_eq!(a.format_failures(topo), b.format_failures(topo));
+}
+
+/// Verify one scenario three ways — fresh per-check, incremental
+/// sequential, incremental orchestrated — and demand byte-identical
+/// reports.
+fn compare_modes(s: &wan::Scenario) {
+    let topo = &s.network.topology;
+    let (_, q) = s.peering_predicates().into_iter().next().unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    let fresh = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_incremental(false)
+        .verify_safety_multi(&props, &inv);
+    let incremental = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &fresh, &incremental);
+
+    let orchestrated = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &fresh, &orchestrated);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn incremental_matches_fresh_on_random_wans(
+        regions in 1usize..3,
+        routers_per_region in 1usize..3,
+        edge_routers in 1usize..4,
+        peers_per_edge in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let s = wan::build(&WanParams {
+            regions,
+            routers_per_region,
+            edge_routers,
+            peers_per_edge,
+            seed,
+        });
+        compare_modes(&s);
+    }
+}
+
+/// Failing outcomes must agree too: inject the ad-hoc AS-path bug and
+/// compare the three engines on a network with a real violation.
+#[test]
+fn incremental_matches_fresh_on_failing_wan() {
+    let params = WanParams {
+        regions: 2,
+        routers_per_region: 2,
+        edge_routers: 2,
+        peers_per_edge: 2,
+        seed: 7,
+    };
+    let mut configs = wan::configs(&params);
+    mutate::drop_aspath_filters(&mut configs, "EDGE1", "FROM-PEER1").unwrap();
+    let s = wan::build_from_configs(&params, configs);
+    let topo = &s.network.topology;
+    let (_, q) = s
+        .peering_predicates()
+        .into_iter()
+        .find(|(n, _)| n == "no-private-asn")
+        .unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    let fresh = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_incremental(false)
+        .verify_safety_multi(&props, &inv);
+    assert!(!fresh.all_passed(), "mutation must introduce a violation");
+
+    let incremental = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &fresh, &incremental);
+
+    let orchestrated = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &fresh, &orchestrated);
+}
+
+/// Failures spill to the cache and answer warm runs without re-proving
+/// (the ROADMAP follow-up this PR closes): the warm run executes zero
+/// solver calls yet still reports the violation.
+#[test]
+fn spilled_failures_answer_warm_runs() {
+    let params = WanParams {
+        regions: 1,
+        routers_per_region: 1,
+        edge_routers: 2,
+        peers_per_edge: 2,
+        seed: 3,
+    };
+    let mut configs = wan::configs(&params);
+    mutate::drop_aspath_filters(&mut configs, "EDGE1", "FROM-PEER1").unwrap();
+    let s = wan::build_from_configs(&params, configs);
+    let topo = &s.network.topology;
+    let (_, q) = s
+        .peering_predicates()
+        .into_iter()
+        .find(|(n, _)| n == "no-private-asn")
+        .unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    let dir = std::env::temp_dir().join(format!("ly-failspill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cache = Arc::new(CheckCache::new());
+    let verifier = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(cache.clone());
+    let cold = verifier.verify_safety_multi(&props, &inv);
+    assert!(!cold.all_passed());
+    let written = lightyear::save_check_cache(&cache, &dir).unwrap();
+    assert!(written > 0);
+
+    // Reload from disk into a brand-new cache: failures are durable now.
+    let (reloaded, loaded) = lightyear::load_check_cache(&dir).unwrap();
+    assert_eq!(loaded, written, "every spilled entry must reload");
+    let warm_verifier = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(reloaded);
+    let warm = warm_verifier.verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &cold, &warm);
+    assert_eq!(
+        warm.exec.executed, 0,
+        "valid spilled failures must answer the warm run"
+    );
+    assert_eq!(warm.exec.invalidated, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A forged entry whose *input* genuinely violates but whose verdict
+/// details (rejected flag, output route) were tampered with must also be
+/// rejected: re-validation checks the whole counterexample against what
+/// the live transfer actually does, not just that the input still fails.
+#[test]
+fn forged_verdict_details_are_revalidated_not_replayed() {
+    let params = WanParams {
+        regions: 1,
+        routers_per_region: 1,
+        edge_routers: 2,
+        peers_per_edge: 2,
+        seed: 3,
+    };
+    let mut configs = wan::configs(&params);
+    mutate::drop_aspath_filters(&mut configs, "EDGE1", "FROM-PEER1").unwrap();
+    let s = wan::build_from_configs(&params, configs);
+    let topo = &s.network.topology;
+    let (_, q) = s
+        .peering_predicates()
+        .into_iter()
+        .find(|(n, _)| n == "no-private-asn")
+        .unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    let dir = std::env::temp_dir().join(format!("ly-forgedspill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(CheckCache::new());
+    let verifier = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(cache.clone());
+    let cold = verifier.verify_safety_multi(&props, &inv);
+    assert!(!cold.all_passed());
+    lightyear::save_check_cache(&cache, &dir).unwrap();
+
+    // Tamper: keep each failure's input but flip it to a rejection with
+    // no output — a fabricated verdict over a genuinely-failing input.
+    let path = dir.join("cache.json");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let mut forged_any = false;
+    let tampered = match doc {
+        serde_json::Value::Object(fields) => serde_json::Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "entries" {
+                        return (k, v);
+                    }
+                    let serde_json::Value::Object(entries) = v else {
+                        panic!("entries must be an object");
+                    };
+                    let out: Vec<(String, serde_json::Value)> = entries
+                        .into_iter()
+                        .map(|(fp, entry)| {
+                            if entry["pass"].as_bool() == Some(false) {
+                                forged_any = true;
+                                let input = entry["input"].clone();
+                                (
+                                    fp,
+                                    serde_json::json!({
+                                        "pass": false,
+                                        "vars": 1,
+                                        "clauses": 1,
+                                        "rejected": true,
+                                        "input": input,
+                                        "output": serde_json::Value::Null,
+                                    }),
+                                )
+                            } else {
+                                (fp, entry)
+                            }
+                        })
+                        .collect();
+                    (k, serde_json::Value::Object(out))
+                })
+                .collect(),
+        ),
+        other => other,
+    };
+    assert!(forged_any, "the cold run must have spilled a failure");
+    std::fs::write(&path, serde_json::to_string_pretty(&tampered).unwrap()).unwrap();
+
+    let (reloaded, _) = lightyear::load_check_cache(&dir).unwrap();
+    let warm = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(reloaded)
+        .verify_safety_multi(&props, &inv);
+    // The forged verdict is discarded and the check re-proved: the warm
+    // report matches the cold one byte-for-byte (true output route, not
+    // the fabricated rejection).
+    assert_reports_byte_identical(topo, &cold, &warm);
+    assert!(warm.exec.invalidated > 0, "{:?}", warm.exec);
+    assert!(warm.exec.executed > 0, "{:?}", warm.exec);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tampered or stale failure entries must not be replayed: re-validation
+/// pins the spilled counterexample against the live encoding, rejects it,
+/// and re-proves the check.
+#[test]
+fn stale_cached_failures_are_revalidated_not_replayed() {
+    let s = wan::build(&WanParams {
+        regions: 1,
+        routers_per_region: 1,
+        edge_routers: 2,
+        peers_per_edge: 2,
+        seed: 11,
+    });
+    let topo = &s.network.topology;
+    let (_, q) = s.peering_predicates().into_iter().next().unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    let dir = std::env::temp_dir().join(format!("ly-stalespill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(CheckCache::new());
+    let verifier = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(cache.clone());
+    let cold = verifier.verify_safety_multi(&props, &inv);
+    assert!(cold.all_passed());
+    lightyear::save_check_cache(&cache, &dir).unwrap();
+
+    // Tamper with the spill: rewrite every passing entry as a failure
+    // carrying a fabricated counterexample.
+    let bogus = ConcreteRoute {
+        route: bgp_model::Route::new("203.0.113.0/24".parse().unwrap()),
+        comm_other: false,
+        aspath_matches: Default::default(),
+        ghosts: Default::default(),
+    };
+    let path = dir.join("cache.json");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let tampered = match doc {
+        serde_json::Value::Object(fields) => serde_json::Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "entries" {
+                        return (k, v);
+                    }
+                    let serde_json::Value::Object(entries) = v else {
+                        panic!("entries must be an object");
+                    };
+                    let forged: Vec<(String, serde_json::Value)> = entries
+                        .into_iter()
+                        .map(|(fp, _)| {
+                            (
+                                fp,
+                                serde_json::json!({
+                                    "pass": false,
+                                    "vars": 1,
+                                    "clauses": 1,
+                                    "rejected": false,
+                                    "input": serde_json::to_value(&bogus),
+                                    "output": serde_json::Value::Null,
+                                }),
+                            )
+                        })
+                        .collect();
+                    (k, serde_json::Value::Object(forged))
+                })
+                .collect(),
+        ),
+        other => other,
+    };
+    std::fs::write(&path, serde_json::to_string_pretty(&tampered).unwrap()).unwrap();
+
+    let (reloaded, loaded) = lightyear::load_check_cache(&dir).unwrap();
+    assert!(loaded > 0, "forged entries must decode");
+    let warm_verifier = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_cache(reloaded);
+    let warm = warm_verifier.verify_safety_multi(&props, &inv);
+    // Every forged failure is rejected by re-validation and re-proved.
+    assert_reports_byte_identical(topo, &cold, &warm);
+    assert!(warm.all_passed(), "forged failures must not be replayed");
+    assert!(
+        warm.exec.invalidated > 0,
+        "re-validation must fire: {:?}",
+        warm.exec
+    );
+    assert!(warm.exec.executed > 0, "rejected entries must be re-proved");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The incremental engine actually shares work: whenever more checks run
+/// than there are encoding bases (sequential mode, or orchestrated with
+/// dedup disabled), warm assumption solves must be reported.
+#[test]
+fn grouping_reports_warm_assumption_solves() {
+    let s = wan::build(&WanParams {
+        regions: 2,
+        routers_per_region: 2,
+        edge_routers: 3,
+        peers_per_edge: 2,
+        seed: 5,
+    });
+    let topo = &s.network.topology;
+    let (_, q) = s.peering_predicates().into_iter().next().unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+
+    // Sequential incremental: every check is an assumption solve on its
+    // base group's session.
+    let seq = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .verify_safety_multi(&props, &inv);
+    assert!(seq.all_passed());
+    assert!(seq.exec.groups > 0, "{:?}", seq.exec);
+    assert!(
+        seq.exec.assumption_solves > 0,
+        "template-sharing WAN checks must share sessions: {:?}",
+        seq.exec
+    );
+
+    // Orchestrated without structural dedup: the duplicates become warm
+    // assumption solves instead of fresh instances.
+    let par = Verifier::new(topo, &s.network.policy)
+        .with_ghost(s.from_peer_ghost())
+        .with_mode(RunMode::Parallel)
+        .with_dedup(false)
+        .verify_safety_multi(&props, &inv);
+    assert!(par.all_passed());
+    assert!(par.exec.groups > 0, "{:?}", par.exec);
+    assert!(par.exec.assumption_solves > 0, "{:?}", par.exec);
+    assert!(par.exec.groups <= par.exec.executed, "{:?}", par.exec);
+    let summary = par.exec.summary();
+    assert!(summary.contains("incremental:"), "{summary}");
+}
