@@ -5,6 +5,9 @@
 //!   lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]
 //!                    [--jobs N] [--no-dedup] [--no-incremental]
 //!                    [--cache] [--cache-dir DIR] [--cache-cap N]
+//!   lightyear watch  --configs <DIR> --spec <FILE> [--baseline DIR]
+//!                    [--once] [--interval-ms N] [--max-rounds N]
+//!   lightyear plan   --spec <FILE> <DIR0> <DIR1> [...]
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
 //!   lightyear spec-template
@@ -13,6 +16,21 @@
 //!   verify          parse every *.cfg/*.conf in DIR, lower, and run all
 //!                   safety properties in the spec; exit code 1 when any
 //!                   check fails
+//!   watch           long-lived re-verify daemon: verify DIR once, then
+//!                   re-check on every config change, re-solving only the
+//!                   checks the semantic diff dirtied (warm cross-run SMT
+//!                   sessions + carried result cache). Each round prints a
+//!                   stats line:
+//!                     round 1: delta [EDGE0: route-map FROM-PEER0 changed];
+//!                     dirty 1/220 checks (13 candidates), 219 cached, ...
+//!                   --baseline DIR verifies DIR as round zero instead of
+//!                   the watched directory; --once runs a single delta
+//!                   round (baseline -> configs) and exits — the
+//!                   migration-step / CI smoke shape
+//!   plan            Snowcap/Chameleon-style migration-plan verification:
+//!                   verify DIR0 fully, then every subsequent directory as
+//!                   a delta round, proving each intermediate
+//!                   configuration safe; exit code 1 if any step fails
 //!   parse           parse + lower only; print the topology summary and
 //!                   lowering warnings
 //!   lint            run rcc-style best-practice lints; exit code 1 on
@@ -45,6 +63,7 @@
 //! ```
 
 mod spec;
+mod watch;
 
 use bgp_config::{lower, parse_config, Network};
 use lightyear::engine::{RunMode, Verifier};
@@ -57,6 +76,9 @@ fn usage() -> ExitCode {
         "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n    \
          [--jobs N] [--no-dedup] [--no-incremental] [--cache] [--cache-dir <DIR>]\n    \
          [--cache-cap N]\n  \
+         lightyear watch --configs <DIR> --spec <FILE> [--baseline <DIR>] [--once]\n    \
+         [--interval-ms N] [--max-rounds N]\n  \
+         lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
     ExitCode::from(2)
@@ -69,6 +91,8 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "verify" => cmd_verify(&args[1..]),
+        "watch" => watch::cmd_watch(&args[1..]),
+        "plan" => watch::cmd_plan(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "spec-template" => {
@@ -79,7 +103,8 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_configs(dir: &Path) -> Result<Vec<bgp_config::ConfigAst>, String> {
+/// The sorted configuration files of a directory (*.cfg/*.conf/*.txt).
+fn config_paths(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {dir:?}: {e}"))?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -94,8 +119,12 @@ fn load_configs(dir: &Path) -> Result<Vec<bgp_config::ConfigAst>, String> {
     if entries.is_empty() {
         return Err(format!("no *.cfg/*.conf/*.txt files in {dir:?}"));
     }
+    Ok(entries)
+}
+
+fn load_configs(dir: &Path) -> Result<Vec<bgp_config::ConfigAst>, String> {
     let mut configs = Vec::new();
-    for p in &entries {
+    for p in &config_paths(dir)? {
         let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"))?;
         let ast = parse_config(&text).map_err(|e| format!("{}: {e}", p.display()))?;
         configs.push(ast);
@@ -144,6 +173,11 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 fn load_network(dir: &Path) -> Result<Network, String> {
     let configs = load_configs(dir)?;
     lower(&configs).map_err(|e| e.to_string())
+}
+
+fn load_spec(path: &str) -> Result<Spec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad spec: {e}"))
 }
 
 fn cmd_parse(args: &[String]) -> ExitCode {
@@ -246,17 +280,10 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec_text = match std::fs::read_to_string(&spec_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {spec_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let spec: Spec = match serde_json::from_str(&spec_text) {
+    let spec: Spec = match load_spec(&spec_path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: bad spec: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };

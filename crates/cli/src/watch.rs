@@ -1,0 +1,365 @@
+//! The `watch` daemon and `plan` migration-step modes: long-lived
+//! delta-scoped re-verification built on `delta::diff_configs` (what
+//! changed), `lightyear::impact` (what it can dirty) and
+//! `lightyear::ReverifyEngine` (warm cross-run sessions + carried result
+//! cache).
+
+use crate::spec::Spec;
+use crate::{config_paths, flag_value, load_configs, load_spec, usage};
+use bgp_config::{lower, parse_config, ConfigAst};
+use delta::{diff_configs, ConfigDelta};
+use lightyear::engine::Verifier;
+use lightyear::reverify::{ReverifyEngine, ReverifyStats};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Per-spec-property engines plus the currently-accepted configuration
+/// set, carried across rounds.
+struct DeltaState {
+    spec: Spec,
+    engines: Vec<ReverifyEngine>,
+    current: Vec<ConfigAst>,
+}
+
+/// What one round produced (stats merged over every property).
+struct RoundOutcome {
+    passed: bool,
+    stats: ReverifyStats,
+    delta: Option<ConfigDelta>,
+    elapsed: Duration,
+}
+
+fn merge(into: &mut ReverifyStats, s: &ReverifyStats) {
+    into.total += s.total;
+    into.dirty += s.dirty;
+    into.candidates += s.candidates;
+    into.reused += s.reused;
+    into.invalidated += s.invalidated;
+    into.sessions_reused += s.sessions_reused;
+    into.sessions_created += s.sessions_created;
+    into.universe_reset |= s.universe_reset;
+}
+
+impl DeltaState {
+    fn new(spec: Spec) -> DeltaState {
+        let engines = spec.safety.iter().map(|_| ReverifyEngine::new()).collect();
+        DeltaState {
+            spec,
+            engines,
+            current: Vec::new(),
+        }
+    }
+
+    /// Verify `asts`, re-solving only what changed since the accepted
+    /// set (`full` skips the diff: round zero). On success the set is
+    /// accepted as current; on error (parse/lower/spec) the previous
+    /// state is kept so a daemon survives transient bad writes.
+    fn round(&mut self, asts: Vec<ConfigAst>, full: bool) -> Result<RoundOutcome, String> {
+        let t0 = Instant::now();
+        let delta = (!full).then(|| diff_configs(&self.current, &asts));
+        let net = lower(&asts).map_err(|e| e.to_string())?;
+        let topo = &net.topology;
+        let mut verifier = Verifier::new(topo, &net.policy);
+        for g in &self.spec.ghosts {
+            verifier = verifier.with_ghost(g.resolve(topo).map_err(|e| e.to_string())?);
+        }
+        let changed: Option<Vec<String>> = delta.as_ref().map(ConfigDelta::changed_routers);
+        // Resolve the whole spec before advancing any engine: a round is
+        // all-or-nothing, so engine state and the accepted configuration
+        // set can never drift apart on a half-failed round.
+        let resolved: Vec<_> = self
+            .spec
+            .safety
+            .iter()
+            .map(|s| s.resolve(topo).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        let mut stats = ReverifyStats::default();
+        let mut passed = true;
+        for (engine, (s, (prop, inv))) in self
+            .engines
+            .iter_mut()
+            .zip(self.spec.safety.iter().zip(&resolved))
+        {
+            let (report, rstats) = engine.reverify(
+                &verifier,
+                std::slice::from_ref(prop),
+                inv,
+                changed.as_deref(),
+            );
+            merge(&mut stats, &rstats);
+            if !report.all_passed() {
+                passed = false;
+                println!("{}: VIOLATED", s.name);
+                print!("{}", report.format_failures(topo));
+            }
+        }
+        self.current = asts;
+        Ok(RoundOutcome {
+            passed,
+            stats,
+            delta,
+            elapsed: t0.elapsed(),
+        })
+    }
+}
+
+/// The per-round stats line (the daemon's primary output; the CI smoke
+/// test greps the `dirty <n>/<total>` token).
+fn round_line(label: &str, o: &RoundOutcome) -> String {
+    let delta = match &o.delta {
+        Some(d) => format!("delta {d}; ", d = d.summary()),
+        None => String::new(),
+    };
+    format!(
+        "{label}: {delta}{summary}; {verdict} ({elapsed:?})",
+        summary = o.stats.summary(),
+        verdict = if o.passed { "verified" } else { "VIOLATED" },
+        elapsed = o.elapsed,
+    )
+}
+
+pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
+    // Strict flags: a typo'd `--once` or `--max-rounds` must error, not
+    // silently turn a one-shot invocation into an infinite daemon.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--configs" | "--spec" | "--baseline" | "--interval-ms" | "--max-rounds" => i += 2,
+            "--once" => i += 1,
+            a => {
+                eprintln!("error: unknown watch option {a}");
+                return usage();
+            }
+        }
+    }
+    let (Some(dir), Some(spec_path)) = (flag_value(args, "--configs"), flag_value(args, "--spec"))
+    else {
+        return usage();
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let baseline = flag_value(args, "--baseline");
+    let interval = match flag_value(args, "--interval-ms").map(|v| v.parse::<u64>()) {
+        None => 750,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("error: --interval-ms needs a positive integer");
+            return usage();
+        }
+    };
+    let max_rounds = match flag_value(args, "--max-rounds").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => {
+            eprintln!("error: --max-rounds needs a positive integer");
+            return usage();
+        }
+    };
+
+    let spec = match load_spec(&spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut state = DeltaState::new(spec);
+
+    // Round zero: the baseline directory (the watched one by default).
+    let base_dir = baseline.clone().unwrap_or_else(|| dir.clone());
+    let mut ok = match load_configs(Path::new(&base_dir)).and_then(|a| state.round(a, true)) {
+        Ok(o) => {
+            println!("{}", round_line(&format!("baseline {base_dir}"), &o));
+            o.passed
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if once {
+        // One delta round baseline -> configs (when they differ sources).
+        if baseline.is_some() {
+            match load_configs(Path::new(&dir)).and_then(|a| state.round(a, false)) {
+                Ok(o) => {
+                    println!("{}", round_line("round 1", &o));
+                    ok &= o.passed;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return exit(ok);
+    }
+
+    println!("watch: polling {dir} every {interval}ms (ctrl-c to stop)");
+    let mut rounds = 0usize;
+    // The last snapshot that failed to verify (parse/lower/spec error):
+    // a bad state must fail its round exactly once — a scripted
+    // `--max-rounds` caller must neither hang on it nor read success —
+    // and must not be re-reported on every poll tick while unchanged.
+    let mut last_failed: Option<Snapshot> = None;
+    let mut last_err: Option<String> = None;
+    // The byte snapshot behind the accepted round: an idle tick is one
+    // directory read and a byte comparison, no re-parsing.
+    let mut accepted: Option<Snapshot> = None;
+    loop {
+        std::thread::sleep(Duration::from_millis(interval));
+        let first = match snapshot(Path::new(&dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                if last_err.as_ref() != Some(&e) {
+                    rounds += 1;
+                    eprintln!("watch: round {rounds}: {e}");
+                    ok = false;
+                    last_err = Some(e);
+                }
+                if max_rounds.is_some_and(|m| rounds >= m) {
+                    break;
+                }
+                continue;
+            }
+        };
+        last_err = None;
+        if accepted.as_ref() == Some(&first) || last_failed.as_ref() == Some(&first) {
+            continue;
+        }
+        // Something changed: demand a second identical read a beat
+        // later before verifying — editors truncate-then-write, and a
+        // half-saved file must neither burn a round nor be verified as
+        // intended.
+        std::thread::sleep(Duration::from_millis(STABILITY_MS));
+        match snapshot(Path::new(&dir)) {
+            Ok(second) if second == first => {}
+            _ => continue, // files in motion; retry next tick
+        }
+        let snap = first;
+        match parse_snapshot(&snap) {
+            Ok(asts) if asts == state.current => {
+                last_failed = None;
+                accepted = Some(snap);
+            }
+            Ok(asts) => {
+                rounds += 1;
+                match state.round(asts, false) {
+                    Ok(o) => {
+                        println!("{}", round_line(&format!("round {rounds}"), &o));
+                        ok = o.passed;
+                        last_failed = None;
+                        accepted = Some(snap);
+                    }
+                    Err(e) => {
+                        eprintln!("watch: round {rounds}: {e}");
+                        ok = false;
+                        last_failed = Some(snap);
+                    }
+                }
+            }
+            Err(e) => {
+                rounds += 1;
+                eprintln!("watch: round {rounds}: {e}");
+                ok = false;
+                last_failed = Some(snap);
+            }
+        }
+        if max_rounds.is_some_and(|m| rounds >= m) {
+            break;
+        }
+    }
+    exit(ok)
+}
+
+pub(crate) fn cmd_plan(args: &[String]) -> ExitCode {
+    let Some(spec_path) = flag_value(args, "--spec") else {
+        return usage();
+    };
+    // Positional arguments are the steps; unknown flags are rejected so
+    // a typo'd option's value can never be mistaken for a step
+    // directory (and silently verified as one).
+    let mut dirs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => i += 2,
+            a if a.starts_with("--") => {
+                eprintln!("error: unknown plan option {a}");
+                return usage();
+            }
+            a => {
+                dirs.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    if dirs.is_empty() {
+        return usage();
+    }
+    let spec = match load_spec(&spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut state = DeltaState::new(spec);
+    let mut all_ok = true;
+    for (step, d) in dirs.iter().enumerate() {
+        let outcome = load_configs(Path::new(d)).and_then(|a| state.round(a, step == 0));
+        match outcome {
+            Ok(o) => {
+                println!("{}", round_line(&format!("step {step} ({d})"), &o));
+                all_ok &= o.passed;
+            }
+            Err(e) => {
+                eprintln!("error: step {step} ({d}): {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "plan: {} steps, {}",
+        dirs.len(),
+        if all_ok {
+            "every intermediate configuration verified"
+        } else {
+            "UNSAFE — at least one intermediate configuration fails"
+        }
+    );
+    exit(all_ok)
+}
+
+/// One byte-level read of a directory's config files, keyed by path.
+type Snapshot = Vec<(String, Vec<u8>)>;
+
+/// Delay between the two reads of a change-confirmation snapshot.
+const STABILITY_MS: u64 = 25;
+
+fn snapshot(dir: &Path) -> Result<Snapshot, String> {
+    config_paths(dir)?
+        .into_iter()
+        .map(|p| {
+            std::fs::read(&p)
+                .map(|b| (p.display().to_string(), b))
+                .map_err(|e| format!("cannot read {p:?}: {e}"))
+        })
+        .collect()
+}
+
+fn parse_snapshot(snap: &Snapshot) -> Result<Vec<ConfigAst>, String> {
+    snap.iter()
+        .map(|(name, bytes)| {
+            parse_config(&String::from_utf8_lossy(bytes)).map_err(|e| format!("{name}: {e}"))
+        })
+        .collect()
+}
+
+fn exit(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -270,6 +270,226 @@ fn incremental_flag_switches_group_solving() {
 }
 
 #[test]
+fn watch_once_reports_dirty_subset_on_benign_edit() {
+    let base = tmpdir("watch-base");
+    write_net(&base, R2);
+    let edited = tmpdir("watch-edit");
+    // Benign semantic edit on R1 only: tweak local-pref in FROM-ISP1
+    // (the tag is still applied, so no-transit keeps holding).
+    let r1_edited = R1.replace(
+        " set community 100:1 additive\n",
+        " set community 100:1 additive\n set local-preference 120\n",
+    );
+    fs::write(edited.join("r1.cfg"), r1_edited).unwrap();
+    fs::write(edited.join("r2.cfg"), R2).unwrap();
+
+    let out = Command::new(bin())
+        .args(["watch", "--once", "--baseline"])
+        .arg(&base)
+        .arg("--configs")
+        .arg(&edited)
+        .arg("--spec")
+        .arg(base.join("spec.json"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Baseline line: a full round.
+    assert!(stdout.contains("baseline"), "{stdout}");
+    // Delta round: classified diff + a dirty subset, verified.
+    assert!(
+        stdout.contains("route-map FROM-ISP1 changed"),
+        "delta classification missing: {stdout}"
+    );
+    let round = stdout
+        .lines()
+        .find(|l| l.starts_with("round 1:"))
+        .unwrap_or_else(|| panic!("no round line: {stdout}"));
+    assert!(round.contains("verified"), "{round}");
+    // dirty d/t with 0 < d < t.
+    let dirty = round
+        .split("dirty ")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .unwrap_or_else(|| panic!("no dirty token: {round}"));
+    let (d, t) = dirty.split_once('/').expect("dirty d/t");
+    let (d, t): (usize, usize) = (d.parse().unwrap(), t.parse().unwrap());
+    assert!(d > 0, "a semantic edit must dirty something: {round}");
+    assert!(d < t, "only the edited neighborhood re-solves: {round}");
+}
+
+#[test]
+fn watch_once_cosmetic_edit_has_empty_dirty_set() {
+    let base = tmpdir("watch-cos-base");
+    write_net(&base, R2);
+    let edited = tmpdir("watch-cos-edit");
+    // Pure rename of R1's import map (+ its attachment): cosmetic.
+    let renamed = R1.replace("FROM-ISP1", "FROM-ISP1-RENAMED");
+    fs::write(edited.join("r1.cfg"), renamed).unwrap();
+    fs::write(edited.join("r2.cfg"), R2).unwrap();
+
+    let out = Command::new(bin())
+        .args(["watch", "--once", "--baseline"])
+        .arg(&base)
+        .arg("--configs")
+        .arg(&edited)
+        .arg("--spec")
+        .arg(base.join("spec.json"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("cosmetic edit"), "{stdout}");
+    let round = stdout
+        .lines()
+        .find(|l| l.starts_with("round 1:"))
+        .unwrap_or_else(|| panic!("no round line: {stdout}"));
+    assert!(
+        round.contains("dirty 0/"),
+        "cosmetic edits must dirty nothing: {round}"
+    );
+}
+
+#[test]
+fn watch_once_detects_breaking_edit() {
+    let base = tmpdir("watch-break-base");
+    write_net(&base, R2);
+    let edited = tmpdir("watch-break-edit");
+    fs::write(edited.join("r1.cfg"), R1).unwrap();
+    // Drop R2's export filter: transit leaks.
+    let broken = R2.replace(" neighbor 10.0.0.2 route-map TO-ISP2 out\n", "");
+    fs::write(edited.join("r2.cfg"), broken).unwrap();
+
+    let out = Command::new(bin())
+        .args(["watch", "--once", "--baseline"])
+        .arg(&base)
+        .arg("--configs")
+        .arg(&edited)
+        .arg("--spec")
+        .arg(base.join("spec.json"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "{stdout}");
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+    assert!(stdout.contains("R2 -> ISP2"), "{stdout}");
+}
+
+#[test]
+fn watch_loop_picks_up_a_change_and_stops_at_max_rounds() {
+    let d = tmpdir("watch-loop");
+    write_net(&d, R2);
+    let mut child = Command::new(bin())
+        .args([
+            "watch",
+            "--interval-ms",
+            "50",
+            "--max-rounds",
+            "1",
+            "--configs",
+        ])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Let the baseline round land, then edit a config in place.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let r1_edited = R1.replace(
+        " set community 100:1 additive\n",
+        " set community 100:1 additive\n set local-preference 99\n",
+    );
+    fs::write(d.join("r1.cfg"), r1_edited).unwrap();
+    // The daemon must verify the change and exit (max-rounds 1).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("watch did not exit after the change round");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    let mut stdout = String::new();
+    use std::io::Read as _;
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    assert!(status.success(), "{stdout}");
+    assert!(stdout.contains("round 1:"), "{stdout}");
+    assert!(stdout.contains("dirty "), "{stdout}");
+    assert!(stdout.contains("verified"), "{stdout}");
+}
+
+#[test]
+fn plan_verifies_every_step() {
+    let step0 = tmpdir("plan-0");
+    write_net(&step0, R2);
+    // Step 1: benign tweak. Step 2: revert it.
+    let step1 = tmpdir("plan-1");
+    let r1_tweaked = R1.replace(
+        " set community 100:1 additive\n",
+        " set community 100:1 additive\n set local-preference 150\n",
+    );
+    fs::write(step1.join("r1.cfg"), &r1_tweaked).unwrap();
+    fs::write(step1.join("r2.cfg"), R2).unwrap();
+    let step2 = tmpdir("plan-2");
+    fs::write(step2.join("r1.cfg"), R1).unwrap();
+    fs::write(step2.join("r2.cfg"), R2).unwrap();
+
+    let out = Command::new(bin())
+        .args(["plan", "--spec"])
+        .arg(step0.join("spec.json"))
+        .arg(&step0)
+        .arg(&step1)
+        .arg(&step2)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("step 0"), "{stdout}");
+    assert!(stdout.contains("step 2"), "{stdout}");
+    assert!(
+        stdout.contains("every intermediate configuration verified"),
+        "{stdout}"
+    );
+
+    // An unsafe intermediate step flips the exit code and the summary.
+    let broken = tmpdir("plan-broken");
+    fs::write(broken.join("r1.cfg"), R1).unwrap();
+    fs::write(
+        broken.join("r2.cfg"),
+        R2.replace(" neighbor 10.0.0.2 route-map TO-ISP2 out\n", ""),
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args(["plan", "--spec"])
+        .arg(step0.join("spec.json"))
+        .arg(&step0)
+        .arg(&broken)
+        .arg(&step2)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNSAFE"), "{stdout}");
+}
+
+#[test]
 fn verify_cache_warms_across_runs() {
     let d = tmpdir("cache");
     write_net(&d, R2);

@@ -174,7 +174,7 @@ pub fn save_check_cache(cache: &CheckCache, dir: &std::path::Path) -> std::io::R
 /// One definition shared by fresh solving, grouped session solving and
 /// cache re-validation, so the obligation shape cannot drift between
 /// those paths.
-fn transfer_violation(
+pub(crate) fn transfer_violation(
     pool: &mut TermPool,
     universe: &Universe,
     input: &SymRoute,
@@ -196,7 +196,7 @@ fn transfer_violation(
 }
 
 /// The violation query of an implication obligation, as `(pre, ¬post)`.
-fn implication_violation(
+pub(crate) fn implication_violation(
     pool: &mut TermPool,
     universe: &Universe,
     r: &SymRoute,
@@ -358,6 +358,11 @@ impl<'a> Verifier<'a> {
         self.ghosts.iter().map(|g| g.name.clone()).collect()
     }
 
+    /// The registered ghost attributes (for fingerprinting).
+    pub(crate) fn ghosts(&self) -> &[GhostAttr] {
+        &self.ghosts
+    }
+
     /// Build the attribute universe: policy + ghosts + the given
     /// predicates (property and invariants).
     fn universe(&self, extra: &[&RoutePred]) -> Universe {
@@ -388,8 +393,26 @@ impl<'a> Verifier<'a> {
     /// invariants (the §4.3 lemma), so they run once; each property adds a
     /// single subsumption check `I_ℓ ⟹ P`.
     pub fn verify_safety_multi(&self, props: &[SafetyProperty], inv: &NetworkInvariants) -> Report {
-        let Some(first) = props.first() else {
+        if props.is_empty() {
             return Report::default();
+        }
+        let (checks, u) = self.resolve_multi(props, inv);
+        self.run(&u, &checks)
+    }
+
+    /// Resolve a multi-property safety problem into its full check set
+    /// and attribute universe (shared by [`Verifier::verify_safety_multi`]
+    /// and the cross-run re-verify engine, so the two can never disagree
+    /// on what a run consists of).
+    pub(crate) fn resolve_multi(
+        &self,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+    ) -> (Vec<ResolvedCheck>, Universe) {
+        let Some(first) = props.first() else {
+            let mut u = self.universe(&[]);
+            inv.register(&mut u);
+            return (Vec::new(), u);
         };
         let mut checks = self.generate_safety_checks(first, inv);
         // The generator appended `first`'s subsumption check last; add the
@@ -419,7 +442,7 @@ impl<'a> Verifier<'a> {
             p.pred.register(&mut u);
         }
         inv.register(&mut u);
-        self.run(&u, &checks)
+        (checks, u)
     }
 
     /// Re-verify after the configurations of `changed` nodes were updated:
@@ -812,7 +835,7 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    fn encode_transfer(
+    pub(crate) fn encode_transfer(
         &self,
         pool: &mut TermPool,
         universe: &Universe,
@@ -950,7 +973,7 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    fn run_one(&self, universe: &Universe, rc: &ResolvedCheck) -> CheckOutcome {
+    pub(crate) fn run_one(&self, universe: &Universe, rc: &ResolvedCheck) -> CheckOutcome {
         match &rc.body {
             CheckBody::Transfer {
                 edge,
@@ -1024,7 +1047,12 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    fn run_originate_check(&self, check: &Check, edge: EdgeId, ensure: &RoutePred) -> CheckOutcome {
+    pub(crate) fn run_originate_check(
+        &self,
+        check: &Check,
+        edge: EdgeId,
+        ensure: &RoutePred,
+    ) -> CheckOutcome {
         // Originate(A -> B) is a concrete, finite set: evaluate directly.
         let ghosts: BTreeMap<String, bool> = self
             .ghosts

@@ -43,7 +43,7 @@ const FP_VERSION: u32 = 1;
 
 fn write_serde(h: &mut FpHasher, tag: &str, x: &impl Serialize) {
     h.write_tag(tag);
-    h.write_str(&serde_json::to_string(&x.to_value()).expect("canonical serialization"));
+    h.write_str(&bgp_model::canonical_json(x));
 }
 
 /// Digest of the attribute universe (sorted, order-insensitive).
@@ -114,6 +114,44 @@ fn write_ghosts(
     }
 }
 
+/// The fingerprint of one edge's **transfer relation** only — the
+/// route-map contents, the ghost updates on that edge+direction and the
+/// universe digest, *without* any assume/ensure predicate. This is the
+/// part of a transfer check's encoding a persistent re-verify session
+/// keeps across runs: when it is unchanged, the session's existing
+/// symbolic transfer can answer a re-dirtied check without re-encoding;
+/// when it differs, the session re-encodes the new relation and the old
+/// one is left retracted.
+pub(crate) fn transfer_fingerprint(
+    universe_fp: Fingerprint,
+    policy: &Policy,
+    ghosts: &[GhostAttr],
+    edge: bgp_model::topology::EdgeId,
+    is_import: bool,
+) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_tag("transfer-base");
+    h.write_u32(FP_VERSION);
+    h.write_u64((universe_fp.0 >> 64) as u64);
+    h.write_u64(universe_fp.0 as u64);
+    h.write_bool(is_import);
+    let map = if is_import {
+        policy.import_map(edge)
+    } else {
+        policy.export_map(edge)
+    };
+    write_route_map(&mut h, map);
+    write_ghosts(&mut h, ghosts, |h, g| {
+        let u = if is_import {
+            g.import_update(edge)
+        } else {
+            g.export_update(edge)
+        };
+        write_ghost_update(h, u);
+    });
+    h.finish()
+}
+
 /// The fingerprint of one resolved check.
 pub(crate) fn check_fingerprint(
     universe_fp: Fingerprint,
@@ -159,7 +197,7 @@ pub(crate) fn check_fingerprint(
             let mut routes: Vec<String> = policy
                 .originated(*edge)
                 .iter()
-                .map(|r| serde_json::to_string(&r.to_value()).expect("canonical serialization"))
+                .map(bgp_model::canonical_json)
                 .collect();
             routes.sort();
             h.write_u64(routes.len() as u64);

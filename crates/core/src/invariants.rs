@@ -91,6 +91,11 @@ impl NetworkInvariants {
         self.overrides.get(&loc)
     }
 
+    /// The per-location overrides (unordered).
+    pub(crate) fn overrides_iter(&self) -> impl Iterator<Item = (&Location, &RoutePred)> {
+        self.overrides.iter()
+    }
+
     /// The default invariant.
     pub fn default_pred(&self) -> &RoutePred {
         &self.default

@@ -36,6 +36,12 @@
 //!   (fingerprint dedup + result cache + work-stealing pool via the
 //!   `orchestrator` crate), per-check statistics (Figure 3b/3d) and
 //!   incremental re-verification.
+//! * [`impact`] — change-impact analysis: the router→checks adjacency
+//!   index bounding what a configuration edit can dirty.
+//! * [`reverify`] — the cross-run re-verification engine behind daemon
+//!   (`lightyear watch`) and migration-plan (`lightyear plan`) modes:
+//!   fingerprint-diffed dirty sets, persistent per-group SMT sessions
+//!   reused across rounds, delta-aware result-cache invalidation.
 //!
 //! ## Quick start
 //!
@@ -99,10 +105,12 @@ pub mod encode;
 pub mod engine;
 pub mod fingerprint;
 pub mod ghost;
+pub mod impact;
 pub mod infer;
 pub mod invariants;
 pub mod liveness;
 pub mod pred;
+pub mod reverify;
 pub mod safety;
 pub mod symbolic;
 pub mod universe;
@@ -113,7 +121,9 @@ pub use engine::{
     Verifier,
 };
 pub use ghost::{GhostAttr, GhostUpdate};
+pub use impact::CheckIndex;
 pub use invariants::{Location, NetworkInvariants};
 pub use liveness::LivenessSpec;
 pub use pred::RoutePred;
+pub use reverify::{ReverifyEngine, ReverifyStats};
 pub use safety::SafetyProperty;

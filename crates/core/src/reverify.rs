@@ -1,0 +1,919 @@
+//! Cross-run re-verification: one long-lived engine, many rounds.
+//!
+//! [`ReverifyEngine`] is the substrate of daemon (`lightyear watch`) and
+//! migration-plan (`lightyear plan`) verification: it persists **across**
+//! runs what [`smt::IncrementalSession`] persists across checks —
+//!
+//! * a fingerprint-keyed result cache (an [`orchestrator::ResultCache`])
+//!   carrying every previously-proved verdict, so clean checks are
+//!   answered in O(1) without touching a solver;
+//! * per encoding-base group, a persistent [`smt::IncrementalSession`]
+//!   whose symbolic input route and well-formedness constraint are
+//!   encoded exactly once in the engine's lifetime: a re-dirtied edge
+//!   re-encodes only its changed transfer relation on the live session
+//!   (old queries are retracted via their activation literals; learnt
+//!   clauses about the shared route structure carry over);
+//! * the previous round's fingerprints and router→checks adjacency
+//!   ([`crate::impact::CheckIndex`]), driving **delta-aware
+//!   invalidation**: a round that knows which routers changed removes
+//!   only that neighborhood's superseded fingerprints from the carried
+//!   cache.
+//!
+//! The dirty set itself is decided by the rename-invariant fingerprints
+//! of [`crate::fingerprint`]: a check is re-solved iff its fingerprint
+//! has never been proved before. Cosmetic edits (route-map renames,
+//! unused-object edits, reformatting) leave every fingerprint unchanged
+//! and produce an **empty** dirty set; a single-router semantic edit dirties
+//! only the checks on that router's incident edges.
+//!
+//! Reports are byte-identical to a fresh run of the same round: passes
+//! are pure verdicts, and a dirty check that fails on a warm session is
+//! re-derived on a fresh one-shot instance so the reported counterexample
+//! can never depend on session history.
+
+use crate::check::{CheckOutcome, CheckResult, Report};
+use crate::engine::{
+    implication_violation, transfer_violation, CheckBody, CheckCache, ResolvedCheck, SolvedCheck,
+    Verifier,
+};
+use crate::fingerprint::{check_fingerprint, transfer_fingerprint, universe_digest};
+use crate::impact::CheckIndex;
+use crate::invariants::NetworkInvariants;
+use crate::safety::SafetyProperty;
+use crate::symbolic::SymRoute;
+use crate::universe::Universe;
+use bgp_model::topology::{EdgeId, NodeId};
+use orchestrator::Fingerprint;
+use smt::{IncrementalSession, SatResult};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one re-verify round did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReverifyStats {
+    /// Checks the round consists of.
+    pub total: usize,
+    /// Checks actually re-solved (fingerprint never proved before).
+    pub dirty: usize,
+    /// Size of the delta's candidate neighborhood (edited routers +
+    /// neighbors + location-free checks); `total` when the delta is
+    /// unknown. `dirty <= candidates` whenever the attribute universe is
+    /// stable — the locality guarantee re-verification rests on.
+    pub candidates: usize,
+    /// Checks answered from the carried cross-run result cache.
+    pub reused: usize,
+    /// Superseded fingerprints dropped from the carried cache
+    /// (delta-aware invalidation).
+    pub invalidated: usize,
+    /// Encoding-base sessions reused from earlier rounds.
+    pub sessions_reused: usize,
+    /// Encoding-base sessions created this round.
+    pub sessions_created: usize,
+    /// True when the attribute universe changed shape and the engine had
+    /// to drop its sessions and carried results (full re-verify).
+    pub universe_reset: bool,
+}
+
+impl ReverifyStats {
+    /// The canonical one-line rendering used by the daemon's per-round
+    /// output (and asserted by the CI smoke test).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "dirty {}/{} checks ({} candidates), {} cached, {} invalidated; sessions: {} warm, {} new",
+            self.dirty,
+            self.total,
+            self.candidates,
+            self.reused,
+            self.invalidated,
+            self.sessions_reused,
+            self.sessions_created,
+        );
+        if self.universe_reset {
+            s.push_str("; universe changed, state reset");
+        }
+        s
+    }
+}
+
+/// One persistent encoding-base session: the symbolic input route and
+/// its well-formedness constraint are encoded once; transfer relations
+/// and check queries come and go across rounds.
+struct GroupSession {
+    sess: IncrementalSession,
+    input: SymRoute,
+    /// The currently-encoded transfer relation and its content
+    /// fingerprint (`None` for implication sessions and before first
+    /// use). An unchanged fingerprint lets a re-dirtied check reuse the
+    /// already-encoded relation.
+    transfer: Option<(Fingerprint, crate::encode::Transfer)>,
+    /// Transfer encodings superseded on this session so far. Retraction
+    /// satisfies a retired encoding's clauses but cannot reclaim them,
+    /// so a session is rebuilt from scratch once this passes
+    /// [`RETIRED_TRANSFER_LIMIT`] — bounding daemon memory under
+    /// unbounded rounds of layout-stable edits to the same edge.
+    retired: usize,
+}
+
+/// Superseded transfer encodings a session may hold before it is
+/// rebuilt fresh (trading one re-encode of the route structure for
+/// reclaiming all retired clauses).
+const RETIRED_TRANSFER_LIMIT: usize = 32;
+
+impl GroupSession {
+    fn new(universe: &Universe, learnt_cap: Option<u64>) -> GroupSession {
+        let mut sess = match learnt_cap {
+            Some(cap) => IncrementalSession::new().with_learnt_cap(cap),
+            None => IncrementalSession::new(),
+        };
+        let input = SymRoute::fresh(sess.pool_mut(), universe, "r");
+        let wf = input.well_formed(sess.pool_mut());
+        sess.assert(wf);
+        GroupSession {
+            sess,
+            input,
+            transfer: None,
+            retired: 0,
+        }
+    }
+}
+
+/// Bookkeeping from the previous round, scoping the next round's
+/// delta-aware invalidation and fingerprint carry-over.
+struct PrevRound {
+    universe: Universe,
+    fps: Vec<Fingerprint>,
+    index: CheckIndex,
+    node_of: HashMap<String, NodeId>,
+    /// Digest of the verification problem (properties + invariants).
+    spec_digest: u64,
+    /// Digest of the check-generation shape (node names, edge
+    /// endpoints, per-edge origination presence).
+    topo_shape: u64,
+}
+
+use bgp_model::canonical_json as canon;
+
+/// In-process digest of the verification problem. Only compared against
+/// digests from earlier rounds of the same engine, so the hasher needs
+/// no cross-process stability.
+fn spec_digest(props: &[SafetyProperty], inv: &NetworkInvariants) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    props.len().hash(&mut h);
+    for p in props {
+        format!("{:?}", p.location).hash(&mut h);
+        p.name.hash(&mut h);
+        canon(&p.pred).hash(&mut h);
+    }
+    canon(inv.default_pred()).hash(&mut h);
+    let mut overrides: Vec<_> = inv.overrides_iter().collect();
+    overrides.sort_by_key(|(l, _)| **l);
+    for (l, p) in overrides {
+        format!("{l:?}").hash(&mut h);
+        canon(p).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// In-process digest of the check-generation shape: node names in id
+/// order, directed edge endpoints, and — because an Originate check
+/// exists only for edges with a non-empty origination set
+/// (policy content, not topology) — each edge's has-origination bit.
+/// Equal digests mean check generation walks the same checks in the
+/// same order, so check indices line up across rounds; a
+/// count-preserving origination reshuffle (one edge loses its
+/// `network` statement, another gains one) changes the digest and
+/// disables positional fingerprint carry-over.
+fn generation_shape(topo: &bgp_model::topology::Topology, policy: &bgp_model::Policy) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for n in topo.node_ids() {
+        let node = topo.node(n);
+        node.name.hash(&mut h);
+        node.external.hash(&mut h);
+    }
+    for e in topo.edge_ids() {
+        let edge = topo.edge(e);
+        (edge.src.0, edge.dst.0).hash(&mut h);
+        policy.originated(e).is_empty().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The long-lived re-verification engine (see module docs).
+pub struct ReverifyEngine {
+    results: Arc<CheckCache>,
+    /// Sessions keyed by a topology-stable signature (router names +
+    /// direction), so they survive node-id renumbering across rounds.
+    sessions: HashMap<String, GroupSession>,
+    prev: Option<PrevRound>,
+    learnt_cap: Option<u64>,
+}
+
+impl Default for ReverifyEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default learnt-clause bound per persistent session: generous for any
+/// single round, but a hard backstop against unbounded daemon growth.
+const DEFAULT_LEARNT_CAP: u64 = 20_000;
+
+impl ReverifyEngine {
+    /// A fresh engine with nothing carried over.
+    pub fn new() -> Self {
+        ReverifyEngine {
+            results: Arc::new(CheckCache::new()),
+            sessions: HashMap::new(),
+            prev: None,
+            learnt_cap: Some(DEFAULT_LEARNT_CAP),
+        }
+    }
+
+    /// Override the per-session learnt-clause bound (`None`: unbounded).
+    pub fn with_learnt_cap(mut self, cap: Option<u64>) -> Self {
+        self.learnt_cap = cap;
+        self
+    }
+
+    /// The carried cross-run result cache (e.g. for spilling to disk).
+    pub fn cache(&self) -> Arc<CheckCache> {
+        self.results.clone()
+    }
+
+    /// Verify the given problem against the *current* network behind
+    /// `v`, re-solving only what changed since the previous round.
+    ///
+    /// `changed` names the routers the caller knows were edited, and is
+    /// part of the soundness contract: it must include **every** router
+    /// whose configuration semantically changed since the previous round
+    /// (a `delta::diff_configs` changed-set does exactly this), because
+    /// fingerprints outside the named neighborhood are carried over
+    /// without recomputation when the topology, spec and universe are
+    /// stable. Pass `None` when the delta is unknown — every check is
+    /// then re-fingerprinted and treated as a candidate.
+    ///
+    /// The verifier must be configured like the previous rounds' (same
+    /// ghosts, sequential or not does not matter); properties and
+    /// invariants may change freely — their checks simply come out dirty.
+    pub fn reverify(
+        &mut self,
+        v: &Verifier,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+        changed: Option<&[String]>,
+    ) -> (Report, ReverifyStats) {
+        let t0 = Instant::now();
+        let (checks, universe) = v.resolve_multi(props, inv);
+        let topo = v.topology();
+        let ufp = universe_digest(&universe);
+        let mut stats = ReverifyStats {
+            total: checks.len(),
+            ..ReverifyStats::default()
+        };
+
+        // A change to the attribute universe's *shape* (a community,
+        // regex or ghost appearing, disappearing, or changing position)
+        // re-lays-out every symbolic route: persistent sessions and
+        // carried verdicts are both tied to the old layout, so drop them
+        // and fall back to a full round. Note this is ordered equality —
+        // the order-insensitive digest inside each fingerprint is not
+        // enough, because cached counterexamples must match what a fresh
+        // run under the *current* layout would print.
+        if let Some(prev) = &self.prev {
+            let same_layout = prev.universe.communities() == universe.communities()
+                && prev.universe.regexes() == universe.regexes()
+                && prev.universe.ghosts() == universe.ghosts();
+            if !same_layout {
+                stats.universe_reset = true;
+                stats.invalidated = self.results.len();
+                self.sessions.clear();
+                self.results = Arc::new(CheckCache::new());
+                self.prev = None;
+            }
+        }
+
+        let index = CheckIndex::build(topo, &checks);
+        let sd = spec_digest(props, inv);
+        let ts = generation_shape(topo, v.policy());
+
+        // The delta neighborhood is trusted only when the topology
+        // shape, the spec and the universe layout are all unchanged:
+        // then check generation is positionally identical to the
+        // previous round and only the named routers' content can
+        // differ. A spec or shape change makes every check a candidate
+        // regardless of `changed`.
+        let carry_over = match &self.prev {
+            Some(prev) => {
+                prev.spec_digest == sd && prev.topo_shape == ts && prev.fps.len() == checks.len()
+            }
+            None => false,
+        };
+
+        // Candidate neighborhood from the delta (fingerprint carry-over,
+        // invalidation scope and stats).
+        let candidates: Option<std::collections::BTreeSet<usize>> = match (carry_over, changed) {
+            (true, Some(names)) => {
+                let ids: Vec<NodeId> = names.iter().filter_map(|n| topo.node_by_name(n)).collect();
+                Some(index.dirty_candidates(&ids))
+            }
+            _ => None,
+        };
+        stats.candidates = candidates.as_ref().map_or(checks.len(), |c| c.len());
+
+        // Fingerprints outside the candidate set are carried over
+        // instead of re-serializing every route map — this is where the
+        // adjacency index pays for itself: the per-round fingerprint
+        // cost becomes O(delta), not O(network). It also makes `changed`
+        // part of the soundness contract: it must name every
+        // semantically edited router (a `delta::diff_configs`
+        // changed-set does), or be `None`.
+        let fps: Vec<Fingerprint> = checks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if let Some(cand) = &candidates {
+                    if !cand.contains(&i) {
+                        let fp = self.prev.as_ref().expect("candidates imply prev").fps[i];
+                        debug_assert_eq!(
+                            fp,
+                            check_fingerprint(ufp, v.policy(), v.ghosts(), &c.body),
+                            "carried-over fingerprint diverged for check {i}"
+                        );
+                        return fp;
+                    }
+                }
+                check_fingerprint(ufp, v.policy(), v.ghosts(), &c.body)
+            })
+            .collect();
+
+        // Answer clean checks from the carried cache; collect the dirty.
+        let mut outcomes: Vec<Option<CheckOutcome>> = (0..checks.len()).map(|_| None).collect();
+        let mut dirty: Vec<usize> = Vec::new();
+        for (i, c) in checks.iter().enumerate() {
+            match self.results.get(fps[i]) {
+                Some(solved) => {
+                    stats.reused += 1;
+                    outcomes[i] = Some(CheckOutcome {
+                        check: c.check.clone(),
+                        // Identical formula ⇒ identical verdict; keep the
+                        // formula-size stats, drop the work counters so
+                        // aggregate solve time counts real solves once.
+                        stats: smt::SolverStats {
+                            num_vars: solved.stats.num_vars,
+                            num_clauses: solved.stats.num_clauses,
+                            ..smt::SolverStats::default()
+                        },
+                        result: solved.result,
+                    });
+                }
+                None => dirty.push(i),
+            }
+        }
+        stats.dirty = dirty.len();
+
+        // Drop sessions whose edge no longer exists (peering/router
+        // churn): only a live edge can ever pose a query again, and a
+        // dead session would otherwise hold its encoded route structure
+        // and learnt clauses forever.
+        if !self.sessions.is_empty() {
+            let live: HashSet<String> = topo
+                .edge_ids()
+                .flat_map(|e| {
+                    let edge = topo.edge(e);
+                    let (src, dst) = (&topo.node(edge.src).name, &topo.node(edge.dst).name);
+                    [format!("{src}>{dst}:in"), format!("{src}>{dst}:out")]
+                })
+                .chain(std::iter::once("implication".to_string()))
+                .collect();
+            self.sessions.retain(|sig, _| live.contains(sig));
+        }
+
+        // Re-solve the dirty checks on persistent per-group sessions.
+        self.solve_dirty(
+            v,
+            &universe,
+            ufp,
+            &checks,
+            &fps,
+            &dirty,
+            &mut outcomes,
+            &mut stats,
+        );
+
+        // Delta-aware invalidation: superseded fingerprints of the
+        // changed neighborhood (previous round's checks whose structure
+        // no longer occurs) are dropped from the carried cache, keeping
+        // it proportional to the live check set no matter how many
+        // rounds the daemon has seen. The neighborhood scope is only
+        // valid under carry-over — a spec or shape change can retire
+        // fingerprints anywhere, so the whole previous round is scanned.
+        if let Some(prev) = &self.prev {
+            let live: HashSet<u128> = fps.iter().map(|f| f.0).collect();
+            let scope: Vec<usize> = match (carry_over, changed) {
+                (true, Some(names)) => {
+                    let ids: Vec<NodeId> = names
+                        .iter()
+                        .filter_map(|n| prev.node_of.get(n).copied())
+                        .collect();
+                    prev.index.dirty_candidates(&ids).into_iter().collect()
+                }
+                _ => (0..prev.fps.len()).collect(),
+            };
+            let stale: Vec<Fingerprint> = scope
+                .into_iter()
+                .map(|i| prev.fps[i])
+                .filter(|f| !live.contains(&f.0))
+                .collect();
+            stats.invalidated += self.results.remove_many(&stale);
+        }
+
+        self.prev = Some(PrevRound {
+            universe,
+            fps,
+            index,
+            node_of: topo
+                .node_ids()
+                .map(|n| (topo.node(n).name.clone(), n))
+                .collect(),
+            spec_digest: sd,
+            topo_shape: ts,
+        });
+
+        let mut report = Report {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every check answered by cache or solve"))
+                .collect(),
+            total_time: t0.elapsed(),
+            exec: orchestrator::RunStats::default(),
+        };
+        report.sort_by_id();
+        (report, stats)
+    }
+
+    /// Solve the dirty checks, grouped by encoding base, on persistent
+    /// sessions keyed by topology-stable signatures.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_dirty(
+        &mut self,
+        v: &Verifier,
+        universe: &Universe,
+        ufp: Fingerprint,
+        checks: &[ResolvedCheck],
+        fps: &[Fingerprint],
+        dirty: &[usize],
+        outcomes: &mut [Option<CheckOutcome>],
+        stats: &mut ReverifyStats,
+    ) {
+        let topo = v.topology();
+        // The result cache handle, separated from `self` so sessions can
+        // stay mutably borrowed while verdicts are inserted.
+        let results = self.results.clone();
+        // Deterministic group order: BTreeMap over signatures, check
+        // indices in submission order within each group.
+        let mut transfers: BTreeMap<String, (EdgeId, bool, Vec<usize>)> = BTreeMap::new();
+        let mut implications: Vec<usize> = Vec::new();
+        for &i in dirty {
+            match &checks[i].body {
+                CheckBody::Transfer {
+                    edge, is_import, ..
+                } => {
+                    let e = topo.edge(*edge);
+                    let sig = format!(
+                        "{}>{}:{}",
+                        topo.node(e.src).name,
+                        topo.node(e.dst).name,
+                        if *is_import { "in" } else { "out" }
+                    );
+                    transfers
+                        .entry(sig)
+                        .or_insert_with(|| (*edge, *is_import, Vec::new()))
+                        .2
+                        .push(i);
+                }
+                CheckBody::Originate { edge, ensure } => {
+                    // Concrete finite evaluation: no solver, no session.
+                    let o = v.run_originate_check(&checks[i].check, *edge, ensure);
+                    results.insert(
+                        fps[i],
+                        SolvedCheck {
+                            result: o.result.clone(),
+                            stats: o.stats,
+                        },
+                    );
+                    outcomes[i] = Some(o);
+                }
+                CheckBody::Implication { .. } => implications.push(i),
+            }
+        }
+
+        // One record path for both group shapes: solve the gated query
+        // on the warm session, retract it, and — on Sat — re-derive the
+        // counterexample on a fresh one-shot instance so session history
+        // (learnt clauses, retracted rounds) can never change what the
+        // daemon reports versus a fresh run.
+        let mut solve_and_record = |gs: &mut GroupSession,
+                                    i: usize,
+                                    build: &dyn Fn(
+            &mut smt::TermPool,
+            &SymRoute,
+        ) -> (smt::TermId, smt::TermId)| {
+            // Within-round structural dedup: an earlier dirty check of
+            // this round may have inserted the same fingerprint (e.g.
+            // identical route-map templates across routers in a full
+            // baseline round) — replicate its verdict instead of
+            // re-solving, exactly like the orchestrator's dedup.
+            if let Some(solved) = results.get(fps[i]) {
+                outcomes[i] = Some(CheckOutcome {
+                    check: checks[i].check.clone(),
+                    stats: smt::SolverStats {
+                        num_vars: solved.stats.num_vars,
+                        num_clauses: solved.stats.num_clauses,
+                        ..smt::SolverStats::default()
+                    },
+                    result: solved.result,
+                });
+                return;
+            }
+            let act = {
+                let input = gs.input.clone();
+                let pool = gs.sess.pool_mut();
+                let (pre, neg) = build(pool, &input);
+                let query = pool.and2(pre, neg);
+                gs.sess.activation(query)
+            };
+            let (result, solve_stats) = gs.sess.solve_under(&[act]);
+            gs.sess.retract(act);
+            let solved = match result {
+                SatResult::Unsat => SolvedCheck {
+                    result: CheckResult::Pass,
+                    stats: solve_stats,
+                },
+                SatResult::Sat(_) => {
+                    let o = v.run_one(universe, &checks[i]);
+                    SolvedCheck {
+                        result: o.result,
+                        stats: o.stats,
+                    }
+                }
+            };
+            results.insert(fps[i], solved.clone());
+            outcomes[i] = Some(CheckOutcome {
+                check: checks[i].check.clone(),
+                result: solved.result,
+                stats: solved.stats,
+            });
+        };
+
+        for (sig, (edge, is_import, idxs)) in transfers {
+            let mut gs = self
+                .sessions
+                .remove(&sig)
+                .inspect(|_| stats.sessions_reused += 1)
+                .unwrap_or_else(|| {
+                    stats.sessions_created += 1;
+                    GroupSession::new(universe, self.learnt_cap)
+                });
+            let tfp = transfer_fingerprint(ufp, v.policy(), v.ghosts(), edge, is_import);
+            if gs.transfer.as_ref().map(|(f, _)| *f) != Some(tfp) {
+                if gs.transfer.is_some() {
+                    gs.retired += 1;
+                    if gs.retired > RETIRED_TRANSFER_LIMIT {
+                        gs = GroupSession::new(universe, self.learnt_cap);
+                        // A rebuild is fresh work, not a warm answer:
+                        // keep the stats line honest about it.
+                        stats.sessions_created += 1;
+                    }
+                }
+                let input = gs.input.clone();
+                let t = v.encode_transfer(gs.sess.pool_mut(), universe, edge, is_import, &input);
+                gs.transfer = Some((tfp, t));
+            }
+            let transfer = gs.transfer.as_ref().expect("just encoded").1.clone();
+            for i in idxs {
+                let CheckBody::Transfer {
+                    assume,
+                    ensure,
+                    require_accept,
+                    ..
+                } = &checks[i].body
+                else {
+                    unreachable!("transfer group mixes check shapes");
+                };
+                solve_and_record(&mut gs, i, &|pool, input| {
+                    transfer_violation(
+                        pool,
+                        universe,
+                        input,
+                        &transfer,
+                        assume,
+                        ensure,
+                        *require_accept,
+                    )
+                });
+            }
+            self.sessions.insert(sig, gs);
+        }
+
+        if !implications.is_empty() {
+            let sig = "implication".to_string();
+            let mut gs = self
+                .sessions
+                .remove(&sig)
+                .inspect(|_| stats.sessions_reused += 1)
+                .unwrap_or_else(|| {
+                    stats.sessions_created += 1;
+                    GroupSession::new(universe, self.learnt_cap)
+                });
+            for i in implications {
+                let CheckBody::Implication { assume, ensure } = &checks[i].body else {
+                    unreachable!("implication group mixes check shapes");
+                };
+                solve_and_record(&mut gs, i, &|pool, input| {
+                    implication_violation(pool, universe, input, assume, ensure)
+                });
+            }
+            self.sessions.insert(sig, gs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghost::{GhostAttr, GhostUpdate};
+    use crate::invariants::Location;
+    use crate::pred::RoutePred;
+    use bgp_model::policy::Policy;
+    use bgp_model::routemap::{RouteMap, RouteMapEntry, SetAction};
+    use bgp_model::topology::Topology;
+    use bgp_model::Community;
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    fn tag_map(name: &str, comm: Community) -> RouteMap {
+        let mut m = RouteMap::new(name);
+        m.push(RouteMapEntry::permit(10).setting(SetAction::Community {
+            comms: vec![comm],
+            additive: true,
+        }));
+        m
+    }
+
+    /// ISP1 -> R1 -> R2 -> ISP2 with the tag/drop no-transit scheme.
+    fn network(tag_lp: Option<u32>) -> (Topology, Policy) {
+        let mut t = Topology::new();
+        let r1 = t.add_router("R1", 65000);
+        let r2 = t.add_router("R2", 65000);
+        let isp1 = t.add_external("ISP1", 100);
+        let isp2 = t.add_external("ISP2", 200);
+        t.add_session(r1, r2);
+        t.add_session(isp1, r1);
+        t.add_session(r2, isp2);
+        let mut pol = Policy::new();
+        let mut m = tag_map("FROM-ISP1", c("100:1"));
+        if let Some(lp) = tag_lp {
+            m.entries[0].sets.push(SetAction::LocalPref(lp));
+        }
+        pol.set_import(t.edge_between(isp1, r1).unwrap(), m);
+        let mut drop = RouteMap::new("TO-ISP2");
+        drop.push(
+            RouteMapEntry::deny(10).matching(bgp_model::routemap::MatchCond::Community {
+                comms: vec![c("100:1")],
+                match_all: false,
+            }),
+        );
+        drop.push(RouteMapEntry::permit(20));
+        pol.set_export(t.edge_between(r2, isp2).unwrap(), drop);
+        (t, pol)
+    }
+
+    fn inputs(t: &Topology) -> (SafetyProperty, NetworkInvariants, GhostAttr) {
+        let r1 = t.node_by_name("R1").unwrap();
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp1 = t.node_by_name("ISP1").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let to_isp2 = t.edge_between(r2, isp2).unwrap();
+        let ghost = GhostAttr::new("FromISP1")
+            .with_import(t.edge_between(isp1, r1).unwrap(), GhostUpdate::SetTrue)
+            .with_import(t.edge_between(isp2, r2).unwrap(), GhostUpdate::SetFalse);
+        let prop = SafetyProperty::new(Location::Edge(to_isp2), RoutePred::ghost("FromISP1").not())
+            .named("no-transit");
+        let key = RoutePred::ghost("FromISP1").implies(RoutePred::has_community(c("100:1")));
+        let inv = NetworkInvariants::with_default(key)
+            .with(Location::Edge(to_isp2), RoutePred::ghost("FromISP1").not());
+        (prop, inv, ghost)
+    }
+
+    #[test]
+    fn second_identical_round_is_all_cache() {
+        let (t, pol) = network(None);
+        let (prop, inv, ghost) = inputs(&t);
+        let v = Verifier::new(&t, &pol).with_ghost(ghost);
+        let mut eng = ReverifyEngine::new();
+        let (r1, s1) = eng.reverify(&v, std::slice::from_ref(&prop), &inv, None);
+        assert!(r1.all_passed(), "{}", r1.format_failures(&t));
+        assert_eq!(s1.dirty, s1.total, "first round is a full run");
+        let (r2, s2) = eng.reverify(&v, std::slice::from_ref(&prop), &inv, Some(&[]));
+        assert_eq!(r1.to_string(), r2.to_string());
+        assert_eq!(s2.dirty, 0, "{s2:?}");
+        assert_eq!(s2.reused, s2.total);
+        assert_eq!(s2.candidates, 1, "only the location-free subsumption");
+    }
+
+    #[test]
+    fn single_router_edit_dirties_only_its_neighborhood() {
+        let (t, pol) = network(None);
+        let (prop, inv, ghost) = inputs(&t);
+        let mut eng = ReverifyEngine::new();
+        {
+            let v = Verifier::new(&t, &pol).with_ghost(ghost.clone());
+            let (_, s) = eng.reverify(&v, std::slice::from_ref(&prop), &inv, None);
+            assert!(s.total > 0);
+        }
+        // Edit R1's import map (same communities: universe stable).
+        let (t2, pol2) = network(Some(120));
+        let (prop2, inv2, ghost2) = inputs(&t2);
+        let v2 = Verifier::new(&t2, &pol2).with_ghost(ghost2);
+        let changed = vec!["R1".to_string()];
+        let (r, s) = eng.reverify(&v2, std::slice::from_ref(&prop2), &inv2, Some(&changed));
+        assert!(r.all_passed(), "{}", r.format_failures(&t2));
+        assert!(!s.universe_reset, "{s:?}");
+        assert!(s.dirty > 0, "a semantic edit must dirty something");
+        assert!(
+            s.dirty <= s.candidates,
+            "dirty set must stay within the delta neighborhood: {s:?}"
+        );
+        assert!(
+            s.candidates < s.total,
+            "neighborhood must be a strict subset: {s:?}"
+        );
+        // The fresh engine agrees byte-for-byte.
+        let fresh = v2.verify_safety(&prop2, &inv2);
+        assert_eq!(fresh.to_string(), r.to_string());
+        // Edit reverted: the old fingerprints were invalidated for the
+        // changed neighborhood, so reverting re-solves (no stale reuse
+        // growth), while everything else stays cached.
+        let (t3, pol3) = network(None);
+        let (prop3, inv3, ghost3) = inputs(&t3);
+        let v3 = Verifier::new(&t3, &pol3).with_ghost(ghost3);
+        let (r3, s3) = eng.reverify(&v3, std::slice::from_ref(&prop3), &inv3, Some(&changed));
+        assert!(r3.all_passed());
+        assert!(s3.dirty <= s3.candidates);
+        assert!(
+            s3.sessions_reused > 0,
+            "warm session must be reused: {s3:?}"
+        );
+    }
+
+    #[test]
+    fn failing_rounds_match_fresh_runs_byte_for_byte() {
+        let (t, pol) = network(None);
+        let (prop, inv, ghost) = inputs(&t);
+        let mut eng = ReverifyEngine::new();
+        {
+            let v = Verifier::new(&t, &pol).with_ghost(ghost.clone());
+            eng.reverify(&v, std::slice::from_ref(&prop), &inv, None);
+        }
+        // Break R1's import: drop the tag (keep the community in the
+        // universe via the TO-ISP2 match, so the layout is stable).
+        let (t2, mut pol2) = network(None);
+        let isp1 = t2.node_by_name("ISP1").unwrap();
+        let r1 = t2.node_by_name("R1").unwrap();
+        let e = t2.edge_between(isp1, r1).unwrap();
+        let mut m = RouteMap::new("FROM-ISP1");
+        m.push(RouteMapEntry::permit(10));
+        pol2.set_import(e, m);
+        let (prop2, inv2, ghost2) = inputs(&t2);
+        let v2 = Verifier::new(&t2, &pol2).with_ghost(ghost2);
+        let changed = vec!["R1".to_string()];
+        let (r, s) = eng.reverify(&v2, std::slice::from_ref(&prop2), &inv2, Some(&changed));
+        assert!(!r.all_passed(), "dropping the tag must violate no-transit");
+        assert!(s.dirty > 0 && s.dirty <= s.candidates, "{s:?}");
+        let fresh = v2.verify_safety(&prop2, &inv2);
+        assert_eq!(fresh.to_string(), r.to_string());
+        assert_eq!(fresh.format_failures(&t2), r.format_failures(&t2));
+    }
+
+    #[test]
+    fn origination_reshuffle_disables_fingerprint_carry_over() {
+        // Moving an origination from one edge to another preserves the
+        // check *count* but shifts every check index in between: the
+        // generation-shape digest must catch this and disable positional
+        // carry-over (in debug builds the per-fingerprint assert would
+        // fire otherwise).
+        let mut t = Topology::new();
+        let a = t.add_router("A", 1);
+        let b = t.add_router("B", 1);
+        let cc = t.add_router("C", 1);
+        let d = t.add_router("D", 1);
+        let x1 = t.add_external("X1", 2);
+        let x2 = t.add_external("X2", 3);
+        t.add_session(x1, a);
+        t.add_session(a, b);
+        t.add_session(b, cc);
+        t.add_session(cc, d);
+        t.add_session(d, x2);
+        let route = bgp_model::Route::new("198.51.100.0/24".parse().unwrap());
+        let mut pol_a = bgp_model::Policy::new();
+        pol_a.add_origination(t.edge_between(a, b).unwrap(), route.clone());
+        let mut pol_b = bgp_model::Policy::new();
+        pol_b.add_origination(t.edge_between(d, x2).unwrap(), route);
+
+        let prop = SafetyProperty::new(Location::Node(cc), RoutePred::True);
+        let inv = NetworkInvariants::new();
+        let mut eng = ReverifyEngine::new();
+        let total_a = {
+            let v = Verifier::new(&t, &pol_a);
+            let (r, s) = eng.reverify(&v, std::slice::from_ref(&prop), &inv, None);
+            assert!(r.all_passed());
+            s.total
+        };
+        // Only the two origination-owning routers are named changed; the
+        // B/C checks in between are exactly the ones that would carry
+        // wrong fingerprints under a naive count-only guard.
+        let changed = vec!["A".to_string(), "D".to_string()];
+        let v = Verifier::new(&t, &pol_b);
+        let (r, s) = eng.reverify(&v, std::slice::from_ref(&prop), &inv, Some(&changed));
+        assert_eq!(s.total, total_a, "count-preserving reshuffle");
+        assert_eq!(
+            s.candidates, s.total,
+            "reshuffle must disable carry-over: {s:?}"
+        );
+        let fresh = v.verify_safety(&prop, &inv);
+        assert_eq!(fresh.to_string(), r.to_string());
+    }
+
+    #[test]
+    fn spec_change_invalidates_outside_the_named_delta() {
+        // Changing the invariants retires *every* previous fingerprint,
+        // even when the caller names an (empty) config delta: the
+        // neighborhood scope is only trusted under carry-over, so the
+        // carried cache must not accumulate dead old-spec entries.
+        let (t, pol) = network(None);
+        let (prop, inv, ghost) = inputs(&t);
+        let mut eng = ReverifyEngine::new();
+        let v = Verifier::new(&t, &pol).with_ghost(ghost);
+        let (r1, s1) = eng.reverify(&v, std::slice::from_ref(&prop), &inv, None);
+        assert!(r1.all_passed());
+        // Strengthen the default invariant (no new universe atoms:
+        // local-pref is a built-in bitvector attribute).
+        let inv2 = NetworkInvariants::with_default(
+            RoutePred::ghost("FromISP1")
+                .implies(RoutePred::has_community(c("100:1")))
+                .and(RoutePred::local_pref(crate::pred::Cmp::Le, 1_000_000)),
+        )
+        .with(prop.location, RoutePred::ghost("FromISP1").not());
+        let (_, s2) = eng.reverify(&v, std::slice::from_ref(&prop), &inv2, Some(&[]));
+        assert!(!s2.universe_reset, "{s2:?}");
+        assert_eq!(s2.candidates, s2.total, "no carry-over under a new spec");
+        assert!(s2.dirty > 0, "{s2:?}");
+        assert!(
+            s2.invalidated > 0,
+            "old-spec fingerprints must be retired: {s2:?}"
+        );
+        assert!(
+            eng.cache().len() <= s1.total.max(s2.total),
+            "carried cache must stay proportional to the live check set"
+        );
+    }
+
+    #[test]
+    fn universe_shape_change_resets_state() {
+        let (t, pol) = network(None);
+        let (prop, inv, ghost) = inputs(&t);
+        let mut eng = ReverifyEngine::new();
+        {
+            let v = Verifier::new(&t, &pol).with_ghost(ghost.clone());
+            eng.reverify(&v, std::slice::from_ref(&prop), &inv, None);
+        }
+        // A new community enters the universe: full reset.
+        let (t2, mut pol2) = network(None);
+        let isp1 = t2.node_by_name("ISP1").unwrap();
+        let r1 = t2.node_by_name("R1").unwrap();
+        let e = t2.edge_between(isp1, r1).unwrap();
+        let mut m = tag_map("FROM-ISP1", c("100:1"));
+        m.entries[0].sets.push(SetAction::Community {
+            comms: vec![c("999:9")],
+            additive: true,
+        });
+        pol2.set_import(e, m);
+        let (prop2, inv2, ghost2) = inputs(&t2);
+        let v2 = Verifier::new(&t2, &pol2).with_ghost(ghost2);
+        let (r, s) = eng.reverify(
+            &v2,
+            std::slice::from_ref(&prop2),
+            &inv2,
+            Some(&["R1".to_string()]),
+        );
+        assert!(s.universe_reset, "{s:?}");
+        assert_eq!(s.dirty, s.total, "reset forces a full round");
+        let fresh = v2.verify_safety(&prop2, &inv2);
+        assert_eq!(fresh.to_string(), r.to_string());
+    }
+}

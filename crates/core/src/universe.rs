@@ -16,6 +16,37 @@ use bgp_model::route::Community;
 use bgp_model::routemap::{MatchCond, RouteMap, SetAction};
 use std::collections::BTreeMap;
 
+/// Walk every community and AS-path-regex mention in a route map (the
+/// one definition both scan entry points share).
+fn for_each_mention(m: &RouteMap, comm: &mut dyn FnMut(Community), regex: &mut dyn FnMut(&str)) {
+    for e in &m.entries {
+        for cond in &e.matches {
+            match cond {
+                MatchCond::Community { comms, .. } => comms.iter().for_each(|c| comm(*c)),
+                MatchCond::CommunityList { entries, .. } => {
+                    for (_, comms) in entries {
+                        comms.iter().for_each(|c| comm(*c));
+                    }
+                }
+                MatchCond::AsPath(entries) => {
+                    for (_, re) in entries {
+                        regex(re.pattern());
+                    }
+                }
+                _ => {}
+            }
+        }
+        for set in &e.sets {
+            match set {
+                SetAction::Community { comms, .. } | SetAction::DeleteCommunities(comms) => {
+                    comms.iter().for_each(|c| comm(*c));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Interned id of an AS-path regex.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegexId(pub u32);
@@ -43,64 +74,53 @@ impl Universe {
         u
     }
 
-    /// Scan a policy, adding everything it mentions.
+    /// Scan a policy, adding everything it mentions — in **sorted**
+    /// order, independent of map names, scan order or hash-map
+    /// iteration. The universe *layout* (registration order) must be a
+    /// pure function of the policy's semantic content: cross-run
+    /// re-verification reuses symbolic encodings only while the layout
+    /// is unchanged, and a cosmetic edit (e.g. a route-map rename,
+    /// which reorders a name-based scan) must not move anything.
     pub fn scan_policy(&mut self, policy: &Policy) {
-        let mut maps: Vec<&RouteMap> = policy
-            .import
-            .values()
-            .chain(policy.export.values())
-            .collect();
-        // Deterministic order regardless of hash-map iteration.
-        maps.sort_by(|a, b| a.name.cmp(&b.name));
-        for m in maps {
-            self.scan_route_map(m);
+        let mut comms: std::collections::BTreeSet<Community> = std::collections::BTreeSet::new();
+        let mut regexes: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for m in policy.import.values().chain(policy.export.values()) {
+            for_each_mention(
+                m,
+                &mut |c| {
+                    comms.insert(c);
+                },
+                &mut |re| {
+                    regexes.insert(re.to_string());
+                },
+            );
         }
-        let mut edges: Vec<_> = policy.originate.iter().collect();
-        edges.sort_by_key(|(e, _)| **e);
-        for (_, routes) in edges {
+        for routes in policy.originate.values() {
             for r in routes {
-                for c in &r.communities {
-                    self.add_community(*c);
-                }
+                comms.extend(r.communities.iter().copied());
             }
+        }
+        for c in comms {
+            self.add_community(c);
+        }
+        for p in regexes {
+            self.add_regex(&p);
         }
     }
 
-    /// Scan one route map.
+    /// Scan one route map (attributes register in encounter order; use
+    /// [`Universe::scan_policy`] for the canonical whole-policy layout).
     pub fn scan_route_map(&mut self, m: &RouteMap) {
-        for e in &m.entries {
-            for cond in &e.matches {
-                match cond {
-                    MatchCond::Community { comms, .. } => {
-                        for c in comms {
-                            self.add_community(*c);
-                        }
-                    }
-                    MatchCond::CommunityList { entries, .. } => {
-                        for (_, comms) in entries {
-                            for c in comms {
-                                self.add_community(*c);
-                            }
-                        }
-                    }
-                    MatchCond::AsPath(entries) => {
-                        for (_, re) in entries {
-                            self.add_regex(re.pattern());
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            for set in &e.sets {
-                match set {
-                    SetAction::Community { comms, .. } | SetAction::DeleteCommunities(comms) => {
-                        for c in comms {
-                            self.add_community(*c);
-                        }
-                    }
-                    _ => {}
-                }
-            }
+        let mut comms = Vec::new();
+        let mut regexes = Vec::new();
+        for_each_mention(m, &mut |c| comms.push(c), &mut |re| {
+            regexes.push(re.to_string())
+        });
+        for c in comms {
+            self.add_community(c);
+        }
+        for p in regexes {
+            self.add_regex(&p);
         }
     }
 

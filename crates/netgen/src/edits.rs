@@ -1,0 +1,250 @@
+//! Configuration **edit** generators for delta-verification workloads.
+//!
+//! Where [`crate::mutate`] injects *bugs* (edits that violate a
+//! property), this module generates the day-to-day reconfiguration
+//! traffic a re-verify daemon sees: benign parameter tweaks, cosmetic
+//! renames, peering churn. Each generator mutates a configuration set in
+//! place and reports what it did as an [`AppliedEdit`], so tests can
+//! hand the edited set plus the expected classification straight to
+//! `delta::diff_configs` and `lightyear::ReverifyEngine`.
+//!
+//! [`random_edit`] drives the proptest suites: a seeded, deterministic
+//! pick over the whole edit menu — semantic tweaks, cosmetic renames,
+//! no-ops and property-violating mutations alike — so randomized
+//! round-trips (`reverify == fresh run, byte-identical`) cover the full
+//! delta classification table.
+
+use crate::mutate;
+use bgp_config::ast::{ConfigAst, SetAst};
+
+/// Description of one applied edit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppliedEdit {
+    /// The router whose configuration was altered.
+    pub router: String,
+    /// What was done.
+    pub description: String,
+    /// Whether the edit is semantically invisible (rename-class): the
+    /// differ must classify it cosmetic and re-verification must produce
+    /// an empty dirty set.
+    pub cosmetic: bool,
+}
+
+fn applied(router: &str, description: impl Into<String>, cosmetic: bool) -> Option<AppliedEdit> {
+    Some(AppliedEdit {
+        router: router.to_string(),
+        description: description.into(),
+        cosmetic,
+    })
+}
+
+/// Rename a route map and every reference to it on one router — the
+/// canonical cosmetic edit. Returns `None` when the router or map is
+/// missing, or the new name is already taken.
+pub fn rename_route_map(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+    new_name: &str,
+) -> Option<AppliedEdit> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    if cfg.route_maps.contains_key(new_name) {
+        return None;
+    }
+    let entries = cfg.route_maps.remove(map)?;
+    cfg.route_maps.insert(new_name.to_string(), entries);
+    if let Some(bgp) = &mut cfg.router_bgp {
+        for nbr in bgp.neighbors.values_mut() {
+            if nbr.route_map_in.as_deref() == Some(map) {
+                nbr.route_map_in = Some(new_name.to_string());
+            }
+            if nbr.route_map_out.as_deref() == Some(map) {
+                nbr.route_map_out = Some(new_name.to_string());
+            }
+        }
+    }
+    applied(
+        router,
+        format!("renamed route-map {map} to {new_name}"),
+        true,
+    )
+}
+
+/// Add an unused prefix list — semantically invisible.
+pub fn add_unused_prefix_list(
+    configs: &mut [ConfigAst],
+    router: &str,
+    name: &str,
+) -> Option<AppliedEdit> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    if cfg.prefix_lists.contains_key(name) {
+        return None;
+    }
+    cfg.prefix_lists.insert(name.to_string(), Vec::new());
+    applied(router, format!("added unused prefix-list {name}"), true)
+}
+
+/// Set (or update) a `set local-preference` action on the last permit
+/// entry of a route map: the canonical benign semantic tweak — it
+/// dirties the map's checks without breaking the WAN property suites
+/// (which pin local-pref only through `lp-normalized`).
+pub fn set_local_pref(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+    lp: u32,
+) -> Option<AppliedEdit> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    let entries = cfg.route_maps.get_mut(map)?;
+    let entry = entries.iter_mut().rev().find(|e| e.permit)?;
+    entry.sets.retain(|s| !matches!(s, SetAst::LocalPref(_)));
+    entry.sets.push(SetAst::LocalPref(lp));
+    applied(router, format!("set local-preference {lp} in {map}"), false)
+}
+
+/// Remove one peering (the neighbor block naming `peer`) from a router.
+pub fn remove_peering(configs: &mut [ConfigAst], router: &str, peer: &str) -> Option<AppliedEdit> {
+    let cfg = configs.iter_mut().find(|c| c.hostname == router)?;
+    let bgp = cfg.router_bgp.as_mut()?;
+    let addr = bgp
+        .neighbors
+        .iter()
+        .find(|(_, n)| n.description.as_deref() == Some(peer))
+        .map(|(a, _)| a.clone())?;
+    bgp.neighbors.remove(&addr);
+    applied(router, format!("removed peering to {peer}"), false)
+}
+
+/// The seeded edit menu: deterministically picks a router and an edit
+/// kind from `seed`. Cosmetic and semantic edits (including
+/// property-violating mutations from [`crate::mutate`]) are all on the
+/// menu; returns `None` only when the chosen edit does not apply to the
+/// chosen router (callers typically retry with `seed + 1`).
+pub fn random_edit(configs: &mut [ConfigAst], seed: u64) -> Option<AppliedEdit> {
+    if configs.is_empty() {
+        return None;
+    }
+    // Routers with an attached route map are the interesting targets.
+    let candidates: Vec<usize> = configs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.route_maps.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let idx = *candidates.get(seed as usize % candidates.len().max(1))?;
+    let router = configs[idx].hostname.clone();
+    // First referenced (attached) map, for edits that need one.
+    let attached: Option<String> = configs[idx].router_bgp.as_ref().and_then(|b| {
+        let mut names: Vec<&String> = b
+            .neighbors
+            .values()
+            .flat_map(|n| n.route_map_in.iter().chain(n.route_map_out.iter()))
+            .collect();
+        names.sort();
+        names.first().map(|s| s.to_string())
+    });
+    match (seed / 7) % 6 {
+        0 => rename_route_map(
+            configs,
+            &router,
+            &attached?,
+            &format!("RENAMED-{}", seed % 1000),
+        ),
+        1 => add_unused_prefix_list(configs, &router, &format!("UNUSED-{}", seed % 1000)),
+        2 => set_local_pref(configs, &router, &attached?, 90 + (seed % 50) as u32),
+        3 => {
+            let peer = configs[idx].router_bgp.as_ref().and_then(|b| {
+                let mut peers: Vec<&str> = b
+                    .neighbors
+                    .values()
+                    .filter_map(|n| n.description.as_deref())
+                    // Only external-looking peers, to keep the session
+                    // graph symmetric for internal routers.
+                    .filter(|p| p.starts_with("PEER") || p.starts_with("DC"))
+                    .collect();
+                peers.sort();
+                peers
+                    .get(seed as usize % peers.len().max(1))
+                    .map(|s| s.to_string())
+            })?;
+            remove_peering(configs, &router, &peer)
+        }
+        4 => mutate::drop_community_sets(configs, &router, &attached?).map(|b| AppliedEdit {
+            router: b.router,
+            description: b.description,
+            cosmetic: false,
+        }),
+        _ => mutate::drop_aspath_filters(configs, &router, &attached?).map(|b| AppliedEdit {
+            router: b.router,
+            description: b.description,
+            cosmetic: false,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wan::{self, WanParams};
+
+    fn params() -> WanParams {
+        WanParams {
+            regions: 2,
+            routers_per_region: 2,
+            edge_routers: 2,
+            peers_per_edge: 2,
+            ..WanParams::default()
+        }
+    }
+
+    #[test]
+    fn rename_updates_references() {
+        let mut configs = wan::configs(&params());
+        let e = rename_route_map(&mut configs, "EDGE0", "FROM-PEER0", "FROM-PEER0-V2").unwrap();
+        assert!(e.cosmetic);
+        let cfg = configs.iter().find(|c| c.hostname == "EDGE0").unwrap();
+        assert!(!cfg.route_maps.contains_key("FROM-PEER0"));
+        assert!(cfg.route_maps.contains_key("FROM-PEER0-V2"));
+        let bgp = cfg.router_bgp.as_ref().unwrap();
+        assert!(bgp
+            .neighbors
+            .values()
+            .any(|n| n.route_map_in.as_deref() == Some("FROM-PEER0-V2")));
+        // The network still lowers (no dangling references).
+        let _ = crate::roundtrip_and_lower(&configs);
+    }
+
+    #[test]
+    fn local_pref_tweak_is_semantic_and_lowers() {
+        let mut configs = wan::configs(&params());
+        let e = set_local_pref(&mut configs, "EDGE1", "FROM-PEER1", 120).unwrap();
+        assert!(!e.cosmetic);
+        let _ = crate::roundtrip_and_lower(&configs);
+    }
+
+    #[test]
+    fn remove_peering_drops_the_neighbor() {
+        let mut configs = wan::configs(&params());
+        let e = remove_peering(&mut configs, "EDGE0", "PEER0-0").unwrap();
+        assert!(!e.cosmetic);
+        let net = crate::roundtrip_and_lower(&configs);
+        assert!(net.topology.node_by_name("PEER0-0").is_none());
+    }
+
+    #[test]
+    fn random_edits_are_deterministic_and_mostly_apply() {
+        let mut applied = 0;
+        for seed in 0..40u64 {
+            let mut a = wan::configs(&params());
+            let mut b = wan::configs(&params());
+            let ea = random_edit(&mut a, seed);
+            let eb = random_edit(&mut b, seed);
+            assert_eq!(ea, eb, "seed {seed} must be deterministic");
+            if ea.is_some() {
+                assert_eq!(a, b);
+                applied += 1;
+            }
+        }
+        assert!(applied > 20, "most seeds should produce an edit: {applied}");
+    }
+}

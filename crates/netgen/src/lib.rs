@@ -18,7 +18,11 @@
 //! * [`mutate`] — failure injection: seeded configuration bugs of the
 //!   classes the paper found in production (missing community tag, ad-hoc
 //!   AS-path policy on one peering, undocumented region community).
+//! * [`edits`] — benign reconfiguration traffic for delta-verification
+//!   workloads: cosmetic renames, parameter tweaks, peering churn, and a
+//!   seeded random-edit generator over the whole menu.
 
+pub mod edits;
 pub mod figure1;
 pub mod fullmesh;
 pub mod mutate;

@@ -155,6 +155,21 @@ impl<V> ResultCache<V> {
     pub fn remove(&self, fp: Fingerprint) {
         self.shard(fp).lock().unwrap().remove(&fp.0);
     }
+
+    /// Drop a batch of entries, returning how many were present. This is
+    /// the delta-aware invalidation entry point: a re-verify round that
+    /// knows which checks a configuration change dirtied removes exactly
+    /// those checks' superseded fingerprints instead of scanning or
+    /// flushing the whole cache.
+    pub fn remove_many(&self, fps: &[Fingerprint]) -> usize {
+        let mut removed = 0;
+        for &fp in fps {
+            if self.shard(fp).lock().unwrap().remove(&fp.0).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
 }
 
 impl<V: Clone> ResultCache<V> {
@@ -365,5 +380,15 @@ mod tests {
         c.insert(fp(7), 7);
         c.remove(fp(7));
         assert_eq!(c.peek(fp(7)), None);
+    }
+
+    #[test]
+    fn remove_many_reports_present_entries() {
+        let c: ResultCache<u32> = ResultCache::new();
+        c.insert(fp(1), 1);
+        c.insert(fp(2), 2);
+        let removed = c.remove_many(&[fp(1), fp(2), fp(3)]);
+        assert_eq!(removed, 2, "fp(3) was never present");
+        assert!(c.is_empty());
     }
 }

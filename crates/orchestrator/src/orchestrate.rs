@@ -144,7 +144,7 @@ pub fn run_deduped<T, V, F>(
 ) -> Batch<V>
 where
     T: Sync,
-    V: Clone + Send,
+    V: Clone + Send + Sync,
     F: Fn(&T) -> V + Sync,
 {
     let keyed: Vec<(Fingerprint, u64, &T)> = items
@@ -180,6 +180,9 @@ where
 ///   value; returning `false` rejects the entry (it is removed and the
 ///   job re-executed). Lets callers spill failure results whose
 ///   counterexamples must be re-checked against live configurations.
+///   Hits are validated concurrently on the same work-stealing pool
+///   that executes jobs, so expensive re-validation (a pinned solve per
+///   spilled failure) does not serialize the dispatch path.
 /// * `solve_group` — receives the group's payloads in submission order
 ///   and must return one result per payload, in order.
 pub fn run_grouped<T, V, F, P>(
@@ -191,8 +194,8 @@ pub fn run_grouped<T, V, F, P>(
 ) -> Batch<V>
 where
     T: Sync,
-    V: Clone + Send,
-    P: Fn(&T, &V) -> bool,
+    V: Clone + Send + Sync,
+    P: Fn(&T, &V) -> bool + Sync,
     F: Fn(&[&T]) -> Vec<V> + Sync,
 {
     let executor = Executor::with_threads(cfg.jobs);
@@ -222,29 +225,39 @@ where
     stats.unique = structures.len();
     stats.dedup_hits = stats.generated - stats.unique;
 
-    // Answer structures from the cache where possible; validation
-    // failures drop the entry and fall through to execution.
-    let mut struct_results: Vec<Option<V>> = Vec::with_capacity(structures.len());
-    let mut to_run: Vec<(usize, Fingerprint, usize)> = Vec::new(); // (structure, fp, rep item)
-    for (si, (fp, members)) in structures.iter().enumerate() {
-        let cached = match cache.and_then(|c| c.get(*fp)) {
-            Some(v) if validate(&items[members[0]].2, &v) => Some(v),
-            Some(_) => {
-                stats.invalidated += members.len();
-                if let Some(c) = cache {
-                    c.remove(*fp);
-                }
-                None
-            }
-            None => None,
-        };
-        if cached.is_some() {
+    // Answer structures from the cache where possible. Hits are
+    // validated on the work-stealing pool — re-validating a spilled
+    // failure costs a pinned encode+solve, so a warm run over a
+    // heavily-broken network would otherwise serialize those solves on
+    // the dispatching thread. Validation failures drop the entry and
+    // fall through to execution.
+    let mut struct_results: Vec<Option<V>> = (0..structures.len()).map(|_| None).collect();
+    let hits: Vec<(usize, V)> = structures
+        .iter()
+        .enumerate()
+        .filter_map(|(si, (fp, _))| cache.and_then(|c| c.get(*fp)).map(|v| (si, v)))
+        .collect();
+    let (verdicts, _) = executor.run(&hits, |(si, v): &(usize, V)| {
+        validate(&items[structures[*si].1[0]].2, v)
+    });
+    for ((si, v), ok) in hits.into_iter().zip(verdicts) {
+        let (fp, members) = &structures[si];
+        if ok {
             stats.cache_hits += members.len();
+            struct_results[si] = Some(v);
         } else {
-            to_run.push((si, *fp, members[0]));
+            stats.invalidated += members.len();
+            if let Some(c) = cache {
+                c.remove(*fp);
+            }
         }
-        struct_results.push(cached);
     }
+    let to_run: Vec<(usize, Fingerprint, usize)> = structures
+        .iter()
+        .enumerate()
+        .filter(|(si, _)| struct_results[*si].is_none())
+        .map(|(si, (fp, members))| (si, *fp, members[0]))
+        .collect();
     stats.executed = to_run.len();
 
     // Batch the representatives into encoding-base groups, preserving
@@ -430,6 +443,44 @@ mod tests {
         assert_eq!(batch.stats.executed, 2);
         // The stale entry was replaced by the fresh verdict.
         assert_eq!(cache.peek(fp(1)), Some(11));
+    }
+
+    #[test]
+    fn revalidation_runs_concurrently_on_the_pool() {
+        // Many cached entries with a validator that records its calling
+        // threads: with several workers, validation must not all happen
+        // on the dispatching thread.
+        use std::sync::Mutex;
+        let cache: ResultCache<u32> = ResultCache::new();
+        let n = 64u32;
+        for i in 0..n {
+            cache.insert(fp(i), i);
+        }
+        let threads: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        let items: Vec<(Fingerprint, u64, u32)> = (0..n).map(|i| (fp(i), i as u64, i)).collect();
+        let cfg = RunConfig {
+            jobs: Some(4),
+            dedup: true,
+        };
+        let batch = run_grouped(
+            cfg,
+            Some(&cache),
+            &items,
+            |_, _| {
+                threads.lock().unwrap().insert(std::thread::current().id());
+                // Simulate pinned-solve cost so workers overlap.
+                std::thread::sleep(std::time::Duration::from_micros(300));
+                true
+            },
+            |group| group.iter().map(|&&x| x).collect(),
+        );
+        assert_eq!(batch.stats.cache_hits as u32, n);
+        assert_eq!(batch.stats.executed, 0);
+        assert!(
+            threads.lock().unwrap().len() > 1,
+            "validation must fan out over the pool"
+        );
     }
 
     #[test]

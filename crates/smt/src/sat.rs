@@ -509,8 +509,32 @@ impl SatSolver {
         None
     }
 
-    /// Remove the less active half of learnt clauses (keeping reasons).
+    /// Remove the less active half of the (non-binary, unlocked) learnt
+    /// clauses — the in-search reduction, expressed as a cap.
     fn reduce_db(&mut self) {
+        let half = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
+            .count() as u64
+            / 2;
+        self.reduce_learnts_to(self.stats.learnts.saturating_sub(half));
+    }
+
+    /// Shrink the learnt-clause database to at most `cap` clauses,
+    /// deleting least-active learnts first (this one routine backs both
+    /// the in-search reduction and the session-level GC, so the activity
+    /// order and locked-clause rules cannot drift apart). Binary learnt
+    /// clauses and clauses currently the reason for an assignment are
+    /// kept, so the cap is a target, not a hard guarantee. A deleted
+    /// clause's literal storage is freed immediately and its watcher
+    /// entries are dropped on the next visit — a capped long-lived
+    /// session's memory stays proportional to the live clause set plus
+    /// empty tombstone headers, no matter how many queries it answered.
+    pub fn reduce_learnts_to(&mut self, cap: u64) {
+        if self.stats.learnts <= cap {
+            return;
+        }
         let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
             .filter(|&c| {
                 let cl = &self.clauses[c as usize];
@@ -523,30 +547,21 @@ impl SatSolver {
                 .partial_cmp(&self.clauses[b as usize].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: Vec<bool> = learnt_refs
-            .iter()
-            .map(|&c| {
-                // A clause is locked while it is the reason for one of its
-                // watched literals' assignments.
-                self.clauses[c as usize].lits[..2].iter().any(|&l| {
-                    self.reason[l.var().0 as usize] == c && self.value_lit(l) == LBool::True
-                })
-            })
-            .collect();
-        let n_remove = learnt_refs.len() / 2;
-        let mut removed = 0;
-        for (idx, &c) in learnt_refs.iter().enumerate() {
-            if removed >= n_remove {
+        for &c in &learnt_refs {
+            if self.stats.learnts <= cap {
                 break;
             }
-            if locked[idx] {
+            let locked = self.clauses[c as usize].lits[..2]
+                .iter()
+                .any(|&l| self.reason[l.var().0 as usize] == c && self.value_lit(l) == LBool::True);
+            if locked {
                 continue;
             }
-            self.clauses[c as usize].deleted = true;
+            let cl = &mut self.clauses[c as usize];
+            cl.deleted = true;
+            cl.lits = Vec::new();
             self.stats.learnts = self.stats.learnts.saturating_sub(1);
-            removed += 1;
         }
-        // Deleted clauses are skipped lazily during propagation.
     }
 
     /// Solve the formula. Returns `Sat` or `Unsat`; on `Sat` the model is
@@ -995,6 +1010,34 @@ mod tests {
         assert!(s.add_clause(vec![Var(0).neg(), Var(2).pos()]));
         assert_eq!(s.solve(), SolveOutcome::Sat);
         assert!(s.value(Var(0)) && s.value(Var(2)));
+    }
+
+    #[test]
+    fn reduce_learnts_to_bounds_the_database() {
+        // A formula hard enough to learn from: pigeonhole 4 into 3.
+        let pigeons = 4u32;
+        let holes = 3u32;
+        let var = |p: u32, h: u32| Var(p * holes + h);
+        let mut s = SatSolver::new(pigeons * holes);
+        for p in 0..pigeons {
+            assert!(s.add_clause((0..holes).map(|h| var(p, h).pos()).collect()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    assert!(s.add_clause(vec![var(p1, h).neg(), var(p2, h).neg()]));
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        // Whatever was learnt, the GC caps it (binary learnts may stay).
+        s.reduce_learnts_to(0);
+        let non_binary_learnts = s
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
+            .count();
+        assert_eq!(non_binary_learnts, 0, "non-binary learnts must be GCed");
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Delta re-verification must be invisible in results.
+//!
+//! The contract under test: for any configuration edit — semantic,
+//! property-violating, topology-changing, or purely cosmetic — a
+//! [`lightyear::ReverifyEngine`] round over the edited network produces
+//! a report **byte-identical** to a fresh full verification of the same
+//! network, while re-solving only the dirty neighborhood:
+//!
+//! * cosmetic edits (classified by `delta::diff_configs`) produce an
+//!   **empty** dirty set;
+//! * semantic single-router edits keep `dirty <= candidates < total`
+//!   (the impact-analysis locality guarantee) unless the attribute
+//!   universe itself changed shape, which forces a declared full round;
+//! * verdicts and counterexamples never depend on warm-session history.
+
+use delta::diff_configs;
+use lightyear::engine::Verifier;
+use lightyear::reverify::ReverifyEngine;
+use lightyear::Report;
+use netgen::wan::{self, WanParams};
+use netgen::{edits, mutate};
+use proptest::prelude::*;
+
+fn assert_reports_byte_identical(topo: &bgp_model::Topology, a: &Report, b: &Report) {
+    assert_eq!(a.to_string(), b.to_string());
+    assert_eq!(a.format_failures(topo), b.format_failures(topo));
+}
+
+/// The first peering suite (no-bogons) of a scenario.
+fn suite(s: &wan::Scenario) -> (Vec<lightyear::SafetyProperty>, lightyear::NetworkInvariants) {
+    let (_, q) = s.peering_predicates().into_iter().next().unwrap();
+    s.peering_property_inputs(&q)
+}
+
+/// One base-then-edit round trip compared against a fresh run.
+fn check_edit_roundtrip(params: &WanParams, edit_seed: u64) {
+    let base_configs = wan::configs(params);
+    let base = wan::build_from_configs(params, base_configs.clone());
+    let mut engine = ReverifyEngine::new();
+    {
+        let (props, inv) = suite(&base);
+        let v = Verifier::new(&base.network.topology, &base.network.policy)
+            .with_ghost(base.from_peer_ghost());
+        let (report, stats) = engine.reverify(&v, &props, &inv, None);
+        assert!(report.all_passed(), "base WAN must verify");
+        assert_eq!(stats.dirty, stats.total, "first round is full");
+    }
+
+    // Apply a seeded edit (retrying neighboring seeds that do not apply).
+    let mut edited_configs = base_configs.clone();
+    let mut applied = None;
+    for s in edit_seed..edit_seed + 12 {
+        applied = edits::random_edit(&mut edited_configs, s);
+        if applied.is_some() {
+            break;
+        }
+    }
+    let Some(applied) = applied else {
+        return; // no edit applies to this tiny network: nothing to test
+    };
+    let delta = diff_configs(&base_configs, &edited_configs);
+    assert!(!delta.is_empty(), "an applied edit must diff: {applied:?}");
+    assert_eq!(
+        applied.cosmetic,
+        delta.is_cosmetic(),
+        "differ must agree with the generator: {applied:?} vs {delta}"
+    );
+
+    let edited = wan::build_from_configs(params, edited_configs.clone());
+    let topo = &edited.network.topology;
+    let (props, inv) = suite(&edited);
+    let changed = delta.changed_routers();
+    let v = Verifier::new(topo, &edited.network.policy).with_ghost(edited.from_peer_ghost());
+    let (warm, stats) = engine.reverify(&v, &props, &inv, Some(&changed));
+
+    // Ground truth: a fresh full verification of the edited network.
+    let fresh = v.verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &fresh, &warm);
+
+    if delta.is_cosmetic() {
+        assert_eq!(
+            stats.dirty, 0,
+            "cosmetic edit must have an empty dirty set: {applied:?} {stats:?}"
+        );
+        assert!(!stats.universe_reset);
+    } else if !stats.universe_reset {
+        assert!(
+            stats.dirty <= stats.candidates,
+            "dirty set must stay within the delta neighborhood: {applied:?} {stats:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn reverify_matches_fresh_on_random_wans_and_edits(
+        regions in 1usize..3,
+        routers_per_region in 1usize..3,
+        edge_routers in 1usize..3,
+        peers_per_edge in 1usize..3,
+        seed in 0u64..1000,
+        edit_seed in 0u64..1000,
+    ) {
+        let params = WanParams {
+            regions,
+            routers_per_region,
+            edge_routers,
+            peers_per_edge,
+            seed,
+        };
+        check_edit_roundtrip(&params, edit_seed);
+    }
+}
+
+/// A property-violating edit: the warm round must report the violation
+/// with exactly the counterexamples a fresh run prints.
+#[test]
+fn reverify_reports_failures_byte_identical_to_fresh() {
+    let params = WanParams {
+        regions: 2,
+        routers_per_region: 2,
+        edge_routers: 2,
+        peers_per_edge: 2,
+        seed: 7,
+    };
+    let base_configs = wan::configs(&params);
+    let base = wan::build_from_configs(&params, base_configs.clone());
+    let pick = |s: &wan::Scenario| {
+        let (_, q) = s
+            .peering_predicates()
+            .into_iter()
+            .find(|(n, _)| n == "no-private-asn")
+            .unwrap();
+        s.peering_property_inputs(&q)
+    };
+    let mut engine = ReverifyEngine::new();
+    {
+        let (props, inv) = pick(&base);
+        let v = Verifier::new(&base.network.topology, &base.network.policy)
+            .with_ghost(base.from_peer_ghost());
+        let (report, _) = engine.reverify(&v, &props, &inv, None);
+        assert!(report.all_passed());
+    }
+
+    let mut edited_configs = base_configs.clone();
+    mutate::drop_aspath_filters(&mut edited_configs, "EDGE1", "FROM-PEER1").unwrap();
+    let delta = diff_configs(&base_configs, &edited_configs);
+    assert_eq!(delta.changed_routers(), vec!["EDGE1".to_string()]);
+
+    let edited = wan::build_from_configs(&params, edited_configs);
+    let topo = &edited.network.topology;
+    let (props, inv) = pick(&edited);
+    let changed = delta.changed_routers();
+    let v = Verifier::new(topo, &edited.network.policy).with_ghost(edited.from_peer_ghost());
+    let (warm, stats) = engine.reverify(&v, &props, &inv, Some(&changed));
+    assert!(
+        !warm.all_passed(),
+        "the bug must be caught on the warm path"
+    );
+    assert!(
+        stats.dirty > 0 && stats.dirty <= stats.candidates,
+        "{stats:?}"
+    );
+    assert!(stats.candidates < stats.total, "{stats:?}");
+
+    let fresh = v.verify_safety_multi(&props, &inv);
+    assert_reports_byte_identical(topo, &fresh, &warm);
+}
+
+/// A multi-round daemon lifetime: edit, revert, edit elsewhere — warm
+/// sessions are reused, dirty sets stay local, the carried cache never
+/// grows stale verdicts (reverts re-prove).
+#[test]
+fn daemon_rounds_reuse_sessions_and_stay_local() {
+    let params = WanParams {
+        regions: 2,
+        routers_per_region: 2,
+        edge_routers: 3,
+        peers_per_edge: 2,
+        seed: 3,
+    };
+    let base_configs = wan::configs(&params);
+    let mut engine = ReverifyEngine::new();
+    let run = |engine: &mut ReverifyEngine,
+               configs: &[bgp_config::ConfigAst],
+               changed: Option<&[String]>| {
+        let scen = wan::build_from_configs(&params, configs.to_vec());
+        let (props, inv) = suite(&scen);
+        let v = Verifier::new(&scen.network.topology, &scen.network.policy)
+            .with_ghost(scen.from_peer_ghost());
+        let (report, stats) = engine.reverify(&v, &props, &inv, changed);
+        let fresh = v.verify_safety_multi(&props, &inv);
+        assert_eq!(fresh.to_string(), report.to_string());
+        (report, stats)
+    };
+
+    run(&mut engine, &base_configs, None);
+
+    // Round 1: tweak EDGE0.
+    let mut c1 = base_configs.clone();
+    edits::set_local_pref(&mut c1, "EDGE0", "FROM-PEER0", 110).unwrap();
+    let changed = diff_configs(&base_configs, &c1).changed_routers();
+    let (_, s1) = run(&mut engine, &c1, Some(&changed));
+    assert!(s1.dirty > 0 && s1.dirty <= s1.candidates, "{s1:?}");
+    assert!(s1.candidates < s1.total, "{s1:?}");
+
+    // Round 2: revert. The restored map's template still exists on the
+    // other edge routers, so its fingerprint is *live* — the revert is
+    // answered entirely from the carried cache (rename-invariant dedup
+    // across routers), while round 1's superseded fingerprint is
+    // invalidated so the cache cannot grow stale entries.
+    let changed = diff_configs(&c1, &base_configs).changed_routers();
+    let (_, s2) = run(&mut engine, &base_configs, Some(&changed));
+    assert_eq!(s2.dirty, 0, "template dedup answers the revert: {s2:?}");
+    assert!(s2.invalidated > 0, "the lp-110 fingerprint is gone: {s2:?}");
+
+    // Round 3: tweak a different router; its neighborhood only.
+    let mut c3 = base_configs.clone();
+    edits::set_local_pref(&mut c3, "EDGE1", "FROM-PEER1", 120).unwrap();
+    let changed = diff_configs(&base_configs, &c3).changed_routers();
+    let (_, s3) = run(&mut engine, &c3, Some(&changed));
+    assert!(s3.dirty > 0 && s3.dirty <= s3.candidates, "{s3:?}");
+
+    // Round 4: re-edit the round-1 router with a new value — the
+    // persistent session for that edge answers without re-encoding the
+    // shared route structure. The diff must be taken against the
+    // *previous accepted round* (c3), so it names both the re-edited
+    // EDGE0 and the reverted EDGE1.
+    let mut c4 = base_configs.clone();
+    edits::set_local_pref(&mut c4, "EDGE0", "FROM-PEER0", 130).unwrap();
+    let changed = diff_configs(&c3, &c4).changed_routers();
+    let (_, s4) = run(&mut engine, &c4, Some(&changed));
+    assert!(s4.dirty > 0, "{s4:?}");
+    assert!(
+        s4.sessions_reused > 0,
+        "warm session must be reused: {s4:?}"
+    );
+    assert_eq!(s4.sessions_created, 0, "{s4:?}");
+}
