@@ -17,11 +17,12 @@
 //! Sized at an 8-router and a 50-router WAN; scale further with
 //! `WAN_REGIONS` / `WAN_ROUTERS` / `WAN_EDGES` / `WAN_PEERS`.
 
-use bench::env_usize;
+use bench::{env_usize, median, record_gate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightyear::engine::{CheckCache, RunMode, Verifier};
 use netgen::wan::{self, WanParams};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn small_params() -> WanParams {
     WanParams {
@@ -43,7 +44,7 @@ fn large_params() -> WanParams {
     }
 }
 
-fn bench_scenario(c: &mut Criterion, s: &wan::Scenario) {
+fn bench_scenario(c: &mut Criterion, s: &wan::Scenario, acceptance: bool) {
     let topo = &s.network.topology;
     let (name, q) = s.peering_predicates().into_iter().next().unwrap();
     let (props, inv) = s.peering_property_inputs(&q);
@@ -103,11 +104,43 @@ fn bench_scenario(c: &mut Criterion, s: &wan::Scenario) {
         })
     });
     g.finish();
+
+    if !acceptance {
+        return;
+    }
+    // Acceptance gate (ISSUE 2, asserted in-bench since ISSUE 4's CI
+    // bench-gate job): incremental group solving >= 2x over fresh
+    // per-check solving on the 50-router WAN.
+    let reps = 5usize;
+    let fresh_times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let v = Verifier::new(topo, &s.network.policy)
+                .with_ghost(s.from_peer_ghost())
+                .with_incremental(false);
+            let t = Instant::now();
+            assert!(v.verify_safety_multi(&props, &inv).all_passed());
+            t.elapsed()
+        })
+        .collect();
+    let inc_times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let v = Verifier::new(topo, &s.network.policy).with_ghost(s.from_peer_ghost());
+            let t = Instant::now();
+            assert!(v.verify_safety_multi(&props, &inv).all_passed());
+            t.elapsed()
+        })
+        .collect();
+    let (fresh_med, inc_med) = (median(fresh_times), median(inc_times));
+    let ratio = fresh_med.as_secs_f64() / inc_med.as_secs_f64();
+    println!(
+        "acceptance {label}: fresh {fresh_med:?} vs incremental {inc_med:?} ({ratio:.1}x, need >= 2x)"
+    );
+    record_gate("incremental-50r", ratio, 2.0);
 }
 
 fn bench_incremental(c: &mut Criterion) {
-    bench_scenario(c, &wan::build(&small_params()));
-    bench_scenario(c, &wan::build(&large_params()));
+    bench_scenario(c, &wan::build(&small_params()), false);
+    bench_scenario(c, &wan::build(&large_params()), true);
 }
 
 criterion_group!(benches, bench_incremental);

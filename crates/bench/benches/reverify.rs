@@ -18,7 +18,7 @@
 //! acceptance gate (warm ≥ 5x faster than fresh on the 50-router WAN,
 //! dirty set ≤ the edited neighborhood) is asserted at the end.
 
-use bench::env_usize;
+use bench::{env_usize, median, record_gate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use delta::diff_configs;
 use lightyear::engine::Verifier;
@@ -68,11 +68,6 @@ fn variants(params: &WanParams, n: u32) -> Vec<Variant> {
             }
         })
         .collect()
-}
-
-fn median(mut xs: Vec<Duration>) -> Duration {
-    xs.sort();
-    xs[xs.len() / 2]
 }
 
 fn bench_scenario(c: &mut Criterion, params: &WanParams, acceptance: bool) {
@@ -171,7 +166,11 @@ fn bench_scenario(c: &mut Criterion, params: &WanParams, acceptance: bool) {
         .collect();
     let warm_times: Vec<Duration> = (0..reps)
         .map(|r| {
-            let var = &bank[(7 + r) % bank.len()];
+            // Variants 20.. were never posed to the engine: a variant the
+            // warm loop already solved would now be answered dirty-0 from
+            // the conjunct-core cache (its rest fingerprint recurs), and
+            // the gate must time rounds that really re-solve.
+            let var = &bank[(20 + r) % bank.len()];
             let s = &var.scenario;
             let (props, inv) = suite(s);
             let v = Verifier::new(&s.network.topology, &s.network.policy)
@@ -189,10 +188,7 @@ fn bench_scenario(c: &mut Criterion, params: &WanParams, acceptance: bool) {
     println!(
         "acceptance {label}: fresh {fresh_med:?} vs warm {warm_med:?} ({ratio:.1}x, need >= 5x)"
     );
-    assert!(
-        ratio >= 5.0,
-        "warm re-verify must beat fresh by >= 5x on {label}: {ratio:.1}x"
-    );
+    record_gate("reverify-warm-50r", ratio, 5.0);
 }
 
 fn bench_reverify(c: &mut Criterion) {

@@ -33,6 +33,33 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Record an in-bench acceptance gate's outcome: print it, append it to
+/// the `BENCH_JSON` file (the CI `bench-gate` job's `BENCH_ci.json`
+/// artifact), and **panic when the floor is missed** so `cargo bench`
+/// — and with it the CI job — fails. Call this with the measured
+/// speedup ratio and the asserted floor.
+pub fn record_gate(name: &str, ratio: f64, floor: f64) {
+    let pass = ratio >= floor;
+    println!(
+        "gate {name}: {ratio:.2}x (floor {floor:.2}x) -> {}",
+        if pass { "pass" } else { "FAIL" }
+    );
+    criterion::append_json_line(&format!(
+        "{{\"gate\":\"{name}\",\"ratio\":{ratio:.4},\"floor\":{floor:.2},\"pass\":{pass}}}"
+    ));
+    assert!(
+        pass,
+        "bench gate {name}: {ratio:.2}x is below the {floor:.2}x floor"
+    );
+}
+
+/// Median of a sample (used by the in-bench acceptance gates; a median
+/// rides out one-off scheduler hiccups better than a mean on CI boxes).
+pub fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
 /// Format a duration in seconds with millisecond precision.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}s", d.as_secs_f64())

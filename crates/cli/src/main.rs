@@ -7,6 +7,7 @@
 //!                    [--cache] [--cache-dir DIR] [--cache-cap N]
 //!   lightyear watch  --configs <DIR> --spec <FILE> [--baseline DIR]
 //!                    [--once] [--interval-ms N] [--max-rounds N]
+//!                    [--cache-dir DIR]
 //!   lightyear plan   --spec <FILE> <DIR0> <DIR1> [...]
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
@@ -14,8 +15,17 @@
 //!
 //! COMMANDS:
 //!   verify          parse every *.cfg/*.conf in DIR, lower, and run all
-//!                   safety properties in the spec; exit code 1 when any
-//!                   check fails
+//!                   safety properties in the spec as ONE cross-property
+//!                   batch: checks from different properties that share
+//!                   an encoding base (the same edge's transfer relation,
+//!                   the implication shape) are solved on one persistent
+//!                   SMT session, so each edge is encoded once for the
+//!                   whole spec. Per-property output is byte-identical to
+//!                   verifying the properties one at a time. With --json,
+//!                   each property carries a "cores" array: per passing
+//!                   check, which invariant conjuncts its UNSAT proof
+//!                   actually needed (core-based blame). Exit code 1 when
+//!                   any check fails
 //!   watch           long-lived re-verify daemon: verify DIR once, then
 //!                   re-check on every config change, re-solving only the
 //!                   checks the semantic diff dirtied (warm cross-run SMT
@@ -26,7 +36,10 @@
 //!                   --baseline DIR verifies DIR as round zero instead of
 //!                   the watched directory; --once runs a single delta
 //!                   round (baseline -> configs) and exits — the
-//!                   migration-step / CI smoke shape
+//!                   migration-step / CI smoke shape. --cache-dir DIR
+//!                   spills the carried result cache after every verified
+//!                   round and reloads it (passing verdicts only) on
+//!                   startup, so a restarted daemon starts warm
 //!   plan            Snowcap/Chameleon-style migration-plan verification:
 //!                   verify DIR0 fully, then every subsequent directory as
 //!                   a delta round, proving each intermediate
@@ -77,7 +90,7 @@ fn usage() -> ExitCode {
          [--jobs N] [--no-dedup] [--no-incremental] [--cache] [--cache-dir <DIR>]\n    \
          [--cache-cap N]\n  \
          lightyear watch --configs <DIR> --spec <FILE> [--baseline <DIR>] [--once]\n    \
-         [--interval-ms N] [--max-rounds N]\n  \
+         [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>]\n  \
          lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
@@ -313,22 +326,37 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
     }
 
+    // Resolve every property up front, then verify the whole spec as ONE
+    // cross-property batch: checks from different properties that share
+    // an encoding base (above all, each edge's transfer relation) are
+    // solved on a single persistent SMT session instead of re-encoding
+    // the edge once per property. Per-property reports are byte-identical
+    // to standalone runs.
+    let resolved: Vec<_> = match spec
+        .safety
+        .iter()
+        .map(|s| s.resolve(topo))
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let suites: Vec<(&[lightyear::SafetyProperty], &lightyear::NetworkInvariants)> = resolved
+        .iter()
+        .map(|(p, i)| (std::slice::from_ref(p), i))
+        .collect();
+    let multi = verifier.verify_safety_batch(&suites);
     let mut any_failed = false;
     let mut json_out = Vec::new();
-    let mut exec = orchestrator::RunStats::default();
-    for s in &spec.safety {
-        let (prop, inv) = match s.resolve(topo) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let report = verifier.verify_safety(&prop, &inv);
+    let exec = multi.exec;
+    for ((s, (prop, inv)), report) in spec.safety.iter().zip(&resolved).zip(&multi.reports) {
         let passed = report.all_passed();
         any_failed |= !passed;
-        exec.merge(&report.exec);
         if as_json {
+            let props = std::slice::from_ref(prop);
             json_out.push(serde_json::json!({
                 "property": s.name,
                 "passed": passed,
@@ -344,19 +372,50 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                         "description": f.check.description,
                     })
                 }).collect::<Vec<_>>(),
+                // Core-based blame: for every passing check solved on an
+                // assumption session, which invariant conjuncts its UNSAT
+                // proof actually needed.
+                "cores": {
+                    let by_id = verifier.check_conjuncts_all(props, inv);
+                    report.cores().iter().map(|(check, core)| {
+                    let conjs = by_id
+                        .get(check.id)
+                        .cloned()
+                        .flatten()
+                        .unwrap_or_default();
+                    serde_json::json!({
+                        "check": check.id as u64,
+                        "kind": check.kind.to_string(),
+                        "location": check.location.display(topo),
+                        "core": core.iter().map(|&i| i as u64).collect::<Vec<_>>(),
+                        "load_bearing": core
+                            .iter()
+                            .filter_map(|&i| conjs.get(i).cloned())
+                            .collect::<Vec<_>>(),
+                        "conjuncts": conjs.len() as u64,
+                    })
+                }).collect::<Vec<_>>()
+                },
             }));
         } else {
             println!(
-                "{}: {} ({} checks, {:?})",
+                "{}: {} ({} checks)",
                 s.name,
                 if passed { "verified" } else { "VIOLATED" },
                 report.num_checks(),
-                report.total_time
             );
             if !passed {
                 print!("{}", report.format_failures(topo));
             }
         }
+    }
+    if !as_json && !spec.safety.is_empty() {
+        println!(
+            "batch: {} properties, {} checks in {:?}",
+            multi.reports.len(),
+            multi.num_checks(),
+            multi.total_time
+        );
     }
     if parallel {
         let summary = exec.summary();

@@ -10,7 +10,7 @@ use bgp_config::{lower, parse_config, ConfigAst};
 use delta::{diff_configs, ConfigDelta};
 use lightyear::engine::Verifier;
 use lightyear::reverify::{ReverifyEngine, ReverifyStats};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -20,6 +20,11 @@ struct DeltaState {
     spec: Spec,
     engines: Vec<ReverifyEngine>,
     current: Vec<ConfigAst>,
+    /// Spill directory for the carried result caches (`--cache-dir`):
+    /// one subdirectory per spec property, written after every verified
+    /// round, reloaded (passes only) on startup so a restarted daemon
+    /// starts warm.
+    cache_dir: Option<PathBuf>,
 }
 
 /// What one round produced (stats merged over every property).
@@ -35,6 +40,7 @@ fn merge(into: &mut ReverifyStats, s: &ReverifyStats) {
     into.dirty += s.dirty;
     into.candidates += s.candidates;
     into.reused += s.reused;
+    into.core_clean += s.core_clean;
     into.invalidated += s.invalidated;
     into.sessions_reused += s.sessions_reused;
     into.sessions_created += s.sessions_created;
@@ -42,12 +48,57 @@ fn merge(into: &mut ReverifyStats, s: &ReverifyStats) {
 }
 
 impl DeltaState {
-    fn new(spec: Spec) -> DeltaState {
-        let engines = spec.safety.iter().map(|_| ReverifyEngine::new()).collect();
+    fn new(spec: Spec, cache_dir: Option<PathBuf>) -> DeltaState {
+        // With a spill directory, each property's engine starts from its
+        // reloaded cache — passing verdicts only: a pass replays soundly
+        // under an equal fingerprint, while a spilled failure's
+        // counterexample would bypass re-validation, so failures are
+        // simply re-proved after a restart.
+        let mut loaded_total = 0usize;
+        let engines = spec
+            .safety
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match &cache_dir {
+                Some(dir) => {
+                    let pdir = prop_dir(dir, i);
+                    match lightyear::load_pass_cache(&pdir) {
+                        Ok((cache, loaded)) => {
+                            loaded_total += loaded;
+                            ReverifyEngine::with_results(cache)
+                        }
+                        Err(e) => {
+                            eprintln!("warning: ignoring unreadable cache at {pdir:?}: {e}");
+                            ReverifyEngine::new()
+                        }
+                    }
+                }
+                None => ReverifyEngine::new(),
+            })
+            .collect();
+        if loaded_total > 0 {
+            println!(
+                "watch: cache: loaded {loaded_total} entries from {}",
+                cache_dir.as_deref().unwrap_or(Path::new("?")).display()
+            );
+        }
         DeltaState {
             spec,
             engines,
             current: Vec::new(),
+            cache_dir,
+        }
+    }
+
+    /// Spill every engine's carried result cache to the `--cache-dir`
+    /// (no-op without one). Failures are durable in the spill format but
+    /// dropped again on reload; see [`DeltaState::new`].
+    fn spill(&self) {
+        let Some(dir) = &self.cache_dir else { return };
+        for (i, engine) in self.engines.iter().enumerate() {
+            if let Err(e) = lightyear::save_check_cache(&engine.cache(), &prop_dir(dir, i)) {
+                eprintln!("warning: cannot save cache to {dir:?}: {e}");
+            }
         }
     }
 
@@ -125,7 +176,8 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--configs" | "--spec" | "--baseline" | "--interval-ms" | "--max-rounds" => i += 2,
+            "--configs" | "--spec" | "--baseline" | "--interval-ms" | "--max-rounds"
+            | "--cache-dir" => i += 2,
             "--once" => i += 1,
             a => {
                 eprintln!("error: unknown watch option {a}");
@@ -139,6 +191,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     };
     let once = args.iter().any(|a| a == "--once");
     let baseline = flag_value(args, "--baseline");
+    let cache_dir = flag_value(args, "--cache-dir").map(PathBuf::from);
     let interval = match flag_value(args, "--interval-ms").map(|v| v.parse::<u64>()) {
         None => 750,
         Some(Ok(n)) if n > 0 => n,
@@ -163,13 +216,14 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut state = DeltaState::new(spec);
+    let mut state = DeltaState::new(spec, cache_dir);
 
     // Round zero: the baseline directory (the watched one by default).
     let base_dir = baseline.clone().unwrap_or_else(|| dir.clone());
     let mut ok = match load_configs(Path::new(&base_dir)).and_then(|a| state.round(a, true)) {
         Ok(o) => {
             println!("{}", round_line(&format!("baseline {base_dir}"), &o));
+            state.spill();
             o.passed
         }
         Err(e) => {
@@ -184,6 +238,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             match load_configs(Path::new(&dir)).and_then(|a| state.round(a, false)) {
                 Ok(o) => {
                     println!("{}", round_line("round 1", &o));
+                    state.spill();
                     ok &= o.passed;
                 }
                 Err(e) => {
@@ -247,6 +302,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
                 match state.round(asts, false) {
                     Ok(o) => {
                         println!("{}", round_line(&format!("round {rounds}"), &o));
+                        state.spill();
                         ok = o.passed;
                         last_failed = None;
                         accepted = Some(snap);
@@ -304,7 +360,7 @@ pub(crate) fn cmd_plan(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut state = DeltaState::new(spec);
+    let mut state = DeltaState::new(spec, None);
     let mut all_ok = true;
     for (step, d) in dirs.iter().enumerate() {
         let outcome = load_configs(Path::new(d)).and_then(|a| state.round(a, step == 0));
@@ -329,6 +385,13 @@ pub(crate) fn cmd_plan(args: &[String]) -> ExitCode {
         }
     );
     exit(all_ok)
+}
+
+/// The per-property cache spill subdirectory (cache entries are keyed by
+/// structural fingerprints, which are shared *within* one property's
+/// engine; separate directories keep each engine's spill self-contained).
+fn prop_dir(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("prop{i}"))
 }
 
 /// One byte-level read of a directory's config files, keyed by path.

@@ -490,6 +490,91 @@ fn plan_verifies_every_step() {
 }
 
 #[test]
+fn verify_json_reports_unsat_cores() {
+    let d = tmpdir("cores-json");
+    write_net(&d, R2);
+    let out = Command::new(bin())
+        .args(["verify", "--json", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v[0]["passed"], true);
+    let cores = v[0]["cores"]
+        .as_array()
+        .expect("passing runs report a cores array");
+    assert!(
+        !cores.is_empty(),
+        "at least the subsumption check has a core"
+    );
+    // The subsumption check's proof needs the (single-conjunct) override
+    // invariant at the property edge.
+    let sub = cores
+        .iter()
+        .find(|c| c["kind"].as_str() == Some("subsumption"))
+        .expect("subsumption core present");
+    assert_eq!(sub["location"].as_str(), Some("R2 -> ISP2"));
+    let load_bearing = sub["load_bearing"].as_array().unwrap();
+    assert_eq!(load_bearing.len(), 1, "{sub:?}");
+}
+
+#[test]
+fn watch_cache_dir_restarts_warm() {
+    // A killed-and-restarted --once daemon must start warm from the
+    // spilled cache: the restart's baseline round re-solves nothing.
+    let d = tmpdir("watch-cache");
+    write_net(&d, R2);
+    let cache = d.join("cache");
+    let run = || {
+        Command::new(bin())
+            .args(["watch", "--once", "--configs"])
+            .arg(&d)
+            .arg("--spec")
+            .arg(d.join("spec.json"))
+            .arg("--cache-dir")
+            .arg(&cache)
+            .output()
+            .unwrap()
+    };
+    let cold = run();
+    let cold_out = String::from_utf8_lossy(&cold.stdout).to_string();
+    assert!(
+        cold.status.success(),
+        "{cold_out}\n{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    // Cold baseline: everything dirty, nothing cached.
+    let base = cold_out
+        .lines()
+        .find(|l| l.starts_with("baseline"))
+        .unwrap_or_else(|| panic!("no baseline line: {cold_out}"));
+    assert!(base.contains(", 0 cached"), "{base}");
+    assert!(cache.join("prop0").join("cache.json").exists(), "spilled");
+
+    // "Kill" (the --once process exited) and restart: warm.
+    let warm = run();
+    let warm_out = String::from_utf8_lossy(&warm.stdout).to_string();
+    assert!(warm.status.success(), "{warm_out}");
+    assert!(
+        warm_out.contains("watch: cache: loaded"),
+        "must reload the spill: {warm_out}"
+    );
+    let base = warm_out
+        .lines()
+        .find(|l| l.starts_with("baseline"))
+        .unwrap_or_else(|| panic!("no baseline line: {warm_out}"));
+    assert!(
+        base.contains("dirty 0/"),
+        "restart must answer the round from the spill: {base}"
+    );
+    assert!(!base.contains(", 0 cached"), "{base}");
+    assert!(base.contains("verified"), "{base}");
+}
+
+#[test]
 fn verify_cache_warms_across_runs() {
     let d = tmpdir("cache");
     write_net(&d, R2);

@@ -5,6 +5,11 @@
 //! [`black_box`], `criterion_group!` / `criterion_main!` — with a
 //! simple mean-of-samples timer instead of criterion's statistics.
 //! Output is one line per benchmark: `name/param ... mean <time> (N samples)`.
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! benchmark additionally appends one machine-readable JSON line
+//! (`{"bench": ..., "mean_ns": ..., "samples": ...}`) to it — the CI
+//! `bench-gate` job collects these into its `BENCH_ci.json` artifact.
 
 use std::time::{Duration, Instant};
 
@@ -139,8 +144,39 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     };
     f(&mut b);
     match b.last_mean {
-        Some(mean) => println!("{label:<40} mean {mean:>12.3?} ({samples} samples)"),
+        Some(mean) => {
+            println!("{label:<40} mean {mean:>12.3?} ({samples} samples)");
+            append_json_line(&format!(
+                "{{\"bench\":\"{}\",\"mean_ns\":{},\"samples\":{samples}}}",
+                escape(label),
+                mean.as_nanos(),
+            ));
+        }
         None => println!("{label:<40} (no iter() call)"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Append one JSON line to the file named by `BENCH_JSON` (no-op when
+/// the variable is unset or the file cannot be opened — benchmarks must
+/// never fail because of telemetry).
+pub fn append_json_line(line: &str) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
     }
 }
 

@@ -112,6 +112,17 @@ pub struct CheckOutcome {
     pub result: CheckResult,
     /// SMT statistics for this check (Figure 3b metrics).
     pub stats: SolverStats,
+    /// Unsat-core localization of a **passing** check solved on an
+    /// assumption-based session: the indices (into
+    /// `RoutePred::conjuncts()` of the check's assumed invariant) of the
+    /// conjuncts the UNSAT proof actually used. `Some(vec![])` means the
+    /// check holds vacuously — no invariant conjunct was load-bearing.
+    /// `None` for failures, concrete originate checks, and the
+    /// `--no-incremental` one-fresh-instance-per-check path. A core is
+    /// sound but not necessarily minimal, and — like solver timings — not
+    /// deterministic across runs, so it is never part of the `Display`
+    /// rendering (see `--json` and [`Report::cores`]).
+    pub core: Option<Vec<usize>>,
 }
 
 /// The result of verifying a property: all check outcomes plus timing
@@ -153,6 +164,16 @@ impl Report {
         self.outcomes
             .iter()
             .filter(|o| !o.result.passed())
+            .collect()
+    }
+
+    /// The passing outcomes that carry an unsat core, as
+    /// `(check, load-bearing conjunct indices)` — the blame view: which
+    /// invariant conjuncts each proof actually needed.
+    pub fn cores(&self) -> Vec<(&Check, &[usize])> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.core.as_deref().map(|c| (&o.check, c)))
             .collect()
     }
 
@@ -295,6 +316,7 @@ mod tests {
                 num_clauses: 20,
                 ..Default::default()
             },
+            core: Some(vec![0]),
         });
         r.outcomes.push(CheckOutcome {
             check: dummy_check(1),
@@ -304,6 +326,7 @@ mod tests {
                 num_clauses: 5,
                 ..Default::default()
             },
+            core: None,
         });
         assert!(r.all_passed());
         assert_eq!(r.num_checks(), 2);

@@ -41,7 +41,9 @@ use bgp_model::topology::{EdgeId, NodeId, Topology};
 use orchestrator::{run_grouped, Fingerprint, ResultCache, RunConfig, RunStats};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
-use smt::{solve_with_stats, IncrementalSession, SatResult, SolverStats, TermId, TermPool};
+use smt::{
+    solve_with_stats, Assumption, IncrementalSession, SatResult, SolverStats, TermId, TermPool,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -69,6 +71,11 @@ pub struct SolvedCheck {
     pub result: CheckResult,
     /// Solver statistics of the one real invocation.
     pub stats: SolverStats,
+    /// For session-solved passes, the unsat core over the assumed
+    /// invariant's conjuncts (see [`crate::check::CheckOutcome::core`]).
+    /// Equal fingerprints mean equal conjunct lists, so a core replicates
+    /// soundly to every dedup copy and cache hit of the structure.
+    pub core: Option<Vec<usize>>,
 }
 
 impl SolvedCheck {
@@ -90,7 +97,16 @@ impl SolvedCheck {
             ]
         };
         match &self.result {
-            CheckResult::Pass => Some(Value::Object(base(true))),
+            CheckResult::Pass => {
+                let mut fields = base(true);
+                if let Some(core) = &self.core {
+                    fields.push((
+                        "core".to_string(),
+                        Value::Array(core.iter().map(|&i| Value::Int(i as i64)).collect()),
+                    ));
+                }
+                Some(Value::Object(fields))
+            }
             CheckResult::Fail(cex) => {
                 let mut fields = base(false);
                 fields.push(("rejected".to_string(), Value::Bool(cex.rejected)));
@@ -115,10 +131,18 @@ impl SolvedCheck {
             ..SolverStats::default()
         };
         match v["pass"].as_bool()? {
-            true => Some(SolvedCheck {
-                result: CheckResult::Pass,
-                stats,
-            }),
+            true => {
+                let core = v["core"].as_array().map(|xs| {
+                    xs.iter()
+                        .filter_map(|x| x.as_u64().map(|n| n as usize))
+                        .collect()
+                });
+                Some(SolvedCheck {
+                    result: CheckResult::Pass,
+                    stats,
+                    core,
+                })
+            }
             false => {
                 let input = ConcreteRoute::from_value(&v["input"]).ok()?;
                 let output = if v["output"].is_null() {
@@ -134,6 +158,7 @@ impl SolvedCheck {
                         rejected,
                     })),
                     stats,
+                    core: None,
                 })
             }
         }
@@ -168,6 +193,49 @@ pub fn save_check_cache(cache: &CheckCache, dir: &std::path::Path) -> std::io::R
     cache.save_to_dir(dir, SolvedCheck::spill_value)
 }
 
+/// Load a [`CheckCache`] keeping only **passing** entries. This is the
+/// trust level a [`crate::reverify::ReverifyEngine`] extends to a spilled
+/// cache on daemon restart: equal fingerprints mean bit-identical
+/// formulas, so replaying a pass is sound, while a spilled failure's
+/// counterexample would be replayed without the orchestrated path's
+/// re-validation — so failures are dropped and simply re-proved.
+pub fn load_pass_cache(dir: &std::path::Path) -> std::io::Result<(Arc<CheckCache>, usize)> {
+    let cache = Arc::new(CheckCache::new());
+    let loaded = cache.load_from_dir(dir, |v| {
+        SolvedCheck::from_spill(v).filter(|s| s.result.passed())
+    })?;
+    Ok((cache, loaded))
+}
+
+/// The result of a cross-property batch
+/// ([`Verifier::verify_safety_batch`]): one [`Report`] per input suite —
+/// each byte-identical to a standalone run of that suite — plus the
+/// orchestration statistics of the single shared run.
+#[derive(Clone, Debug, Default)]
+pub struct MultiReport {
+    /// Per-suite reports, in input order. Each report's `total_time` is
+    /// the whole batch's wall-clock time (the run is shared; per-suite
+    /// attribution would be fiction) and its `exec` is empty — the
+    /// batch-level statistics live in [`MultiReport::exec`].
+    pub reports: Vec<Report>,
+    /// Orchestration statistics of the one shared run.
+    pub exec: RunStats,
+    /// Wall-clock time of the whole batch.
+    pub total_time: std::time::Duration,
+}
+
+impl MultiReport {
+    /// True when every suite's every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.reports.iter().all(Report::all_passed)
+    }
+
+    /// Total checks across all suites.
+    pub fn num_checks(&self) -> usize {
+        self.reports.iter().map(Report::num_checks).sum()
+    }
+}
+
 /// The violation query of a transfer obligation, as `(pre, ¬goal)`:
 /// `pre = assume(input)`; `goal = reject ∨ ensure(out)` for safety or
 /// `¬reject ∧ ensure(out)` for liveness propagation (`require_accept`).
@@ -184,6 +252,21 @@ pub(crate) fn transfer_violation(
     require_accept: bool,
 ) -> (TermId, TermId) {
     let pre = assume.encode(pool, universe, input);
+    let neg = transfer_goal_negation(pool, universe, transfer, ensure, require_accept);
+    (pre, neg)
+}
+
+/// The `¬goal` half of a transfer obligation on its own. Session solving
+/// poses the `pre` half as one assumption literal **per assume conjunct**
+/// (so an UNSAT proof's failed assumptions localize which conjuncts were
+/// load-bearing) and this negated goal behind one more.
+pub(crate) fn transfer_goal_negation(
+    pool: &mut TermPool,
+    universe: &Universe,
+    transfer: &Transfer,
+    ensure: &RoutePred,
+    require_accept: bool,
+) -> TermId {
     let post = ensure.encode(pool, universe, &transfer.out);
     let goal = if require_accept {
         let not_rej = pool.not(transfer.reject);
@@ -191,8 +274,7 @@ pub(crate) fn transfer_violation(
     } else {
         pool.or2(transfer.reject, post)
     };
-    let neg = pool.not(goal);
-    (pre, neg)
+    pool.not(goal)
 }
 
 /// The violation query of an implication obligation, as `(pre, ¬post)`.
@@ -204,9 +286,129 @@ pub(crate) fn implication_violation(
     ensure: &RoutePred,
 ) -> (TermId, TermId) {
     let pre = assume.encode(pool, universe, r);
-    let post = ensure.encode(pool, universe, r);
-    let neg = pool.not(post);
+    let neg = implication_goal_negation(pool, universe, r, ensure);
     (pre, neg)
+}
+
+/// The `¬post` half of an implication obligation (see
+/// [`transfer_goal_negation`] for why session solving wants it alone).
+pub(crate) fn implication_goal_negation(
+    pool: &mut TermPool,
+    universe: &Universe,
+    r: &SymRoute,
+    ensure: &RoutePred,
+) -> TermId {
+    let post = ensure.encode(pool, universe, r);
+    pool.not(post)
+}
+
+/// Decide one check's violation query on a shared session, with the
+/// assumed invariant split at conjunct granularity: every conjunct of
+/// `assume` and the negated goal each sit behind their own activation
+/// literal, and the query is the assumption solve under all of them —
+/// the same conjunction as the monolithic `pre ∧ ¬goal` query, so
+/// verdicts are identical, but an UNSAT answer now comes with
+/// `failed_assumptions` naming exactly which conjuncts the proof used
+/// (a sound, not necessarily minimal, unsat core).
+///
+/// Returns `(verdict, stats, core)`; `core` is `Some` iff UNSAT. With
+/// `retract`, the posed activations are permanently retracted afterwards
+/// (long-lived re-verify sessions); one-run group sessions skip that.
+pub(crate) fn solve_conjunct_gated(
+    sess: &mut IncrementalSession,
+    universe: &Universe,
+    input: &SymRoute,
+    conjuncts: &[RoutePred],
+    neg: TermId,
+    retract: bool,
+) -> (SatResult, SolverStats, Option<Vec<usize>>) {
+    let encoded: Vec<TermId> = conjuncts
+        .iter()
+        .map(|cp| cp.encode(sess.pool_mut(), universe, input))
+        .collect();
+    // Fold the whole violation query in the term pool first:
+    // hash-consing simplification frequently collapses it outright — an
+    // identity transfer under a uniform invariant makes `¬goal` the
+    // literal complement of the assumed conjunct, folding
+    // `assume ∧ ¬goal` to `False`. Such a check is decided without ever
+    // bit-blasting its formula (transfer relation included), which is
+    // the bulk of a WAN's internal-mesh checks; splitting it into
+    // assumption literals would defeat the simplifier, so the split is
+    // reserved for queries that do not collapse.
+    let folded = {
+        let pool = sess.pool_mut();
+        let mut all = encoded.clone();
+        all.push(neg);
+        let q = pool.and(&all);
+        let fls = pool.fls();
+        (q == fls).then_some(q)
+    };
+    if let Some(q) = folded {
+        let core = Some(syntactic_core(sess.pool(), &encoded, neg));
+        let act = sess.activation(q);
+        let (result, stats) = sess.solve_under(&[act]);
+        debug_assert!(!result.is_sat(), "a False query cannot be satisfiable");
+        if retract {
+            sess.retract(act);
+        }
+        return (result, stats, core);
+    }
+    let mut acts: Vec<Assumption> = Vec::with_capacity(conjuncts.len() + 1);
+    for &t in &encoded {
+        acts.push(sess.activation(t));
+    }
+    let nact = sess.activation(neg);
+    let assumed: Vec<Assumption> = acts.iter().copied().chain(std::iter::once(nact)).collect();
+    let (result, stats) = sess.solve_under(&assumed);
+    let core = match &result {
+        SatResult::Unsat => {
+            let failed = sess.failed_assumptions();
+            Some(
+                acts.iter()
+                    .enumerate()
+                    .filter(|(_, a)| failed.contains(a))
+                    .map(|(i, _)| i)
+                    .collect(),
+            )
+        }
+        SatResult::Sat(_) => None,
+    };
+    if retract {
+        for a in assumed {
+            sess.retract(a);
+        }
+    }
+    (result, stats, core)
+}
+
+/// The conjunct core of a query the term pool folded to `False`: the
+/// simplifier got there through a `False` member or a complementary
+/// pair, so blame the responsible conjunct(s) when they are identifiable
+/// at the top level, and conservatively all of them otherwise (sound —
+/// their conjunction with `¬goal` *is* the folded `False`).
+fn syntactic_core(pool: &TermPool, encoded: &[TermId], neg: TermId) -> Vec<usize> {
+    use smt::Term;
+    let is_false = |t: TermId| matches!(pool.term(t), Term::False);
+    let complement =
+        |a: TermId, b: TermId| *pool.term(a) == Term::Not(b) || *pool.term(b) == Term::Not(a);
+    if is_false(neg) {
+        // The goal holds unconditionally: no conjunct is load-bearing.
+        return Vec::new();
+    }
+    if let Some(i) = encoded.iter().position(|&t| is_false(t)) {
+        return vec![i];
+    }
+    if let Some(i) = encoded.iter().position(|&t| complement(t, neg)) {
+        return vec![i];
+    }
+    for i in 0..encoded.len() {
+        for j in (i + 1)..encoded.len() {
+            if complement(encoded[i], encoded[j]) {
+                return vec![i, j];
+            }
+        }
+    }
+    (0..encoded.len()).collect()
 }
 
 /// The Lightyear verifier for one network.
@@ -400,6 +602,171 @@ impl<'a> Verifier<'a> {
         self.run(&u, &checks)
     }
 
+    /// Cross-property shared-encoding verification: run several
+    /// `(property suite, invariants)` problems as **one** batch, so
+    /// checks from different suites that share an encoding base — above
+    /// all, the transfer relation of one edge — are solved on a single
+    /// persistent session instead of re-encoding that edge once per
+    /// suite, and every subsumption/implication check shares one
+    /// implication session. The batch runs over the union attribute
+    /// universe of all suites.
+    ///
+    /// The returned per-suite reports are **byte-identical** to what a
+    /// standalone [`Verifier::verify_safety_multi`] of that suite
+    /// renders: passes are pure verdicts; failures always re-derive
+    /// their counterexample on a fresh one-shot instance whose CNF does
+    /// not depend on the other suites' universe atoms (unreferenced
+    /// atoms never enter a check's formula cone and are reported as
+    /// don't-care, not fabricated). The result cache — when attached —
+    /// still records one entry per (check, property) structure.
+    pub fn verify_safety_batch(
+        &self,
+        suites: &[(&[SafetyProperty], &NetworkInvariants)],
+    ) -> MultiReport {
+        let t0 = Instant::now();
+        // Resolve every suite's checks, re-identified into one global id
+        // space so a single run covers the whole batch.
+        let mut checks: Vec<ResolvedCheck> = Vec::new();
+        let mut bounds = vec![0usize];
+        for (props, inv) in suites {
+            let off = checks.len();
+            checks.extend(self.resolve_suite(props, inv).into_iter().map(|mut rc| {
+                rc.check.id += off;
+                rc
+            }));
+            bounds.push(checks.len());
+        }
+        // Union universe: policy + ghosts + every suite's predicates.
+        let mut u = self.universe(&[]);
+        for (props, inv) in suites {
+            for p in *props {
+                p.pred.register(&mut u);
+            }
+            inv.register(&mut u);
+        }
+        let batch = self.run(&u, &checks);
+        let exec = batch.exec;
+        let total_time = t0.elapsed();
+        // Split the outcomes back into per-suite reports with local ids.
+        let mut outcomes = batch.outcomes.into_iter();
+        let reports = suites
+            .iter()
+            .enumerate()
+            .map(|(si, _)| {
+                let (lo, hi) = (bounds[si], bounds[si + 1]);
+                let mut r = Report {
+                    outcomes: outcomes
+                        .by_ref()
+                        .take(hi - lo)
+                        .map(|mut o| {
+                            o.check.id -= lo;
+                            o
+                        })
+                        .collect(),
+                    total_time,
+                    exec: RunStats::default(),
+                };
+                r.sort_by_id();
+                r
+            })
+            .collect();
+        MultiReport {
+            reports,
+            exec,
+            total_time,
+        }
+    }
+
+    /// The assume-side conjuncts of every check in the `(props, inv)`
+    /// suite, rendered for display and indexed by check id — the
+    /// namespace the indices of [`crate::check::CheckOutcome::core`]
+    /// point into. `None` for concrete originate checks (no symbolic
+    /// assume side). Renderers that blame many checks (the `--json`
+    /// `cores` output) should use this bulk form: it resolves the suite
+    /// once, not once per check.
+    pub fn check_conjuncts_all(
+        &self,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+    ) -> Vec<Option<Vec<String>>> {
+        self.resolve_suite(props, inv)
+            .into_iter()
+            .map(|rc| match &rc.body {
+                CheckBody::Transfer { assume, .. } | CheckBody::Implication { assume, .. } => {
+                    Some(assume.conjuncts().iter().map(|p| p.to_string()).collect())
+                }
+                CheckBody::Originate { .. } => None,
+            })
+            .collect()
+    }
+
+    /// [`Verifier::check_conjuncts_all`] for a single check id. `None`
+    /// for unknown ids and concrete originate checks.
+    pub fn check_conjuncts(
+        &self,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+        check_id: usize,
+    ) -> Option<Vec<String>> {
+        self.check_conjuncts_all(props, inv)
+            .into_iter()
+            .nth(check_id)
+            .flatten()
+    }
+
+    /// Replay an unsat core: re-prove check `check_id` of the
+    /// `(props, inv)` suite with its assumed invariant **reduced to the
+    /// given conjuncts** (indices into `RoutePred::conjuncts()` of the
+    /// check's assume predicate), on a fresh one-shot instance. Returns
+    /// `Some(true)` when the reduced check still passes — which a sound
+    /// core reported by a passing check always guarantees — `Some(false)`
+    /// when it does not (the blame set was insufficient), and `None` when
+    /// the check does not exist, has no symbolic assume side (concrete
+    /// originate checks), or an index is out of range.
+    pub fn check_passes_with_conjuncts(
+        &self,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+        check_id: usize,
+        conjuncts: &[usize],
+    ) -> Option<bool> {
+        let (checks, u) = self.resolve_multi(props, inv);
+        let rc = checks.into_iter().find(|c| c.check.id == check_id)?;
+        let reduce = |assume: &RoutePred| -> Option<RoutePred> {
+            let all = assume.conjuncts();
+            let mut kept = RoutePred::True;
+            for &i in conjuncts {
+                kept = kept.and(all.get(i)?.clone());
+            }
+            Some(kept)
+        };
+        let body = match &rc.body {
+            CheckBody::Transfer {
+                edge,
+                is_import,
+                assume,
+                ensure,
+                require_accept,
+            } => CheckBody::Transfer {
+                edge: *edge,
+                is_import: *is_import,
+                assume: reduce(assume)?,
+                ensure: ensure.clone(),
+                require_accept: *require_accept,
+            },
+            CheckBody::Implication { assume, ensure } => CheckBody::Implication {
+                assume: reduce(assume)?,
+                ensure: ensure.clone(),
+            },
+            CheckBody::Originate { .. } => return None,
+        };
+        let reduced = ResolvedCheck {
+            check: rc.check,
+            body,
+        };
+        Some(self.run_one(&u, &reduced).result.passed())
+    }
+
     /// Resolve a multi-property safety problem into its full check set
     /// and attribute universe (shared by [`Verifier::verify_safety_multi`]
     /// and the cross-run re-verify engine, so the two can never disagree
@@ -409,10 +776,22 @@ impl<'a> Verifier<'a> {
         props: &[SafetyProperty],
         inv: &NetworkInvariants,
     ) -> (Vec<ResolvedCheck>, Universe) {
+        (
+            self.resolve_suite(props, inv),
+            self.suite_universe(props, inv),
+        )
+    }
+
+    /// The check set of one `(properties, invariants)` suite: the shared
+    /// Import/Export/Originate checks plus one subsumption check per
+    /// property (the §4.3 lemma).
+    fn resolve_suite(
+        &self,
+        props: &[SafetyProperty],
+        inv: &NetworkInvariants,
+    ) -> Vec<ResolvedCheck> {
         let Some(first) = props.first() else {
-            let mut u = self.universe(&[]);
-            inv.register(&mut u);
-            return (Vec::new(), u);
+            return Vec::new();
         };
         let mut checks = self.generate_safety_checks(first, inv);
         // The generator appended `first`'s subsumption check last; add the
@@ -437,12 +816,18 @@ impl<'a> Verifier<'a> {
                 },
             });
         }
+        checks
+    }
+
+    /// The attribute universe of one suite: policy + ghosts + every
+    /// property predicate + the invariants.
+    fn suite_universe(&self, props: &[SafetyProperty], inv: &NetworkInvariants) -> Universe {
         let mut u = self.universe(&[]);
         for p in props {
             p.pred.register(&mut u);
         }
         inv.register(&mut u);
-        (checks, u)
+        u
     }
 
     /// Re-verify after the configurations of `changed` nodes were updated:
@@ -645,6 +1030,7 @@ impl<'a> Verifier<'a> {
                     check: checks[i].check.clone(),
                     result: s.result,
                     stats: s.stats,
+                    core: s.core,
                 });
             }
         }
@@ -713,6 +1099,7 @@ impl<'a> Verifier<'a> {
                             SolvedCheck {
                                 result: o.result,
                                 stats: o.stats,
+                                core: None,
                             }
                         })
                         .collect()
@@ -747,6 +1134,7 @@ impl<'a> Verifier<'a> {
                     check: c.check.clone(),
                     result: s.result,
                     stats,
+                    core: s.core,
                 }
             })
             .collect();
@@ -867,9 +1255,19 @@ impl<'a> Verifier<'a> {
     /// Solve one encoding-base group on a persistent assumption-based
     /// session: the symbolic route, its well-formedness constraint and
     /// (for transfer groups) the route-map transfer relation are encoded
-    /// once; each check contributes only its assume/ensure predicates,
-    /// gated behind an activation literal, and is decided by an
-    /// assumption solve that reuses everything the session has learnt.
+    /// once; each check contributes only its assume/ensure predicates —
+    /// one activation literal per assume **conjunct** plus one for the
+    /// negated goal — and is decided by an assumption solve that reuses
+    /// everything the session has learnt. A passing check reads the
+    /// failed assumptions back as its conjunct-level unsat core; a
+    /// failing check re-derives its counterexample on a fresh one-shot
+    /// instance, so session history can never influence what a failure
+    /// prints (fresh and grouped runs stay byte-identical).
+    ///
+    /// Cross-property note: a group may mix checks from *different*
+    /// properties — the encoding base (`CheckBody::group_key`) is
+    /// deliberately property-agnostic, so a multi-property batch encodes
+    /// each edge's transfer relation exactly once for all of them.
     fn run_group(&self, universe: &Universe, checks: &[&ResolvedCheck]) -> Vec<SolvedCheck> {
         let first = checks.first().expect("groups are non-empty");
         match &first.body {
@@ -883,6 +1281,7 @@ impl<'a> Verifier<'a> {
                     SolvedCheck {
                         result: o.result,
                         stats: o.stats,
+                        core: None,
                     }
                 })
                 .collect(),
@@ -908,37 +1307,31 @@ impl<'a> Verifier<'a> {
                         else {
                             unreachable!("transfer group mixes check shapes");
                         };
-                        let pool = sess.pool_mut();
-                        let (pre, neg) = transfer_violation(
-                            pool,
+                        let conjs = assume.conjuncts();
+                        let neg = transfer_goal_negation(
+                            sess.pool_mut(),
                             universe,
-                            &input,
                             &transfer,
-                            assume,
                             ensure,
                             *require_accept,
                         );
-                        let query = pool.and2(pre, neg);
-                        let act = sess.activation(query);
-                        let (result, stats) = sess.solve_under(&[act]);
-                        let result = match result {
-                            SatResult::Unsat => CheckResult::Pass,
-                            SatResult::Sat(model) => {
-                                let rejected = model
-                                    .eval_bool(sess.pool(), transfer.reject)
-                                    .unwrap_or(false);
-                                CheckResult::Fail(Box::new(Counterexample {
-                                    input: input.concretize(sess.pool(), universe, &model),
-                                    output: if rejected {
-                                        None
-                                    } else {
-                                        Some(transfer.out.concretize(sess.pool(), universe, &model))
-                                    },
-                                    rejected,
-                                }))
+                        let (result, stats, core) =
+                            solve_conjunct_gated(&mut sess, universe, &input, &conjs, neg, false);
+                        match result {
+                            SatResult::Unsat => SolvedCheck {
+                                result: CheckResult::Pass,
+                                stats,
+                                core,
+                            },
+                            SatResult::Sat(_) => {
+                                let o = self.run_one(universe, rc);
+                                SolvedCheck {
+                                    result: o.result,
+                                    stats: o.stats,
+                                    core: None,
+                                }
                             }
-                        };
-                        SolvedCheck { result, stats }
+                        }
                     })
                     .collect()
             }
@@ -953,20 +1346,25 @@ impl<'a> Verifier<'a> {
                         let CheckBody::Implication { assume, ensure } = &rc.body else {
                             unreachable!("implication group mixes check shapes");
                         };
-                        let pool = sess.pool_mut();
-                        let (pre, neg) = implication_violation(pool, universe, &r, assume, ensure);
-                        let query = pool.and2(pre, neg);
-                        let act = sess.activation(query);
-                        let (result, stats) = sess.solve_under(&[act]);
-                        let result = match result {
-                            SatResult::Unsat => CheckResult::Pass,
-                            SatResult::Sat(model) => CheckResult::Fail(Box::new(Counterexample {
-                                input: r.concretize(sess.pool(), universe, &model),
-                                output: None,
-                                rejected: false,
-                            })),
-                        };
-                        SolvedCheck { result, stats }
+                        let conjs = assume.conjuncts();
+                        let neg = implication_goal_negation(sess.pool_mut(), universe, &r, ensure);
+                        let (result, stats, core) =
+                            solve_conjunct_gated(&mut sess, universe, &r, &conjs, neg, false);
+                        match result {
+                            SatResult::Unsat => SolvedCheck {
+                                result: CheckResult::Pass,
+                                stats,
+                                core,
+                            },
+                            SatResult::Sat(_) => {
+                                let o = self.run_one(universe, rc);
+                                SolvedCheck {
+                                    result: o.result,
+                                    stats: o.stats,
+                                    core: None,
+                                }
+                            }
+                        }
                     })
                     .collect()
             }
@@ -1044,6 +1442,7 @@ impl<'a> Verifier<'a> {
             check: check.clone(),
             result,
             stats,
+            core: None,
         }
     }
 
@@ -1075,6 +1474,7 @@ impl<'a> Verifier<'a> {
                     check: check.clone(),
                     result,
                     stats: SolverStats::default(),
+                    core: None,
                 };
             }
         }
@@ -1082,6 +1482,7 @@ impl<'a> Verifier<'a> {
             check: check.clone(),
             result: CheckResult::Pass,
             stats: SolverStats::default(),
+            core: None,
         }
     }
 
@@ -1109,6 +1510,7 @@ impl<'a> Verifier<'a> {
             check: check.clone(),
             result,
             stats,
+            core: None,
         }
     }
 }
@@ -1318,6 +1720,7 @@ mod tests {
                 num_clauses: 34,
                 ..SolverStats::default()
             },
+            core: None,
         };
         let spilled = solved.spill_value().expect("failures are durable now");
         let back = SolvedCheck::from_spill(&spilled).expect("decodes");
@@ -1334,6 +1737,16 @@ mod tests {
         let pass = SolvedCheck {
             result: CheckResult::Pass,
             stats: SolverStats::default(),
+            core: Some(vec![1, 3]),
+        };
+        let v = pass.spill_value().unwrap();
+        let back = SolvedCheck::from_spill(&v).unwrap();
+        assert!(back.result.passed());
+        assert_eq!(back.core, Some(vec![1, 3]), "cores must spill and reload");
+        let pass = SolvedCheck {
+            result: CheckResult::Pass,
+            stats: SolverStats::default(),
+            core: None,
         };
         let v = pass.spill_value().unwrap();
         assert!(SolvedCheck::from_spill(&v).unwrap().result.passed());
@@ -1385,6 +1798,114 @@ mod tests {
             "unwitnessed ghost leaked into the counterexample: {}",
             cex.input
         );
+    }
+
+    #[test]
+    fn passing_checks_report_unsat_cores() {
+        let (t, pol) = figure1();
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let to_isp2 = t.edge_between(r2, isp2).unwrap();
+        let prop = SafetyProperty::new(Location::Edge(to_isp2), RoutePred::ghost("FromISP1").not())
+            .named("no-transit");
+        // Two-conjunct override at the property edge: the ghost conjunct
+        // carries the subsumption proof; the second conjunct is implied
+        // by it (so every check still passes) but is dead weight for the
+        // subsumption proof itself.
+        let key = RoutePred::ghost("FromISP1").implies(RoutePred::has_community(c("100:1")));
+        let not_g = RoutePred::ghost("FromISP1").not();
+        let inv = NetworkInvariants::with_default(key).with(
+            Location::Edge(to_isp2),
+            not_g
+                .clone()
+                .and(not_g.or(RoutePred::local_pref(crate::pred::Cmp::Le, 1_000_000))),
+        );
+        let v = Verifier::new(&t, &pol).with_ghost(from_isp1_ghost(&t));
+        let props = [prop];
+        let report = v.verify_safety_multi(&props, &inv);
+        assert!(report.all_passed(), "{}", report.format_failures(&t));
+        let sub = report
+            .outcomes
+            .iter()
+            .find(|o| o.check.kind == CheckKind::Subsumption)
+            .expect("subsumption check exists");
+        let core = sub.core.as_ref().expect("session solves report cores");
+        assert_eq!(core, &vec![0], "only the ghost conjunct is load-bearing");
+        // Replaying the core alone still proves the check; the dead
+        // conjunct alone does not.
+        assert_eq!(
+            v.check_passes_with_conjuncts(&props, &inv, sub.check.id, core),
+            Some(true)
+        );
+        assert_eq!(
+            v.check_passes_with_conjuncts(&props, &inv, sub.check.id, &[1]),
+            Some(false)
+        );
+        // Every reported core replays to UNSAT, and the blame view lists
+        // them.
+        for (check, core) in report.cores() {
+            assert_eq!(
+                v.check_passes_with_conjuncts(&props, &inv, check.id, core),
+                Some(true),
+                "core of check #{} is unsound",
+                check.id
+            );
+        }
+        // Fresh per-check solving has no assumption session to read
+        // cores from.
+        let fresh = Verifier::new(&t, &pol)
+            .with_ghost(from_isp1_ghost(&t))
+            .with_incremental(false)
+            .verify_safety_multi(&props, &inv);
+        assert!(fresh.outcomes.iter().all(|o| o.core.is_none()));
+        assert_eq!(fresh.to_string(), report.to_string());
+    }
+
+    #[test]
+    fn batch_matches_standalone_suites_byte_for_byte() {
+        let (t, pol) = figure1();
+        let (prop, inv) = no_transit_inputs(&t);
+        let r1 = t.node_by_name("R1").unwrap();
+        // Suite 2: a trivially-true bound under its own invariants.
+        let always = RoutePred::local_pref(crate::pred::Cmp::Le, u32::MAX);
+        let prop2 = SafetyProperty::new(Location::Node(r1), always.clone()).named("lp-bounded");
+        let inv2 = NetworkInvariants::with_default(always);
+        // Suite 3: fails (nothing implies lp == 7).
+        let prop3 = SafetyProperty::new(
+            Location::Node(r1),
+            RoutePred::local_pref(crate::pred::Cmp::Eq, 7),
+        )
+        .named("lp-seven");
+        let inv3 = NetworkInvariants::new();
+        let v = Verifier::new(&t, &pol).with_ghost(from_isp1_ghost(&t));
+        let suites: Vec<(&[SafetyProperty], &NetworkInvariants)> = vec![
+            (std::slice::from_ref(&prop), &inv),
+            (std::slice::from_ref(&prop2), &inv2),
+            (std::slice::from_ref(&prop3), &inv3),
+        ];
+        let multi = v.verify_safety_batch(&suites);
+        assert_eq!(multi.reports.len(), 3);
+        assert!(!multi.all_passed());
+        for ((props, sinv), got) in suites.iter().zip(&multi.reports) {
+            let solo = v.verify_safety_multi(props, sinv);
+            assert_eq!(solo.to_string(), got.to_string());
+            assert_eq!(solo.format_failures(&t), got.format_failures(&t));
+        }
+        // Cross-property sharing really happened: one property per suite
+        // means a standalone run has only singleton encoding-base groups,
+        // while the batch solves the suites' same-edge checks as warm
+        // assumption queries on shared sessions.
+        assert!(multi.exec.groups > 0, "{:?}", multi.exec);
+        assert!(multi.exec.assumption_solves > 0, "{:?}", multi.exec);
+        // The batch shape holds in parallel mode too.
+        let par = Verifier::new(&t, &pol)
+            .with_ghost(from_isp1_ghost(&t))
+            .with_mode(RunMode::Parallel)
+            .verify_safety_batch(&suites);
+        for (a, b) in multi.reports.iter().zip(&par.reports) {
+            assert_eq!(a.to_string(), b.to_string());
+            assert_eq!(a.format_failures(&t), b.format_failures(&t));
+        }
     }
 
     #[test]

@@ -152,6 +152,76 @@ pub(crate) fn transfer_fingerprint(
     h.finish()
 }
 
+/// The fingerprint of everything in a check's formula **except** its
+/// assume predicate — the universe digest, the transfer relation (or
+/// implication tag) and the ensure side. Two checks with equal rest
+/// fingerprints pose the same `¬goal` query over the same symbolic
+/// route and transfer; only their assumed invariants differ. This is
+/// the key of the re-verify engine's conjunct-core cache: a check that
+/// previously passed with core `C` still passes whenever its rest is
+/// unchanged and every conjunct of `C` still occurs in the new assume —
+/// strengthening the positive-position assume can only shrink the model
+/// set of `assume ∧ ¬goal`.
+pub(crate) fn rest_fingerprint(
+    universe_fp: Fingerprint,
+    policy: &Policy,
+    ghosts: &[GhostAttr],
+    body: &CheckBody,
+) -> Option<Fingerprint> {
+    let mut h = FpHasher::new();
+    h.write_tag("check-rest");
+    h.write_u32(FP_VERSION);
+    h.write_u64((universe_fp.0 >> 64) as u64);
+    h.write_u64(universe_fp.0 as u64);
+    match body {
+        CheckBody::Transfer {
+            edge,
+            is_import,
+            ensure,
+            require_accept,
+            ..
+        } => {
+            h.write_tag("transfer");
+            h.write_bool(*is_import);
+            h.write_bool(*require_accept);
+            let map = if *is_import {
+                policy.import_map(*edge)
+            } else {
+                policy.export_map(*edge)
+            };
+            write_route_map(&mut h, map);
+            write_ghosts(&mut h, ghosts, |h, g| {
+                let u = if *is_import {
+                    g.import_update(*edge)
+                } else {
+                    g.export_update(*edge)
+                };
+                write_ghost_update(h, u);
+            });
+            write_pred(&mut h, "ensure", ensure);
+        }
+        CheckBody::Implication { ensure, .. } => {
+            h.write_tag("implication");
+            write_pred(&mut h, "ensure", ensure);
+        }
+        // Concrete finite evaluation: no symbolic assume side, no core.
+        CheckBody::Originate { .. } => return None,
+    }
+    Some(h.finish())
+}
+
+/// Canonical fingerprint of one assume conjunct. Only ever compared
+/// between rounds with identical universe layouts (the re-verify engine
+/// resets its core cache on any layout change) and under equal rest
+/// fingerprints, which embed the universe digest.
+pub(crate) fn conjunct_fingerprint(pred: &RoutePred) -> u128 {
+    let mut h = FpHasher::new();
+    h.write_tag("conjunct");
+    h.write_u32(FP_VERSION);
+    h.write_str(&bgp_model::canonical_json(pred));
+    h.finish().0
+}
+
 /// The fingerprint of one resolved check.
 pub(crate) fn check_fingerprint(
     universe_fp: Fingerprint,

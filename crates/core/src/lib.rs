@@ -117,8 +117,8 @@ pub mod universe;
 
 pub use check::{Check, CheckKind, CheckResult, Counterexample, Report};
 pub use engine::{
-    load_check_cache, load_check_cache_bounded, save_check_cache, CheckCache, RunMode, SolvedCheck,
-    Verifier,
+    load_check_cache, load_check_cache_bounded, load_pass_cache, save_check_cache, CheckCache,
+    MultiReport, RunMode, SolvedCheck, Verifier,
 };
 pub use ghost::{GhostAttr, GhostUpdate};
 pub use impact::CheckIndex;

@@ -194,6 +194,31 @@ impl RoutePred {
         self.not().or(other)
     }
 
+    /// The predicate's top-level conjuncts, with nested conjunctions
+    /// flattened: `A ∧ (B ∧ C)` yields `[A, B, C]`, `True` yields `[]`,
+    /// and any other predicate yields itself as the single conjunct.
+    ///
+    /// This is the granularity of unsat-core localization: a check whose
+    /// assumed invariant is a conjunction gets one assumption literal per
+    /// conjunct, so a passing (UNSAT) check can report exactly which
+    /// conjuncts its proof needed (`CheckOutcome::core`).
+    pub fn conjuncts(&self) -> Vec<RoutePred> {
+        fn walk(p: &RoutePred, out: &mut Vec<RoutePred>) {
+            match p {
+                RoutePred::True => {}
+                RoutePred::And(xs) => {
+                    for x in xs {
+                        walk(x, out);
+                    }
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Register every community / regex / ghost the predicate mentions.
     pub fn register(&self, universe: &mut Universe) {
         match self {
@@ -404,6 +429,30 @@ mod tests {
 
     fn c(s: &str) -> Community {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn conjuncts_flatten_and_cover() {
+        let a = RoutePred::ghost("A");
+        let b = RoutePred::has_community(c("1:1"));
+        let d = RoutePred::local_pref(Cmp::Eq, 100);
+        // Nested conjunction flattens.
+        let nested = a.clone().and(RoutePred::And(vec![b.clone(), d.clone()]));
+        assert_eq!(nested.conjuncts(), vec![a.clone(), b.clone(), d.clone()]);
+        // True contributes nothing; a lone non-And is its own conjunct.
+        assert!(RoutePred::True.conjuncts().is_empty());
+        assert_eq!(b.conjuncts(), vec![b.clone()]);
+        // An Or is atomic at this granularity (no distribution).
+        let or = a.clone().or(b.clone());
+        assert_eq!(or.conjuncts(), vec![or.clone()]);
+        // Semantics: the conjunction of the conjuncts equals the original.
+        let route = Route::new("10.0.0.0/8".parse().unwrap()).with_community(c("1:1"));
+        let ghosts: BTreeMap<String, bool> = [("A".to_string(), true)].into_iter().collect();
+        let again = nested
+            .conjuncts()
+            .into_iter()
+            .fold(RoutePred::True, RoutePred::and);
+        assert_eq!(nested.eval(&route, &ghosts), again.eval(&route, &ghosts));
     }
 
     fn p(s: &str) -> Ipv4Prefix {

@@ -33,19 +33,23 @@
 
 use crate::check::{CheckOutcome, CheckResult, Report};
 use crate::engine::{
-    implication_violation, transfer_violation, CheckBody, CheckCache, ResolvedCheck, SolvedCheck,
-    Verifier,
+    implication_goal_negation, solve_conjunct_gated, transfer_goal_negation, CheckBody, CheckCache,
+    ResolvedCheck, SolvedCheck, Verifier,
 };
-use crate::fingerprint::{check_fingerprint, transfer_fingerprint, universe_digest};
+use crate::fingerprint::{
+    check_fingerprint, conjunct_fingerprint, rest_fingerprint, transfer_fingerprint,
+    universe_digest,
+};
 use crate::impact::CheckIndex;
 use crate::invariants::NetworkInvariants;
+use crate::pred::RoutePred;
 use crate::safety::SafetyProperty;
 use crate::symbolic::SymRoute;
 use crate::universe::Universe;
 use bgp_model::topology::{EdgeId, NodeId};
 use orchestrator::Fingerprint;
-use smt::{IncrementalSession, SatResult};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use smt::{IncrementalSession, SatResult, TermId, TermPool};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,6 +67,12 @@ pub struct ReverifyStats {
     pub candidates: usize,
     /// Checks answered from the carried cross-run result cache.
     pub reused: usize,
+    /// Fingerprint-missed checks answered by **conjunct-core
+    /// subsumption** without solving: the check's assume-free "rest" was
+    /// unchanged and every conjunct of a previously-reported unsat core
+    /// still occurs in its (edited) assume predicate, so the old proof
+    /// still applies. Not counted in `dirty`.
+    pub core_clean: usize,
     /// Superseded fingerprints dropped from the carried cache
     /// (delta-aware invalidation).
     pub invalidated: usize,
@@ -80,15 +90,16 @@ impl ReverifyStats {
     /// output (and asserted by the CI smoke test).
     pub fn summary(&self) -> String {
         let mut s = format!(
-            "dirty {}/{} checks ({} candidates), {} cached, {} invalidated; sessions: {} warm, {} new",
-            self.dirty,
-            self.total,
-            self.candidates,
-            self.reused,
-            self.invalidated,
-            self.sessions_reused,
-            self.sessions_created,
+            "dirty {}/{} checks ({} candidates), {} cached, ",
+            self.dirty, self.total, self.candidates, self.reused,
         );
+        if self.core_clean > 0 {
+            s.push_str(&format!("{} core-clean, ", self.core_clean));
+        }
+        s.push_str(&format!(
+            "{} invalidated; sessions: {} warm, {} new",
+            self.invalidated, self.sessions_reused, self.sessions_created,
+        ));
         if self.universe_reset {
             s.push_str("; universe changed, state reset");
         }
@@ -201,12 +212,38 @@ fn generation_shape(topo: &bgp_model::topology::Topology, policy: &bgp_model::Po
     h.finish()
 }
 
+/// The most known cores kept per rest fingerprint. Small on purpose: a
+/// rest structure rarely proves UNSAT through more than a couple of
+/// genuinely different conjunct sets, and every entry is scanned on a
+/// fingerprint miss.
+const MAX_CORES_PER_REST: usize = 4;
+
+/// The most rest fingerprints the core cache holds. Every distinct
+/// route-map content an edge has ever carried mints a new rest key, so
+/// a daemon polling a frequently-edited config would otherwise grow the
+/// map monotonically (the same long-lived-process concern the
+/// learnt-clause cap and the result cache's LRU bound address).
+/// Overflow evicts oldest-first; eviction only costs a re-solve.
+const MAX_CORE_RESTS: usize = 4096;
+
 /// The long-lived re-verification engine (see module docs).
 pub struct ReverifyEngine {
     results: Arc<CheckCache>,
     /// Sessions keyed by a topology-stable signature (router names +
     /// direction), so they survive node-id renumbering across rounds.
     sessions: HashMap<String, GroupSession>,
+    /// Conjunct-core cache: per assume-free rest fingerprint
+    /// ([`rest_fingerprint`]), the sets of conjunct fingerprints that
+    /// alone forced UNSAT in earlier rounds (sorted by size, at most
+    /// [`MAX_CORES_PER_REST`]). Lets an invariant edit that only touches
+    /// non-load-bearing conjuncts stay clean: the old proof still
+    /// applies whenever a recorded core is a subset of the new assume's
+    /// conjuncts. Dropped with everything else on a universe reset —
+    /// conjunct fingerprints are only comparable under one layout.
+    cores: HashMap<u128, Vec<BTreeSet<u128>>>,
+    /// Rest fingerprints in first-insertion order, driving oldest-first
+    /// eviction once `cores` passes [`MAX_CORE_RESTS`].
+    core_order: std::collections::VecDeque<u128>,
     prev: Option<PrevRound>,
     learnt_cap: Option<u64>,
 }
@@ -224,9 +261,20 @@ const DEFAULT_LEARNT_CAP: u64 = 20_000;
 impl ReverifyEngine {
     /// A fresh engine with nothing carried over.
     pub fn new() -> Self {
+        Self::with_results(Arc::new(CheckCache::new()))
+    }
+
+    /// An engine whose carried result cache starts from `results` —
+    /// typically a pass-only spill reloaded from disk
+    /// ([`crate::engine::load_pass_cache`]), so a restarted daemon's
+    /// first round answers every unchanged passing check without
+    /// touching a solver.
+    pub fn with_results(results: Arc<CheckCache>) -> Self {
         ReverifyEngine {
-            results: Arc::new(CheckCache::new()),
+            results,
             sessions: HashMap::new(),
+            cores: HashMap::new(),
+            core_order: std::collections::VecDeque::new(),
             prev: None,
             learnt_cap: Some(DEFAULT_LEARNT_CAP),
         }
@@ -290,6 +338,8 @@ impl ReverifyEngine {
                 stats.universe_reset = true;
                 stats.invalidated = self.results.len();
                 self.sessions.clear();
+                self.cores.clear();
+                self.core_order.clear();
                 self.results = Arc::new(CheckCache::new());
                 self.prev = None;
             }
@@ -350,6 +400,12 @@ impl ReverifyEngine {
             .collect();
 
         // Answer clean checks from the carried cache; collect the dirty.
+        // A fingerprint miss gets one more chance before it counts as
+        // dirty: conjunct-core subsumption — when the check's assume-free
+        // rest is unchanged and some previously-reported core's conjuncts
+        // all still occur in the new assume, the old UNSAT proof covers
+        // the new check (a stronger assume only removes models from
+        // `assume ∧ ¬goal`), so it is answered Pass without solving.
         let mut outcomes: Vec<Option<CheckOutcome>> = (0..checks.len()).map(|_| None).collect();
         let mut dirty: Vec<usize> = Vec::new();
         for (i, c) in checks.iter().enumerate() {
@@ -367,9 +423,22 @@ impl ReverifyEngine {
                             ..smt::SolverStats::default()
                         },
                         result: solved.result,
+                        core: solved.core,
                     });
                 }
-                None => dirty.push(i),
+                None => match self.core_subsumed(v, ufp, c) {
+                    Some(solved) => {
+                        stats.core_clean += 1;
+                        self.results.insert(fps[i], solved.clone());
+                        outcomes[i] = Some(CheckOutcome {
+                            check: c.check.clone(),
+                            stats: solved.stats,
+                            result: solved.result,
+                            core: solved.core,
+                        });
+                    }
+                    None => dirty.push(i),
+                },
             }
         }
         stats.dirty = dirty.len();
@@ -454,6 +523,44 @@ impl ReverifyEngine {
         (report, stats)
     }
 
+    /// Answer a fingerprint-missed check from the conjunct-core cache
+    /// when a previously-proved core is subsumed by its current assume
+    /// predicate (see the `cores` field for the soundness argument).
+    /// Returns the replayed pass with the core re-indexed into the
+    /// current conjunct list.
+    fn core_subsumed(
+        &self,
+        v: &Verifier,
+        ufp: Fingerprint,
+        rc: &ResolvedCheck,
+    ) -> Option<SolvedCheck> {
+        let assume = match &rc.body {
+            CheckBody::Transfer { assume, .. } | CheckBody::Implication { assume, .. } => assume,
+            CheckBody::Originate { .. } => return None,
+        };
+        let rest = rest_fingerprint(ufp, v.policy(), v.ghosts(), &rc.body)?;
+        let entries = self.cores.get(&rest.0)?;
+        let conjs = assume.conjuncts();
+        let fp_of: Vec<u128> = conjs.iter().map(conjunct_fingerprint).collect();
+        let have: HashSet<u128> = fp_of.iter().copied().collect();
+        let core = entries
+            .iter()
+            .find(|set| set.iter().all(|f| have.contains(f)))?;
+        // Every current conjunct matching a core member is load-bearing
+        // (duplicates included: their conjunction is the proved core).
+        let idx: Vec<usize> = fp_of
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| core.contains(*f))
+            .map(|(i, _)| i)
+            .collect();
+        Some(SolvedCheck {
+            result: CheckResult::Pass,
+            stats: smt::SolverStats::default(),
+            core: Some(idx),
+        })
+    }
+
     /// Solve the dirty checks, grouped by encoding base, on persistent
     /// sessions keyed by topology-stable signatures.
     #[allow(clippy::too_many_arguments)]
@@ -502,6 +609,7 @@ impl ReverifyEngine {
                         SolvedCheck {
                             result: o.result.clone(),
                             stats: o.stats,
+                            core: None,
                         },
                     );
                     outcomes[i] = Some(o);
@@ -510,63 +618,77 @@ impl ReverifyEngine {
             }
         }
 
-        // One record path for both group shapes: solve the gated query
-        // on the warm session, retract it, and — on Sat — re-derive the
-        // counterexample on a fresh one-shot instance so session history
-        // (learnt clauses, retracted rounds) can never change what the
-        // daemon reports versus a fresh run.
-        let mut solve_and_record = |gs: &mut GroupSession,
-                                    i: usize,
-                                    build: &dyn Fn(
-            &mut smt::TermPool,
-            &SymRoute,
-        ) -> (smt::TermId, smt::TermId)| {
-            // Within-round structural dedup: an earlier dirty check of
-            // this round may have inserted the same fingerprint (e.g.
-            // identical route-map templates across routers in a full
-            // baseline round) — replicate its verdict instead of
-            // re-solving, exactly like the orchestrator's dedup.
-            if let Some(solved) = results.get(fps[i]) {
-                outcomes[i] = Some(CheckOutcome {
-                    check: checks[i].check.clone(),
-                    stats: smt::SolverStats {
-                        num_vars: solved.stats.num_vars,
-                        num_clauses: solved.stats.num_clauses,
-                        ..smt::SolverStats::default()
-                    },
-                    result: solved.result,
-                });
-                return;
-            }
-            let act = {
+        // One record path for both group shapes: solve the
+        // conjunct-gated query on the warm session (one activation per
+        // assume conjunct plus one for the negated goal), retract it,
+        // and — on Sat — re-derive the counterexample on a fresh
+        // one-shot instance so session history (learnt clauses,
+        // retracted rounds) can never change what the daemon reports
+        // versus a fresh run. Passes record their conjunct core into the
+        // engine's core cache so later rounds can answer invariant edits
+        // that leave the load-bearing conjuncts intact without solving.
+        let mut new_cores: Vec<(u128, BTreeSet<u128>)> = Vec::new();
+        let mut solve_and_record =
+            |gs: &mut GroupSession,
+             i: usize,
+             conjs: &[RoutePred],
+             neg_build: &dyn Fn(&mut TermPool, &SymRoute) -> TermId| {
+                // Within-round structural dedup: an earlier dirty check of
+                // this round may have inserted the same fingerprint (e.g.
+                // identical route-map templates across routers in a full
+                // baseline round) — replicate its verdict instead of
+                // re-solving, exactly like the orchestrator's dedup.
+                if let Some(solved) = results.get(fps[i]) {
+                    outcomes[i] = Some(CheckOutcome {
+                        check: checks[i].check.clone(),
+                        stats: smt::SolverStats {
+                            num_vars: solved.stats.num_vars,
+                            num_clauses: solved.stats.num_clauses,
+                            ..smt::SolverStats::default()
+                        },
+                        result: solved.result,
+                        core: solved.core,
+                    });
+                    return;
+                }
                 let input = gs.input.clone();
-                let pool = gs.sess.pool_mut();
-                let (pre, neg) = build(pool, &input);
-                let query = pool.and2(pre, neg);
-                gs.sess.activation(query)
-            };
-            let (result, solve_stats) = gs.sess.solve_under(&[act]);
-            gs.sess.retract(act);
-            let solved = match result {
-                SatResult::Unsat => SolvedCheck {
-                    result: CheckResult::Pass,
-                    stats: solve_stats,
-                },
-                SatResult::Sat(_) => {
-                    let o = v.run_one(universe, &checks[i]);
-                    SolvedCheck {
-                        result: o.result,
-                        stats: o.stats,
+                let neg = neg_build(gs.sess.pool_mut(), &input);
+                let (result, solve_stats, core) =
+                    solve_conjunct_gated(&mut gs.sess, universe, &input, conjs, neg, true);
+                let solved = match result {
+                    SatResult::Unsat => SolvedCheck {
+                        result: CheckResult::Pass,
+                        stats: solve_stats,
+                        core: core.clone(),
+                    },
+                    SatResult::Sat(_) => {
+                        let o = v.run_one(universe, &checks[i]);
+                        SolvedCheck {
+                            result: o.result,
+                            stats: o.stats,
+                            core: None,
+                        }
+                    }
+                };
+                if let (true, Some(core_idx)) = (solved.result.passed(), &core) {
+                    if let Some(rest) =
+                        rest_fingerprint(ufp, v.policy(), v.ghosts(), &checks[i].body)
+                    {
+                        let set: BTreeSet<u128> = core_idx
+                            .iter()
+                            .map(|&ci| conjunct_fingerprint(&conjs[ci]))
+                            .collect();
+                        new_cores.push((rest.0, set));
                     }
                 }
+                results.insert(fps[i], solved.clone());
+                outcomes[i] = Some(CheckOutcome {
+                    check: checks[i].check.clone(),
+                    result: solved.result,
+                    stats: solved.stats,
+                    core: solved.core,
+                });
             };
-            results.insert(fps[i], solved.clone());
-            outcomes[i] = Some(CheckOutcome {
-                check: checks[i].check.clone(),
-                result: solved.result,
-                stats: solved.stats,
-            });
-        };
 
         for (sig, (edge, is_import, idxs)) in transfers {
             let mut gs = self
@@ -603,16 +725,9 @@ impl ReverifyEngine {
                 else {
                     unreachable!("transfer group mixes check shapes");
                 };
-                solve_and_record(&mut gs, i, &|pool, input| {
-                    transfer_violation(
-                        pool,
-                        universe,
-                        input,
-                        &transfer,
-                        assume,
-                        ensure,
-                        *require_accept,
-                    )
+                let conjs = assume.conjuncts();
+                solve_and_record(&mut gs, i, &conjs, &|pool, _input| {
+                    transfer_goal_negation(pool, universe, &transfer, ensure, *require_accept)
                 });
             }
             self.sessions.insert(sig, gs);
@@ -632,11 +747,39 @@ impl ReverifyEngine {
                 let CheckBody::Implication { assume, ensure } = &checks[i].body else {
                     unreachable!("implication group mixes check shapes");
                 };
-                solve_and_record(&mut gs, i, &|pool, input| {
-                    implication_violation(pool, universe, input, assume, ensure)
+                let conjs = assume.conjuncts();
+                solve_and_record(&mut gs, i, &conjs, &|pool, input| {
+                    implication_goal_negation(pool, universe, input, ensure)
                 });
             }
             self.sessions.insert(sig, gs);
+        }
+
+        // Merge this round's newly-proved cores into the core cache. A
+        // new core is redundant when an existing (smaller or equal) one
+        // already subsumes it; conversely a strictly smaller new core
+        // retires the supersets it improves on.
+        for (rest, set) in new_cores {
+            let entry = match self.cores.entry(rest) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.core_order.push_back(rest);
+                    e.insert(Vec::new())
+                }
+            };
+            if entry.iter().any(|e| e.is_subset(&set)) {
+                continue;
+            }
+            entry.retain(|e| !set.is_subset(e));
+            entry.push(set);
+            entry.sort_by_key(BTreeSet::len);
+            entry.truncate(MAX_CORES_PER_REST);
+        }
+        while self.cores.len() > MAX_CORE_RESTS {
+            let Some(oldest) = self.core_order.pop_front() else {
+                break;
+            };
+            self.cores.remove(&oldest);
         }
     }
 }
@@ -753,22 +896,73 @@ mod tests {
             s.candidates < s.total,
             "neighborhood must be a strict subset: {s:?}"
         );
+        // The dirty re-solve happened on the warm session the baseline
+        // round created for that edge.
+        assert!(s.sessions_reused > 0, "warm session must be reused: {s:?}");
         // The fresh engine agrees byte-for-byte.
         let fresh = v2.verify_safety(&prop2, &inv2);
         assert_eq!(fresh.to_string(), r.to_string());
         // Edit reverted: the old fingerprints were invalidated for the
-        // changed neighborhood, so reverting re-solves (no stale reuse
-        // growth), while everything else stays cached.
+        // changed neighborhood, so the revert is a fingerprint miss — but
+        // the baseline round recorded the original check's conjunct core
+        // under its (restored) rest fingerprint, so the revert is
+        // answered core-clean without touching a solver at all.
         let (t3, pol3) = network(None);
         let (prop3, inv3, ghost3) = inputs(&t3);
         let v3 = Verifier::new(&t3, &pol3).with_ghost(ghost3);
         let (r3, s3) = eng.reverify(&v3, std::slice::from_ref(&prop3), &inv3, Some(&changed));
         assert!(r3.all_passed());
-        assert!(s3.dirty <= s3.candidates);
+        assert_eq!(s3.dirty, 0, "revert must be core-clean: {s3:?}");
+        assert!(s3.core_clean > 0, "{s3:?}");
+        let fresh3 = v3.verify_safety(&prop3, &inv3);
+        assert_eq!(fresh3.to_string(), r3.to_string());
+    }
+
+    #[test]
+    fn invariant_edit_on_dead_conjunct_stays_core_clean() {
+        // The default invariant is `key ∧ (key ∨ lp ≤ X)`: the second
+        // conjunct is implied by the first, so no proof ever needs it.
+        // Editing only X re-fingerprints every check that assumes or
+        // ensures the default — but checks whose *ensure* side is stable
+        // (the export onto the property edge, whose ensure is the
+        // unchanged override) keep their rest fingerprint, and the
+        // carried conjunct core answers them without solving.
+        let (t, pol) = network(None);
+        let (prop, _, ghost) = inputs(&t);
+        let key = RoutePred::ghost("FromISP1").implies(RoutePred::has_community(c("100:1")));
+        let dflt = |lp: u32| {
+            key.clone().and(
+                key.clone()
+                    .or(RoutePred::local_pref(crate::pred::Cmp::Le, lp)),
+            )
+        };
+        let override_pred = RoutePred::ghost("FromISP1").not();
+        let inv1 = NetworkInvariants::with_default(dflt(1_000_000))
+            .with(prop.location, override_pred.clone());
+        let v = Verifier::new(&t, &pol).with_ghost(ghost);
+        let mut eng = ReverifyEngine::new();
+        let (r1, _) = eng.reverify(&v, std::slice::from_ref(&prop), &inv1, None);
+        assert!(r1.all_passed(), "{}", r1.format_failures(&t));
+        // Edit only the dead conjunct's bound.
+        let inv2 =
+            NetworkInvariants::with_default(dflt(2_000_000)).with(prop.location, override_pred);
+        let (r2, s2) = eng.reverify(&v, std::slice::from_ref(&prop), &inv2, Some(&[]));
+        assert!(!s2.universe_reset, "{s2:?}");
+        assert!(r2.all_passed(), "{}", r2.format_failures(&t));
         assert!(
-            s3.sessions_reused > 0,
-            "warm session must be reused: {s3:?}"
+            s2.core_clean > 0,
+            "stable-rest checks must be answered by core subsumption: {s2:?}"
         );
+        assert_eq!(s2.reused + s2.core_clean + s2.dirty, s2.total, "{s2:?}");
+        assert!(s2.dirty < s2.total, "{s2:?}");
+        // Byte-identical to a fresh engine on the edited spec.
+        let fresh = v.verify_safety(&prop, &inv2);
+        assert_eq!(fresh.to_string(), r2.to_string());
+        // The core-clean answers carry their (re-indexed) cores.
+        assert!(r2
+            .outcomes
+            .iter()
+            .any(|o| o.core.as_ref().is_some_and(|c| !c.is_empty())));
     }
 
     #[test]

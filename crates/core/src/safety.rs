@@ -11,6 +11,14 @@
 //! assignment (`Verifier::verify_safety_multi`) cheap: the §4.3 lemma
 //! already shares the Import/Export/Originate checks across properties,
 //! and the per-property subsumption checks then share one solver.
+//!
+//! The sharing compounds across *independent* property suites too:
+//! `Verifier::verify_safety_batch` runs several `(properties,
+//! invariants)` problems as one batch, the property-agnostic
+//! encoding-base key putting same-edge checks from different suites on
+//! one persistent session — each edge is encoded once for the whole
+//! spec. Passing checks additionally report the unsat core of invariant
+//! conjuncts their proof needed (`CheckOutcome::core`).
 
 use crate::invariants::Location;
 use crate::pred::RoutePred;
