@@ -9,6 +9,9 @@
 //!                    [--once] [--interval-ms N] [--max-rounds N]
 //!                    [--cache-dir DIR]
 //!   lightyear plan   --spec <FILE> <DIR0> <DIR1> [...]
+//!   lightyear fuzz   [--seed N] [--cases N] [--families a,b,...]
+//!                    [--edit-steps K] [--sim-rounds R] [--no-inject]
+//!                    [--repro-dir DIR] [--bench-json FILE] [--replay DIR]
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
 //!   lightyear spec-template
@@ -44,6 +47,17 @@
 //!                   verify DIR0 fully, then every subsequent directory as
 //!                   a delta round, proving each intermediate
 //!                   configuration safe; exit code 1 if any step fails
+//!   fuzz            seeded differential campaign over the topology zoo
+//!                   (figure1, fullmesh, wan, rr, stub, hubspoke): each
+//!                   case is cross-checked by the simulation oracle (all
+//!                   2^3 SimOptions), the mode-parity oracle (fresh /
+//!                   incremental / orchestrated / cross-property batch
+//!                   byte-identity) and the edit-sequence oracle
+//!                   (reverify == fresh after every random edit), plus a
+//!                   curated injected-bug sweep. A discrepancy is greedily
+//!                   minimized and written as a replayable repro directory
+//!                   (--repro-dir; re-run it with --replay). --bench-json
+//!                   records campaign throughput (the CI BENCH_fuzz.json)
 //!   parse           parse + lower only; print the topology summary and
 //!                   lowering warnings
 //!   lint            run rcc-style best-practice lints; exit code 1 on
@@ -75,6 +89,7 @@
 //!   orchestrator: 220 checks -> 34 solver calls (180 deduped, 6 cached, ratio 0.15, 8 threads); incremental: 12 groups, 22 warm assumption solves
 //! ```
 
+mod fuzz;
 mod spec;
 mod watch;
 
@@ -92,6 +107,9 @@ fn usage() -> ExitCode {
          lightyear watch --configs <DIR> --spec <FILE> [--baseline <DIR>] [--once]\n    \
          [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>]\n  \
          lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
+         lightyear fuzz [--seed N] [--cases N] [--families a,b,...] [--edit-steps K]\n    \
+         [--sim-rounds R] [--no-inject] [--repro-dir <DIR>] [--bench-json <FILE>]\n    \
+         [--replay <DIR>]\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
     ExitCode::from(2)
@@ -106,6 +124,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args[1..]),
         "watch" => watch::cmd_watch(&args[1..]),
         "plan" => watch::cmd_plan(&args[1..]),
+        "fuzz" => fuzz::cmd_fuzz(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "spec-template" => {
@@ -417,6 +436,73 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             multi.total_time
         );
     }
+    // Liveness properties: each runs through the same check pipeline
+    // (propagation + no-interference + final implication), so passing
+    // checks carry conjunct-level unsat cores too — surfaced in the
+    // `--json` "cores" array exactly like safety properties.
+    for l in &spec.liveness {
+        let resolved = match l.resolve(topo) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match verifier.verify_liveness(&resolved) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: liveness {}: {e}", l.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let passed = report.all_passed();
+        any_failed |= !passed;
+        if as_json {
+            let conjs = verifier.liveness_check_conjuncts(&resolved);
+            json_out.push(serde_json::json!({
+                "property": l.name,
+                "kind": "liveness",
+                "passed": passed,
+                "checks": report.num_checks(),
+                "failures": report.failures().iter().map(|f| {
+                    serde_json::json!({
+                        "kind": f.check.kind.to_string(),
+                        "location": f.check.location.display(topo),
+                        "route_map": f.check.map_name,
+                        "description": f.check.description,
+                    })
+                }).collect::<Vec<_>>(),
+                "cores": report.cores().iter().map(|(check, core)| {
+                    let names = conjs
+                        .get(check.id)
+                        .cloned()
+                        .flatten()
+                        .unwrap_or_default();
+                    serde_json::json!({
+                        "check": check.id as u64,
+                        "kind": check.kind.to_string(),
+                        "location": check.location.display(topo),
+                        "core": core.iter().map(|&i| i as u64).collect::<Vec<_>>(),
+                        "load_bearing": core
+                            .iter()
+                            .filter_map(|&i| names.get(i).cloned())
+                            .collect::<Vec<_>>(),
+                        "conjuncts": names.len() as u64,
+                    })
+                }).collect::<Vec<_>>(),
+            }));
+        } else {
+            println!(
+                "{} (liveness): {} ({} checks)",
+                l.name,
+                if passed { "verified" } else { "VIOLATED" },
+                report.num_checks(),
+            );
+            if !passed {
+                print!("{}", report.format_failures(topo));
+            }
+        }
+    }
     if parallel {
         let summary = exec.summary();
         if as_json {
@@ -457,6 +543,13 @@ fn cmd_verify(args: &[String]) -> ExitCode {
 }
 
 fn template() -> String {
+    use lightyear::pred::RoutePred;
+    let has_cust = RoutePred::prefix_in(vec![bgp_model::PrefixRange::orlonger(
+        "203.0.113.0/24".parse().unwrap(),
+    )]);
+    let good = has_cust
+        .clone()
+        .and(RoutePred::has_community(bgp_model::Community::new(100, 1)).not());
     let spec = Spec {
         ghosts: vec![spec::GhostSpec {
             name: "FromISP1".into(),
@@ -467,16 +560,23 @@ fn template() -> String {
         safety: vec![spec::SafetySpec {
             name: "no-transit".into(),
             location: "R2 -> ISP2".into(),
-            property: lightyear::pred::RoutePred::ghost("FromISP1").not(),
-            invariant_default: lightyear::pred::RoutePred::ghost("FromISP1").implies(
-                lightyear::pred::RoutePred::has_community(bgp_model::Community::new(100, 1)),
-            ),
-            invariant_overrides: [(
-                "R2 -> ISP2".to_string(),
-                lightyear::pred::RoutePred::ghost("FromISP1").not(),
-            )]
-            .into_iter()
-            .collect(),
+            property: RoutePred::ghost("FromISP1").not(),
+            invariant_default: RoutePred::ghost("FromISP1")
+                .implies(RoutePred::has_community(bgp_model::Community::new(100, 1))),
+            invariant_overrides: [("R2 -> ISP2".to_string(), RoutePred::ghost("FromISP1").not())]
+                .into_iter()
+                .collect(),
+        }],
+        liveness: vec![spec::LivenessSpecJson {
+            name: "customer-liveness".into(),
+            location: "R2 -> ISP2".into(),
+            property: has_cust.clone(),
+            path: vec!["ISP2 -> R2".into(), "R2".into(), "R2 -> ISP2".into()],
+            constraints: vec![has_cust.clone(), good, has_cust.clone()],
+            prefix_scope: has_cust.clone(),
+            interference_default: has_cust
+                .implies(RoutePred::has_community(bgp_model::Community::new(100, 1)).not()),
+            interference_overrides: std::collections::BTreeMap::new(),
         }],
     };
     serde_json::to_string_pretty(&spec).unwrap()

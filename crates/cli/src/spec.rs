@@ -27,6 +27,7 @@
 use bgp_model::topology::{EdgeId, Topology};
 use lightyear::ghost::{GhostAttr, GhostUpdate};
 use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::liveness::LivenessSpec;
 use lightyear::pred::RoutePred;
 use lightyear::safety::SafetyProperty;
 use serde::{Deserialize, Serialize};
@@ -72,6 +73,33 @@ pub struct SafetySpec {
     pub invariant_overrides: BTreeMap<String, RoutePred>,
 }
 
+/// One liveness property with its witness path and interference
+/// invariants (§5): a route satisfying `constraints[0]` entering the
+/// path eventually produces a route satisfying `property` at
+/// `location`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LivenessSpecJson {
+    /// Display name.
+    pub name: String,
+    /// The property location (must equal the last path location).
+    pub location: String,
+    /// The predicate a route reaching the location must satisfy.
+    pub property: RoutePred,
+    /// The witness path: alternating edge (`"A -> B"`) and router
+    /// locations ending at `location`.
+    pub path: Vec<String>,
+    /// One "good routes here" constraint per path location.
+    pub constraints: Vec<RoutePred>,
+    /// The prefix scope of the no-interference checks.
+    pub prefix_scope: RoutePred,
+    /// Default interference invariant for all locations.
+    #[serde(default = "RoutePred::tru")]
+    pub interference_default: RoutePred,
+    /// Per-location interference overrides.
+    #[serde(default)]
+    pub interference_overrides: BTreeMap<String, RoutePred>,
+}
+
 /// The whole verification spec.
 #[derive(Clone, Debug, Serialize, Deserialize, Default)]
 pub struct Spec {
@@ -81,6 +109,9 @@ pub struct Spec {
     /// Safety properties to verify.
     #[serde(default)]
     pub safety: Vec<SafetySpec>,
+    /// Liveness properties to verify.
+    #[serde(default)]
+    pub liveness: Vec<LivenessSpecJson>,
 }
 
 /// Spec-resolution errors (unknown router/edge names).
@@ -144,6 +175,30 @@ impl GhostSpec {
             g.on_export(resolve_edge(topo, s)?, GhostUpdate::SetFalse);
         }
         Ok(g)
+    }
+}
+
+impl LivenessSpecJson {
+    /// Resolve into a [`LivenessSpec`] (path-shape validation happens in
+    /// `Verifier::verify_liveness`).
+    pub fn resolve(&self, topo: &Topology) -> Result<LivenessSpec, SpecResolveError> {
+        let mut interference = NetworkInvariants::with_default(self.interference_default.clone());
+        for (l, p) in &self.interference_overrides {
+            interference.set(resolve_location(topo, l)?, p.clone());
+        }
+        Ok(LivenessSpec {
+            location: resolve_location(topo, &self.location)?,
+            pred: self.property.clone(),
+            path: self
+                .path
+                .iter()
+                .map(|l| resolve_location(topo, l))
+                .collect::<Result<_, _>>()?,
+            constraints: self.constraints.clone(),
+            prefix_scope: self.prefix_scope.clone(),
+            interference_invariants: interference,
+            name: Some(self.name.clone()),
+        })
     }
 }
 
@@ -219,11 +274,26 @@ mod tests {
                 invariant_default: RoutePred::True,
                 invariant_overrides: BTreeMap::new(),
             }],
+            liveness: vec![LivenessSpecJson {
+                name: "l".into(),
+                location: "R1".into(),
+                property: RoutePred::True,
+                path: vec!["ISP1 -> R1".into(), "R1".into()],
+                constraints: vec![RoutePred::True, RoutePred::True],
+                prefix_scope: RoutePred::True,
+                interference_default: RoutePred::True,
+                interference_overrides: BTreeMap::new(),
+            }],
         };
         let json = serde_json::to_string_pretty(&spec).unwrap();
         let back: Spec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.ghosts[0].name, "FromISP1");
         assert_eq!(back.safety[0].property, RoutePred::ghost("FromISP1").not());
+        assert_eq!(back.liveness[0].name, "l");
+        assert_eq!(back.liveness[0].path.len(), 2);
+        let resolved = back.liveness[0].resolve(&topo()).unwrap();
+        assert_eq!(resolved.path.len(), 2);
+        assert_eq!(resolved.name.as_deref(), Some("l"));
     }
 
     #[test]

@@ -146,6 +146,87 @@ fn spec_template_roundtrips() {
     let _: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
 }
 
+/// R1 with the customer-prefix deny the template's liveness property
+/// needs (the §2.2 no-interference requirement: R1 must not tag routes
+/// inside the liveness prefix scope).
+const R1_CUST: &str = "\
+hostname R1
+ip prefix-list CUST seq 5 permit 203.0.113.0/24 le 32
+route-map FROM-ISP1 deny 5
+ match ip address prefix-list CUST
+route-map FROM-ISP1 permit 10
+ set community 100:1 additive
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 100
+ neighbor 10.0.0.1 description ISP1
+ neighbor 10.0.0.1 route-map FROM-ISP1 in
+ neighbor 10.0.12.2 remote-as 65000
+ neighbor 10.0.12.2 description R2
+";
+
+#[test]
+fn verify_runs_template_liveness_and_surfaces_cores() {
+    let d = tmpdir("liveness");
+    fs::write(d.join("r1.cfg"), R1_CUST).unwrap();
+    fs::write(d.join("r2.cfg"), R2).unwrap();
+    // The spec-template is the authoritative example: its safety AND
+    // liveness sections must verify against this network.
+    let tpl = Command::new(bin()).arg("spec-template").output().unwrap();
+    assert!(tpl.status.success());
+    fs::write(d.join("spec.json"), &tpl.stdout).unwrap();
+
+    let out = Command::new(bin())
+        .args(["verify", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("no-transit: verified"), "{stdout}");
+    assert!(
+        stdout.contains("customer-liveness (liveness): verified"),
+        "{stdout}"
+    );
+
+    // --json: the liveness entry carries a non-empty "cores" array with
+    // in-range indices and rendered load-bearing conjuncts.
+    let out = Command::new(bin())
+        .args(["verify", "--json", "--configs"])
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let entries = v.as_array().expect("array output");
+    let live = entries
+        .iter()
+        .find(|e| e["kind"].as_str() == Some("liveness"))
+        .expect("a liveness entry");
+    assert_eq!(live["property"], "customer-liveness");
+    assert_eq!(live["passed"], true);
+    let cores = live["cores"].as_array().expect("cores array");
+    assert!(!cores.is_empty(), "liveness passes must report cores");
+    for c in cores {
+        let total = c["conjuncts"].as_u64().unwrap();
+        let load_bearing = c["load_bearing"].as_array().unwrap();
+        assert_eq!(
+            load_bearing.len() as u64,
+            c["core"].as_array().unwrap().len() as u64
+        );
+        for idx in c["core"].as_array().unwrap() {
+            assert!(idx.as_u64().unwrap() < total.max(1));
+        }
+    }
+}
+
 #[test]
 fn bad_inputs_give_clean_errors() {
     let d = tmpdir("bad");

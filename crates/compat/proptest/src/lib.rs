@@ -436,8 +436,31 @@ macro_rules! __proptest_each {
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            let __replay = $crate::replay_case(
+                concat!(module_path!(), "::", stringify!($name)),
+                stringify!($name),
+            );
+            if let Some(c) = __replay {
+                // An out-of-range target would silently skip every case
+                // and report a vacuous pass.
+                assert!(
+                    c < config.cases,
+                    "{}={}:{} selects case {} but `{}` only runs {} cases",
+                    $crate::REPLAY_ENV,
+                    stringify!($name),
+                    c,
+                    c,
+                    stringify!($name),
+                    config.cases,
+                );
+            }
             for __case in 0..config.cases {
+                // Always generate, so a replayed case sees exactly the
+                // RNG state of the full run.
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                if __replay.is_some_and(|c| c != __case) {
+                    continue;
+                }
                 let __guard = $crate::CaseReporter {
                     test: stringify!($name),
                     case: __case,
@@ -451,8 +474,36 @@ macro_rules! __proptest_each {
     (($cfg:expr)) => {};
 }
 
-/// Prints the failing case number when a proptest body panics (the shim
-/// has no shrinking; the deterministic seed makes the case replayable).
+/// The environment variable selecting a single proptest case to replay:
+/// `PROPTEST_REPLAY=<test>:<case>`, where `<test>` is the test function
+/// name (or its full `module::path::name`) printed by a failure.
+pub const REPLAY_ENV: &str = "PROPTEST_REPLAY";
+
+/// Parse a `PROPTEST_REPLAY` value against one test's names. Pure
+/// helper behind [`replay_case`]; accepts the bare function name, the
+/// full module path, or any `::`-suffix of it.
+pub fn replay_filter(value: &str, full: &str, name: &str) -> Option<u32> {
+    let (target, case) = value.rsplit_once(':')?;
+    let case: u32 = case.trim().parse().ok()?;
+    let target = target.trim().trim_end_matches(':');
+    let matches = target == name
+        || target == full
+        || (full.ends_with(target) && full[..full.len() - target.len()].ends_with("::"));
+    matches.then_some(case)
+}
+
+/// The case the current environment asks this test to replay, if any
+/// (see [`REPLAY_ENV`]). Non-matching or malformed values select
+/// nothing, so an exported variable never silently skips other tests'
+/// cases.
+pub fn replay_case(full: &str, name: &str) -> Option<u32> {
+    replay_filter(&std::env::var(REPLAY_ENV).ok()?, full, name)
+}
+
+/// Prints the failing case number and a copy-pasteable replay command
+/// when a proptest body panics (the shim has no shrinking; the
+/// deterministic name-derived seed plus the case number regenerate the
+/// inputs exactly).
 #[doc(hidden)]
 pub struct CaseReporter {
     /// Test name.
@@ -465,8 +516,9 @@ impl Drop for CaseReporter {
     fn drop(&mut self) {
         if std::thread::panicking() {
             eprintln!(
-                "proptest shim: test `{}` failed at case {} (deterministic seed; rerun reproduces it)",
-                self.test, self.case
+                "proptest shim: test `{}` failed at case {} (deterministic name-derived seed).\n\
+                 replay just this case with:\n  {}={}:{} cargo test -q {}",
+                self.test, self.case, REPLAY_ENV, self.test, self.case, self.test
             );
         }
     }
@@ -503,5 +555,43 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert!(ys.iter().all(|&y| y <= 4));
         }
+    }
+
+    #[test]
+    fn replay_filter_matches_names_and_suffixes() {
+        use super::replay_filter;
+        let full = "my_crate::tests::my_test";
+        assert_eq!(replay_filter("my_test:7", full, "my_test"), Some(7));
+        assert_eq!(
+            replay_filter(&format!("{full}:3"), full, "my_test"),
+            Some(3)
+        );
+        assert_eq!(replay_filter("tests::my_test:0", full, "my_test"), Some(0));
+        // A different test, a partial-word suffix, or junk select nothing.
+        assert_eq!(replay_filter("other_test:7", full, "my_test"), None);
+        assert_eq!(replay_filter("y_test:7", full, "my_test"), None);
+        assert_eq!(replay_filter("my_test", full, "my_test"), None);
+        assert_eq!(replay_filter("my_test:x", full, "my_test"), None);
+    }
+
+    #[test]
+    fn replayed_case_sees_the_full_runs_rng_state() {
+        // Simulate what the macro does: generating all cases vs
+        // fast-forwarding to case N must produce the same inputs.
+        let strat = prop::collection::vec(0u32..1000, 1..5);
+        let mut all = Vec::new();
+        let mut rng = rng_for_test("replay_determinism");
+        for _ in 0..10 {
+            all.push(strat.generate(&mut rng));
+        }
+        let mut rng = rng_for_test("replay_determinism");
+        let mut at_7 = None;
+        for case in 0..10 {
+            let v = strat.generate(&mut rng);
+            if case == 7 {
+                at_7 = Some(v);
+            }
+        }
+        assert_eq!(at_7.unwrap(), all[7]);
     }
 }

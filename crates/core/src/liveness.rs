@@ -222,6 +222,48 @@ impl<'a> Verifier<'a> {
         Ok(report)
     }
 
+    /// The assume-side conjuncts of every check
+    /// [`Verifier::verify_liveness`] generates for `spec`, rendered for
+    /// display and indexed by check id — the namespace the indices of a
+    /// liveness report's [`crate::check::CheckOutcome::core`] point
+    /// into (the liveness counterpart of
+    /// [`Verifier::check_conjuncts_all`], and what the CLI's `--json`
+    /// liveness `cores` output renders `load_bearing` from).
+    ///
+    /// Mirrors the generation order exactly: propagation checks along
+    /// the path (assume = `C_i`), then each on-path router's
+    /// no-interference sub-suite, then the final implication (assume =
+    /// `C_n`). Returns `None` entries for checks with no symbolic
+    /// assume side (concrete originate checks of the sub-suites).
+    pub fn liveness_check_conjuncts(&self, spec: &LivenessSpec) -> Vec<Option<Vec<String>>> {
+        let render = |p: &RoutePred| -> Option<Vec<String>> {
+            Some(p.conjuncts().iter().map(|c| c.to_string()).collect())
+        };
+        let mut out = Vec::new();
+        for i in 0..spec.path.len().saturating_sub(1) {
+            out.push(render(&spec.constraints[i]));
+        }
+        for (i, loc) in spec.path.iter().enumerate() {
+            let Location::Node(r) = *loc else { continue };
+            let prop = SafetyProperty::new(
+                Location::Node(r),
+                spec.prefix_scope
+                    .clone()
+                    .implies(spec.constraints[i].clone()),
+            );
+            out.extend(
+                self.check_conjuncts_all(
+                    std::slice::from_ref(&prop),
+                    &spec.interference_invariants,
+                ),
+            );
+        }
+        if let Some(last) = spec.constraints.last() {
+            out.push(render(last));
+        }
+        out
+    }
+
     fn liveness_universe(
         &self,
         extra: &[&RoutePred],
@@ -432,6 +474,42 @@ mod tests {
         let mut spec3 = table3_spec(&t);
         spec3.path.swap(1, 3); // breaks alternation consistency
         assert!(v.verify_liveness(&spec3).is_err());
+    }
+
+    #[test]
+    fn liveness_reports_carry_cores_aligned_with_conjuncts() {
+        let (t, mut pol) = figure1();
+        add_r1_cust_filter(&t, &mut pol);
+        let spec = table3_spec(&t);
+        let v = Verifier::new(&t, &pol);
+        let report = v.verify_liveness(&spec).unwrap();
+        assert!(report.all_passed());
+        // Incremental group solving is the default, so session-solved
+        // passing checks must surface conjunct-level unsat cores.
+        let cores = report.cores();
+        assert!(!cores.is_empty(), "liveness passes must report cores");
+        // The conjunct namespace aligns with the report's id space, and
+        // every core index points into its check's conjunct list.
+        let conjs = v.liveness_check_conjuncts(&spec);
+        assert_eq!(conjs.len(), report.num_checks());
+        for (check, core) in &cores {
+            let names = conjs[check.id]
+                .as_ref()
+                .expect("a check with a core has a symbolic assume side");
+            for &i in *core {
+                assert!(
+                    i < names.len(),
+                    "core index {i} out of range for check #{} ({} conjuncts)",
+                    check.id,
+                    names.len()
+                );
+            }
+        }
+        // Propagation checks assume the path constraints.
+        assert_eq!(
+            conjs[0].as_ref().unwrap().len(),
+            spec.constraints[0].conjuncts().len()
+        );
     }
 
     #[test]

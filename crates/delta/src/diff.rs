@@ -602,6 +602,108 @@ router bgp 65000
         assert_eq!(d.changed_routers(), vec!["R1".to_string()]);
     }
 
+    /// A route map whose entries sit in a different *vector* order but
+    /// keep their sequence numbers resolves to the same meaning (the
+    /// lowering sorts by seq), so the reorder must diff to Cosmetic.
+    #[test]
+    fn reordered_entries_with_identical_resolved_meaning_are_cosmetic() {
+        let base = parse_config(
+            "\
+hostname R1
+ip prefix-list CUST seq 5 permit 203.0.113.0/24 le 32
+route-map FROM-ISP deny 5
+ match ip address prefix-list CUST
+route-map FROM-ISP permit 10
+ set community 100:1 additive
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 100
+ neighbor 10.0.0.1 description ISP1
+ neighbor 10.0.0.1 route-map FROM-ISP in
+",
+        )
+        .unwrap();
+        let mut new = base.clone();
+        new.route_maps.get_mut("FROM-ISP").unwrap().reverse();
+        assert_ne!(base, new, "the AST order really differs");
+        let d = diff_configs(std::slice::from_ref(&base), &[new]);
+        assert!(d.is_cosmetic(), "{d}");
+        assert!(d.changed_routers().is_empty());
+
+        // The same reorder with *renumbered* seqs changes the resolved
+        // order — that one is semantic.
+        let mut swapped = base.clone();
+        {
+            let m = swapped.route_maps.get_mut("FROM-ISP").unwrap();
+            m[0].seq = 10;
+            m[1].seq = 5;
+        }
+        let d = diff_configs(&[base], &[swapped]);
+        assert!(!d.is_cosmetic(), "{d}");
+    }
+
+    /// Editing a community list no route map references must be
+    /// cosmetic — the verifier cannot observe it.
+    #[test]
+    fn community_list_edit_referenced_by_zero_maps_is_cosmetic() {
+        let mut base = r1();
+        base.community_lists.insert(
+            "UNREFERENCED".into(),
+            vec![bgp_config::ast::CommunityListEntry {
+                permit: true,
+                communities: vec!["100:1".parse().unwrap()],
+            }],
+        );
+        let mut new = base.clone();
+        new.community_lists.get_mut("UNREFERENCED").unwrap()[0].permit = false;
+        let d = diff_configs(std::slice::from_ref(&base), std::slice::from_ref(&new));
+        assert!(d.is_cosmetic(), "{d}");
+        assert!(d.changed_routers().is_empty());
+
+        // Deleting the unreferenced list entirely is cosmetic too.
+        let mut gone = base.clone();
+        gone.community_lists.remove("UNREFERENCED");
+        let d = diff_configs(&[base], &[gone]);
+        assert!(d.is_cosmetic(), "{d}");
+    }
+
+    /// A remote-as change on a session with route maps attached is a
+    /// peering change only — the maps did not change — and stays
+    /// semantic even when bundled with a cosmetic rename.
+    #[test]
+    fn remote_as_change_with_attached_maps_classifies_precisely() {
+        let mut new = r1();
+        {
+            let bgp = new.router_bgp.as_mut().unwrap();
+            bgp.neighbors.get_mut("10.0.0.1").unwrap().remote_as = Some(101);
+        }
+        // Bundle a rename of the attached map (cosmetic on its own).
+        let entries = new.route_maps.remove("FROM-ISP").unwrap();
+        new.route_maps.insert("FROM-ISP-V2".into(), entries);
+        new.router_bgp
+            .as_mut()
+            .unwrap()
+            .neighbors
+            .get_mut("10.0.0.1")
+            .unwrap()
+            .route_map_in = Some("FROM-ISP-V2".into());
+        let d = diff_configs(&[r1()], &[new]);
+        assert!(!d.is_cosmetic(), "{d}");
+        assert_eq!(d.changed_routers(), vec!["R1".to_string()]);
+        assert!(
+            d.edits.iter().any(|e| matches!(
+                &e.kind,
+                DeltaKind::PeeringChanged { peer } if peer == "ISP1"
+            )),
+            "{d}"
+        );
+        assert!(
+            !d.edits
+                .iter()
+                .any(|e| matches!(&e.kind, DeltaKind::RouteMapChanged { .. })),
+            "the rename must not be blamed on the map: {d}"
+        );
+    }
+
     #[test]
     fn remote_as_change_is_a_peering_change() {
         let mut new = r1();

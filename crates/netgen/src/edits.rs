@@ -143,7 +143,7 @@ pub fn random_edit(configs: &mut [ConfigAst], seed: u64) -> Option<AppliedEdit> 
         names.sort();
         names.first().map(|s| s.to_string())
     });
-    match (seed / 7) % 6 {
+    match (seed / 7) % 7 {
         0 => rename_route_map(
             configs,
             &router,
@@ -160,7 +160,7 @@ pub fn random_edit(configs: &mut [ConfigAst], seed: u64) -> Option<AppliedEdit> 
                     .filter_map(|n| n.description.as_deref())
                     // Only external-looking peers, to keep the session
                     // graph symmetric for internal routers.
-                    .filter(|p| p.starts_with("PEER") || p.starts_with("DC"))
+                    .filter(|p| is_external_peer(p))
                     .collect();
                 peers.sort();
                 peers
@@ -174,12 +174,49 @@ pub fn random_edit(configs: &mut [ConfigAst], seed: u64) -> Option<AppliedEdit> 
             description: b.description,
             cosmetic: false,
         }),
-        _ => mutate::drop_aspath_filters(configs, &router, &attached?).map(|b| AppliedEdit {
+        5 => mutate::drop_aspath_filters(configs, &router, &attached?).map(|b| AppliedEdit {
             router: b.router,
             description: b.description,
             cosmetic: false,
         }),
+        _ => drop_first_prefix_deny(configs, &router, &attached?),
     }
+}
+
+/// Peer descriptions the edit menu may treat as external sessions. The
+/// prefixes cover every topology-zoo family's external naming scheme
+/// (`PEER`/`DC` in the WAN, `EXT` in the reflector hierarchy, `PROV` in
+/// the multi-homed stub, `SITE`/`INET` in the hub-and-spoke star).
+fn is_external_peer(desc: &str) -> bool {
+    ["PEER", "DC", "EXT", "PROV", "SITE", "INET"]
+        .iter()
+        .any(|p| desc.starts_with(p))
+}
+
+/// Remove the first prefix-list deny entry of a route map (the
+/// [`mutate::drop_prefix_deny`] bug class, menu-ready: the list is
+/// discovered rather than named). Returns `None` when the map has no
+/// prefix-list deny.
+pub fn drop_first_prefix_deny(
+    configs: &mut [ConfigAst],
+    router: &str,
+    map: &str,
+) -> Option<AppliedEdit> {
+    let cfg = configs.iter().find(|c| c.hostname == router)?;
+    let entries = cfg.route_maps.get(map)?;
+    let list = entries
+        .iter()
+        .filter(|e| !e.permit)
+        .flat_map(|e| &e.matches)
+        .find_map(|m| match m {
+            bgp_config::ast::MatchAst::PrefixList(names) => names.first().cloned(),
+            _ => None,
+        })?;
+    mutate::drop_prefix_deny(configs, router, map, &list).map(|b| AppliedEdit {
+        router: b.router,
+        description: b.description,
+        cosmetic: false,
+    })
 }
 
 #[cfg(test)]

@@ -178,17 +178,23 @@ pub fn configs(n: usize) -> Vec<ConfigAst> {
 
 /// Build the full scenario for a mesh of `n` routers.
 pub fn build(n: usize) -> Scenario {
-    let network = roundtrip_and_lower(&configs(n));
+    build_from_configs(configs(n))
+}
+
+/// Build the scenario from (possibly mutated) configuration ASTs.
+pub fn build_from_configs(asts: Vec<ConfigAst>) -> Scenario {
+    let network = roundtrip_and_lower(&asts);
     let t = &network.topology;
 
     let mut ghost = GhostAttr::new("FromE0");
-    for i in 0..n {
-        let ext = t.node_by_name(&external_name(i)).unwrap();
-        let r = t.node_by_name(&router_name(i)).unwrap();
-        let e = t.edge_between(ext, r).unwrap();
+    for e in t.edge_ids() {
+        let edge = t.edge(e);
+        if !t.node(edge.src).external {
+            continue;
+        }
         ghost.on_import(
             e,
-            if i == 0 {
+            if t.node(edge.src).name == external_name(0) {
                 GhostUpdate::SetTrue
             } else {
                 GhostUpdate::SetFalse

@@ -1,0 +1,333 @@
+//! A **hub-and-spoke enterprise WAN**: one hub router with the Internet
+//! uplink, `spokes` branch routers that each peer *only* with the hub
+//! (a star, not a mesh), and one branch-site external per spoke.
+//!
+//! The classic enterprise discipline:
+//!
+//! * spoke imports tag site routes `400:1` (replace-all, so a site
+//!   cannot forge Internet provenance);
+//! * the hub import tags Internet routes `400:2` the same way;
+//! * the hub's export to the uplink denies site-tagged routes — branch
+//!   prefixes must never leak to the Internet.
+//!
+//! Properties: **no-site-leak** at the hub's uplink export, and
+//! **inet-tagged** (Internet routes carry `400:2`) at every router.
+
+use crate::roundtrip_and_lower;
+use bgp_config::ast::*;
+use bgp_config::Network;
+use bgp_model::Community;
+use lightyear::ghost::{GhostAttr, GhostUpdate};
+use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::pred::RoutePred;
+use lightyear::safety::SafetyProperty;
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HubParams {
+    /// Branch (spoke) routers (>= 1).
+    pub spokes: usize,
+    /// Deterministic variation seed (external AS numbers only).
+    pub seed: u64,
+}
+
+impl Default for HubParams {
+    fn default() -> Self {
+        HubParams { spokes: 3, seed: 0 }
+    }
+}
+
+impl HubParams {
+    fn asn_jitter(&self) -> u32 {
+        ((self.seed % 79) * 11) as u32
+    }
+}
+
+/// The community tagging branch-site routes.
+pub fn site_comm() -> Community {
+    Community::new(400, 1)
+}
+
+/// The community tagging Internet routes.
+pub fn inet_comm() -> Community {
+    Community::new(400, 2)
+}
+
+fn spoke_name(i: usize) -> String {
+    format!("SP{i}")
+}
+
+fn site_name(i: usize) -> String {
+    format!("SITE{i}")
+}
+
+/// The hub router's name.
+pub const HUB: &str = "HUB";
+
+/// The Internet uplink external's name.
+pub const INET: &str = "INET";
+
+/// A generated hub-and-spoke scenario with its verification inputs.
+pub struct Scenario {
+    /// Generator parameters.
+    pub params: HubParams,
+    /// The lowered network.
+    pub network: Network,
+    /// `FromSite`: true on every branch-site import.
+    pub site_ghost: GhostAttr,
+    /// `FromInet`: true on the uplink import only.
+    pub inet_ghost: GhostAttr,
+    /// No-site-leak + inet-tagged properties.
+    pub properties: Vec<SafetyProperty>,
+    /// The shared invariants.
+    pub invariants: NetworkInvariants,
+}
+
+fn tag_all_map(c: Community) -> Vec<RouteMapEntryAst> {
+    vec![RouteMapEntryAst {
+        seq: 10,
+        permit: true,
+        matches: vec![],
+        sets: vec![SetAst::Community {
+            communities: vec![c],
+            additive: false,
+            none: false,
+        }],
+        continue_to: None,
+    }]
+}
+
+fn config_hub(params: &HubParams) -> ConfigAst {
+    let mut ast = ConfigAst {
+        hostname: HUB.into(),
+        ..Default::default()
+    };
+    ast.route_maps
+        .insert("FROM-INET".into(), tag_all_map(inet_comm()));
+    ast.community_lists.insert(
+        "SITES".into(),
+        vec![CommunityListEntry {
+            permit: true,
+            communities: vec![site_comm()],
+        }],
+    );
+    ast.route_maps.insert(
+        "TO-INET".into(),
+        vec![
+            RouteMapEntryAst {
+                seq: 10,
+                permit: false,
+                matches: vec![MatchAst::Community {
+                    lists: vec!["SITES".into()],
+                    exact: false,
+                }],
+                sets: vec![],
+                continue_to: None,
+            },
+            RouteMapEntryAst {
+                seq: 20,
+                permit: true,
+                matches: vec![],
+                sets: vec![],
+                continue_to: None,
+            },
+        ],
+    );
+    let mut bgp = RouterBgp {
+        asn: 65020,
+        ..Default::default()
+    };
+    for i in 0..params.spokes {
+        let addr = format!("10.60.{i}.255");
+        bgp.neighbors.insert(
+            addr.clone(),
+            NeighborAst {
+                addr,
+                remote_as: Some(65020),
+                description: Some(spoke_name(i)),
+                route_map_in: None,
+                route_map_out: None,
+            },
+        );
+    }
+    let addr = "10.61.0.1".to_string();
+    bgp.neighbors.insert(
+        addr.clone(),
+        NeighborAst {
+            addr,
+            remote_as: Some(3000 + params.asn_jitter()),
+            description: Some(INET.into()),
+            route_map_in: Some("FROM-INET".into()),
+            route_map_out: Some("TO-INET".into()),
+        },
+    );
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+fn config_spoke(params: &HubParams, i: usize) -> ConfigAst {
+    let mut ast = ConfigAst {
+        hostname: spoke_name(i),
+        ..Default::default()
+    };
+    ast.route_maps
+        .insert("FROM-SITE".into(), tag_all_map(site_comm()));
+    let mut bgp = RouterBgp {
+        asn: 65020,
+        ..Default::default()
+    };
+    // The hub is the spoke's only internal session.
+    let addr = format!("10.60.{i}.254");
+    bgp.neighbors.insert(
+        addr.clone(),
+        NeighborAst {
+            addr,
+            remote_as: Some(65020),
+            description: Some(HUB.into()),
+            route_map_in: None,
+            route_map_out: None,
+        },
+    );
+    let addr = format!("10.62.{i}.1");
+    bgp.neighbors.insert(
+        addr.clone(),
+        NeighborAst {
+            addr,
+            remote_as: Some(64700 + params.asn_jitter() + i as u32),
+            description: Some(site_name(i)),
+            route_map_in: Some("FROM-SITE".into()),
+            route_map_out: None,
+        },
+    );
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+/// The raw configuration ASTs.
+pub fn configs(params: &HubParams) -> Vec<ConfigAst> {
+    assert!(params.spokes >= 1);
+    let mut out = vec![config_hub(params)];
+    for i in 0..params.spokes {
+        out.push(config_spoke(params, i));
+    }
+    out
+}
+
+/// Build the scenario.
+pub fn build(params: &HubParams) -> Scenario {
+    build_from_configs(params, configs(params))
+}
+
+/// Build from (possibly mutated) configuration ASTs.
+pub fn build_from_configs(params: &HubParams, asts: Vec<ConfigAst>) -> Scenario {
+    let network = roundtrip_and_lower(&asts);
+    let t = &network.topology;
+
+    let mut site_ghost = GhostAttr::new("FromSite");
+    let mut inet_ghost = GhostAttr::new("FromInet");
+    for e in t.edge_ids() {
+        let edge = t.edge(e);
+        if !t.node(edge.src).external {
+            continue;
+        }
+        let is_inet = t.node(edge.src).name == INET;
+        site_ghost.on_import(
+            e,
+            if is_inet {
+                GhostUpdate::SetFalse
+            } else {
+                GhostUpdate::SetTrue
+            },
+        );
+        inet_ghost.on_import(
+            e,
+            if is_inet {
+                GhostUpdate::SetTrue
+            } else {
+                GhostUpdate::SetFalse
+            },
+        );
+    }
+
+    let from_site = RoutePred::ghost("FromSite");
+    let from_inet = RoutePred::ghost("FromInet");
+    let key = from_site
+        .clone()
+        .implies(RoutePred::has_community(site_comm()))
+        .and(
+            from_inet
+                .clone()
+                .implies(RoutePred::has_community(inet_comm())),
+        );
+    let mut invariants = NetworkInvariants::with_default(key);
+    let mut properties = Vec::new();
+
+    if let (Some(hub), Some(inet)) = (t.node_by_name(HUB), t.node_by_name(INET)) {
+        if let Some(edge) = t.edge_between(hub, inet) {
+            invariants.set(Location::Edge(edge), from_site.clone().not());
+            properties.push(
+                SafetyProperty::new(Location::Edge(edge), from_site.clone().not())
+                    .named("hub-no-site-leak"),
+            );
+        }
+    }
+    let inet_tagged = from_inet.implies(RoutePred::has_community(inet_comm()));
+    for n in t.router_ids() {
+        properties.push(
+            SafetyProperty::new(Location::Node(n), inet_tagged.clone()).named("hub-inet-tagged"),
+        );
+    }
+
+    Scenario {
+        params: *params,
+        network,
+        site_ghost,
+        inet_ghost,
+        properties,
+        invariants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightyear::engine::Verifier;
+
+    #[test]
+    fn star_verifies_at_small_sizes() {
+        for spokes in [1, 3, 5] {
+            let s = build(&HubParams { spokes, seed: 3 });
+            let t = &s.network.topology;
+            assert_eq!(t.router_ids().count(), spokes + 1);
+            // Star: spokes internal sessions + (spokes + 1) externals,
+            // each a directed edge pair.
+            assert_eq!(t.num_edges(), 2 * spokes + 2 * (spokes + 1));
+            let v = Verifier::new(t, &s.network.policy)
+                .with_ghost(s.site_ghost.clone())
+                .with_ghost(s.inet_ghost.clone());
+            let report = v.verify_safety_multi(&s.properties, &s.invariants);
+            assert!(
+                report.all_passed(),
+                "hub x{spokes}: {}",
+                report.format_failures(t)
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_site_tag_is_caught() {
+        let p = HubParams::default();
+        let mut cfgs = configs(&p);
+        let bug = crate::mutate::drop_community_sets(&mut cfgs, "SP0", "FROM-SITE").unwrap();
+        let s = build_from_configs(&p, cfgs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.site_ghost.clone())
+            .with_ghost(s.inet_ghost.clone());
+        let report = v.verify_safety_multi(&s.properties, &s.invariants);
+        assert!(!report.all_passed());
+        assert!(report
+            .failures()
+            .iter()
+            .any(|f| f.check.map_name.as_deref() == Some(bug.route_map.as_str())));
+    }
+}

@@ -15,6 +15,15 @@
 //!   Internet edge routers with many peers, data centers announcing
 //!   reused prefixes, region communities, a metadata file, and the
 //!   Table 4a/4b/4c property suites.
+//! * [`rr`] — an iBGP route-reflector hierarchy: a reflector full mesh
+//!   with per-reflector client routers, the sparse session graph real
+//!   deployments migrate to.
+//! * [`stub`] — a multi-homed stub AS with anycast ingress: provider
+//!   preference via local-pref + provenance communities, no-transit in
+//!   both directions.
+//! * [`hubspoke`] — a hub-and-spoke enterprise WAN: a star of branch
+//!   routers around one hub with the Internet uplink, site prefixes
+//!   fenced off the uplink.
 //! * [`mutate`] — failure injection: seeded configuration bugs of the
 //!   classes the paper found in production (missing community tag, ad-hoc
 //!   AS-path policy on one peering, undocumented region community).
@@ -25,7 +34,10 @@
 pub mod edits;
 pub mod figure1;
 pub mod fullmesh;
+pub mod hubspoke;
 pub mod mutate;
+pub mod rr;
+pub mod stub;
 pub mod wan;
 
 use bgp_config::ast::ConfigAst;

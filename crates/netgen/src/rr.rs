@@ -1,0 +1,348 @@
+//! An iBGP **route-reflector hierarchy**: a reflector tier in a full
+//! mesh, client routers that peer only with their own reflector, and one
+//! eBGP external per client.
+//!
+//! Where [`crate::fullmesh`] needs `N²` iBGP sessions, this family keeps
+//! the session graph sparse (clients see exactly one reflector), which is
+//! the shape real deployments use once the mesh stops scaling — and a
+//! shape none of the original differential families exercised: invariants
+//! must survive the two-hop client → reflector → reflector → client relay
+//! instead of a single internal edge.
+//!
+//! Policy scheme (the Figure-1 community discipline on a hierarchy):
+//!
+//! * client `C0-0` is the **source**: its external's import strips all
+//!   communities, then tags `100:1`;
+//! * every other client import strips communities (so nothing else can
+//!   carry the tag);
+//! * the **sink** (the last client) denies tagged routes on its export,
+//!   giving the no-transit property "source routes never reach the
+//!   sink's external".
+
+use crate::roundtrip_and_lower;
+use bgp_config::ast::*;
+use bgp_config::Network;
+use bgp_model::Community;
+use lightyear::ghost::{GhostAttr, GhostUpdate};
+use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::pred::RoutePred;
+use lightyear::safety::SafetyProperty;
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RrParams {
+    /// Reflectors in the top-tier full mesh (>= 1).
+    pub reflectors: usize,
+    /// Client routers per reflector (>= 1).
+    pub clients_per_reflector: usize,
+    /// Deterministic variation seed (external AS numbers only; route-map
+    /// templates are seed-invariant, as in [`crate::wan`]).
+    pub seed: u64,
+}
+
+impl Default for RrParams {
+    fn default() -> Self {
+        RrParams {
+            reflectors: 2,
+            clients_per_reflector: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl RrParams {
+    fn asn_jitter(&self) -> u32 {
+        ((self.seed % 89) * 3) as u32
+    }
+
+    /// Total internal router count.
+    pub fn num_routers(&self) -> usize {
+        self.reflectors * (1 + self.clients_per_reflector)
+    }
+}
+
+/// The transit tag the source client applies.
+pub fn tag() -> Community {
+    Community::new(100, 1)
+}
+
+fn reflector_name(i: usize) -> String {
+    format!("RR{i}")
+}
+
+fn client_name(i: usize, j: usize) -> String {
+    format!("C{i}-{j}")
+}
+
+fn external_name(i: usize, j: usize) -> String {
+    format!("EXT{i}-{j}")
+}
+
+/// A generated route-reflector scenario with its verification inputs.
+pub struct Scenario {
+    /// Generator parameters.
+    pub params: RrParams,
+    /// The lowered network.
+    pub network: Network,
+    /// Ghost marking routes learned from the source client's external.
+    pub ghost: GhostAttr,
+    /// The no-transit property (source routes never reach the sink's
+    /// external) plus the tag-integrity property at the first reflector.
+    pub properties: Vec<SafetyProperty>,
+    /// The shared three-part invariants.
+    pub invariants: NetworkInvariants,
+}
+
+fn config_reflector(params: &RrParams, i: usize) -> ConfigAst {
+    let mut ast = ConfigAst {
+        hostname: reflector_name(i),
+        ..Default::default()
+    };
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
+    // Reflector full mesh.
+    for i2 in 0..params.reflectors {
+        if i2 == i {
+            continue;
+        }
+        let addr = format!("10.100.{i2}.{i}");
+        bgp.neighbors
+            .insert(addr.clone(), nbr(addr, 65000, reflector_name(i2)));
+    }
+    // Own clients.
+    for j in 0..params.clients_per_reflector {
+        let addr = format!("10.{i}.{j}.255");
+        bgp.neighbors
+            .insert(addr.clone(), nbr(addr, 65000, client_name(i, j)));
+    }
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+fn nbr(addr: String, asn: u32, desc: String) -> NeighborAst {
+    NeighborAst {
+        addr: addr.clone(),
+        remote_as: Some(asn),
+        description: Some(desc),
+        route_map_in: None,
+        route_map_out: None,
+    }
+}
+
+fn config_client(params: &RrParams, i: usize, j: usize) -> ConfigAst {
+    let mut ast = ConfigAst {
+        hostname: client_name(i, j),
+        ..Default::default()
+    };
+    let is_source = i == 0 && j == 0;
+    let is_sink = i == params.reflectors - 1 && j == params.clients_per_reflector - 1 && !is_source;
+
+    // Import from the external: strip everything; the source then tags.
+    let mut sets = vec![SetAst::Community {
+        communities: vec![],
+        additive: false,
+        none: true,
+    }];
+    if is_source {
+        sets.push(SetAst::Community {
+            communities: vec![tag()],
+            additive: true,
+            none: false,
+        });
+    }
+    ast.route_maps.insert(
+        "FROM-EXT".into(),
+        vec![RouteMapEntryAst {
+            seq: 10,
+            permit: true,
+            matches: vec![],
+            sets,
+            continue_to: None,
+        }],
+    );
+    if is_sink {
+        ast.community_lists.insert(
+            "TRANSIT".into(),
+            vec![CommunityListEntry {
+                permit: true,
+                communities: vec![tag()],
+            }],
+        );
+        ast.route_maps.insert(
+            "TO-EXT".into(),
+            vec![
+                RouteMapEntryAst {
+                    seq: 10,
+                    permit: false,
+                    matches: vec![MatchAst::Community {
+                        lists: vec!["TRANSIT".into()],
+                        exact: false,
+                    }],
+                    sets: vec![],
+                    continue_to: None,
+                },
+                RouteMapEntryAst {
+                    seq: 20,
+                    permit: true,
+                    matches: vec![],
+                    sets: vec![],
+                    continue_to: None,
+                },
+            ],
+        );
+    }
+
+    let mut bgp = RouterBgp {
+        asn: 65000,
+        ..Default::default()
+    };
+    // The one reflector session.
+    let addr = format!("10.{i}.{j}.254");
+    bgp.neighbors
+        .insert(addr.clone(), nbr(addr, 65000, reflector_name(i)));
+    // The external.
+    let addr = format!("10.210.{i}.{j}");
+    bgp.neighbors.insert(
+        addr.clone(),
+        NeighborAst {
+            addr,
+            remote_as: Some(64000 + params.asn_jitter() + (i * 16 + j) as u32),
+            description: Some(external_name(i, j)),
+            route_map_in: Some("FROM-EXT".into()),
+            route_map_out: is_sink.then(|| "TO-EXT".to_string()),
+        },
+    );
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+/// The raw configuration ASTs.
+pub fn configs(params: &RrParams) -> Vec<ConfigAst> {
+    assert!(params.reflectors >= 1);
+    assert!(params.clients_per_reflector >= 1);
+    assert!(
+        params.num_routers() >= 3,
+        "need a distinct source and sink client"
+    );
+    let mut out = Vec::new();
+    for i in 0..params.reflectors {
+        out.push(config_reflector(params, i));
+        for j in 0..params.clients_per_reflector {
+            out.push(config_client(params, i, j));
+        }
+    }
+    out
+}
+
+/// Build the scenario.
+pub fn build(params: &RrParams) -> Scenario {
+    build_from_configs(params, configs(params))
+}
+
+/// Build from (possibly mutated) configuration ASTs. Properties whose
+/// anchor nodes were edited away are skipped rather than invented.
+pub fn build_from_configs(params: &RrParams, asts: Vec<ConfigAst>) -> Scenario {
+    let network = roundtrip_and_lower(&asts);
+    let t = &network.topology;
+
+    let mut ghost = GhostAttr::new("FromSrc");
+    for e in t.edge_ids() {
+        let edge = t.edge(e);
+        if !t.node(edge.src).external {
+            continue;
+        }
+        let update = if t.node(edge.src).name == external_name(0, 0) {
+            GhostUpdate::SetTrue
+        } else {
+            GhostUpdate::SetFalse
+        };
+        ghost.on_import(e, update);
+    }
+
+    let from_src = RoutePred::ghost("FromSrc");
+    let key = from_src.clone().implies(RoutePred::has_community(tag()));
+    let mut invariants = NetworkInvariants::with_default(key.clone());
+    let mut properties = Vec::new();
+
+    let sink = client_name(params.reflectors - 1, params.clients_per_reflector - 1);
+    let sink_ext = external_name(params.reflectors - 1, params.clients_per_reflector - 1);
+    if let (Some(sn), Some(se)) = (t.node_by_name(&sink), t.node_by_name(&sink_ext)) {
+        if let Some(edge) = t.edge_between(sn, se) {
+            invariants.set(Location::Edge(edge), from_src.clone().not());
+            properties.push(
+                SafetyProperty::new(Location::Edge(edge), from_src.clone().not())
+                    .named("rr-no-transit"),
+            );
+        }
+    }
+    if let Some(rr0) = t.node_by_name(&reflector_name(0)) {
+        properties.push(SafetyProperty::new(Location::Node(rr0), key).named("rr-tag-integrity"));
+    }
+
+    Scenario {
+        params: *params,
+        network,
+        ghost,
+        properties,
+        invariants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightyear::engine::Verifier;
+
+    #[test]
+    fn hierarchy_verifies_at_small_sizes() {
+        for (r, c) in [(1, 3), (2, 2), (3, 2)] {
+            let s = build(&RrParams {
+                reflectors: r,
+                clients_per_reflector: c,
+                seed: 1,
+            });
+            assert_eq!(
+                s.network.topology.router_ids().count(),
+                s.params.num_routers()
+            );
+            let v =
+                Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
+            let report = v.verify_safety_multi(&s.properties, &s.invariants);
+            assert!(
+                report.all_passed(),
+                "rr {r}x{c}: {}",
+                report.format_failures(&s.network.topology)
+            );
+        }
+    }
+
+    #[test]
+    fn session_graph_is_sparse() {
+        let s = build(&RrParams {
+            reflectors: 3,
+            clients_per_reflector: 2,
+            seed: 0,
+        });
+        let t = &s.network.topology;
+        // 3*2 reflector mesh edges + 6 client<->reflector sessions (x2
+        // directed) + 6 externals (x2 directed).
+        assert_eq!(t.num_edges(), 3 * 2 + 2 * 6 + 2 * 6);
+    }
+
+    #[test]
+    fn missing_tag_is_caught() {
+        let p = RrParams::default();
+        let mut cfgs = configs(&p);
+        let bug = crate::mutate::drop_community_sets(&mut cfgs, "C0-0", "FROM-EXT").unwrap();
+        let s = build_from_configs(&p, cfgs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy).with_ghost(s.ghost.clone());
+        let report = v.verify_safety_multi(&s.properties, &s.invariants);
+        assert!(!report.all_passed());
+        assert!(report
+            .failures()
+            .iter()
+            .any(|f| f.check.map_name.as_deref() == Some(bug.route_map.as_str())));
+    }
+}

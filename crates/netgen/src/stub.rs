@@ -1,0 +1,340 @@
+//! A **multi-homed stub AS with anycast ingress**: `borders` border
+//! routers in a small iBGP mesh, each homed to a different upstream
+//! provider, with provider preference expressed the way operators do it —
+//! local-preference set at import, provenance recorded in communities.
+//!
+//! Provider 0 is the **primary** (local-pref 120, tagged `300:10`); every
+//! other provider is a **backup** (local-pref 80, tagged `300:20`). The
+//! same *anycast* prefix is announced by several providers at once (see
+//! [`anycast_prefix`]), so best-path selection genuinely arbitrates
+//! between provenances — the sharpest trap for prefix-keyed provenance
+//! assumptions in differential oracles.
+//!
+//! Properties:
+//!
+//! * **no-transit between providers**, both directions: backup-learned
+//!   routes never exported to the primary, primary-learned routes never
+//!   exported to a backup (a multi-homed stub must not become transit);
+//! * **provider preference**: primary-learned routes carry local-pref
+//!   120 everywhere.
+
+use crate::roundtrip_and_lower;
+use bgp_config::ast::*;
+use bgp_config::Network;
+use bgp_model::{Community, Ipv4Prefix};
+use lightyear::ghost::{GhostAttr, GhostUpdate};
+use lightyear::invariants::{Location, NetworkInvariants};
+use lightyear::pred::{Cmp, RoutePred};
+use lightyear::safety::SafetyProperty;
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StubParams {
+    /// Border routers, one provider each (>= 2).
+    pub borders: usize,
+    /// Deterministic variation seed (provider AS numbers only).
+    pub seed: u64,
+}
+
+impl Default for StubParams {
+    fn default() -> Self {
+        StubParams {
+            borders: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl StubParams {
+    fn asn_jitter(&self) -> u32 {
+        ((self.seed % 83) * 5) as u32
+    }
+
+    /// The AS number provider `i`'s announcements originate from.
+    pub fn provider_asn(&self, i: usize) -> u32 {
+        1000 + self.asn_jitter() + (i * 7) as u32
+    }
+}
+
+/// The community tagging primary-learned routes.
+pub fn primary_comm() -> Community {
+    Community::new(300, 10)
+}
+
+/// The community tagging backup-learned routes.
+pub fn backup_comm() -> Community {
+    Community::new(300, 20)
+}
+
+/// The anycast prefix several providers announce simultaneously.
+pub fn anycast_prefix() -> Ipv4Prefix {
+    "203.0.200.0/24".parse().unwrap()
+}
+
+fn border_name(i: usize) -> String {
+    format!("B{i}")
+}
+
+fn provider_name(i: usize) -> String {
+    format!("PROV{i}")
+}
+
+/// A generated stub scenario with its verification inputs.
+pub struct Scenario {
+    /// Generator parameters.
+    pub params: StubParams,
+    /// The lowered network.
+    pub network: Network,
+    /// `FromPrimary`: true on the primary provider's import only.
+    pub primary_ghost: GhostAttr,
+    /// `FromBackup`: true on every backup provider's import.
+    pub backup_ghost: GhostAttr,
+    /// No-transit both ways + provider-preference properties.
+    pub properties: Vec<SafetyProperty>,
+    /// The shared invariants.
+    pub invariants: NetworkInvariants,
+}
+
+fn config_border(params: &StubParams, i: usize) -> ConfigAst {
+    let mut ast = ConfigAst {
+        hostname: border_name(i),
+        ..Default::default()
+    };
+    let primary = i == 0;
+
+    // Provenance tag + preference, set at import (replace-all so
+    // adversarial provider communities cannot forge provenance).
+    let (comm, lp, import_map) = if primary {
+        (primary_comm(), 120, "FROM-PRIMARY")
+    } else {
+        (backup_comm(), 80, "FROM-BACKUP")
+    };
+    ast.route_maps.insert(
+        import_map.into(),
+        vec![RouteMapEntryAst {
+            seq: 10,
+            permit: true,
+            matches: vec![],
+            sets: vec![
+                SetAst::Community {
+                    communities: vec![comm],
+                    additive: false,
+                    none: false,
+                },
+                SetAst::LocalPref(lp),
+            ],
+            continue_to: None,
+        }],
+    );
+    // No-transit exports: the primary session never re-announces
+    // backup-tagged routes and vice versa.
+    let (deny_list, deny_comm, export_map) = if primary {
+        ("BACKUP", backup_comm(), "TO-PRIMARY")
+    } else {
+        ("PRIMARY", primary_comm(), "TO-BACKUP")
+    };
+    ast.community_lists.insert(
+        deny_list.into(),
+        vec![CommunityListEntry {
+            permit: true,
+            communities: vec![deny_comm],
+        }],
+    );
+    ast.route_maps.insert(
+        export_map.into(),
+        vec![
+            RouteMapEntryAst {
+                seq: 10,
+                permit: false,
+                matches: vec![MatchAst::Community {
+                    lists: vec![deny_list.into()],
+                    exact: false,
+                }],
+                sets: vec![],
+                continue_to: None,
+            },
+            RouteMapEntryAst {
+                seq: 20,
+                permit: true,
+                matches: vec![],
+                sets: vec![],
+                continue_to: None,
+            },
+        ],
+    );
+
+    let mut bgp = RouterBgp {
+        asn: 65010,
+        ..Default::default()
+    };
+    // iBGP mesh across the stub.
+    for i2 in 0..params.borders {
+        if i2 == i {
+            continue;
+        }
+        let addr = format!("10.50.{i2}.{i}");
+        bgp.neighbors.insert(
+            addr.clone(),
+            NeighborAst {
+                addr,
+                remote_as: Some(65010),
+                description: Some(border_name(i2)),
+                route_map_in: None,
+                route_map_out: None,
+            },
+        );
+    }
+    // The provider session.
+    let addr = format!("10.51.{i}.1");
+    bgp.neighbors.insert(
+        addr.clone(),
+        NeighborAst {
+            addr,
+            remote_as: Some(params.provider_asn(i)),
+            description: Some(provider_name(i)),
+            route_map_in: Some(import_map.into()),
+            route_map_out: Some(export_map.into()),
+        },
+    );
+    ast.router_bgp = Some(bgp);
+    ast
+}
+
+/// The raw configuration ASTs.
+pub fn configs(params: &StubParams) -> Vec<ConfigAst> {
+    assert!(params.borders >= 2, "a multi-homed stub needs >= 2 uplinks");
+    (0..params.borders)
+        .map(|i| config_border(params, i))
+        .collect()
+}
+
+/// Build the scenario.
+pub fn build(params: &StubParams) -> Scenario {
+    build_from_configs(params, configs(params))
+}
+
+/// Build from (possibly mutated) configuration ASTs.
+pub fn build_from_configs(params: &StubParams, asts: Vec<ConfigAst>) -> Scenario {
+    let network = roundtrip_and_lower(&asts);
+    let t = &network.topology;
+
+    let mut primary_ghost = GhostAttr::new("FromPrimary");
+    let mut backup_ghost = GhostAttr::new("FromBackup");
+    for e in t.edge_ids() {
+        let edge = t.edge(e);
+        if !t.node(edge.src).external {
+            continue;
+        }
+        let is_primary = t.node(edge.src).name == provider_name(0);
+        primary_ghost.on_import(
+            e,
+            if is_primary {
+                GhostUpdate::SetTrue
+            } else {
+                GhostUpdate::SetFalse
+            },
+        );
+        backup_ghost.on_import(
+            e,
+            if is_primary {
+                GhostUpdate::SetFalse
+            } else {
+                GhostUpdate::SetTrue
+            },
+        );
+    }
+
+    let from_primary = RoutePred::ghost("FromPrimary");
+    let from_backup = RoutePred::ghost("FromBackup");
+    let key = from_primary
+        .clone()
+        .implies(RoutePred::has_community(primary_comm()).and(RoutePred::local_pref(Cmp::Eq, 120)))
+        .and(
+            from_backup
+                .clone()
+                .implies(RoutePred::has_community(backup_comm())),
+        );
+    let mut invariants = NetworkInvariants::with_default(key);
+    let mut properties = Vec::new();
+
+    for i in 0..params.borders {
+        let (Some(b), Some(p)) = (
+            t.node_by_name(&border_name(i)),
+            t.node_by_name(&provider_name(i)),
+        ) else {
+            continue;
+        };
+        let Some(edge) = t.edge_between(b, p) else {
+            continue;
+        };
+        if i == 0 {
+            invariants.set(Location::Edge(edge), from_backup.clone().not());
+            properties.push(
+                SafetyProperty::new(Location::Edge(edge), from_backup.clone().not())
+                    .named("stub-no-backup-to-primary"),
+            );
+        } else {
+            invariants.set(Location::Edge(edge), from_primary.clone().not());
+            properties.push(
+                SafetyProperty::new(Location::Edge(edge), from_primary.clone().not())
+                    .named(format!("stub-no-primary-to-backup{i}")),
+            );
+        }
+    }
+    // Provider preference holds at every border router.
+    let pref = from_primary.implies(RoutePred::local_pref(Cmp::Eq, 120));
+    for n in t.router_ids() {
+        properties
+            .push(SafetyProperty::new(Location::Node(n), pref.clone()).named("stub-provider-pref"));
+    }
+
+    Scenario {
+        params: *params,
+        network,
+        primary_ghost,
+        backup_ghost,
+        properties,
+        invariants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightyear::engine::Verifier;
+
+    #[test]
+    fn stub_verifies_at_small_sizes() {
+        for borders in [2, 3, 4] {
+            let s = build(&StubParams { borders, seed: 2 });
+            let v = Verifier::new(&s.network.topology, &s.network.policy)
+                .with_ghost(s.primary_ghost.clone())
+                .with_ghost(s.backup_ghost.clone());
+            let report = v.verify_safety_multi(&s.properties, &s.invariants);
+            assert!(
+                report.all_passed(),
+                "stub x{borders}: {}",
+                report.format_failures(&s.network.topology)
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_export_deny_breaks_no_transit() {
+        let p = StubParams::default();
+        let mut cfgs = configs(&p);
+        // B0 loses the deny entry that keeps backup routes off the
+        // primary session.
+        let cfg = cfgs.iter_mut().find(|c| c.hostname == "B0").unwrap();
+        cfg.route_maps
+            .get_mut("TO-PRIMARY")
+            .unwrap()
+            .retain(|e| e.permit);
+        let s = build_from_configs(&p, cfgs);
+        let v = Verifier::new(&s.network.topology, &s.network.policy)
+            .with_ghost(s.primary_ghost.clone())
+            .with_ghost(s.backup_ghost.clone());
+        let report = v.verify_safety_multi(&s.properties, &s.invariants);
+        assert!(!report.all_passed());
+    }
+}

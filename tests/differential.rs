@@ -5,11 +5,15 @@
 //! traces; the simulator generates concrete valid traces. If Lightyear
 //! verifies an invariant assignment, every simulated event must satisfy
 //! the invariant at its location — under randomized external
-//! announcements.
+//! announcements, across the **full 2³ `SimOptions` grid** (loop
+//! prevention × iBGP non-readvertisement × split horizon): the theorem
+//! holds for every valid trace, so it must hold under every semantic
+//! switch the simulator offers, not just the defaults.
 
-use bgp_model::sim::{simulate, SimOptions};
+use bgp_model::sim::simulate;
 use bgp_model::trace::{check_liveness_axioms, check_safety_axioms, Event};
 use bgp_model::{Community, Route};
+use fuzz::sim_options_grid;
 use lightyear::engine::Verifier;
 use lightyear::invariants::Location;
 use netgen::{figure1, fullmesh};
@@ -65,58 +69,62 @@ fn figure1_invariants_hold_on_random_simulations() {
     let isp2_r2 = topo.edge_between(isp2, r2).unwrap();
     let cust_r3 = topo.edge_between(cust, r3).unwrap();
 
-    let mut rng = StdRng::seed_from_u64(0xbeef);
-    for round in 0..50 {
-        // Distinct prefixes per external so provenance (the ghost value)
-        // is decidable from the prefix in this differential test.
-        let isp1_route = Route::new("8.0.0.0/8".parse().unwrap())
-            .with_as_path(vec![100])
-            .with_med(rng.random_range(0..50));
-        let mut announcements = vec![(isp1_r1, isp1_route)];
-        if rng.random_bool(0.7) {
-            let mut r = random_route(&mut rng, 200);
-            r.prefix = "9.9.0.0/16".parse().unwrap();
-            announcements.push((isp2_r2, r));
-        }
-        if rng.random_bool(0.7) {
-            let mut r = random_route(&mut rng, 300);
-            r.prefix = "203.0.113.0/24".parse().unwrap();
-            announcements.push((cust_r3, r));
-        }
+    for (oi, opts) in sim_options_grid().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xbeef + oi as u64);
+        for round in 0..10 {
+            // Distinct prefixes per external so provenance (the ghost
+            // value) is decidable from the prefix in this differential
+            // test.
+            let isp1_route = Route::new("8.0.0.0/8".parse().unwrap())
+                .with_as_path(vec![100])
+                .with_med(rng.random_range(0..50));
+            let mut announcements = vec![(isp1_r1, isp1_route)];
+            if rng.random_bool(0.7) {
+                let mut r = random_route(&mut rng, 200);
+                r.prefix = "9.9.0.0/16".parse().unwrap();
+                announcements.push((isp2_r2, r));
+            }
+            if rng.random_bool(0.7) {
+                let mut r = random_route(&mut rng, 300);
+                r.prefix = "203.0.113.0/24".parse().unwrap();
+                announcements.push((cust_r3, r));
+            }
 
-        let result = simulate(topo, policy, &announcements, SimOptions::default());
-        assert!(result.converged, "round {round}");
-        check_safety_axioms(&result.trace, topo, policy)
-            .unwrap_or_else(|e| panic!("round {round}: {e}"));
-        check_liveness_axioms(&result.trace, topo, policy)
-            .unwrap_or_else(|e| panic!("round {round} (liveness): {e}"));
+            let result = simulate(topo, policy, &announcements, opts);
+            assert!(result.converged, "options #{oi} round {round}");
+            check_safety_axioms(&result.trace, topo, policy)
+                .unwrap_or_else(|e| panic!("options #{oi} round {round}: {e}"));
+            check_liveness_axioms(&result.trace, topo, policy)
+                .unwrap_or_else(|e| panic!("options #{oi} round {round} (liveness): {e}"));
 
-        for (i, ev) in result.trace.events.iter().enumerate() {
-            let (loc, route) = match ev {
-                Event::Recv { edge, route } => (Location::Edge(*edge), route),
-                Event::Frwd { edge, route } => (Location::Edge(*edge), route),
-                Event::Slct { node, route } => (Location::Node(*node), route),
-            };
-            let from_isp1 = route.prefix == "8.0.0.0/8".parse().unwrap();
-            let mut ghosts = BTreeMap::new();
-            ghosts.insert("FromISP1".to_string(), from_isp1);
-            let inv = s.no_transit_inv.at(topo, loc);
-            assert!(
-                inv.eval(route, &ghosts),
-                "round {round} event #{i}: invariant {inv} violated at {} by {route}",
-                loc.display(topo)
-            );
-        }
-
-        // The end-to-end property: ISP1's prefix never delivered to ISP2.
-        let r2_isp2 = topo.edge_between(r2, isp2).unwrap();
-        if let Some(routes) = result.external_rib.get(&r2_isp2) {
-            for r in routes {
-                assert_ne!(
-                    r.prefix,
-                    "8.0.0.0/8".parse().unwrap(),
-                    "round {round}: transit violation in simulation"
+            for (i, ev) in result.trace.events.iter().enumerate() {
+                let (loc, route) = match ev {
+                    Event::Recv { edge, route } => (Location::Edge(*edge), route),
+                    Event::Frwd { edge, route } => (Location::Edge(*edge), route),
+                    Event::Slct { node, route } => (Location::Node(*node), route),
+                };
+                let from_isp1 = route.prefix == "8.0.0.0/8".parse().unwrap();
+                let mut ghosts = BTreeMap::new();
+                ghosts.insert("FromISP1".to_string(), from_isp1);
+                let inv = s.no_transit_inv.at(topo, loc);
+                assert!(
+                    inv.eval(route, &ghosts),
+                    "options #{oi} round {round} event #{i}: invariant {inv} violated at {} by {route}",
+                    loc.display(topo)
                 );
+            }
+
+            // The end-to-end property: ISP1's prefix never delivered to
+            // ISP2.
+            let r2_isp2 = topo.edge_between(r2, isp2).unwrap();
+            if let Some(routes) = result.external_rib.get(&r2_isp2) {
+                for r in routes {
+                    assert_ne!(
+                        r.prefix,
+                        "8.0.0.0/8".parse().unwrap(),
+                        "options #{oi} round {round}: transit violation in simulation"
+                    );
+                }
             }
         }
     }
@@ -133,56 +141,58 @@ fn fullmesh_invariants_hold_on_random_simulations() {
         .verify_safety(&s.property, &s.invariants);
     assert!(report.all_passed());
 
-    let mut rng = StdRng::seed_from_u64(42);
-    for round in 0..20 {
-        // E0 announces a dedicated prefix; other externals announce
-        // random routes for other prefixes.
-        let e0 = topo.node_by_name("E0").unwrap();
-        let r0 = topo.node_by_name("R0").unwrap();
-        let e0_r0 = topo.edge_between(e0, r0).unwrap();
-        let mut announcements = vec![(
-            e0_r0,
-            Route::new("8.0.0.0/8".parse().unwrap()).with_as_path(vec![65001]),
-        )];
-        for i in 1..n {
-            if rng.random_bool(0.6) {
-                let ei = topo.node_by_name(&format!("E{i}")).unwrap();
-                let ri = topo.node_by_name(&format!("R{i}")).unwrap();
-                let edge = topo.edge_between(ei, ri).unwrap();
-                let mut r = random_route(&mut rng, 65001 + i as u32);
-                r.prefix = "9.9.0.0/16".parse().unwrap();
-                announcements.push((edge, r));
+    for (oi, opts) in sim_options_grid().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(42 + oi as u64);
+        for round in 0..4 {
+            // E0 announces a dedicated prefix; other externals announce
+            // random routes for other prefixes.
+            let e0 = topo.node_by_name("E0").unwrap();
+            let r0 = topo.node_by_name("R0").unwrap();
+            let e0_r0 = topo.edge_between(e0, r0).unwrap();
+            let mut announcements = vec![(
+                e0_r0,
+                Route::new("8.0.0.0/8".parse().unwrap()).with_as_path(vec![65001]),
+            )];
+            for i in 1..n {
+                if rng.random_bool(0.6) {
+                    let ei = topo.node_by_name(&format!("E{i}")).unwrap();
+                    let ri = topo.node_by_name(&format!("R{i}")).unwrap();
+                    let edge = topo.edge_between(ei, ri).unwrap();
+                    let mut r = random_route(&mut rng, 65001 + i as u32);
+                    r.prefix = "9.9.0.0/16".parse().unwrap();
+                    announcements.push((edge, r));
+                }
             }
-        }
-        let result = simulate(topo, policy, &announcements, SimOptions::default());
-        assert!(result.converged);
-        check_safety_axioms(&result.trace, topo, policy).unwrap();
-        check_liveness_axioms(&result.trace, topo, policy).unwrap();
+            let result = simulate(topo, policy, &announcements, opts);
+            assert!(result.converged, "options #{oi} round {round}");
+            check_safety_axioms(&result.trace, topo, policy).unwrap();
+            check_liveness_axioms(&result.trace, topo, policy).unwrap();
 
-        for ev in &result.trace.events {
-            let (loc, route) = match ev {
-                Event::Recv { edge, route } => (Location::Edge(*edge), route),
-                Event::Frwd { edge, route } => (Location::Edge(*edge), route),
-                Event::Slct { node, route } => (Location::Node(*node), route),
-            };
-            let from_e0 = route.prefix == "8.0.0.0/8".parse().unwrap();
-            let mut ghosts = BTreeMap::new();
-            ghosts.insert("FromE0".to_string(), from_e0);
-            let inv = s.invariants.at(topo, loc);
-            assert!(
-                inv.eval(route, &ghosts),
-                "round {round}: invariant {inv} violated at {} by {route}",
-                loc.display(topo)
-            );
-        }
+            for ev in &result.trace.events {
+                let (loc, route) = match ev {
+                    Event::Recv { edge, route } => (Location::Edge(*edge), route),
+                    Event::Frwd { edge, route } => (Location::Edge(*edge), route),
+                    Event::Slct { node, route } => (Location::Node(*node), route),
+                };
+                let from_e0 = route.prefix == "8.0.0.0/8".parse().unwrap();
+                let mut ghosts = BTreeMap::new();
+                ghosts.insert("FromE0".to_string(), from_e0);
+                let inv = s.invariants.at(topo, loc);
+                assert!(
+                    inv.eval(route, &ghosts),
+                    "options #{oi} round {round}: invariant {inv} violated at {} by {route}",
+                    loc.display(topo)
+                );
+            }
 
-        // Property: E0's prefix never delivered to E1.
-        let r1 = topo.node_by_name("R1").unwrap();
-        let e1 = topo.node_by_name("E1").unwrap();
-        let r1_e1 = topo.edge_between(r1, e1).unwrap();
-        if let Some(routes) = result.external_rib.get(&r1_e1) {
-            for r in routes {
-                assert_ne!(r.prefix, "8.0.0.0/8".parse().unwrap());
+            // Property: E0's prefix never delivered to E1.
+            let r1 = topo.node_by_name("R1").unwrap();
+            let e1 = topo.node_by_name("E1").unwrap();
+            let r1_e1 = topo.edge_between(r1, e1).unwrap();
+            if let Some(routes) = result.external_rib.get(&r1_e1) {
+                for r in routes {
+                    assert_ne!(r.prefix, "8.0.0.0/8".parse().unwrap());
+                }
             }
         }
     }
