@@ -1,0 +1,96 @@
+//! Disabled-overhead acceptance for the `obs` instrumentation layer:
+//! with no sink installed, every instrumentation point in the pipeline
+//! must cost one relaxed atomic load and a branch — the gate asserts
+//! the aggregate cost stays under 3% of the 50-router incremental
+//! verify wall time.
+//!
+//! "This binary minus its instrumentation" cannot be measured directly
+//! post-merge, so the bound is computed analytically from quantities
+//! this binary CAN measure:
+//!
+//! * the exact number of instrumentation calls the workload makes — one
+//!   run with a sink installed; every counter/gauge/histogram/span
+//!   entry point bumps `Registry::calls()`;
+//! * the disabled per-call cost — a tight loop over `obs::add` with no
+//!   sink (the disabled fast path is the same early-return across all
+//!   entry points);
+//! * the median disabled wall time of the workload itself.
+//!
+//! overhead% = calls x per-call / wall. The estimate is conservative:
+//! it prices every call at the measured loop cost even though the real
+//! run amortizes the load's cache line across far colder surrounding
+//! work.
+
+use bench::{env_usize, median, record_gate_max};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightyear::engine::Verifier;
+use netgen::wan::{self, WanParams};
+use std::time::{Duration, Instant};
+
+fn large_params() -> WanParams {
+    WanParams {
+        regions: env_usize("WAN_REGIONS", 6),
+        routers_per_region: env_usize("WAN_ROUTERS", 6),
+        edge_routers: env_usize("WAN_EDGES", 14),
+        peers_per_edge: env_usize("WAN_PEERS", 2),
+        ..WanParams::default()
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let s = wan::build(&large_params());
+    let topo = &s.network.topology;
+    let (name, q) = s.peering_predicates().into_iter().next().unwrap();
+    let (props, inv) = s.peering_property_inputs(&q);
+    let label = format!("{name}/{}r", s.params.num_routers());
+    let run = || {
+        let v = Verifier::new(topo, &s.network.policy).with_ghost(s.from_peer_ghost());
+        assert!(v.verify_safety_multi(&props, &inv).all_passed());
+    };
+
+    // The headline comparison for the criterion record: the same
+    // workload with the sink absent vs installed.
+    let mut g = c.benchmark_group("obs-overhead");
+    g.sample_size(10);
+    assert!(obs::sink().is_none(), "bench must start with no sink");
+    g.bench_function(format!("disabled/{label}"), |b| b.iter(run));
+    let reg = obs::install();
+    g.bench_function(format!("enabled/{label}"), |b| b.iter(run));
+    g.finish();
+
+    // Exact instrumentation-call count for one run of the workload.
+    let calls_before = reg.calls();
+    run();
+    let calls = reg.calls() - calls_before;
+    obs::uninstall();
+    assert!(calls > 0, "the instrumented pipeline must count its calls");
+
+    // Disabled per-call cost, then the analytic gate.
+    let reps = env_usize("OBS_REPS", 5);
+    let walls: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed()
+        })
+        .collect();
+    let wall = median(walls);
+
+    const LOOP: u64 = 10_000_000;
+    let t = Instant::now();
+    for i in 0..LOOP {
+        obs::add("obs.bench.disabled", std::hint::black_box(i));
+    }
+    let per_call = t.elapsed().as_secs_f64() / LOOP as f64;
+
+    let overhead_pct = calls as f64 * per_call / wall.as_secs_f64() * 100.0;
+    println!(
+        "obs disabled overhead {label}: {calls} instrumentation calls x {:.2}ns \
+         = {overhead_pct:.4}% of {wall:?} (ceiling 3%)",
+        per_call * 1e9,
+    );
+    record_gate_max("obs-disabled-overhead-50r", overhead_pct, 3.0);
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

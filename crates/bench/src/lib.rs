@@ -23,6 +23,8 @@
 //! All binaries accept environment variables to scale up to paper-size
 //! runs (see each binary's `--help`-style header comment).
 
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 /// Read a usize parameter from the environment with a default.
@@ -39,6 +41,7 @@ pub fn env_usize(name: &str, default: usize) -> usize {
 /// — and with it the CI job — fails. Call this with the measured
 /// speedup ratio and the asserted floor.
 pub fn record_gate(name: &str, ratio: f64, floor: f64) {
+    let name = unique_gate_name(name);
     let pass = ratio >= floor;
     println!(
         "gate {name}: {ratio:.2}x (floor {floor:.2}x) -> {}",
@@ -51,6 +54,44 @@ pub fn record_gate(name: &str, ratio: f64, floor: f64) {
         pass,
         "bench gate {name}: {ratio:.2}x is below the {floor:.2}x floor"
     );
+}
+
+/// Record a ceiling-style gate: pass when `value <= ceiling` (overhead
+/// gates, where smaller is better). Same print/append/panic contract as
+/// [`record_gate`], with `value`/`ceiling` fields in the JSON record.
+pub fn record_gate_max(name: &str, value: f64, ceiling: f64) {
+    let name = unique_gate_name(name);
+    let pass = value <= ceiling;
+    println!(
+        "gate {name}: {value:.4} (ceiling {ceiling:.4}) -> {}",
+        if pass { "pass" } else { "FAIL" }
+    );
+    criterion::append_json_line(&format!(
+        "{{\"gate\":\"{name}\",\"value\":{value:.4},\"ceiling\":{ceiling:.4},\"pass\":{pass}}}"
+    ));
+    assert!(
+        pass,
+        "bench gate {name}: {value:.4} exceeds the {ceiling:.4} ceiling"
+    );
+}
+
+/// Disambiguate gate names within one process. `BENCH_JSON` is
+/// append-only, so two gates recorded under one name used to produce
+/// two identical-looking lines in the assembled artifact — ambiguous
+/// for any trend tooling keyed on the gate name. Repeats now get a
+/// `#2`, `#3`, ... suffix and a warning on stderr.
+fn unique_gate_name(name: &str) -> String {
+    static SEEN: OnceLock<Mutex<BTreeMap<String, usize>>> = OnceLock::new();
+    let mut seen = SEEN.get_or_init(Mutex::default).lock().unwrap();
+    let n = seen.entry(name.to_string()).or_insert(0);
+    *n += 1;
+    if *n == 1 {
+        name.to_string()
+    } else {
+        let unique = format!("{name}#{n}");
+        eprintln!("warning: duplicate bench gate name {name:?}; recording as {unique:?}");
+        unique
+    }
 }
 
 /// Median of a sample (used by the in-bench acceptance gates; a median
@@ -129,6 +170,26 @@ mod tests {
     #[test]
     fn env_usize_default() {
         assert_eq!(env_usize("DEFINITELY_NOT_SET_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn duplicate_gate_names_get_suffixes() {
+        assert_eq!(unique_gate_name("dup-gate-test"), "dup-gate-test");
+        assert_eq!(unique_gate_name("dup-gate-test"), "dup-gate-test#2");
+        assert_eq!(unique_gate_name("dup-gate-test"), "dup-gate-test#3");
+        // Independent names stay untouched.
+        assert_eq!(unique_gate_name("other-gate-test"), "other-gate-test");
+    }
+
+    #[test]
+    fn ceiling_gate_passes_under_ceiling() {
+        record_gate_max("ceiling-gate-pass-test", 1.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn ceiling_gate_fails_over_ceiling() {
+        record_gate_max("ceiling-gate-fail-test", 5.0, 3.0);
     }
 
     #[test]

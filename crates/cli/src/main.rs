@@ -5,9 +5,12 @@
 //!   lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]
 //!                    [--jobs N] [--no-dedup] [--no-incremental]
 //!                    [--cache] [--cache-dir DIR] [--cache-cap N]
+//!                    [--profile FILE]
+//!   lightyear profile <SPEC> <CONFIG_DIR> [--jobs N] [--out FILE]
+//!                    [--top N] [--sequential]
 //!   lightyear watch  --configs <DIR> --spec <FILE> [--baseline DIR]
 //!                    [--once] [--interval-ms N] [--max-rounds N]
-//!                    [--cache-dir DIR]
+//!                    [--cache-dir DIR] [--metrics-json FILE]
 //!   lightyear plan   --spec <FILE> <DIR0> <DIR1> [...]
 //!   lightyear fuzz   [--seed N] [--cases N] [--families a,b,...]
 //!                    [--edit-steps K] [--sim-rounds R] [--no-inject]
@@ -28,7 +31,21 @@
 //!                   each property carries a "cores" array: per passing
 //!                   check, which invariant conjuncts its UNSAT proof
 //!                   actually needed (core-based blame). Exit code 1 when
-//!                   any check fails
+//!                   any check fails. --json also appends a trailing
+//!                   entry with a "timings" stage split (encode / solve /
+//!                   cache / other, summing to the wall clock) and the
+//!                   full "metrics" counter snapshot; --profile FILE
+//!                   additionally writes a self-contained profile report
+//!                   (see `profile`)
+//!   profile         deep-dive profiling run: verify <CONFIG_DIR> against
+//!                   <SPEC> with the metrics sink installed, print the
+//!                   stage split, the hottest check groups and the solver
+//!                   counter table, and write a self-contained profile
+//!                   JSON (--out, default profile.json). The file is a
+//!                   valid Chrome trace_event file — load it directly in
+//!                   Perfetto (ui.perfetto.dev) or chrome://tracing; the
+//!                   profile tables ride along as extra top-level keys,
+//!                   which trace viewers ignore
 //!   watch           long-lived re-verify daemon: verify DIR once, then
 //!                   re-check on every config change, re-solving only the
 //!                   checks the semantic diff dirtied (warm cross-run SMT
@@ -42,7 +59,12 @@
 //!                   migration-step / CI smoke shape. --cache-dir DIR
 //!                   spills the carried result cache after every verified
 //!                   round and reloads it (passing verdicts only) on
-//!                   startup, so a restarted daemon starts warm
+//!                   startup, so a restarted daemon starts warm.
+//!                   --metrics-json FILE installs the metrics sink and
+//!                   atomically rewrites FILE after every round with the
+//!                   round count and the cumulative counter snapshot (a
+//!                   poll surface for scrapers or a future `serve` mode);
+//!                   a cumulative totals line is printed per round
 //!   plan            Snowcap/Chameleon-style migration-plan verification:
 //!                   verify DIR0 fully, then every subsequent directory as
 //!                   a delta round, proving each intermediate
@@ -83,6 +105,9 @@
 //!                   implies --cache)
 //!   --cache-cap N   bound the in-memory cache to ~N entries with LRU
 //!                   eviction (implies --cache; default unbounded)
+//!   --profile FILE  install the metrics sink for the run and write a
+//!                   self-contained profile report (stage split, hottest
+//!                   check groups, solver counters, Chrome trace) to FILE
 //!
 //! With --parallel, a dedup-stats summary line is printed after the
 //! properties, e.g.:
@@ -90,6 +115,7 @@
 //! ```
 
 mod fuzz;
+mod profile;
 mod spec;
 mod watch;
 
@@ -103,9 +129,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n    \
          [--jobs N] [--no-dedup] [--no-incremental] [--cache] [--cache-dir <DIR>]\n    \
-         [--cache-cap N]\n  \
+         [--cache-cap N] [--profile <FILE>]\n  \
+         lightyear profile <SPEC> <CONFIG_DIR> [--jobs N] [--out <FILE>] [--top N]\n    \
+         [--sequential]\n  \
          lightyear watch --configs <DIR> --spec <FILE> [--baseline <DIR>] [--once]\n    \
-         [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>]\n  \
+         [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>] [--metrics-json <FILE>]\n  \
          lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
          lightyear fuzz [--seed N] [--cases N] [--families a,b,...] [--edit-steps K]\n    \
          [--sim-rounds R] [--no-inject] [--repro-dir <DIR>] [--bench-json <FILE>]\n    \
@@ -122,6 +150,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "verify" => cmd_verify(&args[1..]),
+        "profile" => profile::cmd_profile(&args[1..]),
         "watch" => watch::cmd_watch(&args[1..]),
         "plan" => watch::cmd_plan(&args[1..]),
         "fuzz" => fuzz::cmd_fuzz(&args[1..]),
@@ -277,6 +306,13 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         args.iter().any(|a| a == "--cache") || cache_dir.is_some() || cache_cap.is_some();
     // --jobs/--cache only make sense on the orchestrator.
     let parallel = args.iter().any(|a| a == "--parallel") || jobs.is_some() || use_cache;
+    // --json and --profile both want the run's timings/counters, so
+    // either installs the metrics sink; without them the sink stays
+    // absent and every instrumentation point is a single relaxed load.
+    let profile_path = flag_value(args, "--profile");
+    let reg = (as_json || profile_path.is_some()).then(obs::install);
+    let t_start = std::time::Instant::now();
+    let mut profile_props: Vec<serde_json::Value> = Vec::new();
 
     let cache_dir = PathBuf::from(cache_dir.unwrap_or_else(|| ".lightyear-cache".to_string()));
     let cache = if use_cache {
@@ -374,6 +410,17 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     for ((s, (prop, inv)), report) in spec.safety.iter().zip(&resolved).zip(&multi.reports) {
         let passed = report.all_passed();
         any_failed |= !passed;
+        if reg.is_some() {
+            profile_props.push(serde_json::json!({
+                "property": s.name,
+                "kind": "safety",
+                "passed": passed,
+                "checks": report.num_checks() as u64,
+                "solver_calls": report.solver_invocations() as u64,
+                "total_seconds": report.total_time.as_secs_f64(),
+                "solve_seconds": report.solve_time().as_secs_f64(),
+            }));
+        }
         if as_json {
             let props = std::slice::from_ref(prop);
             json_out.push(serde_json::json!({
@@ -457,6 +504,17 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         };
         let passed = report.all_passed();
         any_failed |= !passed;
+        if reg.is_some() {
+            profile_props.push(serde_json::json!({
+                "property": l.name,
+                "kind": "liveness",
+                "passed": passed,
+                "checks": report.num_checks() as u64,
+                "solver_calls": report.solver_invocations() as u64,
+                "total_seconds": report.total_time.as_secs_f64(),
+                "solve_seconds": report.solve_time().as_secs_f64(),
+            }));
+        }
         if as_json {
             let conjs = verifier.liveness_check_conjuncts(&resolved);
             json_out.push(serde_json::json!({
@@ -531,6 +589,26 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }
             Err(e) => eprintln!("warning: cannot save cache to {}: {e}", cache_dir.display()),
         }
+    }
+    if let Some(reg) = &reg {
+        let wall = t_start.elapsed();
+        if as_json {
+            let snap = reg.snapshot();
+            json_out.push(serde_json::json!({
+                "timings": profile::stages_json(&snap, wall),
+                "metrics": snap.to_json(),
+            }));
+        }
+        if let Some(path) = &profile_path {
+            let report = profile::profile_json(reg, wall, std::mem::take(&mut profile_props), 10);
+            match profile::write_profile(path, &report) {
+                // stderr so `lightyear verify --json --profile p.json`
+                // still writes pure JSON to stdout.
+                Ok(()) => eprintln!("profile: wrote {path}"),
+                Err(e) => eprintln!("warning: {e}"),
+            }
+        }
+        obs::uninstall();
     }
     if as_json {
         println!("{}", serde_json::to_string_pretty(&json_out).unwrap());

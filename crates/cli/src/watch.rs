@@ -163,10 +163,41 @@ fn round_line(label: &str, o: &RoundOutcome) -> String {
         None => String::new(),
     };
     format!(
-        "{label}: {delta}{summary}; {verdict} ({elapsed:?})",
+        "{label}: {delta}{summary}; {verdict} in {elapsed:?}",
         summary = o.stats.summary(),
         verdict = if o.passed { "verified" } else { "VIOLATED" },
         elapsed = o.elapsed,
+    )
+}
+
+/// Atomically rewrite the cumulative metrics snapshot (`--metrics-json`)
+/// after a round: round count plus every counter/gauge/histogram, so an
+/// external scraper (or a future `serve` mode) can poll the file mid-run
+/// and never observe a half-written JSON.
+fn write_metrics_json(path: &Path, reg: &obs::Registry, rounds: usize, ok: bool) {
+    let v = serde_json::json!({
+        "rounds": rounds as u64,
+        "ok": ok,
+        "metrics": reg.snapshot().to_json(),
+    });
+    let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+    let tmp = path.with_extension("json.tmp");
+    let written = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = written {
+        eprintln!("warning: cannot write metrics to {path:?}: {e}");
+    }
+}
+
+/// The per-round cumulative totals line printed when the metrics sink
+/// is installed (`--metrics-json`).
+fn totals_line(reg: &obs::Registry) -> String {
+    let snap = reg.snapshot();
+    format!(
+        "watch: totals: {} rounds, {} checks, {} cached, {} solver calls",
+        snap.counter("reverify.rounds"),
+        snap.counter("reverify.checks"),
+        snap.counter("reverify.reused"),
+        snap.counter("smt.solves"),
     )
 }
 
@@ -177,7 +208,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--configs" | "--spec" | "--baseline" | "--interval-ms" | "--max-rounds"
-            | "--cache-dir" => i += 2,
+            | "--cache-dir" | "--metrics-json" => i += 2,
             "--once" => i += 1,
             a => {
                 eprintln!("error: unknown watch option {a}");
@@ -192,6 +223,10 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     let once = args.iter().any(|a| a == "--once");
     let baseline = flag_value(args, "--baseline");
     let cache_dir = flag_value(args, "--cache-dir").map(PathBuf::from);
+    let metrics_path = flag_value(args, "--metrics-json").map(PathBuf::from);
+    // The sink is only installed when someone will read it; otherwise
+    // the daemon's instrumentation stays a relaxed load per event.
+    let reg = metrics_path.as_ref().map(|_| obs::install());
     let interval = match flag_value(args, "--interval-ms").map(|v| v.parse::<u64>()) {
         None => 750,
         Some(Ok(n)) if n > 0 => n,
@@ -217,6 +252,14 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
         }
     };
     let mut state = DeltaState::new(spec, cache_dir);
+    // After every round — verified, violated, or rejected — print the
+    // cumulative totals and rewrite the metrics snapshot file.
+    let report_metrics = |rounds: usize, ok: bool| {
+        if let (Some(path), Some(reg)) = (&metrics_path, &reg) {
+            println!("{}", totals_line(reg));
+            write_metrics_json(path, reg, rounds, ok);
+        }
+    };
 
     // Round zero: the baseline directory (the watched one by default).
     let base_dir = baseline.clone().unwrap_or_else(|| dir.clone());
@@ -224,6 +267,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
         Ok(o) => {
             println!("{}", round_line(&format!("baseline {base_dir}"), &o));
             state.spill();
+            report_metrics(0, o.passed);
             o.passed
         }
         Err(e) => {
@@ -240,6 +284,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
                     println!("{}", round_line("round 1", &o));
                     state.spill();
                     ok &= o.passed;
+                    report_metrics(1, ok);
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -271,6 +316,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
                     eprintln!("watch: round {rounds}: {e}");
                     ok = false;
                     last_err = Some(e);
+                    report_metrics(rounds, ok);
                 }
                 if max_rounds.is_some_and(|m| rounds >= m) {
                     break;
@@ -292,35 +338,40 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             _ => continue, // files in motion; retry next tick
         }
         let snap = first;
-        match parse_snapshot(&snap) {
-            Ok(asts) if asts == state.current => {
-                last_failed = None;
-                accepted = Some(snap);
-            }
-            Ok(asts) => {
-                rounds += 1;
-                match state.round(asts, false) {
-                    Ok(o) => {
-                        println!("{}", round_line(&format!("round {rounds}"), &o));
-                        state.spill();
-                        ok = o.passed;
-                        last_failed = None;
-                        accepted = Some(snap);
-                    }
-                    Err(e) => {
-                        eprintln!("watch: round {rounds}: {e}");
-                        ok = false;
-                        last_failed = Some(snap);
-                    }
+        let parsed = parse_snapshot(&snap);
+        if matches!(&parsed, Ok(asts) if *asts == state.current) {
+            // A revert to the accepted set is not a round.
+            last_failed = None;
+            accepted = Some(snap);
+            continue;
+        }
+        // Every attempted round — verified, violated, or rejected as
+        // unparsable — burns exactly one round number HERE, so the
+        // numbering stays monotone across rejected rounds instead of a
+        // later round reusing a failed round's number.
+        rounds += 1;
+        match parsed {
+            Ok(asts) => match state.round(asts, false) {
+                Ok(o) => {
+                    println!("{}", round_line(&format!("round {rounds}"), &o));
+                    state.spill();
+                    ok = o.passed;
+                    last_failed = None;
+                    accepted = Some(snap);
                 }
-            }
+                Err(e) => {
+                    eprintln!("watch: round {rounds}: {e}");
+                    ok = false;
+                    last_failed = Some(snap);
+                }
+            },
             Err(e) => {
-                rounds += 1;
                 eprintln!("watch: round {rounds}: {e}");
                 ok = false;
                 last_failed = Some(snap);
             }
         }
+        report_metrics(rounds, ok);
         if max_rounds.is_some_and(|m| rounds >= m) {
             break;
         }

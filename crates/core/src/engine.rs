@@ -344,6 +344,7 @@ pub(crate) fn solve_conjunct_gated(
         (q == fls).then_some(q)
     };
     if let Some(q) = folded {
+        obs::add("engine.checks_folded", 1);
         let core = Some(syntactic_core(sess.pool(), &encoded, neg));
         let act = sess.activation(q);
         let (result, stats) = sess.solve_under(&[act]);
@@ -975,6 +976,12 @@ impl<'a> Verifier<'a> {
 
     fn run(&self, universe: &Universe, checks: &[ResolvedCheck]) -> Report {
         let t0 = Instant::now();
+        obs::add("engine.checks_posed", checks.len() as u64);
+        let _span = obs::span!(
+            "run_checks",
+            checks = checks.len(),
+            mode = self.mode_label()
+        );
         let (outcomes, exec) = match self.mode {
             RunMode::Sequential if !self.incremental => (
                 checks.iter().map(|c| self.run_one(universe, c)).collect(),
@@ -991,6 +998,16 @@ impl<'a> Verifier<'a> {
         // Deterministic report assembly regardless of completion order.
         report.sort_by_id();
         report
+    }
+
+    /// The execution-mode label attached to trace spans.
+    fn mode_label(&self) -> &'static str {
+        match (self.mode, self.incremental) {
+            (RunMode::Sequential, false) => "sequential",
+            (RunMode::Sequential, true) => "sequential-incremental",
+            (RunMode::Parallel, false) => "parallel",
+            (RunMode::Parallel, true) => "parallel-incremental",
+        }
     }
 
     /// Sequential incremental execution: group checks by encoding base,
@@ -1154,6 +1171,22 @@ impl<'a> Verifier<'a> {
         rc: &ResolvedCheck,
         solved: &SolvedCheck,
     ) -> bool {
+        if obs::enabled() {
+            let t0 = Instant::now();
+            let ok = self.cached_result_still_valid_inner(universe, rc, solved);
+            obs::add("cache.validates", 1);
+            obs::add("cache.validate_ns", t0.elapsed().as_nanos() as u64);
+            return ok;
+        }
+        self.cached_result_still_valid_inner(universe, rc, solved)
+    }
+
+    fn cached_result_still_valid_inner(
+        &self,
+        universe: &Universe,
+        rc: &ResolvedCheck,
+        solved: &SolvedCheck,
+    ) -> bool {
         let CheckResult::Fail(cex) = &solved.result else {
             return true;
         };
@@ -1269,6 +1302,31 @@ impl<'a> Verifier<'a> {
     /// deliberately property-agnostic, so a multi-property batch encodes
     /// each edge's transfer relation exactly once for all of them.
     fn run_group(&self, universe: &Universe, checks: &[&ResolvedCheck]) -> Vec<SolvedCheck> {
+        if !obs::enabled() {
+            return self.run_group_inner(universe, checks);
+        }
+        // Label groups by their representative check — the encoding base
+        // is per edge-direction (or the shared implication base), so the
+        // first member names the group for the profile's hot-group view.
+        let first = checks.first().expect("groups are non-empty");
+        let label = format!(
+            "{} {}",
+            first.check.kind,
+            first.check.location.display(self.topo)
+        );
+        let _span = obs::span!("solve_group", group = label, checks = checks.len());
+        let out = self.run_group_inner(universe, checks);
+        let (mut encode_ns, mut solve_ns) = (0u64, 0u64);
+        for s in &out {
+            encode_ns += s.stats.encode_time.as_nanos() as u64;
+            solve_ns += s.stats.solve_time.as_nanos() as u64;
+        }
+        obs::add("engine.group_encode_ns", encode_ns);
+        obs::add("engine.group_solve_ns", solve_ns);
+        out
+    }
+
+    fn run_group_inner(&self, universe: &Universe, checks: &[&ResolvedCheck]) -> Vec<SolvedCheck> {
         let first = checks.first().expect("groups are non-empty");
         match &first.body {
             CheckBody::Originate { .. } => checks
@@ -1295,7 +1353,7 @@ impl<'a> Verifier<'a> {
                 sess.assert(wf);
                 let transfer =
                     self.encode_transfer(sess.pool_mut(), universe, edge, is_import, &input);
-                checks
+                let out: Vec<SolvedCheck> = checks
                     .iter()
                     .map(|rc| {
                         let CheckBody::Transfer {
@@ -1333,14 +1391,16 @@ impl<'a> Verifier<'a> {
                             }
                         }
                     })
-                    .collect()
+                    .collect();
+                obs::gauge_max("engine.term_pool_terms", sess.pool().len() as u64);
+                out
             }
             CheckBody::Implication { .. } => {
                 let mut sess = IncrementalSession::new();
                 let r = SymRoute::fresh(sess.pool_mut(), universe, "r");
                 let wf = r.well_formed(sess.pool_mut());
                 sess.assert(wf);
-                checks
+                let out: Vec<SolvedCheck> = checks
                     .iter()
                     .map(|rc| {
                         let CheckBody::Implication { assume, ensure } = &rc.body else {
@@ -1366,7 +1426,9 @@ impl<'a> Verifier<'a> {
                             }
                         }
                     })
-                    .collect()
+                    .collect();
+                obs::gauge_max("engine.term_pool_terms", sess.pool().len() as u64);
+                out
             }
         }
     }

@@ -314,6 +314,10 @@ impl ReverifyEngine {
         changed: Option<&[String]>,
     ) -> (Report, ReverifyStats) {
         let t0 = Instant::now();
+        let _span = obs::span!(
+            "reverify_round",
+            changed = changed.map_or(0, <[String]>::len)
+        );
         let (checks, universe) = v.resolve_multi(props, inv);
         let topo = v.topology();
         let ufp = universe_digest(&universe);
@@ -520,6 +524,19 @@ impl ReverifyEngine {
             exec: orchestrator::RunStats::default(),
         };
         report.sort_by_id();
+        if obs::enabled() {
+            obs::add("reverify.rounds", 1);
+            obs::add("reverify.checks", stats.total as u64);
+            obs::add("reverify.dirty", stats.dirty as u64);
+            obs::add("reverify.reused", stats.reused as u64);
+            obs::add("reverify.core_clean", stats.core_clean as u64);
+            obs::add("reverify.invalidated", stats.invalidated as u64);
+            obs::add("reverify.sessions_reused", stats.sessions_reused as u64);
+            obs::add("reverify.sessions_created", stats.sessions_created as u64);
+            if stats.universe_reset {
+                obs::add("reverify.universe_resets", 1);
+            }
+        }
         (report, stats)
     }
 

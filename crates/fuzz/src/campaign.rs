@@ -51,6 +51,10 @@ pub struct CampaignOutcome {
     pub cases_run: usize,
     /// Cases per family.
     pub per_family: BTreeMap<String, usize>,
+    /// Wall-clock per family (case generation plus every oracle).
+    pub per_family_elapsed: BTreeMap<String, Duration>,
+    /// Cumulative wall-clock per oracle across the whole campaign.
+    pub per_oracle_elapsed: BTreeMap<String, Duration>,
     /// Injected bugs swept / caught.
     pub injections: usize,
     /// Injected bugs caught by an oracle.
@@ -105,10 +109,44 @@ impl CampaignOutcome {
 
     /// The machine-readable record written to `BENCH_fuzz.json`.
     pub fn to_json(&self, cfg: &CampaignConfig) -> serde_json::Value {
+        let per_family = serde_json::Value::Object(
+            self.per_family
+                .iter()
+                .map(|(f, &n)| {
+                    let secs = self
+                        .per_family_elapsed
+                        .get(f)
+                        .map(Duration::as_secs_f64)
+                        .unwrap_or(0.0);
+                    let rate = if secs > 0.0 { n as f64 / secs } else { 0.0 };
+                    (
+                        f.clone(),
+                        serde_json::json!({
+                            "cases": n as u64,
+                            "elapsed_seconds": secs,
+                            "cases_per_sec": rate,
+                        }),
+                    )
+                })
+                .collect(),
+        );
+        let per_oracle = serde_json::Value::Object(
+            self.per_oracle_elapsed
+                .iter()
+                .map(|(o, d)| {
+                    (
+                        o.clone(),
+                        serde_json::json!({ "elapsed_seconds": d.as_secs_f64() }),
+                    )
+                })
+                .collect(),
+        );
         serde_json::json!({
             "seed": cfg.seed as i64,
             "cases": self.cases_run as i64,
             "families": self.per_family.keys().cloned().collect::<Vec<_>>(),
+            "per_family": per_family,
+            "per_oracle": per_oracle,
             "injections": self.injections as i64,
             "injections_caught": self.injections_caught as i64,
             "elapsed_seconds": self.elapsed.as_secs_f64(),
@@ -134,114 +172,146 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     assert!(!cfg.families.is_empty(), "campaign needs >= 1 family");
     for i in 0..cfg.cases {
         let family = cfg.families[i % cfg.families.len()];
-        let case_seed = mix(cfg.seed, i as u64);
-        let mut rng = StdRng::seed_from_u64(case_seed);
-        let params = FamilyParams::random(family, &mut rng);
-        let case = params.build();
+        let t_case = Instant::now();
+        let failure = run_case(cfg, i, family, &mut out);
         out.cases_run = i + 1;
         *out.per_family.entry(family.name().to_string()).or_default() += 1;
-
-        // One FailingCase shape per oracle, varying only in what the
-        // replay needs (oracle id, configs, seeds).
-        let failing = |oracle: OracleId,
-                       configs: Vec<bgp_config::ast::ConfigAst>,
-                       edit_seeds: Vec<u64>,
-                       sim_seed: u64,
-                       sim_rounds: usize,
-                       d: &Discrepancy| {
-            FailingCase {
-                params,
-                configs,
-                edit_seeds,
-                oracle,
-                sim_seed,
-                sim_rounds,
-                detail: d.detail.clone(),
-            }
-        };
-        // Oracle 1: simulation grid.
-        let sim_seed = mix(case_seed, 1);
-        if let Err(d) = sim_oracle(&case, sim_seed, cfg.sim_rounds) {
-            let fc = failing(
-                OracleId::SimGrid,
-                case.configs.clone(),
-                Vec::new(),
-                sim_seed,
-                cfg.sim_rounds,
-                &d,
-            );
-            out.failure = Some((fc, d));
+        *out.per_family_elapsed
+            .entry(family.name().to_string())
+            .or_default() += t_case.elapsed();
+        if let Some(f) = failure {
+            out.failure = Some(f);
             break;
-        }
-        // Oracle 2: mode parity.
-        if let Err(d) = parity_oracle(&case) {
-            let fc = failing(
-                OracleId::ModeParity,
-                case.configs.clone(),
-                Vec::new(),
-                sim_seed,
-                cfg.sim_rounds,
-                &d,
-            );
-            out.failure = Some((fc, d));
-            break;
-        }
-        // Oracle 3: edit sequences.
-        if cfg.edit_steps > 0 {
-            let (seeds, r) = edit_oracle(&case, mix(case_seed, 2), cfg.edit_steps);
-            if let Err(d) = r {
-                let fc = failing(
-                    OracleId::EditSequence,
-                    case.configs.clone(),
-                    seeds,
-                    sim_seed,
-                    cfg.sim_rounds,
-                    &d,
-                );
-                out.failure = Some((fc, d));
-                break;
-            }
-        }
-        // Injected-bug sweep: once per family cycle.
-        if cfg.inject && i < cfg.families.len() {
-            for (desc, inject) in crate::oracle::injection_sample(&params) {
-                let mut mutated = params.configs();
-                if !inject(&mut mutated) {
-                    continue;
-                }
-                out.injections += 1;
-                let bug_case = params.build_from(mutated.clone());
-                match bug_oracle(&bug_case, mix(case_seed, 3)) {
-                    Ok(()) => out.injections_caught += 1,
-                    Err(d) => {
-                        // The failing condition is the bug ESCAPING, so
-                        // the repro's oracle must be BugMissed — a
-                        // Verify repro would "reproduce" only while
-                        // verification fails, the exact inverse.
-                        // (bug_oracle runs its own fixed round count;
-                        // sim_rounds is recorded for the escalation
-                        // path inside it.)
-                        let mut fc = failing(
-                            OracleId::BugMissed,
-                            mutated,
-                            Vec::new(),
-                            mix(case_seed, 3),
-                            BUG_ORACLE_SIM_ROUNDS,
-                            &d,
-                        );
-                        fc.detail = format!("{desc}: {}", d.detail);
-                        out.failure = Some((fc, d));
-                        break;
-                    }
-                }
-            }
-            if out.failure.is_some() {
-                break;
-            }
         }
     }
     out.elapsed = t0.elapsed();
     out
+}
+
+/// Charge an oracle invocation's wall time to its cumulative total.
+fn charge(out: &mut CampaignOutcome, oracle: &str, t: Instant) {
+    *out.per_oracle_elapsed
+        .entry(oracle.to_string())
+        .or_default() += t.elapsed();
+}
+
+/// One campaign case: generate, run every oracle (charging each one's
+/// wall time), sweep injected bugs on the first family cycle. Returns
+/// the first discrepancy, ready to minimize.
+fn run_case(
+    cfg: &CampaignConfig,
+    i: usize,
+    family: FamilyId,
+    out: &mut CampaignOutcome,
+) -> Option<(FailingCase, Discrepancy)> {
+    let case_seed = mix(cfg.seed, i as u64);
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let params = FamilyParams::random(family, &mut rng);
+    let case = params.build();
+
+    // One FailingCase shape per oracle, varying only in what the
+    // replay needs (oracle id, configs, seeds).
+    let failing = |oracle: OracleId,
+                   configs: Vec<bgp_config::ast::ConfigAst>,
+                   edit_seeds: Vec<u64>,
+                   sim_seed: u64,
+                   sim_rounds: usize,
+                   d: &Discrepancy| {
+        FailingCase {
+            params,
+            configs,
+            edit_seeds,
+            oracle,
+            sim_seed,
+            sim_rounds,
+            detail: d.detail.clone(),
+        }
+    };
+    // Oracle 1: simulation grid.
+    let sim_seed = mix(case_seed, 1);
+    let t = Instant::now();
+    let sim = sim_oracle(&case, sim_seed, cfg.sim_rounds);
+    charge(out, "sim_grid", t);
+    if let Err(d) = sim {
+        let fc = failing(
+            OracleId::SimGrid,
+            case.configs.clone(),
+            Vec::new(),
+            sim_seed,
+            cfg.sim_rounds,
+            &d,
+        );
+        return Some((fc, d));
+    }
+    // Oracle 2: mode parity.
+    let t = Instant::now();
+    let parity = parity_oracle(&case);
+    charge(out, "mode_parity", t);
+    if let Err(d) = parity {
+        let fc = failing(
+            OracleId::ModeParity,
+            case.configs.clone(),
+            Vec::new(),
+            sim_seed,
+            cfg.sim_rounds,
+            &d,
+        );
+        return Some((fc, d));
+    }
+    // Oracle 3: edit sequences.
+    if cfg.edit_steps > 0 {
+        let t = Instant::now();
+        let (seeds, r) = edit_oracle(&case, mix(case_seed, 2), cfg.edit_steps);
+        charge(out, "edit_sequence", t);
+        if let Err(d) = r {
+            let fc = failing(
+                OracleId::EditSequence,
+                case.configs.clone(),
+                seeds,
+                sim_seed,
+                cfg.sim_rounds,
+                &d,
+            );
+            return Some((fc, d));
+        }
+    }
+    // Injected-bug sweep: once per family cycle.
+    if cfg.inject && i < cfg.families.len() {
+        for (desc, inject) in crate::oracle::injection_sample(&params) {
+            let mut mutated = params.configs();
+            if !inject(&mut mutated) {
+                continue;
+            }
+            out.injections += 1;
+            let bug_case = params.build_from(mutated.clone());
+            let t = Instant::now();
+            let caught = bug_oracle(&bug_case, mix(case_seed, 3));
+            charge(out, "bug_injection", t);
+            match caught {
+                Ok(()) => out.injections_caught += 1,
+                Err(d) => {
+                    // The failing condition is the bug ESCAPING, so
+                    // the repro's oracle must be BugMissed — a
+                    // Verify repro would "reproduce" only while
+                    // verification fails, the exact inverse.
+                    // (bug_oracle runs its own fixed round count;
+                    // sim_rounds is recorded for the escalation
+                    // path inside it.)
+                    let mut fc = failing(
+                        OracleId::BugMissed,
+                        mutated,
+                        Vec::new(),
+                        mix(case_seed, 3),
+                        BUG_ORACLE_SIM_ROUNDS,
+                        &d,
+                    );
+                    fc.detail = format!("{desc}: {}", d.detail);
+                    return Some((fc, d));
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -275,6 +345,23 @@ mod tests {
             "every curated injected bug must be caught"
         );
         assert!(out.summary().contains("cases green"));
+        // Timing accounting: every family that ran has an elapsed
+        // entry, and every oracle that ran was charged.
+        assert_eq!(
+            out.per_family_elapsed.keys().collect::<Vec<_>>(),
+            out.per_family.keys().collect::<Vec<_>>()
+        );
+        for oracle in ["sim_grid", "mode_parity", "edit_sequence", "bug_injection"] {
+            assert!(
+                out.per_oracle_elapsed.contains_key(oracle),
+                "missing per-oracle time for {oracle}"
+            );
+        }
+        let json = out.to_json(&cfg);
+        let text = serde_json::to_string(&json).unwrap();
+        for key in ["per_family", "per_oracle", "cases_per_sec"] {
+            assert!(text.contains(key), "campaign record lacks {key}");
+        }
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Observability for the verifier pipeline: a lock-sharded metrics
+//! registry (counters / gauges / histograms), a lightweight span API
+//! with a bounded in-memory ring, and a Chrome `trace_event` exporter
+//! so a verify run opens directly in `chrome://tracing` / Perfetto.
+//!
+//! The design constraint is that instrumentation must be *near-free
+//! when no sink is installed*: every event entry point loads one
+//! relaxed atomic and returns. Hot-path shards are per-thread, merged
+//! only on read, so the work-stealing executor pays a single
+//! uncontended `fetch_add` per event when a sink IS installed.
+//!
+//! ```
+//! let reg = obs::install();
+//! {
+//!     let _s = obs::span!("encode_group", group = "R1 -> R2");
+//!     obs::add("engine.checks_posed", 3);
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("engine.checks_posed"), 3);
+//! obs::uninstall();
+//! ```
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use trace::{Span, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<Registry>>> = RwLock::new(None);
+
+/// Whether a sink is installed. One relaxed load — this is the whole
+/// cost of every instrumentation point in a run without observability.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install a fresh registry as the process-wide sink and return it.
+/// Replaces any previously installed sink.
+pub fn install() -> Arc<Registry> {
+    let reg = Registry::new();
+    install_registry(reg.clone());
+    reg
+}
+
+/// Install an existing registry as the process-wide sink.
+pub fn install_registry(reg: Arc<Registry>) {
+    let mut sink = SINK.write().unwrap();
+    *sink = Some(reg);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the sink (instrumentation reverts to the near-free path)
+/// and hand back the registry so its contents can still be read.
+pub fn uninstall() -> Option<Arc<Registry>> {
+    let mut sink = SINK.write().unwrap();
+    ENABLED.store(false, Ordering::Release);
+    sink.take()
+}
+
+/// The currently installed registry, if any.
+pub fn sink() -> Option<Arc<Registry>> {
+    if !enabled() {
+        return None;
+    }
+    SINK.read().unwrap().clone()
+}
+
+/// Run `f` against the installed registry; `None` when disabled.
+#[inline]
+pub fn with<R>(f: impl FnOnce(&Registry) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    let guard = SINK.read().unwrap();
+    guard.as_ref().map(|reg| f(reg))
+}
+
+/// Bump a named counter. No-op (one atomic load) when disabled.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with(|reg| {
+        reg.note_call();
+        reg.counter(name).add(n);
+    });
+}
+
+/// Set a named gauge to `v`. No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with(|reg| {
+        reg.note_call();
+        reg.gauge(name).set(v);
+    });
+}
+
+/// Raise a named gauge to `v` if `v` is larger (high-water mark).
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with(|reg| {
+        reg.note_call();
+        reg.gauge(name).set_max(v);
+    });
+}
+
+/// Record a duration (nanoseconds) into a named histogram.
+#[inline]
+pub fn observe_ns(name: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with(|reg| {
+        reg.note_call();
+        reg.histogram(name).record_ns(ns);
+    });
+}
+
+/// Record a [`std::time::Duration`] into a named histogram.
+#[inline]
+pub fn observe(name: &'static str, d: std::time::Duration) {
+    if !enabled() {
+        return;
+    }
+    observe_ns(name, d.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+/// Open a span with no arguments. Prefer the [`span!`] macro, which
+/// also skips argument formatting when disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    match sink() {
+        Some(reg) => Span::start(reg, name, Vec::new()),
+        None => Span::disabled(),
+    }
+}
+
+/// Open a span with pre-rendered arguments (used by [`span!`]).
+pub fn span_with(name: &'static str, args: Vec<(&'static str, String)>) -> Span {
+    match sink() {
+        Some(reg) => Span::start(reg, name, args),
+        None => Span::disabled(),
+    }
+}
+
+/// Open a named span: `obs::span!("encode_group", group = key)`.
+/// Argument expressions are not evaluated when no sink is installed,
+/// so call sites stay near-free in the disabled case.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::span_with(
+                $name,
+                ::std::vec![$((stringify!($k), ::std::string::ToString::to_string(&$v))),+],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // The sink is process-global; tests that install one must not
+    // interleave. Poisoning (a failed test) must not cascade.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_events_are_noops() {
+        let _l = test_lock();
+        uninstall();
+        add("x", 1);
+        gauge_set("g", 7);
+        observe_ns("h", 100);
+        let s = span!("nothing", arg = 1);
+        drop(s);
+        assert!(!enabled());
+        let reg = install();
+        assert_eq!(reg.snapshot().counter("x"), 0);
+        uninstall();
+    }
+
+    #[test]
+    fn install_routes_events_and_uninstall_stops_them() {
+        let _l = test_lock();
+        let reg = install();
+        add("a", 2);
+        add("a", 3);
+        gauge_set("g", 9);
+        gauge_max("g", 4); // lower: must not clobber
+        observe_ns("h", 1_500);
+        {
+            let _s = span!("unit", k = "v");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.gauge("g"), 9);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(reg.spans().len(), 1);
+        uninstall();
+        add("a", 100);
+        assert_eq!(reg.snapshot().counter("a"), 5);
+    }
+}

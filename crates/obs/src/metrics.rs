@@ -1,0 +1,425 @@
+//! The metrics registry: named counters, gauges and histograms behind
+//! lock-sharded storage. Writers touch a per-thread shard (one relaxed
+//! `fetch_add`), readers merge all shards, so concurrent increments
+//! from the work-stealing pool are exact without a hot lock.
+
+use crate::trace::{SpanRecord, TraceRing};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Number of write shards per metric. Threads hash onto shards by a
+/// process-wide thread index, so two executor workers rarely share a
+/// cache line even under heavy steal traffic.
+pub const SHARDS: usize = 16;
+
+/// Histogram bucket upper bounds in microseconds. The last implicit
+/// bucket is overflow. These are part of the exported format and
+/// pinned by a test — do not reorder or edit without bumping consumers.
+pub const BUCKET_BOUNDS_US: [u64; 19] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000,
+];
+
+/// Bucket count including the overflow bucket.
+pub const NUM_BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A process-wide small integer id for the current thread, used to
+/// pick metric shards and to label trace events.
+pub fn thread_index() -> u32 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: Cell<u32> = const { Cell::new(u32::MAX) };
+    }
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == u32::MAX {
+            id = NEXT.fetch_add(1, Ordering::Relaxed) as u32;
+            t.set(id);
+        }
+        id
+    })
+}
+
+#[inline]
+fn shard() -> usize {
+    thread_index() as usize % SHARDS
+}
+
+/// A monotone counter, sharded per thread.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Add `n`. One uncontended atomic on the caller's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Merged total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-write / high-water gauge (single atomic: gauges are not on
+/// the per-event hot path).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge (last write wins).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if larger (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct HistShard {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+/// A duration histogram with fixed exponential buckets
+/// ([`BUCKET_BOUNDS_US`]), sharded per thread like [`Counter`].
+#[derive(Default)]
+pub struct Histogram {
+    shards: [HistShard; SHARDS],
+}
+
+impl Histogram {
+    /// Index of the bucket a value in microseconds falls into.
+    pub fn bucket_index(us: u64) -> usize {
+        BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len())
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let sh = &self.shards[shard()];
+        sh.buckets[Self::bucket_index(ns / 1_000)].fetch_add(1, Ordering::Relaxed);
+        sh.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Merged snapshot across shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut sum_ns = 0u64;
+        for sh in &self.shards {
+            for (b, src) in buckets.iter_mut().zip(sh.buckets.iter()) {
+                *b += src.load(Ordering::Relaxed);
+            }
+            sum_ns += sh.sum_ns.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_ns,
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time merged view of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed durations in nanoseconds.
+    pub sum_ns: u64,
+    /// Per-bucket counts, `BUCKET_BOUNDS_US` order plus overflow.
+    pub buckets: Vec<u64>,
+}
+
+/// The sink: named metrics plus the span ring. Created once per
+/// profiled run and installed globally via [`crate::install_registry`].
+pub struct Registry {
+    epoch: Instant,
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    calls: Counter,
+    trace: TraceRing,
+}
+
+impl Registry {
+    /// A registry with the default span-ring capacity (65 536 spans).
+    pub fn new() -> Arc<Registry> {
+        Self::with_span_capacity(65_536)
+    }
+
+    /// A registry whose span ring keeps at most `cap` spans (oldest
+    /// dropped first; the drop count is reported in the trace export).
+    pub fn with_span_capacity(cap: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            epoch: Instant::now(),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            calls: Counter::default(),
+            trace: TraceRing::new(cap),
+        })
+    }
+
+    /// Count one instrumentation call. The disabled-overhead bench
+    /// multiplies this by the measured cost of the disabled fast path
+    /// to bound what the instrumentation costs a run with no sink.
+    #[inline]
+    pub(crate) fn note_call(&self) {
+        self.calls.add(1);
+    }
+
+    /// Total instrumentation calls routed to this registry.
+    pub fn calls(&self) -> u64 {
+        self.calls.value()
+    }
+
+    /// The instant all span timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    pub(crate) fn trace_ring(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    fn named<T: Default>(
+        map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
+        name: &'static str,
+    ) -> Arc<T> {
+        if let Some(m) = map.read().unwrap().get(name) {
+            return m.clone();
+        }
+        map.write().unwrap().entry(name).or_default().clone()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Self::named(&self.counters, name)
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Self::named(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Self::named(&self.histograms, name)
+    }
+
+    /// All spans currently in the ring, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.trace.drain_copy()
+    }
+
+    /// Total span durations aggregated by `(span name, first arg)` —
+    /// the source for "hottest check groups" in the profile report.
+    pub fn span_totals(&self) -> BTreeMap<(String, String), (u64, u64)> {
+        let mut totals: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+        for s in self.spans() {
+            let label = s.args.first().map(|(_, v)| v.clone()).unwrap_or_default();
+            let e = totals.entry((s.name.to_string(), label)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        totals
+    }
+
+    /// Merged point-in-time view of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time merged view of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's total (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0 when never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// JSON rendering: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, sum_ns, buckets}}}`.
+    pub fn to_json(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+            .collect();
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+            .collect();
+        let hists: Vec<(String, Value)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::UInt(h.count)),
+                        ("sum_ns".to_string(), Value::UInt(h.sum_ns)),
+                        (
+                            "buckets".to_string(),
+                            Value::Array(h.buckets.iter().map(|&b| Value::UInt(b)).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_merges_across_threads_exactly() {
+        let c = Arc::new(Counter::default());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_stable() {
+        // Pinned: these indices are part of the exported format.
+        assert_eq!(NUM_BUCKETS, 20);
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(10), 3);
+        assert_eq!(Histogram::bucket_index(11), 4);
+        assert_eq!(Histogram::bucket_index(1_000), 9);
+        assert_eq!(Histogram::bucket_index(999_999), 18);
+        assert_eq!(Histogram::bucket_index(1_000_000), 18);
+        assert_eq!(Histogram::bucket_index(1_000_001), 19);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 19);
+        // Boundary values land exactly on their own bucket edge.
+        for (i, &b) in BUCKET_BOUNDS_US.iter().enumerate() {
+            assert_eq!(Histogram::bucket_index(b), i, "bound {b}us moved");
+        }
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let h = Histogram::default();
+        h.record_ns(500); // 0us -> bucket 0
+        h.record_ns(1_000); // 1us -> bucket 0
+        h.record_ns(7_000); // 7us -> bucket 3 (<=10)
+        h.record_ns(3_000_000_000); // 3s -> overflow
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 3_000_008_500);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn registry_names_are_interned_once() {
+        let reg = Registry::new();
+        let a = reg.counter("same");
+        let b = reg.counter("same");
+        a.add(1);
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("same"), 3);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let reg = Registry::new();
+        reg.counter("c").add(4);
+        reg.gauge("g").set(2);
+        reg.histogram("h").record_ns(10_000);
+        let v = reg.snapshot().to_json();
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let obj = back.as_object().unwrap();
+        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["counters", "gauges", "histograms"]);
+    }
+}

@@ -120,6 +120,7 @@ impl<V> ResultCache<V> {
             };
             shard.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::add("cache.evictions", 1);
         }
     }
 
@@ -184,8 +185,14 @@ impl<V: Clone> ResultCache<V> {
         });
         drop(shard);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::add("cache.hits", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::add("cache.misses", 1);
+            }
         };
         found
     }
@@ -233,6 +240,8 @@ impl<V: Clone> ResultCache<V> {
             f.write_all(text.as_bytes())?;
         }
         std::fs::rename(&tmp, &path)?;
+        obs::add("cache.spill_bytes", text.len() as u64);
+        obs::add("cache.spill_entries", written as u64);
         Ok(written)
     }
 
@@ -269,6 +278,8 @@ impl<V: Clone> ResultCache<V> {
         }
         // Loads should not count as runtime insert traffic.
         self.inserts.fetch_sub(loaded as u64, Ordering::Relaxed);
+        obs::add("cache.reload_bytes", text.len() as u64);
+        obs::add("cache.reload_entries", loaded as u64);
         Ok(loaded)
     }
 }

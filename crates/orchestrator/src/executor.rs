@@ -49,6 +49,7 @@ impl Executor {
         }
         let threads = self.threads.min(n);
         if threads <= 1 {
+            let _span = obs::span!("worker", wid = 0, jobs = n);
             return (items.iter().map(&f).collect(), 0);
         }
 
@@ -67,26 +68,31 @@ impl Executor {
                 let stealers = &stealers;
                 let steals = &steals;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let job = my.pop().or_else(|| {
-                        // Scan peers starting past self so thieves fan
-                        // out instead of mobbing worker 0.
-                        for k in 1..stealers.len() {
-                            let victim = &stealers[(wid + k) % stealers.len()];
-                            if let Some(j) = victim.steal_batch_and_pop(&my) {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                return Some(j);
+                scope.spawn(move || {
+                    // One span per worker thread: the work-stealing
+                    // schedule becomes visible in the exported trace.
+                    let _span = obs::span!("worker", wid = wid);
+                    loop {
+                        let job = my.pop().or_else(|| {
+                            // Scan peers starting past self so thieves
+                            // fan out instead of mobbing worker 0.
+                            for k in 1..stealers.len() {
+                                let victim = &stealers[(wid + k) % stealers.len()];
+                                if let Some(j) = victim.steal_batch_and_pop(&my) {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    return Some(j);
+                                }
                             }
-                        }
-                        None
-                    });
-                    match job {
-                        Some(i) => {
-                            if tx.send((i, f(&items[i]))).is_err() {
-                                return;
+                            None
+                        });
+                        match job {
+                            Some(i) => {
+                                if tx.send((i, f(&items[i]))).is_err() {
+                                    return;
+                                }
                             }
+                            None => return,
                         }
-                        None => return,
                     }
                 });
             }

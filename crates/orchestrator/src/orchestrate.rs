@@ -312,6 +312,15 @@ where
         }
         out[*last] = Some(res);
     }
+    if obs::enabled() {
+        obs::add("orchestrator.generated", stats.generated as u64);
+        obs::add("orchestrator.dedup_hits", stats.dedup_hits as u64);
+        obs::add("orchestrator.cache_hits", stats.cache_hits as u64);
+        obs::add("orchestrator.invalidated", stats.invalidated as u64);
+        obs::add("orchestrator.executed", stats.executed as u64);
+        obs::add("orchestrator.groups", stats.groups as u64);
+        obs::add("orchestrator.steals", stats.steals);
+    }
     Batch {
         results: out.into_iter().map(Option::unwrap).collect(),
         fresh,

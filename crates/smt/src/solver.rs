@@ -261,11 +261,30 @@ pub fn solve_with_stats(pool: &TermPool, assertions: &[TermId]) -> (SatResult, S
     let outcome = sat.solve();
     stats.solve_time = t1.elapsed();
     stats.sat = sat.stats();
+    record_solve_metrics(&stats);
     let result = match outcome {
         SolveOutcome::Sat => SatResult::Sat(Model::from_blasted(pool, &blasted, &sat)),
         SolveOutcome::Unsat => SatResult::Unsat,
     };
     (result, stats)
+}
+
+/// Mirror one solve's statistics into the installed observability sink,
+/// if any. The per-solve SAT counters are deltas, so registry totals
+/// are exact cumulative counts across all sessions and one-shot solves.
+fn record_solve_metrics(stats: &SolverStats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::add("smt.solves", 1);
+    obs::add("smt.decisions", stats.sat.decisions);
+    obs::add("smt.propagations", stats.sat.propagations);
+    obs::add("smt.conflicts", stats.sat.conflicts);
+    obs::add("smt.restarts", stats.sat.restarts);
+    obs::gauge_max("smt.learnt_db", stats.sat.learnts);
+    obs::add("smt.encode_ns", stats.encode_time.as_nanos() as u64);
+    obs::add("smt.solve_ns", stats.solve_time.as_nanos() as u64);
+    obs::observe("smt.solve_time", stats.solve_time);
 }
 
 /// Check validity of `formula` (i.e. unsatisfiability of its negation),
@@ -456,8 +475,13 @@ impl IncrementalSession {
         };
         self.pending_encode = Duration::ZERO;
         self.solves += 1;
+        record_solve_metrics(&stats);
         if let Some(cap) = self.learnt_cap {
             self.sat.reduce_learnts_to(cap);
+            if obs::enabled() {
+                let kept = self.sat.stats().learnts;
+                obs::add("smt.learnt_gc", stats.sat.learnts.saturating_sub(kept));
+            }
         }
         let result = match outcome {
             SolveOutcome::Sat => {
