@@ -6,7 +6,7 @@
 //!                    [--jobs N] [--no-dedup] [--no-incremental]
 //!                    [--cache] [--cache-dir DIR] [--cache-cap N]
 //!                    [--profile FILE]
-//!   lightyear profile <SPEC> <CONFIG_DIR> [--jobs N] [--out FILE]
+//!   lightyear profile <SPEC> <CONFIG_DIR> [--jobs N] [--out FILE] [--portfolio K]
 //!                    [--top N] [--sequential]
 //!   lightyear watch  --configs <DIR> --spec <FILE> [--baseline DIR]
 //!                    [--once] [--interval-ms N] [--max-rounds N]
@@ -91,6 +91,9 @@
 //!                   with structural dedup) instead of sequentially
 //!   --jobs N        orchestrator worker threads (implies --parallel)
 //!   --no-dedup      disable structural check deduplication
+//!   --portfolio K   race heavyweight check groups on K jittered solver
+//!                   clones (2..=4), first answer wins; reports stay
+//!                   byte-identical to sequential solving
 //!   --incremental / --no-incremental
 //!                   solve checks that share an encoding base (same edge
 //!                   transfer function / implication shape) as assumption
@@ -128,10 +131,10 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lightyear verify --configs <DIR> --spec <FILE> [--parallel] [--json]\n    \
-         [--jobs N] [--no-dedup] [--no-incremental] [--cache] [--cache-dir <DIR>]\n    \
+         [--jobs N] [--no-dedup] [--no-incremental] [--portfolio K] [--cache] [--cache-dir <DIR>]\n    \
          [--cache-cap N] [--profile <FILE>]\n  \
          lightyear profile <SPEC> <CONFIG_DIR> [--jobs N] [--out <FILE>] [--top N]\n    \
-         [--sequential]\n  \
+         [--sequential] [--portfolio K]\n  \
          lightyear watch --configs <DIR> --spec <FILE> [--baseline <DIR>] [--once]\n    \
          [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>] [--metrics-json <FILE>]\n  \
          lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
@@ -293,6 +296,17 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     // Incremental group solving defaults to on; --no-incremental restores
     // one fresh SMT instance per check.
     let incremental = !args.iter().any(|a| a == "--no-incremental");
+    let portfolio = match flag_value(args, "--portfolio").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(k)) if (2..=lightyear::smt::PORTFOLIO_MAX_K).contains(&k) => Some(k),
+        Some(_) => {
+            eprintln!(
+                "error: --portfolio needs a solver count in 2..={}",
+                lightyear::smt::PORTFOLIO_MAX_K
+            );
+            return usage();
+        }
+    };
     let cache_dir = flag_value(args, "--cache-dir");
     let cache_cap = match flag_value(args, "--cache-cap").map(|v| v.parse::<usize>()) {
         None => None,
@@ -370,6 +384,12 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     }
     if let Some(c) = &cache {
         verifier = verifier.with_cache(c.clone());
+    }
+    if let Some(k) = portfolio {
+        verifier = verifier.with_portfolio(lightyear::engine::PortfolioTuning {
+            k,
+            ..Default::default()
+        });
     }
     for g in &spec.ghosts {
         match g.resolve(topo) {

@@ -64,15 +64,60 @@ pub(crate) fn hot_groups(reg: &obs::Registry, top: usize) -> Vec<(String, u64, f
         .collect()
 }
 
-fn solver_json(snap: &obs::MetricsSnapshot) -> serde_json::Value {
+/// Propagation throughput over solver busy time (search only, not
+/// encoding): the headline "raw speed" number of the solver section.
+fn props_per_sec(snap: &obs::MetricsSnapshot) -> f64 {
+    let solve_s = snap.counter("smt.solve_ns") as f64 / 1e9;
+    if solve_s > 0.0 {
+        snap.counter("smt.propagations") as f64 / solve_s
+    } else {
+        0.0
+    }
+}
+
+/// Portfolio win attribution: which jittered variant answered first,
+/// overall (from the win counters) and per check group (from the
+/// zero-duration `portfolio_win` spans, whose group value is
+/// `"<group label>/v<variant>"`).
+fn portfolio_json(reg: &obs::Registry, snap: &obs::MetricsSnapshot) -> serde_json::Value {
+    let wins: Vec<u64> = lightyear::smt::PORTFOLIO_WIN_COUNTERS
+        .iter()
+        .map(|k| snap.counter(k))
+        .collect();
+    let mut groups: Vec<(String, u64)> = reg
+        .span_totals()
+        .into_iter()
+        .filter(|((name, _), _)| name == "portfolio_win")
+        .map(|((_, group), (count, _))| (group, count))
+        .collect();
+    groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    serde_json::json!({
+        "races": snap.counter("smt.portfolio_races"),
+        "wins_by_variant": wins,
+        "wins_by_group": groups
+            .into_iter()
+            .map(|(g, n)| serde_json::json!({"group": g, "wins": n}))
+            .collect::<Vec<_>>(),
+    })
+}
+
+fn solver_json(reg: &obs::Registry, snap: &obs::MetricsSnapshot) -> serde_json::Value {
     serde_json::json!({
         "solves": snap.counter("smt.solves"),
         "decisions": snap.counter("smt.decisions"),
         "propagations": snap.counter("smt.propagations"),
+        "propagations_per_sec": props_per_sec(snap),
         "conflicts": snap.counter("smt.conflicts"),
         "restarts": snap.counter("smt.restarts"),
         "learnt_db_peak": snap.gauge("smt.learnt_db"),
         "learnt_gc": snap.counter("smt.learnt_gc"),
+        "inprocessing": serde_json::json!({
+            "sweeps": snap.counter("smt.sweeps"),
+            "subsumed": snap.counter("smt.subsumed"),
+            "strengthened": snap.counter("smt.strengthened"),
+            "vivified": snap.counter("smt.vivified"),
+        }),
+        "portfolio": portfolio_json(reg, snap),
     })
 }
 
@@ -98,7 +143,7 @@ pub(crate) fn profile_json(
     if let serde_json::Value::Object(map) = &mut v {
         map.push(("stages".to_string(), stages_json(&snap, wall)));
         map.push(("hot_groups".to_string(), serde_json::Value::Array(hot)));
-        map.push(("solver".to_string(), solver_json(&snap)));
+        map.push(("solver".to_string(), solver_json(reg, &snap)));
         map.push((
             "properties".to_string(),
             serde_json::Value::Array(properties),
@@ -161,16 +206,43 @@ fn render_report(reg: &obs::Registry, wall: Duration, top: usize, out_path: &str
         }
     }
     println!(
-        "solver: {} solves, {} decisions, {} propagations, {} conflicts, {} restarts; \
-         learnt DB peak {}, {} GC'd",
+        "solver: {} solves, {} decisions, {} propagations ({:.2}M props/s), \
+         {} conflicts, {} restarts; learnt DB peak {}, {} GC'd",
         snap.counter("smt.solves"),
         snap.counter("smt.decisions"),
         snap.counter("smt.propagations"),
+        props_per_sec(&snap) / 1e6,
         snap.counter("smt.conflicts"),
         snap.counter("smt.restarts"),
         snap.gauge("smt.learnt_db"),
         snap.counter("smt.learnt_gc"),
     );
+    println!(
+        "inprocessing: {} sweeps; {} learnts subsumed, {} strengthened, {} vivified",
+        snap.counter("smt.sweeps"),
+        snap.counter("smt.subsumed"),
+        snap.counter("smt.strengthened"),
+        snap.counter("smt.vivified"),
+    );
+    let races = snap.counter("smt.portfolio_races");
+    if races > 0 {
+        let wins: Vec<String> = lightyear::smt::PORTFOLIO_WIN_COUNTERS
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("v{i}:{}", snap.counter(k)))
+            .collect();
+        println!("portfolio: {races} races; wins {}", wins.join(" "));
+        let attribution = portfolio_json(reg, &snap);
+        if let Some(by_group) = attribution.get("wins_by_group").and_then(|v| v.as_array()) {
+            for w in by_group.iter().take(top) {
+                println!(
+                    "  {} x{}",
+                    w.get("group").and_then(|v| v.as_str()).unwrap_or("?"),
+                    w.get("wins").and_then(|v| v.as_u64()).unwrap_or(0),
+                );
+            }
+        }
+    }
     println!(
         "engine: {} checks posed, {} folded away; term pool peak {}",
         snap.counter("engine.checks_posed"),
@@ -198,7 +270,7 @@ pub(crate) fn cmd_profile(args: &[String]) -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            f @ ("--jobs" | "--out" | "--top") => {
+            f @ ("--jobs" | "--out" | "--top" | "--portfolio") => {
                 if i + 1 >= args.len() {
                     eprintln!("error: {f} needs a value");
                     return usage();
@@ -239,6 +311,17 @@ pub(crate) fn cmd_profile(args: &[String]) -> ExitCode {
     };
     let out_path = flag_value(args, "--out").unwrap_or_else(|| "profile.json".to_string());
     let sequential = args.iter().any(|a| a == "--sequential");
+    let portfolio = match flag_value(args, "--portfolio").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(k)) if (2..=lightyear::smt::PORTFOLIO_MAX_K).contains(&k) => Some(k),
+        Some(_) => {
+            eprintln!(
+                "error: --portfolio needs a solver count in 2..={}",
+                lightyear::smt::PORTFOLIO_MAX_K
+            );
+            return usage();
+        }
+    };
 
     let reg = obs::install();
     let t0 = Instant::now();
@@ -264,6 +347,12 @@ pub(crate) fn cmd_profile(args: &[String]) -> ExitCode {
     });
     if let Some(n) = jobs {
         verifier = verifier.with_jobs(n);
+    }
+    if let Some(k) = portfolio {
+        verifier = verifier.with_portfolio(lightyear::engine::PortfolioTuning {
+            k,
+            ..Default::default()
+        });
     }
     for g in &spec.ghosts {
         match g.resolve(topo) {

@@ -412,6 +412,60 @@ fn syntactic_core(pool: &TermPool, encoded: &[TermId], neg: TermId) -> Vec<usize
     (0..encoded.len()).collect()
 }
 
+/// SAT-solver tuning shared by every group session a run creates.
+///
+/// The defaults are the production path: flat slice feed plus the
+/// inprocessing configuration of [`smt::SolverConfig::default`].
+/// Benches flip [`SolverTuning::config`] to [`smt::SolverConfig::plain`]
+/// and [`SolverTuning::buffered_feed`] on to measure the
+/// un-inprocessed, per-clause-buffered baseline against it.
+#[derive(Clone, Debug, Default)]
+pub struct SolverTuning {
+    /// Base solver configuration (inprocessing sweeps, restarts, phase
+    /// seeding) applied to each group session.
+    pub config: smt::SolverConfig,
+    /// Feed clauses through the buffered per-clause path instead of the
+    /// flat slice feed (ablation baseline only).
+    pub buffered_feed: bool,
+    /// Portfolio racing for heavyweight groups; `None` keeps every
+    /// query sequential.
+    pub portfolio: Option<PortfolioTuning>,
+}
+
+/// Engine-level portfolio policy: which groups opt into racing and how
+/// the race is shaped. The thread *budget* is not part of the policy —
+/// it is derived per run from the machine and the execution mode
+/// (sequential runs may race on every spare core; orchestrated runs
+/// only on cores the worker pool left free), so group parallelism
+/// always wins the fight for cores over portfolio parallelism.
+#[derive(Clone, Debug)]
+pub struct PortfolioTuning {
+    /// Solver variants per race, capped at [`smt::PORTFOLIO_MAX_K`].
+    pub k: usize,
+    /// Engine-side work estimate: only groups at least this many checks
+    /// wide attach a portfolio (a one-check group re-derives nothing
+    /// from racing that a fresh solve would not).
+    pub min_checks: usize,
+    /// Session-side work estimate: a query races only once the group's
+    /// encoding has at least this many CNF clauses.
+    pub min_clauses: usize,
+    /// Base seed for variant jitter (verdict-irrelevant; see the smt
+    /// crate's determinism notes).
+    pub seed: u64,
+}
+
+impl Default for PortfolioTuning {
+    fn default() -> Self {
+        let d = smt::PortfolioConfig::default();
+        PortfolioTuning {
+            k: d.k,
+            min_checks: 2,
+            min_clauses: d.min_clauses,
+            seed: d.seed,
+        }
+    }
+}
+
 /// The Lightyear verifier for one network.
 #[derive(Clone)]
 pub struct Verifier<'a> {
@@ -428,6 +482,8 @@ pub struct Verifier<'a> {
     incremental: bool,
     /// Cross-run result cache (orchestrated runs).
     cache: Option<Arc<CheckCache>>,
+    /// SAT-solver tuning for group sessions.
+    solver: SolverTuning,
 }
 
 /// A fully-resolved check: descriptor plus the predicates its formula
@@ -489,6 +545,7 @@ impl<'a> Verifier<'a> {
             dedup: true,
             incremental: true,
             cache: None,
+            solver: SolverTuning::default(),
         }
     }
 
@@ -536,6 +593,26 @@ impl<'a> Verifier<'a> {
     /// Whether incremental group solving is enabled.
     pub fn incremental(&self) -> bool {
         self.incremental
+    }
+
+    /// Replace the SAT-solver tuning wholesale (benches use this to pit
+    /// the plain buffered baseline against the default path).
+    pub fn with_solver_tuning(mut self, tuning: SolverTuning) -> Self {
+        self.solver = tuning;
+        self
+    }
+
+    /// Enable intra-group portfolio racing with the given policy.
+    /// Verdicts and reports are byte-identical to sequential solving —
+    /// racing only changes which machine-derived proof arrives first.
+    pub fn with_portfolio(mut self, portfolio: PortfolioTuning) -> Self {
+        self.solver.portfolio = Some(portfolio);
+        self
+    }
+
+    /// The active solver tuning.
+    pub fn solver_tuning(&self) -> &SolverTuning {
+        &self.solver
     }
 
     /// Attach a cross-run result cache (only consulted by orchestrated
@@ -982,13 +1059,28 @@ impl<'a> Verifier<'a> {
             checks = checks.len(),
             mode = self.mode_label()
         );
+        // Portfolio thread budget for this run: spare cores after the
+        // execution mode takes its share. Group parallelism outranks
+        // portfolio parallelism — a fully-subscribed orchestrated run
+        // gets a zero-slot pool and every query stays sequential.
+        let slots = self.solver.portfolio.as_ref().map(|_| {
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4);
+            let workers = match self.mode {
+                RunMode::Parallel => self.jobs.unwrap_or(cores),
+                RunMode::Sequential => 1,
+            };
+            smt::PortfolioSlots::new(cores.saturating_sub(workers))
+        });
+        let slots = slots.as_ref();
         let (outcomes, exec) = match self.mode {
             RunMode::Sequential if !self.incremental => (
                 checks.iter().map(|c| self.run_one(universe, c)).collect(),
                 RunStats::default(),
             ),
-            RunMode::Sequential => self.run_sequential_incremental(universe, checks),
-            RunMode::Parallel => self.run_orchestrated(universe, checks),
+            RunMode::Sequential => self.run_sequential_incremental(universe, checks, slots),
+            RunMode::Parallel => self.run_orchestrated(universe, checks, slots),
         };
         let mut report = Report {
             outcomes,
@@ -1016,6 +1108,7 @@ impl<'a> Verifier<'a> {
         &self,
         universe: &Universe,
         checks: &[ResolvedCheck],
+        slots: Option<&Arc<smt::PortfolioSlots>>,
     ) -> (Vec<CheckOutcome>, RunStats) {
         let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
         let mut group_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
@@ -1041,7 +1134,7 @@ impl<'a> Verifier<'a> {
         let mut outcomes: Vec<Option<CheckOutcome>> = (0..checks.len()).map(|_| None).collect();
         for (_, idxs) in order {
             let group: Vec<&ResolvedCheck> = idxs.iter().map(|&i| &checks[i]).collect();
-            let solved = self.run_group(universe, &group);
+            let solved = self.run_group(universe, &group, slots);
             for (i, s) in idxs.into_iter().zip(solved) {
                 outcomes[i] = Some(CheckOutcome {
                     check: checks[i].check.clone(),
@@ -1063,6 +1156,7 @@ impl<'a> Verifier<'a> {
         &self,
         universe: &Universe,
         checks: &[ResolvedCheck],
+        slots: Option<&Arc<smt::PortfolioSlots>>,
     ) -> (Vec<CheckOutcome>, RunStats) {
         let ufp = universe_digest(universe);
         // All implication checks share one encoding base, which would
@@ -1108,7 +1202,7 @@ impl<'a> Verifier<'a> {
             |group: &[&&ResolvedCheck]| {
                 let refs: Vec<&ResolvedCheck> = group.iter().map(|rc| **rc).collect();
                 if self.incremental {
-                    self.run_group(universe, &refs)
+                    self.run_group(universe, &refs, slots)
                 } else {
                     refs.iter()
                         .map(|rc| {
@@ -1301,9 +1395,14 @@ impl<'a> Verifier<'a> {
     /// properties — the encoding base (`CheckBody::group_key`) is
     /// deliberately property-agnostic, so a multi-property batch encodes
     /// each edge's transfer relation exactly once for all of them.
-    fn run_group(&self, universe: &Universe, checks: &[&ResolvedCheck]) -> Vec<SolvedCheck> {
+    fn run_group(
+        &self,
+        universe: &Universe,
+        checks: &[&ResolvedCheck],
+        slots: Option<&Arc<smt::PortfolioSlots>>,
+    ) -> Vec<SolvedCheck> {
         if !obs::enabled() {
-            return self.run_group_inner(universe, checks);
+            return self.run_group_inner(universe, checks, slots);
         }
         // Label groups by their representative check — the encoding base
         // is per edge-direction (or the shared implication base), so the
@@ -1315,7 +1414,7 @@ impl<'a> Verifier<'a> {
             first.check.location.display(self.topo)
         );
         let _span = obs::span!("solve_group", group = label, checks = checks.len());
-        let out = self.run_group_inner(universe, checks);
+        let out = self.run_group_inner(universe, checks, slots);
         let (mut encode_ns, mut solve_ns) = (0u64, 0u64);
         for s in &out {
             encode_ns += s.stats.encode_time.as_nanos() as u64;
@@ -1326,7 +1425,40 @@ impl<'a> Verifier<'a> {
         out
     }
 
-    fn run_group_inner(&self, universe: &Universe, checks: &[&ResolvedCheck]) -> Vec<SolvedCheck> {
+    /// A group session configured by this verifier's solver tuning:
+    /// base SAT config, the feed-path ablation switch and — for groups
+    /// wide enough to clear the engine-side estimate — portfolio racing
+    /// against the run's shared slot pool. `label` is lazy because it
+    /// only feeds the per-group win-attribution span.
+    fn group_session(
+        &self,
+        slots: Option<&Arc<smt::PortfolioSlots>>,
+        width: usize,
+        label: impl FnOnce() -> String,
+    ) -> IncrementalSession {
+        let mut sess = IncrementalSession::new()
+            .with_config(self.solver.config.clone())
+            .with_buffered_feed(self.solver.buffered_feed);
+        if let (Some(p), Some(slots)) = (&self.solver.portfolio, slots) {
+            if width >= p.min_checks {
+                sess = sess.with_portfolio(smt::PortfolioConfig {
+                    k: p.k,
+                    min_clauses: p.min_clauses,
+                    seed: p.seed,
+                    label: label(),
+                    slots: Some(Arc::clone(slots)),
+                });
+            }
+        }
+        sess
+    }
+
+    fn run_group_inner(
+        &self,
+        universe: &Universe,
+        checks: &[&ResolvedCheck],
+        slots: Option<&Arc<smt::PortfolioSlots>>,
+    ) -> Vec<SolvedCheck> {
         let first = checks.first().expect("groups are non-empty");
         match &first.body {
             CheckBody::Originate { .. } => checks
@@ -1347,7 +1479,13 @@ impl<'a> Verifier<'a> {
                 edge, is_import, ..
             } => {
                 let (edge, is_import) = (*edge, *is_import);
-                let mut sess = IncrementalSession::new();
+                let mut sess = self.group_session(slots, checks.len(), || {
+                    format!(
+                        "{} {}",
+                        first.check.kind,
+                        first.check.location.display(self.topo)
+                    )
+                });
                 let input = SymRoute::fresh(sess.pool_mut(), universe, "r");
                 let wf = input.well_formed(sess.pool_mut());
                 sess.assert(wf);
@@ -1396,7 +1534,7 @@ impl<'a> Verifier<'a> {
                 out
             }
             CheckBody::Implication { .. } => {
-                let mut sess = IncrementalSession::new();
+                let mut sess = self.group_session(slots, checks.len(), || "implication".into());
                 let r = SymRoute::fresh(sess.pool_mut(), universe, "r");
                 let wf = r.well_formed(sess.pool_mut());
                 sess.assert(wf);

@@ -4,7 +4,7 @@
 
 use crate::minimize::FailingCase;
 use crate::oracle::{
-    bug_oracle, edit_oracle, parity_oracle, sim_oracle, Discrepancy, OracleId,
+    bug_oracle, edit_oracle, parity_oracle, portfolio_oracle, sim_oracle, Discrepancy, OracleId,
     BUG_ORACLE_SIM_ROUNDS,
 };
 use crate::zoo::{FamilyId, FamilyParams};
@@ -274,6 +274,22 @@ fn run_case(
             );
             return Some((fc, d));
         }
+    }
+    // Oracle 5: portfolio parity under a per-case race seed.
+    let pf_seed = mix(case_seed, 4);
+    let t = Instant::now();
+    let pf = portfolio_oracle(&case, pf_seed);
+    charge(out, "portfolio_parity", t);
+    if let Err(d) = pf {
+        let fc = failing(
+            OracleId::PortfolioParity,
+            case.configs.clone(),
+            Vec::new(),
+            pf_seed,
+            cfg.sim_rounds,
+            &d,
+        );
+        return Some((fc, d));
     }
     // Injected-bug sweep: once per family cycle.
     if cfg.inject && i < cfg.families.len() {

@@ -89,6 +89,11 @@ pub fn rerun(fc: &FailingCase) -> Option<Discrepancy> {
             let case = fc.params.build_from(fc.configs.clone());
             crate::oracle::bug_oracle(&case, fc.sim_seed).err()
         }
+        OracleId::PortfolioParity => {
+            // sim_seed doubles as the recorded race seed.
+            let case = fc.params.build_from(fc.configs.clone());
+            crate::oracle::portfolio_oracle(&case, fc.sim_seed).err()
+        }
     })
     .flatten()
 }

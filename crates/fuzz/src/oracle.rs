@@ -17,11 +17,15 @@
 //!    bug must be caught — by verification or, failing that, by a
 //!    simulated trace violating a "proved" invariant (which would be a
 //!    soundness discrepancy, reported as such).
+//! 5. **Portfolio parity** ([`portfolio_oracle`]): racing every check
+//!    group on jittered solver clones must render reports byte-identical
+//!    to sequential solving, for any race seed — the determinism
+//!    contract of the portfolio layer, tested differentially.
 
 use crate::zoo::{random_announcement, FuzzCase};
 use bgp_model::sim::{simulate, SimOptions};
 use bgp_model::trace::{check_liveness_axioms, check_safety_axioms, Event};
-use lightyear::engine::RunMode;
+use lightyear::engine::{PortfolioTuning, RunMode};
 use lightyear::invariants::Location;
 use lightyear::reverify::ReverifyEngine;
 use lightyear::Report;
@@ -45,6 +49,8 @@ pub enum OracleId {
     /// simulator after passing verification — a soundness discrepancy):
     /// the failing condition is [`bug_oracle`] still objecting.
     BugMissed,
+    /// Portfolio-raced reports vs sequential reports, byte for byte.
+    PortfolioParity,
 }
 
 impl OracleId {
@@ -56,6 +62,7 @@ impl OracleId {
             OracleId::EditSequence => "edit-sequence",
             OracleId::Verify => "verify",
             OracleId::BugMissed => "bug-missed",
+            OracleId::PortfolioParity => "portfolio-parity",
         }
     }
 
@@ -67,6 +74,7 @@ impl OracleId {
             OracleId::EditSequence,
             OracleId::Verify,
             OracleId::BugMissed,
+            OracleId::PortfolioParity,
         ]
         .into_iter()
         .find(|o| o.name() == s)
@@ -275,6 +283,53 @@ pub fn parity_oracle(case: &FuzzCase) -> Result<(), Discrepancy> {
                     s.name
                 ),
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 5: portfolio racing must never change a report byte. The
+/// thresholds are forced to zero so *every* group races (production
+/// defaults would skip small fuzz topologies entirely), the variant
+/// count and jitter seed vary per case, and both the sequential and the
+/// orchestrated path are compared against their unraced twins. Races
+/// may let a jittered clone answer first with a different model or a
+/// different (sound) unsat core internally, but verdicts are
+/// deterministic and counterexamples re-derive on fresh one-shot
+/// instances, so the rendered reports must match exactly.
+pub fn portfolio_oracle(case: &FuzzCase, seed: u64) -> Result<(), Discrepancy> {
+    let topo = &case.network.topology;
+    let tuning = PortfolioTuning {
+        k: 2 + (seed % (lightyear::smt::PORTFOLIO_MAX_K as u64 - 1)) as usize,
+        min_checks: 1,
+        min_clauses: 0,
+        seed,
+    };
+    for s in &case.suites {
+        for (mode, configure) in [("sequential", None), ("orchestrated", Some(2usize))] {
+            let base = match configure {
+                None => case.verifier(),
+                Some(jobs) => case.verifier().with_mode(RunMode::Parallel).with_jobs(jobs),
+            };
+            let plain = base.clone().verify_safety_multi(&s.props, &s.inv);
+            let raced = base
+                .with_portfolio(tuning.clone())
+                .verify_safety_multi(&s.props, &s.inv);
+            let plain_text = report_text(topo, &plain);
+            let raced_text = report_text(topo, &raced);
+            if raced_text != plain_text {
+                return Err(Discrepancy::new(
+                    OracleId::PortfolioParity,
+                    format!(
+                        "suite {}: {mode} portfolio report (k={}, seed {seed}) diverges:
+--- plain
+{plain_text}
+--- raced
+{raced_text}",
+                        s.name, tuning.k
+                    ),
+                ));
+            }
         }
     }
     Ok(())

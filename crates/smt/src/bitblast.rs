@@ -13,29 +13,31 @@
 //! cache is sound because [`crate::term::TermPool`] is append-only and
 //! hash-consed: a `TermId` never changes meaning. The one-shot
 //! [`bitblast`] entry point is a thin wrapper.
+//!
+//! Storage is flat for feed throughput: clauses live in one contiguous
+//! literal buffer with an offset table (no per-clause allocation — Tseitin
+//! output is hundreds of thousands of 2-3 literal clauses on WAN-scale
+//! topologies, and the session streams them into the solver as borrowed
+//! slices), and the structural caches are dense `TermId`-indexed vectors
+//! rather than hash maps.
 
-use crate::cnf::{Cnf, Lit};
+use crate::cnf::{Cnf, Lit, Var};
+use crate::sat::SatSolver;
 use crate::term::{Term, TermId, TermPool};
-use std::collections::HashMap;
 
-/// The result of bit-blasting a set of assertions.
-pub struct Blasted {
-    /// The CNF to hand to the SAT solver.
-    pub cnf: Cnf,
-    /// Literal for each boolean term encountered.
-    pub bool_map: HashMap<TermId, Lit>,
-    /// Bit literals (LSB first) for each bitvector term encountered.
-    pub bv_map: HashMap<TermId, Vec<Lit>>,
-}
+/// Sentinel for "term not blasted yet" in the dense boolean cache.
+const NO_LIT: u32 = u32::MAX;
 
-/// Bit-blast `assertions` (all boolean sorted) over `pool` into CNF,
-/// asserting each one true.
-pub fn bitblast(pool: &TermPool, assertions: &[TermId]) -> Blasted {
+/// Bit-blast `assertions` (all boolean sorted) over `pool`, asserting each
+/// one true. Returns the loaded blaster; build a solver from it with
+/// [`IncrementalBlaster::feed`] and read models through its cache
+/// accessors.
+pub fn bitblast(pool: &TermPool, assertions: &[TermId]) -> IncrementalBlaster {
     let mut b = IncrementalBlaster::new();
     for &a in assertions {
         b.assert_true(pool, a);
     }
-    b.into_blasted()
+    b
 }
 
 /// A bit-blaster whose definitional encodings persist across calls.
@@ -43,11 +45,20 @@ pub fn bitblast(pool: &TermPool, assertions: &[TermId]) -> Blasted {
 /// Unlike the one-shot [`bitblast`], the blaster does not borrow the pool:
 /// each call takes the pool by reference, so callers may interleave term
 /// construction and blasting on the same growing pool.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct IncrementalBlaster {
-    cnf: Cnf,
-    bool_map: HashMap<TermId, Lit>,
-    bv_map: HashMap<TermId, Vec<Lit>>,
+    /// All clause literals, concatenated.
+    clause_lits: Vec<Lit>,
+    /// End offset of each clause in `clause_lits` (start = previous end).
+    clause_ends: Vec<u32>,
+    num_vars: u32,
+    /// Literal for each blasted boolean term, indexed by `TermId` (raw
+    /// literal; `NO_LIT` = not blasted).
+    bool_map: Vec<u32>,
+    /// Bit literals (LSB first) for each blasted bitvector term, indexed
+    /// by `TermId` (empty = not blasted; every real bitvector has width
+    /// at least one).
+    bv_map: Vec<Vec<Lit>>,
     true_lit: Option<Lit>,
 }
 
@@ -57,46 +68,94 @@ impl IncrementalBlaster {
         Self::default()
     }
 
-    /// The CNF accumulated so far (clauses are only ever appended).
-    pub fn cnf(&self) -> &Cnf {
-        &self.cnf
+    /// Number of SAT variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
     }
 
-    /// Literals of boolean terms encoded so far.
-    pub fn bool_map(&self) -> &HashMap<TermId, Lit> {
-        &self.bool_map
+    /// Number of clauses accumulated so far (clauses are only appended).
+    pub fn num_clauses(&self) -> usize {
+        self.clause_ends.len()
     }
 
-    /// Bit vectors of bitvector terms encoded so far.
-    pub fn bv_map(&self) -> &HashMap<TermId, Vec<Lit>> {
-        &self.bv_map
+    /// The `i`-th clause, as a borrowed slice into the flat buffer.
+    pub fn clause(&self, i: usize) -> &[Lit] {
+        let end = self.clause_ends[i] as usize;
+        let start = if i == 0 {
+            0
+        } else {
+            self.clause_ends[i - 1] as usize
+        };
+        &self.clause_lits[start..end]
+    }
+
+    /// Feed clauses `[from, num_clauses)` into `sat` as borrowed slices
+    /// (no per-clause allocation), growing its variable tables first.
+    /// Returns the new fed watermark. This is the incremental session's
+    /// sync path; a `from` of 0 builds a fresh solver.
+    pub fn feed(&self, sat: &mut SatSolver, from: usize) -> usize {
+        sat.ensure_num_vars(self.num_vars);
+        for i in from..self.num_clauses() {
+            sat.add_clause_slice(self.clause(i));
+        }
+        self.num_clauses()
+    }
+
+    /// The accumulated formula as a classic [`Cnf`] (owned clause vectors;
+    /// test/debug convenience, not a hot path).
+    pub fn to_cnf(&self) -> Cnf {
+        let mut cnf = Cnf::new();
+        for _ in 0..self.num_vars {
+            cnf.fresh_var();
+        }
+        for i in 0..self.num_clauses() {
+            cnf.add_clause(self.clause(i).to_vec());
+        }
+        cnf
+    }
+
+    /// Literal of an already-blasted boolean term, if any.
+    pub fn bool_lit(&self, t: TermId) -> Option<Lit> {
+        match self.bool_map.get(t.0 as usize) {
+            Some(&raw) if raw != NO_LIT => Some(Lit(raw)),
+            _ => None,
+        }
+    }
+
+    /// Bit literals of an already-blasted bitvector term, if any.
+    pub fn bv_bits(&self, t: TermId) -> Option<&[Lit]> {
+        match self.bv_map.get(t.0 as usize) {
+            Some(bits) if !bits.is_empty() => Some(bits),
+            _ => None,
+        }
     }
 
     /// Blast `t` and assert it true at the top level.
     pub fn assert_true(&mut self, pool: &TermPool, t: TermId) {
         let l = self.blast_bool(pool, t);
-        self.cnf.add_clause(vec![l]);
+        self.push_clause(&[l]);
     }
 
     /// A fresh literal with no attached meaning — the activation-literal
     /// primitive: gate a formula `f` per query via `clause(!a, blast(f))`
     /// and assume `a` only in the queries that want `f`.
     pub fn fresh_lit(&mut self) -> Lit {
-        self.cnf.fresh_var().pos()
+        self.fresh()
     }
 
     /// Append a clause over already-created literals.
-    pub fn add_clause(&mut self, lits: Vec<Lit>) {
-        self.cnf.add_clause(lits);
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.push_clause(lits);
     }
 
-    /// Consume the blaster, yielding the classic [`Blasted`] triple.
-    pub fn into_blasted(self) -> Blasted {
-        Blasted {
-            cnf: self.cnf,
-            bool_map: self.bool_map,
-            bv_map: self.bv_map,
-        }
+    /// Append a clause to the flat store.
+    fn push_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(
+            lits.iter().all(|l| l.var().0 < self.num_vars),
+            "clause references unallocated variable"
+        );
+        self.clause_lits.extend_from_slice(lits);
+        self.clause_ends.push(self.clause_lits.len() as u32);
     }
 
     /// A literal constrained to be true (allocated lazily).
@@ -104,9 +163,8 @@ impl IncrementalBlaster {
         if let Some(l) = self.true_lit {
             return l;
         }
-        let v = self.cnf.fresh_var();
-        let l = v.pos();
-        self.cnf.add_clause(vec![l]);
+        let l = self.fresh();
+        self.push_clause(&[l]);
         self.true_lit = Some(l);
         l
     }
@@ -124,12 +182,31 @@ impl IncrementalBlaster {
     }
 
     fn fresh(&mut self) -> Lit {
-        self.cnf.fresh_var().pos()
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v.pos()
+    }
+
+    fn cache_bool(&mut self, t: TermId, l: Lit) {
+        let i = t.0 as usize;
+        if i >= self.bool_map.len() {
+            self.bool_map.resize(i + 1, NO_LIT);
+        }
+        self.bool_map[i] = l.0;
+    }
+
+    fn cache_bv(&mut self, t: TermId, bits: Vec<Lit>) {
+        debug_assert!(!bits.is_empty());
+        let i = t.0 as usize;
+        if i >= self.bv_map.len() {
+            self.bv_map.resize(i + 1, Vec::new());
+        }
+        self.bv_map[i] = bits;
     }
 
     /// Blast a boolean-sorted term to a single literal.
     pub fn blast_bool(&mut self, pool: &TermPool, t: TermId) -> Lit {
-        if let Some(&l) = self.bool_map.get(&t) {
+        if let Some(l) = self.bool_lit(t) {
             return l;
         }
         let lit = match pool.term(t).clone() {
@@ -142,9 +219,8 @@ impl IncrementalBlaster {
                 self.encode_and(&lits)
             }
             Term::Or(parts) => {
-                let lits: Vec<Lit> = parts.iter().map(|&p| self.blast_bool(pool, p)).collect();
-                let neg: Vec<Lit> = lits.iter().map(|&l| !l).collect();
-                !self.encode_and(&neg)
+                let lits: Vec<Lit> = parts.iter().map(|&p| !self.blast_bool(pool, p)).collect();
+                !self.encode_and(&lits)
             }
             Term::Ite(c, a, b) => {
                 // Boolean ite is normally rewritten away by the pool, but
@@ -177,16 +253,16 @@ impl IncrementalBlaster {
             }
             other => panic!("blast_bool on non-boolean term {other:?}"),
         };
-        self.bool_map.insert(t, lit);
+        self.cache_bool(t, lit);
         lit
     }
 
     /// Blast a bitvector-sorted term to a vector of literals (LSB first).
     fn blast_bv(&mut self, pool: &TermPool, t: TermId) -> Vec<Lit> {
-        if let Some(bits) = self.bv_map.get(&t) {
-            return bits.clone();
+        if let Some(bits) = self.bv_bits(t) {
+            return bits.to_vec();
         }
-        let bits = match pool.term(t).clone() {
+        let bits: Vec<Lit> = match pool.term(t).clone() {
             Term::BvConst { width, value } => (0..width)
                 .map(|i| {
                     let b = (value >> i) & 1 == 1;
@@ -254,7 +330,7 @@ impl IncrementalBlaster {
             }
             other => panic!("blast_bv on non-bitvector term {other:?}"),
         };
-        self.bv_map.insert(t, bits.clone());
+        self.cache_bv(t, bits.clone());
         bits
     }
 
@@ -267,12 +343,12 @@ impl IncrementalBlaster {
                 let out = self.fresh();
                 // out -> each lit
                 for &l in lits {
-                    self.cnf.add_clause(vec![!out, l]);
+                    self.push_clause(&[!out, l]);
                 }
                 // all lits -> out
                 let mut cl: Vec<Lit> = lits.iter().map(|&l| !l).collect();
                 cl.push(out);
-                self.cnf.add_clause(cl);
+                self.push_clause(&cl);
                 out
             }
         }
@@ -281,20 +357,20 @@ impl IncrementalBlaster {
     /// Definitional XNOR gate: out <-> (a == b).
     fn encode_xnor(&mut self, a: Lit, b: Lit) -> Lit {
         let out = self.fresh();
-        self.cnf.add_clause(vec![!out, !a, b]);
-        self.cnf.add_clause(vec![!out, a, !b]);
-        self.cnf.add_clause(vec![out, a, b]);
-        self.cnf.add_clause(vec![out, !a, !b]);
+        self.push_clause(&[!out, !a, b]);
+        self.push_clause(&[!out, a, !b]);
+        self.push_clause(&[out, a, b]);
+        self.push_clause(&[out, !a, !b]);
         out
     }
 
     /// Definitional MUX gate: out <-> (c ? a : b).
     fn encode_mux(&mut self, c: Lit, a: Lit, b: Lit) -> Lit {
         let out = self.fresh();
-        self.cnf.add_clause(vec![!c, !a, out]);
-        self.cnf.add_clause(vec![!c, a, !out]);
-        self.cnf.add_clause(vec![c, !b, out]);
-        self.cnf.add_clause(vec![c, b, !out]);
+        self.push_clause(&[!c, !a, out]);
+        self.push_clause(&[!c, a, !out]);
+        self.push_clause(&[c, !b, out]);
+        self.push_clause(&[c, b, !out]);
         out
     }
 
@@ -344,7 +420,8 @@ mod tests {
 
     fn is_sat(pool: &TermPool, assertions: &[TermId]) -> bool {
         let blasted = bitblast(pool, assertions);
-        let mut s = SatSolver::from_cnf(&blasted.cnf);
+        let mut s = SatSolver::new(0);
+        blasted.feed(&mut s, 0);
         s.solve() == SolveOutcome::Sat
     }
 
@@ -484,18 +561,35 @@ mod tests {
         let lt = p.bv_ult(x, c5);
         let mut b = IncrementalBlaster::new();
         b.assert_true(&p, lt);
-        let vars_after_first = b.cnf().num_vars();
+        let vars_after_first = b.num_vars();
         // New term over the same sub-DAG: only the new comparator is
         // encoded, x's bits are reused.
         let c3 = p.bv_const(3, 8);
         let lt2 = p.bv_ult(x, c3);
         let l2 = b.blast_bool(&p, lt2);
-        assert!(b.cnf().num_vars() > vars_after_first);
+        assert!(b.num_vars() > vars_after_first);
         // Re-blasting either term is free (cache hit, no new vars).
-        let before = b.cnf().num_vars();
+        let before = b.num_vars();
         let l2_again = b.blast_bool(&p, lt2);
         assert_eq!(l2, l2_again);
-        assert_eq!(b.cnf().num_vars(), before);
-        assert_eq!(b.bool_map().get(&lt2), Some(&l2));
+        assert_eq!(b.num_vars(), before);
+        assert_eq!(b.bool_lit(lt2), Some(l2));
+    }
+
+    #[test]
+    fn flat_store_round_trips_to_cnf() {
+        let mut p = TermPool::new();
+        let x = p.bv_var("x", 4);
+        let c = p.bv_const(9, 4);
+        let eq = p.bv_eq(x, c);
+        let b = bitblast(&p, &[eq]);
+        let cnf = b.to_cnf();
+        assert_eq!(cnf.num_vars(), b.num_vars());
+        assert_eq!(cnf.num_clauses(), b.num_clauses());
+        for (i, cl) in cnf.clauses().iter().enumerate() {
+            assert_eq!(cl.as_slice(), b.clause(i));
+        }
+        let mut s = SatSolver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
     }
 }

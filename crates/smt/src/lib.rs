@@ -43,8 +43,9 @@ pub mod term;
 
 pub use bitblast::IncrementalBlaster;
 pub use cnf::{Cnf, Lit, Var};
-pub use sat::{SatSolver, SolveOutcome};
+pub use sat::{DbStats, SatSolver, SatStats, SolveOutcome, SolverConfig};
 pub use solver::{
-    solve, solve_with_stats, Assumption, IncrementalSession, Model, SatResult, SolverStats, Value,
+    solve, solve_with_stats, Assumption, IncrementalSession, Model, PortfolioConfig,
+    PortfolioSlots, SatResult, SolverStats, Value, PORTFOLIO_MAX_K, PORTFOLIO_WIN_COUNTERS,
 };
 pub use term::{Sort, Term, TermId, TermPool};

@@ -1,13 +1,18 @@
 //! A MiniSat-style CDCL SAT solver.
 //!
-//! Features: two-watched-literal unit propagation, first-UIP conflict
-//! analysis with clause minimization, VSIDS variable activities with an
-//! indexed binary heap, phase saving, Luby-sequence restarts and
-//! activity-driven learnt-clause database reduction.
+//! Features: two-watched-literal unit propagation over struct-of-arrays
+//! watcher lists with inlined blocker literals, a flat clause arena (one
+//! contiguous `u32` buffer instead of one heap allocation per clause),
+//! first-UIP conflict analysis with clause minimization, VSIDS variable
+//! activities with an indexed binary heap, phase saving, Luby-sequence
+//! restarts, activity-driven learnt-clause database reduction, on-the-fly
+//! binary-clause subsumption, and an inprocessing sweep
+//! ([`SatSolver::inprocess_sweep`]) that simplifies, subsumes,
+//! strengthens and vivifies the clause database between queries.
 //!
 //! The solver is **incremental**: every solve backtracks to the root
 //! decision level instead of tearing the instance down, so callers can
-//! keep adding clauses ([`SatSolver::add_clause`]) and variables
+//! keep adding clauses ([`SatSolver::add_clause_slice`]) and variables
 //! ([`SatSolver::ensure_num_vars`]) between solves while learnt clauses,
 //! variable activities and saved phases carry over. Related queries are
 //! posed with [`SatSolver::solve_under_assumptions`], which decides the
@@ -15,11 +20,19 @@
 //! assumption-caused `Unsat` the failing-assumption core is available
 //! through [`SatSolver::failed_assumptions`].
 //!
+//! Heuristics are configurable through [`SolverConfig`] — restart base
+//! and offset, initial-phase polarity seeding, activity-noise seeding —
+//! which is what the portfolio layer in [`crate::solver`] varies across
+//! racing clones. A solve can be cancelled from another thread via
+//! [`SatSolver::solve_under_assumptions_abortable`].
+//!
 //! The solver is deliberately self-contained (no `unsafe`, no external
 //! dependencies) — it is the substrate on which every Lightyear local check
 //! and every Minesweeper monolithic query in this workspace is decided.
 
 use crate::cnf::{Cnf, Lit, Var};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Tri-state assignment value.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,27 +61,118 @@ pub enum SolveOutcome {
     Unsat,
 }
 
-/// Reference to a clause in the solver's arena.
+/// Reference to a clause: the word offset of its header in the arena.
 type ClauseRef = u32;
 const REASON_NONE: ClauseRef = u32::MAX;
 
+/// Heuristic and inprocessing knobs. [`SolverConfig::default`] is the
+/// tuned configuration every production path uses;
+/// [`SolverConfig::plain`] disables the inprocessing features (the
+/// ablation baseline the benches and differential proptests compare
+/// against); [`SolverConfig::jittered`] derives the perturbed variants
+/// the portfolio races.
 #[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f32,
-    deleted: bool,
+pub struct SolverConfig {
+    /// Conflicts allowed before the first restart (scaled by Luby).
+    pub restart_base: u64,
+    /// Starting index into the Luby sequence (portfolio jitter).
+    pub restart_offset: u64,
+    /// Initial saved phase for fresh variables.
+    pub init_phase: bool,
+    /// When nonzero, fresh variables get pseudorandom initial phases
+    /// seeded here instead of `init_phase` (portfolio jitter).
+    pub phase_seed: u64,
+    /// When nonzero, fresh variables get tiny pseudorandom initial
+    /// activities, perturbing the VSIDS tie-break order (portfolio
+    /// jitter: a different exploration order over equal-activity vars).
+    pub activity_seed: u64,
+    /// VSIDS decay factor.
+    pub var_decay: f64,
+    /// Learn through an existing binary clause instead of attaching a
+    /// subsumed learnt clause (on-the-fly binary subsumption).
+    pub otf_subsume: bool,
+    /// Enable the periodic inprocessing sweep (consulted by the session
+    /// layer; the solver itself sweeps only when asked).
+    pub sweep: bool,
+    /// Queries between sweeps (session layer).
+    pub sweep_every: u64,
+    /// Unit-propagation budget per sweep for vivification.
+    pub viv_budget: u64,
+    /// Only vivify learnt clauses up to this many literals.
+    pub viv_max_len: usize,
+    /// Vivify at most this many clauses per sweep (most active first).
+    pub viv_max_clauses: usize,
+    /// Bypass the watcher lists' inline slots and heap-allocate every
+    /// list (the pre-flat-layout `Vec`-per-literal behavior). Strictly
+    /// slower; exists so [`SolverConfig::plain`] reproduces the old
+    /// feed cost and the ablation benches measure the layout win
+    /// honestly.
+    pub spill_watchers: bool,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Watcher {
-    cref: ClauseRef,
-    /// A literal from the clause other than the watched one; if it is
-    /// already true the clause is satisfied and the watch scan can skip it.
-    blocker: Lit,
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restart_base: 100,
+            restart_offset: 0,
+            init_phase: false,
+            phase_seed: 0,
+            activity_seed: 0,
+            var_decay: 0.95,
+            otf_subsume: true,
+            sweep: true,
+            sweep_every: 32,
+            viv_budget: 2000,
+            viv_max_len: 16,
+            viv_max_clauses: 64,
+            spill_watchers: false,
+        }
+    }
 }
 
-/// Cumulative counters exposed for benchmarking (Figure 3c/3d).
+impl SolverConfig {
+    /// The plain CDCL loop: no on-the-fly subsumption, no sweeps. The
+    /// pre-inprocessing baseline for ablation benches and differential
+    /// proptests.
+    pub fn plain() -> Self {
+        SolverConfig {
+            otf_subsume: false,
+            sweep: false,
+            spill_watchers: true,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// The `variant`-th jittered configuration for a portfolio race
+    /// seeded by `seed`. Variant 0 is the base configuration unchanged
+    /// (so a race is never strictly worse than the sequential solver on
+    /// the search it would have run); higher variants perturb polarity,
+    /// restart schedule, and VSIDS decay.
+    pub fn jittered(&self, variant: usize, seed: u64) -> Self {
+        if variant == 0 {
+            return self.clone();
+        }
+        let decays = [0.95, 0.92, 0.975, 0.90];
+        let mut cfg = self.clone();
+        cfg.restart_offset = self.restart_offset + variant as u64;
+        cfg.phase_seed = splitmix64(seed ^ (variant as u64).wrapping_mul(0x9e37_79b9)).max(1);
+        cfg.activity_seed = splitmix64(cfg.phase_seed).max(1);
+        cfg.var_decay = decays[variant % decays.len()];
+        cfg
+    }
+}
+
+/// One round of splitmix64 — the solver's only pseudorandomness, used
+/// for seeded phase/activity jitter. Deterministic per seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Cumulative counters exposed for benchmarking (Figure 3c/3d) and the
+/// `lightyear profile` solver section.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SatStats {
     /// Number of decisions made.
@@ -81,14 +185,227 @@ pub struct SatStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnts: u64,
+    /// Learnt clauses dropped because an existing binary clause
+    /// subsumes them (on-the-fly at learn time, plus sweep passes).
+    pub subsumed: u64,
+    /// Literals removed from learnt clauses by binary self-subsumption
+    /// during sweeps.
+    pub strengthened: u64,
+    /// Learnt clauses shortened by propagation-based vivification.
+    pub vivified: u64,
+    /// Inprocessing sweeps performed.
+    pub sweeps: u64,
+    /// Unit propagations spent inside vivification (not counted in
+    /// `propagations`, so per-query deltas stay meaningful).
+    pub viv_propagations: u64,
+}
+
+/// Arena and watcher occupancy, for memory-bound assertions (the
+/// session-churn stress tests) and the profile report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Live (non-deleted) clauses in the arena.
+    pub live_clauses: u64,
+    /// Live learnt clauses.
+    pub live_learnts: u64,
+    /// Live learnt clauses longer than two literals.
+    pub live_long_learnts: u64,
+    /// Total arena words, including tombstoned clauses awaiting
+    /// compaction.
+    pub arena_words: u64,
+    /// Arena words wasted by tombstones.
+    pub wasted_words: u64,
+    /// Total entries across all watcher lists.
+    pub watcher_entries: u64,
+}
+
+/// Flat clause storage: every clause is `[header, activity, lits...]`
+/// in one contiguous `u32` buffer. The header packs `len << 4 | flags`;
+/// deleting a clause sets a flag and leaves a tombstone whose space is
+/// reclaimed by [`SatSolver::inprocess_sweep`]'s compaction.
+#[derive(Clone, Default)]
+struct ClauseDb {
+    data: Vec<u32>,
+    wasted: u64,
+}
+
+const FLAG_DELETED: u32 = 1;
+const FLAG_LEARNT: u32 = 2;
+const HEADER_WORDS: usize = 2;
+
+impl ClauseDb {
+    fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let c = self.data.len() as ClauseRef;
+        let flags = if learnt { FLAG_LEARNT } else { 0 };
+        self.data.push((lits.len() as u32) << 4 | flags);
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.0));
+        c
+    }
+
+    fn len(&self, c: ClauseRef) -> usize {
+        (self.data[c as usize] >> 4) as usize
+    }
+
+    fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c as usize] & FLAG_DELETED != 0
+    }
+
+    fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.data[c as usize] & FLAG_LEARNT != 0
+    }
+
+    fn delete(&mut self, c: ClauseRef) {
+        debug_assert!(!self.is_deleted(c));
+        self.data[c as usize] |= FLAG_DELETED;
+        self.wasted += (HEADER_WORDS + self.len(c)) as u64;
+    }
+
+    fn lit(&self, c: ClauseRef, k: usize) -> Lit {
+        Lit(self.data[c as usize + HEADER_WORDS + k])
+    }
+
+    fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let base = c as usize + HEADER_WORDS;
+        self.data.swap(base + i, base + j);
+    }
+
+    fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c as usize + 1])
+    }
+
+    fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.data[c as usize + 1] = a.to_bits();
+    }
+
+    /// Offset of the clause following `c` (tombstones keep their length,
+    /// so the arena stays walkable).
+    fn next(&self, c: ClauseRef) -> ClauseRef {
+        c + (HEADER_WORDS + self.len(c)) as ClauseRef
+    }
+
+    /// Visit every live clause header offset.
+    fn for_each_live(&self, mut f: impl FnMut(ClauseRef)) {
+        let mut c = 0u32;
+        while (c as usize) < self.data.len() {
+            if !self.is_deleted(c) {
+                f(c);
+            }
+            c = self.next(c);
+        }
+    }
+}
+
+/// One literal's watcher list: each entry packs the blocker literal
+/// (high word) next to the clause reference (low word), so the hot path
+/// — most watched clauses are already satisfied through their blocker —
+/// streams through one dense array without touching the clause arena.
+///
+/// The first two entries live inline in the list itself: most literals
+/// watch at most a couple of clauses, so on a fresh feed the bulk of
+/// watcher attachment never touches the heap at all (feeding a 50-router
+/// WAN otherwise performs one small allocation per watching literal,
+/// which dominates the feed). Entries beyond two spill into a `Vec`,
+/// and indexed access resolves against the inline count with a single
+/// predictable branch.
+#[derive(Clone, Default)]
+struct WatchList {
+    head_len: u8,
+    head: [u64; 2], // blocker (raw Lit) << 32 | cref
+    spill: Vec<u64>,
+}
+
+impl WatchList {
+    fn len(&self) -> usize {
+        self.head_len as usize + self.spill.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        // Entries are head[0..head_len] followed by the spill, in
+        // either attachment mode.
+        let h = self.head_len as usize;
+        if i < h {
+            self.head[i]
+        } else {
+            self.spill[i - h]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, e: u64) {
+        let h = self.head_len as usize;
+        if i < h {
+            self.head[i] = e;
+        } else {
+            self.spill[i - h] = e;
+        }
+    }
+
+    /// Append an entry. `spill` forces the heap path (the
+    /// [`SolverConfig::spill_watchers`] ablation); the inline slots are
+    /// otherwise only skipped once the spill is in use, keeping the
+    /// head-then-spill order contiguous.
+    #[inline]
+    fn push_entry(&mut self, e: u64, spill: bool) {
+        if !spill && self.head_len < 2 && self.spill.is_empty() {
+            self.head[self.head_len as usize] = e;
+            self.head_len += 1;
+        } else {
+            self.spill.push(e);
+        }
+    }
+
+    fn push(&mut self, cref: ClauseRef, blocker: Lit, spill: bool) {
+        self.push_entry((blocker.0 as u64) << 32 | cref as u64, spill);
+    }
+
+    fn cref(&self, i: usize) -> ClauseRef {
+        self.get(i) as u32
+    }
+
+    fn blocker(&self, i: usize) -> Lit {
+        Lit((self.get(i) >> 32) as u32)
+    }
+
+    fn set_blocker(&mut self, i: usize, b: Lit) {
+        let e = self.get(i);
+        self.set(i, (b.0 as u64) << 32 | (e & 0xffff_ffff));
+    }
+
+    fn swap_remove(&mut self, i: usize) {
+        let last = match self.spill.pop() {
+            Some(e) => e,
+            None => {
+                self.head_len -= 1;
+                self.head[self.head_len as usize]
+            }
+        };
+        if i < self.len() {
+            self.set(i, last);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.head_len = 0;
+        self.spill.clear();
+    }
+
+    fn append_from(&mut self, other: &WatchList, spill: bool) {
+        for i in 0..other.len() {
+            self.push_entry(other.get(i), spill);
+        }
+    }
 }
 
 /// The CDCL solver.
+#[derive(Clone)]
 pub struct SatSolver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>, // indexed by Lit::index()
-    assigns: Vec<LBool>,        // indexed by var
-    phase: Vec<bool>,           // saved phases
+    db: ClauseDb,
+    watches: Vec<WatchList>, // indexed by Lit::index()
+    assigns: Vec<LBool>,     // indexed by var
+    phase: Vec<bool>,        // saved phases
     level: Vec<u32>,
     reason: Vec<ClauseRef>,
     trail: Vec<Lit>,
@@ -99,9 +416,11 @@ pub struct SatSolver {
     cla_inc: f32,
     heap: OrderHeap,
     seen: Vec<bool>,
-    ok: bool, // false once a top-level conflict is found
+    scratch: Vec<Lit>, // add_clause normalization buffer
+    ok: bool,          // false once a top-level conflict is found
     stats: SatStats,
     max_learnts: f64,
+    config: SolverConfig,
     /// Assignment snapshot from the most recent `Sat` answer; solves
     /// backtrack to the root level before returning, so the model must
     /// outlive the trail.
@@ -112,30 +431,76 @@ pub struct SatSolver {
     conflict_core: Vec<Lit>,
 }
 
+fn pair_key(a: Lit, b: Lit) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    (lo as u64) << 32 | hi as u64
+}
+
 impl SatSolver {
-    /// Create a solver over `num_vars` variables.
+    /// Create a solver over `num_vars` variables with the default
+    /// configuration.
     pub fn new(num_vars: u32) -> Self {
-        let n = num_vars as usize;
-        SatSolver {
-            clauses: Vec::new(),
-            watches: vec![Vec::new(); 2 * n],
-            assigns: vec![LBool::Undef; n],
-            phase: vec![false; n],
-            level: vec![0; n],
-            reason: vec![REASON_NONE; n],
-            trail: Vec::with_capacity(n),
+        SatSolver::with_config(num_vars, SolverConfig::default())
+    }
+
+    /// Create a solver with an explicit [`SolverConfig`].
+    pub fn with_config(num_vars: u32, config: SolverConfig) -> Self {
+        let mut s = SatSolver {
+            db: ClauseDb::default(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
-            activity: vec![0.0; n],
+            activity: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
-            heap: OrderHeap::new(n),
-            seen: vec![false; n],
+            heap: OrderHeap::new(0),
+            seen: Vec::new(),
+            scratch: Vec::new(),
             ok: true,
             stats: SatStats::default(),
             max_learnts: 0.0,
+            config,
             model: Vec::new(),
             conflict_core: Vec::new(),
+        };
+        s.ensure_num_vars(num_vars);
+        s
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (heuristic knobs only; sound at any
+    /// point between solves).
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// Re-seed heuristic state on an existing solver per the configured
+    /// phase/activity seeds — how a freshly cloned portfolio variant
+    /// diverges from its siblings. Touches saved phases and VSIDS
+    /// activities only; verdicts are unaffected.
+    pub fn apply_jitter(&mut self) {
+        if self.config.phase_seed != 0 {
+            for v in 0..self.phase.len() {
+                if self.assigns[v] == LBool::Undef {
+                    self.phase[v] = splitmix64(self.config.phase_seed ^ v as u64) & 1 == 1;
+                }
+            }
+        }
+        if self.config.activity_seed != 0 {
+            for v in 0..self.activity.len() {
+                let r = splitmix64(self.config.activity_seed ^ v as u64);
+                self.activity[v] += (r % 1024) as f64 * (self.var_inc / 1_000_000.0);
+            }
+            self.heap.heapify(&self.activity);
         }
     }
 
@@ -145,23 +510,40 @@ impl SatSolver {
     }
 
     /// Grow the variable tables to hold at least `n` variables. New
-    /// variables start unassigned with zero activity. Used by incremental
-    /// callers whose formula grows between solves.
+    /// variables start unassigned; their initial phase and activity
+    /// follow the configured polarity/activity seeds. Used by
+    /// incremental callers whose formula grows between solves.
     pub fn ensure_num_vars(&mut self, n: u32) {
         let n = n as usize;
         let cur = self.assigns.len();
         if n <= cur {
             return;
         }
-        self.watches.resize(2 * n, Vec::new());
+        self.watches.resize_with(2 * n, WatchList::default);
         self.assigns.resize(n, LBool::Undef);
-        self.phase.resize(n, false);
+        self.phase.resize(n, self.config.init_phase);
+        if self.config.phase_seed != 0 {
+            for v in cur..n {
+                self.phase[v] = splitmix64(self.config.phase_seed ^ v as u64) & 1 == 1;
+            }
+        }
         self.level.resize(n, 0);
         self.reason.resize(n, REASON_NONE);
         self.activity.resize(n, 0.0);
+        if self.config.activity_seed != 0 {
+            for v in cur..n {
+                // Tiny noise: reorders equal-activity ties without
+                // outweighing a single real bump.
+                let r = splitmix64(self.config.activity_seed ^ v as u64);
+                self.activity[v] = (r % 1024) as f64 * (self.var_inc / 1_000_000.0);
+            }
+        }
         self.seen.resize(n, false);
         for v in cur..n {
             self.heap.push_new(v);
+        }
+        if self.config.activity_seed != 0 {
+            self.heap.heapify(&self.activity);
         }
     }
 
@@ -169,7 +551,7 @@ impl SatSolver {
     pub fn from_cnf(cnf: &Cnf) -> Self {
         let mut s = SatSolver::new(cnf.num_vars());
         for c in cnf.clauses() {
-            s.add_clause(c.clone());
+            s.add_clause_slice(c);
         }
         s
     }
@@ -177,6 +559,26 @@ impl SatSolver {
     /// Solver statistics so far.
     pub fn stats(&self) -> SatStats {
         self.stats
+    }
+
+    /// Clause-arena and watcher-list occupancy (memory accounting).
+    pub fn db_stats(&self) -> DbStats {
+        let mut d = DbStats {
+            arena_words: self.db.data.len() as u64,
+            wasted_words: self.db.wasted,
+            watcher_entries: self.watches.iter().map(|w| w.len() as u64).sum(),
+            ..DbStats::default()
+        };
+        self.db.for_each_live(|c| {
+            d.live_clauses += 1;
+            if self.db.is_learnt(c) {
+                d.live_learnts += 1;
+                if self.db.len(c) > 2 {
+                    d.live_long_learnts += 1;
+                }
+            }
+        });
+        d
     }
 
     fn value_lit(&self, l: Lit) -> LBool {
@@ -207,64 +609,75 @@ impl SatSolver {
 
     /// Add a clause. Returns `false` if the formula became trivially
     /// unsatisfiable (conflict at decision level 0).
-    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+    pub fn add_clause(&mut self, lits: Vec<Lit>) -> bool {
+        self.add_clause_slice(&lits)
+    }
+
+    /// Add a clause from a borrowed slice — the allocation-free feed the
+    /// incremental session uses to stream bit-blaster output straight
+    /// into the arena. Returns `false` if the formula became trivially
+    /// unsatisfiable (conflict at decision level 0).
+    pub fn add_clause_slice(&mut self, lits: &[Lit]) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
             return false;
         }
-        // Normalize: drop duplicate and false literals, detect tautology.
-        lits.sort();
-        lits.dedup();
-        let mut i = 0;
-        while i < lits.len() {
-            let l = lits[i];
-            if i + 1 < lits.len() && lits[i + 1] == !l {
-                return true; // tautology: x \/ !x
-            }
+        // Normalize into the scratch buffer: drop duplicate and false
+        // literals, detect tautologies and satisfied clauses. Clauses
+        // are short (Tseitin output is 2-3 literals), so the quadratic
+        // duplicate scan beats sorting an owned copy.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let mut ok = true;
+        'lits: for &l in lits {
             match self.value_lit(l) {
-                LBool::True => return true, // already satisfied at level 0
-                LBool::False => {
-                    lits.remove(i);
+                LBool::True => {
+                    ok = false; // satisfied at level 0: drop the clause
+                    break;
                 }
-                LBool::Undef => i += 1,
+                LBool::False => continue,
+                LBool::Undef => {}
             }
+            for &k in scratch.iter() {
+                if k == l {
+                    continue 'lits; // duplicate
+                }
+                if k == !l {
+                    ok = false; // tautology
+                    break 'lits;
+                }
+            }
+            scratch.push(l);
         }
-        match lits.len() {
+        if !ok {
+            self.scratch = scratch;
+            return true;
+        }
+        let result = match scratch.len() {
             0 => {
                 self.ok = false;
                 false
             }
             1 => {
-                self.unchecked_enqueue(lits[0], REASON_NONE);
+                self.unchecked_enqueue(scratch[0], REASON_NONE);
                 self.ok = self.propagate().is_none();
                 self.ok
             }
             _ => {
-                self.attach_clause(lits, false);
+                self.attach_clause(&scratch, false);
                 true
             }
-        }
+        };
+        self.scratch = scratch;
+        result
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as ClauseRef;
-        let w0 = Watcher {
-            cref,
-            blocker: lits[1],
-        };
-        let w1 = Watcher {
-            cref,
-            blocker: lits[0],
-        };
-        self.watches[(!lits[0]).index()].push(w0);
-        self.watches[(!lits[1]).index()].push(w1);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-        });
+        let cref = self.db.alloc(lits, learnt);
+        let spill = self.config.spill_watchers;
+        self.watches[(!lits[0]).index()].push(cref, lits[1], spill);
+        self.watches[(!lits[1]).index()].push(cref, lits[0], spill);
         if learnt {
             self.stats.learnts += 1;
         }
@@ -286,6 +699,7 @@ impl SatSolver {
 
     /// Unit propagation; returns the conflicting clause if any.
     fn propagate(&mut self) -> Option<ClauseRef> {
+        let spill = self.config.spill_watchers;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -294,42 +708,36 @@ impl SatSolver {
             let mut i = 0;
             let mut conflict = None;
             'watchers: while i < ws.len() {
-                let w = ws[i];
-                // Fast path: blocker already true.
-                if self.value_lit(w.blocker) == LBool::True {
+                // Fast path: blocker already true. Only the watcher
+                // array is touched until a clause actually needs work.
+                let blocker = ws.blocker(i);
+                if self.value_lit(blocker) == LBool::True {
                     i += 1;
                     continue;
                 }
-                let cref = w.cref;
-                if self.clauses[cref as usize].deleted {
+                let cref = ws.cref(i);
+                if self.db.is_deleted(cref) {
                     ws.swap_remove(i);
                     continue;
                 }
                 // Make sure the false literal (!p) is at position 1.
-                {
-                    let c = &mut self.clauses[cref as usize];
-                    if c.lits[0] == !p {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], !p);
+                if self.db.lit(cref, 0) == !p {
+                    self.db.swap_lits(cref, 0, 1);
                 }
-                let first = self.clauses[cref as usize].lits[0];
-                if first != w.blocker && self.value_lit(first) == LBool::True {
-                    ws[i].blocker = first;
+                debug_assert_eq!(self.db.lit(cref, 1), !p);
+                let first = self.db.lit(cref, 0);
+                if first != blocker && self.value_lit(first) == LBool::True {
+                    ws.set_blocker(i, first);
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref as usize].lits.len();
+                let len = self.db.len(cref);
                 for k in 2..len {
-                    let lk = self.clauses[cref as usize].lits[k];
+                    let lk = self.db.lit(cref, k);
                     if self.value_lit(lk) != LBool::False {
-                        let c = &mut self.clauses[cref as usize];
-                        c.lits.swap(1, k);
-                        self.watches[(!lk).index()].push(Watcher {
-                            cref,
-                            blocker: first,
-                        });
+                        self.db.swap_lits(cref, 1, k);
+                        self.watches[(!lk).index()].push(cref, first, spill);
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
@@ -349,7 +757,7 @@ impl SatSolver {
             // watchers that were appended to the fresh list during the scan
             // (can happen when a clause watches both p and !p's variable).
             let appended = std::mem::take(&mut self.watches[p.index()]);
-            ws.extend(appended);
+            ws.append_from(&appended, spill);
             self.watches[p.index()] = ws;
             if conflict.is_some() {
                 return conflict;
@@ -370,15 +778,18 @@ impl SatSolver {
     }
 
     fn var_decay(&mut self) {
-        self.var_inc /= 0.95;
+        self.var_inc /= self.config.var_decay;
     }
 
     fn cla_bump(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+        let a = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, a);
+        if a > 1e20 {
+            let mut c = 0u32;
+            while (c as usize) < self.db.data.len() {
+                let scaled = self.db.activity(c) * 1e-20;
+                self.db.set_activity(c, scaled);
+                c = self.db.next(c);
             }
             self.cla_inc *= 1e-20;
         }
@@ -397,8 +808,8 @@ impl SatSolver {
         loop {
             self.cla_bump(cref);
             let start = usize::from(p.is_some());
-            for k in start..self.clauses[cref as usize].lits.len() {
-                let q = self.clauses[cref as usize].lits[k];
+            for k in start..self.db.len(cref) {
+                let q = self.db.lit(cref, k);
                 let v = q.var().0 as usize;
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -476,10 +887,52 @@ impl SatSolver {
         if r == REASON_NONE {
             return false;
         }
-        self.clauses[r as usize].lits.iter().skip(1).all(|&q| {
-            let qv = q.var().0 as usize;
+        (1..self.db.len(r)).all(|k| {
+            let qv = self.db.lit(r, k).var().0 as usize;
             self.seen[qv] || self.level[qv] == 0
         })
+    }
+
+    /// An existing binary clause `{learnt[0], q}` (for some other
+    /// `q` in the learnt clause) subsumes the clause about to be learnt
+    /// and — because `q` is false after the backjump — can serve
+    /// directly as the asserting reason. Binaries watch both their
+    /// literals forever (a two-literal clause has no third literal to
+    /// migrate to), so scanning `learnt[0]`'s watcher list finds every
+    /// candidate without any auxiliary index on the clause-feed path.
+    /// Returns the binary's cref with `learnt[0]` moved to position 0.
+    fn subsuming_binary(&mut self, learnt: &[Lit]) -> Option<ClauseRef> {
+        if !self.config.otf_subsume || learnt.len() < 3 || learnt.len() > 32 {
+            return None;
+        }
+        let l0 = learnt[0];
+        let ws = &self.watches[(!l0).index()];
+        let mut found = None;
+        for k in 0..ws.len() {
+            let cref = ws.cref(k);
+            if self.db.is_deleted(cref) || self.db.len(cref) != 2 {
+                continue;
+            }
+            let (a, b) = (self.db.lit(cref, 0), self.db.lit(cref, 1));
+            let other = if a == l0 {
+                b
+            } else if b == l0 {
+                a
+            } else {
+                continue;
+            };
+            if learnt[1..].contains(&other) {
+                found = Some(cref);
+                break;
+            }
+        }
+        let bref = found?;
+        // Binary watch lists are symmetric in both literals, so swapping
+        // positions keeps the watch invariant intact.
+        if self.db.lit(bref, 0) != l0 {
+            self.db.swap_lits(bref, 0, 1);
+        }
+        Some(bref)
     }
 
     fn cancel_until(&mut self, level: u32) {
@@ -512,13 +965,13 @@ impl SatSolver {
     /// Remove the less active half of the (non-binary, unlocked) learnt
     /// clauses — the in-search reduction, expressed as a cap.
     fn reduce_db(&mut self) {
-        let half = self
-            .clauses
-            .iter()
-            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
-            .count() as u64
-            / 2;
-        self.reduce_learnts_to(self.stats.learnts.saturating_sub(half));
+        let mut long_learnts = 0u64;
+        self.db.for_each_live(|c| {
+            if self.db.is_learnt(c) && self.db.len(c) > 2 {
+                long_learnts += 1;
+            }
+        });
+        self.reduce_learnts_to(self.stats.learnts.saturating_sub(long_learnts / 2));
     }
 
     /// Shrink the learnt-clause database to at most `cap` clauses,
@@ -526,42 +979,331 @@ impl SatSolver {
     /// the in-search reduction and the session-level GC, so the activity
     /// order and locked-clause rules cannot drift apart). Binary learnt
     /// clauses and clauses currently the reason for an assignment are
-    /// kept, so the cap is a target, not a hard guarantee. A deleted
-    /// clause's literal storage is freed immediately and its watcher
-    /// entries are dropped on the next visit — a capped long-lived
-    /// session's memory stays proportional to the live clause set plus
-    /// empty tombstone headers, no matter how many queries it answered.
+    /// kept, so the cap is a target, not a hard guarantee. Deletion
+    /// tombstones the clause in the arena; when called at the root level
+    /// with enough accumulated waste, the arena is compacted and the
+    /// watcher lists rebuilt, so a capped long-lived session's memory
+    /// stays proportional to its live clause set.
     pub fn reduce_learnts_to(&mut self, cap: u64) {
-        if self.stats.learnts <= cap {
+        if self.stats.learnts > cap {
+            let mut learnt_refs: Vec<ClauseRef> = Vec::new();
+            self.db.for_each_live(|c| {
+                if self.db.is_learnt(c) && self.db.len(c) > 2 {
+                    learnt_refs.push(c);
+                }
+            });
+            learnt_refs.sort_by(|&a, &b| {
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &c in &learnt_refs {
+                if self.stats.learnts <= cap {
+                    break;
+                }
+                let locked = (0..2).any(|k| {
+                    let l = self.db.lit(c, k);
+                    self.reason[l.var().0 as usize] == c && self.value_lit(l) == LBool::True
+                });
+                if locked {
+                    continue;
+                }
+                self.db.delete(c);
+                self.stats.learnts = self.stats.learnts.saturating_sub(1);
+            }
+        }
+        // Reclaim tombstone space once it dominates; root level only,
+        // since compaction rewrites the reason references.
+        if self.decision_level() == 0 && self.db.wasted * 4 > self.db.data.len() as u64 {
+            self.compact();
+        }
+    }
+
+    /// Rebuild the arena without tombstones and the watcher lists from
+    /// scratch. Root level only. Reasons of root-level assignments are
+    /// dropped (they are never dereferenced: conflict analysis skips
+    /// level-0 variables).
+    fn compact(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for &l in &self.trail {
+            self.reason[l.var().0 as usize] = REASON_NONE;
+        }
+        let old = std::mem::take(&mut self.db);
+        let mut live: Vec<ClauseRef> = Vec::new();
+        old.for_each_live(|c| live.push(c));
+        self.db.data.reserve(old.data.len() - old.wasted as usize);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let spill = self.config.spill_watchers;
+        for c in live {
+            let len = old.len(c);
+            let start = c as usize + HEADER_WORDS;
+            let lits: Vec<Lit> = old.data[start..start + len]
+                .iter()
+                .map(|&r| Lit(r))
+                .collect();
+            let learnt = old.is_learnt(c);
+            let nc = self.db.alloc(&lits, learnt);
+            self.db.set_activity(nc, old.activity(c));
+            self.watches[(!lits[0]).index()].push(nc, lits[1], spill);
+            self.watches[(!lits[1]).index()].push(nc, lits[0], spill);
+        }
+    }
+
+    /// One inprocessing sweep over the clause database, between queries
+    /// (root level only; no-op otherwise):
+    ///
+    /// 1. **Simplify** by the root-level assignment: clauses with a true
+    ///    literal are deleted (this is what reclaims the clauses of
+    ///    retracted activation groups), false literals are removed.
+    /// 2. **Subsume / strengthen** long learnt clauses against the
+    ///    binary-clause map (backward subsumption and binary
+    ///    self-subsumption).
+    /// 3. **Compact** the arena and rebuild the watcher lists.
+    /// 4. **Vivify** the most active long learnt clauses under a
+    ///    propagation budget: re-derive each clause by asserting the
+    ///    negation of its literals one at a time; a conflict or implied
+    ///    literal along the way proves a shorter clause.
+    pub fn inprocess_sweep(&mut self) {
+        if self.decision_level() != 0 || !self.ok {
             return;
         }
-        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
-            .filter(|&c| {
-                let cl = &self.clauses[c as usize];
-                cl.learnt && !cl.deleted && cl.lits.len() > 2
-            })
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        for &c in &learnt_refs {
-            if self.stats.learnts <= cap {
-                break;
+        self.stats.sweeps += 1;
+        // Transient binary index for the subsumption passes, built once
+        // per sweep (the feed path deliberately maintains no such index).
+        let mut bin_map: HashMap<u64, ClauseRef> = HashMap::new();
+        self.db.for_each_live(|c| {
+            if self.db.len(c) == 2 {
+                bin_map
+                    .entry(pair_key(self.db.lit(c, 0), self.db.lit(c, 1)))
+                    .or_insert(c);
             }
-            let locked = self.clauses[c as usize].lits[..2]
-                .iter()
-                .any(|&l| self.reason[l.var().0 as usize] == c && self.value_lit(l) == LBool::True);
-            if locked {
+        });
+        // Pass 1+2: mark deletions and rewrites.
+        let mut rewrites: Vec<(ClauseRef, Vec<Lit>)> = Vec::new();
+        let mut units: Vec<Lit> = Vec::new();
+        let mut empty = false;
+        let mut to_delete: Vec<ClauseRef> = Vec::new();
+        let mut lits: Vec<Lit> = Vec::new();
+        let end = self.db.data.len();
+        let mut c = 0u32;
+        while (c as usize) < end {
+            let cref = c;
+            c = self.db.next(cref);
+            if self.db.is_deleted(cref) {
                 continue;
             }
-            let cl = &mut self.clauses[c as usize];
-            cl.deleted = true;
-            cl.lits = Vec::new();
-            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+            let len = self.db.len(cref);
+            lits.clear();
+            let mut satisfied = false;
+            for k in 0..len {
+                let l = self.db.lit(cref, k);
+                match self.value_lit(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => continue,
+                    LBool::Undef => lits.push(l),
+                }
+            }
+            if satisfied {
+                to_delete.push(cref);
+                continue;
+            }
+            let learnt = self.db.is_learnt(cref);
+            // Binary-map passes for long learnt clauses.
+            if learnt && lits.len() >= 3 && lits.len() <= 32 {
+                let mut subsumed = false;
+                'pairs: for i in 0..lits.len() {
+                    for j in (i + 1)..lits.len() {
+                        if let Some(&bref) = bin_map.get(&pair_key(lits[i], lits[j])) {
+                            if bref != cref && !self.db.is_deleted(bref) {
+                                subsumed = true;
+                                break 'pairs;
+                            }
+                        }
+                    }
+                }
+                if subsumed {
+                    self.stats.subsumed += 1;
+                    to_delete.push(cref);
+                    continue;
+                }
+                // Self-subsumption: a binary {!l, q} with q also in the
+                // clause resolves away l.
+                let mut i = 0;
+                while i < lits.len() {
+                    let l = lits[i];
+                    let mut drop = false;
+                    for (j, &q) in lits.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        if let Some(&bref) = bin_map.get(&pair_key(!l, q)) {
+                            if !self.db.is_deleted(bref) {
+                                drop = true;
+                                break;
+                            }
+                        }
+                    }
+                    if drop {
+                        lits.swap_remove(i);
+                        self.stats.strengthened += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            match lits.len().cmp(&len) {
+                std::cmp::Ordering::Equal => {}
+                _ => {
+                    match lits.len() {
+                        0 => empty = true,
+                        1 => units.push(lits[0]),
+                        _ => rewrites.push((cref, lits.clone())),
+                    }
+                    to_delete.push(cref);
+                }
+            }
         }
+        for cref in to_delete {
+            if self.db.is_learnt(cref) {
+                self.stats.learnts = self.stats.learnts.saturating_sub(1);
+            }
+            self.db.delete(cref);
+        }
+        for (cref, new_lits) in rewrites {
+            let learnt = self.db.is_learnt(cref);
+            let act = self.db.activity(cref);
+            let nc = self.attach_clause(&new_lits, learnt);
+            self.db.set_activity(nc, act);
+        }
+        if empty {
+            self.ok = false;
+            return;
+        }
+        // Pass 3: compact and rebuild watches.
+        self.compact();
+        for u in units {
+            if self.value_lit(u) == LBool::False {
+                self.ok = false;
+                return;
+            }
+            if self.value_lit(u) == LBool::Undef {
+                self.unchecked_enqueue(u, REASON_NONE);
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        // Pass 4: vivification, under a propagation budget. Phases are
+        // snapshotted so the probe assignments don't pollute phase
+        // saving (keeps the subsequent search deterministic w.r.t. a
+        // sweep-free run of the same query order).
+        if self.config.viv_budget > 0 {
+            self.vivify();
+        }
+    }
+
+    fn vivify(&mut self) {
+        let mut candidates: Vec<(ClauseRef, f32)> = Vec::new();
+        self.db.for_each_live(|c| {
+            let len = self.db.len(c);
+            if self.db.is_learnt(c) && len >= 3 && len <= self.config.viv_max_len {
+                candidates.push((c, self.db.activity(c)));
+            }
+        });
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(self.config.viv_max_clauses);
+        if candidates.is_empty() {
+            return;
+        }
+        let saved_phase = self.phase.clone();
+        let saved = self.stats;
+        let budget = self.config.viv_budget;
+        let mut spent = 0u64;
+        for (cref, _) in candidates {
+            if spent >= budget || !self.ok {
+                break;
+            }
+            if self.db.is_deleted(cref) {
+                continue;
+            }
+            let len = self.db.len(cref);
+            let lits: Vec<Lit> = (0..len).map(|k| self.db.lit(cref, k)).collect();
+            let before = self.stats.propagations;
+            let mut kept: Vec<Lit> = Vec::with_capacity(len);
+            let mut changed = false;
+            for &l in &lits {
+                match self.value_lit(l) {
+                    LBool::True => {
+                        // (kept -> l) is implied: the clause shrinks to
+                        // kept + l.
+                        kept.push(l);
+                        changed = true;
+                        break;
+                    }
+                    LBool::False => {
+                        // !l is implied by the kept prefix: drop l.
+                        changed = true;
+                        continue;
+                    }
+                    LBool::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(!l, REASON_NONE);
+                        let confl = self.propagate().is_some();
+                        kept.push(l);
+                        if confl {
+                            changed = kept.len() < lits.len();
+                            break;
+                        }
+                    }
+                }
+            }
+            self.cancel_until(0);
+            spent += self.stats.propagations - before;
+            if changed && kept.len() < lits.len() {
+                self.db.delete(cref);
+                self.stats.vivified += 1;
+                match kept.len() {
+                    0 => {
+                        self.ok = false;
+                    }
+                    1 => {
+                        self.stats.learnts = self.stats.learnts.saturating_sub(1);
+                        match self.value_lit(kept[0]) {
+                            LBool::False => self.ok = false,
+                            LBool::True => {}
+                            LBool::Undef => {
+                                self.unchecked_enqueue(kept[0], REASON_NONE);
+                                if self.propagate().is_some() {
+                                    self.ok = false;
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        let act = self.db.activity(cref);
+                        let nc = self.attach_clause(&kept, true);
+                        // attach_clause counted a new learnt; the old one
+                        // was deleted, so the net count is unchanged.
+                        self.stats.learnts = self.stats.learnts.saturating_sub(1);
+                        self.db.set_activity(nc, act);
+                    }
+                }
+            }
+        }
+        // Vivification work is accounted separately so per-query deltas
+        // (and differential stats tests) stay meaningful.
+        let viv_props = self.stats.propagations - saved.propagations;
+        self.stats.propagations = saved.propagations;
+        self.stats.decisions = saved.decisions;
+        self.stats.viv_propagations += viv_props;
+        self.phase = saved_phase;
     }
 
     /// Solve the formula. Returns `Sat` or `Unsat`; on `Sat` the model is
@@ -583,15 +1325,30 @@ impl SatSolver {
     /// itself is unsatisfiable the core is empty and every later solve
     /// answers `Unsat` immediately.
     pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.solve_under_assumptions_abortable(assumptions, None)
+            .expect("non-abortable solve cannot be aborted")
+    }
+
+    /// [`SatSolver::solve_under_assumptions`] with a cooperative abort
+    /// flag: when `abort` is set (by a racing portfolio sibling), the
+    /// search unwinds to the root and returns `None`. All state stays
+    /// consistent — clauses learnt before the abort are kept and the
+    /// solver remains usable.
+    pub fn solve_under_assumptions_abortable(
+        &mut self,
+        assumptions: &[Lit],
+        abort: Option<&AtomicBool>,
+    ) -> Option<SolveOutcome> {
         debug_assert_eq!(self.decision_level(), 0);
         self.model.clear();
         self.conflict_core.clear();
         if !self.ok {
-            return SolveOutcome::Unsat;
+            return Some(SolveOutcome::Unsat);
         }
-        self.max_learnts = (self.clauses.len() as f64 * 0.3).max(1000.0);
-        let mut restart_idx = 0u64;
-        let mut conflicts_budget = 100 * luby(restart_idx);
+        self.max_learnts = (self.db.data.len() as f64 / 16.0).max(1000.0);
+        let mut restart_idx = self.config.restart_offset;
+        let mut conflicts_budget = self.config.restart_base * luby(restart_idx);
+        let mut abort_check = 0u32;
 
         let outcome = 'search: loop {
             if let Some(confl) = self.propagate() {
@@ -604,21 +1361,43 @@ impl SatSolver {
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], REASON_NONE);
+                } else if let Some(bref) = self.subsuming_binary(&learnt) {
+                    // On-the-fly binary subsumption: the binary clause
+                    // both subsumes the would-be learnt clause and is
+                    // asserting after the backjump, so learn nothing and
+                    // use it as the reason directly.
+                    self.stats.subsumed += 1;
+                    self.unchecked_enqueue(learnt[0], bref);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_clause(learnt, true);
+                    let cref = self.attach_clause(&learnt, true);
                     self.unchecked_enqueue(asserting, cref);
                 }
                 self.var_decay();
                 self.cla_inc *= 1.001;
                 conflicts_budget = conflicts_budget.saturating_sub(1);
+                abort_check += 1;
+                if abort_check >= 64 {
+                    abort_check = 0;
+                    if let Some(flag) = abort {
+                        if flag.load(Ordering::Relaxed) {
+                            self.cancel_until(0);
+                            return None;
+                        }
+                    }
+                }
             } else {
                 if conflicts_budget == 0 {
                     // Restart (assumptions are re-decided below).
                     self.stats.restarts += 1;
                     restart_idx += 1;
-                    conflicts_budget = 100 * luby(restart_idx);
+                    conflicts_budget = self.config.restart_base * luby(restart_idx);
                     self.cancel_until(0);
+                    if let Some(flag) = abort {
+                        if flag.load(Ordering::Relaxed) {
+                            return None;
+                        }
+                    }
                 }
                 if self.stats.learnts as f64 > self.max_learnts {
                     self.reduce_db();
@@ -662,7 +1441,7 @@ impl SatSolver {
         // Return to the root so the instance stays reusable: clauses can
         // be added and new (assumption) queries posed.
         self.cancel_until(0);
-        outcome
+        Some(outcome)
     }
 
     /// Compute the failing-assumption core when assumption `p` is found
@@ -689,9 +1468,9 @@ impl SatSolver {
                 debug_assert!(self.level[v] > 0);
                 self.conflict_core.push(l);
             } else {
-                let r = self.reason[v] as usize;
-                for k in 1..self.clauses[r].lits.len() {
-                    let q = self.clauses[r].lits[k];
+                let r = self.reason[v];
+                for k in 1..self.db.len(r) {
+                    let q = self.db.lit(r, k);
                     if self.level[q.var().0 as usize] > 0 {
                         self.seen[q.var().0 as usize] = true;
                     }
@@ -724,6 +1503,7 @@ fn luby(x: u64) -> u64 {
 }
 
 /// Indexed binary max-heap over variable activities.
+#[derive(Clone)]
 struct OrderHeap {
     heap: Vec<usize>,
     /// Position of each variable in `heap`, or `usize::MAX` if absent.
@@ -749,6 +1529,14 @@ impl OrderHeap {
         debug_assert_eq!(v, self.pos.len());
         self.pos.push(self.heap.len());
         self.heap.push(v);
+    }
+
+    /// Restore the heap property after a batch of out-of-band activity
+    /// writes (seeded jitter).
+    fn heapify(&mut self, act: &[f64]) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i, act);
+        }
     }
 
     fn insert(&mut self, v: usize, act: &[f64]) {
@@ -1012,11 +1800,7 @@ mod tests {
         assert!(s.value(Var(0)) && s.value(Var(2)));
     }
 
-    #[test]
-    fn reduce_learnts_to_bounds_the_database() {
-        // A formula hard enough to learn from: pigeonhole 4 into 3.
-        let pigeons = 4u32;
-        let holes = 3u32;
+    fn pigeonhole(pigeons: u32, holes: u32) -> SatSolver {
         let var = |p: u32, h: u32| Var(p * holes + h);
         let mut s = SatSolver::new(pigeons * holes);
         for p in 0..pigeons {
@@ -1029,15 +1813,21 @@ mod tests {
                 }
             }
         }
+        s
+    }
+
+    #[test]
+    fn reduce_learnts_to_bounds_the_database() {
+        // A formula hard enough to learn from: pigeonhole 4 into 3.
+        let mut s = pigeonhole(4, 3);
         assert_eq!(s.solve(), SolveOutcome::Unsat);
         // Whatever was learnt, the GC caps it (binary learnts may stay).
         s.reduce_learnts_to(0);
-        let non_binary_learnts = s
-            .clauses
-            .iter()
-            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
-            .count();
-        assert_eq!(non_binary_learnts, 0, "non-binary learnts must be GCed");
+        assert_eq!(
+            s.db_stats().live_long_learnts,
+            0,
+            "non-binary learnts must be GCed"
+        );
     }
 
     #[test]
@@ -1063,5 +1853,143 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveOutcome::Sat);
         assert!(s.value(Var(1)));
+    }
+
+    #[test]
+    fn plain_and_default_configs_agree() {
+        // The inprocessing features must not change verdicts.
+        let mut a = pigeonhole(5, 4);
+        let mut b = SatSolver::with_config(5 * 4, SolverConfig::plain());
+        // Rebuild the same formula into b.
+        let var = |p: u32, h: u32| Var(p * 4 + h);
+        for p in 0..5u32 {
+            assert!(b.add_clause((0..4).map(|h| var(p, h).pos()).collect()));
+        }
+        for h in 0..4u32 {
+            for p1 in 0..5 {
+                for p2 in (p1 + 1)..5 {
+                    assert!(b.add_clause(vec![var(p1, h).neg(), var(p2, h).neg()]));
+                }
+            }
+        }
+        assert_eq!(a.solve(), b.solve());
+    }
+
+    #[test]
+    fn inprocess_sweep_reclaims_satisfied_clauses() {
+        let mut s = SatSolver::new(4);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(1).pos(), Var(2).pos()]));
+        assert!(s.add_clause(vec![Var(0).neg(), Var(3).pos(), Var(2).pos()]));
+        let before = s.db_stats();
+        assert_eq!(before.live_clauses, 2);
+        // Asserting v2 satisfies both clauses; the sweep must drop them
+        // and compact the arena to nothing.
+        assert!(s.add_clause(vec![Var(2).pos()]));
+        s.inprocess_sweep();
+        let after = s.db_stats();
+        assert_eq!(after.live_clauses, 0);
+        assert_eq!(after.arena_words, 0);
+        assert_eq!(after.watcher_entries, 0);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value(Var(2)));
+    }
+
+    #[test]
+    fn inprocess_sweep_strengthens_by_root_assignment() {
+        let mut s = SatSolver::new(4);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(1).pos(), Var(2).pos()]));
+        assert!(s.add_clause(vec![Var(0).pos()])); // does not touch the ternary
+        assert!(s.add_clause(vec![Var(1).neg()])); // falsifies v1 in the ternary
+        s.inprocess_sweep();
+        let d = s.db_stats();
+        // The ternary shrank to (v0 \/ v2)... which is satisfied at root
+        // by v0 — so it must have been deleted outright.
+        assert_eq!(d.live_clauses, 0);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value(Var(0)) && !s.value(Var(1)));
+    }
+
+    #[test]
+    fn sweep_preserves_verdicts_on_unsat_instance() {
+        let mut s = pigeonhole(5, 4);
+        s.inprocess_sweep();
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn sweep_between_assumption_queries_preserves_answers() {
+        let mut s = SatSolver::new(3);
+        let (a, b, c) = (Var(0), Var(1), Var(2));
+        assert!(s.add_clause(vec![a.neg(), b.pos()]));
+        assert!(s.add_clause(vec![b.neg(), c.pos()]));
+        assert_eq!(
+            s.solve_under_assumptions(&[a.pos(), c.neg()]),
+            SolveOutcome::Unsat
+        );
+        s.inprocess_sweep();
+        assert_eq!(
+            s.solve_under_assumptions(&[a.pos(), c.neg()]),
+            SolveOutcome::Unsat
+        );
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&a.pos()) && core.contains(&c.neg()));
+        assert_eq!(
+            s.solve_under_assumptions(&[a.pos(), c.pos()]),
+            SolveOutcome::Sat
+        );
+    }
+
+    #[test]
+    fn jittered_configs_agree_on_verdicts() {
+        for variant in 0..4usize {
+            let cfg = SolverConfig::default().jittered(variant, 0xfeed);
+            let mut s = SatSolver::with_config(5 * 4, cfg);
+            let var = |p: u32, h: u32| Var(p * 4 + h);
+            for p in 0..5u32 {
+                assert!(s.add_clause((0..4).map(|h| var(p, h).pos()).collect()));
+            }
+            for h in 0..4u32 {
+                for p1 in 0..5 {
+                    for p2 in (p1 + 1)..5 {
+                        assert!(s.add_clause(vec![var(p1, h).neg(), var(p2, h).neg()]));
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveOutcome::Unsat, "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn abort_flag_cancels_search() {
+        let mut s = pigeonhole(8, 7);
+        let abort = AtomicBool::new(true); // pre-set: abort at first check
+        let out = s.solve_under_assumptions_abortable(&[], Some(&abort));
+        assert_eq!(out, None);
+        // Solver remains usable after the abort.
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn clone_races_to_the_same_verdict() {
+        let mut a = pigeonhole(6, 5);
+        let mut b = a.clone();
+        b.set_config(SolverConfig::default().jittered(1, 42));
+        assert_eq!(a.solve(), SolveOutcome::Unsat);
+        assert_eq!(b.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn compaction_preserves_model_queries() {
+        let mut s = SatSolver::new(6);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(1).pos()]));
+        assert!(s.add_clause(vec![Var(2).pos(), Var(3).pos(), Var(4).pos()]));
+        assert!(s.add_clause(vec![Var(2).neg(), Var(5).pos()]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        s.inprocess_sweep();
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        // Model still satisfies the original formula.
+        assert!(s.value(Var(0)) || s.value(Var(1)));
+        assert!(s.value(Var(2)) || s.value(Var(3)) || s.value(Var(4)));
+        assert!(!s.value(Var(2)) || s.value(Var(5)));
     }
 }

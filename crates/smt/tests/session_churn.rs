@@ -1,0 +1,199 @@
+//! Session-churn stress: one [`IncrementalSession`] driven through
+//! hundreds of activate / solve / retract cycles, the lifecycle a
+//! long-lived re-verify loop or watch daemon subjects a group session
+//! to. The point is not the verdicts (each cycle checks its own) but
+//! the *asymptotics*: inprocessing sweeps must reclaim retracted
+//! activation clauses, the learnt database must stay under its cap, the
+//! watcher lists and clause arena must not grow without bound, and an
+//! identical query re-posed late in the session must not cost more
+//! search than it did the first time.
+//!
+//! All boundedness assertions are on deterministic work counters and
+//! database gauges, never on wall time.
+
+use smt::{IncrementalSession, SatResult, TermId, TermPool};
+
+/// A small mixed bool/bitvector base problem plus a menu of query
+/// predicates, some satisfiable alongside the base, some not.
+fn base_and_queries(pool: &mut TermPool) -> (Vec<TermId>, Vec<TermId>) {
+    let x = pool.bv_var("x", 16);
+    let y = pool.bv_var("y", 16);
+    let p = pool.bool_var("p");
+    let base = {
+        let c100 = pool.bv_const(100, 16);
+        let lo = pool.bv_ult(c100, x); // 100 < x
+        let hi_bound = pool.bv_const(60000, 16);
+        let hi = pool.bv_ult(x, hi_bound); // x < 60000
+        let sum = pool.bv_add(x, y);
+        let c7 = pool.bv_const(7, 16);
+        let sum_lo = pool.bv_ult(c7, sum); // 7 < x + y
+        let gate = pool.implies(p, sum_lo);
+        vec![lo, hi, gate]
+    };
+    let mut queries = Vec::new();
+    for k in 0..16u64 {
+        let c = pool.bv_const(200 + 37 * k, 16);
+        queries.push(pool.bv_ult(x, c)); // sat for every k (x can be 101)
+        let tiny = pool.bv_const(3 + (k % 5), 16);
+        queries.push(pool.bv_ult(x, tiny)); // unsat: contradicts 100 < x
+        let eq = pool.bv_const(5000 + k, 16);
+        queries.push(pool.bv_eq(x, eq)); // sat point query
+    }
+    (base, queries)
+}
+
+#[test]
+fn hundreds_of_solve_retract_cycles_stay_bounded() {
+    let mut sess = IncrementalSession::new().with_learnt_cap(2_000);
+    let (base, queries) = {
+        let pool = sess.pool_mut();
+        base_and_queries(pool)
+    };
+    for t in base {
+        sess.assert(t);
+    }
+
+    // Warm-up pass: every query once, recording its verdict and its
+    // search cost (conflicts + decisions) as the baseline.
+    let mut baseline: Vec<(bool, u64)> = Vec::new();
+    for &q in &queries {
+        let act = sess.activation(q);
+        let (r, st) = sess.solve_under(&[act]);
+        sess.retract(act);
+        baseline.push((r.is_sat(), st.sat.conflicts + st.sat.decisions));
+    }
+    let db_after_warmup = sess.sat_db_stats();
+
+    // Churn: hundreds of cycles over the same query menu, fresh
+    // activation literal each time (that is what retraction costs — a
+    // retracted activation leaves a permanently-false literal and a
+    // dead activation clause behind for the sweep to reclaim).
+    let cycles = 400usize;
+    let mut max_arena = 0u64;
+    let mut max_watchers = 0u64;
+    let mut max_learnts = 0u64;
+    for i in 0..cycles {
+        let q = queries[i % queries.len()];
+        let act = sess.activation(q);
+        let (r, _) = sess.solve_under(&[act]);
+        sess.retract(act);
+        assert_eq!(
+            r.is_sat(),
+            baseline[i % queries.len()].0,
+            "cycle {i}: verdict flipped on an identical query"
+        );
+        let db = sess.sat_db_stats();
+        max_arena = max_arena.max(db.arena_words);
+        max_watchers = max_watchers.max(db.watcher_entries);
+        max_learnts = max_learnts.max(db.live_long_learnts);
+    }
+
+    // Learnt DB respects the configured cap throughout.
+    assert!(
+        max_learnts <= 2_000,
+        "learnt DB outgrew its cap: {max_learnts} live long learnts"
+    );
+    // The arena and watcher lists may grow past the warm-up size (each
+    // cycle adds an activation var and clause) but must stay linear-ish
+    // in the warm-up footprint, not in the cycle count: sweeps reclaim
+    // dead activation clauses, compaction returns arena words, and
+    // watcher rebuilds drop dead references. 400 cycles × ~tens of
+    // words each would otherwise dwarf the base encoding.
+    assert!(
+        max_arena < db_after_warmup.arena_words * 3,
+        "clause arena leaked: warm-up {} words, churn peak {max_arena}",
+        db_after_warmup.arena_words
+    );
+    assert!(
+        max_watchers < db_after_warmup.watcher_entries * 3,
+        "watcher lists leaked: warm-up {} entries, churn peak {max_watchers}",
+        db_after_warmup.watcher_entries
+    );
+
+    // Re-posing the menu after heavy churn must not cost more search
+    // than the cold pass did. Individual queries (and even the exact
+    // total) wobble a little — phase saving and VSIDS state moved
+    // during churn, the learnt cap GC'd clauses — so the bound is on
+    // the whole menu's conflicts + decisions staying within a small
+    // constant factor of the cold pass: 400 cycles of retraction
+    // clutter must not make identical queries systematically harder.
+    let cold_total: u64 = baseline.iter().map(|&(_, w)| w).sum();
+    let mut warm_total = 0u64;
+    for (j, &q) in queries.iter().enumerate() {
+        let act = sess.activation(q);
+        let (r, st) = sess.solve_under(&[act]);
+        sess.retract(act);
+        assert_eq!(r.is_sat(), baseline[j].0, "query {j}: verdict drifted");
+        warm_total += st.sat.conflicts + st.sat.decisions;
+    }
+    assert!(
+        warm_total <= cold_total + cold_total / 4,
+        "churn degraded search on identical queries ({warm_total} vs cold {cold_total})"
+    );
+}
+
+/// The same churn loop with sweeping disabled must still answer
+/// correctly — sweeps are an optimization, not a soundness crutch — and
+/// the sweeping session must end with a no-larger clause arena, which
+/// is the direct measurement of what inprocessing reclaims.
+#[test]
+fn sweeps_reclaim_what_churn_leaves_behind() {
+    let run = |sweep: bool| -> (Vec<bool>, u64) {
+        let cfg = smt::SolverConfig {
+            sweep,
+            sweep_every: 16,
+            ..smt::SolverConfig::default()
+        };
+        let mut sess = IncrementalSession::new().with_config(cfg);
+        let (base, queries) = base_and_queries(sess.pool_mut());
+        for t in base {
+            sess.assert(t);
+        }
+        let mut verdicts = Vec::new();
+        for i in 0..200usize {
+            let q = queries[i % queries.len()];
+            let act = sess.activation(q);
+            let (r, _) = sess.solve_under(&[act]);
+            sess.retract(act);
+            verdicts.push(r.is_sat());
+        }
+        (verdicts, sess.sat_db_stats().arena_words)
+    };
+    let (with_sweep, arena_swept) = run(true);
+    let (without_sweep, arena_unswept) = run(false);
+    assert_eq!(
+        with_sweep, without_sweep,
+        "sweeping changed a churn verdict"
+    );
+    assert!(
+        arena_swept <= arena_unswept,
+        "sweeping ended with a larger arena ({arena_swept} > {arena_unswept})"
+    );
+}
+
+/// Retraction really disables a constraint: a query unsatisfiable under
+/// an active assumption becomes satisfiable again once that activation
+/// is retracted, across many interleavings.
+#[test]
+fn retraction_interleaving_is_sound() {
+    let mut sess = IncrementalSession::new();
+    let pool = sess.pool_mut();
+    let x = pool.bv_var("x", 8);
+    let c10 = pool.bv_const(10, 8);
+    let c20 = pool.bv_const(20, 8);
+    let lt10 = pool.bv_ult(x, c10);
+    let gt20 = pool.bv_ult(c20, x);
+    for round in 0..50u32 {
+        let a = sess.activation(lt10);
+        let b = sess.activation(gt20);
+        // Together contradictory; alone each is satisfiable.
+        let (both, _) = sess.solve_under(&[a, b]);
+        assert!(matches!(both, SatResult::Unsat), "round {round}");
+        let (only_a, _) = sess.solve_under(&[a]);
+        assert!(only_a.is_sat(), "round {round}");
+        sess.retract(a);
+        let (only_b, _) = sess.solve_under(&[b]);
+        assert!(only_b.is_sat(), "round {round}");
+        sess.retract(b);
+    }
+}
