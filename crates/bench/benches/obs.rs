@@ -90,6 +90,39 @@ fn bench_obs_overhead(c: &mut Criterion) {
         per_call * 1e9,
     );
     record_gate_max("obs-disabled-overhead-50r", overhead_pct, 3.0);
+
+    // Idle-listener gate: a bound-but-unscraped telemetry endpoint
+    // (`watch --listen` with nobody polling) must not move the verify
+    // wall — its accept loop blocks in the kernel. Both arms run with
+    // the sink installed, so this isolates the *listener's* marginal
+    // cost; reps interleave listen/no-listen and compare medians to
+    // ride out scheduler drift, and negative noise clamps to zero.
+    let reg = obs::install();
+    run(); // warm-up, outside both arms
+    let reps = env_usize("OBS_LISTEN_REPS", 5);
+    let mut with_listener: Vec<Duration> = Vec::with_capacity(reps);
+    let mut without: Vec<Duration> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let status = obs::http::Status::new(None);
+        let server =
+            obs::http::serve("127.0.0.1:0", reg.clone(), status).expect("bind 127.0.0.1:0");
+        let t = Instant::now();
+        run();
+        with_listener.push(t.elapsed());
+        drop(server);
+        let t = Instant::now();
+        run();
+        without.push(t.elapsed());
+    }
+    obs::uninstall();
+    let (m_listen, m_base) = (median(with_listener), median(without));
+    let idle_pct =
+        ((m_listen.as_secs_f64() - m_base.as_secs_f64()) / m_base.as_secs_f64() * 100.0).max(0.0);
+    println!(
+        "obs idle listener {label}: {m_listen:?} with listener vs {m_base:?} without \
+         = {idle_pct:.4}% (ceiling 1%)"
+    );
+    record_gate_max("obs-idle-listener-50r", idle_pct, 1.0);
 }
 
 criterion_group!(benches, bench_obs_overhead);

@@ -1,0 +1,320 @@
+//! `bench::compare` — the read side of the bench trajectory: diff two
+//! `BENCH_*.json` files (arrays of gate lines as assembled by CI with
+//! `jq -s`) into per-gate regressions and improvements.
+//!
+//! Two gate shapes exist, matching [`crate::record_gate`] and
+//! [`crate::record_gate_max`]:
+//!
+//! * floor gates `{"gate","ratio","floor","pass"}` — bigger is better;
+//! * ceiling gates `{"gate","value","ceiling","pass"}` — smaller is
+//!   better.
+//!
+//! A **regression** is a pass that flipped to a fail, or a metric that
+//! moved in the bad direction by more than [`TOLERANCE`]; the symmetric
+//! move is an **improvement**; anything inside the band is *unchanged*.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Relative movement below which two runs count as noise, not change.
+pub const TOLERANCE: f64 = 0.02;
+
+/// One parsed gate line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateRecord {
+    /// Gate name (unique per file; see `unique_gate_name`).
+    pub gate: String,
+    /// The measured metric (`ratio` for floor gates, `value` for
+    /// ceiling gates).
+    pub metric: f64,
+    /// The asserted bound (`floor` or `ceiling`).
+    pub bound: f64,
+    /// Whether bigger metric values are better (floor gates).
+    pub bigger_is_better: bool,
+    /// The recorded verdict.
+    pub pass: bool,
+}
+
+/// What one gate did between run A (baseline) and run B (candidate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GateDelta {
+    /// Verdict flipped pass -> fail, or the metric moved the bad way
+    /// beyond tolerance.
+    Regressed,
+    /// Verdict flipped fail -> pass, or the metric moved the good way
+    /// beyond tolerance.
+    Improved,
+    /// Within the noise band, same verdict.
+    Unchanged,
+    /// Present only in the candidate file.
+    Added,
+    /// Present only in the baseline file.
+    Removed,
+}
+
+/// One row of the diff.
+#[derive(Clone, Debug)]
+pub struct GateDiff {
+    /// Gate name.
+    pub gate: String,
+    /// The verdict for this gate's movement.
+    pub delta: GateDelta,
+    /// Baseline record, when present.
+    pub a: Option<GateRecord>,
+    /// Candidate record, when present.
+    pub b: Option<GateRecord>,
+}
+
+/// The full diff of two gate files.
+pub struct CompareReport {
+    /// One row per gate name in either file, name order.
+    pub diffs: Vec<GateDiff>,
+}
+
+/// Parse a `BENCH_*.json` text: a JSON array of gate objects (a single
+/// object is accepted too). Non-gate entries (no `"gate"` key) are
+/// skipped — bench files may interleave timing records.
+pub fn parse_gates(text: &str) -> Result<Vec<GateRecord>, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let items: Vec<&Value> = match &v {
+        Value::Array(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    let mut gates = Vec::new();
+    for item in items {
+        let Some(name) = item.get("gate").and_then(Value::as_str) else {
+            continue;
+        };
+        let num = |key: &str| item.get(key).and_then(Value::as_f64);
+        let rec = if let (Some(metric), Some(bound)) = (num("ratio"), num("floor")) {
+            GateRecord {
+                gate: name.to_string(),
+                metric,
+                bound,
+                bigger_is_better: true,
+                pass: item.get("pass").and_then(Value::as_bool).unwrap_or(false),
+            }
+        } else if let (Some(metric), Some(bound)) = (num("value"), num("ceiling")) {
+            GateRecord {
+                gate: name.to_string(),
+                metric,
+                bound,
+                bigger_is_better: false,
+                pass: item.get("pass").and_then(Value::as_bool).unwrap_or(false),
+            }
+        } else {
+            return Err(format!(
+                "gate {name:?} has neither ratio/floor nor value/ceiling fields"
+            ));
+        };
+        gates.push(rec);
+    }
+    Ok(gates)
+}
+
+/// How far `b` moved from `a`, signed so positive is *better* (accounts
+/// for gate direction). Relative to `a` when nonzero.
+fn movement(a: &GateRecord, b: &GateRecord) -> f64 {
+    let base = if a.metric.abs() > f64::EPSILON {
+        a.metric.abs()
+    } else {
+        1.0
+    };
+    let raw = (b.metric - a.metric) / base;
+    if a.bigger_is_better {
+        raw
+    } else {
+        -raw
+    }
+}
+
+/// Diff baseline `a` against candidate `b` over the union of gate
+/// names.
+pub fn compare(a: &[GateRecord], b: &[GateRecord]) -> CompareReport {
+    let index = |gs: &[GateRecord]| -> BTreeMap<String, GateRecord> {
+        gs.iter().map(|g| (g.gate.clone(), g.clone())).collect()
+    };
+    let (ia, ib) = (index(a), index(b));
+    let mut names: Vec<&String> = ia.keys().chain(ib.keys()).collect();
+    names.sort();
+    names.dedup();
+    let diffs = names
+        .into_iter()
+        .map(|name| {
+            let (ga, gb) = (ia.get(name), ib.get(name));
+            let delta = match (ga, gb) {
+                (None, Some(_)) => GateDelta::Added,
+                (Some(_), None) => GateDelta::Removed,
+                (Some(ga), Some(gb)) => {
+                    if ga.pass && !gb.pass {
+                        GateDelta::Regressed
+                    } else if !ga.pass && gb.pass {
+                        GateDelta::Improved
+                    } else {
+                        let m = movement(ga, gb);
+                        if m < -TOLERANCE {
+                            GateDelta::Regressed
+                        } else if m > TOLERANCE {
+                            GateDelta::Improved
+                        } else {
+                            GateDelta::Unchanged
+                        }
+                    }
+                }
+                (None, None) => unreachable!("name came from one of the indexes"),
+            };
+            GateDiff {
+                gate: name.clone(),
+                delta,
+                a: ga.cloned(),
+                b: gb.cloned(),
+            }
+        })
+        .collect();
+    CompareReport { diffs }
+}
+
+impl CompareReport {
+    /// Whether any gate regressed (the exit-code signal).
+    pub fn any_regression(&self) -> bool {
+        self.diffs.iter().any(|d| d.delta == GateDelta::Regressed)
+    }
+
+    /// Human rendering, one line per gate plus a summary tail.
+    pub fn render(&self, a_name: &str, b_name: &str) -> String {
+        let mut out = format!("bench-report: {a_name} (baseline) vs {b_name} (candidate)\n");
+        let fmt = |g: &GateRecord| {
+            format!(
+                "{:.4} ({} {:.4}, {})",
+                g.metric,
+                if g.bigger_is_better {
+                    "floor"
+                } else {
+                    "ceiling"
+                },
+                g.bound,
+                if g.pass { "pass" } else { "FAIL" }
+            )
+        };
+        let mut counts = BTreeMap::new();
+        for d in &self.diffs {
+            *counts.entry(d.delta).or_insert(0usize) += 1;
+            let label = match d.delta {
+                GateDelta::Regressed => "REGRESSED",
+                GateDelta::Improved => "improved",
+                GateDelta::Unchanged => "unchanged",
+                GateDelta::Added => "added",
+                GateDelta::Removed => "removed",
+            };
+            let detail = match (&d.a, &d.b) {
+                (Some(ga), Some(gb)) => {
+                    format!(
+                        "{} -> {} ({:+.1}%)",
+                        fmt(ga),
+                        fmt(gb),
+                        movement(ga, gb) * 100.0
+                    )
+                }
+                (None, Some(gb)) => fmt(gb),
+                (Some(ga), None) => fmt(ga),
+                (None, None) => String::new(),
+            };
+            out.push_str(&format!("  {label:<9} {:<32} {detail}\n", d.gate));
+        }
+        let count = |d: GateDelta| counts.get(&d).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "bench-report: {} gates: {} regressed, {} improved, {} unchanged, {} added, {} removed\n",
+            self.diffs.len(),
+            count(GateDelta::Regressed),
+            count(GateDelta::Improved),
+            count(GateDelta::Unchanged),
+            count(GateDelta::Added),
+            count(GateDelta::Removed),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floor(gate: &str, ratio: f64, floor: f64) -> GateRecord {
+        GateRecord {
+            gate: gate.to_string(),
+            metric: ratio,
+            bound: floor,
+            bigger_is_better: true,
+            pass: ratio >= floor,
+        }
+    }
+
+    fn ceiling(gate: &str, value: f64, ceiling: f64) -> GateRecord {
+        GateRecord {
+            gate: gate.to_string(),
+            metric: value,
+            bound: ceiling,
+            bigger_is_better: false,
+            pass: value <= ceiling,
+        }
+    }
+
+    #[test]
+    fn parses_both_gate_shapes_and_skips_non_gates() {
+        let text = r#"[
+            {"gate":"incremental-50r","ratio":3.21,"floor":2.0,"pass":true},
+            {"gate":"obs-disabled-overhead-50r","value":0.8,"ceiling":3.0,"pass":true},
+            {"bench":"something-else","seconds":1.0}
+        ]"#;
+        let gates = parse_gates(text).unwrap();
+        assert_eq!(gates.len(), 2);
+        assert!(gates[0].bigger_is_better && gates[0].pass);
+        assert!(!gates[1].bigger_is_better && gates[1].pass);
+        assert!(parse_gates(r#"[{"gate":"x"}]"#).is_err());
+        assert!(parse_gates("not json").is_err());
+    }
+
+    #[test]
+    fn direction_aware_regressions_and_improvements() {
+        let a = vec![
+            floor("speedup", 3.0, 2.0),
+            ceiling("overhead", 1.0, 3.0),
+            floor("steady", 2.5, 2.0),
+        ];
+        let b = vec![
+            floor("speedup", 2.1, 2.0),    // -30%: regressed (still passing)
+            ceiling("overhead", 0.5, 3.0), // halved: improved (smaller is better)
+            floor("steady", 2.51, 2.0),    // +0.4%: inside tolerance
+        ];
+        let report = compare(&a, &b);
+        let by_name: BTreeMap<&str, GateDelta> = report
+            .diffs
+            .iter()
+            .map(|d| (d.gate.as_str(), d.delta))
+            .collect();
+        assert_eq!(by_name["speedup"], GateDelta::Regressed);
+        assert_eq!(by_name["overhead"], GateDelta::Improved);
+        assert_eq!(by_name["steady"], GateDelta::Unchanged);
+        assert!(report.any_regression());
+    }
+
+    #[test]
+    fn verdict_flips_dominate_and_union_covers_added_removed() {
+        let a = vec![floor("flips", 1.9, 2.0), floor("gone", 2.5, 2.0)];
+        let b = vec![floor("flips", 2.0, 2.0), floor("new", 2.5, 2.0)];
+        let report = compare(&a, &b);
+        let by_name: BTreeMap<&str, GateDelta> = report
+            .diffs
+            .iter()
+            .map(|d| (d.gate.as_str(), d.delta))
+            .collect();
+        // fail -> pass is an improvement even with a small move.
+        assert_eq!(by_name["flips"], GateDelta::Improved);
+        assert_eq!(by_name["gone"], GateDelta::Removed);
+        assert_eq!(by_name["new"], GateDelta::Added);
+        assert!(!report.any_regression());
+        let text = report.render("A.json", "B.json");
+        assert!(text.contains("3 gates"));
+        assert!(text.contains("1 improved"));
+    }
+}

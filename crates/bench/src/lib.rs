@@ -23,6 +23,8 @@
 //! All binaries accept environment variables to scale up to paper-size
 //! runs (see each binary's `--help`-style header comment).
 
+pub mod compare;
+
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;

@@ -13,7 +13,7 @@ pub(crate) fn cmd_fuzz(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             f @ ("--seed" | "--cases" | "--families" | "--edit-steps" | "--sim-rounds"
-            | "--repro-dir" | "--bench-json" | "--replay") => {
+            | "--repro-dir" | "--bench-json" | "--replay" | "--listen" | "--flight-json") => {
                 if i + 1 >= args.len() {
                     eprintln!("error: {f} needs a value");
                     return usage();
@@ -91,7 +91,38 @@ pub(crate) fn cmd_fuzz(args: &[String]) -> ExitCode {
         flag_value(args, "--repro-dir").unwrap_or_else(|| ".lightyear-fuzz-repro".to_string()),
     );
 
+    // Always-on flight recorder: live per-family / per-oracle counters
+    // accumulate in the registry as the campaign runs, so a `--listen`
+    // scrape shows mid-flight progress, and a panicking case leaves a
+    // post-mortem without a re-run.
+    let flight_path =
+        PathBuf::from(flag_value(args, "--flight-json").unwrap_or_else(|| "flight.json".into()));
+    let reg = obs::install();
+    obs::install_panic_flight(&flight_path);
+    let status = obs::http::Status::new(None);
+    let _server = match flag_value(args, "--listen") {
+        Some(addr) => match obs::http::serve(&addr, reg.clone(), status.clone()) {
+            Ok(s) => {
+                println!("fuzz: listening on http://{}", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let t0 = std::time::Instant::now();
+    let before = reg.snapshot();
     let out = fuzz::run_campaign(&cfg);
+    // The campaign is one "round" for /healthz and /metrics consumers.
+    status.note_round(
+        out.failure.is_none(),
+        t0.elapsed(),
+        Some(reg.snapshot().delta_since(&before)),
+    );
     println!("{}", out.summary());
     if let Some(path) = flag_value(args, "--bench-json") {
         let json = serde_json::to_string_pretty(&out.to_json(&cfg)).unwrap_or_default();
@@ -105,6 +136,8 @@ pub(crate) fn cmd_fuzz(args: &[String]) -> ExitCode {
     let Some((failing, discrepancy)) = out.failure else {
         return ExitCode::SUCCESS;
     };
+    obs::record_error(&format!("fuzz discrepancy: {discrepancy}"));
+    obs::dump_flight(&flight_path);
     eprintln!("fuzz: discrepancy: {discrepancy}");
     eprintln!("fuzz: minimizing (greedy, re-running the failing oracle)...");
     let before = fuzz::case_size(&failing.configs);

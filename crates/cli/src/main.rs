@@ -11,10 +11,14 @@
 //!   lightyear watch  --configs <DIR> --spec <FILE> [--baseline DIR]
 //!                    [--once] [--interval-ms N] [--max-rounds N]
 //!                    [--cache-dir DIR] [--metrics-json FILE]
+//!                    [--listen ADDR] [--stale-after-ms N]
+//!                    [--flight-json FILE] [--events-jsonl FILE]
 //!   lightyear plan   --spec <FILE> <DIR0> <DIR1> [...]
 //!   lightyear fuzz   [--seed N] [--cases N] [--families a,b,...]
 //!                    [--edit-steps K] [--sim-rounds R] [--no-inject]
 //!                    [--repro-dir DIR] [--bench-json FILE] [--replay DIR]
+//!                    [--listen ADDR] [--flight-json FILE]
+//!   lightyear bench-report <A.json> <B.json>
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
 //!   lightyear spec-template
@@ -60,11 +64,22 @@
 //!                   spills the carried result cache after every verified
 //!                   round and reloads it (passing verdicts only) on
 //!                   startup, so a restarted daemon starts warm.
-//!                   --metrics-json FILE installs the metrics sink and
-//!                   atomically rewrites FILE after every round with the
-//!                   round count and the cumulative counter snapshot (a
-//!                   poll surface for scrapers or a future `serve` mode);
-//!                   a cumulative totals line is printed per round
+//!                   --metrics-json FILE atomically rewrites FILE after
+//!                   every round with the round count, the last round's
+//!                   delta metrics, and the cumulative counter snapshot;
+//!                   a cumulative totals line is printed per round. The
+//!                   file, the totals line and the /metrics endpoint
+//!                   share one round counter, so they always agree.
+//!                   --listen ADDR serves live telemetry over HTTP
+//!                   (GET /metrics [?format=prom], /healthz, /trace);
+//!                   --stale-after-ms N makes /healthz answer 503 once
+//!                   no round has completed for N ms. The flight
+//!                   recorder is always on: recent spans/events plus
+//!                   the last error are dumped to --flight-json
+//!                   (default flight.json) on panic or any failed
+//!                   round. --events-jsonl FILE additionally streams
+//!                   every event and completed span as JSONL with
+//!                   size-capped rotation
 //!   plan            Snowcap/Chameleon-style migration-plan verification:
 //!                   verify DIR0 fully, then every subsequent directory as
 //!                   a delta round, proving each intermediate
@@ -80,6 +95,11 @@
 //!                   minimized and written as a replayable repro directory
 //!                   (--repro-dir; re-run it with --replay). --bench-json
 //!                   records campaign throughput (the CI BENCH_fuzz.json)
+//!   bench-report    diff two BENCH_*.json files (arrays of gate lines,
+//!                   as assembled by CI with `jq -s`): per-gate verdict
+//!                   flips, metric regressions/improvements beyond a 2%
+//!                   tolerance, and added/removed gates. Exit code 1
+//!                   when any gate regressed
 //!   parse           parse + lower only; print the topology summary and
 //!                   lowering warnings
 //!   lint            run rcc-style best-practice lints; exit code 1 on
@@ -136,11 +156,13 @@ fn usage() -> ExitCode {
          lightyear profile <SPEC> <CONFIG_DIR> [--jobs N] [--out <FILE>] [--top N]\n    \
          [--sequential] [--portfolio K]\n  \
          lightyear watch --configs <DIR> --spec <FILE> [--baseline <DIR>] [--once]\n    \
-         [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>] [--metrics-json <FILE>]\n  \
+         [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>] [--metrics-json <FILE>]\n    \
+         [--listen <ADDR>] [--stale-after-ms N] [--flight-json <FILE>] [--events-jsonl <FILE>]\n  \
          lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
          lightyear fuzz [--seed N] [--cases N] [--families a,b,...] [--edit-steps K]\n    \
          [--sim-rounds R] [--no-inject] [--repro-dir <DIR>] [--bench-json <FILE>]\n    \
-         [--replay <DIR>]\n  \
+         [--replay <DIR>] [--listen <ADDR>] [--flight-json <FILE>]\n  \
+         lightyear bench-report <A.json> <B.json>\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
     ExitCode::from(2)
@@ -157,6 +179,7 @@ fn main() -> ExitCode {
         "watch" => watch::cmd_watch(&args[1..]),
         "plan" => watch::cmd_plan(&args[1..]),
         "fuzz" => fuzz::cmd_fuzz(&args[1..]),
+        "bench-report" => cmd_bench_report(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "spec-template" => {
@@ -634,6 +657,34 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         println!("{}", serde_json::to_string_pretty(&json_out).unwrap());
     }
     if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `lightyear bench-report A.json B.json`: diff two bench gate files
+/// (the read side of the otherwise write-only bench trajectory).
+fn cmd_bench_report(args: &[String]) -> ExitCode {
+    let [a, b] = args else {
+        eprintln!("usage: lightyear bench-report <A.json> <B.json>");
+        return ExitCode::from(2);
+    };
+    let load = |path: &String| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| bench::compare::parse_gates(&text).map_err(|e| format!("{path}: {e}")))
+    };
+    let (ga, gb) = match (load(a), load(b)) {
+        (Ok(ga), Ok(gb)) => (ga, gb),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = bench::compare::compare(&ga, &gb);
+    print!("{}", report.render(a, b));
+    if report.any_regression() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

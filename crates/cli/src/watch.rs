@@ -10,8 +10,10 @@ use bgp_config::{lower, parse_config, ConfigAst};
 use delta::{diff_configs, ConfigDelta};
 use lightyear::engine::Verifier;
 use lightyear::reverify::{ReverifyEngine, ReverifyStats};
+use obs::http::{Status, TelemetryServer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-spec-property engines plus the currently-accepted configuration
@@ -170,35 +172,146 @@ fn round_line(label: &str, o: &RoundOutcome) -> String {
     )
 }
 
-/// Atomically rewrite the cumulative metrics snapshot (`--metrics-json`)
-/// after a round: round count plus every counter/gauge/histogram, so an
-/// external scraper (or a future `serve` mode) can poll the file mid-run
-/// and never observe a half-written JSON.
-fn write_metrics_json(path: &Path, reg: &obs::Registry, rounds: usize, ok: bool) {
-    let v = serde_json::json!({
-        "rounds": rounds as u64,
-        "ok": ok,
-        "metrics": reg.snapshot().to_json(),
-    });
-    let text = serde_json::to_string_pretty(&v).unwrap_or_default();
-    let tmp = path.with_extension("json.tmp");
-    let written = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
-    if let Err(e) = written {
-        eprintln!("warning: cannot write metrics to {path:?}: {e}");
-    }
+/// The daemon's telemetry: the always-on flight recorder, the shared
+/// round [`Status`] (the **single** round-increment site every surface
+/// reads — totals line, `--metrics-json` file and `/metrics` endpoint
+/// cannot disagree), the optional HTTP listener and JSONL event
+/// stream, and the previous registry snapshot for per-round deltas.
+struct Telemetry {
+    reg: Arc<obs::Registry>,
+    status: Arc<Status>,
+    metrics_path: Option<PathBuf>,
+    flight_path: PathBuf,
+    prev: obs::MetricsSnapshot,
+    /// Round number the CI flight-recorder smoke injects a panic at
+    /// (`LIGHTYEAR_WATCH_PANIC_ROUND`).
+    panic_round: Option<u64>,
+    _server: Option<TelemetryServer>,
 }
 
-/// The per-round cumulative totals line printed when the metrics sink
-/// is installed (`--metrics-json`).
-fn totals_line(reg: &obs::Registry) -> String {
-    let snap = reg.snapshot();
-    format!(
-        "watch: totals: {} rounds, {} checks, {} cached, {} solver calls",
-        snap.counter("reverify.rounds"),
-        snap.counter("reverify.checks"),
-        snap.counter("reverify.reused"),
-        snap.counter("smt.solves"),
-    )
+impl Telemetry {
+    fn new(
+        metrics_path: Option<PathBuf>,
+        flight_path: PathBuf,
+        events_path: Option<PathBuf>,
+        listen: Option<String>,
+        stale_after: Option<Duration>,
+    ) -> Result<Telemetry, String> {
+        // The flight recorder is always on: the registry install is the
+        // whole cost when nothing else is requested (bounded rings, one
+        // uncontended atomic per event).
+        let reg = obs::install();
+        obs::install_panic_flight(&flight_path);
+        if let Some(path) = &events_path {
+            let sink = obs::ExportSink::create(path, obs::ExportSink::DEFAULT_MAX_BYTES)
+                .map_err(|e| format!("cannot create event log {path:?}: {e}"))?;
+            reg.set_export(Some(Arc::new(sink)));
+        }
+        let status = Status::new(stale_after);
+        let server = match &listen {
+            Some(addr) => {
+                let s = obs::http::serve(addr, reg.clone(), status.clone())
+                    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+                println!("watch: listening on http://{}", s.addr());
+                Some(s)
+            }
+            None => None,
+        };
+        let panic_round = std::env::var("LIGHTYEAR_WATCH_PANIC_ROUND")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        Ok(Telemetry {
+            prev: reg.snapshot(),
+            reg,
+            status,
+            metrics_path,
+            flight_path,
+            panic_round,
+            _server: server,
+        })
+    }
+
+    /// What the registry accumulated since the previous round boundary.
+    fn delta(&mut self) -> obs::MetricsSnapshot {
+        let snap = self.reg.snapshot();
+        let d = snap.delta_since(&self.prev);
+        self.prev = snap;
+        d
+    }
+
+    /// Seal the baseline (round zero): verdict and delta, no round
+    /// number burned.
+    fn baseline_done(&mut self, ok: bool, elapsed: Duration) {
+        let d = self.delta();
+        obs::event!(
+            info,
+            "watch.baseline",
+            verdict = if ok { "pass" } else { "fail" },
+            solves = d.counter("smt.solves"),
+        );
+        self.status.note_baseline(ok, elapsed, Some(d));
+        if !ok {
+            self.dump_flight();
+        }
+        self.sync_file();
+    }
+
+    /// Seal one round — verified, violated, or rejected (`err`) — and
+    /// return its number. The one place a watch round is counted.
+    fn round_done(&mut self, ok: bool, elapsed: Duration, err: Option<&str>) -> u64 {
+        if let Some(e) = err {
+            self.reg.record_error(e);
+        }
+        let d = self.delta();
+        let n = self.status.note_round(ok, elapsed, Some(d));
+        obs::event!(
+            info,
+            "watch.round",
+            round = n,
+            verdict = if ok { "pass" } else { "fail" },
+        );
+        if !ok {
+            self.dump_flight();
+        }
+        self.sync_file();
+        if self.panic_round == Some(n) {
+            panic!("injected panic at round {n} (LIGHTYEAR_WATCH_PANIC_ROUND)");
+        }
+        n
+    }
+
+    /// The per-round cumulative totals line (printed with
+    /// `--metrics-json`). Reads the same round counter as the file and
+    /// the endpoint.
+    fn print_totals(&self) {
+        if self.metrics_path.is_none() {
+            return;
+        }
+        let snap = self.reg.snapshot();
+        println!(
+            "watch: totals: {} rounds, {} checks, {} cached, {} solver calls",
+            self.status.rounds(),
+            snap.counter("reverify.checks"),
+            snap.counter("reverify.reused"),
+            snap.counter("smt.solves"),
+        );
+    }
+
+    /// Atomically rewrite `--metrics-json` through the same renderer
+    /// `/metrics` serves, so a poll of either sees identical bytes.
+    fn sync_file(&self) {
+        let Some(path) = &self.metrics_path else {
+            return;
+        };
+        if let Err(e) = obs::http::write_status_file(path, &self.status, &self.reg) {
+            eprintln!("warning: cannot write metrics to {path:?}: {e}");
+        }
+    }
+
+    /// Dump the flight recorder (post-mortems need no re-run).
+    fn dump_flight(&self) {
+        obs::dump_flight(&self.flight_path);
+    }
 }
 
 pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
@@ -208,7 +321,8 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--configs" | "--spec" | "--baseline" | "--interval-ms" | "--max-rounds"
-            | "--cache-dir" | "--metrics-json" => i += 2,
+            | "--cache-dir" | "--metrics-json" | "--listen" | "--flight-json"
+            | "--events-jsonl" | "--stale-after-ms" => i += 2,
             "--once" => i += 1,
             a => {
                 eprintln!("error: unknown watch option {a}");
@@ -224,9 +338,18 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     let baseline = flag_value(args, "--baseline");
     let cache_dir = flag_value(args, "--cache-dir").map(PathBuf::from);
     let metrics_path = flag_value(args, "--metrics-json").map(PathBuf::from);
-    // The sink is only installed when someone will read it; otherwise
-    // the daemon's instrumentation stays a relaxed load per event.
-    let reg = metrics_path.as_ref().map(|_| obs::install());
+    let flight_path =
+        PathBuf::from(flag_value(args, "--flight-json").unwrap_or_else(|| "flight.json".into()));
+    let events_path = flag_value(args, "--events-jsonl").map(PathBuf::from);
+    let listen = flag_value(args, "--listen");
+    let stale_after = match flag_value(args, "--stale-after-ms").map(|v| v.parse::<u64>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(Duration::from_millis(n)),
+        Some(_) => {
+            eprintln!("error: --stale-after-ms needs a positive integer");
+            return usage();
+        }
+    };
     let interval = match flag_value(args, "--interval-ms").map(|v| v.parse::<u64>()) {
         None => 750,
         Some(Ok(n)) if n > 0 => n,
@@ -235,7 +358,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let max_rounds = match flag_value(args, "--max-rounds").map(|v| v.parse::<usize>()) {
+    let max_rounds = match flag_value(args, "--max-rounds").map(|v| v.parse::<u64>()) {
         None => None,
         Some(Ok(n)) if n > 0 => Some(n),
         Some(_) => {
@@ -252,12 +375,12 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
         }
     };
     let mut state = DeltaState::new(spec, cache_dir);
-    // After every round — verified, violated, or rejected — print the
-    // cumulative totals and rewrite the metrics snapshot file.
-    let report_metrics = |rounds: usize, ok: bool| {
-        if let (Some(path), Some(reg)) = (&metrics_path, &reg) {
-            println!("{}", totals_line(reg));
-            write_metrics_json(path, reg, rounds, ok);
+    let mut tele = match Telemetry::new(metrics_path, flight_path, events_path, listen, stale_after)
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     };
 
@@ -267,7 +390,8 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
         Ok(o) => {
             println!("{}", round_line(&format!("baseline {base_dir}"), &o));
             state.spill();
-            report_metrics(0, o.passed);
+            tele.baseline_done(o.passed, o.elapsed);
+            tele.print_totals();
             o.passed
         }
         Err(e) => {
@@ -281,10 +405,11 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
         if baseline.is_some() {
             match load_configs(Path::new(&dir)).and_then(|a| state.round(a, false)) {
                 Ok(o) => {
-                    println!("{}", round_line("round 1", &o));
-                    state.spill();
                     ok &= o.passed;
-                    report_metrics(1, ok);
+                    let n = tele.round_done(ok, o.elapsed, None);
+                    println!("{}", round_line(&format!("round {n}"), &o));
+                    state.spill();
+                    tele.print_totals();
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -296,7 +421,7 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     }
 
     println!("watch: polling {dir} every {interval}ms (ctrl-c to stop)");
-    let mut rounds = 0usize;
+    let mut rounds = 0u64;
     // The last snapshot that failed to verify (parse/lower/spec error):
     // a bad state must fail its round exactly once — a scripted
     // `--max-rounds` caller must neither hang on it nor read success —
@@ -312,11 +437,11 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 if last_err.as_ref() != Some(&e) {
-                    rounds += 1;
-                    eprintln!("watch: round {rounds}: {e}");
                     ok = false;
+                    rounds = tele.round_done(ok, Duration::ZERO, Some(&e));
+                    eprintln!("watch: round {rounds}: {e}");
                     last_err = Some(e);
-                    report_metrics(rounds, ok);
+                    tele.print_totals();
                 }
                 if max_rounds.is_some_and(|m| rounds >= m) {
                     break;
@@ -346,32 +471,36 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             continue;
         }
         // Every attempted round — verified, violated, or rejected as
-        // unparsable — burns exactly one round number HERE, so the
+        // unparsable — burns exactly one round number at its
+        // `round_done` call (the Status increment site), so the
         // numbering stays monotone across rejected rounds instead of a
         // later round reusing a failed round's number.
-        rounds += 1;
+        let t0 = Instant::now();
         match parsed {
             Ok(asts) => match state.round(asts, false) {
                 Ok(o) => {
+                    ok = o.passed;
+                    rounds = tele.round_done(ok, o.elapsed, None);
                     println!("{}", round_line(&format!("round {rounds}"), &o));
                     state.spill();
-                    ok = o.passed;
                     last_failed = None;
                     accepted = Some(snap);
                 }
                 Err(e) => {
-                    eprintln!("watch: round {rounds}: {e}");
                     ok = false;
+                    rounds = tele.round_done(ok, t0.elapsed(), Some(&e));
+                    eprintln!("watch: round {rounds}: {e}");
                     last_failed = Some(snap);
                 }
             },
             Err(e) => {
-                eprintln!("watch: round {rounds}: {e}");
                 ok = false;
+                rounds = tele.round_done(ok, t0.elapsed(), Some(&e));
+                eprintln!("watch: round {rounds}: {e}");
                 last_failed = Some(snap);
             }
         }
-        report_metrics(rounds, ok);
+        tele.print_totals();
         if max_rounds.is_some_and(|m| rounds >= m) {
             break;
         }

@@ -696,3 +696,217 @@ fn verify_cache_warms_across_runs() {
     );
     assert!(warm_out.contains("no-transit: verified"), "{warm_out}");
 }
+
+/// Read the child's piped stdout until `needle` appears (accumulating
+/// into `acc`), with a hard deadline so a wedged daemon fails the test
+/// instead of hanging it.
+fn read_until(stdout: &mut std::process::ChildStdout, needle: &str, acc: &mut String) {
+    use std::io::Read as _;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let mut buf = [0u8; 1024];
+    while !acc.contains(needle) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {needle:?} in:\n{acc}"
+        );
+        let n = stdout.read(&mut buf).unwrap();
+        if n == 0 {
+            break; // EOF
+        }
+        acc.push_str(&String::from_utf8_lossy(&buf[..n]));
+    }
+    assert!(acc.contains(needle), "never saw {needle:?} in:\n{acc}");
+}
+
+/// Raw-socket GET against a `--listen` endpoint: `(code, body)`.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let code = buf.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (code, body)
+}
+
+#[test]
+fn watch_listen_endpoint_agrees_with_metrics_file_across_rejected_rounds() {
+    let d = tmpdir("watch-listen");
+    write_net(&d, R2);
+    let metrics = d.join("metrics.json");
+    let mut child = Command::new(bin())
+        .args(["watch", "--interval-ms", "50", "--listen", "127.0.0.1:0"])
+        .arg("--metrics-json")
+        .arg(&metrics)
+        .arg("--flight-json")
+        .arg(d.join("flight.json"))
+        .arg("--configs")
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = child.stdout.take().unwrap();
+    let mut acc = String::new();
+    read_until(&mut stdout, "listening on http://", &mut acc);
+    let addr = acc
+        .split("listening on http://")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .to_string();
+    read_until(&mut stdout, "baseline", &mut acc);
+
+    // Healthy after a passing baseline; no delta round has run yet.
+    let (code, _) = http_get(&addr, "/healthz");
+    assert_eq!(code, 200, "healthy after passing baseline");
+    let (code, body) = http_get(&addr, "/metrics");
+    assert_eq!(code, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).expect("well-formed scrape");
+    assert_eq!(v.get("rounds").and_then(|r| r.as_u64()), Some(0));
+
+    // Round 1: a breaking edit -> VIOLATED -> /healthz flips to 503.
+    let broken = R2.replace(" neighbor 10.0.0.2 route-map TO-ISP2 out\n", "");
+    fs::write(d.join("r2.cfg"), broken).unwrap();
+    read_until(&mut stdout, "totals: 1 rounds", &mut acc);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let (code, _) = http_get(&addr, "/healthz");
+        if code == 503 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "healthz never reported the failed round"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // Round 2: an unparsable edit burns the next round number. The
+    // totals line, the /metrics scrape, and the --metrics-json file
+    // must all agree on 2 rounds (the single-increment-site contract).
+    fs::write(d.join("r1.cfg"), "hostname R1\nrouter bgp oops\n").unwrap();
+    read_until(&mut stdout, "totals: 2 rounds", &mut acc);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let scrape = loop {
+        let (code, scrape) = http_get(&addr, "/metrics");
+        assert_eq!(code, 200);
+        let file = fs::read_to_string(&metrics).unwrap_or_default();
+        if scrape == file {
+            break scrape;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scrape and metrics file never converged:\n{scrape}\nvs\n{file}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    let v: serde_json::Value = serde_json::from_str(&scrape).unwrap();
+    assert_eq!(
+        v.get("rounds").and_then(|r| r.as_u64()),
+        Some(2),
+        "endpoint counts both the violated and the rejected round"
+    );
+    assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(false));
+
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[test]
+fn watch_panic_leaves_a_flight_recorder_dump() {
+    let d = tmpdir("watch-flight");
+    write_net(&d, R2);
+    let flight = d.join("flight.json");
+    let mut child = Command::new(bin())
+        .env("LIGHTYEAR_WATCH_PANIC_ROUND", "1")
+        .args(["watch", "--interval-ms", "50"])
+        .arg("--flight-json")
+        .arg(&flight)
+        .arg("--configs")
+        .arg(&d)
+        .arg("--spec")
+        .arg(d.join("spec.json"))
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = child.stdout.take().unwrap();
+    let mut acc = String::new();
+    read_until(&mut stdout, "baseline", &mut acc);
+    // Any accepted edit triggers round 1, where the injected panic fires.
+    let r1_edited = R1.replace(
+        " set community 100:1 additive\n",
+        " set community 100:1 additive\n set local-preference 42\n",
+    );
+    fs::write(d.join("r1.cfg"), r1_edited).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("watch did not die at the injected panic round");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(!status.success(), "the injected panic must kill the daemon");
+    let dump = fs::read_to_string(&flight).expect("panic hook wrote the flight recorder");
+    let v: serde_json::Value = serde_json::from_str(&dump).expect("flight dump is JSON");
+    assert!(v.get("traceEvents").is_some(), "{dump}");
+    let err = v
+        .get("last_error")
+        .and_then(|e| e.as_str())
+        .expect("flight dump latches the fatal error");
+    assert!(err.contains("panic"), "{err}");
+}
+
+#[test]
+fn bench_report_diffs_gate_files_and_exits_one_on_regression() {
+    let d = tmpdir("bench-report");
+    let a = d.join("A.json");
+    let b = d.join("B.json");
+    fs::write(
+        &a,
+        r#"[{"gate":"incremental-50r","ratio":3.2,"floor":2.0,"pass":true},
+           {"gate":"obs-idle-listener-50r","value":0.20,"ceiling":1.0,"pass":true}]"#,
+    )
+    .unwrap();
+    fs::write(
+        &b,
+        r#"[{"gate":"incremental-50r","ratio":2.1,"floor":2.0,"pass":true},
+           {"gate":"obs-idle-listener-50r","value":0.21,"ceiling":1.0,"pass":true}]"#,
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .arg("bench-report")
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("incremental-50r"), "{stdout}");
+    assert!(stdout.contains("unchanged"), "{stdout}");
+
+    // Self-diff: everything unchanged, exit 0.
+    let out = Command::new(bin())
+        .arg("bench-report")
+        .arg(&a)
+        .arg(&a)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("2 gates"), "{stdout}");
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+}

@@ -533,6 +533,9 @@ impl ReverifyEngine {
             obs::add("reverify.invalidated", stats.invalidated as u64);
             obs::add("reverify.sessions_reused", stats.sessions_reused as u64);
             obs::add("reverify.sessions_created", stats.sessions_created as u64);
+            // Warm sessions currently held across rounds — a level, not
+            // a rate, so it is a gauge (live on `watch --listen`).
+            obs::gauge_set("reverify.warm_sessions", self.sessions.len() as u64);
             if stats.universe_reset {
                 obs::add("reverify.universe_resets", 1);
             }

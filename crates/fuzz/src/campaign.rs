@@ -164,6 +164,31 @@ fn mix(seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The live progress counter for a family's completed cases, scraped
+/// mid-campaign through `fuzz --listen` (the outcome map carries the
+/// same totals post-hoc).
+fn family_counter(f: FamilyId) -> &'static str {
+    match f {
+        FamilyId::Figure1 => "fuzz.cases.figure1",
+        FamilyId::FullMesh => "fuzz.cases.fullmesh",
+        FamilyId::Wan => "fuzz.cases.wan",
+        FamilyId::Rr => "fuzz.cases.rr",
+        FamilyId::Stub => "fuzz.cases.stub",
+        FamilyId::HubSpoke => "fuzz.cases.hubspoke",
+    }
+}
+
+/// The live wall-time counter (nanoseconds) for one oracle.
+fn oracle_counter(oracle: &str) -> &'static str {
+    match oracle {
+        "sim_grid" => "fuzz.oracle.sim_grid_ns",
+        "mode_parity" => "fuzz.oracle.mode_parity_ns",
+        "edit_sequence" => "fuzz.oracle.edit_sequence_ns",
+        "portfolio_parity" => "fuzz.oracle.portfolio_parity_ns",
+        _ => "fuzz.oracle.bug_injection_ns",
+    }
+}
+
 /// Run a campaign. Stops at the first discrepancy (recorded with a
 /// ready-to-minimize [`FailingCase`]); otherwise runs to `cfg.cases`.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
@@ -179,6 +204,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
         *out.per_family_elapsed
             .entry(family.name().to_string())
             .or_default() += t_case.elapsed();
+        obs::add("fuzz.cases", 1);
+        obs::add(family_counter(family), 1);
         if let Some(f) = failure {
             out.failure = Some(f);
             break;
@@ -188,11 +215,32 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     out
 }
 
-/// Charge an oracle invocation's wall time to its cumulative total.
+/// Charge an oracle invocation's wall time to its cumulative total
+/// (and mirror it into the live registry for mid-campaign scrapes).
 fn charge(out: &mut CampaignOutcome, oracle: &str, t: Instant) {
+    let elapsed = t.elapsed();
     *out.per_oracle_elapsed
         .entry(oracle.to_string())
-        .or_default() += t.elapsed();
+        .or_default() += elapsed;
+    if obs::enabled() {
+        obs::add(
+            oracle_counter(oracle),
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        );
+        obs::observe(oracle_counter_hist(oracle), elapsed);
+    }
+}
+
+/// The per-oracle latency histogram behind the counter (quantiles in
+/// `/metrics`).
+fn oracle_counter_hist(oracle: &str) -> &'static str {
+    match oracle {
+        "sim_grid" => "fuzz.oracle.sim_grid",
+        "mode_parity" => "fuzz.oracle.mode_parity",
+        "edit_sequence" => "fuzz.oracle.edit_sequence",
+        "portfolio_parity" => "fuzz.oracle.portfolio_parity",
+        _ => "fuzz.oracle.bug_injection",
+    }
 }
 
 /// One campaign case: generate, run every oracle (charging each one's
@@ -299,12 +347,16 @@ fn run_case(
                 continue;
             }
             out.injections += 1;
+            obs::add("fuzz.injections", 1);
             let bug_case = params.build_from(mutated.clone());
             let t = Instant::now();
             let caught = bug_oracle(&bug_case, mix(case_seed, 3));
             charge(out, "bug_injection", t);
             match caught {
-                Ok(()) => out.injections_caught += 1,
+                Ok(()) => {
+                    out.injections_caught += 1;
+                    obs::add("fuzz.injections_caught", 1);
+                }
                 Err(d) => {
                     // The failing condition is the bug ESCAPING, so
                     // the repro's oracle must be BugMissed — a

@@ -1,0 +1,566 @@
+//! The live-telemetry endpoint: a dependency-free blocking HTTP server
+//! (std `TcpListener`, thread-per-connection, graceful shutdown flag)
+//! that lets anyone ask a *running* daemon what it is doing.
+//!
+//! Three endpoints:
+//!
+//! * `GET /metrics` — the shared status document ([`status_body`]):
+//!   round count, verdict, last-round delta metrics, and the full
+//!   registry snapshot as JSON. `?format=prom` renders the same
+//!   snapshot as Prometheus text exposition instead.
+//! * `GET /healthz` — process uptime, last-round age, and an ok/fail
+//!   verdict; stale or failing state answers `503` so a probe needs no
+//!   body parsing.
+//! * `GET /trace?last=N` — the most recent `N` flight-recorder spans
+//!   as loadable Chrome trace JSON.
+//!
+//! Handlers only *read* (snapshot merges, ring copies) — a scrape
+//! never records into the registry, which is what makes the final
+//! scrape byte-for-value equal to the `--metrics-json` file written
+//! through the same renderer.
+//!
+//! [`Status`] is deliberately the **single** round-increment site:
+//! the totals line, the metrics file, and `/metrics` all read the same
+//! counter, so they cannot disagree across rejected rounds.
+
+use crate::metrics::{MetricsSnapshot, Registry, BUCKET_BOUNDS_US};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared round/verdict state between the observed loop (writer) and
+/// the endpoint (reader). One instance per daemon; rounds are counted
+/// *here and nowhere else* so every surface agrees.
+pub struct Status {
+    start: Instant,
+    stale_after: Option<Duration>,
+    inner: Mutex<StatusInner>,
+}
+
+struct StatusInner {
+    rounds: u64,
+    ok: bool,
+    last_round: Option<Instant>,
+    last_round_secs: f64,
+    delta: Option<MetricsSnapshot>,
+}
+
+impl Status {
+    /// A fresh status: zero rounds, ok, no staleness threshold unless
+    /// given one.
+    pub fn new(stale_after: Option<Duration>) -> Arc<Status> {
+        Arc::new(Status {
+            start: Instant::now(),
+            stale_after,
+            inner: Mutex::new(StatusInner {
+                rounds: 0,
+                ok: true,
+                last_round: None,
+                last_round_secs: 0.0,
+                delta: None,
+            }),
+        })
+    }
+
+    /// Record one completed round — verified, violated, or rejected —
+    /// and return the new round count. This is the single increment
+    /// site shared by the totals line, the metrics file and the
+    /// `/metrics` endpoint.
+    pub fn note_round(&self, ok: bool, elapsed: Duration, delta: Option<MetricsSnapshot>) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        inner.rounds += 1;
+        inner.ok = ok;
+        inner.last_round = Some(Instant::now());
+        inner.last_round_secs = elapsed.as_secs_f64();
+        inner.delta = delta;
+        inner.rounds
+    }
+
+    /// Record the baseline (round zero) without burning a round
+    /// number: it refreshes the verdict and the staleness clock only.
+    pub fn note_baseline(&self, ok: bool, elapsed: Duration, delta: Option<MetricsSnapshot>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.ok = ok;
+        inner.last_round = Some(Instant::now());
+        inner.last_round_secs = elapsed.as_secs_f64();
+        inner.delta = delta;
+    }
+
+    /// Rounds completed so far (baseline excluded).
+    pub fn rounds(&self) -> u64 {
+        self.inner.lock().unwrap().rounds
+    }
+
+    /// The most recent round's verdict (`true` before any round).
+    pub fn ok(&self) -> bool {
+        self.inner.lock().unwrap().ok
+    }
+
+    /// Seconds since the last completed round (baseline counts), or
+    /// since process start when no round has run yet.
+    fn age(&self) -> Duration {
+        self.inner
+            .lock()
+            .unwrap()
+            .last_round
+            .unwrap_or(self.start)
+            .elapsed()
+    }
+
+    /// Whether the staleness threshold (if any) has been exceeded.
+    fn stale(&self) -> bool {
+        self.stale_after.is_some_and(|t| self.age() > t)
+    }
+}
+
+/// The status document shared by the `--metrics-json` file and the
+/// `/metrics` endpoint: round count, verdict, the last round's *delta*
+/// metrics (rates, not totals), and the full cumulative snapshot.
+/// Deliberately contains no wall-clock-dependent field, so a scrape
+/// and a file written after the same round are byte-for-value equal.
+pub fn status_json(status: &Status, reg: &Registry) -> Value {
+    let inner = status.inner.lock().unwrap();
+    let last_round = match &inner.delta {
+        None => Value::Null,
+        Some(d) => Value::Object(vec![
+            ("seconds".to_string(), Value::Float(inner.last_round_secs)),
+            ("metrics".to_string(), d.to_json()),
+        ]),
+    };
+    Value::Object(vec![
+        ("rounds".to_string(), Value::UInt(inner.rounds)),
+        ("ok".to_string(), Value::Bool(inner.ok)),
+        ("last_round".to_string(), last_round),
+        ("metrics".to_string(), reg.snapshot().to_json()),
+    ])
+}
+
+/// [`status_json`] rendered as pretty JSON — the exact bytes both the
+/// metrics file and `/metrics` serve.
+pub fn status_body(status: &Status, reg: &Registry) -> String {
+    serde_json::to_string_pretty(&status_json(status, reg)).unwrap_or_default()
+}
+
+/// Atomically (tmp + rename) write [`status_body`] to `path`, so a
+/// polling reader never observes a half-written JSON.
+pub fn write_status_file(path: &Path, status: &Status, reg: &Registry) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, status_body(status, reg))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The `/healthz` answer: `(http_status, body)`. `503` when the last
+/// round failed or the staleness threshold is exceeded.
+fn healthz(status: &Status) -> (u16, Value) {
+    let ok = status.ok();
+    let stale = status.stale();
+    let verdict = if !ok {
+        "failing"
+    } else if stale {
+        "stale"
+    } else {
+        "ok"
+    };
+    let body = Value::Object(vec![
+        ("status".to_string(), Value::Str(verdict.to_string())),
+        (
+            "uptime_seconds".to_string(),
+            Value::Float(status.start.elapsed().as_secs_f64()),
+        ),
+        ("rounds".to_string(), Value::UInt(status.rounds())),
+        ("ok".to_string(), Value::Bool(ok)),
+        (
+            "last_round_age_seconds".to_string(),
+            Value::Float(status.age().as_secs_f64()),
+        ),
+        (
+            "stale_after_seconds".to_string(),
+            match status.stale_after {
+                Some(t) => Value::Float(t.as_secs_f64()),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    (if ok && !stale { 200 } else { 503 }, body)
+}
+
+/// A metric name as a Prometheus metric name: `lightyear_` prefix,
+/// non-`[a-zA-Z0-9_]` characters mapped to `_`.
+fn prom_name(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 10);
+    s.push_str("lightyear_");
+    for c in name.chars() {
+        s.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    s
+}
+
+/// The registry snapshot plus round status as Prometheus text
+/// exposition (version 0.0.4). Histograms are exported in seconds with
+/// cumulative `le` buckets plus `_sum` / `_count` and pre-computed
+/// p50/p95/p99 quantile samples.
+pub fn prometheus_text(status: &Status, reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = format!("{}_seconds", prom_name(name));
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cum = 0u64;
+        for (i, &b) in h.buckets.iter().enumerate() {
+            cum += b;
+            match BUCKET_BOUNDS_US.get(i) {
+                Some(&us) => out.push_str(&format!(
+                    "{n}_bucket{{le=\"{le}\"}} {cum}\n",
+                    le = us as f64 / 1_000_000.0
+                )),
+                None => out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cum}\n")),
+            }
+        }
+        out.push_str(&format!("{n}_sum {}\n", h.sum_ns as f64 / 1e9));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+        for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "{n}{{quantile=\"{label}\"}} {}\n",
+                h.quantile_ns(q) as f64 / 1e9
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "# TYPE lightyear_rounds_total counter\nlightyear_rounds_total {}\n",
+        status.rounds()
+    ));
+    out.push_str(&format!(
+        "# TYPE lightyear_ok gauge\nlightyear_ok {}\n",
+        if status.ok() { 1 } else { 0 }
+    ));
+    out.push_str(&format!(
+        "# TYPE lightyear_uptime_seconds gauge\nlightyear_uptime_seconds {}\n",
+        status.start.elapsed().as_secs_f64()
+    ));
+    out
+}
+
+/// A running telemetry server. Dropping it stops the accept loop
+/// (graceful: the flag is set, the blocking `accept` is unblocked by a
+/// self-connection, and the thread is joined).
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The actually-bound address (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve `/metrics`, `/healthz`
+/// and `/trace` from `reg` + `status` until the returned handle drops.
+pub fn serve(
+    addr: &str,
+    reg: Arc<Registry>,
+    status: Arc<Status>,
+) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("obs-http".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let (reg, status) = (reg.clone(), status.clone());
+                // Thread-per-connection: handlers are read-only and
+                // short-lived; a slow client cannot stall the next
+                // scrape.
+                let _ = std::thread::Builder::new()
+                    .name("obs-http-conn".to_string())
+                    .spawn(move || handle_conn(stream, &reg, &status));
+            }
+        })?;
+    Ok(TelemetryServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Cap on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+fn handle_conn(mut stream: TcpStream, reg: &Registry, status: &Status) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head (we never accept bodies).
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return respond(&mut stream, 400, "text/plain", "request too large\n");
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let param = |key: &str| {
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.to_string())
+    };
+    match path {
+        "/metrics" => {
+            if param("format").as_deref() == Some("prom") {
+                let body = prometheus_text(status, reg);
+                respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+            } else {
+                let body = status_body(status, reg);
+                respond(&mut stream, 200, "application/json", &body)
+            }
+        }
+        "/healthz" => {
+            let (code, v) = healthz(status);
+            let body = serde_json::to_string_pretty(&v).unwrap_or_default();
+            respond(&mut stream, code, "application/json", &body)
+        }
+        "/trace" => {
+            let last = param("last")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(256);
+            let body =
+                serde_json::to_string_pretty(&reg.chrome_trace_last(last)).unwrap_or_default();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {len}\r\nConnection: close\r\n\r\n",
+        len = body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Raw one-shot HTTP GET against a served address; returns
+    /// `(status_code, body)`.
+    pub(crate) fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let code = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn status_has_a_single_increment_site() {
+        let status = Status::new(None);
+        status.note_baseline(true, Duration::from_millis(3), None);
+        assert_eq!(status.rounds(), 0, "baseline must not burn a round");
+        assert_eq!(status.note_round(true, Duration::from_millis(1), None), 1);
+        assert_eq!(status.note_round(false, Duration::from_millis(1), None), 2);
+        assert_eq!(status.rounds(), 2);
+        assert!(!status.ok());
+    }
+
+    #[test]
+    fn status_body_matches_file_bytes_and_has_delta() {
+        let reg = Registry::new();
+        reg.counter("smt.solves").add(5);
+        let before = reg.snapshot();
+        reg.counter("smt.solves").add(3);
+        let status = Status::new(None);
+        status.note_round(
+            true,
+            Duration::from_millis(10),
+            Some(reg.snapshot().delta_since(&before)),
+        );
+        let body = status_body(&status, &reg);
+        let path = std::env::temp_dir().join(format!("obs-status-{}.json", std::process::id()));
+        write_status_file(&path, &status, &reg).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), body);
+        let _ = std::fs::remove_file(&path);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("rounds").and_then(Value::as_u64), Some(1));
+        let delta = v
+            .get("last_round")
+            .and_then(|lr| lr.get("metrics"))
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("smt.solves"))
+            .and_then(Value::as_u64);
+        assert_eq!(delta, Some(3), "last_round carries the delta, not totals");
+        let total = v
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("smt.solves"))
+            .and_then(Value::as_u64);
+        assert_eq!(total, Some(8));
+    }
+
+    #[test]
+    fn healthz_flags_failures_and_staleness() {
+        let status = Status::new(Some(Duration::from_millis(20)));
+        let (code, v) = healthz(&status);
+        assert_eq!(code, 200);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        status.note_round(false, Duration::from_millis(1), None);
+        let (code, v) = healthz(&status);
+        assert_eq!(code, 503);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("failing"));
+        status.note_round(true, Duration::from_millis(1), None);
+        assert_eq!(healthz(&status).0, 200);
+        std::thread::sleep(Duration::from_millis(40));
+        let (code, v) = healthz(&status);
+        assert_eq!(code, 503, "quiet past the threshold must go stale");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("stale"));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("smt.solves").add(7);
+        reg.gauge("orchestrator.queue_depth").set(3);
+        for _ in 0..10 {
+            reg.histogram("round.wall").record_ns(2_000_000); // 2ms
+        }
+        let status = Status::new(None);
+        status.note_round(true, Duration::from_millis(1), None);
+        let text = prometheus_text(&status, &reg);
+        assert!(text.contains("# TYPE lightyear_smt_solves counter\nlightyear_smt_solves 7\n"));
+        assert!(text.contains("lightyear_orchestrator_queue_depth 3\n"));
+        assert!(text.contains("# TYPE lightyear_round_wall_seconds histogram\n"));
+        assert!(text.contains("lightyear_round_wall_seconds_bucket{le=\"+Inf\"} 10\n"));
+        assert!(text.contains("lightyear_round_wall_seconds_count 10\n"));
+        assert!(text.contains("lightyear_round_wall_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("lightyear_rounds_total 1\n"));
+        assert!(text.contains("lightyear_ok 1\n"));
+        // Cumulative le buckets: the 2ms observations appear from the
+        // 2.5ms bound on.
+        assert!(text.contains("lightyear_round_wall_seconds_bucket{le=\"0.0025\"} 10\n"));
+        assert!(text.contains("lightyear_round_wall_seconds_bucket{le=\"0.001\"} 0\n"));
+    }
+
+    #[test]
+    fn server_serves_metrics_healthz_trace_and_404s() {
+        let reg = Registry::new();
+        reg.counter("c").add(1);
+        {
+            let _s = crate::Span::start(reg.clone(), "unit", Vec::new());
+        }
+        let status = Status::new(None);
+        let server = serve("127.0.0.1:0", reg.clone(), status.clone()).unwrap();
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert_eq!(body, status_body(&status, &reg), "scrape == renderer bytes");
+
+        let (code, body) = get(addr, "/metrics?format=prom");
+        assert_eq!(code, 200);
+        assert!(body.contains("lightyear_c 1\n"));
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert!(v.get("uptime_seconds").and_then(Value::as_f64).is_some());
+
+        let (code, body) = get(addr, "/trace?last=1");
+        assert_eq!(code, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(
+            v.get("traceEvents").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+
+        assert_eq!(get(addr, "/nope").0, 404);
+
+        // Non-GET is rejected.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405"));
+
+        drop(server); // graceful shutdown must not hang or panic
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may still accept briefly; a request must fail.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+}

@@ -20,9 +20,12 @@
 //! obs::uninstall();
 //! ```
 
+pub mod export;
+pub mod http;
 pub mod metrics;
 pub mod trace;
 
+pub use export::{EventRecord, ExportSink, Level};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use trace::{Span, SpanRecord};
 
@@ -158,6 +161,73 @@ pub fn span_with(name: &'static str, args: Vec<(&'static str, String)>) -> Span 
     }
 }
 
+/// Emit a structured event with pre-rendered fields (used by
+/// [`event!`]). Routed to the in-memory event ring, the last-error
+/// latch (error level), and the export sink if one is attached.
+pub fn event_with(level: Level, target: &'static str, fields: Vec<(&'static str, String)>) {
+    with(|reg| {
+        let ts = reg.now_ns();
+        reg.record_event(EventRecord::new(level, target, fields, ts));
+    });
+}
+
+/// Latch `msg` as the registry's last error (the flight-recorder dump
+/// headline) and emit it as an error-level event. No-op when disabled.
+pub fn record_error(msg: &str) {
+    with(|reg| reg.record_error(msg));
+}
+
+/// Write the flight-recorder dump (recent spans as a Chrome trace,
+/// recent events, last error, metrics snapshot) to `path`. Returns
+/// `false` when disabled or the write fails — a post-mortem dump must
+/// never take down the exiting process.
+pub fn dump_flight(path: &std::path::Path) -> bool {
+    with(|reg| {
+        let body = serde_json::to_string_pretty(&reg.flight_json()).unwrap_or_default();
+        std::fs::write(path, body).is_ok()
+    })
+    .unwrap_or(false)
+}
+
+/// Chain a panic hook that dumps the flight recorder to `path` before
+/// the default hook prints the panic — the "post-mortems need no
+/// re-run" half of the flight recorder.
+pub fn install_panic_flight(path: &std::path::Path) {
+    let path = path.to_path_buf();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        with(|reg| reg.record_error(&format!("panic: {info}")));
+        dump_flight(&path);
+        prev(info);
+    }));
+}
+
+/// Emit a structured event:
+/// `obs::event!(info, "watch.round", round = n, verdict = "pass")`.
+/// Level is one of the `info` / `warn` / `error` idents. Field
+/// expressions are not evaluated when no sink is installed.
+#[macro_export]
+macro_rules! event {
+    (info, $target:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!(@emit $crate::Level::Info, $target $(, $k = $v)*)
+    };
+    (warn, $target:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!(@emit $crate::Level::Warn, $target $(, $k = $v)*)
+    };
+    (error, $target:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!(@emit $crate::Level::Error, $target $(, $k = $v)*)
+    };
+    (@emit $level:expr, $target:expr $(, $k:ident = $v:expr)*) => {
+        if $crate::enabled() {
+            $crate::event_with(
+                $level,
+                $target,
+                ::std::vec![$((stringify!($k), ::std::string::ToString::to_string(&$v))),*],
+            );
+        }
+    };
+}
+
 /// Open a named span: `obs::span!("encode_group", group = key)`.
 /// Argument expressions are not evaluated when no sink is installed,
 /// so call sites stay near-free in the disabled case.
@@ -225,5 +295,48 @@ mod tests {
         uninstall();
         add("a", 100);
         assert_eq!(reg.snapshot().counter("a"), 5);
+    }
+
+    #[test]
+    fn events_ring_latch_errors_and_reach_the_flight_dump() {
+        let _l = test_lock();
+        let reg = install();
+        event!(info, "watch.round", round = 1, verdict = "pass");
+        event!(error, "watch.round", round = 2, err = "bad cfg");
+        let events = reg.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].level, Level::Info);
+        assert_eq!(
+            reg.last_error().as_deref(),
+            Some("watch.round: round=2 err=bad cfg")
+        );
+        let flight = reg.flight_json();
+        let text = serde_json::to_string(&flight).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(back.get("traceEvents").is_some());
+        assert_eq!(
+            back.get("events")
+                .and_then(serde_json::Value::as_array)
+                .map(Vec::len),
+            Some(2)
+        );
+        assert!(back
+            .get("last_error")
+            .and_then(serde_json::Value::as_str)
+            .unwrap()
+            .contains("bad cfg"));
+        assert!(back.get("metrics").is_some());
+        uninstall();
+        // Disabled: field expressions must not even evaluate.
+        let mut hit = false;
+        event!(
+            info,
+            "gone",
+            x = {
+                hit = true;
+                1
+            }
+        );
+        assert!(!hit);
     }
 }

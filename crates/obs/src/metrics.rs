@@ -3,11 +3,12 @@
 //! `fetch_add`), readers merge all shards, so concurrent increments
 //! from the work-stealing pool are exact without a hot lock.
 
+use crate::export::{EventRecord, EventRing, ExportSink, Level, EVENT_RING_CAP};
 use crate::trace::{SpanRecord, TraceRing};
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Number of write shards per metric. Threads hash onto shards by a
@@ -160,6 +161,52 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// The estimated `q`-quantile (0 < q <= 1) in nanoseconds, by
+    /// linear interpolation inside the bucket the quantile rank lands
+    /// in (the same estimator as Prometheus' `histogram_quantile`).
+    /// Ranks that land in the overflow bucket are clamped to the last
+    /// finite bound — the estimate is then a lower bound. 0 when the
+    /// histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().clamp(1.0, self.count as f64) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if n == 0 || cum < rank {
+                continue;
+            }
+            let last = BUCKET_BOUNDS_US.len() - 1;
+            if i > last {
+                return BUCKET_BOUNDS_US[last] * 1_000;
+            }
+            let lo_us = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+            let hi_us = BUCKET_BOUNDS_US[i];
+            let frac = (rank - (cum - n)) as f64 / n as f64;
+            return ((lo_us as f64 + frac * (hi_us - lo_us) as f64) * 1_000.0) as u64;
+        }
+        0
+    }
+
+    /// This snapshot minus `prev` (per-bucket, count and sum), i.e. the
+    /// observations recorded between the two snapshots.
+    fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(prev.count),
+            sum_ns: self.sum_ns.saturating_sub(prev.sum_ns),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b.saturating_sub(prev.buckets.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
 /// The sink: named metrics plus the span ring. Created once per
 /// profiled run and installed globally via [`crate::install_registry`].
 pub struct Registry {
@@ -169,6 +216,9 @@ pub struct Registry {
     histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
     calls: Counter,
     trace: TraceRing,
+    events: EventRing,
+    last_error: Mutex<Option<String>>,
+    export: RwLock<Option<Arc<ExportSink>>>,
 }
 
 impl Registry {
@@ -187,6 +237,9 @@ impl Registry {
             histograms: RwLock::new(BTreeMap::new()),
             calls: Counter::default(),
             trace: TraceRing::new(cap),
+            events: EventRing::new(EVENT_RING_CAP),
+            last_error: Mutex::new(None),
+            export: RwLock::new(None),
         })
     }
 
@@ -240,6 +293,83 @@ impl Registry {
     /// All spans currently in the ring, in completion order.
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.trace.drain_copy()
+    }
+
+    /// All events currently in the ring, in emission order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.events.drain_copy()
+    }
+
+    /// Route one event: ring it, latch error-level events as the last
+    /// error, and stream it to the export sink if one is attached.
+    pub fn record_event(&self, rec: EventRecord) {
+        self.note_call();
+        if rec.level == Level::Error {
+            *self.last_error.lock().unwrap() = Some(rec.render());
+        }
+        if let Some(sink) = self.export() {
+            sink.append(&rec.to_json());
+        }
+        self.events.push(rec);
+    }
+
+    /// Latch a free-form last error (the flight dump's headline) and
+    /// ring it as an error event.
+    pub fn record_error(&self, msg: &str) {
+        self.record_event(EventRecord::new(
+            Level::Error,
+            "error",
+            vec![("message", msg.to_string())],
+            self.now_ns(),
+        ));
+    }
+
+    /// The most recent error-level event, rendered.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().unwrap().clone()
+    }
+
+    /// Nanoseconds since the registry epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Attach (or with `None` detach) a streaming JSONL sink: every
+    /// event and completed span from now on is appended and flushed as
+    /// one line.
+    pub fn set_export(&self, sink: Option<Arc<ExportSink>>) {
+        *self.export.write().unwrap() = sink;
+    }
+
+    /// The attached export sink, if any.
+    pub fn export(&self) -> Option<Arc<ExportSink>> {
+        self.export.read().unwrap().clone()
+    }
+
+    /// The flight-recorder dump: one self-contained post-mortem JSON —
+    /// the recent-span ring as a loadable Chrome trace, the recent
+    /// event ring, the last error, and the full metrics snapshot.
+    pub fn flight_json(&self) -> Value {
+        let mut v = self.chrome_trace();
+        if let Value::Object(map) = &mut v {
+            map.push((
+                "events".to_string(),
+                Value::Array(self.events().iter().map(EventRecord::to_json).collect()),
+            ));
+            map.push((
+                "events_dropped".to_string(),
+                Value::UInt(self.events.dropped()),
+            ));
+            map.push((
+                "last_error".to_string(),
+                match self.last_error() {
+                    Some(e) => Value::Str(e),
+                    None => Value::Null,
+                },
+            ));
+            map.push(("metrics".to_string(), self.snapshot().to_json()));
+        }
+        v
     }
 
     /// Total span durations aggregated by `(span name, first arg)` —
@@ -305,8 +435,35 @@ impl MetricsSnapshot {
         self.gauges.get(name).copied().unwrap_or(0)
     }
 
+    /// This snapshot minus `prev`: per-name counter and histogram
+    /// differences (what happened *between* the two snapshots — the
+    /// source of per-round rates), with gauges passed through as their
+    /// current level (a gauge delta is meaningless).
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v.saturating_sub(prev.counter(k))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let d = match prev.histograms.get(k) {
+                        Some(p) => h.delta_since(p),
+                        None => h.clone(),
+                    };
+                    (k.clone(), d)
+                })
+                .collect(),
+        }
+    }
+
     /// JSON rendering: `{"counters": {...}, "gauges": {...},
-    /// "histograms": {name: {count, sum_ns, buckets}}}`.
+    /// "histograms": {name: {count, sum_ns, p50_ns, p95_ns, p99_ns,
+    /// buckets}}}`.
     pub fn to_json(&self) -> Value {
         let counters: Vec<(String, Value)> = self
             .counters
@@ -327,6 +484,9 @@ impl MetricsSnapshot {
                     Value::Object(vec![
                         ("count".to_string(), Value::UInt(h.count)),
                         ("sum_ns".to_string(), Value::UInt(h.sum_ns)),
+                        ("p50_ns".to_string(), Value::UInt(h.quantile_ns(0.50))),
+                        ("p95_ns".to_string(), Value::UInt(h.quantile_ns(0.95))),
+                        ("p99_ns".to_string(), Value::UInt(h.quantile_ns(0.99))),
                         (
                             "buckets".to_string(),
                             Value::Array(h.buckets.iter().map(|&b| Value::UInt(b)).collect()),
@@ -407,6 +567,88 @@ mod tests {
         a.add(1);
         b.add(2);
         assert_eq!(reg.snapshot().counter("same"), 3);
+    }
+
+    #[test]
+    fn quantiles_match_known_distributions() {
+        // Uniform over [0, 100ms): 1000 observations, one per 100us.
+        // Every rank interpolates close to its true value (bucket edges
+        // bound the error by the bucket width).
+        let h = Histogram::default();
+        for i in 0..1_000u64 {
+            h.record_ns(i * 100_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_ns(0.50);
+        let p95 = s.quantile_ns(0.95);
+        let p99 = s.quantile_ns(0.99);
+        // True p50 = 50ms, inside the (25ms, 50ms] bucket.
+        assert!((25_000_000..=50_000_000).contains(&p50), "p50={p50}");
+        // True p95 = 95ms, inside the (50ms, 100ms] bucket.
+        assert!((50_000_000..=100_000_000).contains(&p95), "p95={p95}");
+        assert!(p99 >= p95 && p95 >= p50, "quantiles must be monotone");
+        // Interpolation should land within one bucket-width of truth.
+        assert!((p50 as i64 - 50_000_000).unsigned_abs() <= 25_000_000);
+        assert!((p95 as i64 - 95_000_000).unsigned_abs() <= 50_000_000);
+
+        // A point mass: every observation in one bucket — all quantiles
+        // land inside that bucket's bounds.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record_ns(7_000); // 7us -> (5us, 10us]
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.95, 0.99] {
+            let v = s.quantile_ns(q);
+            assert!((5_000..=10_000).contains(&v), "q={q} v={v}");
+        }
+
+        // Bimodal: 90 fast (≈1us) + 10 slow (≈900ms). p50 sits in the
+        // fast mode, p95/p99 in the slow mode.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record_ns(1_000);
+        }
+        for _ in 0..10 {
+            h.record_ns(900_000_000);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_ns(0.50) <= 1_000);
+        assert!(s.quantile_ns(0.95) >= 500_000_000);
+        assert!(s.quantile_ns(0.99) >= 500_000_000);
+
+        // Overflow clamps to the last finite bound, empty returns 0.
+        let h = Histogram::default();
+        h.record_ns(10_000_000_000);
+        assert_eq!(h.snapshot().quantile_ns(0.99), 1_000_000 * 1_000);
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        };
+        assert_eq!(empty.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_round() {
+        let reg = Registry::new();
+        reg.counter("solves").add(10);
+        reg.gauge("depth").set(3);
+        reg.histogram("lat").record_ns(5_000);
+        let before = reg.snapshot();
+        reg.counter("solves").add(7);
+        reg.counter("fresh").add(2); // appears only after `before`
+        reg.gauge("depth").set(9);
+        reg.histogram("lat").record_ns(50_000);
+        let after = reg.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.counter("solves"), 7);
+        assert_eq!(d.counter("fresh"), 2);
+        // Gauges pass through as current levels.
+        assert_eq!(d.gauge("depth"), 9);
+        let lat = &d.histograms["lat"];
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum_ns, 50_000);
     }
 
     #[test]

@@ -112,13 +112,17 @@ impl Drop for Span {
                 .duration_since(a.reg.epoch())
                 .as_nanos()
                 .min(u64::MAX as u128) as u64;
-            a.reg.trace_ring().push(SpanRecord {
+            let rec = SpanRecord {
                 name: a.name,
                 args: a.args,
                 tid: thread_index(),
                 start_ns,
                 dur_ns,
-            });
+            };
+            if let Some(sink) = a.reg.export() {
+                sink.append(&crate::export::span_line(&rec));
+            }
+            a.reg.trace_ring().push(rec);
         }
     }
 }
@@ -167,6 +171,27 @@ impl Registry {
             (
                 "spans_dropped".to_string(),
                 Value::UInt(self.trace_ring().dropped()),
+            ),
+        ])
+    }
+
+    /// Like [`Registry::chrome_trace`] but keeping only the `n` most
+    /// recently *completed* spans (the `/trace?last=N` view — a bounded
+    /// answer no matter how long the daemon has run).
+    pub fn chrome_trace_last(&self, n: usize) -> Value {
+        let mut spans = self.spans();
+        let skipped = spans.len().saturating_sub(n);
+        spans.drain(..skipped);
+        spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
+        Value::Object(vec![
+            (
+                "traceEvents".to_string(),
+                Value::Array(spans.iter().map(event_json).collect()),
+            ),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+            (
+                "spans_dropped".to_string(),
+                Value::UInt(self.trace_ring().dropped() + skipped as u64),
             ),
         ])
     }

@@ -48,9 +48,21 @@ impl Executor {
             return (Vec::new(), 0);
         }
         let threads = self.threads.min(n);
+        // Live queue depth: pending jobs, decremented as each
+        // completes, so a mid-batch `/metrics` scrape shows progress.
+        obs::gauge_set("orchestrator.queue_depth", n as u64);
         if threads <= 1 {
             let _span = obs::span!("worker", wid = 0, jobs = n);
-            return (items.iter().map(&f).collect(), 0);
+            let results = items
+                .iter()
+                .enumerate()
+                .map(|(done, item)| {
+                    let r = f(item);
+                    obs::gauge_set("orchestrator.queue_depth", (n - done - 1) as u64);
+                    r
+                })
+                .collect();
+            return (results, 0);
         }
 
         // Round-robin seeding: index i goes to worker i % threads.
@@ -61,12 +73,14 @@ impl Executor {
         }
 
         let steals = AtomicU64::new(0);
+        let done = AtomicU64::new(0);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         std::thread::scope(|scope| {
             for (wid, my) in workers.into_iter().enumerate() {
                 let tx = tx.clone();
                 let stealers = &stealers;
                 let steals = &steals;
+                let done = &done;
                 let f = &f;
                 scope.spawn(move || {
                     // One span per worker thread: the work-stealing
@@ -87,7 +101,15 @@ impl Executor {
                         });
                         match job {
                             Some(i) => {
-                                if tx.send((i, f(&items[i]))).is_err() {
+                                let r = f(&items[i]);
+                                if obs::enabled() {
+                                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                    obs::gauge_set(
+                                        "orchestrator.queue_depth",
+                                        (n as u64).saturating_sub(d),
+                                    );
+                                }
+                                if tx.send((i, r)).is_err() {
                                     return;
                                 }
                             }
