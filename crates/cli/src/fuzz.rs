@@ -13,7 +13,14 @@ pub(crate) fn cmd_fuzz(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             f @ ("--seed" | "--cases" | "--families" | "--edit-steps" | "--sim-rounds"
-            | "--repro-dir" | "--bench-json" | "--replay" | "--listen" | "--flight-json") => {
+            | "--repro-dir" | "--bench-json" | "--replay") => {
+                if i + 1 >= args.len() {
+                    eprintln!("error: {f} needs a value");
+                    return usage();
+                }
+                i += 2;
+            }
+            f if crate::telemetry::TelemetryOpts::takes(f) => {
                 if i + 1 >= args.len() {
                     eprintln!("error: {f} needs a value");
                     return usage();
@@ -94,25 +101,24 @@ pub(crate) fn cmd_fuzz(args: &[String]) -> ExitCode {
     // Always-on flight recorder: live per-family / per-oracle counters
     // accumulate in the registry as the campaign runs, so a `--listen`
     // scrape shows mid-flight progress, and a panicking case leaves a
-    // post-mortem without a re-run.
-    let flight_path =
-        PathBuf::from(flag_value(args, "--flight-json").unwrap_or_else(|| "flight.json".into()));
-    let reg = obs::install();
-    obs::install_panic_flight(&flight_path);
-    let status = obs::http::Status::new(None);
-    let _server = match flag_value(args, "--listen") {
-        Some(addr) => match obs::http::serve(&addr, reg.clone(), status.clone()) {
-            Ok(s) => {
-                println!("fuzz: listening on http://{}", s.addr());
-                Some(s)
-            }
-            Err(e) => {
-                eprintln!("error: cannot listen on {addr}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => None,
+    // post-mortem without a re-run. Flags and bring-up are shared with
+    // `watch` and `serve` via TelemetryOpts.
+    let tele_opts = match crate::telemetry::TelemetryOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
     };
+    let flight_path = tele_opts.flight_json.clone();
+    let active = match tele_opts.start("fuzz", None, obs::http::DEFAULT_MAX_CONNS) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (reg, status, _server) = (active.reg, active.status, active.server);
 
     let t0 = std::time::Instant::now();
     let before = reg.snapshot();

@@ -139,7 +139,11 @@
 
 mod fuzz;
 mod profile;
+mod render;
+mod serve;
+mod session;
 mod spec;
+mod telemetry;
 mod watch;
 
 use bgp_config::{lower, parse_config, Network};
@@ -159,6 +163,9 @@ fn usage() -> ExitCode {
          [--interval-ms N] [--max-rounds N] [--cache-dir <DIR>] [--metrics-json <FILE>]\n    \
          [--listen <ADDR>] [--stale-after-ms N] [--flight-json <FILE>] [--events-jsonl <FILE>]\n  \
          lightyear plan --spec <FILE> <DIR0> <DIR1> [...]\n  \
+         lightyear serve --listen <ADDR> [--cache-root <DIR>] [--workers N]\n    \
+         [--queue-depth N] [--max-conns N] [--metrics-json <FILE>] [--stale-after-ms N]\n    \
+         [--flight-json <FILE>] [--events-jsonl <FILE>]\n  \
          lightyear fuzz [--seed N] [--cases N] [--families a,b,...] [--edit-steps K]\n    \
          [--sim-rounds R] [--no-inject] [--repro-dir <DIR>] [--bench-json <FILE>]\n    \
          [--replay <DIR>] [--listen <ADDR>] [--flight-json <FILE>]\n  \
@@ -178,6 +185,7 @@ fn main() -> ExitCode {
         "profile" => profile::cmd_profile(&args[1..]),
         "watch" => watch::cmd_watch(&args[1..]),
         "plan" => watch::cmd_plan(&args[1..]),
+        "serve" => serve::cmd_serve(&args[1..]),
         "fuzz" => fuzz::cmd_fuzz(&args[1..]),
         "bench-report" => cmd_bench_report(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
@@ -465,47 +473,22 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }));
         }
         if as_json {
-            let props = std::slice::from_ref(prop);
-            json_out.push(serde_json::json!({
-                "property": s.name,
-                "passed": passed,
-                "checks": report.num_checks(),
-                "solver_calls": report.solver_invocations(),
-                "total_seconds": report.total_time.as_secs_f64(),
-                "solve_seconds": report.solve_time().as_secs_f64(),
-                "failures": report.failures().iter().map(|f| {
-                    serde_json::json!({
-                        "kind": f.check.kind.to_string(),
-                        "location": f.check.location.display(topo),
-                        "route_map": f.check.map_name,
-                        "description": f.check.description,
-                    })
-                }).collect::<Vec<_>>(),
-                // Core-based blame: for every passing check solved on an
-                // assumption session, which invariant conjuncts its UNSAT
-                // proof actually needed.
-                "cores": {
-                    let by_id = verifier.check_conjuncts_all(props, inv);
-                    report.cores().iter().map(|(check, core)| {
-                    let conjs = by_id
-                        .get(check.id)
-                        .cloned()
-                        .flatten()
-                        .unwrap_or_default();
-                    serde_json::json!({
-                        "check": check.id as u64,
-                        "kind": check.kind.to_string(),
-                        "location": check.location.display(topo),
-                        "core": core.iter().map(|&i| i as u64).collect::<Vec<_>>(),
-                        "load_bearing": core
-                            .iter()
-                            .filter_map(|&i| conjs.get(i).cloned())
-                            .collect::<Vec<_>>(),
-                        "conjuncts": conjs.len() as u64,
-                    })
-                }).collect::<Vec<_>>()
-                },
-            }));
+            // Core-based blame rides along: for every passing check
+            // solved on an assumption session, which invariant conjuncts
+            // its UNSAT proof actually needed. Rendered through the
+            // shared api report types (golden-pinned bytes).
+            let by_id = verifier.check_conjuncts_all(std::slice::from_ref(prop), inv);
+            json_out.push(
+                render::property_report(
+                    &s.name,
+                    false,
+                    report,
+                    topo,
+                    &by_id,
+                    Some(render::run_timing(report)),
+                )
+                .to_value(),
+            );
         } else {
             println!(
                 "{}: {} ({} checks)",
@@ -560,38 +543,9 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
         if as_json {
             let conjs = verifier.liveness_check_conjuncts(&resolved);
-            json_out.push(serde_json::json!({
-                "property": l.name,
-                "kind": "liveness",
-                "passed": passed,
-                "checks": report.num_checks(),
-                "failures": report.failures().iter().map(|f| {
-                    serde_json::json!({
-                        "kind": f.check.kind.to_string(),
-                        "location": f.check.location.display(topo),
-                        "route_map": f.check.map_name,
-                        "description": f.check.description,
-                    })
-                }).collect::<Vec<_>>(),
-                "cores": report.cores().iter().map(|(check, core)| {
-                    let names = conjs
-                        .get(check.id)
-                        .cloned()
-                        .flatten()
-                        .unwrap_or_default();
-                    serde_json::json!({
-                        "check": check.id as u64,
-                        "kind": check.kind.to_string(),
-                        "location": check.location.display(topo),
-                        "core": core.iter().map(|&i| i as u64).collect::<Vec<_>>(),
-                        "load_bearing": core
-                            .iter()
-                            .filter_map(|&i| names.get(i).cloned())
-                            .collect::<Vec<_>>(),
-                        "conjuncts": names.len() as u64,
-                    })
-                }).collect::<Vec<_>>(),
-            }));
+            json_out.push(
+                render::property_report(&l.name, true, &report, topo, &conjs, None).to_value(),
+            );
         } else {
             println!(
                 "{} (liveness): {} ({} checks)",
@@ -605,22 +559,10 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
     }
     if parallel {
-        let summary = exec.summary();
         if as_json {
-            json_out.push(serde_json::json!({
-                "orchestrator": summary,
-                "generated": exec.generated,
-                "solver_calls": exec.executed,
-                "dedup_hits": exec.dedup_hits,
-                "cache_hits": exec.cache_hits,
-                "stale_cache_entries": exec.invalidated,
-                "groups": exec.groups,
-                "warm_assumption_solves": exec.assumption_solves,
-                "dedup_ratio": exec.dedup_ratio(),
-                "threads": exec.threads,
-            }));
+            json_out.push(render::exec_doc(&exec).to_value());
         } else {
-            println!("{summary}");
+            println!("{}", exec.summary());
         }
     }
     if let Some(c) = &cache {

@@ -1,0 +1,86 @@
+//! The one bridge from engine reports to the shared [`api`] report
+//! schema. `verify --json`, `watch`/`plan` rounds, and the `serve`
+//! daemon all build their [`api::PropertyReport`]s here, so the CLI
+//! and the server render results identically by construction.
+
+use api::report::TimingDoc;
+use bgp_model::topology::Topology;
+use lightyear::check::Report;
+
+/// Render one property's [`Report`] as the shared document type.
+///
+/// `conjunct_names` is the check-id-indexed conjunct table
+/// (`Verifier::check_conjuncts_all` / `liveness_check_conjuncts`) the
+/// core indices point into. `timing` is carried by one-shot `verify`
+/// safety entries and omitted everywhere byte-stability across runs
+/// matters (liveness entries, daemon reports).
+pub(crate) fn property_report(
+    name: &str,
+    liveness: bool,
+    report: &Report,
+    topo: &Topology,
+    conjunct_names: &[Option<Vec<String>>],
+    timing: Option<TimingDoc>,
+) -> api::PropertyReport {
+    api::PropertyReport {
+        property: name.to_string(),
+        liveness,
+        passed: report.all_passed(),
+        checks: report.num_checks() as u64,
+        timing,
+        failures: report
+            .failures()
+            .iter()
+            .map(|f| api::FailureDoc {
+                kind: f.check.kind.to_string(),
+                location: f.check.location.display(topo),
+                route_map: f.check.map_name.clone(),
+                description: f.check.description.clone(),
+            })
+            .collect(),
+        cores: report
+            .cores()
+            .iter()
+            .map(|(check, core)| {
+                let conjs = conjunct_names
+                    .get(check.id)
+                    .cloned()
+                    .flatten()
+                    .unwrap_or_default();
+                api::CoreDoc {
+                    check: check.id as u64,
+                    kind: check.kind.to_string(),
+                    location: check.location.display(topo),
+                    core: core.iter().map(|&i| i as u64).collect(),
+                    load_bearing: core.iter().filter_map(|&i| conjs.get(i).cloned()).collect(),
+                    conjuncts: conjs.len() as u64,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The solver/timing statistics of a one-shot safety run.
+pub(crate) fn run_timing(report: &Report) -> TimingDoc {
+    TimingDoc {
+        solver_calls: report.solver_invocations() as u64,
+        total_seconds: report.total_time.as_secs_f64(),
+        solve_seconds: report.solve_time().as_secs_f64(),
+    }
+}
+
+/// The orchestrator-statistics entry of a parallel run.
+pub(crate) fn exec_doc(exec: &orchestrator::RunStats) -> api::ExecDoc {
+    api::ExecDoc {
+        summary: exec.summary(),
+        generated: exec.generated as u64,
+        solver_calls: exec.executed as u64,
+        dedup_hits: exec.dedup_hits as u64,
+        cache_hits: exec.cache_hits as u64,
+        stale_cache_entries: exec.invalidated as u64,
+        groups: exec.groups as u64,
+        warm_assumption_solves: exec.assumption_solves as u64,
+        dedup_ratio: exec.dedup_ratio(),
+        threads: exec.threads as u64,
+    }
+}

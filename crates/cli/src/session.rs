@@ -1,0 +1,193 @@
+//! One tenant's worth of delta-scoped verification state, shared by
+//! `watch`, `plan` and `serve`: per-spec-property [`ReverifyEngine`]s,
+//! the currently-accepted configuration set, and the optional spill
+//! directory for warm restarts. All three front-ends drive the same
+//! [`Session::round`], so a round means exactly the same thing — and
+//! produces the same [`api::PropertyReport`]s — whether it came from a
+//! file poll, a migration step, or an API request.
+
+use crate::render;
+use crate::spec::Spec;
+use bgp_config::{lower, ConfigAst};
+use delta::{diff_configs, ConfigDelta};
+use lightyear::engine::Verifier;
+use lightyear::reverify::{ReverifyEngine, ReverifyStats};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Per-spec-property engines plus the currently-accepted configuration
+/// set, carried across rounds.
+pub(crate) struct Session {
+    spec: Spec,
+    engines: Vec<ReverifyEngine>,
+    pub(crate) current: Vec<ConfigAst>,
+    /// Spill directory for the carried result caches: one subdirectory
+    /// per spec property, written after every verified round, reloaded
+    /// (passes only) on startup so a restarted daemon starts warm.
+    cache_dir: Option<PathBuf>,
+}
+
+/// What one round produced (stats merged over every property).
+pub(crate) struct RoundOutcome {
+    pub(crate) passed: bool,
+    pub(crate) stats: ReverifyStats,
+    pub(crate) delta: Option<ConfigDelta>,
+    pub(crate) elapsed: Duration,
+    /// Per-property reports rendered through the shared [`api`] schema
+    /// — deliberately without timing fields, so two rounds over the
+    /// same configurations serialize byte-identically.
+    pub(crate) reports: Vec<api::PropertyReport>,
+}
+
+fn merge(into: &mut ReverifyStats, s: &ReverifyStats) {
+    into.total += s.total;
+    into.dirty += s.dirty;
+    into.candidates += s.candidates;
+    into.reused += s.reused;
+    into.core_clean += s.core_clean;
+    into.invalidated += s.invalidated;
+    into.sessions_reused += s.sessions_reused;
+    into.sessions_created += s.sessions_created;
+    into.universe_reset |= s.universe_reset;
+}
+
+impl Session {
+    /// A fresh session. `label` prefixes log lines (`watch`, `serve`).
+    pub(crate) fn new(label: &str, spec: Spec, cache_dir: Option<PathBuf>) -> Session {
+        // With a spill directory, each property's engine starts from its
+        // reloaded cache — passing verdicts only: a pass replays soundly
+        // under an equal fingerprint, while a spilled failure's
+        // counterexample would bypass re-validation, so failures are
+        // simply re-proved after a restart.
+        let mut loaded_total = 0usize;
+        let engines = spec
+            .safety
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match &cache_dir {
+                Some(dir) => {
+                    let pdir = prop_dir(dir, i);
+                    match lightyear::load_pass_cache(&pdir) {
+                        Ok((cache, loaded)) => {
+                            loaded_total += loaded;
+                            ReverifyEngine::with_results(cache)
+                        }
+                        Err(e) => {
+                            eprintln!("warning: ignoring unreadable cache at {pdir:?}: {e}");
+                            ReverifyEngine::new()
+                        }
+                    }
+                }
+                None => ReverifyEngine::new(),
+            })
+            .collect();
+        if loaded_total > 0 {
+            println!(
+                "{label}: cache: loaded {loaded_total} entries from {}",
+                cache_dir.as_deref().unwrap_or(Path::new("?")).display()
+            );
+        }
+        Session {
+            spec,
+            engines,
+            current: Vec::new(),
+            cache_dir,
+        }
+    }
+
+    /// Spill every engine's carried result cache to the cache directory
+    /// (no-op without one). Failures are durable in the spill format but
+    /// dropped again on reload; see [`Session::new`].
+    pub(crate) fn spill(&self) {
+        let Some(dir) = &self.cache_dir else { return };
+        for (i, engine) in self.engines.iter().enumerate() {
+            if let Err(e) = lightyear::save_check_cache(&engine.cache(), &prop_dir(dir, i)) {
+                eprintln!("warning: cannot save cache to {dir:?}: {e}");
+            }
+        }
+    }
+
+    /// Verify `asts`, re-solving only what changed since the accepted
+    /// set (`full` skips the diff: round zero). On success the set is
+    /// accepted as current; on error (parse/lower/spec) the previous
+    /// state is kept so a daemon survives transient bad writes.
+    pub(crate) fn round(
+        &mut self,
+        asts: Vec<ConfigAst>,
+        full: bool,
+    ) -> Result<RoundOutcome, String> {
+        let t0 = Instant::now();
+        let delta = (!full).then(|| diff_configs(&self.current, &asts));
+        let net = lower(&asts).map_err(|e| e.to_string())?;
+        let topo = &net.topology;
+        let mut verifier = Verifier::new(topo, &net.policy);
+        for g in &self.spec.ghosts {
+            verifier = verifier.with_ghost(g.resolve(topo).map_err(|e| e.to_string())?);
+        }
+        let changed: Option<Vec<String>> = delta.as_ref().map(ConfigDelta::changed_routers);
+        // Resolve the whole spec before advancing any engine: a round is
+        // all-or-nothing, so engine state and the accepted configuration
+        // set can never drift apart on a half-failed round.
+        let resolved: Vec<_> = self
+            .spec
+            .safety
+            .iter()
+            .map(|s| s.resolve(topo).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        let mut stats = ReverifyStats::default();
+        let mut passed = true;
+        let mut reports = Vec::with_capacity(self.spec.safety.len());
+        for (engine, (s, (prop, inv))) in self
+            .engines
+            .iter_mut()
+            .zip(self.spec.safety.iter().zip(&resolved))
+        {
+            let (report, rstats) = engine.reverify(
+                &verifier,
+                std::slice::from_ref(prop),
+                inv,
+                changed.as_deref(),
+            );
+            merge(&mut stats, &rstats);
+            if !report.all_passed() {
+                passed = false;
+                println!("{}: VIOLATED", s.name);
+                print!("{}", report.format_failures(topo));
+            }
+            let conjs = verifier.check_conjuncts_all(std::slice::from_ref(prop), inv);
+            reports.push(render::property_report(
+                &s.name, false, &report, topo, &conjs, None,
+            ));
+        }
+        self.current = asts;
+        Ok(RoundOutcome {
+            passed,
+            stats,
+            delta,
+            elapsed: t0.elapsed(),
+            reports,
+        })
+    }
+}
+
+/// The per-round stats line (the daemons' primary output; the CI smoke
+/// tests grep the `dirty <n>/<total>` token).
+pub(crate) fn round_line(label: &str, o: &RoundOutcome) -> String {
+    let delta = match &o.delta {
+        Some(d) => format!("delta {d}; ", d = d.summary()),
+        None => String::new(),
+    };
+    format!(
+        "{label}: {delta}{summary}; {verdict} in {elapsed:?}",
+        summary = o.stats.summary(),
+        verdict = if o.passed { "verified" } else { "VIOLATED" },
+        elapsed = o.elapsed,
+    )
+}
+
+/// The per-property cache spill subdirectory (cache entries are keyed by
+/// structural fingerprints, which are shared *within* one property's
+/// engine; separate directories keep each engine's spill self-contained).
+pub(crate) fn prop_dir(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("prop{i}"))
+}

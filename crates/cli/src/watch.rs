@@ -4,173 +4,15 @@
 //! `lightyear::ReverifyEngine` (warm cross-run sessions + carried result
 //! cache).
 
-use crate::spec::Spec;
+use crate::session::{round_line, Session};
+use crate::telemetry::TelemetryOpts;
 use crate::{config_paths, flag_value, load_configs, load_spec, usage};
-use bgp_config::{lower, parse_config, ConfigAst};
-use delta::{diff_configs, ConfigDelta};
-use lightyear::engine::Verifier;
-use lightyear::reverify::{ReverifyEngine, ReverifyStats};
+use bgp_config::{parse_config, ConfigAst};
 use obs::http::{Status, TelemetryServer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Per-spec-property engines plus the currently-accepted configuration
-/// set, carried across rounds.
-struct DeltaState {
-    spec: Spec,
-    engines: Vec<ReverifyEngine>,
-    current: Vec<ConfigAst>,
-    /// Spill directory for the carried result caches (`--cache-dir`):
-    /// one subdirectory per spec property, written after every verified
-    /// round, reloaded (passes only) on startup so a restarted daemon
-    /// starts warm.
-    cache_dir: Option<PathBuf>,
-}
-
-/// What one round produced (stats merged over every property).
-struct RoundOutcome {
-    passed: bool,
-    stats: ReverifyStats,
-    delta: Option<ConfigDelta>,
-    elapsed: Duration,
-}
-
-fn merge(into: &mut ReverifyStats, s: &ReverifyStats) {
-    into.total += s.total;
-    into.dirty += s.dirty;
-    into.candidates += s.candidates;
-    into.reused += s.reused;
-    into.core_clean += s.core_clean;
-    into.invalidated += s.invalidated;
-    into.sessions_reused += s.sessions_reused;
-    into.sessions_created += s.sessions_created;
-    into.universe_reset |= s.universe_reset;
-}
-
-impl DeltaState {
-    fn new(spec: Spec, cache_dir: Option<PathBuf>) -> DeltaState {
-        // With a spill directory, each property's engine starts from its
-        // reloaded cache — passing verdicts only: a pass replays soundly
-        // under an equal fingerprint, while a spilled failure's
-        // counterexample would bypass re-validation, so failures are
-        // simply re-proved after a restart.
-        let mut loaded_total = 0usize;
-        let engines = spec
-            .safety
-            .iter()
-            .enumerate()
-            .map(|(i, _)| match &cache_dir {
-                Some(dir) => {
-                    let pdir = prop_dir(dir, i);
-                    match lightyear::load_pass_cache(&pdir) {
-                        Ok((cache, loaded)) => {
-                            loaded_total += loaded;
-                            ReverifyEngine::with_results(cache)
-                        }
-                        Err(e) => {
-                            eprintln!("warning: ignoring unreadable cache at {pdir:?}: {e}");
-                            ReverifyEngine::new()
-                        }
-                    }
-                }
-                None => ReverifyEngine::new(),
-            })
-            .collect();
-        if loaded_total > 0 {
-            println!(
-                "watch: cache: loaded {loaded_total} entries from {}",
-                cache_dir.as_deref().unwrap_or(Path::new("?")).display()
-            );
-        }
-        DeltaState {
-            spec,
-            engines,
-            current: Vec::new(),
-            cache_dir,
-        }
-    }
-
-    /// Spill every engine's carried result cache to the `--cache-dir`
-    /// (no-op without one). Failures are durable in the spill format but
-    /// dropped again on reload; see [`DeltaState::new`].
-    fn spill(&self) {
-        let Some(dir) = &self.cache_dir else { return };
-        for (i, engine) in self.engines.iter().enumerate() {
-            if let Err(e) = lightyear::save_check_cache(&engine.cache(), &prop_dir(dir, i)) {
-                eprintln!("warning: cannot save cache to {dir:?}: {e}");
-            }
-        }
-    }
-
-    /// Verify `asts`, re-solving only what changed since the accepted
-    /// set (`full` skips the diff: round zero). On success the set is
-    /// accepted as current; on error (parse/lower/spec) the previous
-    /// state is kept so a daemon survives transient bad writes.
-    fn round(&mut self, asts: Vec<ConfigAst>, full: bool) -> Result<RoundOutcome, String> {
-        let t0 = Instant::now();
-        let delta = (!full).then(|| diff_configs(&self.current, &asts));
-        let net = lower(&asts).map_err(|e| e.to_string())?;
-        let topo = &net.topology;
-        let mut verifier = Verifier::new(topo, &net.policy);
-        for g in &self.spec.ghosts {
-            verifier = verifier.with_ghost(g.resolve(topo).map_err(|e| e.to_string())?);
-        }
-        let changed: Option<Vec<String>> = delta.as_ref().map(ConfigDelta::changed_routers);
-        // Resolve the whole spec before advancing any engine: a round is
-        // all-or-nothing, so engine state and the accepted configuration
-        // set can never drift apart on a half-failed round.
-        let resolved: Vec<_> = self
-            .spec
-            .safety
-            .iter()
-            .map(|s| s.resolve(topo).map_err(|e| e.to_string()))
-            .collect::<Result<_, _>>()?;
-        let mut stats = ReverifyStats::default();
-        let mut passed = true;
-        for (engine, (s, (prop, inv))) in self
-            .engines
-            .iter_mut()
-            .zip(self.spec.safety.iter().zip(&resolved))
-        {
-            let (report, rstats) = engine.reverify(
-                &verifier,
-                std::slice::from_ref(prop),
-                inv,
-                changed.as_deref(),
-            );
-            merge(&mut stats, &rstats);
-            if !report.all_passed() {
-                passed = false;
-                println!("{}: VIOLATED", s.name);
-                print!("{}", report.format_failures(topo));
-            }
-        }
-        self.current = asts;
-        Ok(RoundOutcome {
-            passed,
-            stats,
-            delta,
-            elapsed: t0.elapsed(),
-        })
-    }
-}
-
-/// The per-round stats line (the daemon's primary output; the CI smoke
-/// test greps the `dirty <n>/<total>` token).
-fn round_line(label: &str, o: &RoundOutcome) -> String {
-    let delta = match &o.delta {
-        Some(d) => format!("delta {d}; ", d = d.summary()),
-        None => String::new(),
-    };
-    format!(
-        "{label}: {delta}{summary}; {verdict} in {elapsed:?}",
-        summary = o.stats.summary(),
-        verdict = if o.passed { "verified" } else { "VIOLATED" },
-        elapsed = o.elapsed,
-    )
-}
 
 /// The daemon's telemetry: the always-on flight recorder, the shared
 /// round [`Status`] (the **single** round-increment site every surface
@@ -190,44 +32,19 @@ struct Telemetry {
 }
 
 impl Telemetry {
-    fn new(
-        metrics_path: Option<PathBuf>,
-        flight_path: PathBuf,
-        events_path: Option<PathBuf>,
-        listen: Option<String>,
-        stale_after: Option<Duration>,
-    ) -> Result<Telemetry, String> {
-        // The flight recorder is always on: the registry install is the
-        // whole cost when nothing else is requested (bounded rings, one
-        // uncontended atomic per event).
-        let reg = obs::install();
-        obs::install_panic_flight(&flight_path);
-        if let Some(path) = &events_path {
-            let sink = obs::ExportSink::create(path, obs::ExportSink::DEFAULT_MAX_BYTES)
-                .map_err(|e| format!("cannot create event log {path:?}: {e}"))?;
-            reg.set_export(Some(Arc::new(sink)));
-        }
-        let status = Status::new(stale_after);
-        let server = match &listen {
-            Some(addr) => {
-                let s = obs::http::serve(addr, reg.clone(), status.clone())
-                    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
-                println!("watch: listening on http://{}", s.addr());
-                Some(s)
-            }
-            None => None,
-        };
+    fn new(opts: &TelemetryOpts) -> Result<Telemetry, String> {
+        let active = opts.start("watch", None, obs::http::DEFAULT_MAX_CONNS)?;
         let panic_round = std::env::var("LIGHTYEAR_WATCH_PANIC_ROUND")
             .ok()
             .and_then(|v| v.parse().ok());
         Ok(Telemetry {
-            prev: reg.snapshot(),
-            reg,
-            status,
-            metrics_path,
-            flight_path,
+            prev: active.reg.snapshot(),
+            reg: active.reg,
+            status: active.status,
+            metrics_path: opts.metrics_json.clone(),
+            flight_path: opts.flight_json.clone(),
             panic_round,
-            _server: server,
+            _server: active.server,
         })
     }
 
@@ -321,8 +138,8 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--configs" | "--spec" | "--baseline" | "--interval-ms" | "--max-rounds"
-            | "--cache-dir" | "--metrics-json" | "--listen" | "--flight-json"
-            | "--events-jsonl" | "--stale-after-ms" => i += 2,
+            | "--cache-dir" => i += 2,
+            a if TelemetryOpts::takes(a) => i += 2,
             "--once" => i += 1,
             a => {
                 eprintln!("error: unknown watch option {a}");
@@ -337,16 +154,10 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
     let once = args.iter().any(|a| a == "--once");
     let baseline = flag_value(args, "--baseline");
     let cache_dir = flag_value(args, "--cache-dir").map(PathBuf::from);
-    let metrics_path = flag_value(args, "--metrics-json").map(PathBuf::from);
-    let flight_path =
-        PathBuf::from(flag_value(args, "--flight-json").unwrap_or_else(|| "flight.json".into()));
-    let events_path = flag_value(args, "--events-jsonl").map(PathBuf::from);
-    let listen = flag_value(args, "--listen");
-    let stale_after = match flag_value(args, "--stale-after-ms").map(|v| v.parse::<u64>()) {
-        None => None,
-        Some(Ok(n)) if n > 0 => Some(Duration::from_millis(n)),
-        Some(_) => {
-            eprintln!("error: --stale-after-ms needs a positive integer");
+    let tele_opts = match TelemetryOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return usage();
         }
     };
@@ -374,9 +185,8 @@ pub(crate) fn cmd_watch(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut state = DeltaState::new(spec, cache_dir);
-    let mut tele = match Telemetry::new(metrics_path, flight_path, events_path, listen, stale_after)
-    {
+    let mut state = Session::new("watch", spec, cache_dir);
+    let mut tele = match Telemetry::new(&tele_opts) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -540,7 +350,7 @@ pub(crate) fn cmd_plan(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut state = DeltaState::new(spec, None);
+    let mut state = Session::new("plan", spec, None);
     let mut all_ok = true;
     for (step, d) in dirs.iter().enumerate() {
         let outcome = load_configs(Path::new(d)).and_then(|a| state.round(a, step == 0));
@@ -565,13 +375,6 @@ pub(crate) fn cmd_plan(args: &[String]) -> ExitCode {
         }
     );
     exit(all_ok)
-}
-
-/// The per-property cache spill subdirectory (cache entries are keyed by
-/// structural fingerprints, which are shared *within* one property's
-/// engine; separate directories keep each engine's spill self-contained).
-fn prop_dir(dir: &Path, i: usize) -> PathBuf {
-    dir.join(format!("prop{i}"))
 }
 
 /// One byte-level read of a directory's config files, keyed by path.

@@ -1,0 +1,184 @@
+//! Golden byte-identity test for `verify --json` on a pinned 8-router
+//! WAN: the rendered report JSON must not drift — not across the
+//! `crates/api` report-type migration, not ever silently.
+//!
+//! The golden file stores the *masked* output: wall-clock fields are
+//! zeroed and the trailing `{timings, metrics}` entry is dropped
+//! (volatile by design), everything else must match byte for byte.
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! LIGHTYEAR_UPDATE_GOLDEN=1 cargo test -p lightyear-cli --test golden
+//! ```
+
+use netgen::wan::{self, WanParams};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lightyear")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lightyear-golden-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The pinned scenario: 2 regions x 2 routers + 4 edge routers = 8
+/// routers, 2 peers per edge, seed 0. Changing this invalidates the
+/// golden file by construction — regenerate it in the same change.
+fn wan8() -> WanParams {
+    WanParams {
+        regions: 2,
+        routers_per_region: 2,
+        edge_routers: 4,
+        peers_per_edge: 2,
+        seed: 0,
+    }
+}
+
+fn write_configs(dir: &Path) {
+    for ast in wan::configs(&wan8()) {
+        std::fs::write(
+            dir.join(format!("{}.cfg", ast.hostname)),
+            bgp_config::print_config(&ast),
+        )
+        .unwrap();
+    }
+}
+
+/// The pinned spec: one passing peer-policy property per region
+/// gateway, one deliberately failing property (exercises the
+/// `failures` array), and one liveness property (exercises the
+/// liveness report shape).
+fn write_spec(path: &Path) {
+    use lightyear::pred::RoutePred;
+
+    let peer_edges: Vec<String> = (0..4)
+        .flat_map(|m| (0..2).map(move |p| format!("PEER{m}-{p} -> EDGE{m}")))
+        .collect();
+    let dc_edges = vec!["DC0 -> R0-1".to_string(), "DC1 -> R1-1".to_string()];
+    let from_peer = RoutePred::ghost("FromPeer");
+    let no_reused = from_peer.clone().implies(
+        RoutePred::prefix_in(vec![bgp_model::PrefixRange::orlonger(wan::reused_prefix())]).not(),
+    );
+    let tagged = from_peer
+        .clone()
+        .implies(RoutePred::has_community(wan::peer_comm()));
+    let witness: bgp_model::Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+    let scope = RoutePred::prefix_eq(witness);
+    let tagged_scope = scope
+        .clone()
+        .and(RoutePred::has_community(wan::peer_comm()));
+
+    let spec = serde_json::json!({
+        "ghosts": vec![serde_json::json!({
+            "name": "FromPeer",
+            "set_true_on_import": peer_edges,
+            "set_false_on_import": dc_edges,
+        })],
+        "safety": vec![
+            serde_json::json!({
+                "name": "no-reused-from-peers",
+                "location": "R0-0",
+                "property": no_reused,
+                "invariant_default": no_reused,
+            }),
+            serde_json::json!({
+                "name": "peer-tagged",
+                "location": "R1-0",
+                "property": tagged,
+                "invariant_default": tagged,
+            }),
+            serde_json::json!({
+                "name": "no-peer-routes",
+                "location": "EDGE0",
+                "property": from_peer.clone().not(),
+            }),
+        ],
+        "liveness": vec![serde_json::json!({
+            "name": "peer-route-delivery",
+            "location": "EDGE0 -> R0-0",
+            "property": RoutePred::has_community(wan::peer_comm()),
+            "path": vec!["PEER0-0 -> EDGE0", "EDGE0", "EDGE0 -> R0-0"],
+            "constraints": vec![scope.clone(), tagged_scope.clone(), tagged_scope.clone()],
+            "prefix_scope": scope,
+            "interference_default": scope.clone().implies(tagged_scope),
+        })],
+    });
+    std::fs::write(path, serde_json::to_string_pretty(&spec).unwrap()).unwrap();
+}
+
+/// Zero the wall-clock fields and drop the trailing `{timings,
+/// metrics}` entry — the only parts of the report that may differ
+/// between two runs on the same input.
+fn mask(output: &str) -> String {
+    let mut entries: Vec<Value> = serde_json::from_str(output).expect("verify --json output");
+    if entries
+        .last()
+        .is_some_and(|e| e.get("timings").is_some() && e.get("metrics").is_some())
+    {
+        entries.pop();
+    }
+    for e in &mut entries {
+        if let Value::Object(fields) = e {
+            for (k, v) in fields.iter_mut() {
+                if k == "total_seconds" || k == "solve_seconds" {
+                    *v = Value::Float(0.0);
+                }
+            }
+        }
+    }
+    let mut s = serde_json::to_string_pretty(&entries).unwrap();
+    s.push('\n');
+    s
+}
+
+#[test]
+fn verify_json_matches_golden_wan8() {
+    let dir = tmpdir("wan8");
+    write_configs(&dir);
+    let spec_path = dir.join("spec.json");
+    write_spec(&spec_path);
+
+    let out = Command::new(bin())
+        .args([
+            "verify",
+            "--configs",
+            dir.to_str().unwrap(),
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The pinned spec contains one deliberately failing property.
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1 (one failing property); stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let masked = mask(&stdout);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/verify_wan8.json");
+    if std::env::var("LIGHTYEAR_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &masked).unwrap();
+        eprintln!("golden: wrote {}", golden_path.display());
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing; regenerate with LIGHTYEAR_UPDATE_GOLDEN=1");
+    assert_eq!(
+        masked, golden,
+        "verify --json drifted from the golden WAN-8 report \
+         (regenerate deliberately with LIGHTYEAR_UPDATE_GOLDEN=1)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,85 +79,75 @@ pub struct SolvedCheck {
 }
 
 impl SolvedCheck {
-    /// Spill encoding for the disk cache. Both passes and failures are
+    /// Spill encoding for the disk cache, rendered through the shared
+    /// [`api::SpilledCheck`] schema. Both passes and failures are
     /// durable; a failure carries its counterexample, which is
     /// **re-validated** against the live configuration before the cached
     /// verdict is trusted (see `Verifier::cached_result_still_valid`), so
     /// warm runs no longer re-prove every failure yet can never replay a
     /// stale one.
     pub fn spill_value(&self) -> Option<Value> {
-        let base = |pass: bool| {
-            vec![
-                ("pass".to_string(), Value::Bool(pass)),
-                ("vars".to_string(), Value::Int(self.stats.num_vars as i64)),
-                (
-                    "clauses".to_string(),
-                    Value::Int(self.stats.num_clauses as i64),
-                ),
-            ]
+        let doc = match &self.result {
+            CheckResult::Pass => api::SpilledCheck::Pass {
+                vars: self.stats.num_vars,
+                clauses: self.stats.num_clauses,
+                core: self.core.clone(),
+            },
+            CheckResult::Fail(cex) => api::SpilledCheck::Fail {
+                vars: self.stats.num_vars,
+                clauses: self.stats.num_clauses,
+                rejected: cex.rejected,
+                input: cex.input.to_value(),
+                output: cex
+                    .output
+                    .as_ref()
+                    .map(|o| o.to_value())
+                    .unwrap_or(Value::Null),
+            },
         };
-        match &self.result {
-            CheckResult::Pass => {
-                let mut fields = base(true);
-                if let Some(core) = &self.core {
-                    fields.push((
-                        "core".to_string(),
-                        Value::Array(core.iter().map(|&i| Value::Int(i as i64)).collect()),
-                    ));
-                }
-                Some(Value::Object(fields))
-            }
-            CheckResult::Fail(cex) => {
-                let mut fields = base(false);
-                fields.push(("rejected".to_string(), Value::Bool(cex.rejected)));
-                fields.push(("input".to_string(), cex.input.to_value()));
-                fields.push((
-                    "output".to_string(),
-                    cex.output
-                        .as_ref()
-                        .map(|o| o.to_value())
-                        .unwrap_or(Value::Null),
-                ));
-                Some(Value::Object(fields))
-            }
-        }
+        Some(doc.to_value())
     }
 
     /// Decode the [`SolvedCheck::spill_value`] form.
     pub fn from_spill(v: &Value) -> Option<Self> {
-        let stats = SolverStats {
-            num_vars: v["vars"].as_u64().unwrap_or(0),
-            num_clauses: v["clauses"].as_u64().unwrap_or(0),
-            ..SolverStats::default()
-        };
-        match v["pass"].as_bool()? {
-            true => {
-                let core = v["core"].as_array().map(|xs| {
-                    xs.iter()
-                        .filter_map(|x| x.as_u64().map(|n| n as usize))
-                        .collect()
-                });
-                Some(SolvedCheck {
-                    result: CheckResult::Pass,
-                    stats,
-                    core,
-                })
-            }
-            false => {
-                let input = ConcreteRoute::from_value(&v["input"]).ok()?;
-                let output = if v["output"].is_null() {
+        match api::SpilledCheck::from_value(v)? {
+            api::SpilledCheck::Pass {
+                vars,
+                clauses,
+                core,
+            } => Some(SolvedCheck {
+                result: CheckResult::Pass,
+                stats: SolverStats {
+                    num_vars: vars,
+                    num_clauses: clauses,
+                    ..SolverStats::default()
+                },
+                core,
+            }),
+            api::SpilledCheck::Fail {
+                vars,
+                clauses,
+                rejected,
+                input,
+                output,
+            } => {
+                let input = ConcreteRoute::from_value(&input).ok()?;
+                let output = if output.is_null() {
                     None
                 } else {
-                    Some(ConcreteRoute::from_value(&v["output"]).ok()?)
+                    Some(ConcreteRoute::from_value(&output).ok()?)
                 };
-                let rejected = v["rejected"].as_bool()?;
                 Some(SolvedCheck {
                     result: CheckResult::Fail(Box::new(Counterexample {
                         input,
                         output,
                         rejected,
                     })),
-                    stats,
+                    stats: SolverStats {
+                        num_vars: vars,
+                        num_clauses: clauses,
+                        ..SolverStats::default()
+                    },
                     core: None,
                 })
             }

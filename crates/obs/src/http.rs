@@ -28,7 +28,7 @@ use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -256,6 +256,65 @@ pub fn prometheus_text(status: &Status, reg: &Registry) -> String {
     out
 }
 
+/// One parsed HTTP request as seen by a mounted [`Handler`]: method,
+/// split target, and the (possibly empty) body.
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: String,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of query parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<String> {
+        self.query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.to_string())
+    }
+}
+
+/// A handler's answer: status code, content type, body.
+pub struct Response {
+    pub code: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response (pretty-printed, like every built-in endpoint).
+    pub fn json(code: u16, v: &Value) -> Response {
+        Response {
+            code,
+            content_type: "application/json",
+            body: serde_json::to_string_pretty(v).unwrap_or_default(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(code: u16, body: impl Into<String>) -> Response {
+        Response {
+            code,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+}
+
+/// An application handler mounted beside the built-in telemetry
+/// endpoints. It sees every request the built-ins did not claim
+/// (any method); returning `None` falls through to `404` (GET) or
+/// `405` (anything else).
+pub type Handler = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+/// Default bound on concurrently-served connections. Handlers are
+/// short-lived, so this is generous; what it prevents is an unbounded
+/// thread pile-up when clients open connections faster than the 5 s
+/// read timeout reaps them.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
 /// A running telemetry server. Dropping it stops the accept loop
 /// (graceful: the flag is set, the blocking `accept` is unblocked by a
 /// self-connection, and the thread is joined).
@@ -290,10 +349,26 @@ pub fn serve(
     reg: Arc<Registry>,
     status: Arc<Status>,
 ) -> std::io::Result<TelemetryServer> {
+    serve_with(addr, reg, status, None, DEFAULT_MAX_CONNS)
+}
+
+/// [`serve`] plus an application [`Handler`] mounted beside the
+/// built-in endpoints and an explicit concurrent-connection cap.
+/// Connection `max_conns + 1` is answered `503` and closed instead of
+/// spawning a thread, so a client flood cannot pile up blocked threads
+/// behind the read timeout.
+pub fn serve_with(
+    addr: &str,
+    reg: Arc<Registry>,
+    status: Arc<Status>,
+    handler: Option<Handler>,
+    max_conns: usize,
+) -> std::io::Result<TelemetryServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
+    let live = Arc::new(AtomicUsize::new(0));
     let handle = std::thread::Builder::new()
         .name("obs-http".to_string())
         .spawn(move || {
@@ -301,14 +376,29 @@ pub fn serve(
                 if stop2.load(Ordering::Acquire) {
                     break;
                 }
-                let Ok(stream) = conn else { continue };
+                let Ok(mut stream) = conn else { continue };
+                // Admission first: past the cap we answer 503 inline
+                // and never spawn, bounding live threads at max_conns.
+                if live.load(Ordering::Acquire) >= max_conns {
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    respond(&mut stream, 503, "text/plain", "connection limit reached\n");
+                    continue;
+                }
+                live.fetch_add(1, Ordering::AcqRel);
                 let (reg, status) = (reg.clone(), status.clone());
+                let (handler, live2) = (handler.clone(), live.clone());
                 // Thread-per-connection: handlers are read-only and
                 // short-lived; a slow client cannot stall the next
                 // scrape.
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("obs-http-conn".to_string())
-                    .spawn(move || handle_conn(stream, &reg, &status));
+                    .spawn(move || {
+                        handle_conn(stream, &reg, &status, handler.as_ref());
+                        live2.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    live.fetch_sub(1, Ordering::AcqRel);
+                }
             }
         })?;
     Ok(TelemetryServer {
@@ -321,61 +411,99 @@ pub fn serve(
 /// Cap on the request head we are willing to buffer.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
-fn handle_conn(mut stream: TcpStream, reg: &Registry, status: &Status) {
+/// Cap on a request body (submitted configs can be sizeable; anything
+/// past this is answered `413`).
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+fn handle_conn(mut stream: TcpStream, reg: &Registry, status: &Status, handler: Option<&Handler>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
-    // Read until the end of the request head (we never accept bodies).
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+    // Read until the end of the request head.
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
         }
         if buf.len() > MAX_REQUEST_BYTES {
             return respond(&mut stream, 400, "text/plain", "request too large\n");
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
-    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    let (method, target) = (
+        parts.next().unwrap_or("").to_string(),
+        parts.next().unwrap_or(""),
+    );
+    let content_length = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return respond(&mut stream, 413, "text/plain", "body too large\n");
     }
+    // The head read may have pulled in part of the body already.
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let param = |key: &str| {
-        query
-            .split('&')
-            .filter_map(|kv| kv.split_once('='))
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| v.to_string())
+    let req = Request {
+        method,
+        path: path.to_string(),
+        query: query.to_string(),
+        body,
     };
-    match path {
-        "/metrics" => {
-            if param("format").as_deref() == Some("prom") {
-                let body = prometheus_text(status, reg);
-                respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
-            } else {
-                let body = status_body(status, reg);
-                respond(&mut stream, 200, "application/json", &body)
+    let param = |key: &str| req.param(key);
+    if req.method == "GET" {
+        match req.path.as_str() {
+            "/metrics" => {
+                return if param("format").as_deref() == Some("prom") {
+                    let body = prometheus_text(status, reg);
+                    respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+                } else {
+                    let body = status_body(status, reg);
+                    respond(&mut stream, 200, "application/json", &body)
+                };
             }
+            "/healthz" => {
+                let (code, v) = healthz(status);
+                let body = serde_json::to_string_pretty(&v).unwrap_or_default();
+                return respond(&mut stream, code, "application/json", &body);
+            }
+            "/trace" => {
+                let last = param("last")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(256);
+                let body =
+                    serde_json::to_string_pretty(&reg.chrome_trace_last(last)).unwrap_or_default();
+                return respond(&mut stream, 200, "application/json", &body);
+            }
+            _ => {}
         }
-        "/healthz" => {
-            let (code, v) = healthz(status);
-            let body = serde_json::to_string_pretty(&v).unwrap_or_default();
-            respond(&mut stream, code, "application/json", &body)
-        }
-        "/trace" => {
-            let last = param("last")
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(256);
-            let body =
-                serde_json::to_string_pretty(&reg.chrome_trace_last(last)).unwrap_or_default();
-            respond(&mut stream, 200, "application/json", &body)
-        }
-        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+    // Everything the built-ins did not claim goes to the mounted
+    // handler; without one (or when it declines) we keep the historic
+    // answers: 404 for unknown GETs, 405 for other methods.
+    if let Some(resp) = handler.and_then(|h| h(&req)) {
+        return respond(&mut stream, resp.code, resp.content_type, &resp.body);
+    }
+    if req.method == "GET" {
+        respond(&mut stream, 404, "text/plain", "not found\n")
+    } else {
+        respond(&mut stream, 405, "text/plain", "method not allowed\n")
     }
 }
 
@@ -385,6 +513,9 @@ fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
@@ -562,5 +693,104 @@ mod tests {
                 TcpStream::connect(addr).is_err()
             }
         );
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_503() {
+        let reg = Registry::new();
+        let status = Status::new(None);
+        let server = serve_with("127.0.0.1:0", reg, status, None, 2).unwrap();
+        let addr = server.addr();
+
+        // Two idle connections occupy both slots (their handler
+        // threads block reading a request head that never comes).
+        // Admission is asynchronous, so probe until the cap bites.
+        let hold_a = TcpStream::connect(addr).unwrap();
+        let hold_b = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(4);
+        let mut saw_503 = false;
+        while Instant::now() < deadline {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut text = String::new();
+            let _ = s.read_to_string(&mut text);
+            if text.starts_with("HTTP/1.1 503") {
+                saw_503 = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(saw_503, "over-cap connections must be rejected with 503");
+
+        // Freeing the slots restores service.
+        drop(hold_a);
+        drop(hold_b);
+        let deadline = Instant::now() + Duration::from_secs(4);
+        let mut recovered = false;
+        while Instant::now() < deadline {
+            if get(addr, "/healthz").0 == 200 {
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(recovered, "capacity must recover once connections close");
+    }
+
+    #[test]
+    fn mounted_handler_sees_post_bodies_and_falls_through() {
+        let reg = Registry::new();
+        let status = Status::new(None);
+        let handler: Handler = Arc::new(|req: &Request| {
+            if req.path == "/echo" {
+                Some(Response::text(
+                    200,
+                    format!("{}:{}", req.method, String::from_utf8_lossy(&req.body)),
+                ))
+            } else {
+                None
+            }
+        });
+        let server = serve_with(
+            "127.0.0.1:0",
+            reg.clone(),
+            status.clone(),
+            Some(handler),
+            DEFAULT_MAX_CONNS,
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // POST body reaches the handler intact.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "got: {text:?}");
+        assert!(text.ends_with("POST:hello"), "got: {text:?}");
+
+        // Built-ins still win for their paths.
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert_eq!(body, status_body(&status, &reg));
+
+        // Handler declining keeps the historic answers.
+        assert_eq!(get(addr, "/nope").0, 404);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405"), "got: {text:?}");
+
+        // Oversized declared bodies are refused outright.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text:?}");
     }
 }

@@ -280,6 +280,23 @@ impl Registry {
         Self::named(&self.counters, name)
     }
 
+    /// The counter registered under a runtime-built name, e.g. a
+    /// per-tenant label like `serve.requests{tenant=a}`. The name is
+    /// leaked once on first registration (the registry stores
+    /// `&'static str` keys); lookups never allocate, so the leak is
+    /// bounded by the number of distinct labels ever used.
+    pub fn counter_labeled(&self, name: &str) -> Arc<Counter> {
+        if let Some(m) = self.counters.read().unwrap().get(name) {
+            return m.clone();
+        }
+        let mut map = self.counters.write().unwrap();
+        if let Some(m) = map.get(name) {
+            return m.clone();
+        }
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        map.entry(leaked).or_default().clone()
+    }
+
     /// The gauge registered under `name`.
     pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
         Self::named(&self.gauges, name)
