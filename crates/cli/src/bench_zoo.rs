@@ -1,0 +1,160 @@
+//! `lightyear bench --zoo`: the Internet-scale corpus sweep.
+//!
+//! Walks the [`netgen::zoo`] corpus ascending by router count, builds
+//! each topology through the full print → parse → lower pipeline,
+//! verifies both property suites (peering hygiene + community fencing)
+//! as one orchestrated batch with streaming report assembly, and emits
+//! one JSON record per entry to `BENCH_zoo.json`:
+//!
+//! ```json
+//! {"topo":"Cogentco","routers":197,"edges":..,"checks":..,
+//!  "checks_per_sec":..,"wall_seconds":..,"peak_rss_kb":..,
+//!  "dedup_ratio":..,"passed":true}
+//! ```
+//!
+//! `wall_seconds`, `checks_per_sec` and `peak_rss_kb` are the only
+//! non-deterministic fields; everything else is a pure function of the
+//! corpus definition and `--seed` (pinned by a CLI test). CI's
+//! `zoo-smoke` job gates a throughput floor and a memory ceiling on
+//! these records.
+
+use lightyear::engine::{RunMode, Verifier};
+use netgen::zoo::{self, ZooParams, CORPUS};
+use std::process::ExitCode;
+
+pub(crate) fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut zoo_sweep = false;
+    let mut limit = CORPUS.len();
+    let mut seed: Option<u64> = None;
+    let mut max_routers: Option<usize> = None;
+    let mut json_path = "BENCH_zoo.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--zoo" => zoo_sweep = true,
+            "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => limit = n,
+                None => return bad_usage("--limit needs a number"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = Some(n),
+                None => return bad_usage("--seed needs a number"),
+            },
+            "--max-routers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 2 => max_routers = Some(n),
+                _ => return bad_usage("--max-routers needs a number >= 2"),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = p.clone(),
+                None => return bad_usage("--json needs a path"),
+            },
+            other => return bad_usage(&format!("unknown bench option {other:?}")),
+        }
+    }
+    if !zoo_sweep {
+        return bad_usage("bench currently requires --zoo");
+    }
+
+    let mut records = Vec::new();
+    let mut table = bench::Table::new(&[
+        "topo", "routers", "edges", "checks", "checks/s", "wall", "peak RSS", "dedup",
+    ]);
+    let mut all_passed = true;
+    for entry in CORPUS.iter().take(limit.max(1)) {
+        let mut params = match max_routers {
+            Some(n) => ZooParams::scaled(entry, n),
+            None => ZooParams::for_entry(entry),
+        };
+        if let Some(s) = seed {
+            params = params.with_seed(s);
+        }
+        let record = run_entry(&params);
+        all_passed &= record["passed"].as_bool().unwrap_or(false);
+        table.row(vec![
+            record["topo"].as_str().unwrap_or("?").to_string(),
+            record["routers"].as_u64().unwrap_or(0).to_string(),
+            record["edges"].as_u64().unwrap_or(0).to_string(),
+            record["checks"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.0}", record["checks_per_sec"].as_f64().unwrap_or(0.0)),
+            format!("{:.2}s", record["wall_seconds"].as_f64().unwrap_or(0.0)),
+            format!("{} kB", record["peak_rss_kb"].as_u64().unwrap_or(0)),
+            format!("{:.2}", record["dedup_ratio"].as_f64().unwrap_or(1.0)),
+        ]);
+        records.push(record);
+    }
+    table.print();
+
+    let body = serde_json::to_string_pretty(&serde_json::Value::Array(records)).unwrap();
+    if let Err(e) = std::fs::write(&json_path, body) {
+        eprintln!("error: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench: wrote {json_path}");
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: a corpus property suite failed verification");
+        ExitCode::FAILURE
+    }
+}
+
+/// Build and verify one corpus entry, returning its sweep record.
+fn run_entry(params: &ZooParams) -> serde_json::Value {
+    let t_build = std::time::Instant::now();
+    let s = zoo::build(params);
+    let build_seconds = t_build.elapsed().as_secs_f64();
+    let topo = &s.network.topology;
+
+    let verifier = Verifier::new(topo, &s.network.policy)
+        .with_mode(RunMode::Parallel)
+        .with_ghost(s.from_peer_ghost());
+    let (peering_props, peering_inv) = s.peering_suite();
+    let (fencing_props, fencing_inv) = s.fencing_suite();
+    let suites: Vec<(&[lightyear::SafetyProperty], &lightyear::NetworkInvariants)> = vec![
+        (&peering_props, &peering_inv),
+        (&fencing_props, &fencing_inv),
+    ];
+
+    let t_verify = std::time::Instant::now();
+    // Streaming assembly, no core retention: this is the memory-model
+    // the README's scaling section describes — O(frontier), not
+    // O(checks).
+    let multi = verifier.verify_safety_batch_streaming(&suites, false);
+    let wall = t_verify.elapsed().as_secs_f64();
+    let checks = multi.num_checks();
+    let passed = multi.all_passed();
+    if !passed {
+        for (suite, summary) in ["peering", "fencing"].iter().zip(&multi.summaries) {
+            if !summary.all_passed() {
+                eprintln!(
+                    "{} {suite} suite FAILED:\n{}",
+                    params.name,
+                    summary.format_failures(topo)
+                );
+            }
+        }
+    }
+    let peak_rss_kb = obs::record_peak_rss();
+
+    serde_json::json!({
+        "topo": params.name,
+        "routers": topo.router_ids().count(),
+        "edges": topo.num_edges(),
+        "checks": checks,
+        "checks_per_sec": if wall > 0.0 { checks as f64 / wall } else { 0.0 },
+        "wall_seconds": wall,
+        "build_seconds": build_seconds,
+        "peak_rss_kb": peak_rss_kb,
+        "dedup_ratio": multi.exec.dedup_ratio(),
+        "solver_calls": multi.exec.executed,
+        "passed": passed,
+    })
+}
+
+fn bad_usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: lightyear bench --zoo [--limit N] [--seed N] [--max-routers N] [--json FILE]"
+    );
+    ExitCode::from(2)
+}

@@ -18,6 +18,8 @@
 //!                    [--edit-steps K] [--sim-rounds R] [--no-inject]
 //!                    [--repro-dir DIR] [--bench-json FILE] [--replay DIR]
 //!                    [--listen ADDR] [--flight-json FILE]
+//!   lightyear bench  --zoo [--limit N] [--seed N] [--max-routers N]
+//!                    [--json FILE]
 //!   lightyear bench-report <A.json> <B.json>
 //!   lightyear parse  --configs <DIR>
 //!   lightyear lint   --configs <DIR>
@@ -95,6 +97,17 @@
 //!                   minimized and written as a replayable repro directory
 //!                   (--repro-dir; re-run it with --replay). --bench-json
 //!                   records campaign throughput (the CI BENCH_fuzz.json)
+//!   bench           the Internet-scale corpus sweep: walk the vendored
+//!                   Topology Zoo corpus (netgen::zoo, 11..754 routers)
+//!                   ascending, verify each entry's peering + fencing
+//!                   suites as one orchestrated streaming batch, print a
+//!                   summary table and write one record per entry
+//!                   (checks/s, wall, peak RSS via VmHWM, dedup ratio)
+//!                   to --json (default BENCH_zoo.json). --limit N takes
+//!                   the N smallest entries; --max-routers scales every
+//!                   entry down proportionally (test/smoke mode); the
+//!                   records are a pure function of the corpus and
+//!                   --seed apart from the timing/RSS fields
 //!   bench-report    diff two BENCH_*.json files (arrays of gate lines,
 //!                   as assembled by CI with `jq -s`): per-gate verdict
 //!                   flips, metric regressions/improvements beyond a 2%
@@ -137,6 +150,7 @@
 //!   orchestrator: 220 checks -> 34 solver calls (180 deduped, 6 cached, ratio 0.15, 8 threads); incremental: 12 groups, 22 warm assumption solves
 //! ```
 
+mod bench_zoo;
 mod fuzz;
 mod profile;
 mod render;
@@ -169,6 +183,7 @@ fn usage() -> ExitCode {
          lightyear fuzz [--seed N] [--cases N] [--families a,b,...] [--edit-steps K]\n    \
          [--sim-rounds R] [--no-inject] [--repro-dir <DIR>] [--bench-json <FILE>]\n    \
          [--replay <DIR>] [--listen <ADDR>] [--flight-json <FILE>]\n  \
+         lightyear bench --zoo [--limit N] [--seed N] [--max-routers N] [--json <FILE>]\n  \
          lightyear bench-report <A.json> <B.json>\n  \
          lightyear parse --configs <DIR>\n  lightyear spec-template"
     );
@@ -187,6 +202,7 @@ fn main() -> ExitCode {
         "plan" => watch::cmd_plan(&args[1..]),
         "serve" => serve::cmd_serve(&args[1..]),
         "fuzz" => fuzz::cmd_fuzz(&args[1..]),
+        "bench" => bench_zoo::cmd_bench(&args[1..]),
         "bench-report" => cmd_bench_report(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -454,11 +470,15 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         .iter()
         .map(|(p, i)| (std::slice::from_ref(p), i))
         .collect();
-    let multi = verifier.verify_safety_batch(&suites);
+    // Streaming assembly: outcomes fold into per-suite summaries as
+    // their groups complete, so report memory is O(solve frontier +
+    // failures), not O(checks). Cores are only retained when the
+    // `--json` blame view will render them.
+    let multi = verifier.verify_safety_batch_streaming(&suites, as_json);
     let mut any_failed = false;
     let mut json_out = Vec::new();
     let exec = multi.exec;
-    for ((s, (prop, inv)), report) in spec.safety.iter().zip(&resolved).zip(&multi.reports) {
+    for ((s, (prop, inv)), report) in spec.safety.iter().zip(&resolved).zip(&multi.summaries) {
         let passed = report.all_passed();
         any_failed |= !passed;
         if reg.is_some() {
@@ -504,7 +524,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     if !as_json && !spec.safety.is_empty() {
         println!(
             "batch: {} properties, {} checks in {:?}",
-            multi.reports.len(),
+            multi.summaries.len(),
             multi.num_checks(),
             multi.total_time
         );
@@ -544,7 +564,8 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         if as_json {
             let conjs = verifier.liveness_check_conjuncts(&resolved);
             json_out.push(
-                render::property_report(&l.name, true, &report, topo, &conjs, None).to_value(),
+                render::property_report(&l.name, true, &report.summarize(), topo, &conjs, None)
+                    .to_value(),
             );
         } else {
             println!(

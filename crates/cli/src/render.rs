@@ -5,9 +5,12 @@
 
 use api::report::TimingDoc;
 use bgp_model::topology::Topology;
-use lightyear::check::Report;
+use lightyear::check::ReportSummary;
 
-/// Render one property's [`Report`] as the shared document type.
+/// Render one property's [`ReportSummary`] as the shared document type.
+/// Taking the streaming summary (full `Report`s convert via
+/// `Report::summarize`) keeps rendering memory independent of check
+/// count — the summary already folded passing outcomes away.
 ///
 /// `conjunct_names` is the check-id-indexed conjunct table
 /// (`Verifier::check_conjuncts_all` / `liveness_check_conjuncts`) the
@@ -17,7 +20,7 @@ use lightyear::check::Report;
 pub(crate) fn property_report(
     name: &str,
     liveness: bool,
-    report: &Report,
+    report: &ReportSummary,
     topo: &Topology,
     conjunct_names: &[Option<Vec<String>>],
     timing: Option<TimingDoc>,
@@ -61,7 +64,7 @@ pub(crate) fn property_report(
 }
 
 /// The solver/timing statistics of a one-shot safety run.
-pub(crate) fn run_timing(report: &Report) -> TimingDoc {
+pub(crate) fn run_timing(report: &ReportSummary) -> TimingDoc {
     TimingDoc {
         solver_calls: report.solver_invocations() as u64,
         total_seconds: report.total_time.as_secs_f64(),

@@ -156,7 +156,12 @@ impl Session {
             }
             let conjs = verifier.check_conjuncts_all(std::slice::from_ref(prop), inv);
             reports.push(render::property_report(
-                &s.name, false, &report, topo, &conjs, None,
+                &s.name,
+                false,
+                &report.summarize(),
+                topo,
+                &conjs,
+                None,
             ));
         }
         self.current = asts;

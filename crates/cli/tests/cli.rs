@@ -910,3 +910,111 @@ fn bench_report_diffs_gate_files_and_exits_one_on_regression() {
     assert!(stdout.contains("2 gates"), "{stdout}");
     assert!(stdout.contains("0 regressed"), "{stdout}");
 }
+
+#[test]
+fn bench_zoo_is_a_pure_function_of_its_seed() {
+    // `bench --zoo --limit N --seed S` must emit identical JSON records
+    // across runs once the volatile timing fields are masked: corpus
+    // synthesis, check generation, dedup and verdicts are all pure
+    // functions of the parameters.
+    let d = tmpdir("bench-zoo-det");
+    let run = |name: &str| -> serde_json::Value {
+        let path = d.join(name);
+        let out = Command::new(bin())
+            .current_dir(&d)
+            .args([
+                "bench",
+                "--zoo",
+                "--limit",
+                "2",
+                "--max-routers",
+                "12",
+                "--seed",
+                "7",
+            ])
+            .arg("--json")
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let serde_json::Value::Array(records) = &mut v else {
+            panic!("expected a JSON array: {text}");
+        };
+        assert_eq!(records.len(), 2, "{text}");
+        for r in records.iter_mut() {
+            let serde_json::Value::Object(fields) = r else {
+                panic!("expected record objects: {text}");
+            };
+            // Mask wall-clock-derived fields; everything else is pinned.
+            fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "wall_seconds" | "build_seconds" | "checks_per_sec" | "peak_rss_kb"
+                )
+            });
+        }
+        v
+    };
+    let a = run("a.json");
+    let b = run("b.json");
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+#[test]
+fn verify_survives_poisoned_cache_spill() {
+    // A corrupted --cache-dir spill must never change verify's verdict
+    // or report: damaged entries are re-proved, not replayed.
+    let d = tmpdir("poisoned-cache");
+    write_net(&d, R2);
+    let cache_dir = d.join("cache");
+    let run = || {
+        Command::new(bin())
+            .args(["verify", "--cache-dir"])
+            .arg(&cache_dir)
+            .args(["--configs"])
+            .arg(&d)
+            .arg("--spec")
+            .arg(d.join("spec.json"))
+            .output()
+            .unwrap()
+    };
+    // Normalize a run's report: drop cache chatter and the wall-clock
+    // suffix of the batch line; every remaining byte is deterministic.
+    let report_of = |out: &std::process::Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("cache:"))
+            .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let cold = run();
+    assert!(cold.status.success());
+    let clean_report = report_of(&cold);
+
+    let spill = cache_dir.join("cache.json");
+    let text = fs::read_to_string(&spill).unwrap();
+
+    // Bit-flip inside an entry: the checksum rejects it and the check
+    // re-proves; the rendered report must not change.
+    fs::write(&spill, text.replace("\"payload\": \"{", "\"payload\": \"[")).unwrap();
+    let flipped = run();
+    assert!(flipped.status.success(), "poisoned spill must not fail");
+    assert_eq!(clean_report, report_of(&flipped));
+
+    // Truncated spill: unparseable, warn and start cold — never panic.
+    fs::write(&spill, &text[..text.len() / 2]).unwrap();
+    let truncated = run();
+    assert!(truncated.status.success(), "truncated spill must not fail");
+    assert_eq!(clean_report, report_of(&truncated));
+}

@@ -236,28 +236,169 @@ impl Report {
 
     /// Render failures with topology names.
     pub fn format_failures(&self, topo: &Topology) -> String {
-        let mut s = String::new();
-        for o in self.failures() {
-            use std::fmt::Write;
-            let _ = writeln!(
-                s,
-                "FAILED [{}] at {}{}",
-                o.check.kind,
-                o.check.location.display(topo),
-                o.check
-                    .map_name
-                    .as_deref()
-                    .map(|m| format!(" (route-map {m})"))
-                    .unwrap_or_default()
-            );
-            let _ = writeln!(s, "  {}", o.check.description);
-            if let CheckResult::Fail(cex) = &o.result {
-                for line in cex.to_string().lines() {
-                    let _ = writeln!(s, "  {line}");
-                }
+        format_failure_outcomes(self.failures().into_iter(), topo)
+    }
+
+    /// Fold this report into a [`ReportSummary`] (cores retained).
+    /// Callers that render through the summary type but still hold a
+    /// full report — the liveness path, the daemon — convert here.
+    pub fn summarize(&self) -> ReportSummary {
+        let mut s = ReportSummary::new(true);
+        for o in &self.outcomes {
+            s.push(o.clone());
+        }
+        if self.exec.generated > 0 {
+            s.set_solver_invocations(self.exec.executed);
+        }
+        s.total_time = self.total_time;
+        s
+    }
+}
+
+fn format_failure_outcomes<'a>(
+    fails: impl Iterator<Item = &'a CheckOutcome>,
+    topo: &Topology,
+) -> String {
+    let mut s = String::new();
+    for o in fails {
+        use std::fmt::Write;
+        let _ = writeln!(
+            s,
+            "FAILED [{}] at {}{}",
+            o.check.kind,
+            o.check.location.display(topo),
+            o.check
+                .map_name
+                .as_deref()
+                .map(|m| format!(" (route-map {m})"))
+                .unwrap_or_default()
+        );
+        let _ = writeln!(s, "  {}", o.check.description);
+        if let CheckResult::Fail(cex) = &o.result {
+            for line in cex.to_string().lines() {
+                let _ = writeln!(s, "  {line}");
             }
         }
-        s
+    }
+    s
+}
+
+/// A streaming fold over check outcomes: everything report rendering
+/// reads from a [`Report`], without retaining the outcomes themselves.
+/// Passing checks collapse into aggregates the moment they arrive
+/// (their unsat cores optionally retained for the blame view); only
+/// failures are kept whole. This is what keeps `verify` memory
+/// O(solve frontier + failures) instead of O(checks) on an
+/// internet-scale corpus entry — see `Verifier::verify_safety_batch_streaming`.
+///
+/// Outcomes must be pushed in check-id order; every accessor then
+/// renders byte-identically to the equivalent [`Report`] (pinned by
+/// the CLI golden test).
+#[derive(Clone, Debug, Default)]
+pub struct ReportSummary {
+    checks: usize,
+    failures: Vec<CheckOutcome>,
+    keep_cores: bool,
+    cores: Vec<(Check, Vec<usize>)>,
+    max_vars: u64,
+    max_clauses: u64,
+    solve_time: Duration,
+    encode_time: Duration,
+    /// Orchestrated solver-invocation count, when one applies
+    /// (mirrors [`Report::solver_invocations`]'s `exec` branch).
+    solver_invocations: Option<usize>,
+    /// Wall-clock time for the run that produced this summary.
+    pub total_time: Duration,
+}
+
+impl ReportSummary {
+    /// An empty summary. `keep_cores` retains passing checks' unsat
+    /// cores (needed for the `--json` blame view); without it a
+    /// passing check leaves no per-check residue at all.
+    pub fn new(keep_cores: bool) -> Self {
+        ReportSummary {
+            keep_cores,
+            ..ReportSummary::default()
+        }
+    }
+
+    /// Fold in one outcome (call in check-id order).
+    pub fn push(&mut self, o: CheckOutcome) {
+        self.checks += 1;
+        self.max_vars = self.max_vars.max(o.stats.num_vars);
+        self.max_clauses = self.max_clauses.max(o.stats.num_clauses);
+        self.solve_time += o.stats.solve_time;
+        self.encode_time += o.stats.encode_time;
+        if !o.result.passed() {
+            if self.keep_cores {
+                if let Some(core) = &o.core {
+                    self.cores.push((o.check.clone(), core.clone()));
+                }
+            }
+            self.failures.push(o);
+        } else if self.keep_cores {
+            if let Some(core) = o.core {
+                self.cores.push((o.check, core));
+            }
+        }
+    }
+
+    /// Pin the orchestrated solver-invocation count (otherwise one
+    /// invocation per check is assumed).
+    pub fn set_solver_invocations(&mut self, n: usize) {
+        self.solver_invocations = Some(n);
+    }
+
+    /// Mirrors [`Report::solver_invocations`].
+    pub fn solver_invocations(&self) -> usize {
+        self.solver_invocations.unwrap_or(self.checks)
+    }
+
+    /// True when every folded check passed.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of checks folded in.
+    pub fn num_checks(&self) -> usize {
+        self.checks
+    }
+
+    /// The retained failed outcomes, in push (check-id) order.
+    pub fn failures(&self) -> &[CheckOutcome] {
+        &self.failures
+    }
+
+    /// The retained `(check, load-bearing conjunct indices)` pairs of
+    /// passing checks (empty unless constructed with `keep_cores`).
+    pub fn cores(&self) -> Vec<(&Check, &[usize])> {
+        self.cores.iter().map(|(c, k)| (c, k.as_slice())).collect()
+    }
+
+    /// Mirrors [`Report::max_vars`].
+    pub fn max_vars(&self) -> u64 {
+        self.max_vars
+    }
+
+    /// Mirrors [`Report::max_clauses`].
+    pub fn max_clauses(&self) -> u64 {
+        self.max_clauses
+    }
+
+    /// Mirrors [`Report::solve_time`].
+    pub fn solve_time(&self) -> Duration {
+        self.solve_time
+    }
+
+    /// Mirrors [`Report::encode_time`].
+    pub fn encode_time(&self) -> Duration {
+        self.encode_time
+    }
+
+    /// Render failures with topology names, byte-identical to
+    /// [`Report::format_failures`] on the same outcomes.
+    pub fn format_failures(&self, topo: &Topology) -> String {
+        format_failure_outcomes(self.failures.iter(), topo)
     }
 }
 
@@ -333,5 +474,58 @@ mod tests {
         assert_eq!(r.max_vars(), 30);
         assert_eq!(r.max_clauses(), 20);
         assert!(r.failures().is_empty());
+    }
+
+    #[test]
+    fn summary_agrees_with_report() {
+        let mut r = Report::default();
+        r.outcomes.push(CheckOutcome {
+            check: dummy_check(0),
+            result: CheckResult::Pass,
+            stats: SolverStats {
+                num_vars: 10,
+                num_clauses: 20,
+                ..Default::default()
+            },
+            core: Some(vec![1, 2]),
+        });
+        r.outcomes.push(CheckOutcome {
+            check: dummy_check(1),
+            result: CheckResult::Fail(Box::new(Counterexample {
+                input: ConcreteRoute {
+                    route: bgp_model::route::Route::new("10.0.0.0/8".parse().unwrap()),
+                    comm_other: false,
+                    aspath_matches: Default::default(),
+                    ghosts: Default::default(),
+                },
+                output: None,
+                rejected: true,
+            })),
+            stats: SolverStats {
+                num_vars: 5,
+                num_clauses: 50,
+                ..Default::default()
+            },
+            core: None,
+        });
+        let s = r.summarize();
+        assert_eq!(s.all_passed(), r.all_passed());
+        assert_eq!(s.num_checks(), r.num_checks());
+        assert_eq!(s.max_vars(), r.max_vars());
+        assert_eq!(s.max_clauses(), r.max_clauses());
+        assert_eq!(s.solver_invocations(), r.solver_invocations());
+        assert_eq!(s.failures().len(), r.failures().len());
+        assert_eq!(s.failures()[0].check.id, 1);
+        let (sc, rc) = (s.cores(), r.cores());
+        assert_eq!(sc.len(), rc.len());
+        assert_eq!(sc[0].0.id, rc[0].0.id);
+        assert_eq!(sc[0].1, rc[0].1);
+        // Without keep_cores, passing checks leave no residue.
+        let mut lean = ReportSummary::new(false);
+        for o in &r.outcomes {
+            lean.push(o.clone());
+        }
+        assert!(lean.cores().is_empty());
+        assert_eq!(lean.num_checks(), 2);
     }
 }

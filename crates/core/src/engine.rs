@@ -27,7 +27,9 @@
 //! [`Verifier::with_incremental`]`(false)`) restores the one-instance-
 //! per-check behavior; outcomes are identical either way.
 
-use crate::check::{Check, CheckKind, CheckOutcome, CheckResult, Counterexample, Report};
+use crate::check::{
+    Check, CheckKind, CheckOutcome, CheckResult, Counterexample, Report, ReportSummary,
+};
 use crate::encode::{encode_export, encode_import, Transfer};
 use crate::fingerprint::{check_fingerprint, universe_digest};
 use crate::ghost::GhostAttr;
@@ -223,6 +225,35 @@ impl MultiReport {
     /// Total checks across all suites.
     pub fn num_checks(&self) -> usize {
         self.reports.iter().map(Report::num_checks).sum()
+    }
+}
+
+/// The streaming counterpart of [`MultiReport`]: per-suite
+/// [`ReportSummary`] accumulators instead of full per-check outcome
+/// vectors, produced by [`Verifier::verify_safety_batch_streaming`].
+/// Memory stays proportional to the in-flight solve frontier plus the
+/// failures/cores worth rendering, not to the total check count.
+#[derive(Clone, Debug)]
+pub struct MultiSummary {
+    /// Per-suite summaries, in input order. Each summary's `total_time`
+    /// is the whole batch's wall-clock time, matching the convention of
+    /// [`MultiReport::reports`].
+    pub summaries: Vec<ReportSummary>,
+    /// Orchestration statistics of the one shared run.
+    pub exec: RunStats,
+    /// Wall-clock time of the whole batch.
+    pub total_time: std::time::Duration,
+}
+
+impl MultiSummary {
+    /// True when every suite's every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.summaries.iter().all(ReportSummary::all_passed)
+    }
+
+    /// Total checks across all suites.
+    pub fn num_checks(&self) -> usize {
+        self.summaries.iter().map(ReportSummary::num_checks).sum()
     }
 }
 
@@ -745,6 +776,68 @@ impl<'a> Verifier<'a> {
         }
     }
 
+    /// Streaming variant of [`Verifier::verify_safety_batch`]: identical
+    /// resolve / union-universe / shared-run semantics, but per-check
+    /// outcomes are drained into per-suite [`ReportSummary`]
+    /// accumulators as their groups complete instead of being collected
+    /// into full per-suite outcome vectors. Verdict content is
+    /// identical — the golden CLI output is byte-for-byte the same —
+    /// while peak report memory tracks the solve frontier (the reorder
+    /// buffer between completion order and check-id order) plus the
+    /// failures worth rendering, not the total check count.
+    ///
+    /// `keep_cores` controls whether passing checks retain their
+    /// load-bearing assumption cores (only the `--json` `cores`
+    /// rendering reads them); failing outcomes are always kept whole.
+    pub fn verify_safety_batch_streaming(
+        &self,
+        suites: &[(&[SafetyProperty], &NetworkInvariants)],
+        keep_cores: bool,
+    ) -> MultiSummary {
+        let t0 = Instant::now();
+        let mut checks: Vec<ResolvedCheck> = Vec::new();
+        let mut bounds = vec![0usize];
+        for (props, inv) in suites {
+            let off = checks.len();
+            checks.extend(self.resolve_suite(props, inv).into_iter().map(|mut rc| {
+                rc.check.id += off;
+                rc
+            }));
+            bounds.push(checks.len());
+        }
+        let mut u = self.universe(&[]);
+        for (props, inv) in suites {
+            for p in *props {
+                p.pred.register(&mut u);
+            }
+            inv.register(&mut u);
+        }
+        let mut summaries: Vec<ReportSummary> = suites
+            .iter()
+            .map(|_| ReportSummary::new(keep_cores))
+            .collect();
+        let exec = {
+            let mut sink = |mut o: CheckOutcome| {
+                // Global ids are contiguous per suite, so the owning
+                // suite is the last bound at or below the id (empty
+                // suites contribute duplicate bounds and are skipped).
+                let si = bounds.partition_point(|&b| b <= o.check.id) - 1;
+                o.check.id -= bounds[si];
+                summaries[si].push(o);
+            };
+            self.run_streamed(&u, &checks, &mut sink)
+        };
+        let total_time = t0.elapsed();
+        for s in &mut summaries {
+            s.total_time = total_time;
+        }
+        MultiSummary {
+            summaries,
+            exec,
+            total_time,
+        }
+    }
+
     /// The assume-side conjuncts of every check in the `(props, inv)`
     /// suite, rendered for display and indexed by check id — the
     /// namespace the indices of [`crate::check::CheckOutcome::core`]
@@ -1082,6 +1175,61 @@ impl<'a> Verifier<'a> {
         report
     }
 
+    /// Execute checks and deliver every [`CheckOutcome`] to `sink` in
+    /// ascending check-id order without materialising the full outcome
+    /// vector. Sequential incremental runs stream through a reorder
+    /// buffer whose peak size is recorded as the
+    /// `engine.report_frontier_peak` gauge; plain sequential runs
+    /// stream one check at a time; orchestrated runs keep whole-run
+    /// assembly (dedup and cache bookkeeping need it) and drain sorted.
+    fn run_streamed(
+        &self,
+        universe: &Universe,
+        checks: &[ResolvedCheck],
+        sink: &mut dyn FnMut(CheckOutcome),
+    ) -> RunStats {
+        // In-order delivery relies on resolved ids being dense and
+        // ascending, which `resolve_suite` + batch re-identification
+        // guarantee.
+        debug_assert!(checks.iter().enumerate().all(|(i, c)| c.check.id == i));
+        obs::add("engine.checks_posed", checks.len() as u64);
+        let _span = obs::span!(
+            "run_checks",
+            checks = checks.len(),
+            mode = self.mode_label()
+        );
+        let slots = self.solver.portfolio.as_ref().map(|_| {
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4);
+            let workers = match self.mode {
+                RunMode::Parallel => self.jobs.unwrap_or(cores),
+                RunMode::Sequential => 1,
+            };
+            smt::PortfolioSlots::new(cores.saturating_sub(workers))
+        });
+        let slots = slots.as_ref();
+        match self.mode {
+            RunMode::Sequential if !self.incremental => {
+                for c in checks {
+                    sink(self.run_one(universe, c));
+                }
+                RunStats::default()
+            }
+            RunMode::Sequential => {
+                self.run_sequential_incremental_streamed(universe, checks, slots, sink)
+            }
+            RunMode::Parallel => {
+                let (mut outcomes, exec) = self.run_orchestrated(universe, checks, slots);
+                outcomes.sort_by_key(|o| o.check.id);
+                for o in outcomes {
+                    sink(o);
+                }
+                exec
+            }
+        }
+    }
+
     /// The execution-mode label attached to trace spans.
     fn mode_label(&self) -> &'static str {
         match (self.mode, self.incremental) {
@@ -1135,6 +1283,69 @@ impl<'a> Verifier<'a> {
             }
         }
         (outcomes.into_iter().map(Option::unwrap).collect(), exec)
+    }
+
+    /// [`Verifier::run_sequential_incremental`] with in-order streaming
+    /// delivery: outcomes complete in group order (first-seen encoding
+    /// base), so a reorder buffer holds exactly the outcomes that
+    /// finished ahead of a still-unfinished lower check id — the
+    /// frontier of the streaming report. Its peak size is recorded as
+    /// the `engine.report_frontier_peak` gauge; everything at or below
+    /// `next` has already left the buffer through `sink`.
+    fn run_sequential_incremental_streamed(
+        &self,
+        universe: &Universe,
+        checks: &[ResolvedCheck],
+        slots: Option<&Arc<smt::PortfolioSlots>>,
+        sink: &mut dyn FnMut(CheckOutcome),
+    ) -> RunStats {
+        let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut group_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, c) in checks.iter().enumerate() {
+            let key = c.body.group_key();
+            match group_of.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => order[*e.get()].1.push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(order.len());
+                    order.push((key, vec![i]));
+                }
+            }
+        }
+        let mut exec = RunStats {
+            groups: order.len(),
+            assumption_solves: checks.len().saturating_sub(order.len()),
+            ..RunStats::default()
+        };
+        if order.len() == checks.len() {
+            // No sharing to exploit: keep the stats line quiet.
+            exec = RunStats::default();
+        }
+        let mut next = 0usize;
+        let mut pending: BTreeMap<usize, CheckOutcome> = BTreeMap::new();
+        let mut frontier_peak = 0usize;
+        for (_, idxs) in order {
+            let group: Vec<&ResolvedCheck> = idxs.iter().map(|&i| &checks[i]).collect();
+            let solved = self.run_group(universe, &group, slots);
+            for (i, s) in idxs.into_iter().zip(solved) {
+                pending.insert(
+                    i,
+                    CheckOutcome {
+                        check: checks[i].check.clone(),
+                        result: s.result,
+                        stats: s.stats,
+                        core: s.core,
+                    },
+                );
+            }
+            frontier_peak = frontier_peak.max(pending.len());
+            while let Some(o) = pending.remove(&next) {
+                sink(o);
+                next += 1;
+            }
+        }
+        debug_assert!(pending.is_empty());
+        obs::gauge_max("engine.report_frontier_peak", frontier_peak as u64);
+        exec
     }
 
     /// Lower resolved checks into orchestrator jobs: fingerprint each
@@ -1851,6 +2062,60 @@ mod tests {
         for (a, b) in seq.outcomes.iter().zip(par.outcomes.iter()) {
             assert_eq!(a.check.id, b.check.id);
             assert_eq!(a.result.passed(), b.result.passed());
+        }
+    }
+
+    #[test]
+    fn streaming_batch_agrees_with_batch() {
+        let (t, pol) = figure1();
+        let (prop, inv) = no_transit_inputs(&t);
+        let r2 = t.node_by_name("R2").unwrap();
+        let isp2 = t.node_by_name("ISP2").unwrap();
+        let to_isp2 = t.edge_between(r2, isp2).unwrap();
+        // Second suite fails its subsumption check, so the parity below
+        // covers failure retention, not just pass aggregation.
+        let bad_prop = SafetyProperty::new(
+            Location::Edge(to_isp2),
+            RoutePred::local_pref(crate::pred::Cmp::Eq, 7),
+        )
+        .named("unprovable");
+        let bad_inv = NetworkInvariants::new();
+        for mode in [RunMode::Sequential, RunMode::Parallel] {
+            let v = Verifier::new(&t, &pol)
+                .with_ghost(from_isp1_ghost(&t))
+                .with_mode(mode);
+            let suites: Vec<(&[SafetyProperty], &NetworkInvariants)> = vec![
+                (std::slice::from_ref(&prop), &inv),
+                (std::slice::from_ref(&bad_prop), &bad_inv),
+            ];
+            let batch = v.verify_safety_batch(&suites);
+            let streamed = v.verify_safety_batch_streaming(&suites, true);
+            assert_eq!(batch.reports.len(), streamed.summaries.len());
+            assert!(!streamed.all_passed());
+            assert_eq!(batch.num_checks(), streamed.num_checks());
+            for (r, s) in batch.reports.iter().zip(&streamed.summaries) {
+                assert_eq!(r.num_checks(), s.num_checks());
+                assert_eq!(r.all_passed(), s.all_passed());
+                assert_eq!(r.solver_invocations(), s.solver_invocations());
+                assert_eq!(r.max_vars(), s.max_vars());
+                assert_eq!(r.max_clauses(), s.max_clauses());
+                let rf: Vec<(usize, String)> = r
+                    .failures()
+                    .iter()
+                    .map(|f| (f.check.id, format!("{:?}", f.result)))
+                    .collect();
+                let sf: Vec<(usize, String)> = s
+                    .failures()
+                    .iter()
+                    .map(|f| (f.check.id, format!("{:?}", f.result)))
+                    .collect();
+                assert_eq!(rf, sf);
+                let rc: Vec<(usize, &[usize])> =
+                    r.cores().iter().map(|&(c, k)| (c.id, k)).collect();
+                let sc: Vec<(usize, &[usize])> =
+                    s.cores().iter().map(|&(c, k)| (c.id, k)).collect();
+                assert_eq!(rc, sc);
+            }
         }
     }
 

@@ -4,8 +4,8 @@
 
 use crate::minimize::FailingCase;
 use crate::oracle::{
-    bug_oracle, edit_oracle, parity_oracle, portfolio_oracle, sim_oracle, Discrepancy, OracleId,
-    BUG_ORACLE_SIM_ROUNDS,
+    bug_oracle, cache_poison_oracle, edit_oracle, parity_oracle, portfolio_oracle, sim_oracle,
+    Discrepancy, OracleId, BUG_ORACLE_SIM_ROUNDS,
 };
 use crate::zoo::{FamilyId, FamilyParams};
 use rand::rngs::StdRng;
@@ -185,6 +185,7 @@ fn oracle_counter(oracle: &str) -> &'static str {
         "mode_parity" => "fuzz.oracle.mode_parity_ns",
         "edit_sequence" => "fuzz.oracle.edit_sequence_ns",
         "portfolio_parity" => "fuzz.oracle.portfolio_parity_ns",
+        "cache_poison" => "fuzz.oracle.cache_poison_ns",
         _ => "fuzz.oracle.bug_injection_ns",
     }
 }
@@ -239,6 +240,7 @@ fn oracle_counter_hist(oracle: &str) -> &'static str {
         "mode_parity" => "fuzz.oracle.mode_parity",
         "edit_sequence" => "fuzz.oracle.edit_sequence",
         "portfolio_parity" => "fuzz.oracle.portfolio_parity",
+        "cache_poison" => "fuzz.oracle.cache_poison",
         _ => "fuzz.oracle.bug_injection",
     }
 }
@@ -339,6 +341,23 @@ fn run_case(
         );
         return Some((fc, d));
     }
+    // Oracle 6: cache poisoning — a corrupted spill re-proves, never
+    // replays or panics.
+    let poison_seed = mix(case_seed, 5);
+    let t = Instant::now();
+    let poison = cache_poison_oracle(&case, poison_seed);
+    charge(out, "cache_poison", t);
+    if let Err(d) = poison {
+        let fc = failing(
+            OracleId::CachePoison,
+            case.configs.clone(),
+            Vec::new(),
+            poison_seed,
+            cfg.sim_rounds,
+            &d,
+        );
+        return Some((fc, d));
+    }
     // Injected-bug sweep: once per family cycle.
     if cfg.inject && i < cfg.families.len() {
         for (desc, inject) in crate::oracle::injection_sample(&params) {
@@ -419,7 +438,13 @@ mod tests {
             out.per_family_elapsed.keys().collect::<Vec<_>>(),
             out.per_family.keys().collect::<Vec<_>>()
         );
-        for oracle in ["sim_grid", "mode_parity", "edit_sequence", "bug_injection"] {
+        for oracle in [
+            "sim_grid",
+            "mode_parity",
+            "edit_sequence",
+            "cache_poison",
+            "bug_injection",
+        ] {
             assert!(
                 out.per_oracle_elapsed.contains_key(oracle),
                 "missing per-oracle time for {oracle}"

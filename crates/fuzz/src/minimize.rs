@@ -94,6 +94,11 @@ pub fn rerun(fc: &FailingCase) -> Option<Discrepancy> {
             let case = fc.params.build_from(fc.configs.clone());
             crate::oracle::portfolio_oracle(&case, fc.sim_seed).err()
         }
+        OracleId::CachePoison => {
+            // sim_seed doubles as the recorded corruption seed.
+            let case = fc.params.build_from(fc.configs.clone());
+            crate::oracle::cache_poison_oracle(&case, fc.sim_seed).err()
+        }
     })
     .flatten()
 }

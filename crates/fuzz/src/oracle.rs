@@ -21,6 +21,10 @@
 //!    group on jittered solver clones must render reports byte-identical
 //!    to sequential solving, for any race seed — the determinism
 //!    contract of the portfolio layer, tested differentially.
+//! 6. **Cache poisoning** ([`cache_poison_oracle`]): a `--cache-dir`
+//!    spill corrupted on disk — truncated, bit-flipped, or with forged
+//!    entry checksums — must reload without panicking and must never
+//!    change a report byte: damaged entries are re-proved, not replayed.
 
 use crate::zoo::{random_announcement, FuzzCase};
 use bgp_model::sim::{simulate, SimOptions};
@@ -51,6 +55,9 @@ pub enum OracleId {
     BugMissed,
     /// Portfolio-raced reports vs sequential reports, byte for byte.
     PortfolioParity,
+    /// Reports after reloading a corrupted cache spill vs clean reports,
+    /// byte for byte (and the reload must not panic).
+    CachePoison,
 }
 
 impl OracleId {
@@ -63,6 +70,7 @@ impl OracleId {
             OracleId::Verify => "verify",
             OracleId::BugMissed => "bug-missed",
             OracleId::PortfolioParity => "portfolio-parity",
+            OracleId::CachePoison => "cache-poison",
         }
     }
 
@@ -75,6 +83,7 @@ impl OracleId {
             OracleId::Verify,
             OracleId::BugMissed,
             OracleId::PortfolioParity,
+            OracleId::CachePoison,
         ]
         .into_iter()
         .find(|o| o.name() == s)
@@ -335,6 +344,117 @@ pub fn portfolio_oracle(case: &FuzzCase, seed: u64) -> Result<(), Discrepancy> {
     Ok(())
 }
 
+/// Oracle 6: a poisoned cache spill must never change a report byte.
+/// The case is verified orchestrated with a result cache attached, the
+/// cache is spilled to disk, the spill bytes are deterministically
+/// corrupted (truncated, bit-flipped, or checksum-forged, chosen by
+/// `seed`), and the damaged spill is reloaded: the reload must not
+/// panic, and re-verifying with whatever survived must render reports
+/// byte-identical to the clean run — a rejected or vanished entry is
+/// re-proved, a replayed one would have to be intact.
+pub fn cache_poison_oracle(case: &FuzzCase, seed: u64) -> Result<(), Discrepancy> {
+    let dir = std::env::temp_dir().join(format!(
+        "lightyear-fuzz-poison-{}-{seed:016x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = cache_poison_in(case, seed, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn cache_poison_in(case: &FuzzCase, seed: u64, dir: &std::path::Path) -> Result<(), Discrepancy> {
+    let topo = &case.network.topology;
+    let fail = |detail: String| Err(Discrepancy::new(OracleId::CachePoison, detail));
+    // Warm a cache through an orchestrated run and spill it; the warm
+    // run's reports are the byte baseline.
+    let cache = std::sync::Arc::new(lightyear::CheckCache::new());
+    let mut baselines = Vec::new();
+    for s in &case.suites {
+        let r = case
+            .verifier()
+            .with_mode(RunMode::Parallel)
+            .with_jobs(2)
+            .with_cache(cache.clone())
+            .verify_safety_multi(&s.props, &s.inv);
+        baselines.push(report_text(topo, &r));
+    }
+    if let Err(e) = lightyear::save_check_cache(&cache, dir) {
+        return fail(format!("cannot spill cache: {e}"));
+    }
+    let path = dir.join("cache.json");
+    let mut bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("cannot read spill: {e}")),
+    };
+    let style = corrupt_spill(&mut bytes, seed);
+    if let Err(e) = std::fs::write(&path, &bytes) {
+        return fail(format!("cannot write corrupted spill: {e}"));
+    }
+
+    // Reload must survive arbitrary corruption: a panic is the
+    // discrepancy; an I/O or parse error is just a cold start (the CLI
+    // warns and re-proves — see `cmd_verify`).
+    let reloaded = {
+        let d = dir.to_path_buf();
+        crate::try_quiet(move || lightyear::load_check_cache(&d))
+    };
+    let poisoned = match reloaded {
+        None => return fail(format!("reloading a {style} spill panicked")),
+        Some(Ok((c, _))) => c,
+        Some(Err(_)) => std::sync::Arc::new(lightyear::CheckCache::new()),
+    };
+    for (s, baseline) in case.suites.iter().zip(&baselines) {
+        let r = case
+            .verifier()
+            .with_mode(RunMode::Parallel)
+            .with_jobs(2)
+            .with_cache(poisoned.clone())
+            .verify_safety_multi(&s.props, &s.inv);
+        let t = report_text(topo, &r);
+        if t != *baseline {
+            return fail(format!(
+                "suite {}: report after reloading a {style} spill diverges:\n--- clean\n{baseline}\n--- poisoned\n{t}",
+                s.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministically corrupt spill bytes in place; returns the style
+/// applied (named in discrepancy messages).
+fn corrupt_spill(bytes: &mut Vec<u8>, seed: u64) -> &'static str {
+    let n = bytes.len().max(1);
+    match seed % 3 {
+        0 => {
+            bytes.truncate((seed as usize / 3) % n);
+            "truncated"
+        }
+        1 => {
+            let i = (seed as usize / 3) % n;
+            bytes[i] ^= 1 << ((seed / 3) % 8);
+            "bit-flipped"
+        }
+        _ => {
+            // Zero every entry checksum: intact payloads under forged
+            // sums, the hand-edited-spill shape.
+            let mut text = String::from_utf8_lossy(bytes).into_owned();
+            let needle = "\"sum\": \"";
+            let mut at = 0;
+            while let Some(p) = text[at..].find(needle) {
+                let start = at + p + needle.len();
+                let end = (start + 32).min(text.len());
+                let zeros = "0".repeat(end - start);
+                text.replace_range(start..end, &zeros);
+                at = end;
+            }
+            *bytes = text.into_bytes();
+            "checksum-forged"
+        }
+    }
+}
+
 /// Apply one menu edit to `configs`, retrying `seed..seed+16` until one
 /// applies — the single retry idiom shared by generation and replay, so
 /// a recorded seed always reproduces the same edit.
@@ -559,5 +679,21 @@ pub fn injection_sample(params: &crate::zoo::FamilyParams) -> Vec<Injection> {
                 netgen::mutate::drop_community_sets(c, "SP0", "FROM-SITE").is_some()
             },
         )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::FamilyParams;
+
+    #[test]
+    fn cache_poison_oracle_survives_every_corruption_style() {
+        let case = FamilyParams::Figure1.build();
+        // seed % 3 picks the style: 0 truncates (here: to zero bytes),
+        // 3001 flips a bit mid-file, 2 forges every entry checksum.
+        for seed in [0u64, 3001, 2] {
+            cache_poison_oracle(&case, seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
     }
 }

@@ -24,6 +24,10 @@
 //! * [`hubspoke`] — a hub-and-spoke enterprise WAN: a star of branch
 //!   routers around one hub with the Internet uplink, site prefixes
 //!   fenced off the uplink.
+//! * [`zoo`] — the Internet-scale corpus: curated Topology Zoo backbone
+//!   sizes (11 to 754 routers) synthesized deterministically with a
+//!   route-reflector overlay, community fencing and peering hygiene
+//!   policy; the workload behind `lightyear bench --zoo`.
 //! * [`mutate`] — failure injection: seeded configuration bugs of the
 //!   classes the paper found in production (missing community tag, ad-hoc
 //!   AS-path policy on one peering, undocumented region community).
@@ -39,6 +43,7 @@ pub mod mutate;
 pub mod rr;
 pub mod stub;
 pub mod wan;
+pub mod zoo;
 
 use bgp_config::ast::ConfigAst;
 use bgp_config::{lower, parse_config, print_config, Network};

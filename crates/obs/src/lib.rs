@@ -140,6 +140,35 @@ pub fn observe(name: &'static str, d: std::time::Duration) {
     observe_ns(name, d.as_nanos().min(u64::MAX as u128) as u64);
 }
 
+/// Peak resident-set size (`VmHWM`) of the current process in
+/// kilobytes, read from `/proc/self/status`. `0` when the field is
+/// unavailable (non-Linux, restricted procfs) — callers treat that as
+/// "unknown", never as an actual zero footprint.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Sample [`peak_rss_kb`] into the `proc.vm_hwm_kb` high-water gauge
+/// (when a sink is installed) and return the sampled value. The zoo
+/// bench sweep calls this after each verify so `BENCH_zoo.json` can
+/// report the true peak footprint per corpus entry.
+pub fn record_peak_rss() -> u64 {
+    let kb = peak_rss_kb();
+    if kb > 0 {
+        gauge_max("proc.vm_hwm_kb", kb);
+    }
+    kb
+}
+
 /// Open a span with no arguments. Prefer the [`span!`] macro, which
 /// also skips argument formatting when disabled.
 #[inline]

@@ -7,7 +7,7 @@ use crate::export::{EventRecord, EventRing, ExportSink, Level, EVENT_RING_CAP};
 use crate::trace::{SpanRecord, TraceRing};
 use serde_json::Value;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -55,24 +55,52 @@ fn shard() -> usize {
 }
 
 /// A monotone counter, sharded per thread.
+///
+/// Overflow **clamps and flags** instead of wrapping: a wrapped
+/// `u64` reads as a plausible small total, which is the worst failure
+/// mode a metric can have; a clamped `u64::MAX` with
+/// [`Counter::saturated`] set cannot be mistaken for a real value.
 #[derive(Default)]
 pub struct Counter {
     shards: [PaddedU64; SHARDS],
+    saturated: AtomicBool,
 }
 
 impl Counter {
     /// Add `n`. One uncontended atomic on the caller's shard.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.shards[shard()].0.fetch_add(n, Ordering::Relaxed);
+        let sh = &self.shards[shard()].0;
+        let prev = sh.fetch_add(n, Ordering::Relaxed);
+        if prev.checked_add(n).is_none() {
+            sh.store(u64::MAX, Ordering::Relaxed);
+            self.saturated.store(true, Ordering::Relaxed);
+        }
     }
 
-    /// Merged total across shards.
+    /// Merged total across shards; `u64::MAX` once saturated (any
+    /// shard wrapped, or the cross-shard sum itself overflows).
     pub fn value(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.0.load(Ordering::Relaxed))
-            .sum()
+        let mut total = 0u64;
+        for s in &self.shards {
+            match total.checked_add(s.0.load(Ordering::Relaxed)) {
+                Some(t) => total = t,
+                None => {
+                    self.saturated.store(true, Ordering::Relaxed);
+                    return u64::MAX;
+                }
+            }
+        }
+        if self.saturated.load(Ordering::Relaxed) {
+            u64::MAX
+        } else {
+            total
+        }
+    }
+
+    /// True once the counter has overflowed and been clamped.
+    pub fn saturated(&self) -> bool {
+        self.saturated.load(Ordering::Relaxed)
     }
 }
 
@@ -110,9 +138,12 @@ struct HistShard {
 
 /// A duration histogram with fixed exponential buckets
 /// ([`BUCKET_BOUNDS_US`]), sharded per thread like [`Counter`].
+/// Overflow of the duration sum (or a bucket count) clamps and flags
+/// rather than wrapping, same contract as [`Counter`].
 #[derive(Default)]
 pub struct Histogram {
     shards: [HistShard; SHARDS],
+    saturated: AtomicBool,
 }
 
 impl Histogram {
@@ -128,25 +159,49 @@ impl Histogram {
     #[inline]
     pub fn record_ns(&self, ns: u64) {
         let sh = &self.shards[shard()];
-        sh.buckets[Self::bucket_index(ns / 1_000)].fetch_add(1, Ordering::Relaxed);
-        sh.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        let bucket = &sh.buckets[Self::bucket_index(ns / 1_000)];
+        if bucket.fetch_add(1, Ordering::Relaxed) == u64::MAX {
+            bucket.store(u64::MAX, Ordering::Relaxed);
+            self.saturated.store(true, Ordering::Relaxed);
+        }
+        let prev = sh.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        if prev.checked_add(ns).is_none() {
+            sh.sum_ns.store(u64::MAX, Ordering::Relaxed);
+            self.saturated.store(true, Ordering::Relaxed);
+        }
     }
 
-    /// Merged snapshot across shards.
+    /// Merged snapshot across shards. Saturated totals are clamped to
+    /// `u64::MAX` (see [`Histogram::saturated`]).
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = vec![0u64; NUM_BUCKETS];
         let mut sum_ns = 0u64;
         for sh in &self.shards {
             for (b, src) in buckets.iter_mut().zip(sh.buckets.iter()) {
-                *b += src.load(Ordering::Relaxed);
+                *b = b.saturating_add(src.load(Ordering::Relaxed));
             }
-            sum_ns += sh.sum_ns.load(Ordering::Relaxed);
+            match sum_ns.checked_add(sh.sum_ns.load(Ordering::Relaxed)) {
+                Some(t) => sum_ns = t,
+                None => {
+                    sum_ns = u64::MAX;
+                    self.saturated.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        if self.saturated.load(Ordering::Relaxed) {
+            sum_ns = u64::MAX;
         }
         HistogramSnapshot {
-            count: buckets.iter().sum(),
+            count: buckets.iter().fold(0u64, |a, &b| a.saturating_add(b)),
             sum_ns,
             buckets,
         }
+    }
+
+    /// True once any bucket count or the duration sum has overflowed
+    /// and been clamped.
+    pub fn saturated(&self) -> bool {
+        self.saturated.load(Ordering::Relaxed)
     }
 }
 
@@ -574,6 +629,36 @@ mod tests {
         assert_eq!(s.buckets[0], 2);
         assert_eq!(s.buckets[3], 1);
         assert_eq!(s.buckets[NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn counter_overflow_clamps_and_flags() {
+        // Regression for zoo-scale wrap-around: totals sized during
+        // 50-router runs wrapped silently past u64::MAX. Overflow must
+        // clamp to u64::MAX and flag, never wrap to a small value.
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        assert_eq!(c.value(), u64::MAX - 1);
+        assert!(!c.saturated());
+        c.add(5); // wraps the shard
+        assert_eq!(c.value(), u64::MAX);
+        assert!(c.saturated());
+        // Saturation is sticky: further adds cannot shrink the value.
+        c.add(1);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_sum_overflow_clamps_and_flags() {
+        let h = Histogram::default();
+        h.record_ns(u64::MAX - 10);
+        assert!(!h.saturated());
+        h.record_ns(u64::MAX - 10); // sum wraps
+        let s = h.snapshot();
+        assert!(h.saturated());
+        assert_eq!(s.sum_ns, u64::MAX);
+        assert_eq!(s.count, 2); // counts stay honest
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 2);
     }
 
     #[test]

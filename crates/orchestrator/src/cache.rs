@@ -14,7 +14,7 @@
 //! least-recently-used entry once over budget, so memory stays constant
 //! no matter how many distinct check structures flow through.
 
-use crate::fingerprint::Fingerprint;
+use crate::fingerprint::{Fingerprint, FpHasher};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::io::{self, Write as _};
@@ -23,7 +23,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Spill-format version; bump when the entry encoding changes.
-const SPILL_VERSION: i64 = 2;
+/// Version 3 wraps each entry as `{"sum", "payload"}` where `sum` is the
+/// fingerprint of the entry's key and payload bytes: a spill that was
+/// truncated, bit-flipped, or hand-forged fails its checksum on reload
+/// and the affected checks are simply re-proved instead of replayed.
+const SPILL_VERSION: i64 = 3;
+
+/// Checksum of a spill entry: covers the fingerprint key *and* the
+/// serialized payload bytes, so corruption in either (including a
+/// flipped hex digit that would re-key a valid payload onto the wrong
+/// check) fails verification.
+///
+/// Public because external tools (and tests) that rewrite spill files
+/// must recompute it. It is an *integrity* sum against corruption, not a
+/// cryptographic seal: well-formed entries still pass semantic
+/// re-validation against the live encoding before being replayed.
+pub fn spill_entry_sum(key_hex: &str, payload: &str) -> String {
+    let mut h = FpHasher::new();
+    h.write_tag("spill-entry");
+    h.write_str(key_hex);
+    h.write_str(payload);
+    h.finish().to_hex()
+}
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -207,8 +228,10 @@ impl<V: Clone> ResultCache<V> {
     }
 
     /// Spill to `dir/cache.json`. `encode` chooses which entries are
-    /// durable: returning `None` skips an entry. Returns the number of
-    /// entries written.
+    /// durable: returning `None` skips an entry. Each entry is stored as
+    /// `{"sum", "payload"}` — the payload's compact JSON text plus its
+    /// checksum — so reload can detect corruption per entry. Returns the
+    /// number of entries written.
     pub fn save_to_dir(
         &self,
         dir: &Path,
@@ -219,7 +242,17 @@ impl<V: Clone> ResultCache<V> {
         for shard in &self.shards {
             for (k, e) in shard.lock().unwrap().iter() {
                 if let Some(val) = encode(&e.value) {
-                    entries.push((Fingerprint(*k).to_hex(), val));
+                    let hex = Fingerprint(*k).to_hex();
+                    let payload = serde_json::to_string(&val)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    let wrapped = Value::Object(vec![
+                        (
+                            "sum".to_string(),
+                            Value::Str(spill_entry_sum(&hex, &payload)),
+                        ),
+                        ("payload".to_string(), Value::Str(payload)),
+                    ]);
+                    entries.push((hex, wrapped));
                 }
             }
         }
@@ -247,7 +280,10 @@ impl<V: Clone> ResultCache<V> {
 
     /// Load `dir/cache.json` written by [`ResultCache::save_to_dir`].
     /// Missing file is an empty load; a version mismatch ignores the
-    /// file (the fingerprint format changed). `decode` may reject
+    /// file (the fingerprint format changed). Every entry must pass its
+    /// payload checksum before being parsed: a corrupted or forged entry
+    /// is skipped (counted on `cache.spill_rejected`) and its check is
+    /// re-proved by the caller, never replayed. `decode` may reject
     /// individual entries by returning `None`. Returns entries loaded.
     pub fn load_from_dir(
         &self,
@@ -269,12 +305,30 @@ impl<V: Clone> ResultCache<V> {
             return Ok(0);
         };
         let mut loaded = 0;
-        for (hex, val) in entries {
-            let (Some(fp), Some(v)) = (Fingerprint::from_hex(hex), decode(val)) else {
+        let mut rejected = 0u64;
+        for (hex, wrapped) in entries {
+            let Some(fp) = Fingerprint::from_hex(hex) else {
+                rejected += 1;
+                continue;
+            };
+            // Checksum-before-parse: only payload bytes whose sum
+            // matches (over key and payload) are ever handed to the
+            // JSON parser or `decode`.
+            let verified = match (wrapped["sum"].as_str(), wrapped["payload"].as_str()) {
+                (Some(sum), Some(payload)) if sum == spill_entry_sum(hex, payload) => {
+                    serde_json::from_str::<Value>(payload).ok()
+                }
+                _ => None,
+            };
+            let Some(v) = verified.as_ref().and_then(&decode) else {
+                rejected += 1;
                 continue;
             };
             self.insert(fp, v);
             loaded += 1;
+        }
+        if rejected > 0 {
+            obs::add("cache.spill_rejected", rejected);
         }
         // Loads should not count as runtime insert traffic.
         self.inserts.fetch_sub(loaded as u64, Ordering::Relaxed);
@@ -339,6 +393,79 @@ mod tests {
         assert_eq!(c2.peek(fp(1)), Some((true, 10)));
         assert_eq!(c2.peek(fp(2)), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Spill a two-entry cache, apply `corrupt` to the file text, and
+    /// return how many entries a fresh cache loads from the result.
+    fn poisoned_load(tag: &str, corrupt: impl Fn(String) -> String) -> (ResultCache<u32>, usize) {
+        let dir = std::env::temp_dir().join(format!("orch-poison-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c: ResultCache<u32> = ResultCache::new();
+        c.insert(fp(1), 10);
+        c.insert(fp(2), 20);
+        c.save_to_dir(&dir, |n| Some(serde_json::json!({ "n": *n })))
+            .unwrap();
+        let path = dir.join("cache.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, corrupt(text)).unwrap();
+        let c2: ResultCache<u32> = ResultCache::new();
+        let loaded = c2
+            .load_from_dir(&dir, |v| v["n"].as_u64().map(|n| n as u32))
+            .unwrap_or(0);
+        let _ = std::fs::remove_dir_all(&dir);
+        (c2, loaded)
+    }
+
+    #[test]
+    fn bit_flipped_payload_is_rejected_not_replayed() {
+        // Flip one digit inside one payload's value: the entry's
+        // checksum no longer matches, so only the intact entry loads.
+        // (`:10}` cannot occur in a hex key or checksum, so the flip
+        // lands inside the escaped payload string.)
+        let (c, loaded) = poisoned_load("flip", |t| t.replacen(":10}", ":99}", 1));
+        assert_eq!(loaded, 1);
+        assert_eq!(c.peek(fp(1)), None, "poisoned entry must not replay");
+        assert_eq!(c.peek(fp(2)), Some(20), "intact entry still loads");
+    }
+
+    #[test]
+    fn forged_checksum_is_rejected() {
+        // Garbling an entry's checksum (first entry in file order)
+        // rejects the entry even though the payload itself is intact.
+        let (c, loaded) = poisoned_load("forge", |t| t.replacen("\"sum\": \"", "\"sum\": \"0", 1));
+        assert_eq!(loaded, 1, "only the untouched entry loads");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn flipped_key_digit_is_rejected() {
+        // A flipped hex digit in the key re-keys a valid payload onto
+        // the wrong fingerprint; the checksum covers the key, so the
+        // transposed entry is rejected rather than replayed.
+        let (c, loaded) = poisoned_load("key", |t| {
+            let h = fp(1).to_hex();
+            let mut flipped = h.clone();
+            let repl = if h.starts_with('0') { "1" } else { "0" };
+            flipped.replace_range(0..1, repl);
+            t.replacen(&h, &flipped, 1)
+        });
+        assert_eq!(loaded, 1, "only the untouched entry loads");
+        assert_eq!(c.peek(fp(1)), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn truncated_file_loads_nothing_and_does_not_panic() {
+        let (c, loaded) = poisoned_load("trunc", |t| t[..t.len() / 2].to_string());
+        assert_eq!(loaded, 0, "truncated spill is a cold start");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn version_2_spill_is_ignored() {
+        let (_, loaded) =
+            poisoned_load("ver", |t| t.replacen("\"version\": 3", "\"version\": 2", 1));
+        assert_eq!(loaded, 0, "pre-checksum spills are not trusted");
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod term;
 
 pub use bitblast::IncrementalBlaster;
 pub use cnf::{Cnf, Lit, Var};
-pub use sat::{DbStats, SatSolver, SatStats, SolveOutcome, SolverConfig};
+pub use sat::{
+    DbStats, SatSolver, SatStats, SolveOutcome, SolverConfig, SolverError, ARENA_CAP_WORDS,
+};
 pub use solver::{
     solve, solve_with_stats, Assumption, IncrementalSession, Model, PortfolioConfig,
     PortfolioSlots, SatResult, SolverStats, Value, PORTFOLIO_MAX_K, PORTFOLIO_WIN_COUNTERS,

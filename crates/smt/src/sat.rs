@@ -65,6 +65,48 @@ pub enum SolveOutcome {
 type ClauseRef = u32;
 const REASON_NONE: ClauseRef = u32::MAX;
 
+/// Hard ceiling on clause-arena size, in `u32` words: one below
+/// `u32::MAX` so every valid clause offset stays distinguishable from
+/// the `REASON_NONE` sentinel.
+pub const ARENA_CAP_WORDS: u32 = u32::MAX - 1;
+
+/// A typed solver failure. Before this existed, the flat clause arena
+/// grew unchecked: past `u32::MAX` words the `as u32` offset cast
+/// silently wrapped, aliasing fresh clauses onto old ones and
+/// corrupting the watcher lists — a wrong-verdict bug, not a crash.
+/// Allocation is now checked, and an exhausted arena latches this error
+/// on the solver: the instance refuses every further verdict instead of
+/// risking one derived from a dropped or aliased clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// The flat clause arena hit its addressing cap (the real `u32`
+    /// ceiling, or a synthetic test cap from
+    /// [`SatSolver::set_arena_cap_words`]).
+    ArenaExhausted {
+        /// Words the arena would have needed for the failed allocation.
+        requested_words: u64,
+        /// The cap in force when the allocation failed.
+        cap_words: u32,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::ArenaExhausted {
+                requested_words,
+                cap_words,
+            } => write!(
+                f,
+                "clause arena exhausted: allocation needs {requested_words} words, \
+                 cap is {cap_words} words"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 /// Heuristic and inprocessing knobs. [`SolverConfig::default`] is the
 /// tuned configuration every production path uses;
 /// [`SolverConfig::plain`] disables the inprocessing features (the
@@ -234,14 +276,22 @@ const FLAG_LEARNT: u32 = 2;
 const HEADER_WORDS: usize = 2;
 
 impl ClauseDb {
-    fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+    /// Allocate a clause, refusing — with **no partial state** — when
+    /// the arena would grow past `cap` words. `ClauseRef` offsets are
+    /// `u32`; unchecked growth past that range used to wrap the offset
+    /// cast and alias earlier clauses.
+    fn alloc(&mut self, lits: &[Lit], learnt: bool, cap: u32) -> Option<ClauseRef> {
         debug_assert!(lits.len() >= 2);
+        let needed = self.data.len() as u64 + (HEADER_WORDS + lits.len()) as u64;
+        if needed > cap as u64 {
+            return None;
+        }
         let c = self.data.len() as ClauseRef;
         let flags = if learnt { FLAG_LEARNT } else { 0 };
         self.data.push((lits.len() as u32) << 4 | flags);
         self.data.push(0f32.to_bits());
         self.data.extend(lits.iter().map(|l| l.0));
-        c
+        Some(c)
     }
 
     fn len(&self, c: ClauseRef) -> usize {
@@ -421,6 +471,12 @@ pub struct SatSolver {
     stats: SatStats,
     max_learnts: f64,
     config: SolverConfig,
+    /// Clause-arena size ceiling in words ([`ARENA_CAP_WORDS`] in
+    /// production; tests lower it to force near-capacity growth).
+    arena_cap: u32,
+    /// Latched capacity failure: once set, every solve refuses a
+    /// verdict (the abortable entry point returns `None`).
+    arena_error: Option<SolverError>,
     /// Assignment snapshot from the most recent `Sat` answer; solves
     /// backtrack to the root level before returning, so the model must
     /// outlive the trail.
@@ -465,6 +521,8 @@ impl SatSolver {
             stats: SatStats::default(),
             max_learnts: 0.0,
             config,
+            arena_cap: ARENA_CAP_WORDS,
+            arena_error: None,
             model: Vec::new(),
             conflict_core: Vec::new(),
         };
@@ -664,7 +722,10 @@ impl SatSolver {
                 self.ok
             }
             _ => {
-                self.attach_clause(&scratch, false);
+                // On arena exhaustion the clause is NOT recorded, but the
+                // latched error already blocks every future verdict, so
+                // the dropped clause can never be observed.
+                let _ = self.attach_clause(&scratch, false);
                 true
             }
         };
@@ -672,16 +733,43 @@ impl SatSolver {
         result
     }
 
-    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+    /// `None` when the clause arena is full: nothing is allocated, no
+    /// watcher is pushed, and the capacity error is latched on the
+    /// solver. Callers must not derive a verdict past a `None`.
+    #[must_use]
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> Option<ClauseRef> {
         debug_assert!(lits.len() >= 2);
-        let cref = self.db.alloc(lits, learnt);
+        let Some(cref) = self.db.alloc(lits, learnt, self.arena_cap) else {
+            self.arena_error = Some(SolverError::ArenaExhausted {
+                requested_words: self.db.data.len() as u64 + (HEADER_WORDS + lits.len()) as u64,
+                cap_words: self.arena_cap,
+            });
+            return None;
+        };
         let spill = self.config.spill_watchers;
         self.watches[(!lits[0]).index()].push(cref, lits[1], spill);
         self.watches[(!lits[1]).index()].push(cref, lits[0], spill);
         if learnt {
             self.stats.learnts += 1;
         }
-        cref
+        Some(cref)
+    }
+
+    /// Lower the clause-arena capacity (clamped to
+    /// [`ARENA_CAP_WORDS`]). A test hook: forcing near-capacity growth
+    /// with a tiny synthetic cap exercises the same refusal path the
+    /// real `u32` ceiling would, without gigabytes of clauses.
+    pub fn set_arena_cap_words(&mut self, cap: u32) {
+        self.arena_cap = cap.min(ARENA_CAP_WORDS);
+    }
+
+    /// The latched capacity error, if the arena ever filled. Once set,
+    /// [`SatSolver::solve_under_assumptions_abortable`] returns `None`
+    /// without searching and the non-abortable entry points panic with
+    /// the typed message instead of returning a possibly-unsound
+    /// verdict.
+    pub fn arena_error(&self) -> Option<&SolverError> {
+        self.arena_error.as_ref()
     }
 
     fn decision_level(&self) -> u32 {
@@ -1045,7 +1133,10 @@ impl SatSolver {
                 .map(|&r| Lit(r))
                 .collect();
             let learnt = old.is_learnt(c);
-            let nc = self.db.alloc(&lits, learnt);
+            let nc = self
+                .db
+                .alloc(&lits, learnt, ARENA_CAP_WORDS)
+                .expect("compaction never grows the arena");
             self.db.set_activity(nc, old.activity(c));
             self.watches[(!lits[0]).index()].push(nc, lits[1], spill);
             self.watches[(!lits[1]).index()].push(nc, lits[0], spill);
@@ -1178,8 +1269,13 @@ impl SatSolver {
         for (cref, new_lits) in rewrites {
             let learnt = self.db.is_learnt(cref);
             let act = self.db.activity(cref);
-            let nc = self.attach_clause(&new_lits, learnt);
-            self.db.set_activity(nc, act);
+            match self.attach_clause(&new_lits, learnt) {
+                Some(nc) => self.db.set_activity(nc, act),
+                // Arena full mid-rewrite: the original clause is already
+                // tombstoned, but the latched error blocks every future
+                // verdict, so stop sweeping and bail out.
+                None => return,
+            }
         }
         if empty {
             self.ok = false;
@@ -1288,7 +1384,9 @@ impl SatSolver {
                     }
                     _ => {
                         let act = self.db.activity(cref);
-                        let nc = self.attach_clause(&kept, true);
+                        let Some(nc) = self.attach_clause(&kept, true) else {
+                            break; // arena full: latched, stop vivifying
+                        };
                         // attach_clause counted a new learnt; the old one
                         // was deleted, so the net count is unchanged.
                         self.stats.learnts = self.stats.learnts.saturating_sub(1);
@@ -1325,8 +1423,13 @@ impl SatSolver {
     /// itself is unsatisfiable the core is empty and every later solve
     /// answers `Unsat` immediately.
     pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
-        self.solve_under_assumptions_abortable(assumptions, None)
-            .expect("non-abortable solve cannot be aborted")
+        match self.solve_under_assumptions_abortable(assumptions, None) {
+            Some(outcome) => outcome,
+            None => match self.arena_error() {
+                Some(e) => panic!("SAT solver refused a verdict: {e}"),
+                None => unreachable!("non-abortable solve cannot be aborted"),
+            },
+        }
     }
 
     /// [`SatSolver::solve_under_assumptions`] with a cooperative abort
@@ -1334,6 +1437,10 @@ impl SatSolver {
     /// search unwinds to the root and returns `None`. All state stays
     /// consistent — clauses learnt before the abort are kept and the
     /// solver remains usable.
+    ///
+    /// Also returns `None` — before and after any search — once the
+    /// clause arena has hit its capacity cap; the typed reason is then
+    /// available via [`SatSolver::arena_error`].
     pub fn solve_under_assumptions_abortable(
         &mut self,
         assumptions: &[Lit],
@@ -1342,6 +1449,11 @@ impl SatSolver {
         debug_assert_eq!(self.decision_level(), 0);
         self.model.clear();
         self.conflict_core.clear();
+        if self.arena_error.is_some() {
+            // A past allocation failure may have dropped a clause; any
+            // verdict from this instance would be untrustworthy.
+            return None;
+        }
         if !self.ok {
             return Some(SolveOutcome::Unsat);
         }
@@ -1370,8 +1482,16 @@ impl SatSolver {
                     self.unchecked_enqueue(learnt[0], bref);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_clause(&learnt, true);
-                    self.unchecked_enqueue(asserting, cref);
+                    match self.attach_clause(&learnt, true) {
+                        Some(cref) => self.unchecked_enqueue(asserting, cref),
+                        None => {
+                            // Arena full: the learnt clause cannot be
+                            // attached, and the asserting literal has no
+                            // reason without it. Unwind and refuse.
+                            self.cancel_until(0);
+                            return None;
+                        }
+                    }
                 }
                 self.var_decay();
                 self.cla_inc *= 1.001;
@@ -1678,6 +1798,86 @@ mod tests {
             &[-4, -6],
         ];
         assert_eq!(solve_clauses(6, clauses), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn arena_cap_latches_typed_error_instead_of_wrapping() {
+        // A tiny synthetic cap forces the same refusal path the real
+        // u32 ceiling would. Cap = 8 words: one ternary clause (2
+        // header + 3 lits = 5 words) fits, the next does not.
+        let mut s = SatSolver::new(6);
+        s.set_arena_cap_words(8);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(1).pos(), Var(2).pos()]));
+        assert!(s.arena_error().is_none());
+        assert!(s.add_clause(vec![Var(3).pos(), Var(4).pos(), Var(5).pos()]));
+        let err = s.arena_error().cloned().expect("cap must latch");
+        match err {
+            SolverError::ArenaExhausted {
+                requested_words,
+                cap_words,
+            } => {
+                assert_eq!(cap_words, 8);
+                assert_eq!(requested_words, 10); // 5 live + 5 requested
+            }
+        }
+        // Every further solve refuses a verdict; state stays consistent.
+        assert_eq!(s.solve_under_assumptions_abortable(&[], None), None);
+        assert_eq!(
+            s.solve_under_assumptions_abortable(&[Var(0).pos()], None),
+            None
+        );
+        assert!(s.arena_error().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "clause arena exhausted")]
+    fn arena_cap_panics_typed_on_non_abortable_entry() {
+        let mut s = SatSolver::new(4);
+        s.set_arena_cap_words(5);
+        assert!(s.add_clause(vec![Var(0).pos(), Var(1).pos()]));
+        assert!(s.add_clause(vec![Var(2).pos(), Var(3).pos()]));
+        let _ = s.solve();
+    }
+
+    #[test]
+    fn arena_cap_learnt_clause_refuses_mid_search() {
+        // Leave room for the original clauses but nothing else, then
+        // pose a query that must learn: the learn-path allocation fails
+        // and the solve refuses rather than mis-attach.
+        let clauses: &[&[i32]] = &[
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ];
+        let mut s = SatSolver::new(6);
+        let mut words = 0u32;
+        for c in clauses {
+            words += (HEADER_WORDS + c.len()) as u32;
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&x| Var(x.unsigned_abs() - 1).lit(x > 0))
+                .collect();
+            assert!(s.add_clause(lits));
+        }
+        s.set_arena_cap_words(words); // exactly full: no learnt fits
+        let out = s.solve_under_assumptions_abortable(&[], None);
+        if out.is_none() {
+            assert!(matches!(
+                s.arena_error(),
+                Some(SolverError::ArenaExhausted { .. })
+            ));
+        } else {
+            // The solver may finish the pigeonhole proof through
+            // binary subsumption without attaching a long learnt; the
+            // verdict must then be the correct one.
+            assert_eq!(out, Some(SolveOutcome::Unsat));
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::bitblast::{bitblast, IncrementalBlaster};
 use crate::cnf::Lit;
-use crate::sat::{DbStats, SatSolver, SatStats, SolveOutcome, SolverConfig};
+use crate::sat::{DbStats, SatSolver, SatStats, SolveOutcome, SolverConfig, SolverError};
 use crate::term::{Sort, Term, TermId, TermPool};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -544,6 +544,15 @@ impl IncrementalSession {
         self.learnt_cap
     }
 
+    /// Lower the underlying solver's clause-arena capacity (clamped to
+    /// [`crate::sat::ARENA_CAP_WORDS`]). A test hook: capacity-refusal
+    /// paths ([`IncrementalSession::try_solve_under`] returning `Err`)
+    /// can be forced with a tiny cap instead of a 16 GiB arena.
+    pub fn with_arena_cap_words(mut self, cap: u32) -> Self {
+        self.sat.set_arena_cap_words(cap);
+        self
+    }
+
     /// The session's term pool.
     pub fn pool(&self) -> &TermPool {
         &self.pool
@@ -606,7 +615,24 @@ impl IncrementalSession {
     /// Decide the session's assertions plus the gated formulas of the
     /// given assumptions. Statistics cover this query: sizes are the
     /// session's cumulative encoding, SAT counters are deltas.
+    ///
+    /// Panics when the solver refuses a verdict (clause arena
+    /// exhausted); callers that can recover — by re-posing the query on
+    /// a fresh instance or failing the check typed — use
+    /// [`IncrementalSession::try_solve_under`].
     pub fn solve_under(&mut self, assumptions: &[Assumption]) -> (SatResult, SolverStats) {
+        self.try_solve_under(assumptions)
+            .unwrap_or_else(|e| panic!("SMT session refused a verdict: {e}"))
+    }
+
+    /// [`IncrementalSession::solve_under`], surfacing solver capacity
+    /// failures as a typed [`SolverError`] instead of a panic. After an
+    /// `Err` the session refuses every further verdict (the error is
+    /// latched on the underlying solver), so callers should rebuild.
+    pub fn try_solve_under(
+        &mut self,
+        assumptions: &[Assumption],
+    ) -> Result<(SatResult, SolverStats), SolverError> {
         let t0 = Instant::now();
         self.sync();
         let before = self.sat.stats();
@@ -620,7 +646,13 @@ impl IncrementalSession {
         let sync_time = t0.elapsed();
         let lits: Vec<Lit> = assumptions.iter().map(|a| a.0).collect();
         let t1 = Instant::now();
-        let outcome = self.solve_racing(&lits);
+        let outcome = match self.solve_racing(&lits) {
+            Ok(o) => o,
+            Err(e) => {
+                obs::add("smt.arena_exhausted", 1);
+                return Err(e);
+            }
+        };
         let solve_time = t1.elapsed();
         let after = self.sat.stats();
         let stats = SolverStats {
@@ -676,7 +708,7 @@ impl IncrementalSession {
             }
             SolveOutcome::Unsat => SatResult::Unsat,
         };
-        (result, stats)
+        Ok((result, stats))
     }
 
     /// The subset of the last solve's assumptions shown inconsistent
@@ -727,21 +759,29 @@ impl IncrementalSession {
     /// the winning clone becomes the session's solver (learnt clauses,
     /// activities and phases included) with its configuration reset to
     /// the base, so the race leaves only *extra* derived facts behind.
-    fn solve_racing(&mut self, lits: &[Lit]) -> SolveOutcome {
+    ///
+    /// `Err` when the solver refused a verdict on capacity grounds
+    /// (clause arena exhausted) — on a race, only when *every* variant
+    /// refused, since one surviving variant still yields a sound answer.
+    fn solve_racing(&mut self, lits: &[Lit]) -> Result<SolveOutcome, SolverError> {
         self.last_winner = 0;
+        let sequential = |sat: &mut SatSolver, lits: &[Lit]| {
+            sat.solve_under_assumptions_abortable(lits, None)
+                .ok_or_else(|| latched_arena_error(sat))
+        };
         let Some(pf) = self.portfolio.clone() else {
-            return self.sat.solve_under_assumptions(lits);
+            return sequential(&mut self.sat, lits);
         };
         let width = pf.k.min(PORTFOLIO_MAX_K);
         if width < 2 || self.blaster.num_clauses() < pf.min_clauses {
-            return self.sat.solve_under_assumptions(lits);
+            return sequential(&mut self.sat, lits);
         }
         let granted = match &pf.slots {
             Some(slots) => slots.try_take(width - 1),
             None => width - 1,
         };
         if granted == 0 {
-            return self.sat.solve_under_assumptions(lits);
+            return sequential(&mut self.sat, lits);
         }
         let base_cfg = self.sat.config().clone();
         let mut variants: Vec<SatSolver> = Vec::with_capacity(granted + 1);
@@ -774,10 +814,16 @@ impl IncrementalSession {
         if let Some(slots) = &pf.slots {
             slots.release(granted);
         }
-        let (wi, outcome) = winner
-            .into_inner()
-            .unwrap()
-            .expect("a portfolio race always has at least one finisher");
+        let Some((wi, outcome)) = winner.into_inner().unwrap() else {
+            // No variant posted a result. Aborts only happen after a
+            // winner posts, so every variant refused on capacity: adopt
+            // the base clone so the latched error stays observable.
+            let mut adopted = variants.swap_remove(0);
+            adopted.set_config(base_cfg);
+            let err = latched_arena_error(&adopted);
+            self.sat = adopted;
+            return Err(err);
+        };
         let mut adopted = variants.swap_remove(wi);
         adopted.set_config(base_cfg);
         self.sat = adopted;
@@ -795,7 +841,7 @@ impl IncrementalSession {
                 ));
             }
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Which portfolio variant answered the most recent solve (0 when the
@@ -809,6 +855,14 @@ impl IncrementalSession {
     pub fn sat_db_stats(&self) -> DbStats {
         self.sat.db_stats()
     }
+}
+
+/// The capacity error a solver latched when it refused a non-aborted
+/// verdict. A refusal with no latch would be a logic bug.
+fn latched_arena_error(sat: &SatSolver) -> SolverError {
+    sat.arena_error()
+        .cloned()
+        .expect("a refused non-aborted solve implies a latched arena error")
 }
 
 /// Every term reachable from `roots` in the pool's DAG (the cone of the
@@ -933,6 +987,27 @@ mod tests {
             }
             SatResult::Unsat => panic!(),
         }
+    }
+
+    #[test]
+    fn session_arena_cap_surfaces_typed_error() {
+        // A tiny synthetic cap: encoding a non-trivial bitvector
+        // constraint overflows the arena during the feed, and the next
+        // query must surface the typed capacity error, not a wrapped
+        // offset or a panic.
+        let mut sess = IncrementalSession::new().with_arena_cap_words(64);
+        let x = sess.pool_mut().bv_var("x", 32);
+        let y = sess.pool_mut().bv_var("y", 32);
+        let sum = sess.pool_mut().bv_add(x, y);
+        let c = sess.pool_mut().bv_const(12345, 32);
+        let eq = sess.pool_mut().bv_eq(sum, c);
+        sess.assert(eq);
+        match sess.try_solve_under(&[]) {
+            Err(SolverError::ArenaExhausted { cap_words, .. }) => assert_eq!(cap_words, 64),
+            Ok(_) => panic!("a 64-word arena cannot hold a 32-bit adder"),
+        }
+        // The refusal is sticky: later queries refuse too.
+        assert!(sess.try_solve_under(&[]).is_err());
     }
 
     #[test]

@@ -19,6 +19,21 @@ use netgen::wan::{self, WanParams};
 use proptest::prelude::*;
 use std::sync::Arc;
 
+/// Re-wrap a forged payload as a valid v3 spill entry: recompute the
+/// integrity sum exactly as an attacker who knows the (non-cryptographic)
+/// format would, so the entry decodes on reload and the *semantic*
+/// re-validation layer is what has to reject it. Corruption-level
+/// tampering (bad sums, truncation) is pinned separately in
+/// `orchestrator::cache` tests and the CLI poisoned-spill test.
+fn wrap_spill_entry(fp_hex: &str, payload: &serde_json::Value) -> serde_json::Value {
+    let payload = serde_json::to_string(payload).unwrap();
+    let sum = orchestrator::cache::spill_entry_sum(fp_hex, &payload);
+    serde_json::Value::Object(vec![
+        ("sum".to_string(), serde_json::Value::Str(sum)),
+        ("payload".to_string(), serde_json::Value::Str(payload)),
+    ])
+}
+
 fn assert_reports_byte_identical(topo: &bgp_model::Topology, a: &Report, b: &Report) {
     assert_eq!(a.num_checks(), b.num_checks());
     for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
@@ -228,20 +243,21 @@ fn forged_verdict_details_are_revalidated_not_replayed() {
                     let out: Vec<(String, serde_json::Value)> = entries
                         .into_iter()
                         .map(|(fp, entry)| {
-                            if entry["pass"].as_bool() == Some(false) {
+                            let inner: serde_json::Value =
+                                serde_json::from_str(entry["payload"].as_str().unwrap()).unwrap();
+                            if inner["pass"].as_bool() == Some(false) {
                                 forged_any = true;
-                                let input = entry["input"].clone();
-                                (
-                                    fp,
-                                    serde_json::json!({
-                                        "pass": false,
-                                        "vars": 1,
-                                        "clauses": 1,
-                                        "rejected": true,
-                                        "input": input,
-                                        "output": serde_json::Value::Null,
-                                    }),
-                                )
+                                let input = inner["input"].clone();
+                                let forged = serde_json::json!({
+                                    "pass": false,
+                                    "vars": 1,
+                                    "clauses": 1,
+                                    "rejected": true,
+                                    "input": input,
+                                    "output": serde_json::Value::Null,
+                                });
+                                let wrapped = wrap_spill_entry(&fp, &forged);
+                                (fp, wrapped)
                             } else {
                                 (fp, entry)
                             }
@@ -323,17 +339,16 @@ fn stale_cached_failures_are_revalidated_not_replayed() {
                     let forged: Vec<(String, serde_json::Value)> = entries
                         .into_iter()
                         .map(|(fp, _)| {
-                            (
-                                fp,
-                                serde_json::json!({
-                                    "pass": false,
-                                    "vars": 1,
-                                    "clauses": 1,
-                                    "rejected": false,
-                                    "input": serde_json::to_value(&bogus),
-                                    "output": serde_json::Value::Null,
-                                }),
-                            )
+                            let payload = serde_json::json!({
+                                "pass": false,
+                                "vars": 1,
+                                "clauses": 1,
+                                "rejected": false,
+                                "input": serde_json::to_value(&bogus),
+                                "output": serde_json::Value::Null,
+                            });
+                            let wrapped = wrap_spill_entry(&fp, &payload);
+                            (fp, wrapped)
                         })
                         .collect();
                     (k, serde_json::Value::Object(forged))
